@@ -1,0 +1,71 @@
+"""Fig. 5 — end-to-end application speedup and error, best models.
+
+Deploys the lowest-validation-error model of each benchmark family and
+reports end-to-end speedup plus QoI error, the two panels of Fig. 5.
+Paper shape: every application speeds up (up to 83.6x, geometric mean
+13x on A100s); errors stay small relative to each QoI's scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import geometric_mean, render_table
+
+APPS = ("minibude", "binomial", "bonds", "miniweather", "particlefilter")
+
+
+@pytest.fixture(scope="module")
+def fig5_rows(store):
+    rows = []
+    for name in APPS:
+        bundle = store.bundle(name)
+        best = min(bundle.models, key=lambda m: m.val_loss)
+        metrics = bundle.harness.evaluate(best.model, repeats=3)
+        rows.append({"benchmark": name, "model": best.label,
+                     "n_params": best.n_params,
+                     "speedup": metrics.speedup,
+                     "error": metrics.qoi_error,
+                     "metric": bundle.harness.info.metric.upper()})
+    return rows
+
+
+def test_fig5_speedup_and_error(fig5_rows):
+    print()
+    print(render_table(fig5_rows,
+                       title="Fig. 5: end-to-end speedup & QoI error "
+                             "(best-validation models)"))
+    speedups = [r["speedup"] for r in fig5_rows]
+    # Shape: every app accelerates end-to-end under surrogate inference.
+    assert all(s > 1.0 for s in speedups)
+    gm = geometric_mean(speedups)
+    print(f"geometric-mean speedup: {gm:.2f}x")
+    assert gm > 1.5
+    # The batch-parallel financial apps show the largest factors, as in
+    # the paper where Binomial Options peaks at 83.6x.
+    by_name = {r["benchmark"]: r["speedup"] for r in fig5_rows}
+    assert by_name["binomial"] > by_name["miniweather"]
+
+
+def test_fig5_errors_within_qoi_scale(fig5_rows, store):
+    """Errors are small on each benchmark's own QoI scale (paper: BO
+    finds several models under its error<10 cutoff; our laptop-scale
+    training gets MiniBUDE to ~11% MAPE vs the paper's 2.7-6.8%)."""
+    for row in fig5_rows:
+        limit = 15.0 if row["metric"] == "MAPE" else 10.0
+        assert row["error"] < limit, row
+
+
+@pytest.mark.benchmark(group="fig5-inference-path")
+def bench_binomial_surrogate_invocation(benchmark, store):
+    bundle = store.bundle("binomial")
+    best = min(bundle.models, key=lambda m: m.val_loss)
+    bundle.harness.install_model(best.model)
+    qoi = benchmark(bundle.harness.run_surrogate)
+    assert np.all(np.isfinite(qoi))
+
+
+@pytest.mark.benchmark(group="fig5-accurate-path")
+def bench_binomial_accurate_invocation(benchmark, store):
+    bundle = store.bundle("binomial")
+    qoi = benchmark(bundle.harness.run_accurate)
+    assert np.all(np.isfinite(qoi))

@@ -1,0 +1,125 @@
+"""Fig. 9 — MiniWeather: auto-regressive error propagation & interleaving.
+
+Panels reproduced (timestep indices scaled to our workload: the paper
+trains on the first 1000 steps and tests to 1200; we train on the first
+``train_steps`` and test a proportional window):
+
+* 9b/9e — pure surrogate stepping: per-timestep RMSE grows steadily;
+  after ~10 auto-regressive steps the error distribution shifts right
+  by roughly an order of magnitude (paper: 80th-percentile relative
+  error 0.09 -> 1.25).
+* 9c/9d — interleaving Original:Surrogate cycles (1:1, 2:1, 3:3)
+  trades speedup for error: more accurate steps, less error, less
+  speedup.
+* 9f — CDF of relative error at the first surrogate step vs 10 steps
+  later.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import cdf_quantile, relative_error, render_series, \
+    render_table
+from repro.runtime import Phase
+
+CONFIGS = [("0:1", 0, 1), ("1:1", 1, 1), ("2:1", 2, 1), ("3:3", 3, 3)]
+
+
+@pytest.fixture(scope="module")
+def mw(store):
+    bundle = store.bundle("miniweather")
+    best = min(bundle.models, key=lambda m: m.val_loss)
+    bundle.harness.install_model(best.model)
+    return bundle.harness
+
+
+def test_fig9e_per_timestep_rmse(mw):
+    steps = mw.test_steps
+    series = {}
+    for label, n_acc, n_sur in CONFIGS:
+        cycle = n_acc + n_sur
+        errors = mw.trajectory_errors(
+            lambda i, n_acc=n_acc, cycle=cycle: (i % cycle) >= n_acc, steps)
+        series[label] = errors
+    print()
+    for label, errors in series.items():
+        print(render_series(f"Fig. 9e RMSE (orig:surr {label})",
+                            list(range(1, steps + 1)), errors.tolist(),
+                            "step", "rmse"))
+    # Pure surrogate error grows and dominates every interleaving.
+    pure = series["0:1"]
+    assert pure[-1] > pure[0]
+    for label in ("1:1", "2:1", "3:3"):
+        assert series[label][-1] < pure[-1], label
+    # More accurate steps per cycle -> less error (2:1 beats 1:1).
+    assert series["2:1"][-1] <= series["1:1"][-1] * 1.25
+
+
+def test_fig9d_rmse_vs_speedup(mw):
+    def best_window(fn, repeats=3):
+        """Min-of-N window time (robust to background load), plus the
+        final state of the last run."""
+        times, final = [], None
+        for _ in range(repeats):
+            final = fn()
+            times.append(mw.window_seconds())   # excludes shared warm-up
+        return min(times), final
+
+    t_acc, reference = best_window(mw.run_accurate)
+    rows = []
+    for label, n_acc, n_sur in CONFIGS:
+        fn = (lambda n_acc=n_acc, n_sur=n_sur:
+              mw.run_interleaved(n_acc, n_sur)) if n_acc else mw.run_surrogate
+        t_total, final = best_window(fn)
+        rmse = float(np.sqrt(np.mean((final - reference) ** 2)))
+        rows.append({"config": label, "rmse": rmse,
+                     "speedup": t_acc / max(t_total, 1e-12)})
+    print()
+    print(render_table(rows, title="Fig. 9d: RMSE vs speedup at final "
+                                   "test step"))
+    by = {r["config"]: r for r in rows}
+    # Shape: pure surrogate is fastest and least accurate; interleaving
+    # lowers both error and speedup ("at the expense of performance
+    # improvement", §VI Obs. 4 — the paper's Fig. 9d axis spans 0..2 and
+    # interleaved configs can drop below 1x).
+    assert by["0:1"]["speedup"] > 1.0
+    assert by["0:1"]["speedup"] >= by["1:1"]["speedup"] * 0.9
+    assert by["1:1"]["rmse"] <= by["0:1"]["rmse"]
+    assert by["2:1"]["rmse"] <= by["0:1"]["rmse"]
+
+
+def test_fig9f_relative_error_cdf_shift(mw):
+    """Error distribution shifts right by ~an order of magnitude after
+    10 auto-regressive surrogate steps."""
+    u_acc = mw._fresh_u()
+    for _ in range(mw.train_steps):
+        mw.timestep(u_acc, use_model=False)
+    u_sur = u_acc.copy()
+
+    mw.timestep(u_acc, use_model=False)
+    mw.timestep(u_sur, use_model=True)
+    rel_1 = relative_error(u_sur, u_acc, eps=1e-3)
+
+    for _ in range(9):
+        mw.timestep(u_acc, use_model=False)
+        mw.timestep(u_sur, use_model=True)
+    rel_10 = relative_error(u_sur, u_acc, eps=1e-3)
+
+    p80_1, p80_10 = cdf_quantile(rel_1, 0.8), cdf_quantile(rel_10, 0.8)
+    p90_1, p90_10 = cdf_quantile(rel_1, 0.9), cdf_quantile(rel_10, 0.9)
+    print(f"\nFig. 9f: rel-err p80 {p80_1:.4g} -> {p80_10:.4g}, "
+          f"p90 {p90_1:.4g} -> {p90_10:.4g}")
+    assert p80_10 > p80_1 * 2.0     # paper: ~14x shift at p80
+    assert p90_10 > p90_1
+
+
+@pytest.mark.benchmark(group="fig9-step")
+def bench_accurate_timestep(benchmark, mw):
+    u = mw._fresh_u()
+    benchmark(mw.timestep, u, False)
+
+
+@pytest.mark.benchmark(group="fig9-step")
+def bench_surrogate_timestep(benchmark, mw):
+    u = mw._fresh_u()
+    benchmark(mw.timestep, u, True)

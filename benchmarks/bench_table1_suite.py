@@ -1,0 +1,61 @@
+"""Table I — the benchmark suite: accurate kernels and their QoI metrics.
+
+Regenerates the Table I rows (description, QoI, metric) and times each
+benchmark's accurate path, establishing the baseline the speedups of
+Figs. 5-9 are measured against.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.apps import (REGISTRY, binomial, bonds, minibude, miniweather,
+                        particlefilter)
+
+
+def test_table1_rows():
+    rows = [{
+        "benchmark": info.name,
+        "qoi": info.qoi[:48],
+        "metric": info.metric.upper(),
+        "surrogate": info.surrogate_family.upper(),
+    } for info in REGISTRY.values()]
+    print()
+    print(render_table(rows, title="Table I: benchmark suite"))
+    assert len(rows) == 5
+
+
+@pytest.mark.benchmark(group="table1-accurate-path")
+def bench_minibude_accurate(benchmark):
+    wl = minibude.generate_workload(n_poses=1024, seed=0)
+    energies = benchmark(minibude.run_accurate, wl)
+    assert energies.shape == (1024,)
+
+
+@pytest.mark.benchmark(group="table1-accurate-path")
+def bench_binomial_accurate(benchmark):
+    wl = binomial.generate_workload(n_options=2048, seed=0, n_steps=96)
+    prices = benchmark(binomial.run_accurate, wl)
+    assert np.all(prices >= 0)
+
+
+@pytest.mark.benchmark(group="table1-accurate-path")
+def bench_bonds_accurate(benchmark):
+    wl = bonds.generate_workload(n_bonds=4096, seed=0)
+    accrued = benchmark(bonds.run_accurate, wl)
+    assert np.all(accrued >= 0)
+
+
+@pytest.mark.benchmark(group="table1-accurate-path")
+def bench_miniweather_accurate(benchmark):
+    wl = miniweather.generate_workload(nx=32, nz=16, n_steps=20)
+    q = benchmark(miniweather.run_accurate, wl)
+    assert np.all(np.isfinite(q))
+
+
+@pytest.mark.benchmark(group="table1-accurate-path")
+def bench_particlefilter_accurate(benchmark):
+    wl = particlefilter.generate_workload(n_frames=48, height=32, width=32,
+                                          seed=0)
+    est = benchmark(particlefilter.run_accurate, wl)
+    assert est.shape == (48, 2)

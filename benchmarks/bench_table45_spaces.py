@@ -1,0 +1,100 @@
+"""Tables IV & V — the NAS and hyperparameter search spaces.
+
+Validates the spaces match the paper's bounds, that sampled
+architectures are buildable, and times the BO machinery (GP fit +
+acquisition proposal) that drives the §V-C search.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.nn import Tensor
+from repro.search import (BayesianOptimizer, GaussianProcess, Space,
+                          arch_space_for, builder_for, hyperparameter_space)
+
+BUILD_KWARGS = {
+    "minibude": {},
+    "binomial": {},
+    "bonds": {},
+    "miniweather": {"nz": 16, "nx": 32},
+    "particlefilter": {"height": 32, "width": 32},
+}
+
+SAMPLE_INPUT = {
+    "minibude": (2, 6),
+    "binomial": (2, 5),
+    "bonds": (2, 5),
+    "miniweather": (1, 4, 16, 32),
+    "particlefilter": (1, 1, 32, 32),
+}
+
+
+def test_table4_spaces_render():
+    rows = []
+    for name in BUILD_KWARGS:
+        space = arch_space_for(name)
+        for p in space.params:
+            bounds = getattr(p, "values", None) or (p.lo, p.hi)
+            rows.append({"benchmark": name, "parameter": p.name,
+                         "range": str(bounds)[:42]})
+    print()
+    print(render_table(rows, title="Table IV: architecture search spaces"))
+    assert len(rows) >= 14
+
+
+def test_table5_space_render():
+    rows = [{"parameter": p.name,
+             "range": f"[{p.lo}, {p.hi}]",
+             "scale": "log" if getattr(p, "log", False) else "linear"}
+            for p in hyperparameter_space().params]
+    print()
+    print(render_table(rows, title="Table V: hyperparameter space"))
+    assert len(rows) == 4
+
+
+@pytest.mark.parametrize("name", list(BUILD_KWARGS))
+def test_sampled_architectures_are_buildable(name):
+    """Every (or near-every) sampled Table IV point builds and runs."""
+    space = arch_space_for(name)
+    build = builder_for(name)
+    rng = np.random.default_rng(42)
+    x = np.zeros(SAMPLE_INPUT[name])
+    built = 0
+    for _ in range(12):
+        cfg = space.sample(rng)
+        try:
+            model = build(cfg, **BUILD_KWARGS[name])
+        except ValueError:
+            continue   # infeasible corner (e.g. conv collapses the frame)
+        out = model(Tensor(x))
+        assert np.all(np.isfinite(out.numpy()))
+        built += 1
+    assert built >= 8
+
+
+@pytest.mark.benchmark(group="table45-bo")
+def bench_gp_fit_predict(benchmark, rng):
+    x = rng.random((40, 4))
+    y = np.sin(x).sum(axis=1)
+
+    def fit_predict():
+        gp = GaussianProcess().fit(x, y)
+        return gp.predict(rng.random((128, 4)))
+
+    mean, std = benchmark(fit_predict)
+    assert mean.shape == (128,)
+
+
+@pytest.mark.benchmark(group="table45-bo")
+def bench_bo_iteration(benchmark):
+    space = arch_space_for("binomial")
+
+    def run_short_bo():
+        bo = BayesianOptimizer(space, n_init=4, seed=0)
+        return bo.minimize(
+            lambda c: abs(c["hidden1_features"] - 200) / 512,
+            n_iterations=10)
+
+    result = benchmark(run_short_bo)
+    assert result.best_value < 0.4

@@ -1,0 +1,98 @@
+"""Classic HPAC techniques vs an ML surrogate on one region.
+
+HPAC-ML extends HPAC, whose generic approximations (loop perforation,
+memoization) remain available through the same directive machinery.
+This example approximates American-option pricing three ways and
+compares accuracy/speedup:
+
+1. lattice perforation (``perfo``): fewer binomial time steps,
+2. input memoization (``memo(in:tol)``): cache prices of similar options,
+3. an HPAC-ML surrogate MLP.
+
+Run:  python examples/hpac_techniques.py
+"""
+
+import tempfile
+import time
+
+import numpy as np
+
+from repro.apps.binomial.kernel import generate_options, price_american
+from repro.apps.harness import BinomialHarness
+from repro.approx import approx_technique
+from repro.nn import Trainer, rmse
+
+N_STEPS = 96
+
+
+def main():
+    opts = generate_options(512, seed=3)
+    t0 = time.perf_counter()
+    exact = price_american(opts, n_steps=N_STEPS)
+    base_time = time.perf_counter() - t0
+    rows = [("accurate (96-step CRR lattice)", 0.0, 1.0)]
+
+    # -- 1. perforation: run the lattice with a fraction of the steps --
+    for rate in (0.5, 0.75):
+        steps = max(4, int(round(N_STEPS * (1 - rate))))
+        t0 = time.perf_counter()
+        approx = price_american(opts, n_steps=steps)
+        elapsed = time.perf_counter() - t0
+        rows.append((f"perfo({rate:.2f}) -> {steps}-step lattice",
+                     rmse(approx, exact), base_time / elapsed))
+
+    # -- 2. memoization: tolerance-keyed price cache -------------------
+    # Real portfolios hold many positions in the same listed contracts:
+    # draw 32 standard option series and repeat each with sub-tolerance
+    # jitter — the access pattern input-memoization targets.
+    rng = np.random.default_rng(7)
+    series = generate_options(32, seed=11)
+    picks = rng.integers(0, len(series), size=len(opts))
+    clustered = series[picks] + rng.normal(scale=1e-4,
+                                           size=(len(opts), 5))
+    clustered_exact = price_american(clustered, n_steps=N_STEPS)
+    # Fair baseline for memoization: the same per-option region without
+    # the cache (memoization skips work; it does not re-vectorize).
+    t0 = time.perf_counter()
+    for opt in clustered:
+        price_american(opt[None], n_steps=N_STEPS)
+    clustered_base = time.perf_counter() - t0
+
+    @approx_technique("#pragma approx memo(in:0.01) in(params) out(price)")
+    def price_one(params, price):
+        price[...] = price_american(params[None], n_steps=N_STEPS)[0]
+
+    prices = np.empty(len(clustered))
+    t0 = time.perf_counter()
+    for k, opt in enumerate(clustered):
+        out = np.empty(1)
+        price_one(np.ascontiguousarray(opt), out)
+        prices[k] = out[0]
+    elapsed = time.perf_counter() - t0
+    stats = price_one.stats
+    rows.append((f"memo(in:0.01), hit rate {stats['hit_rate']:.0%}",
+                 rmse(prices, clustered_exact), clustered_base / elapsed))
+
+    # -- 3. the HPAC-ML surrogate ---------------------------------------
+    workdir = tempfile.mkdtemp(prefix="hpacml_tech_")
+    harness = BinomialHarness(workdir, n_train=2048, n_test=512,
+                              n_steps=N_STEPS)
+    harness.collect()
+    (xt, yt), (xv, yv) = harness.training_arrays()
+    model = harness.make_builder(xt, yt)(
+        {"hidden1_features": 160, "hidden2_features": 96}, seed=0)
+    Trainer(model, lr=3e-3, batch_size=128, max_epochs=60, patience=15,
+            seed=0).fit(xt, yt, xv, yv)
+    metrics = harness.evaluate(model)
+    rows.append(("HPAC-ML surrogate (MLP 160x96)", metrics.qoi_error,
+                 metrics.speedup))
+
+    print(f"{'technique':<38} {'RMSE':>8} {'speedup':>9}")
+    for label, err, speed in rows:
+        print(f"{label:<38} {err:>8.4f} {speed:>8.1f}x")
+    print("\nshape: generic techniques trade accuracy for modest gains; "
+          "the learned surrogate dominates both axes (paper Observation 1).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Nested Bayesian-optimization architecture search (paper §V-C).
+
+Runs the two-level multi-objective search on the Binomial Options
+benchmark: the outer loop proposes architectures from the Table IV
+space and minimizes (inference latency, validation error); the inner
+loop tunes Table V hyperparameters per architecture.  Prints every
+evaluated model and the resulting Pareto front.
+
+Run:  python examples/nas_search.py
+"""
+
+import tempfile
+
+from repro.apps.harness import BinomialHarness
+from repro.search import NestedSearch, arch_space_for
+
+
+def main():
+    workdir = tempfile.mkdtemp(prefix="hpacml_nas_")
+    harness = BinomialHarness(workdir, n_train=2048, n_test=512,
+                              n_steps=64)
+    print("collecting training data...")
+    harness.collect()
+    (x_train, y_train), (x_val, y_val) = harness.training_arrays()
+    build = harness.make_builder(x_train, y_train)
+
+    search = NestedSearch(
+        arch_space=arch_space_for("binomial"), build_model=build,
+        x_train=x_train, y_train=y_train, x_val=x_val, y_val=y_val,
+        n_inner=3, max_epochs=12, seed=0)
+
+    print("running the nested BO search "
+          "(outer: architecture, inner: hyperparameters)...")
+
+    def progress(trial, trials):
+        print(f"  trial {trial.index:>2}: h1={trial.arch['hidden1_features']:>3} "
+              f"h2={trial.arch['hidden2_features']:>3} "
+              f"params={trial.n_params:>7} "
+              f"val={trial.val_error:.4f} lat={trial.latency * 1e3:.2f}ms")
+
+    result = search.run(n_outer=8, stale_limit=5, callback=progress)
+
+    print("\nPareto-optimal models (latency vs validation error):")
+    for t in sorted(result.pareto_trials(), key=lambda t: t.latency):
+        print(f"  params={t.n_params:>7} latency={t.latency * 1e3:6.2f}ms "
+              f"val_error={t.val_error:.4f} "
+              f"lr={t.hypers['learning_rate']:.1e} "
+              f"bs={int(t.hypers['batch_size'])}")
+
+    best = result.best_by_error()
+    metrics = harness.evaluate(best.model)
+    print(f"\ndeploying the most accurate model: "
+          f"{metrics.speedup:.1f}x speedup, RMSE {metrics.qoi_error:.4f}")
+
+
+if __name__ == "__main__":
+    main()

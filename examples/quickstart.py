@@ -1,0 +1,92 @@
+"""Quickstart: the paper's Fig. 2 example, end to end.
+
+A 2-D Jacobi stencil timestep is annotated with HPAC-ML directives.
+The same annotated region first *collects* training data while the
+original kernel runs, then — after an offline training step — *infers*
+with the trained surrogate instead of executing the kernel.
+
+Run:  python examples/quickstart.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import approx_ml
+from repro.nn import Linear, ReLU, Sequential, Trainer, rmse, save_model
+from repro.runtime import EventLog, load_training_data
+
+workdir = Path(tempfile.mkdtemp(prefix="hpacml_quickstart_"))
+DB = workdir / "stencil.rh5"
+MODEL = workdir / "stencil.rnm"
+events = EventLog()
+
+# ----------------------------------------------------------------------
+# 1. Annotate the code region (directives verbatim from paper Fig. 2,
+#    with the predicated condition exposed as a region argument).
+# ----------------------------------------------------------------------
+
+@approx_ml(f"""
+#pragma approx tensor functor(ifnctr: \\
+    [i, j, 0:5] = (([i-1, j], [i+1, j], [i, j-1:j+2])))
+#pragma approx tensor functor(ofnctr: [i, j, 0:1] = ([i, j]))
+#pragma approx tensor map(to: ifnctr(t[1:N-1, 1:M-1]))
+#pragma approx tensor map(from: ofnctr(tnew[1:N-1, 1:M-1]))
+#pragma approx ml(predicated:use_model) in(t) out(tnew) \\
+    db("{DB}") model("{MODEL}")
+""", event_log=events)
+def do_timestep(t, tnew, N, M, use_model=False):
+    """The accurate execution path: a 5-point Jacobi average."""
+    tnew[1:N - 1, 1:M - 1] = 0.2 * (
+        t[:N - 2, 1:M - 1] + t[2:, 1:M - 1] + t[1:N - 1, :M - 2]
+        + t[1:N - 1, 1:M - 1] + t[1:N - 1, 2:])
+
+
+def simulate(steps, N, M, use_model, seed=0):
+    rng = np.random.default_rng(seed)
+    t = rng.random((N, M))
+    tnew = np.zeros_like(t)
+    for _ in range(steps):
+        do_timestep(t, tnew, N, M, use_model=use_model)
+        t, tnew = tnew, t
+    return t
+
+
+def main():
+    N, M = 32, 32
+
+    # -- Phase 1: data collection (predicated condition is False) -----
+    print("collecting training data through the accurate path...")
+    simulate(steps=40, N=N, M=M, use_model=False)
+    do_timestep.flush()
+    x, y, region_time = load_training_data(DB, "do_timestep")
+    print(f"  collected {len(x)} (input, output) pairs; "
+          f"db size {DB.stat().st_size / 1e3:.1f} kB")
+
+    # -- Phase 2: offline training (the ML engineer's step) -----------
+    print("training a surrogate on the collected database...")
+    model = Sequential(Linear(5, 32, rng=np.random.default_rng(0)), ReLU(),
+                       Linear(32, 1, rng=np.random.default_rng(1)))
+    n = int(0.8 * len(x))
+    result = Trainer(model, lr=5e-3, batch_size=256, max_epochs=60,
+                     patience=60).fit(x[:n], y[:n], x[n:], y[n:])
+    save_model(model, MODEL)
+    print(f"  validation loss {result.best_val_loss:.2e} "
+          f"after {result.epochs_run} epochs")
+
+    # -- Phase 3: deployment (flip the predicate — no other change) ---
+    print("deploying the surrogate in the application...")
+    reference = simulate(steps=10, N=N, M=M, use_model=False, seed=1)
+    surrogate = simulate(steps=10, N=N, M=M, use_model=True, seed=1)
+    err = rmse(surrogate[1:-1, 1:-1], reference[1:-1, 1:-1])
+    print(f"  QoI RMSE vs accurate simulation: {err:.4f}")
+
+    br = events.breakdown()
+    print("runtime breakdown of the inference path (Fig. 6 style):")
+    for phase, frac in br.items():
+        print(f"  {phase:>12}: {100 * frac:5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The sandboxed environment has no ``wheel`` package, so PEP-517 editable
+installs (which build a wheel) fail; this shim lets
+``pip install -e . --no-use-pep517`` (and plain ``pip install -e .`` on
+older pips) fall back to ``setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""HPAC-ML reproduction — embedding ML surrogates in scientific applications.
+
+A from-scratch Python implementation of the SC24 paper *HPAC-ML: A
+Programming Model for Embedding ML Surrogates in Scientific
+Applications* (Fink et al.), including every substrate the paper
+depends on: a NumPy autograd NN framework (:mod:`repro.nn`), a
+hierarchical datastore (:mod:`repro.h5`), the directive compiler
+frontend (:mod:`repro.directives`), the data bridge
+(:mod:`repro.bridge`), the execution-control runtime
+(:mod:`repro.runtime`), a simulated accelerator (:mod:`repro.device`),
+the five evaluation mini-apps (:mod:`repro.apps`), Bayesian-optimization
+neural-architecture search (:mod:`repro.search`), and a workflow
+executor (:mod:`repro.workflow`).
+
+Quickstart: see :mod:`repro.api` and ``examples/quickstart.py``.
+"""
+
+__version__ = "1.0.0"
+
+from .api import approx_ml  # noqa: F401
+
+__all__ = ["approx_ml", "__version__"]

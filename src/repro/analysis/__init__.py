@@ -1,0 +1,11 @@
+"""``repro.analysis`` — QoI metrics, LoC accounting, report rendering."""
+
+from .metrics import (relative_error, error_cdf, cdf_quantile,
+                      geometric_mean, summarize_errors)
+from .loc import count_directives, annotation_loc, app_loc, table2_rows
+from .report import render_table, render_series, render_kv
+
+__all__ = ["relative_error", "error_cdf", "cdf_quantile", "geometric_mean",
+           "summarize_errors", "count_directives", "annotation_loc",
+           "app_loc", "table2_rows", "render_table", "render_series",
+           "render_kv"]

@@ -1,0 +1,67 @@
+"""QoI analysis metrics beyond plain RMSE/MAPE.
+
+Provides the relative-error CDF of Fig. 9f and summary statistics the
+experiment harness reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["relative_error", "error_cdf", "cdf_quantile", "geometric_mean",
+           "summarize_errors"]
+
+
+def relative_error(pred: np.ndarray, ref: np.ndarray,
+                   eps: float = 1e-12) -> np.ndarray:
+    """Elementwise ``|pred - ref| / max(|ref|, eps)``."""
+    pred = np.asarray(pred, dtype=np.float64)
+    ref = np.asarray(ref, dtype=np.float64)
+    if pred.shape != ref.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {ref.shape}")
+    return np.abs(pred - ref) / np.maximum(np.abs(ref), eps)
+
+
+def error_cdf(errors: np.ndarray, n_points: int = 200):
+    """Empirical CDF of an error sample: returns (values, fractions)."""
+    flat = np.sort(np.asarray(errors, dtype=np.float64).ravel())
+    if flat.size == 0:
+        raise ValueError("empty error sample")
+    idx = np.linspace(0, flat.size - 1, min(n_points, flat.size)).astype(int)
+    values = flat[idx]
+    fractions = (idx + 1) / flat.size
+    return values, fractions
+
+
+def cdf_quantile(errors: np.ndarray, fraction: float) -> float:
+    """Error value below which ``fraction`` of locations fall.
+
+    This is how the paper states Fig. 9f: "80% of domain locations have
+    relative error less than 0.09".
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1]: {fraction}")
+    flat = np.sort(np.asarray(errors, dtype=np.float64).ravel())
+    idx = min(int(np.ceil(fraction * flat.size)) - 1, flat.size - 1)
+    return float(flat[max(idx, 0)])
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean (the paper's speedup aggregate, §V-D)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def summarize_errors(pred: np.ndarray, ref: np.ndarray) -> dict:
+    """RMSE plus relative-error quantiles in one record."""
+    rel = relative_error(pred, ref)
+    diff = np.asarray(pred, dtype=np.float64) - np.asarray(ref, np.float64)
+    return {
+        "rmse": float(np.sqrt(np.mean(diff ** 2))),
+        "max_abs": float(np.abs(diff).max()),
+        "rel_p50": cdf_quantile(rel, 0.5),
+        "rel_p80": cdf_quantile(rel, 0.8),
+        "rel_p90": cdf_quantile(rel, 0.9),
+    }

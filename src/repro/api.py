@@ -1,0 +1,72 @@
+"""``repro.api`` — the HPAC-ML programming-model surface for Python.
+
+The paper's programming model annotates code regions with ``#pragma``
+directives (Fig. 2).  In this reproduction the host language is Python,
+so the annotation attaches to a function via the :func:`approx_ml`
+decorator, carrying the *identical* directive text::
+
+    from repro.api import approx_ml
+
+    @approx_ml('''
+        #pragma approx tensor functor(ifnctr: \\
+            [i, j, 0:5] = (([i-1, j], [i+1, j], [i, j-1:j+2])))
+        #pragma approx tensor functor(ofnctr: [i, j, 0:1] = ([i, j]))
+        #pragma approx tensor map(to: ifnctr(t[1:N-1, 1:M-1]))
+        #pragma approx tensor map(from: ofnctr(tnew[1:N-1, 1:M-1]))
+        #pragma approx ml(predicated:use_model) in(t) out(tnew) \\
+            db("data.rh5") model("model.rnm")
+    ''')
+    def do_timestep(t, tnew, N, M, use_model=False):
+        ...original computation writing tnew...
+
+Array names in ``tensor map`` targets and integer variables in concrete
+slice specifiers (``N``, ``M``) resolve against the function's bound
+arguments per invocation — the same binding Clang codegen performs when
+it forwards pointers to the HPAC runtime.  The decorated object is an
+:class:`repro.runtime.ApproxRegion`: calling it executes the accurate
+path, collects data, or runs surrogate inference per the ``ml`` clause.
+"""
+
+from __future__ import annotations
+
+from .runtime.events import EventLog
+from .runtime.infer import InferenceEngine
+from .runtime.region import ApproxRegion, RegionConfig
+
+__all__ = ["approx_ml", "RegionConfig", "default_event_log"]
+
+#: Process-wide event log used when a region is not given its own.
+default_event_log = EventLog()
+
+
+def approx_ml(directives: str, *, name: str | None = None,
+              model_path=None, db_path=None,
+              engine: InferenceEngine | None = None,
+              event_log: EventLog | None = None):
+    """Annotate a function as an HPAC-ML approximable code region.
+
+    Parameters
+    ----------
+    directives:
+        One or more ``#pragma approx`` directives (functor/map/ml), as
+        in the paper's listings.  Backslash continuations are honored.
+    name:
+        Region name; defaults to the function name.  Becomes the group
+        name inside the collection database.
+    model_path, db_path:
+        Runtime overrides for the ``model(...)``/``db(...)`` clauses —
+        the knob the paper exposes so retargeting a model does not
+        require "recompilation".
+    engine:
+        Custom :class:`InferenceEngine` (device/cache injection).
+    event_log:
+        Shared :class:`EventLog` for the Fig. 6 timing breakdown.
+    """
+
+    def decorate(func) -> ApproxRegion:
+        config = RegionConfig(model_path=model_path, db_path=db_path,
+                              engine=engine,
+                              event_log=event_log or default_event_log)
+        return ApproxRegion(func, directives, name=name, config=config)
+
+    return decorate

@@ -1,0 +1,14 @@
+"""``repro.approx`` — classic HPAC approximate-computing techniques.
+
+HPAC-ML extends HPAC (paper §II); this package implements the substrate
+HPAC itself provides: loop perforation and input/output memoization,
+behind the same directive-driven region machinery as the ML surrogates.
+"""
+
+from .perforation import iteration_mask, perforated_indices, PerforatedLoop
+from .memoization import quantize_key, InputMemo, OutputMemo
+from .region import approx_technique, TechniqueRegion
+
+__all__ = ["iteration_mask", "perforated_indices", "PerforatedLoop",
+           "quantize_key", "InputMemo", "OutputMemo", "approx_technique",
+           "TechniqueRegion"]

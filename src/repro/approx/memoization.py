@@ -1,0 +1,122 @@
+"""Memoization — the second classic HPAC technique (paper §II).
+
+Two flavors, matching the literature HPAC implements:
+
+* **Input memoization** (iACT [Mishra et al.]): quantize the region's
+  inputs to a tolerance grid and cache outputs keyed on the quantized
+  signature; a hit skips the region entirely.
+* **Output memoization** (TAF [Tziantzioulis et al.]): monitor the
+  region's recent outputs; while they are stable (relative change under
+  a threshold across a history window), replay the last output instead
+  of executing.
+
+Both operate on the same outlined-region shape as the HPAC-ML runtime:
+``region(inputs) -> outputs`` over ndarrays.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["quantize_key", "InputMemo", "OutputMemo"]
+
+
+def quantize_key(arrays, tolerance: float) -> tuple:
+    """Hashable signature of input arrays on a ``tolerance`` grid."""
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be positive: {tolerance}")
+    parts = []
+    for arr in arrays:
+        q = np.round(np.asarray(arr, dtype=np.float64) / tolerance)
+        parts.append((q.shape, q.tobytes()))
+    return tuple(parts)
+
+
+class InputMemo:
+    """iACT-style input-keyed output cache with LRU eviction."""
+
+    def __init__(self, tolerance: float, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self.tolerance = tolerance
+        self.capacity = capacity
+        self._table: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __call__(self, fn, *inputs: np.ndarray):
+        """Evaluate ``fn(*inputs)`` through the cache."""
+        key = quantize_key(inputs, self.tolerance)
+        cached = self._table.get(key)
+        if cached is not None:
+            self._table.move_to_end(key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        out = fn(*inputs)
+        self._table[key] = out
+        if len(self._table) > self.capacity:
+            self._table.popitem(last=False)
+        return out
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        self._table.clear()
+        self.hits = self.misses = 0
+
+
+class OutputMemo:
+    """TAF-style temporal output memoization.
+
+    After ``history`` consecutive executions whose outputs changed by
+    less than ``threshold`` (relative L2), the region is skipped and
+    the last output replayed, for up to ``replay_limit`` invocations
+    before re-validating with a real execution.
+    """
+
+    def __init__(self, threshold: float, history: int = 3,
+                 replay_limit: int = 8):
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.threshold = threshold
+        self.history = max(1, history)
+        self.replay_limit = max(1, replay_limit)
+        self._last_output = None
+        self._stable_count = 0
+        self._replays_left = 0
+        self.executions = 0
+        self.replays = 0
+
+    def _relative_change(self, new: np.ndarray) -> float:
+        prev = self._last_output
+        denom = float(np.linalg.norm(prev)) or 1.0
+        return float(np.linalg.norm(np.asarray(new) - prev)) / denom
+
+    def __call__(self, fn, *inputs):
+        if self._replays_left > 0 and self._last_output is not None:
+            self._replays_left -= 1
+            self.replays += 1
+            return self._last_output
+        out = np.asarray(fn(*inputs))
+        self.executions += 1
+        if self._last_output is not None and \
+                self._relative_change(out) <= self.threshold:
+            self._stable_count += 1
+            if self._stable_count >= self.history:
+                self._replays_left = self.replay_limit
+                self._stable_count = 0
+        else:
+            self._stable_count = 0
+        self._last_output = out.copy()
+        return self._last_output
+
+    def reset(self) -> None:
+        self._last_output = None
+        self._stable_count = 0
+        self._replays_left = 0

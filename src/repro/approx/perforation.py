@@ -1,0 +1,116 @@
+"""Loop perforation — the classic HPAC technique (paper §II).
+
+HPAC wraps a loop and, when the approximate execution path is active,
+skips a subset of iterations.  The five HPAC perforation kinds are
+implemented over an explicit iteration space:
+
+* ``ini``   — skip the first ``rate`` fraction of iterations;
+* ``fin``   — skip the last ``rate`` fraction;
+* ``small`` — skip every ``n``-th iteration, ``n = round(1/rate)``;
+* ``large`` — *execute only* every ``n``-th iteration,
+  ``n = round(1/rate)`` (skips the (n-1)/n complement);
+* ``rand``  — skip a uniformly random ``rate`` fraction.
+
+The runtime entry point :class:`PerforatedLoop` evaluates the rate and
+``if``-condition per invocation against the call environment, exactly
+like the HPAC-ML ``ml`` clause conditions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..directives.ast_nodes import PerfoDirective
+from ..directives.parser import parse_directive
+from ..runtime.control import eval_condition, eval_expr
+
+__all__ = ["iteration_mask", "PerforatedLoop", "perforated_indices"]
+
+
+def iteration_mask(n: int, kind: str, rate: float,
+                   rng: np.random.Generator | None = None) -> np.ndarray:
+    """Boolean mask of iterations to EXECUTE for a perforated loop."""
+    if n < 0:
+        raise ValueError(f"negative iteration count {n}")
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"perforation rate must be in [0, 1]: {rate}")
+    mask = np.ones(n, dtype=bool)
+    if n == 0 or rate == 0.0:
+        return mask
+    def stride_for(r: float) -> int:
+        # Guard against subnormal rates where 1/r overflows int; any
+        # stride beyond n behaves like "no n-th iteration in range".
+        inv = 1.0 / r
+        if inv > n:
+            return n + 1
+        return max(1, int(round(inv)))
+
+    if kind == "ini":
+        mask[:int(round(n * rate))] = False
+    elif kind == "fin":
+        start = n - int(round(n * rate))
+        mask[start:] = False
+    elif kind == "small":
+        stride = stride_for(rate)
+        mask[stride - 1::stride] = False
+    elif kind == "large":
+        stride = stride_for(rate)
+        mask[:] = False
+        mask[::stride] = True
+    elif kind == "rand":
+        rng = rng or np.random.default_rng()
+        mask &= rng.random(n) >= rate
+    else:
+        raise ValueError(f"unknown perforation kind {kind!r}")
+    return mask
+
+
+def perforated_indices(n: int, kind: str, rate: float,
+                       rng: np.random.Generator | None = None) -> np.ndarray:
+    """Indices of the iterations that execute."""
+    return np.nonzero(iteration_mask(n, kind, rate, rng))[0]
+
+
+class PerforatedLoop:
+    """An HPAC ``perfo`` region: a loop body driven over a masked range.
+
+    Usage::
+
+        loop = PerforatedLoop('#pragma approx perfo(small:rate) in(x) out(y)')
+        loop.run(body, n_iterations, env={'rate': 0.25, ...})
+
+    ``body(i)`` is the outlined loop body; the accurate path executes
+    all iterations (when the ``if`` clause is false), the approximate
+    path the masked subset.
+    """
+
+    def __init__(self, directive: str, seed: int = 0):
+        node = parse_directive(directive)
+        if not isinstance(node, PerfoDirective):
+            raise TypeError(f"expected a perfo directive, got "
+                            f"{type(node).__name__}")
+        self.directive = node
+        self.rng = np.random.default_rng(seed)
+        self.executed = 0
+        self.skipped = 0
+
+    def run(self, body, n: int, env: dict | None = None) -> int:
+        """Execute the loop; returns the number of iterations run."""
+        env = env or {}
+        active = True
+        if self.directive.if_condition is not None:
+            active = eval_condition(self.directive.if_condition, env)
+        if not active:
+            for i in range(n):
+                body(i)
+            self.executed += n
+            return n
+        rate = eval_expr(self.directive.rate, env)
+        mask = iteration_mask(n, self.directive.kind, rate, self.rng)
+        count = 0
+        for i in np.nonzero(mask)[0]:
+            body(int(i))
+            count += 1
+        self.executed += count
+        self.skipped += n - count
+        return count

@@ -1,0 +1,141 @@
+"""HPAC technique regions: the directive-driven runtime entry points.
+
+HPAC views the accurate and approximate implementations as two
+execution paths of one region (paper §II); HPAC-ML reuses that
+machinery with NN inference as the approximate path.  This module
+provides the pre-existing HPAC techniques behind the same decorator
+ergonomics as :func:`repro.api.approx_ml`, so applications can compare
+classic approximations against surrogates (the ParticleFilter
+comparison of Observation 1)::
+
+    @approx_technique('#pragma approx memo(in:0.05) in(x) out(y)')
+    def region(x, y):
+        ...
+
+Supported directives: ``perfo`` (wrap loops via ``.run_loop``) and
+``memo`` (transparent call-through cache).
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import numpy as np
+
+from ..directives.ast_nodes import MemoDirective, PerfoDirective
+from ..directives.parser import parse_directive
+from ..runtime.control import eval_condition, eval_expr
+from .memoization import InputMemo, OutputMemo
+from .perforation import iteration_mask
+
+__all__ = ["approx_technique", "TechniqueRegion"]
+
+
+class TechniqueRegion:
+    """A callable region approximated by a classic HPAC technique."""
+
+    def __init__(self, func, directive: str, seed: int = 0):
+        self.func = func
+        self.name = func.__name__
+        self.signature = inspect.signature(func)
+        node = parse_directive(directive)
+        if not isinstance(node, (PerfoDirective, MemoDirective)):
+            raise TypeError(
+                f"approx_technique expects a perfo/memo directive, got "
+                f"{type(node).__name__}")
+        self.directive = node
+        self.rng = np.random.default_rng(seed)
+        self._memo = None
+        if isinstance(node, MemoDirective):
+            if node.kind == "in":
+                self._memo = InputMemo(tolerance=float(node.parameter))
+            else:
+                self._memo = OutputMemo(threshold=float(node.parameter))
+
+    # -- shared ----------------------------------------------------------
+    def _env(self, args, kwargs) -> dict:
+        bound = self.signature.bind(*args, **kwargs)
+        bound.apply_defaults()
+        return dict(bound.arguments)
+
+    def _active(self, env: dict) -> bool:
+        if self.directive.if_condition is None:
+            return True
+        return eval_condition(self.directive.if_condition, env)
+
+    # -- memo call path -----------------------------------------------------
+    def __call__(self, *args, **kwargs):
+        if isinstance(self.directive, PerfoDirective):
+            raise TypeError(
+                "perfo regions wrap loops; call run_loop(n, *args) instead")
+        env = self._env(args, kwargs)
+        if not self._active(env):
+            return self.func(*args, **kwargs)
+        key_arrays = [env[name] for name in self.directive.in_arrays]
+        if isinstance(self._memo, InputMemo):
+            out_names = self.directive.out_arrays
+            outs = [env[name] for name in out_names]
+
+            def compute(*_keys):
+                self.func(*args, **kwargs)
+                return [np.asarray(o).copy() for o in outs]
+
+            cached = self._memo(compute, *key_arrays)
+            for target, value in zip(outs, cached):
+                np.asarray(target)[...] = value
+            return None
+        # Output memoization.
+        out_names = self.directive.out_arrays
+        outs = [env[name] for name in out_names]
+
+        def compute():
+            self.func(*args, **kwargs)
+            return np.concatenate([np.asarray(o).ravel() for o in outs])
+
+        flat = self._memo(compute)
+        offset = 0
+        for target in outs:
+            t = np.asarray(target)
+            t[...] = flat[offset:offset + t.size].reshape(t.shape)
+            offset += t.size
+        return None
+
+    # -- perforation call path ---------------------------------------------
+    def run_loop(self, body, n: int, *args, **kwargs) -> int:
+        """Run ``body(i)`` for a perforated iteration space of size ``n``.
+
+        ``args``/``kwargs`` bind the region signature to evaluate the
+        rate and ``if`` condition (they are not passed to ``body``).
+        """
+        if not isinstance(self.directive, PerfoDirective):
+            raise TypeError("run_loop is only valid for perfo regions")
+        env = self._env(args, kwargs) if (args or kwargs) else {}
+        if env and not self._active(env):
+            mask = np.ones(n, dtype=bool)
+        else:
+            rate = eval_expr(self.directive.rate, env)
+            mask = iteration_mask(n, self.directive.kind, rate, self.rng)
+        count = 0
+        for i in np.nonzero(mask)[0]:
+            body(int(i))
+            count += 1
+        return count
+
+    @property
+    def stats(self) -> dict:
+        if isinstance(self._memo, InputMemo):
+            return {"hits": self._memo.hits, "misses": self._memo.misses,
+                    "hit_rate": self._memo.hit_rate}
+        if isinstance(self._memo, OutputMemo):
+            return {"executions": self._memo.executions,
+                    "replays": self._memo.replays}
+        return {}
+
+
+def approx_technique(directive: str, *, seed: int = 0):
+    """Decorator attaching an HPAC perfo/memo directive to a region."""
+
+    def decorate(func) -> TechniqueRegion:
+        return TechniqueRegion(func, directive, seed=seed)
+
+    return decorate

@@ -1,0 +1,11 @@
+"""``repro.apps`` — the five Table I evaluation mini-apps.
+
+Importing this package registers every benchmark in
+:data:`repro.apps.base.REGISTRY`.
+"""
+
+from .base import BenchmarkInfo, REGISTRY, register, qoi_error_fn
+from . import minibude, binomial, bonds, miniweather, particlefilter
+
+__all__ = ["BenchmarkInfo", "REGISTRY", "register", "qoi_error_fn",
+           "minibude", "binomial", "bonds", "miniweather", "particlefilter"]

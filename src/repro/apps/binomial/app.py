@@ -1,0 +1,67 @@
+"""Binomial Options HPAC-ML integration (4 directives, per Table II)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...api import approx_ml
+from ...runtime import EventLog
+from ..base import BenchmarkInfo, register
+from .kernel import generate_options, price_american
+
+__all__ = ["INFO", "Workload", "generate_workload", "run_accurate",
+           "build_region", "DIRECTIVES"]
+
+INFO = register(BenchmarkInfo(
+    name="binomial",
+    description="Iteratively calculates the price for a portfolio of "
+                "American stock options at multiple time points before "
+                "expiration.",
+    qoi="The computed option prices",
+    metric="rmse",
+    surrogate_family="mlp",
+    module=__name__,
+))
+
+DIRECTIVES = """
+#pragma approx tensor functor(opt_in: [p, 0:5] = ([p, 0:5]))
+#pragma approx tensor functor(price_out: [p, 0:1] = ([p]))
+#pragma approx tensor map(to: opt_in(options[0:NOPT]))
+#pragma approx tensor map(from: price_out(prices[0:NOPT]))
+#pragma approx ml({mode}:use_model) in(options) out(prices) \\
+    db("{db}") model("{model}")
+"""
+
+
+@dataclass
+class Workload:
+    options: np.ndarray     # (N, 5)
+    n_steps: int = 128
+
+    @property
+    def n_options(self) -> int:
+        return len(self.options)
+
+
+def generate_workload(n_options: int = 4096, seed: int = 0,
+                      n_steps: int = 128) -> Workload:
+    return Workload(options=generate_options(n_options, seed=seed),
+                    n_steps=n_steps)
+
+
+def run_accurate(workload: Workload) -> np.ndarray:
+    return price_american(workload.options, n_steps=workload.n_steps)
+
+
+def build_region(*, mode: str = "predicated",
+                 n_steps: int = 128, db_path: str = "binomial.rh5",
+                 model_path: str = "binomial.rnm",
+                 event_log: EventLog | None = None, engine=None):
+    @approx_ml(DIRECTIVES.format(mode=mode, db=db_path, model=model_path),
+               name="binomial", event_log=event_log, engine=engine)
+    def price_portfolio(options, prices, NOPT, use_model=False):
+        prices[:NOPT] = price_american(options[:NOPT], n_steps=n_steps)
+
+    return price_portfolio

@@ -1,0 +1,79 @@
+"""Bonds HPAC-ML integration.
+
+Exercises multi-array outputs: the region produces both the dirty price
+and the accrued interest, mapped through two ``from``-direction tensor
+maps (the model emits 2 features per bond).  QoI is the accrued
+interest (Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...api import approx_ml
+from ...runtime import EventLog
+from ..base import BenchmarkInfo, register
+from .kernel import (accrued_interest, bond_values, bond_yields,
+                     generate_bonds)
+
+__all__ = ["INFO", "Workload", "generate_workload", "run_accurate",
+           "build_region", "DIRECTIVES"]
+
+INFO = register(BenchmarkInfo(
+    name="bonds",
+    description="Calculates bond valuations and interest payments for "
+                "fixed-rate bonds with a flat forward curve.",
+    qoi="The accrued interest for each bond",
+    metric="rmse",
+    surrogate_family="mlp",
+    module=__name__,
+))
+
+DIRECTIVES = """
+#pragma approx tensor functor(bond_in: [b, 0:5] = ([b, 0:5]))
+#pragma approx tensor functor(scalar_out: [b, 0:1] = ([b]))
+#pragma approx tensor map(to: bond_in(bonds[0:NB]))
+#pragma approx tensor map(from: scalar_out(values[0:NB]))
+#pragma approx tensor map(from: scalar_out(accrued[0:NB]))
+#pragma approx ml({mode}:use_model) in(bonds) out(values, accrued) \\
+    db("{db}") model("{model}")
+"""
+
+
+@dataclass
+class Workload:
+    bonds: np.ndarray     # (N, 5)
+
+    @property
+    def n_bonds(self) -> int:
+        return len(self.bonds)
+
+
+def generate_workload(n_bonds: int = 4096, seed: int = 0) -> Workload:
+    return Workload(bonds=generate_bonds(n_bonds, seed=seed))
+
+
+def run_accurate(workload: Workload) -> np.ndarray:
+    """QoI: accrued interest.
+
+    The accurate path also performs the benchmark's iterative
+    yield-to-maturity solve for every bond — the computationally
+    dominant kernel of the original GPU implementation."""
+    values = bond_values(workload.bonds)
+    bond_yields(workload.bonds, values)
+    return accrued_interest(workload.bonds)
+
+
+def build_region(*, mode: str = "predicated",
+                 db_path: str = "bonds.rh5", model_path: str = "bonds.rnm",
+                 event_log: EventLog | None = None, engine=None):
+    @approx_ml(DIRECTIVES.format(mode=mode, db=db_path, model=model_path),
+               name="bonds", event_log=event_log, engine=engine)
+    def value_bonds(bonds, values, accrued, NB, use_model=False):
+        values[:NB] = bond_values(bonds[:NB])
+        bond_yields(bonds[:NB], values[:NB])   # iterative YTM solve
+        accrued[:NB] = accrued_interest(bonds[:NB])
+
+    return value_bonds

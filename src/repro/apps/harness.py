@@ -1,0 +1,512 @@
+"""Evaluation harnesses: collect → train → deploy → measure per app.
+
+Implements the paper's A4 "benchmark evaluation" artifact: for each
+benchmark, run the accurate application capturing runtime and QoI; run
+the HPAC-ML-approximated version with a given surrogate capturing the
+same; report end-to-end speedup and QoI error.  Speedup accounting
+includes "all required data transfers and transformations" (§V-D):
+to-tensor and from-tensor bridge time, measured inference wall time,
+and the simulated device-transfer seconds from :mod:`repro.device`.
+
+The test-vs-train protocol follows §V-B: every harness collects on a
+training workload and deploys on a held-out test workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..device import Device
+from ..nn import Destandardize, Sequential, Standardize, mse_loss, save_model
+from ..nn.training import train_val_split
+from ..search.builders import builder_for
+from ..runtime import EventLog, InferenceEngine, Phase, load_training_data
+from . import binomial, bonds, minibude, miniweather, particlefilter
+from .base import REGISTRY, qoi_error_fn
+
+__all__ = ["DeploymentMetrics", "AppHarness", "MiniBudeHarness",
+           "BinomialHarness", "BondsHarness", "ParticleFilterHarness",
+           "MiniWeatherHarness", "harness_for"]
+
+
+@dataclass
+class DeploymentMetrics:
+    """One deployed model's end-to-end measurement."""
+
+    benchmark: str
+    speedup: float
+    qoi_error: float
+    accurate_time: float
+    surrogate_time: float
+    breakdown: dict = field(default_factory=dict)
+    n_params: int = 0
+
+    def row(self) -> dict:
+        return {"benchmark": self.benchmark, "speedup": self.speedup,
+                "error": self.qoi_error, "n_params": self.n_params,
+                **{f"t_{k}": v for k, v in self.breakdown.items()}}
+
+
+class AppHarness:
+    """Shared collect/deploy machinery; subclasses bind one benchmark."""
+
+    name: str = ""
+
+    def __init__(self, workdir, seed: int = 0):
+        self.workdir = Path(workdir)
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        self.seed = seed
+        self.db_path = self.workdir / f"{self.name}.rh5"
+        self.model_path = self.workdir / f"{self.name}.rnm"
+        self.events = EventLog()
+        self.device = Device()
+        self.engine = InferenceEngine(device=self.device)
+        self.info = REGISTRY[self.name]
+        self.error_fn = qoi_error_fn(self.info.metric)
+        self._setup()
+
+    # subclass hooks ----------------------------------------------------
+    def _setup(self) -> None:
+        raise NotImplementedError
+
+    def collect(self) -> None:
+        """Run the region in collection mode over the training workload."""
+        raise NotImplementedError
+
+    def run_accurate(self) -> np.ndarray:
+        """Accurate path on the *test* workload; returns QoI."""
+        raise NotImplementedError
+
+    def run_surrogate(self) -> np.ndarray:
+        """Inference path on the *test* workload; returns QoI."""
+        raise NotImplementedError
+
+    def builder_kwargs(self) -> dict:
+        return {}
+
+    def loss_fn(self):
+        return mse_loss
+
+    # shared ----------------------------------------------------------------
+    def training_arrays(self, val_fraction: float = 0.2):
+        """Load collected data and split train/validation."""
+        x, y, _t = load_training_data(self.db_path, self.name)
+        rng = np.random.default_rng(self.seed + 17)
+        return train_val_split(x, y, val_fraction, rng)
+
+    def install_model(self, model) -> None:
+        """Persist a trained model where the annotation's clause points."""
+        save_model(model, self.model_path)
+        self.engine.cache.clear()
+
+    def _surrogate_seconds(self, before_records: int) -> tuple[float, dict]:
+        recs = self.events.records[before_records:]
+        to_t = sum(r.times.get(Phase.TO_TENSOR, 0.0) for r in recs)
+        inf = sum(r.times.get(Phase.INFERENCE, 0.0) for r in recs)
+        from_t = sum(r.times.get(Phase.FROM_TENSOR, 0.0) for r in recs)
+        total = to_t + inf + from_t
+        breakdown = {"to_tensor": to_t, "inference": inf,
+                     "from_tensor": from_t}
+        return total, breakdown
+
+    def evaluate(self, model, repeats: int = 3) -> DeploymentMetrics:
+        """Deploy ``model`` and measure speedup + QoI error (§V-D).
+
+        Mirrors the paper's protocol of repeated runs with the mean
+        runtime (scaled down from 20 runs / drop 2).
+        """
+        self.install_model(model)
+
+        acc_times, qoi_acc = [], None
+        for _ in range(repeats):
+            before = len(self.events.records)
+            qoi_acc = self.run_accurate()
+            recs = self.events.records[before:]
+            acc_times.append(sum(r.times.get(Phase.ACCURATE, 0.0)
+                                 for r in recs))
+        sur_times, breakdown, qoi_sur = [], {}, None
+        for _ in range(repeats):
+            before = len(self.events.records)
+            sim_before = self.device.clock.simulated
+            qoi_sur = self.run_surrogate()
+            wall, breakdown = self._surrogate_seconds(before)
+            sim = self.device.clock.simulated - sim_before
+            breakdown["transfer_sim"] = sim
+            sur_times.append(wall + sim)
+
+        accurate_time = float(np.mean(acc_times))
+        surrogate_time = float(np.mean(sur_times))
+        error = float(self.error_fn(qoi_sur, self.reference_qoi(qoi_acc)))
+        return DeploymentMetrics(
+            benchmark=self.name,
+            speedup=accurate_time / max(surrogate_time, 1e-12),
+            qoi_error=error,
+            accurate_time=accurate_time,
+            surrogate_time=surrogate_time,
+            breakdown=breakdown,
+            n_params=model.num_parameters())
+
+    def reference_qoi(self, qoi_accurate: np.ndarray) -> np.ndarray:
+        """What surrogate QoI is compared against (default: accurate)."""
+        return qoi_accurate
+
+    # -- model construction with baked-in normalization --------------------
+    def _input_stats(self, x: np.ndarray):
+        mean = x.mean(axis=0)
+        std = x.std(axis=0)
+        std = np.where(std < 1e-8, 1.0, std)
+        return mean, std
+
+    def _output_stats(self, y: np.ndarray):
+        mean = y.mean(axis=0)
+        std = y.std(axis=0)
+        std = np.where(std < 1e-8, 1.0, std)
+        return mean, std
+
+    def make_builder(self, x_train: np.ndarray, y_train: np.ndarray):
+        """Builder closure wrapping the Table IV family with frozen
+        standardization layers fitted on the training split.
+
+        This is the ML-engineer step of the §III workflow: the model
+        file is self-contained, so the runtime feeds it raw application
+        memory.
+        """
+        base = builder_for(self.name)
+        kwargs = self.builder_kwargs()
+        in_stats = self._input_stats(x_train)
+        out_stats = self._output_stats(y_train)
+
+        def build(arch: dict, dropout: float = 0.0, seed: int = 0):
+            core = base(arch, dropout=dropout, seed=seed, **kwargs)
+            layers = []
+            if in_stats is not None:
+                layers.append(Standardize(*in_stats))
+            layers += list(core)
+            if out_stats is not None:
+                layers.append(Destandardize(*out_stats))
+            return Sequential(*layers)
+
+        return build
+
+
+# ----------------------------------------------------------------------
+# MLP-family harnesses: pose/option/bond batch evaluation
+# ----------------------------------------------------------------------
+
+class MiniBudeHarness(AppHarness):
+    name = "minibude"
+
+    def __init__(self, workdir, seed: int = 0, n_train: int = 2048,
+                 n_test: int = 512):
+        self.n_train, self.n_test = n_train, n_test
+        super().__init__(workdir, seed)
+
+    def _setup(self) -> None:
+        self.deck = minibude.kernel.generate_deck(seed=self.seed)
+        self.train_poses = minibude.kernel.generate_poses(
+            self.n_train, seed=self.seed + 1)
+        self.test_poses = minibude.kernel.generate_poses(
+            self.n_test, seed=self.seed + 2)
+        common = dict(deck=self.deck, db_path=str(self.db_path),
+                      model_path=str(self.model_path),
+                      event_log=self.events, engine=self.engine)
+        self.collect_region = minibude.build_region(mode="predicated", **common)
+        self.region = minibude.build_region(mode="infer", **common)
+
+    def collect(self, chunk: int = 512) -> None:
+        energies = np.empty(self.n_train)
+        for start in range(0, self.n_train, chunk):
+            block = np.ascontiguousarray(
+                self.train_poses[start:start + chunk])
+            out = np.empty(len(block))
+            self.collect_region(block, out, len(block), use_model=False)
+        self.collect_region.flush()
+
+    def run_accurate(self) -> np.ndarray:
+        energies = np.empty(self.n_test)
+        self.region(self.test_poses, energies, self.n_test, use_model=False)
+        return energies.copy()
+
+    def run_surrogate(self) -> np.ndarray:
+        energies = np.empty(self.n_test)
+        self.region(self.test_poses, energies, self.n_test, use_model=True)
+        return energies.copy()
+
+    def builder_kwargs(self) -> dict:
+        return {"in_features": 6, "out_features": 1}
+
+
+class BinomialHarness(AppHarness):
+    name = "binomial"
+
+    def __init__(self, workdir, seed: int = 0, n_train: int = 4096,
+                 n_test: int = 1024, n_steps: int = 128):
+        self.n_train, self.n_test, self.n_steps = n_train, n_test, n_steps
+        super().__init__(workdir, seed)
+
+    def _setup(self) -> None:
+        self.train_opts = binomial.kernel.generate_options(
+            self.n_train, seed=self.seed + 1)
+        self.test_opts = binomial.kernel.generate_options(
+            self.n_test, seed=self.seed + 2)
+        common = dict(n_steps=self.n_steps, db_path=str(self.db_path),
+                      model_path=str(self.model_path),
+                      event_log=self.events, engine=self.engine)
+        self.collect_region = binomial.build_region(mode="predicated", **common)
+        self.region = binomial.build_region(mode="infer", **common)
+
+    def collect(self, chunk: int = 1024) -> None:
+        for start in range(0, self.n_train, chunk):
+            block = np.ascontiguousarray(self.train_opts[start:start + chunk])
+            out = np.empty(len(block))
+            self.collect_region(block, out, len(block), use_model=False)
+        self.collect_region.flush()
+
+    def run_accurate(self) -> np.ndarray:
+        prices = np.empty(self.n_test)
+        self.region(self.test_opts, prices, self.n_test, use_model=False)
+        return prices.copy()
+
+    def run_surrogate(self) -> np.ndarray:
+        prices = np.empty(self.n_test)
+        self.region(self.test_opts, prices, self.n_test, use_model=True)
+        return prices.copy()
+
+    def builder_kwargs(self) -> dict:
+        return {"in_features": 5, "out_features": 1}
+
+
+class BondsHarness(AppHarness):
+    name = "bonds"
+
+    def __init__(self, workdir, seed: int = 0, n_train: int = 4096,
+                 n_test: int = 1024):
+        self.n_train, self.n_test = n_train, n_test
+        super().__init__(workdir, seed)
+
+    def _setup(self) -> None:
+        self.train_bonds = bonds.kernel.generate_bonds(
+            self.n_train, seed=self.seed + 1)
+        self.test_bonds = bonds.kernel.generate_bonds(
+            self.n_test, seed=self.seed + 2)
+        common = dict(db_path=str(self.db_path),
+                      model_path=str(self.model_path),
+                      event_log=self.events, engine=self.engine)
+        self.collect_region = bonds.build_region(mode="predicated", **common)
+        self.region = bonds.build_region(mode="infer", **common)
+
+    def collect(self, chunk: int = 1024) -> None:
+        for start in range(0, self.n_train, chunk):
+            block = np.ascontiguousarray(self.train_bonds[start:start + chunk])
+            values = np.empty(len(block))
+            accrued = np.empty(len(block))
+            self.collect_region(block, values, accrued, len(block),
+                                use_model=False)
+        self.collect_region.flush()
+
+    def _run(self, use_model: bool) -> np.ndarray:
+        values = np.empty(self.n_test)
+        accrued = np.empty(self.n_test)
+        self.region(self.test_bonds, values, accrued, self.n_test,
+                    use_model=use_model)
+        return accrued.copy()   # QoI: accrued interest (Table I)
+
+    def run_accurate(self) -> np.ndarray:
+        return self._run(False)
+
+    def run_surrogate(self) -> np.ndarray:
+        return self._run(True)
+
+    def builder_kwargs(self) -> dict:
+        return {"in_features": 5, "out_features": 2}
+
+
+# ----------------------------------------------------------------------
+# ParticleFilter: CNN per frame; error judged against ground truth
+# ----------------------------------------------------------------------
+
+class ParticleFilterHarness(AppHarness):
+    name = "particlefilter"
+
+    def __init__(self, workdir, seed: int = 0, n_train_frames: int = 192,
+                 n_test_frames: int = 64, frame_size: int = 32,
+                 n_particles: int = 512):
+        self.n_train_frames = n_train_frames
+        self.n_test_frames = n_test_frames
+        self.frame_size = frame_size
+        self.n_particles = n_particles
+        super().__init__(workdir, seed)
+
+    def _setup(self) -> None:
+        self.train_video = particlefilter.generate_workload(
+            self.n_train_frames, self.frame_size, self.frame_size,
+            seed=self.seed + 1)
+        self.test_video = particlefilter.generate_workload(
+            self.n_test_frames, self.frame_size, self.frame_size,
+            seed=self.seed + 2)
+        self.region = particlefilter.build_region(
+            mode="infer", n_particles=self.n_particles,
+            db_path=str(self.db_path), model_path=str(self.model_path),
+            event_log=self.events, engine=self.engine)
+
+    def collect(self, chunk: int = 64) -> None:
+        frames = self.train_video.frames
+        truth = self.train_video.truth
+        h = w = self.frame_size
+        for start in range(0, len(frames), chunk):
+            block = np.ascontiguousarray(frames[start:start + chunk])
+            locs = np.empty((len(block), 2))
+            # Collection captures ground truth (paper Observation 1).
+            region = particlefilter.build_region(
+                mode="predicated", n_particles=self.n_particles,
+                db_path=str(self.db_path), model_path=str(self.model_path),
+                event_log=self.events, engine=self.engine,
+                collect_truth=truth[start:start + chunk])
+            region(block, locs, len(block), h, w, use_model=False)
+            region.flush()
+
+    def run_accurate(self) -> np.ndarray:
+        h = w = self.frame_size
+        locs = np.empty((self.n_test_frames, 2))
+        self.region(self.test_video.frames, locs, self.n_test_frames, h, w,
+                    use_model=False)
+        return locs.copy()
+
+    def run_surrogate(self) -> np.ndarray:
+        h = w = self.frame_size
+        locs = np.empty((self.n_test_frames, 2))
+        self.region(self.test_video.frames, locs, self.n_test_frames, h, w,
+                    use_model=True)
+        return locs.copy()
+
+    def reference_qoi(self, qoi_accurate: np.ndarray) -> np.ndarray:
+        """PF error is judged against ground truth, not the filter."""
+        return self.test_video.truth
+
+    def _input_stats(self, x: np.ndarray):
+        return None            # frames already live in [0, 1]
+
+    def accurate_vs_truth_rmse(self) -> float:
+        """The algorithmic approximation's own RMSE (Fig. 7 black line)."""
+        est = self.run_accurate()
+        return float(np.sqrt(np.mean((est - self.test_video.truth) ** 2)))
+
+    def builder_kwargs(self) -> dict:
+        return {"height": self.frame_size, "width": self.frame_size}
+
+
+# ----------------------------------------------------------------------
+# MiniWeather: auto-regressive stepping with interleaving support
+# ----------------------------------------------------------------------
+
+class MiniWeatherHarness(AppHarness):
+    name = "miniweather"
+
+    def __init__(self, workdir, seed: int = 0, nx: int = 32, nz: int = 16,
+                 train_steps: int = 160, test_steps: int = 40,
+                 amplitude: float = 10.0):
+        self.nx, self.nz = nx, nz
+        self.train_steps = train_steps
+        self.test_steps = test_steps
+        self.amplitude = amplitude
+        super().__init__(workdir, seed)
+
+    def _setup(self) -> None:
+        wl = miniweather.generate_workload(nx=self.nx, nz=self.nz,
+                                           amplitude=self.amplitude)
+        self.workload = wl
+        self.dt = wl.dt
+        common = dict(state=wl.state, dt=wl.dt, db_path=str(self.db_path),
+                      model_path=str(self.model_path),
+                      event_log=self.events, engine=self.engine)
+        self.timestep_collect = miniweather.build_region(mode="predicated",
+                                                         **common)
+        self.timestep = miniweather.build_region(mode="infer", **common)
+        self._initial_q = wl.state.q.copy()
+
+    def _fresh_u(self) -> np.ndarray:
+        return np.ascontiguousarray(self._initial_q[None].copy())
+
+    def collect(self) -> None:
+        """March the accurate solver ``train_steps`` steps, capturing
+        every (state_t, state_t+1) pair."""
+        u = self._fresh_u()
+        for _ in range(self.train_steps):
+            self.timestep_collect(u, use_model=False)
+        self.timestep_collect.region.flush()
+
+    def _march(self, n_steps: int, schedule) -> np.ndarray:
+        """Run ``n_steps`` from the post-training state; ``schedule(i)``
+        says whether step ``i`` uses the surrogate.
+
+        Sets :attr:`window_record_start` to the event-log index where
+        the test window begins, so timing analyses (Fig. 9d) can
+        exclude the warm-up march shared by every configuration.
+        """
+        u = self._fresh_u()
+        for _ in range(self.train_steps):     # reach the test window
+            self.timestep(u, use_model=False)
+        self.window_record_start = len(self.events.records)
+        for i in range(n_steps):
+            self.timestep(u, use_model=bool(schedule(i)))
+        return u[0].copy()
+
+    def window_seconds(self) -> float:
+        """Total time of the records since the last test window began."""
+        recs = self.events.records[self.window_record_start:]
+        return sum(r.total for r in recs)
+
+    def run_accurate(self) -> np.ndarray:
+        return self._march(self.test_steps, lambda i: False)
+
+    def run_surrogate(self) -> np.ndarray:
+        return self._march(self.test_steps, lambda i: True)
+
+    def run_interleaved(self, n_accurate: int, n_surrogate: int) -> np.ndarray:
+        """Fig. 9 Original:Surrogate cycles, e.g. 1:1, 2:1, 3:3."""
+        cycle = n_accurate + n_surrogate
+        if cycle == 0:
+            raise ValueError("empty interleave cycle")
+        return self._march(self.test_steps,
+                           lambda i: (i % cycle) >= n_accurate)
+
+    def trajectory_errors(self, schedule, n_steps: int | None = None):
+        """Per-timestep RMSE vs the accurate trajectory (Fig. 9e)."""
+        n_steps = n_steps or self.test_steps
+        u_acc = self._fresh_u()
+        u_sur = self._fresh_u()
+        for _ in range(self.train_steps):
+            self.timestep(u_acc, use_model=False)
+        u_sur[...] = u_acc
+        errors = []
+        for i in range(n_steps):
+            self.timestep(u_acc, use_model=False)
+            self.timestep(u_sur, use_model=bool(schedule(i)))
+            errors.append(float(np.sqrt(np.mean((u_sur - u_acc) ** 2))))
+        return np.array(errors)
+
+    def builder_kwargs(self) -> dict:
+        return {"nz": self.nz, "nx": self.nx}
+
+    def _input_stats(self, x: np.ndarray):
+        # Per-channel statistics over (sample, z, x): the four state
+        # fields live on wildly different scales (rho' ~1, momenta ~50).
+        mean = x.mean(axis=(0, 2, 3), keepdims=True)[0]
+        std = x.std(axis=(0, 2, 3), keepdims=True)[0]
+        std = np.where(std < 1e-8, 1.0, std)
+        return mean, std
+
+    def _output_stats(self, y: np.ndarray):
+        return self._input_stats(y)
+
+
+def harness_for(benchmark: str, workdir, seed: int = 0, **kwargs) -> AppHarness:
+    classes = {h.name: h for h in
+               (MiniBudeHarness, BinomialHarness, BondsHarness,
+                ParticleFilterHarness, MiniWeatherHarness)}
+    if benchmark not in classes:
+        raise KeyError(f"no harness for benchmark {benchmark!r}")
+    return classes[benchmark](workdir, seed=seed, **kwargs)

@@ -1,0 +1,4 @@
+"""minibude benchmark (see app.py for the HPAC-ML integration)."""
+from .app import (INFO, Workload, generate_workload, run_accurate,
+                  build_region, DIRECTIVES)
+from . import kernel

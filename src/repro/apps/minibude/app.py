@@ -1,0 +1,74 @@
+"""MiniBUDE HPAC-ML integration: annotated region + harness hooks.
+
+The annotation mirrors the paper's Table II accounting: two tensor
+functors (input poses, output energies), one input map, one output map,
+and the ``approx ml`` directive — 4 directives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...api import approx_ml
+from ...runtime import EventLog
+from ..base import BenchmarkInfo, register
+from .kernel import Deck, binding_energies, generate_deck, generate_poses
+
+__all__ = ["INFO", "Workload", "generate_workload", "run_accurate",
+           "build_region", "DIRECTIVES"]
+
+INFO = register(BenchmarkInfo(
+    name="minibude",
+    description="Virtual screening in molecular docking: poses scored by "
+                "an empirical forcefield for ligand-protein binding energy.",
+    qoi="Ligand-protein binding energy for each pose",
+    metric="mape",
+    surrogate_family="mlp",
+    module=__name__,
+))
+
+DIRECTIVES = """
+#pragma approx tensor functor(pose_in: [p, 0:6] = ([p, 0:6]))
+#pragma approx tensor functor(energy_out: [p, 0:1] = ([p]))
+#pragma approx tensor map(to: pose_in(poses[0:NP]))
+#pragma approx tensor map(from: energy_out(energies[0:NP]))
+#pragma approx ml({mode}:use_model) in(poses) out(energies) \\
+    db("{db}") model("{model}")
+"""
+
+
+@dataclass
+class Workload:
+    deck: Deck
+    poses: np.ndarray       # (NP, 6)
+
+    @property
+    def n_poses(self) -> int:
+        return len(self.poses)
+
+
+def generate_workload(n_poses: int = 2048, seed: int = 0) -> Workload:
+    return Workload(deck=generate_deck(seed=seed),
+                    poses=generate_poses(n_poses, seed=seed + 1))
+
+
+def run_accurate(workload: Workload) -> np.ndarray:
+    """The original application: score every pose. QoI = energies."""
+    return binding_energies(workload.deck, workload.poses)
+
+
+def build_region(*, mode: str = "predicated",
+                 deck: Deck, db_path: str = "minibude.rh5",
+                 model_path: str = "minibude.rnm",
+                 event_log: EventLog | None = None, engine=None):
+    """Create the annotated region; ``deck`` is captured like the
+    application's constant global docking data."""
+
+    @approx_ml(DIRECTIVES.format(mode=mode, db=db_path, model=model_path),
+               name="minibude", event_log=event_log, engine=engine)
+    def score_poses(poses, energies, NP, use_model=False):
+        energies[:NP] = binding_energies(deck, poses[:NP])
+
+    return score_poses

@@ -1,0 +1,274 @@
+"""MiniWeather: 2-D compressible atmospheric dynamics (Table I row 4).
+
+A NumPy port of Norman's MiniWeather mini-app structure: the dry
+compressible Euler equations on an x-z plane over a hydrostatic,
+constant-potential-temperature background, integrated with a
+dimensionally-split finite-volume scheme.  The state carries the four
+Table I QoI fields at every gridpoint::
+
+    q[0] = rho'      density perturbation
+    q[1] = rho*u     x momentum
+    q[2] = rho*w     z momentum
+    q[3] = (rho*theta)'  potential-temperature density perturbation
+
+Fluxes use the Rusanov (local Lax-Friedrichs) approximation — second
+order in smooth regions with built-in stabilizing dissipation, which is
+what lets the auto-regressive Fig. 9 experiments march thousands of
+steps.  Buoyancy enters as the ``-g*rho'`` source on vertical momentum
+("emphasizing buoyant force impacts", Table I).  Boundary conditions:
+periodic in x, rigid free-slip walls in z.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["WeatherConfig", "WeatherState", "init_thermal_bubble",
+           "init_colliding_thermals", "init_gravity_wave",
+           "step", "run", "max_wave_speed", "CFL", "SCENARIOS"]
+
+# Physical constants (as in MiniWeather).
+_GRAV = 9.8
+_CP = 1004.0
+_CV = 717.0
+_RD = 287.0
+_P0 = 1.0e5
+_GAMMA = _CP / _CV
+_THETA0 = 300.0
+_C0 = _RD ** _GAMMA * _P0 ** (1.0 - _GAMMA)   # p = C0 * (rho*theta)^gamma
+
+CFL = 0.4
+
+
+@dataclass(frozen=True)
+class WeatherConfig:
+    """Grid and domain configuration."""
+
+    nx: int = 64
+    nz: int = 32
+    xlen: float = 2.0e4       # 20 km
+    zlen: float = 1.0e4       # 10 km
+    #: Rusanov dissipation scale in (0, 1].  1.0 is the textbook flux;
+    #: 0.4 keeps the thermal's slow advective dynamics alive much longer
+    #: while remaining stable at CFL 0.4 (verified to 1500 steps).
+    dissipation: float = 0.4
+
+    @property
+    def dx(self) -> float:
+        return self.xlen / self.nx
+
+    @property
+    def dz(self) -> float:
+        return self.zlen / self.nz
+
+
+@dataclass
+class WeatherState:
+    """Perturbation state plus the hydrostatic background columns."""
+
+    q: np.ndarray                    # (4, nz, nx)
+    hy_dens: np.ndarray              # (nz,) background rho(z)
+    hy_dens_theta: np.ndarray        # (nz,) background rho*theta(z)
+    config: WeatherConfig = field(default_factory=WeatherConfig)
+    time: float = 0.0
+
+
+def _hydrostatic_profile(z: np.ndarray):
+    """Constant-theta hydrostatic balance via the Exner function."""
+    exner = 1.0 - _GRAV * z / (_CP * _THETA0)
+    p = _P0 * exner ** (_CP / _RD)
+    temp = _THETA0 * exner
+    rho = p / (_RD * temp)
+    return rho, rho * _THETA0
+
+
+def init_thermal_bubble(config: WeatherConfig | None = None,
+                        amplitude: float = 3.0,
+                        x_frac: float = 0.5, z_frac: float = 0.3,
+                        radius_frac: float = 0.15) -> WeatherState:
+    """The rising-thermal test: a warm potential-temperature anomaly."""
+    config = config or WeatherConfig()
+    z = (np.arange(config.nz) + 0.5) * config.dz
+    x = (np.arange(config.nx) + 0.5) * config.dx
+    hy_dens, hy_dens_theta = _hydrostatic_profile(z)
+
+    q = np.zeros((4, config.nz, config.nx))
+    xx, zz = np.meshgrid(x, z)
+    x0, z0 = x_frac * config.xlen, z_frac * config.zlen
+    radius = radius_frac * config.zlen
+    dist = np.sqrt(((xx - x0) / radius) ** 2 + ((zz - z0) / radius) ** 2)
+    bubble = amplitude * np.cos(np.minimum(dist, 1.0) * np.pi / 2) ** 2
+    # Warm anomaly: theta' > 0 => (rho*theta)' = rho * theta'.
+    q[3] = hy_dens[:, None] * bubble
+    return WeatherState(q=q, hy_dens=hy_dens, hy_dens_theta=hy_dens_theta,
+                        config=config)
+
+
+def init_colliding_thermals(config: WeatherConfig | None = None,
+                            amplitude: float = 10.0) -> WeatherState:
+    """MiniWeather's 'collision' scenario: a warm rising thermal under a
+    cold sinking one — the configuration that develops the most complex
+    small-scale structure."""
+    config = config or WeatherConfig()
+    warm = init_thermal_bubble(config, amplitude=amplitude,
+                               x_frac=0.5, z_frac=0.25, radius_frac=0.15)
+    cold = init_thermal_bubble(config, amplitude=-amplitude,
+                               x_frac=0.5, z_frac=0.75, radius_frac=0.15)
+    warm.q[3] += cold.q[3]
+    return warm
+
+
+def init_gravity_wave(config: WeatherConfig | None = None,
+                      amplitude: float = 2.0, u0: float = 15.0) -> WeatherState:
+    """Stably-propagating gravity-wave scenario: a horizontally drifting
+    sinusoidal potential-temperature perturbation."""
+    config = config or WeatherConfig()
+    state = init_thermal_bubble(config, amplitude=0.0)
+    z = (np.arange(config.nz) + 0.5) * config.dz
+    x = (np.arange(config.nx) + 0.5) * config.dx
+    xx, zz = np.meshgrid(x, z)
+    theta_pert = amplitude * np.sin(2 * np.pi * xx / config.xlen) \
+        * np.sin(np.pi * zz / config.zlen)
+    state.q[3] = state.hy_dens[:, None] * theta_pert
+    state.q[1] = state.hy_dens[:, None] * u0      # uniform advection
+    return state
+
+
+#: Scenario registry: name -> initializer(config, **kwargs).
+SCENARIOS = {
+    "thermal": init_thermal_bubble,
+    "collision": init_colliding_thermals,
+    "gravity_wave": init_gravity_wave,
+}
+
+
+def _full_fields(state: WeatherState):
+    """Recover full rho, u, w, rho*theta from perturbations."""
+    q = state.q
+    rho = q[0] + state.hy_dens[:, None]
+    rho_theta = q[3] + state.hy_dens_theta[:, None]
+    u = q[1] / rho
+    w = q[2] / rho
+    return rho, u, w, rho_theta
+
+
+def max_wave_speed(state: WeatherState) -> float:
+    """|velocity| + sound speed, for the CFL bound."""
+    rho, u, w, rho_theta = _full_fields(state)
+    p = _C0 * rho_theta ** _GAMMA
+    cs = np.sqrt(_GAMMA * p / rho)
+    return float(np.max(np.sqrt(u * u + w * w) + cs))
+
+
+def _flux_x(rho, u, w, rho_theta, p):
+    """Physical x-direction fluxes of (rho, rho u, rho w, rho theta)."""
+    return np.stack([rho * u,
+                     rho * u * u + p,
+                     rho * u * w,
+                     rho_theta * u])
+
+
+def _flux_z(rho, u, w, rho_theta, p):
+    return np.stack([rho * w,
+                     rho * u * w,
+                     rho * w * w + p,
+                     rho_theta * w])
+
+
+def _sweep_x(state: WeatherState, dt: float) -> None:
+    cfg = state.config
+    rho, u, w, rho_theta = _full_fields(state)
+    p = _C0 * rho_theta ** _GAMMA
+    cons = np.stack([rho, rho * u, rho * w, rho_theta])
+    flux = _flux_x(rho, u, w, rho_theta, p)
+    cs = np.sqrt(_GAMMA * p / rho)
+    lam = np.abs(u) + cs
+
+    # Periodic x: pad one ghost cell each side.
+    cons_p = np.concatenate([cons[..., -1:], cons, cons[..., :1]], axis=-1)
+    flux_p = np.concatenate([flux[..., -1:], flux, flux[..., :1]], axis=-1)
+    lam_p = np.concatenate([lam[..., -1:], lam, lam[..., :1]], axis=-1)
+
+    lam_face = np.maximum(lam_p[..., :-1], lam_p[..., 1:])    # (nz, nx+1)
+    f_face = 0.5 * (flux_p[..., :-1] + flux_p[..., 1:]) \
+        - 0.5 * cfg.dissipation * lam_face[None] \
+        * (cons_p[..., 1:] - cons_p[..., :-1])
+    state.q -= (dt / cfg.dx) * (f_face[..., 1:] - f_face[..., :-1])
+
+
+def _sweep_z(state: WeatherState, dt: float) -> None:
+    """Vertical sweep, well-balanced against the hydrostatic background.
+
+    The numerical flux and its Rusanov dissipation act on *perturbation*
+    variables: the background contributes only its pressure to the
+    vertical momentum flux, whose discrete gradient cancels the
+    ``-g*rho_bg`` weight exactly, so an unperturbed atmosphere is a
+    steady state of the scheme (the same well-balancing MiniWeather
+    achieves by fluxing cell perturbations).
+    """
+    cfg = state.config
+    rho, u, w, rho_theta = _full_fields(state)
+    p = _C0 * rho_theta ** _GAMMA
+    p_bg = _C0 * state.hy_dens_theta ** _GAMMA          # (nz,)
+    bg = np.zeros_like(state.q)
+    bg[0] = state.hy_dens[:, None]
+    bg[3] = state.hy_dens_theta[:, None]
+
+    cons_pert = np.stack([rho, rho * u, rho * w, rho_theta]) - bg
+    flux = _flux_z(rho, u, w, rho_theta, p)
+    flux[2] -= p_bg[:, None]        # perturbation pressure in momentum flux
+    cs = np.sqrt(_GAMMA * p / rho)
+    lam = np.abs(w) + cs
+
+    # Rigid free-slip walls: mirror perturbation cells with reflected w.
+    def wall(arr, flip_w=False):
+        lo = arr[..., :1, :].copy()
+        hi = arr[..., -1:, :].copy()
+        if flip_w:
+            lo[2] *= -1
+            hi[2] *= -1
+        return np.concatenate([lo, arr, hi], axis=-2)
+
+    cons_p = wall(cons_pert, flip_w=True)
+    flux_p = wall(flux, flip_w=False)
+    # Wall fluxes: reflect the vertical mass/theta flux (w -> -w) and
+    # keep the pressure term symmetric.
+    flux_p[0, 0] *= -1
+    flux_p[0, -1] *= -1
+    flux_p[1, 0] *= -1
+    flux_p[1, -1] *= -1
+    flux_p[3, 0] *= -1
+    flux_p[3, -1] *= -1
+    lam_p = wall(lam[None])[0]
+
+    lam_face = np.maximum(lam_p[:-1, :], lam_p[1:, :])
+    f_face = 0.5 * (flux_p[:, :-1] + flux_p[:, 1:]) \
+        - 0.5 * cfg.dissipation * lam_face[None] \
+        * (cons_p[:, 1:] - cons_p[:, :-1])
+    state.q -= (dt / cfg.dz) * (f_face[:, 1:] - f_face[:, :-1])
+    # Buoyancy source on vertical momentum: -g * rho'.
+    state.q[2] -= dt * _GRAV * state.q[0]
+
+
+def step(state: WeatherState, dt: float | None = None) -> float:
+    """Advance one timestep (dimensional splitting x/z); returns dt."""
+    if dt is None:
+        dt = CFL * min(state.config.dx, state.config.dz) / max_wave_speed(state)
+    # Alternate sweep order each step (Strang-style) for 2nd-order splitting.
+    if int(round(state.time / max(dt, 1e-12))) % 2 == 0:
+        _sweep_x(state, dt)
+        _sweep_z(state, dt)
+    else:
+        _sweep_z(state, dt)
+        _sweep_x(state, dt)
+    state.time += dt
+    return dt
+
+
+def run(state: WeatherState, n_steps: int, dt: float | None = None) -> WeatherState:
+    """March ``n_steps`` timesteps in place; returns the state."""
+    for _ in range(n_steps):
+        step(state, dt)
+    return state

@@ -1,0 +1,84 @@
+"""ParticleFilter HPAC-ML integration.
+
+The surrogate replaces the *entire* filter (likelihood, resampling,
+estimation — "three distinct GPU kernels" in the paper) with a CNN that
+regresses the object location from each raw frame.  The functor maps
+every frame to a (1, H, W) image tensor entry; the output functor maps
+the per-frame (y, x) estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...api import approx_ml
+from ...runtime import EventLog
+from ..base import BenchmarkInfo, register
+from .kernel import VideoWorkload, generate_video, particle_filter_track
+
+__all__ = ["INFO", "Workload", "generate_workload", "run_accurate",
+           "build_region", "DIRECTIVES"]
+
+INFO = register(BenchmarkInfo(
+    name="particlefilter",
+    description="Statistical estimation of a target object's location "
+                "given noisy measurements.",
+    qoi="The location of the object",
+    metric="rmse",
+    surrogate_family="cnn",
+    module=__name__,
+))
+
+DIRECTIVES = """
+#pragma approx tensor functor(frame_in: \\
+    [f, 0:1, 0:H, 0:W] = ([f, 0:H, 0:W]))
+#pragma approx tensor functor(loc_out: [f, 0:2] = ([f, 0:2]))
+#pragma approx tensor map(to: frame_in(frames[0:NF]))
+#pragma approx tensor map(from: loc_out(locations[0:NF]))
+#pragma approx ml({mode}:use_model) in(frames) out(locations) \\
+    db("{db}") model("{model}")
+"""
+
+Workload = VideoWorkload
+
+
+def generate_workload(n_frames: int = 64, height: int = 64, width: int = 64,
+                      seed: int = 0) -> VideoWorkload:
+    return generate_video(n_frames=n_frames, height=height, width=width,
+                          seed=seed)
+
+
+def run_accurate(workload: VideoWorkload, n_particles: int = 512,
+                 seed: int = 1) -> np.ndarray:
+    """QoI: per-frame location estimates from the particle filter."""
+    return particle_filter_track(workload.frames, n_particles=n_particles,
+                                 seed=seed)
+
+
+def build_region(*, mode: str = "predicated",
+                 n_particles: int = 512,
+                 db_path: str = "particlefilter.rh5",
+                 model_path: str = "particlefilter.rnm",
+                 event_log: EventLog | None = None, engine=None,
+                 collect_truth: np.ndarray | None = None):
+    """Create the annotated region.
+
+    ``collect_truth`` mirrors the paper's setup: "the HPAC-ML version of
+    PF captures the ground-truth values to create the training dataset"
+    — during collection the region writes the *ground-truth* locations
+    (available from the synthetic video generator) rather than the
+    filter's estimates, so the surrogate can learn to beat the filter.
+    """
+
+    @approx_ml(DIRECTIVES.format(mode=mode, db=db_path, model=model_path),
+               name="particlefilter", event_log=event_log, engine=engine)
+    def track(frames, locations, NF, H, W, use_model=False):
+        if collect_truth is not None and not use_model:
+            locations[:NF] = collect_truth[:NF]
+        else:
+            locations[:NF] = particle_filter_track(
+                frames[:NF], n_particles=n_particles)
+
+    return track

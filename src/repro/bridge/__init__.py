@@ -1,0 +1,10 @@
+"""``repro.bridge`` — the HPAC-ML data bridge (§III-A-1, Fig. 4)."""
+
+from .slices import SweepRange, SliceView, BridgeError, wrap_slice, sweep_shape
+from .functor import TensorFunctor
+from .tensor_map import (ConcretizedMap, concretize, evaluate_ranges,
+                         MapSpec, parse_map)
+
+__all__ = ["SweepRange", "SliceView", "BridgeError", "wrap_slice",
+           "sweep_shape", "TensorFunctor", "ConcretizedMap", "concretize",
+           "evaluate_ranges", "MapSpec", "parse_map"]

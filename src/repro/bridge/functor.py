@@ -1,0 +1,70 @@
+"""Tensor functor: the user-facing data-bridge abstraction (§III-A-1).
+
+A :class:`TensorFunctor` is the validated, executable form of a
+``tensor functor`` directive.  It can be constructed from directive
+source text or programmatically, and applied to memory by
+:mod:`repro.bridge.tensor_map`.
+"""
+
+from __future__ import annotations
+
+from ..directives.ast_nodes import FunctorDecl
+from ..directives.parser import parse_directive
+from ..directives.semantic import AnalyzedFunctor, SemanticAnalyzer
+
+__all__ = ["TensorFunctor"]
+
+
+class TensorFunctor:
+    """Executable tensor functor (LHS shape law + RHS access law)."""
+
+    def __init__(self, analyzed: AnalyzedFunctor):
+        self._analyzed = analyzed
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def parse(cls, source: str) -> "TensorFunctor":
+        """Build from directive text, e.g.::
+
+            #pragma approx tensor functor(ifnctr: \\
+                [i, j, 0:5] = (([i-1, j], [i+1, j], [i, j-1:j+2])))
+        """
+        node = parse_directive(source)
+        if not isinstance(node, FunctorDecl):
+            raise TypeError(f"expected a tensor functor directive, got "
+                            f"{type(node).__name__}")
+        analyzer = SemanticAnalyzer()
+        analyzer.analyze_functor(node)
+        analyzer.raise_if_errors()
+        return cls(analyzer.functors[node.name])
+
+    @classmethod
+    def from_analyzed(cls, analyzed: AnalyzedFunctor) -> "TensorFunctor":
+        return cls(analyzed)
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._analyzed.name
+
+    @property
+    def symbols(self) -> tuple:
+        """Symbolic constants in LHS order (sweep-dim order)."""
+        return self._analyzed.symbols
+
+    @property
+    def feature_shape(self) -> tuple:
+        """Trailing concrete LHS dims (per-entry feature layout)."""
+        return self._analyzed.feature_shape
+
+    @property
+    def total_features(self) -> int:
+        return self._analyzed.total_features
+
+    @property
+    def analyzed(self) -> AnalyzedFunctor:
+        return self._analyzed
+
+    def __repr__(self):
+        return (f"TensorFunctor({self.name!r}, symbols={self.symbols}, "
+                f"features={self.feature_shape})")

@@ -1,0 +1,146 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives downstream users the paper's A3/A4 驱动 scripts without writing
+code:
+
+* ``list``       — show the benchmark suite (Table I).
+* ``loc``        — print the Table II annotation accounting.
+* ``collect``    — run a benchmark in data-collection mode.
+* ``evaluate``   — collect, train a default surrogate, deploy, and
+  report speedup/error (a one-benchmark Fig. 5 row).
+* ``search``     — run the nested BO architecture search (§V-C) and
+  print the Pareto front.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+
+
+def _cmd_list(_args) -> int:
+    from .analysis import render_table
+    from .apps import REGISTRY
+    rows = [{"benchmark": i.name, "metric": i.metric.upper(),
+             "family": i.surrogate_family.upper(),
+             "qoi": i.qoi[:60]} for i in REGISTRY.values()]
+    print(render_table(rows, title="HPAC-ML benchmark suite (Table I)"))
+    return 0
+
+
+def _cmd_loc(_args) -> int:
+    from .analysis import render_table, table2_rows
+    print(render_table(table2_rows(),
+                       title="Annotation impact (Table II)"))
+    return 0
+
+
+def _workdir(args) -> str:
+    return args.workdir or tempfile.mkdtemp(prefix="hpacml_cli_")
+
+
+def _cmd_collect(args) -> int:
+    from .apps.harness import harness_for
+    harness = harness_for(args.benchmark, _workdir(args), seed=args.seed)
+    harness.collect()
+    print(f"collected training data for {args.benchmark!r} into "
+          f"{harness.db_path} ({harness.db_path.stat().st_size / 1e6:.2f} MB)")
+    return 0
+
+
+#: Mid-sized default architecture per benchmark for `evaluate`.
+_DEFAULT_ARCH = {
+    "minibude": {"num_hidden_layers": 3, "hidden1_size": 256,
+                 "feature_multiplier": 0.8},
+    "binomial": {"hidden1_features": 160, "hidden2_features": 96},
+    "bonds": {"hidden1_features": 160, "hidden2_features": 96},
+    "miniweather": {"conv1_kernel": 5, "conv1_channels": 8,
+                    "conv2_kernel": 3},
+    "particlefilter": {"conv_kernel": 4, "conv_stride": 2,
+                       "maxpool_kernel": 2, "fc2_size": 64},
+}
+
+
+def _cmd_evaluate(args) -> int:
+    from .apps.harness import harness_for
+    from .nn import Trainer
+    harness = harness_for(args.benchmark, _workdir(args), seed=args.seed)
+    print("collecting...")
+    harness.collect()
+    (xt, yt), (xv, yv) = harness.training_arrays()
+    build = harness.make_builder(xt, yt)
+    model = build(_DEFAULT_ARCH[args.benchmark], seed=args.seed)
+    print(f"training ({model.num_parameters()} parameters)...")
+    result = Trainer(model, lr=2e-3, batch_size=64,
+                     max_epochs=args.epochs,
+                     patience=max(5, args.epochs // 4),
+                     seed=args.seed).fit(xt, yt, xv, yv)
+    metrics = harness.evaluate(model)
+    print(f"validation loss : {result.best_val_loss:.5g}")
+    print(f"speedup         : {metrics.speedup:.2f}x")
+    print(f"QoI error       : {metrics.qoi_error:.5g} "
+          f"({harness.info.metric.upper()})")
+    return 0
+
+
+def _cmd_search(args) -> int:
+    from .apps.harness import harness_for
+    from .search import NestedSearch, arch_space_for
+    harness = harness_for(args.benchmark, _workdir(args), seed=args.seed)
+    print("collecting...")
+    harness.collect()
+    (xt, yt), (xv, yv) = harness.training_arrays()
+    build = harness.make_builder(xt, yt)
+    search = NestedSearch(arch_space_for(args.benchmark), build,
+                          xt, yt, xv, yv, n_inner=args.inner,
+                          max_epochs=args.epochs, seed=args.seed)
+    print(f"searching ({args.outer} outer x {args.inner} inner trials)...")
+    result = search.run(n_outer=args.outer)
+    print("Pareto front (latency s, validation error):")
+    for t in sorted(result.pareto_trials(), key=lambda t: t.latency):
+        print(f"  {t.latency:.5f}s  {t.val_error:.5g}  "
+              f"params={t.n_params}  arch={t.arch}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="HPAC-ML reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show the benchmark suite")
+    sub.add_parser("loc", help="Table II annotation accounting")
+
+    def add_common(p):
+        p.add_argument("benchmark", choices=sorted(_DEFAULT_ARCH))
+        p.add_argument("--workdir", default=None)
+        p.add_argument("--seed", type=int, default=0)
+
+    p_collect = sub.add_parser("collect", help="run data collection")
+    add_common(p_collect)
+
+    p_eval = sub.add_parser("evaluate",
+                            help="collect, train, deploy, measure")
+    add_common(p_eval)
+    p_eval.add_argument("--epochs", type=int, default=40)
+
+    p_search = sub.add_parser("search", help="nested BO NAS (§V-C)")
+    add_common(p_search)
+    p_search.add_argument("--outer", type=int, default=6)
+    p_search.add_argument("--inner", type=int, default=3)
+    p_search.add_argument("--epochs", type=int, default=12)
+    return parser
+
+
+_COMMANDS = {"list": _cmd_list, "loc": _cmd_loc, "collect": _cmd_collect,
+             "evaluate": _cmd_evaluate, "search": _cmd_search}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

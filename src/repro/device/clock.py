@@ -1,0 +1,69 @@
+"""Virtual clock combining measured wall time with simulated costs.
+
+The paper's evaluation platform is an A100 GPU; our kernels run on the
+host CPU.  To reproduce timing *shapes* (Fig. 5/6) we account time from
+two sources on a single timeline:
+
+* **measured** — real ``perf_counter`` intervals around actual NumPy
+  compute (kernels, inference), and
+* **simulated** — modeled costs for things our platform does not
+  physically perform (PCIe transfers between the simulated host and
+  device memory spaces).
+
+The clock is monotonic and per-instance, so concurrent experiments do
+not interfere.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """Accumulates measured and simulated time on one timeline."""
+
+    def __init__(self):
+        self._elapsed = 0.0
+        self._measured = 0.0
+        self._simulated = 0.0
+
+    @property
+    def now(self) -> float:
+        """Total virtual seconds elapsed."""
+        return self._elapsed
+
+    @property
+    def measured(self) -> float:
+        return self._measured
+
+    @property
+    def simulated(self) -> float:
+        return self._simulated
+
+    def advance(self, seconds: float) -> None:
+        """Add simulated time (e.g. a modeled transfer)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative time: {seconds}")
+        self._elapsed += seconds
+        self._simulated += seconds
+
+    @contextmanager
+    def measure(self):
+        """Context manager adding real wall time of the body to the clock."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - start
+            self._elapsed += dt
+            self._measured += dt
+
+    def reset(self) -> None:
+        self._elapsed = self._measured = self._simulated = 0.0
+
+    def __repr__(self):
+        return (f"VirtualClock(now={self._elapsed:.6f}, "
+                f"measured={self._measured:.6f}, simulated={self._simulated:.6f})")

@@ -1,0 +1,57 @@
+"""Simulated host/device memory spaces.
+
+A :class:`DeviceBuffer` tags an ndarray with the memory space it lives
+in.  Kernels and the inference engine require device-resident operands;
+the data bridge requires host-resident ones — forcing the same explicit
+transfers the paper's runtime issues through CUDA, which is what the
+Fig. 6 time breakdown accounts.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["MemorySpace", "DeviceBuffer", "WrongSpaceError"]
+
+
+class MemorySpace(Enum):
+    HOST = "host"
+    DEVICE = "device"
+
+
+class WrongSpaceError(RuntimeError):
+    """An operation received a buffer resident in the wrong memory space."""
+
+
+class DeviceBuffer:
+    """An ndarray tagged with its (simulated) memory space."""
+
+    __slots__ = ("array", "space")
+
+    def __init__(self, array: np.ndarray, space: MemorySpace = MemorySpace.HOST):
+        self.array = np.asarray(array)
+        self.space = space
+
+    @property
+    def nbytes(self) -> int:
+        return self.array.nbytes
+
+    @property
+    def shape(self) -> tuple:
+        return self.array.shape
+
+    @property
+    def dtype(self):
+        return self.array.dtype
+
+    def require(self, space: MemorySpace) -> np.ndarray:
+        """Return the payload, asserting residency in ``space``."""
+        if self.space is not space:
+            raise WrongSpaceError(
+                f"buffer is in {self.space.value} memory, {space.value} required")
+        return self.array
+
+    def __repr__(self):
+        return f"DeviceBuffer(shape={self.array.shape}, space={self.space.value})"

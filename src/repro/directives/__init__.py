@@ -1,0 +1,18 @@
+"""``repro.directives`` — compiler frontend for the HPAC-ML pragma grammar."""
+
+from .ast_nodes import (SourceLoc, Expr, IntLit, SymRef, VarRef, BinOp,
+                        SliceExpr, SliceSpec, FunctorDecl, MapTarget,
+                        TensorMapDirective, MLDirective, LinearForm)
+from .lexer import Token, LexError, tokenize, KEYWORDS
+from .parser import ParseError, parse_directive, parse_program
+from .semantic import (Diagnostic, SemanticError, SemanticAnalyzer,
+                       linearize, AnalyzedFunctor, AnalyzedSlice, AnalyzedDim)
+
+__all__ = [
+    "SourceLoc", "Expr", "IntLit", "SymRef", "VarRef", "BinOp", "SliceExpr",
+    "SliceSpec", "FunctorDecl", "MapTarget", "TensorMapDirective",
+    "MLDirective", "LinearForm", "Token", "LexError", "tokenize", "KEYWORDS",
+    "ParseError", "parse_directive", "parse_program", "Diagnostic",
+    "SemanticError", "SemanticAnalyzer", "linearize", "AnalyzedFunctor",
+    "AnalyzedSlice", "AnalyzedDim",
+]

@@ -1,0 +1,280 @@
+"""AST node definitions for the HPAC-ML directive grammar (paper Fig. 3).
+
+The grammar has three directive forms::
+
+    #pragma approx tensor functor(<id>: ss-specifier = (ss-specifier, ...))
+    #pragma approx tensor map(to|from: <id>(array[cs-specifier], ...))
+    #pragma approx ml(<mode>[: bool-expr]) in(...) out(...) inout(...)
+            model("...") db("...") [if(bool-expr)]
+
+Symbolic slice specifiers (``ss-specifier``) may reference *symbolic
+constants* — free names like ``i, j`` that are bound to concrete sweep
+ranges when a functor is applied to memory by a ``tensor map``.
+Concrete slice specifiers (``cs-specifier``) may reference declared
+integer variables (``N``, ``M``) resolved against an environment at
+application time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "SourceLoc", "Expr", "IntLit", "SymRef", "VarRef", "BinOp", "SliceExpr",
+    "SliceSpec", "FunctorDecl", "MapTarget", "TensorMapDirective",
+    "MLDirective", "Directive", "LinearForm", "PerfoDirective",
+    "MemoDirective",
+]
+
+
+@dataclass(frozen=True)
+class SourceLoc:
+    """Position within a directive string (for diagnostics)."""
+
+    line: int
+    col: int
+
+    def __str__(self):
+        return f"{self.line}:{self.col}"
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Expr:
+    loc: SourceLoc = field(default=SourceLoc(0, 0), compare=False)
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    value: int = 0
+
+    def __str__(self):
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class SymRef(Expr):
+    """A symbolic constant (``s-constant``): free name bound at map time."""
+
+    name: str = ""
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass(frozen=True)
+class VarRef(Expr):
+    """A declared integer variable reference inside a cs-specifier."""
+
+    name: str = ""
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str = "+"
+    lhs: Expr = None
+    rhs: Expr = None
+
+    def __str__(self):
+        return f"({self.lhs} {self.op} {self.rhs})"
+
+
+@dataclass(frozen=True)
+class LinearForm:
+    """Canonical linear form ``sum(coeff_s * s) + const`` of an s-expr.
+
+    The Fig. 4 lowering requires slice expressions linear in the
+    symbolic constants; this is the normal form semantic analysis
+    reduces every s-expr to.
+    """
+
+    coeffs: tuple  # tuple of (symbol_name, int_coeff), sorted by name
+    const: int
+
+    @property
+    def symbols(self) -> tuple:
+        return tuple(name for name, _ in self.coeffs)
+
+    def coeff(self, name: str) -> int:
+        for sym, c in self.coeffs:
+            if sym == name:
+                return c
+        return 0
+
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def __str__(self):
+        parts = [f"{c}*{s}" for s, c in self.coeffs]
+        parts.append(str(self.const))
+        return " + ".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Slices and specifiers
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SliceExpr:
+    """One ``s-slice`` / ``c-slice``: ``start[:stop[:step]]``.
+
+    A *point* access has ``stop is None``; a range has an explicit stop
+    and optional step (default 1).
+    """
+
+    start: Expr
+    stop: Optional[Expr] = None
+    step: Optional[Expr] = None
+    loc: SourceLoc = field(default=SourceLoc(0, 0), compare=False)
+
+    @property
+    def is_point(self) -> bool:
+        return self.stop is None
+
+    def __str__(self):
+        if self.is_point:
+            return str(self.start)
+        s = f"{self.start}:{self.stop}"
+        if self.step is not None:
+            s += f":{self.step}"
+        return s
+
+
+@dataclass(frozen=True)
+class SliceSpec:
+    """An ``ss-specifier`` / ``cs-specifier``: bracketed slice list."""
+
+    slices: tuple  # tuple[SliceExpr, ...]
+    loc: SourceLoc = field(default=SourceLoc(0, 0), compare=False)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.slices)
+
+    def __str__(self):
+        return "[" + ", ".join(str(s) for s in self.slices) + "]"
+
+
+# ----------------------------------------------------------------------
+# Directives
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Directive:
+    loc: SourceLoc = field(default=SourceLoc(0, 0), compare=False)
+
+
+@dataclass(frozen=True)
+class FunctorDecl(Directive):
+    """``tensor functor(name: LHS = (RHS_1, RHS_2, ...))``."""
+
+    name: str = ""
+    lhs: SliceSpec = None
+    rhs: tuple = ()  # tuple[SliceSpec, ...]
+
+    def __str__(self):
+        rhs = ", ".join(str(r) for r in self.rhs)
+        return f"tensor functor({self.name}: {self.lhs} = ({rhs}))"
+
+
+@dataclass(frozen=True)
+class MapTarget:
+    """``array[cs-specifier]`` inside a functor application."""
+
+    array: str
+    spec: SliceSpec
+    loc: SourceLoc = field(default=SourceLoc(0, 0), compare=False)
+
+    def __str__(self):
+        return f"{self.array}{self.spec}"
+
+
+@dataclass(frozen=True)
+class TensorMapDirective(Directive):
+    """``tensor map(to|from: functor(target, ...))``."""
+
+    direction: str = "to"  # 'to' | 'from'
+    functor: str = ""
+    targets: tuple = ()  # tuple[MapTarget, ...]
+
+    def __str__(self):
+        tgts = ", ".join(str(t) for t in self.targets)
+        return f"tensor map({self.direction}: {self.functor}({tgts}))"
+
+
+@dataclass(frozen=True)
+class PerfoDirective(Directive):
+    """HPAC loop perforation: ``perfo(kind:rate) in(...) out(...)``.
+
+    HPAC-ML extends HPAC, whose classic techniques remain available;
+    kinds follow the HPAC paper: ``ini``/``fin`` skip a leading/trailing
+    fraction of iterations, ``small``/``large`` skip every n-th /
+    execute every n-th, ``rand`` skips a random fraction.
+    """
+
+    kind: str = "small"                  # ini|fin|small|large|rand
+    rate: str = "1"                      # opaque host expression
+    in_arrays: tuple = ()
+    out_arrays: tuple = ()
+    if_condition: Optional[str] = None
+    label: Optional[str] = None
+
+    def __str__(self):
+        return f"perfo({self.kind}:{self.rate})"
+
+
+@dataclass(frozen=True)
+class MemoDirective(Directive):
+    """HPAC memoization: ``memo(in:threshold)`` / ``memo(out:size)``.
+
+    ``in``-memoization (iACT-style) caches outputs keyed on quantized
+    inputs; ``out``-memoization (TAF-style) replays the last output
+    while it remains stable.
+    """
+
+    kind: str = "in"                     # in|out
+    parameter: str = "0"                 # threshold (in) or history (out)
+    in_arrays: tuple = ()
+    out_arrays: tuple = ()
+    if_condition: Optional[str] = None
+    label: Optional[str] = None
+
+    def __str__(self):
+        return f"memo({self.kind}:{self.parameter})"
+
+
+@dataclass(frozen=True)
+class MLDirective(Directive):
+    """``ml(mode[: cond]) in(...) out(...) inout(...) model(...) db(...) if(...)``."""
+
+    mode: str = "infer"  # 'infer' | 'collect' | 'predicated'
+    condition: Optional[str] = None      # raw bool-expr text for predicated
+    in_arrays: tuple = ()
+    out_arrays: tuple = ()
+    inout_arrays: tuple = ()
+    model_path: Optional[str] = None
+    db_path: Optional[str] = None
+    if_condition: Optional[str] = None   # raw bool-expr of the if clause
+
+    def __str__(self):
+        parts = [f"ml({self.mode}" + (f":{self.condition}" if self.condition else "") + ")"]
+        if self.in_arrays:
+            parts.append(f"in({', '.join(self.in_arrays)})")
+        if self.out_arrays:
+            parts.append(f"out({', '.join(self.out_arrays)})")
+        if self.inout_arrays:
+            parts.append(f"inout({', '.join(self.inout_arrays)})")
+        if self.model_path:
+            parts.append(f'model("{self.model_path}")')
+        if self.db_path:
+            parts.append(f'db("{self.db_path}")')
+        if self.if_condition:
+            parts.append(f"if({self.if_condition})")
+        return " ".join(parts)

@@ -1,0 +1,114 @@
+"""Tokenizer for HPAC-ML directive strings.
+
+Accepts either a bare clause body (``tensor functor(...)``) or the full
+pragma form (``#pragma approx tensor functor(...)``).  Backslash line
+continuations — used throughout the paper's listings — are folded before
+tokenization, preserving line/column bookkeeping for diagnostics.
+
+Tokens carry their absolute source offset (``pos``) so the parser can
+recover raw substrings verbatim — needed for the ``bool-expr`` operands
+of ``ml(predicated: ...)`` and ``if(...)``, which are host-language
+expressions the directive grammar treats as opaque.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ast_nodes import SourceLoc
+
+__all__ = ["Token", "LexError", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset({
+    "pragma", "approx", "tensor", "functor", "map", "ml", "in", "out",
+    "inout", "model", "db", "database", "if", "to", "from", "infer",
+    "collect", "predicated",
+})
+
+_PUNCT = {
+    "(": "LPAREN", ")": "RPAREN", "[": "LBRACKET", "]": "RBRACKET",
+    ":": "COLON", ",": "COMMA", "=": "EQUALS", "+": "PLUS", "-": "MINUS",
+    "*": "STAR", "/": "SLASH", "#": "HASH", "<": "LT", ">": "GT",
+    "!": "BANG", "%": "PERCENT", "&": "AMP", "|": "PIPE", ".": "DOT",
+    ";": "SEMI",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str       # IDENT | INT | STRING | one of _PUNCT values | EOF
+    text: str
+    loc: SourceLoc
+    pos: int        # absolute offset of the token's first character
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.text!r}@{self.loc})"
+
+
+class LexError(ValueError):
+    """Raised on unrecognized input characters."""
+
+    def __init__(self, message: str, loc: SourceLoc):
+        super().__init__(f"{loc}: {message}")
+        self.loc = loc
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize a directive string into a token list ending with EOF."""
+    tokens: list[Token] = []
+    line, col = 1, 1
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        loc = SourceLoc(line, col)
+        if ch == "\\" and i + 1 < n and text[i + 1] == "\n":
+            i += 2
+            line += 1
+            col = 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                if text[j] == "\n":
+                    raise LexError("unterminated string literal", loc)
+                j += 1
+            if j >= n:
+                raise LexError("unterminated string literal", loc)
+            tokens.append(Token("STRING", text[i + 1:j], loc, i))
+            col += j - i + 1
+            i = j + 1
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and text[j].isdigit():
+                j += 1
+            tokens.append(Token("INT", text[i:j], loc, i))
+            col += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(Token("IDENT", text[i:j], loc, i))
+            col += j - i
+            i = j
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(_PUNCT[ch], ch, loc, i))
+            i += 1
+            col += 1
+            continue
+        raise LexError(f"unexpected character {ch!r}", loc)
+    tokens.append(Token("EOF", "", SourceLoc(line, col), n))
+    return tokens

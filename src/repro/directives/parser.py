@@ -1,0 +1,377 @@
+"""Recursive-descent parser for HPAC-ML directives (paper Fig. 3 grammar).
+
+Entry point :func:`parse_directive` accepts one directive string (the
+leading ``#pragma approx`` is optional) and returns the corresponding
+AST node: :class:`FunctorDecl`, :class:`TensorMapDirective`, or
+:class:`MLDirective`.  :func:`parse_program` parses a multi-directive
+annotation block (one directive per pragma, as a region annotation in
+the paper carries several consecutive pragmas).
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import (BinOp, FunctorDecl, IntLit, MapTarget, MemoDirective,
+                        MLDirective, PerfoDirective, SliceExpr, SliceSpec,
+                        SourceLoc, SymRef, TensorMapDirective)
+from .lexer import Token, tokenize
+
+__all__ = ["ParseError", "parse_directive", "parse_program"]
+
+
+class ParseError(ValueError):
+    """Syntax error with source location."""
+
+    def __init__(self, message: str, loc: SourceLoc):
+        super().__init__(f"{loc}: {message}")
+        self.loc = loc
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.source = source
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token plumbing ---------------------------------------------------
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "EOF":
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: str, what: str | None = None) -> Token:
+        if self.cur.kind != kind:
+            raise ParseError(
+                f"expected {what or kind}, got {self.cur.text!r}", self.cur.loc)
+        return self.advance()
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.cur.kind == kind and (text is None or self.cur.text == text):
+            return self.advance()
+        return None
+
+    def accept_ident(self, text: str) -> Token | None:
+        return self.accept("IDENT", text)
+
+    def expect_ident(self, text: str) -> Token:
+        tok = self.accept_ident(text)
+        if tok is None:
+            raise ParseError(f"expected {text!r}, got {self.cur.text!r}",
+                             self.cur.loc)
+        return tok
+
+    # -- raw bool-expr capture ---------------------------------------------
+    def capture_until_balanced_rparen(self) -> str:
+        """Consume tokens up to the matching ``)`` (exclusive); return the
+        verbatim source text.  Used for opaque host-language bool-exprs."""
+        start_pos = self.cur.pos
+        depth = 0
+        end_pos = start_pos
+        while True:
+            tok = self.cur
+            if tok.kind == "EOF":
+                raise ParseError("unterminated clause: missing ')'", tok.loc)
+            if tok.kind == "LPAREN":
+                depth += 1
+            elif tok.kind == "RPAREN":
+                if depth == 0:
+                    break
+                depth -= 1
+            end_pos = tok.pos + len(tok.text) + (2 if tok.kind == "STRING" else 0)
+            self.advance()
+        return self.source[start_pos:end_pos].strip()
+
+    # -- expressions --------------------------------------------------------
+    def parse_s_expr(self):
+        """Additive/multiplicative expression over symbols and ints."""
+        return self._parse_additive()
+
+    def _parse_additive(self):
+        lhs = self._parse_multiplicative()
+        while self.cur.kind in ("PLUS", "MINUS"):
+            op = self.advance()
+            rhs = self._parse_multiplicative()
+            lhs = BinOp(loc=op.loc, op=op.text, lhs=lhs, rhs=rhs)
+        return lhs
+
+    def _parse_multiplicative(self):
+        lhs = self._parse_unary()
+        while self.cur.kind in ("STAR", "SLASH"):
+            op = self.advance()
+            rhs = self._parse_unary()
+            lhs = BinOp(loc=op.loc, op=op.text, lhs=lhs, rhs=rhs)
+        return lhs
+
+    def _parse_unary(self):
+        if self.cur.kind == "MINUS":
+            op = self.advance()
+            operand = self._parse_unary()
+            return BinOp(loc=op.loc, op="-", lhs=IntLit(loc=op.loc, value=0),
+                         rhs=operand)
+        if self.cur.kind == "PLUS":
+            self.advance()
+            return self._parse_unary()
+        if self.cur.kind == "INT":
+            tok = self.advance()
+            return IntLit(loc=tok.loc, value=int(tok.text))
+        if self.cur.kind == "IDENT":
+            tok = self.advance()
+            # Symbol vs. declared-variable distinction happens in
+            # semantic analysis; the parser emits SymRef uniformly.
+            return SymRef(loc=tok.loc, name=tok.text)
+        if self.cur.kind == "LPAREN":
+            self.advance()
+            inner = self._parse_additive()
+            self.expect("RPAREN")
+            return inner
+        raise ParseError(f"expected expression, got {self.cur.text!r}",
+                         self.cur.loc)
+
+    def parse_slice(self) -> SliceExpr:
+        loc = self.cur.loc
+        start = self.parse_s_expr()
+        if self.accept("COLON") is None:
+            return SliceExpr(start=start, loc=loc)
+        stop = self.parse_s_expr()
+        step = None
+        if self.accept("COLON") is not None:
+            step = self.parse_s_expr()
+        return SliceExpr(start=start, stop=stop, step=step, loc=loc)
+
+    def parse_slice_spec(self) -> SliceSpec:
+        loc = self.expect("LBRACKET", "'['").loc
+        slices = [self.parse_slice()]
+        while self.accept("COMMA") is not None:
+            slices.append(self.parse_slice())
+        self.expect("RBRACKET", "']'")
+        return SliceSpec(slices=tuple(slices), loc=loc)
+
+    # -- directives -----------------------------------------------------------
+    def skip_pragma_prefix(self) -> None:
+        if self.accept("HASH") is not None:
+            self.expect_ident("pragma")
+        self.accept_ident("pragma")
+        self.expect_ident("approx")
+
+    def parse_directive(self):
+        self.skip_pragma_prefix()
+        if self.accept_ident("tensor") is not None:
+            if self.cur.kind == "IDENT" and self.cur.text == "functor":
+                return self.parse_functor_decl()
+            if self.cur.kind == "IDENT" and self.cur.text == "map":
+                return self.parse_tensor_map()
+            raise ParseError(
+                f"expected 'functor' or 'map' after 'tensor', got "
+                f"{self.cur.text!r}", self.cur.loc)
+        if self.cur.kind == "IDENT" and self.cur.text == "ml":
+            return self.parse_ml()
+        if self.cur.kind == "IDENT" and self.cur.text == "perfo":
+            return self.parse_perfo()
+        if self.cur.kind == "IDENT" and self.cur.text == "memo":
+            return self.parse_memo()
+        raise ParseError(
+            f"expected 'tensor', 'ml', 'perfo' or 'memo' directive, got "
+            f"{self.cur.text!r}", self.cur.loc)
+
+    def parse_functor_decl(self) -> FunctorDecl:
+        loc = self.expect_ident("functor").loc
+        self.expect("LPAREN")
+        name = self.expect("IDENT", "functor name").text
+        self.expect("COLON")
+        lhs = self.parse_slice_spec()
+        self.expect("EQUALS")
+        self.expect("LPAREN")
+        # Tolerate the doubled parentheses of the paper's Fig. 2 listing:
+        # "= ( ([i-1, j], ...) )".
+        doubled = self.accept("LPAREN") is not None
+        rhs = [self.parse_slice_spec()]
+        while self.accept("COMMA") is not None:
+            rhs.append(self.parse_slice_spec())
+        if doubled:
+            self.expect("RPAREN")
+        self.expect("RPAREN")   # closes "= ("
+        self.expect("RPAREN")   # closes "functor("
+        return FunctorDecl(loc=loc, name=name, lhs=lhs, rhs=tuple(rhs))
+
+    def parse_tensor_map(self) -> TensorMapDirective:
+        loc = self.expect_ident("map").loc
+        self.expect("LPAREN")
+        dir_tok = self.expect("IDENT", "'to' or 'from'")
+        if dir_tok.text not in ("to", "from"):
+            raise ParseError(
+                f"direction must be 'to' or 'from', got {dir_tok.text!r}",
+                dir_tok.loc)
+        self.expect("COLON")
+        functor = self.expect("IDENT", "functor name").text
+        self.expect("LPAREN")
+        targets = [self.parse_map_target()]
+        while self.accept("COMMA") is not None:
+            targets.append(self.parse_map_target())
+        self.expect("RPAREN")
+        self.expect("RPAREN")
+        return TensorMapDirective(loc=loc, direction=dir_tok.text,
+                                  functor=functor, targets=tuple(targets))
+
+    def parse_map_target(self) -> MapTarget:
+        tok = self.expect("IDENT", "array name")
+        spec = self.parse_slice_spec()
+        return MapTarget(array=tok.text, spec=spec, loc=tok.loc)
+
+    def parse_ml(self) -> MLDirective:
+        loc = self.expect_ident("ml").loc
+        self.expect("LPAREN")
+        mode_tok = self.expect("IDENT", "ml-mode")
+        if mode_tok.text not in ("infer", "collect", "predicated"):
+            raise ParseError(
+                f"ml-mode must be infer|collect|predicated, got "
+                f"{mode_tok.text!r}", mode_tok.loc)
+        condition = None
+        if self.accept("COLON") is not None:
+            condition = self.capture_until_balanced_rparen()
+            if not condition:
+                raise ParseError("empty condition in ml clause", self.cur.loc)
+        self.expect("RPAREN")
+
+        in_arrays: list[str] = []
+        out_arrays: list[str] = []
+        inout_arrays: list[str] = []
+        model_path = None
+        db_path = None
+        if_condition = None
+
+        while self.cur.kind != "EOF":
+            clause = self.expect("IDENT", "clause name")
+            if clause.text in ("in", "out", "inout"):
+                self.expect("LPAREN")
+                names = [self.expect("IDENT", "array name").text]
+                while self.accept("COMMA") is not None:
+                    names.append(self.expect("IDENT", "array name").text)
+                self.expect("RPAREN")
+                {"in": in_arrays, "out": out_arrays,
+                 "inout": inout_arrays}[clause.text].extend(names)
+            elif clause.text == "model":
+                self.expect("LPAREN")
+                model_path = self.expect("STRING", "model path string").text
+                self.expect("RPAREN")
+            elif clause.text in ("db", "database"):
+                self.expect("LPAREN")
+                db_path = self.expect("STRING", "database path string").text
+                self.expect("RPAREN")
+            elif clause.text == "if":
+                self.expect("LPAREN")
+                if_condition = self.capture_until_balanced_rparen()
+                self.expect("RPAREN")
+                if not if_condition:
+                    raise ParseError("empty if clause", clause.loc)
+            else:
+                raise ParseError(f"unknown ml clause {clause.text!r}", clause.loc)
+
+        return MLDirective(loc=loc, mode=mode_tok.text, condition=condition,
+                           in_arrays=tuple(in_arrays),
+                           out_arrays=tuple(out_arrays),
+                           inout_arrays=tuple(inout_arrays),
+                           model_path=model_path, db_path=db_path,
+                           if_condition=if_condition)
+
+
+    def _parse_hpac_tail(self):
+        """Shared clause tail of HPAC technique directives."""
+        in_arrays: list[str] = []
+        out_arrays: list[str] = []
+        if_condition = None
+        label = None
+        while self.cur.kind != "EOF":
+            clause = self.expect("IDENT", "clause name")
+            if clause.text in ("in", "out"):
+                self.expect("LPAREN")
+                names = [self.expect("IDENT", "array name").text]
+                while self.accept("COMMA") is not None:
+                    names.append(self.expect("IDENT", "array name").text)
+                self.expect("RPAREN")
+                (in_arrays if clause.text == "in" else out_arrays).extend(names)
+            elif clause.text == "if":
+                self.expect("LPAREN")
+                if_condition = self.capture_until_balanced_rparen()
+                self.expect("RPAREN")
+                if not if_condition:
+                    raise ParseError("empty if clause", clause.loc)
+            elif clause.text == "label":
+                self.expect("LPAREN")
+                label = self.expect("STRING", "label string").text
+                self.expect("RPAREN")
+            else:
+                raise ParseError(f"unknown clause {clause.text!r}", clause.loc)
+        return tuple(in_arrays), tuple(out_arrays), if_condition, label
+
+    def parse_perfo(self) -> PerfoDirective:
+        loc = self.expect_ident("perfo").loc
+        self.expect("LPAREN")
+        kind = self.expect("IDENT", "perforation kind")
+        if kind.text not in ("ini", "fin", "small", "large", "rand"):
+            raise ParseError(
+                f"perforation kind must be ini|fin|small|large|rand, got "
+                f"{kind.text!r}", kind.loc)
+        self.expect("COLON")
+        rate = self.capture_until_balanced_rparen()
+        self.expect("RPAREN")
+        if not rate:
+            raise ParseError("empty perforation rate", loc)
+        ins, outs, if_cond, label = self._parse_hpac_tail()
+        return PerfoDirective(loc=loc, kind=kind.text, rate=rate,
+                              in_arrays=ins, out_arrays=outs,
+                              if_condition=if_cond, label=label)
+
+    def parse_memo(self) -> MemoDirective:
+        loc = self.expect_ident("memo").loc
+        self.expect("LPAREN")
+        kind = self.expect("IDENT", "memoization kind")
+        if kind.text not in ("in", "out"):
+            raise ParseError(
+                f"memoization kind must be in|out, got {kind.text!r}",
+                kind.loc)
+        parameter = "0"
+        if self.accept("COLON") is not None:
+            parameter = self.capture_until_balanced_rparen()
+            if not parameter:
+                raise ParseError("empty memo parameter", loc)
+        self.expect("RPAREN")
+        ins, outs, if_cond, label = self._parse_hpac_tail()
+        return MemoDirective(loc=loc, kind=kind.text, parameter=parameter,
+                             in_arrays=ins, out_arrays=outs,
+                             if_condition=if_cond, label=label)
+
+
+def parse_directive(source: str):
+    """Parse a single directive string into its AST node."""
+    parser = _Parser(source)
+    node = parser.parse_directive()
+    if parser.cur.kind != "EOF":
+        raise ParseError(f"trailing input {parser.cur.text!r}", parser.cur.loc)
+    return node
+
+
+def parse_program(source: str) -> list:
+    """Parse an annotation block: one directive per ``#pragma`` line.
+
+    Directives may span physical lines via backslash continuations,
+    exactly as in the paper's Fig. 2 listing.
+    """
+    # Split on lines that begin a new pragma; honor continuations.
+    logical: list[str] = []
+    current: list[str] = []
+    for raw_line in source.splitlines():
+        stripped = raw_line.strip()
+        if not stripped:
+            continue
+        starts_new = stripped.startswith("#pragma")
+        if starts_new and current and not current[-1].rstrip().endswith("\\"):
+            logical.append("\n".join(current))
+            current = []
+        current.append(raw_line)
+    if current:
+        logical.append("\n".join(current))
+    return [parse_directive(chunk) for chunk in logical]

@@ -1,0 +1,481 @@
+"""Semantic analysis for parsed HPAC-ML directives.
+
+Responsibilities (mirroring the paper's Sema extension of Clang):
+
+* reduce every ``s-expr`` to a canonical :class:`LinearForm`
+  (``sum(coeff*name) + const``) — the Fig. 4 lowering requires slice
+  indices linear in the symbolic constants;
+* classify free names: names appearing as bare LHS point dims are
+  **symbolic constants** (sweep symbols); any other free name is a
+  **deferred integer variable** — a program variable (``H``, ``NZ``)
+  the compiler would resolve, bound here from the region's argument
+  environment when the functor is applied to memory
+  (:meth:`AnalyzedFunctor.resolve`);
+* validate functor declarations: symbolic LHS dims must precede the
+  concrete (feature) dims, every range slice must have an extent
+  independent of the sweep symbols;
+* validate tensor maps and ml directives (declared functors, coherent
+  mode/clause combinations, arrays covered by maps).
+
+The analyzer accumulates :class:`Diagnostic` records rather than
+raising, so callers can report every problem in an annotation at once —
+the behaviour application developers get from a real compiler frontend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .ast_nodes import (BinOp, FunctorDecl, IntLit, LinearForm, MLDirective,
+                        SliceExpr, SourceLoc, SymRef, TensorMapDirective)
+
+__all__ = ["Diagnostic", "SemanticError", "SemanticAnalyzer", "linearize",
+           "AnalyzedFunctor", "AnalyzedSlice", "AnalyzedDim",
+           "substitute", "form_sub"]
+
+
+class SemanticError(ValueError):
+    """Raised when analysis finishes with errors (message lists them all)."""
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    severity: str  # 'error' | 'warning'
+    message: str
+    loc: SourceLoc
+
+    def __str__(self):
+        return f"{self.loc}: {self.severity}: {self.message}"
+
+
+def linearize(expr, env: dict | None = None) -> LinearForm:
+    """Reduce an expression AST to ``LinearForm``.
+
+    ``env`` maps declared-variable names to integers; names not in
+    ``env`` stay symbolic in the form.  Raises :class:`SemanticError`
+    for non-linear structure (``name * name``, symbolic division).
+    """
+    env = env or {}
+
+    def walk(e) -> tuple[dict, int]:
+        if isinstance(e, IntLit):
+            return {}, e.value
+        if isinstance(e, SymRef):
+            if e.name in env:
+                return {}, int(env[e.name])
+            return {e.name: 1}, 0
+        if isinstance(e, BinOp):
+            lc, lk = walk(e.lhs)
+            rc, rk = walk(e.rhs)
+            if e.op == "+":
+                merged = dict(lc)
+                for s, c in rc.items():
+                    merged[s] = merged.get(s, 0) + c
+                return merged, lk + rk
+            if e.op == "-":
+                merged = dict(lc)
+                for s, c in rc.items():
+                    merged[s] = merged.get(s, 0) - c
+                return merged, lk - rk
+            if e.op == "*":
+                if lc and rc:
+                    raise SemanticError(
+                        f"{e.loc}: non-linear symbolic expression "
+                        f"(name * name)")
+                if lc:
+                    return {s: c * rk for s, c in lc.items()}, lk * rk
+                return {s: c * lk for s, c in rc.items()}, lk * rk
+            if e.op == "/":
+                if rc:
+                    raise SemanticError(f"{e.loc}: division by symbolic value")
+                if rk == 0:
+                    raise SemanticError(f"{e.loc}: division by zero")
+                if lc and any(c % rk for c in lc.values()) or lk % rk:
+                    raise SemanticError(
+                        f"{e.loc}: non-integral symbolic division")
+                return {s: c // rk for s, c in lc.items()}, lk // rk
+            raise SemanticError(f"{e.loc}: unknown operator {e.op!r}")
+        raise SemanticError(f"unsupported expression node {type(e).__name__}")
+
+    coeffs, const = walk(expr)
+    coeffs = {s: c for s, c in coeffs.items() if c != 0}
+    return LinearForm(coeffs=tuple(sorted(coeffs.items())), const=const)
+
+
+def substitute(form: LinearForm, env: dict) -> LinearForm:
+    """Fold environment variables of ``form`` into its constant."""
+    const = form.const
+    remaining = []
+    for name, coeff in form.coeffs:
+        if name in env:
+            const += coeff * int(env[name])
+        else:
+            remaining.append((name, coeff))
+    return LinearForm(coeffs=tuple(remaining), const=const)
+
+
+def form_sub(a: LinearForm, b: LinearForm) -> LinearForm:
+    """``a - b`` in linear-form arithmetic."""
+    coeffs = dict(a.coeffs)
+    for name, c in b.coeffs:
+        coeffs[name] = coeffs.get(name, 0) - c
+    coeffs = {n: c for n, c in coeffs.items() if c != 0}
+    return LinearForm(coeffs=tuple(sorted(coeffs.items())),
+                      const=a.const - b.const)
+
+
+@dataclass(frozen=True)
+class AnalyzedDim:
+    """One dimension of an analyzed RHS slice.
+
+    ``start``/``stop`` are linear forms over symbols and deferred
+    variables; ``extent`` is the concrete element count once all
+    deferred variables are resolved (``None`` until then).
+    """
+
+    start: LinearForm
+    stop: LinearForm | None
+    step: int
+    extent: int | None
+    is_point: bool
+    extent_form: LinearForm | None = None
+
+    @property
+    def resolved(self) -> bool:
+        return self.extent is not None
+
+    def resolve(self, env: dict, symbols: tuple) -> "AnalyzedDim":
+        start = substitute(self.start, env)
+        _check_resolved(start, symbols, "slice start")
+        if self.is_point:
+            return replace(self, start=start, extent=1)
+        stop = substitute(self.stop, env)
+        _check_resolved(stop, symbols, "slice stop")
+        extent_form = form_sub(stop, start)
+        if extent_form.coeffs:
+            raise SemanticError(
+                f"slice extent still symbolic after resolution: {extent_form}")
+        span = extent_form.const
+        if span <= 0:
+            raise SemanticError(f"empty or negative slice extent {span}")
+        extent = (span + self.step - 1) // self.step
+        return replace(self, start=start, stop=stop, extent=extent,
+                       extent_form=None)
+
+
+def _check_resolved(form: LinearForm, symbols: tuple, what: str) -> None:
+    free = [n for n in form.symbols if n not in symbols]
+    if free:
+        raise SemanticError(
+            f"{what} references unresolved integer variables {free} "
+            "(not found among the region's arguments)")
+
+
+@dataclass(frozen=True)
+class AnalyzedSlice:
+    dims: tuple  # tuple[AnalyzedDim, ...]
+
+    @property
+    def resolved(self) -> bool:
+        return all(d.resolved for d in self.dims)
+
+    @property
+    def feature_count(self) -> int:
+        n = 1
+        for d in self.dims:
+            if d.extent is None:
+                raise SemanticError("feature_count on unresolved slice; "
+                                    "call AnalyzedFunctor.resolve(env) first")
+            n *= d.extent
+        return n
+
+    def resolve(self, env: dict, symbols: tuple) -> "AnalyzedSlice":
+        return AnalyzedSlice(dims=tuple(d.resolve(env, symbols)
+                                        for d in self.dims))
+
+
+@dataclass(frozen=True)
+class AnalyzedFunctor:
+    """Validated functor: symbol order, feature shape, analyzed RHS.
+
+    ``feature_shape`` entries are ``None`` for extents that depend on
+    deferred variables; :meth:`resolve` produces the fully concrete
+    functor used by the data bridge.
+    """
+
+    name: str
+    symbols: tuple           # LHS symbolic dims, in declaration order
+    feature_shape: tuple     # ints or None (deferred)
+    feature_forms: tuple     # LinearForm extents, parallel to feature_shape
+    rhs: tuple               # tuple[AnalyzedSlice, ...]
+    decl: FunctorDecl
+
+    @property
+    def resolved(self) -> bool:
+        return all(f is not None for f in self.feature_shape) and \
+            all(s.resolved for s in self.rhs)
+
+    @property
+    def total_features(self) -> int:
+        n = 1
+        for f in self.feature_shape:
+            if f is None:
+                raise SemanticError(
+                    f"functor {self.name!r} has unresolved feature dims; "
+                    "call resolve(env) first")
+            n *= f
+        return n
+
+    def resolve(self, env: dict | None = None) -> "AnalyzedFunctor":
+        """Bind deferred integer variables; validates feature totals."""
+        env = env or {}
+        if self.resolved and not env:
+            return self
+        shape = []
+        for extent, form in zip(self.feature_shape, self.feature_forms):
+            if extent is not None:
+                shape.append(extent)
+                continue
+            resolved_form = substitute(form, env)
+            if resolved_form.coeffs:
+                raise SemanticError(
+                    f"functor {self.name!r}: feature extent {form} has "
+                    f"unresolved variables {list(resolved_form.symbols)}")
+            if resolved_form.const <= 0:
+                raise SemanticError(
+                    f"functor {self.name!r}: feature extent {form} "
+                    f"resolves to {resolved_form.const}")
+            shape.append(resolved_form.const)
+        rhs = tuple(s.resolve(env, self.symbols) for s in self.rhs)
+        out = replace(self, feature_shape=tuple(shape), rhs=rhs)
+        expected = out.total_features
+        got = sum(s.feature_count for s in rhs)
+        if got != expected:
+            raise SemanticError(
+                f"functor {self.name!r}: RHS contributes {got} features but "
+                f"LHS declares {expected}")
+        return out
+
+
+class SemanticAnalyzer:
+    """Analyze a directive list into validated functors/maps/ml configs."""
+
+    def __init__(self):
+        self.diagnostics: list[Diagnostic] = []
+        self.functors: dict[str, AnalyzedFunctor] = {}
+        self.maps: list[TensorMapDirective] = []
+        self.ml: MLDirective | None = None
+
+    # -- diagnostics -------------------------------------------------------
+    def error(self, message: str, loc: SourceLoc) -> None:
+        self.diagnostics.append(Diagnostic("error", message, loc))
+
+    def warning(self, message: str, loc: SourceLoc) -> None:
+        self.diagnostics.append(Diagnostic("warning", message, loc))
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    def raise_if_errors(self) -> None:
+        if self.errors:
+            raise SemanticError("\n".join(str(d) for d in self.errors))
+
+    # -- functor analysis -----------------------------------------------------
+    def _analyze_slice_expr(self, sl: SliceExpr, symbols: set,
+                            where: str) -> AnalyzedDim | None:
+        try:
+            start = linearize(sl.start)
+        except SemanticError as exc:
+            self.error(str(exc), sl.loc)
+            return None
+        if sl.is_point:
+            return AnalyzedDim(start=start, stop=None, step=1, extent=1,
+                               is_point=True)
+        try:
+            stop = linearize(sl.stop)
+            step_form = linearize(sl.step) if sl.step is not None else None
+        except SemanticError as exc:
+            self.error(str(exc), sl.loc)
+            return None
+        if step_form is not None and not step_form.is_constant():
+            self.error(f"{where}: slice step must be a constant", sl.loc)
+            return None
+        step = step_form.const if step_form is not None else 1
+        if step <= 0:
+            self.error(f"{where}: slice step must be positive, got {step}",
+                       sl.loc)
+            return None
+        # Extent must not depend on sweep symbols (deferred program
+        # variables are fine — they resolve at map time).
+        diff = form_sub(stop, start)
+        if any(name in symbols for name, _c in diff.coeffs):
+            self.error(
+                f"{where}: slice extent depends on symbolic constants "
+                f"({start} : {stop})", sl.loc)
+            return None
+        if diff.is_constant():
+            span = diff.const
+            if span <= 0:
+                self.error(f"{where}: empty or negative slice extent {span}",
+                           sl.loc)
+                return None
+            extent = (span + step - 1) // step
+            return AnalyzedDim(start=start, stop=stop, step=step,
+                               extent=extent, is_point=False)
+        return AnalyzedDim(start=start, stop=stop, step=step, extent=None,
+                           is_point=False, extent_form=diff)
+
+    def analyze_functor(self, decl: FunctorDecl) -> None:
+        if decl.name in self.functors:
+            self.error(f"functor {decl.name!r} redeclared", decl.loc)
+            return
+        # Pass 1 — LHS point dims that are bare names become symbols.
+        symbols: list[str] = []
+        for sl in decl.lhs.slices:
+            if not sl.is_point:
+                continue
+            try:
+                form = linearize(sl.start)
+            except SemanticError as exc:
+                self.error(str(exc), sl.loc)
+                continue
+            if len(form.coeffs) == 1 and form.coeffs[0][1] == 1 \
+                    and form.const == 0:
+                name = form.coeffs[0][0]
+                if name in symbols:
+                    self.error(f"symbol {name!r} repeated on LHS", sl.loc)
+                else:
+                    symbols.append(name)
+            elif form.is_constant():
+                self.error("LHS point dims must be symbolic constants "
+                           f"(got integer {form.const})", sl.loc)
+            else:
+                self.error(f"LHS symbolic dim must be a bare symbol, "
+                           f"got {form}", sl.loc)
+
+        # Pass 2 — LHS feature dims (ranges); must trail the symbols.
+        feature_shape: list[int | None] = []
+        feature_forms: list[LinearForm] = []
+        seen_concrete = False
+        for sl in decl.lhs.slices:
+            if sl.is_point:
+                if seen_concrete:
+                    self.error("symbolic LHS dims must precede concrete "
+                               "feature dims", sl.loc)
+                continue
+            seen_concrete = True
+            try:
+                start = linearize(sl.start)
+                stop = linearize(sl.stop)
+            except SemanticError as exc:
+                self.error(str(exc), sl.loc)
+                continue
+            diff = form_sub(stop, start)
+            if any(name in symbols for name, _c in diff.coeffs):
+                self.error("LHS feature extent cannot depend on sweep "
+                           "symbols", sl.loc)
+                continue
+            if diff.is_constant():
+                if diff.const <= 0:
+                    self.error(f"LHS feature dim has empty extent "
+                               f"{diff.const}", sl.loc)
+                    continue
+                feature_shape.append(diff.const)
+            else:
+                feature_shape.append(None)   # deferred program variables
+            feature_forms.append(diff)
+
+        symset = set(symbols)
+        rhs_slices: list[AnalyzedSlice] = []
+        for spec in decl.rhs:
+            dims = []
+            ok = True
+            for sl in spec.slices:
+                dim = self._analyze_slice_expr(sl, symset,
+                                               f"functor {decl.name!r} RHS")
+                if dim is None:
+                    ok = False
+                    continue
+                dims.append(dim)
+            if ok:
+                rhs_slices.append(AnalyzedSlice(dims=tuple(dims)))
+
+        functor = AnalyzedFunctor(
+            name=decl.name, symbols=tuple(symbols),
+            feature_shape=tuple(feature_shape),
+            feature_forms=tuple(feature_forms),
+            rhs=tuple(rhs_slices), decl=decl)
+
+        # Feature-total check only when everything is already concrete.
+        if functor.resolved and feature_shape and rhs_slices:
+            expected = functor.total_features
+            got = sum(s.feature_count for s in rhs_slices)
+            if got != expected:
+                self.error(
+                    f"functor {decl.name!r}: RHS contributes {got} features "
+                    f"but LHS declares {expected}", decl.loc)
+        if not symbols:
+            self.warning(f"functor {decl.name!r} has no symbolic dims; the "
+                         "map will produce a single tensor entry", decl.loc)
+        self.functors[decl.name] = functor
+
+    # -- map analysis ------------------------------------------------------------
+    def analyze_map(self, directive: TensorMapDirective) -> None:
+        functor = self.functors.get(directive.functor)
+        if functor is None:
+            self.error(f"tensor map references undeclared functor "
+                       f"{directive.functor!r}", directive.loc)
+            return
+        for target in directive.targets:
+            if target.spec.ndim != len(functor.symbols):
+                self.error(
+                    f"map target {target.array!r} has {target.spec.ndim} "
+                    f"sweep dims but functor {functor.name!r} declares "
+                    f"{len(functor.symbols)} symbols", target.loc)
+            for sl in target.spec.slices:
+                if sl.is_point:
+                    self.error(
+                        f"map target {target.array!r}: sweep dims must be "
+                        "ranges (start:stop[:step])", sl.loc)
+        self.maps.append(directive)
+
+    # -- ml analysis ----------------------------------------------------------------
+    def analyze_ml(self, directive: MLDirective) -> None:
+        if self.ml is not None:
+            self.error("multiple ml directives in one region annotation",
+                       directive.loc)
+            return
+        if directive.mode == "infer" and directive.model_path is None:
+            self.error("ml(infer) requires a model(...) clause", directive.loc)
+        if directive.mode == "collect" and directive.db_path is None:
+            self.error("ml(collect) requires a db(...) clause", directive.loc)
+        if directive.mode == "predicated":
+            if directive.condition is None:
+                self.error("ml(predicated) requires a condition "
+                           "(ml(predicated: expr))", directive.loc)
+            if directive.model_path is None or directive.db_path is None:
+                self.error("ml(predicated) requires both model(...) and "
+                           "db(...) clauses", directive.loc)
+        mapped_arrays = {t.array for m in self.maps for t in m.targets}
+        for name in (directive.in_arrays + directive.out_arrays
+                     + directive.inout_arrays):
+            if name not in mapped_arrays:
+                self.error(f"ml clause references array {name!r} that no "
+                           "tensor map mentions", directive.loc)
+        if not (directive.in_arrays or directive.inout_arrays):
+            self.warning("ml directive has no inputs", directive.loc)
+        self.ml = directive
+
+    # -- driver --------------------------------------------------------------------
+    def analyze(self, directives: list) -> "SemanticAnalyzer":
+        for d in directives:
+            if isinstance(d, FunctorDecl):
+                self.analyze_functor(d)
+            elif isinstance(d, TensorMapDirective):
+                self.analyze_map(d)
+            elif isinstance(d, MLDirective):
+                self.analyze_ml(d)
+            else:
+                raise TypeError(f"not a directive: {type(d).__name__}")
+        return self

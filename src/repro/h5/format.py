@@ -1,0 +1,83 @@
+"""Binary container format for the ``repro.h5`` datastore.
+
+Single-file layout (magic ``RH5F``)::
+
+    magic  b"RH5F"
+    u64    header length
+    bytes  JSON header describing the group tree:
+           {"attrs": {...}, "groups": {...}, "datasets":
+              {name: {"dtype", "shape", "offset", "nbytes", "attrs"}}}
+    bytes  concatenated raw dataset payloads
+
+The header is a faithful tree of the in-memory structure, so reading
+restores groups, datasets, and attributes exactly.  Attributes are
+JSON-serializable scalars/strings/lists (matching the common subset of
+HDF5 attribute usage in ML data pipelines).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+
+__all__ = ["encode_tree", "decode_tree", "FormatError", "MAGIC"]
+
+MAGIC = b"RH5F"
+
+
+class FormatError(RuntimeError):
+    """Raised on malformed container data."""
+
+
+def _encode_group(group_dict: dict, payload: bytearray) -> dict:
+    node = {"attrs": group_dict.get("attrs", {}), "groups": {}, "datasets": {}}
+    for name, sub in group_dict.get("groups", {}).items():
+        node["groups"][name] = _encode_group(sub, payload)
+    for name, ds in group_dict.get("datasets", {}).items():
+        arr = np.ascontiguousarray(ds["data"])
+        node["datasets"][name] = {
+            "dtype": str(arr.dtype),
+            "shape": list(arr.shape),
+            "offset": len(payload),
+            "nbytes": arr.nbytes,
+            "attrs": ds.get("attrs", {}),
+        }
+        payload.extend(arr.tobytes())
+    return node
+
+
+def encode_tree(root: dict) -> bytes:
+    """Serialize a group tree (plain-dict form) to container bytes."""
+    payload = bytearray()
+    header_tree = _encode_group(root, payload)
+    header = json.dumps(header_tree).encode("utf-8")
+    return MAGIC + struct.pack("<Q", len(header)) + header + bytes(payload)
+
+
+def _decode_group(node: dict, payload: bytes) -> dict:
+    out = {"attrs": dict(node.get("attrs", {})), "groups": {}, "datasets": {}}
+    for name, sub in node.get("groups", {}).items():
+        out["groups"][name] = _decode_group(sub, payload)
+    for name, meta in node.get("datasets", {}).items():
+        start = meta["offset"]
+        raw = payload[start:start + meta["nbytes"]]
+        if len(raw) != meta["nbytes"]:
+            raise FormatError(f"truncated dataset {name!r}")
+        arr = np.frombuffer(raw, dtype=meta["dtype"]).reshape(meta["shape"]).copy()
+        out["datasets"][name] = {"data": arr, "attrs": dict(meta.get("attrs", {}))}
+    return out
+
+
+def decode_tree(blob: bytes) -> dict:
+    """Parse container bytes back into the plain-dict group tree."""
+    if blob[:4] != MAGIC:
+        raise FormatError(f"bad magic {blob[:4]!r}")
+    (hlen,) = struct.unpack("<Q", blob[4:12])
+    header_end = 12 + hlen
+    if len(blob) < header_end:
+        raise FormatError("truncated header")
+    header = json.loads(blob[12:header_end].decode("utf-8"))
+    payload = blob[header_end:]
+    return _decode_group(header, payload)

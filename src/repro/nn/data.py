@@ -1,0 +1,86 @@
+"""Dataset/DataLoader over collection databases (§IV-B fidelity).
+
+The paper stores collected data so it is "directly readable by the
+built-in PyTorch data loaders"; this module is that reader for our
+stack: :class:`H5Dataset` wraps a region group inside a ``repro.h5``
+database, and :class:`DataLoader` iterates shuffled minibatches over
+any (x, y) dataset, exactly like its Torch namesake.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..h5 import File
+
+__all__ = ["ArrayDataset", "H5Dataset", "DataLoader"]
+
+
+class ArrayDataset:
+    """In-memory (inputs, outputs) pair dataset."""
+
+    def __init__(self, x: np.ndarray, y: np.ndarray):
+        if len(x) != len(y):
+            raise ValueError(f"x and y disagree on length: {len(x)} vs "
+                             f"{len(y)}")
+        self.x = np.asarray(x)
+        self.y = np.asarray(y)
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def __getitem__(self, idx):
+        return self.x[idx], self.y[idx]
+
+
+class H5Dataset(ArrayDataset):
+    """A region's collected data, loaded from a ``repro.h5`` database.
+
+    Exposes the ``region_time`` dataset too, so performance-accuracy
+    trade-offs can be assessed "without executing the application"
+    (§IV-B).
+    """
+
+    def __init__(self, db_path, region: str):
+        with File(db_path, "r") as fh:
+            group = fh[region]
+            x = group["inputs"].read().copy()
+            y = group["outputs"].read().copy()
+            self.region_time = group["region_time"].read().copy()
+            self.attrs = dict(group.attrs)
+        super().__init__(x, y)
+        self.region = region
+
+    @property
+    def mean_region_seconds(self) -> float:
+        return float(self.region_time.mean()) if len(self.region_time) \
+            else 0.0
+
+
+class DataLoader:
+    """Minibatch iterator with optional shuffling and tail dropping."""
+
+    def __init__(self, dataset, batch_size: int = 64, shuffle: bool = True,
+                 drop_last: bool = False, seed: int | None = None):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive: {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self):
+        n = len(self.dataset)
+        order = self.rng.permutation(n) if self.shuffle else np.arange(n)
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last \
+            else n
+        for start in range(0, stop, self.batch_size):
+            idx = order[start:start + self.batch_size]
+            yield self.dataset[idx]

@@ -1,0 +1,75 @@
+"""Loss functions and evaluation metrics.
+
+RMSE and MAPE are the two QoI metrics of Table I; the differentiable
+losses (MSE, Huber, L1) are what the BO inner loop trains against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["mse_loss", "l1_loss", "huber_loss", "mape_loss", "rmse", "mape"]
+
+
+def _pair(pred, target) -> tuple[Tensor, Tensor]:
+    if not isinstance(pred, Tensor):
+        pred = Tensor(pred)
+    if not isinstance(target, Tensor):
+        target = Tensor(target)
+    if pred.shape != target.shape:
+        raise ValueError(f"loss shape mismatch: {pred.shape} vs {target.shape}")
+    return pred, target
+
+
+def mse_loss(pred, target) -> Tensor:
+    """Mean squared error."""
+    pred, target = _pair(pred, target)
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def l1_loss(pred, target) -> Tensor:
+    """Mean absolute error."""
+    pred, target = _pair(pred, target)
+    return (pred - target).abs().mean()
+
+
+def huber_loss(pred, target, delta: float = 1.0) -> Tensor:
+    """Huber loss: quadratic near zero, linear in the tails."""
+    pred, target = _pair(pred, target)
+    diff = (pred - target).abs()
+    quad = diff.clip(0.0, delta)
+    lin = diff - quad
+    return (quad * quad * 0.5 + lin * delta).mean()
+
+
+def mape_loss(pred, target, eps: float = 1e-8) -> Tensor:
+    """Differentiable mean absolute percentage error (fraction, not %)."""
+    pred, target = _pair(pred, target)
+    denom = Tensor(np.maximum(np.abs(target.data), eps))
+    return ((pred - target).abs() / denom).mean()
+
+
+# ----------------------------------------------------------------------
+# Non-differentiable evaluation metrics on ndarrays
+# ----------------------------------------------------------------------
+
+def rmse(pred: np.ndarray, target: np.ndarray) -> float:
+    """Root mean squared error — Table I metric for 4 of 5 benchmarks."""
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ValueError(f"rmse shape mismatch: {pred.shape} vs {target.shape}")
+    return float(np.sqrt(np.mean((pred - target) ** 2)))
+
+
+def mape(pred: np.ndarray, target: np.ndarray, eps: float = 1e-12) -> float:
+    """Mean absolute percentage error in percent — MiniBUDE's metric."""
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ValueError(f"mape shape mismatch: {pred.shape} vs {target.shape}")
+    denom = np.maximum(np.abs(target), eps)
+    return float(np.mean(np.abs(pred - target) / denom) * 100.0)

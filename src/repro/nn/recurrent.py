@@ -1,0 +1,100 @@
+"""Recurrent layers (GRU) — the RNN branch of the paper's design space.
+
+§I motivates NN surrogates with the "rich space of architectures such
+as MLPs, CNNs, and RNNs"; the Table IV spaces only exercise the first
+two, so recurrent support is the natural extension for sequence-shaped
+regions (e.g. time-windowed auto-regressive surrogates).  The GRU here
+unrolls over the autograd graph, so it trains with the ordinary
+:class:`repro.nn.Trainer`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init as init_mod
+from .layers import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["GRUCell", "GRU"]
+
+
+class GRUCell(Module):
+    """Single gated-recurrent-unit step.
+
+    Weight layout matches Torch: ``weight_ih`` is (3H, F) stacked as
+    [reset; update; new], ``weight_hh`` is (3H, H).
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        h3 = 3 * hidden_size
+        self.weight_ih = Parameter(
+            init_mod.kaiming_uniform((h3, input_size), input_size, rng))
+        self.weight_hh = Parameter(
+            init_mod.kaiming_uniform((h3, hidden_size), hidden_size, rng))
+        self.bias_ih = Parameter(init_mod.uniform_bias((h3,), input_size, rng))
+        self.bias_hh = Parameter(init_mod.uniform_bias((h3,), hidden_size,
+                                                       rng))
+
+    def forward(self, x: Tensor, h: Tensor | None = None) -> Tensor:
+        if h is None:
+            h = Tensor(np.zeros((x.shape[0], self.hidden_size)))
+        gi = x @ self.weight_ih.transpose() + self.bias_ih
+        gh = h @ self.weight_hh.transpose() + self.bias_hh
+        hs = self.hidden_size
+        i_r, i_z, i_n = (gi[:, :hs], gi[:, hs:2 * hs], gi[:, 2 * hs:])
+        h_r, h_z, h_n = (gh[:, :hs], gh[:, hs:2 * hs], gh[:, 2 * hs:])
+        r = (i_r + h_r).sigmoid()
+        z = (i_z + h_z).sigmoid()
+        n = (i_n + r * h_n).tanh()
+        return n + z * (h - n)
+
+    def __call__(self, x, h=None) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        return self.forward(x, h)
+
+    def __repr__(self):
+        return f"GRUCell({self.input_size}, {self.hidden_size})"
+
+
+class GRU(Module):
+    """Unrolled GRU over (batch, seq, features) inputs.
+
+    ``return_sequence`` selects the full hidden sequence
+    (batch, seq, H) or the final hidden state (batch, H) — the latter is
+    the usual regression-head input.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 return_sequence: bool = False,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.cell = GRUCell(input_size, hidden_size, rng=rng)
+        self.return_sequence = return_sequence
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 3:
+            raise ValueError(f"GRU expects (batch, seq, features), got "
+                             f"{x.shape}")
+        seq_len = x.shape[1]
+        h = None
+        outputs = []
+        for t in range(seq_len):
+            h = self.cell(x[:, t, :], h)
+            if self.return_sequence:
+                outputs.append(h)
+        if self.return_sequence:
+            return Tensor.stack(outputs, axis=1)
+        return h
+
+    def __repr__(self):
+        return (f"GRU({self.input_size}, {self.hidden_size}, "
+                f"return_sequence={self.return_sequence})")

@@ -1,0 +1,82 @@
+"""Learning-rate schedulers for the training stack.
+
+The BO inner loop trains each candidate briefly; schedulers let longer
+offline training runs (the ML engineer's side of the §III workflow)
+anneal properly.  API mirrors Torch: construct over an optimizer, call
+``step()`` once per epoch.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .optim import Optimizer
+
+__all__ = ["StepLR", "CosineAnnealingLR", "ReduceLROnPlateau"]
+
+
+class StepLR:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int,
+                 gamma: float = 0.1):
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive: {step_size}")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        self.epoch += 1
+        self.optimizer.lr = self.base_lr * \
+            self.gamma ** (self.epoch // self.step_size)
+        return self.optimizer.lr
+
+
+class CosineAnnealingLR:
+    """Cosine decay from the base rate to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int,
+                 eta_min: float = 0.0):
+        if t_max <= 0:
+            raise ValueError(f"t_max must be positive: {t_max}")
+        self.optimizer = optimizer
+        self.t_max = t_max
+        self.eta_min = eta_min
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        self.epoch = min(self.epoch + 1, self.t_max)
+        cos = (1 + math.cos(math.pi * self.epoch / self.t_max)) / 2
+        self.optimizer.lr = self.eta_min + (self.base_lr - self.eta_min) * cos
+        return self.optimizer.lr
+
+
+class ReduceLROnPlateau:
+    """Halve (by ``factor``) when the monitored loss stops improving."""
+
+    def __init__(self, optimizer: Optimizer, factor: float = 0.5,
+                 patience: int = 5, min_lr: float = 1e-6):
+        if not 0 < factor < 1:
+            raise ValueError(f"factor must be in (0, 1): {factor}")
+        self.optimizer = optimizer
+        self.factor = factor
+        self.patience = patience
+        self.min_lr = min_lr
+        self.best = float("inf")
+        self.stale = 0
+
+    def step(self, loss: float) -> float:
+        if loss < self.best - 1e-12:
+            self.best = loss
+            self.stale = 0
+        else:
+            self.stale += 1
+            if self.stale > self.patience:
+                self.optimizer.lr = max(self.min_lr,
+                                        self.optimizer.lr * self.factor)
+                self.stale = 0
+        return self.optimizer.lr

@@ -1,0 +1,250 @@
+"""Self-contained serialized model format (``.rnm``).
+
+Stands in for TorchScript: the paper's runtime loads an opaque model
+file given by the ``model("/path/model.pt")`` clause with no knowledge
+of how the model was built.  An ``.rnm`` file therefore encodes *both*
+the architecture (a JSON layer spec) and the trained weights (raw
+little-endian arrays), so :func:`load_model` can reconstruct and run a
+model from the path alone.
+
+Layout::
+
+    magic  b"RNM1"
+    u64    header length
+    bytes  JSON header: {"arch": [...layer specs...],
+                         "arrays": [{"name", "dtype", "shape", "offset", "nbytes"}],
+                         "meta": {...}}
+    bytes  concatenated raw array payloads
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from . import layers as L
+
+__all__ = ["save_model", "load_model", "spec_from_model", "model_from_spec",
+           "ModelFormatError", "MAGIC"]
+
+MAGIC = b"RNM1"
+
+
+class ModelFormatError(RuntimeError):
+    """Raised when a model file is malformed or unsupported."""
+
+
+# ----------------------------------------------------------------------
+# Architecture spec <-> Module
+# ----------------------------------------------------------------------
+
+def spec_from_model(model: L.Module) -> list[dict]:
+    """Describe a model as a JSON-serializable layer-spec list.
+
+    Only :class:`Sequential` compositions of the layer zoo are
+    serializable — the same restriction TorchScript tracing effectively
+    imposes on the paper's MLP/CNN surrogates.
+    """
+    if not isinstance(model, L.Sequential):
+        raise ModelFormatError(
+            f"only Sequential models are serializable, got {type(model).__name__}")
+    spec = []
+    for layer in model:
+        if isinstance(layer, L.Linear):
+            spec.append({"type": "Linear", "in": layer.in_features,
+                         "out": layer.out_features,
+                         "bias": layer.bias is not None})
+        elif isinstance(layer, L.Conv2d):
+            spec.append({"type": "Conv2d", "in": layer.in_channels,
+                         "out": layer.out_channels, "k": layer.kernel_size,
+                         "s": layer.stride, "p": layer.padding,
+                         "bias": layer.bias is not None})
+        elif isinstance(layer, L.Conv1d):
+            spec.append({"type": "Conv1d", "in": layer.in_channels,
+                         "out": layer.out_channels, "k": layer.kernel_size,
+                         "s": layer.stride, "bias": layer.bias is not None})
+        elif isinstance(layer, L.MaxPool2d):
+            spec.append({"type": "MaxPool2d", "k": layer.kernel_size,
+                         "s": layer.stride})
+        elif isinstance(layer, L.MaxPool1d):
+            spec.append({"type": "MaxPool1d", "k": layer.kernel_size,
+                         "s": layer.stride})
+        elif isinstance(layer, L.AvgPool2d):
+            spec.append({"type": "AvgPool2d", "k": layer.kernel_size,
+                         "s": layer.stride})
+        elif isinstance(layer, L.ReLU):
+            spec.append({"type": "ReLU"})
+        elif isinstance(layer, L.Tanh):
+            spec.append({"type": "Tanh"})
+        elif isinstance(layer, L.Sigmoid):
+            spec.append({"type": "Sigmoid"})
+        elif isinstance(layer, L.LeakyReLU):
+            spec.append({"type": "LeakyReLU", "slope": layer.slope})
+        elif isinstance(layer, L.Dropout):
+            spec.append({"type": "Dropout", "p": layer.p})
+        elif isinstance(layer, L.Flatten):
+            spec.append({"type": "Flatten", "start_dim": layer.start_dim})
+        elif isinstance(layer, L.Identity):
+            spec.append({"type": "Identity"})
+        elif isinstance(layer, L.CropPad2d):
+            spec.append({"type": "CropPad2d", "h": layer.height,
+                         "w": layer.width})
+        elif isinstance(layer, L.Standardize):
+            spec.append({"type": "Standardize",
+                         "mean": layer.mean.ravel().tolist(),
+                         "std": layer.std.ravel().tolist(),
+                         "shape": list(layer.mean.shape)})
+        elif isinstance(layer, L.Destandardize):
+            spec.append({"type": "Destandardize",
+                         "mean": layer.mean.ravel().tolist(),
+                         "std": layer.std.ravel().tolist(),
+                         "shape": list(layer.mean.shape)})
+        elif isinstance(layer, L.BatchNorm1d):
+            spec.append({"type": "BatchNorm1d", "features": layer.num_features,
+                         "eps": layer.eps, "momentum": layer.momentum})
+        elif isinstance(layer, L.LayerNorm):
+            spec.append({"type": "LayerNorm",
+                         "features": int(layer.weight.size), "eps": layer.eps})
+        else:
+            from .recurrent import GRU
+            if isinstance(layer, GRU):
+                spec.append({"type": "GRU", "in": layer.input_size,
+                             "hidden": layer.hidden_size,
+                             "seq": layer.return_sequence})
+            else:
+                raise ModelFormatError(
+                    f"unsupported layer {type(layer).__name__}")
+    return spec
+
+
+def model_from_spec(spec: list[dict]) -> L.Sequential:
+    """Reconstruct a :class:`Sequential` model from a layer-spec list."""
+    rng = np.random.default_rng(0)
+    layers: list[L.Module] = []
+    for entry in spec:
+        kind = entry["type"]
+        if kind == "Linear":
+            layers.append(L.Linear(entry["in"], entry["out"],
+                                   bias=entry.get("bias", True), rng=rng))
+        elif kind == "Conv2d":
+            layers.append(L.Conv2d(entry["in"], entry["out"], entry["k"],
+                                   stride=entry.get("s", 1),
+                                   padding=entry.get("p", 0),
+                                   bias=entry.get("bias", True), rng=rng))
+        elif kind == "Conv1d":
+            layers.append(L.Conv1d(entry["in"], entry["out"], entry["k"],
+                                   stride=entry.get("s", 1),
+                                   bias=entry.get("bias", True), rng=rng))
+        elif kind == "MaxPool2d":
+            layers.append(L.MaxPool2d(entry["k"], entry.get("s")))
+        elif kind == "MaxPool1d":
+            layers.append(L.MaxPool1d(entry["k"], entry.get("s")))
+        elif kind == "AvgPool2d":
+            layers.append(L.AvgPool2d(entry["k"], entry.get("s")))
+        elif kind == "ReLU":
+            layers.append(L.ReLU())
+        elif kind == "Tanh":
+            layers.append(L.Tanh())
+        elif kind == "Sigmoid":
+            layers.append(L.Sigmoid())
+        elif kind == "LeakyReLU":
+            layers.append(L.LeakyReLU(entry.get("slope", 0.01)))
+        elif kind == "Dropout":
+            layers.append(L.Dropout(entry.get("p", 0.5)))
+        elif kind == "Flatten":
+            layers.append(L.Flatten(entry.get("start_dim", 1)))
+        elif kind == "Identity":
+            layers.append(L.Identity())
+        elif kind == "CropPad2d":
+            layers.append(L.CropPad2d(entry["h"], entry["w"]))
+        elif kind == "GRU":
+            from .recurrent import GRU
+            layers.append(GRU(entry["in"], entry["hidden"],
+                              return_sequence=entry.get("seq", False),
+                              rng=rng))
+        elif kind in ("Standardize", "Destandardize"):
+            shape = tuple(entry.get("shape") or [len(entry["mean"])])
+            mean = np.asarray(entry["mean"]).reshape(shape)
+            std = np.asarray(entry["std"]).reshape(shape)
+            cls_ = L.Standardize if kind == "Standardize" else L.Destandardize
+            layers.append(cls_(mean, std))
+        elif kind == "BatchNorm1d":
+            layers.append(L.BatchNorm1d(entry["features"], entry.get("eps", 1e-5),
+                                        entry.get("momentum", 0.1)))
+        elif kind == "LayerNorm":
+            layers.append(L.LayerNorm(entry["features"], entry.get("eps", 1e-5)))
+        else:
+            raise ModelFormatError(f"unknown layer type in spec: {kind!r}")
+    return L.Sequential(*layers)
+
+
+# ----------------------------------------------------------------------
+# File I/O
+# ----------------------------------------------------------------------
+
+def save_model(model: L.Module, path, meta: dict | None = None) -> None:
+    """Serialize ``model`` (architecture + weights) to ``path``."""
+    path = Path(path)
+    spec = spec_from_model(model)
+    state = model.state_dict()
+
+    arrays = []
+    payload = bytearray()
+    for name, arr in state.items():
+        arr = np.ascontiguousarray(arr)
+        arrays.append({"name": name, "dtype": str(arr.dtype),
+                       "shape": list(arr.shape), "offset": len(payload),
+                       "nbytes": arr.nbytes})
+        payload.extend(arr.tobytes())
+
+    header = json.dumps({"arch": spec, "arrays": arrays,
+                         "meta": meta or {}}).encode("utf-8")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as fh:
+        fh.write(MAGIC)
+        fh.write(struct.pack("<Q", len(header)))
+        fh.write(header)
+        fh.write(bytes(payload))
+
+
+def load_model(path) -> L.Sequential:
+    """Load a model saved by :func:`save_model`; returns it in eval mode."""
+    path = Path(path)
+    with open(path, "rb") as fh:
+        magic = fh.read(4)
+        if magic != MAGIC:
+            raise ModelFormatError(f"{path}: bad magic {magic!r}")
+        try:
+            (hlen,) = struct.unpack("<Q", fh.read(8))
+            header = json.loads(fh.read(hlen).decode("utf-8"))
+        except (struct.error, UnicodeDecodeError,
+                json.JSONDecodeError) as exc:
+            raise ModelFormatError(f"{path}: corrupt header: {exc}") from exc
+        payload = fh.read()
+
+    model = model_from_spec(header["arch"])
+    state = {}
+    for entry in header["arrays"]:
+        start = entry["offset"]
+        raw = payload[start:start + entry["nbytes"]]
+        if len(raw) != entry["nbytes"]:
+            raise ModelFormatError(f"{path}: truncated array {entry['name']}")
+        state[entry["name"]] = np.frombuffer(raw, dtype=entry["dtype"]) \
+            .reshape(entry["shape"]).copy()
+    model.load_state_dict(state)
+    model.eval()
+    return model
+
+
+def load_meta(path) -> dict:
+    """Read only the metadata dict of an ``.rnm`` file."""
+    path = Path(path)
+    with open(path, "rb") as fh:
+        if fh.read(4) != MAGIC:
+            raise ModelFormatError(f"{path}: bad magic")
+        (hlen,) = struct.unpack("<Q", fh.read(8))
+        header = json.loads(fh.read(hlen).decode("utf-8"))
+    return header.get("meta", {})

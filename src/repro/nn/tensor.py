@@ -1,0 +1,474 @@
+"""Reverse-mode autodiff tensor built on NumPy.
+
+This module is the foundation of the ``repro.nn`` substrate, standing in
+for the Torch C++ API the paper's runtime links against.  A
+:class:`Tensor` wraps a ``numpy.ndarray`` and records the operations that
+produced it so that :meth:`Tensor.backward` can propagate gradients with
+reverse-mode automatic differentiation.
+
+Design notes
+------------
+* Gradients are accumulated into ``Tensor.grad`` (a plain ndarray), and
+  broadcasting performed by forward ops is undone by
+  :func:`unbroadcast` during the backward pass.
+* The graph is a DAG of :class:`Tensor` nodes; each node stores the
+  parent tensors and a closure computing parent gradients from its own.
+* Only float arrays participate in differentiation; integer tensors can
+  flow through the graph (e.g. index arrays) but never receive grads.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = ["Tensor", "unbroadcast", "no_grad", "is_grad_enabled"]
+
+# Grad mode is thread-local so concurrent training/inference (parallel
+# search campaigns on the workflow executor) don't race on it.
+_GRAD_STATE = threading.local()
+
+
+def _grad_enabled() -> bool:
+    return getattr(_GRAD_STATE, "enabled", True)
+
+
+class no_grad:
+    """Context manager disabling graph construction (like ``torch.no_grad``)."""
+
+    def __enter__(self):
+        self._prev = _grad_enabled()
+        _GRAD_STATE.enabled = False
+        return self
+
+    def __exit__(self, *exc):
+        _GRAD_STATE.enabled = self._prev
+        return False
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new operations are recorded onto the autograd graph."""
+    return _grad_enabled()
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Reduce ``grad`` so its shape matches ``shape``.
+
+    NumPy broadcasting can expand operand shapes during the forward pass;
+    the corresponding backward pass must sum gradients over broadcast
+    axes so each parameter receives a gradient of its own shape.
+    """
+    if grad.shape == tuple(shape):
+        return grad
+    # Sum over leading axes added by broadcasting.
+    ndiff = grad.ndim - len(shape)
+    if ndiff > 0:
+        grad = grad.sum(axis=tuple(range(ndiff)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(data) -> np.ndarray:
+    if isinstance(data, np.ndarray):
+        return data
+    arr = np.asarray(data)
+    if arr.dtype == np.float64 or arr.dtype == np.float16:
+        arr = arr.astype(np.float64)
+    return arr
+
+
+class Tensor:
+    """A NumPy-backed tensor participating in reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload.  Stored as ``numpy.ndarray`` without copy
+        when possible.
+    requires_grad:
+        Whether gradients should be accumulated for this leaf.
+    parents:
+        Graph predecessors (internal).
+    backward_fn:
+        Closure mapping ``self.grad`` to a tuple of parent gradients
+        (internal).
+    name:
+        Optional debugging label.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "name")
+
+    def __init__(self, data, requires_grad: bool = False, parents=(), backward_fn=None,
+                 name: str | None = None):
+        self.data = _as_array(data)
+        self.requires_grad = bool(requires_grad) and _grad_enabled()
+        self.grad: np.ndarray | None = None
+        self._parents = tuple(parents) if self.requires_grad or parents else ()
+        self._backward_fn = backward_fn
+        self.name = name
+        if not _grad_enabled():
+            self._parents = ()
+            self._backward_fn = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.data.shape}, dtype={self.data.dtype}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying ndarray (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph machinery
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(data, parents, backward_fn) -> "Tensor":
+        requires = _grad_enabled() and any(p.requires_grad for p in parents)
+        if not requires:
+            return Tensor(data)
+        return Tensor(data, requires_grad=True, parents=parents, backward_fn=backward_fn)
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        ``grad`` defaults to ones (so scalars need no argument, matching
+        Torch semantics for loss tensors).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            grad = np.ones_like(self.data, dtype=np.float64)
+        else:
+            grad = np.asarray(grad, dtype=np.float64)
+            if grad.shape != self.data.shape:
+                raise ValueError(f"grad shape {grad.shape} != tensor shape {self.data.shape}")
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for p in node._parents:
+                if p.requires_grad and id(p) not in visited:
+                    stack.append((p, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(topo):
+            g = grads.pop(id(node), None)
+            if g is None:
+                continue
+            if node._backward_fn is None:
+                # Leaf: accumulate.
+                node.grad = g if node.grad is None else node.grad + g
+                continue
+            parent_grads = node._backward_fn(g)
+            for p, pg in zip(node._parents, parent_grads):
+                if pg is None or not p.requires_grad:
+                    continue
+                pg = unbroadcast(np.asarray(pg), p.data.shape)
+                key = id(p)
+                if key in grads:
+                    grads[key] = grads[key] + pg
+                else:
+                    grads[key] = pg
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def _coerce(self, other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def __add__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data + other.data
+        return Tensor._make(out_data, (self, other), lambda g: (g, g))
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data - other.data
+        return Tensor._make(out_data, (self, other), lambda g: (g, -g))
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data * other.data
+        a, b = self, other
+        return Tensor._make(out_data, (a, b), lambda g: (g * b.data, g * a.data))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data / other.data
+        a, b = self, other
+        return Tensor._make(
+            out_data, (a, b),
+            lambda g: (g / b.data, -g * a.data / (b.data * b.data)))
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._coerce(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        return Tensor._make(-self.data, (self,), lambda g: (-g,))
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp/log")
+        out_data = self.data ** exponent
+        a = self
+        return Tensor._make(
+            out_data, (a,),
+            lambda g: (g * exponent * a.data ** (exponent - 1),))
+
+    def __matmul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data @ other.data
+        a, b = self, other
+
+        def backward(g):
+            if a.data.ndim == 1 and b.data.ndim == 1:
+                return g * b.data, g * a.data
+            if a.data.ndim == 1:
+                ga = g @ np.swapaxes(b.data, -1, -2)
+                gb = np.outer(a.data, g)
+                return ga, gb
+            if b.data.ndim == 1:
+                ga = np.expand_dims(g, -1) * b.data
+                gb = np.swapaxes(a.data, -1, -2) @ g
+                return ga, gb
+            ga = g @ np.swapaxes(b.data, -1, -2)
+            gb = np.swapaxes(a.data, -1, -2) @ g
+            return unbroadcast(ga, a.data.shape), unbroadcast(gb, b.data.shape)
+
+        return Tensor._make(out_data, (a, b), backward)
+
+    # ------------------------------------------------------------------
+    # Comparisons (no grad; return plain Tensors of bools/floats)
+    # ------------------------------------------------------------------
+    def __gt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return Tensor(self.data > other)
+
+    def __lt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return Tensor(self.data < other)
+
+    def __ge__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return Tensor(self.data >= other)
+
+    def __le__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return Tensor(self.data <= other)
+
+    # ------------------------------------------------------------------
+    # Shape ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        old_shape = self.data.shape
+        out_data = self.data.reshape(shape)
+        return Tensor._make(out_data, (self,), lambda g: (g.reshape(old_shape),))
+
+    def flatten_from(self, start_dim: int = 1) -> "Tensor":
+        """Flatten trailing dims beginning at ``start_dim`` (Torch ``flatten``)."""
+        lead = self.data.shape[:start_dim]
+        return self.reshape(lead + (-1,))
+
+    def transpose(self, *axes) -> "Tensor":
+        axes = axes or None
+        if axes and len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        out_data = np.transpose(self.data, axes)
+        if axes is None:
+            inv = None
+        else:
+            inv = tuple(np.argsort(axes))
+        return Tensor._make(out_data, (self,),
+                            lambda g: (np.transpose(g, inv),))
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        out_data = np.swapaxes(self.data, a, b)
+        return Tensor._make(out_data, (self,), lambda g: (np.swapaxes(g, a, b),))
+
+    def __getitem__(self, idx) -> "Tensor":
+        out_data = self.data[idx]
+        src = self
+
+        def backward(g):
+            full = np.zeros_like(src.data, dtype=np.float64)
+            np.add.at(full, idx, g)
+            return (full,)
+
+        return Tensor._make(out_data, (src,), backward)
+
+    @staticmethod
+    def concatenate(tensors: list, axis: int = 0) -> "Tensor":
+        tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+        out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.data.shape[axis] for t in tensors]
+        splits = np.cumsum(sizes)[:-1]
+
+        def backward(g):
+            return tuple(np.split(g, splits, axis=axis))
+
+        return Tensor._make(out_data, tuple(tensors), backward)
+
+    @staticmethod
+    def stack(tensors: list, axis: int = 0) -> "Tensor":
+        tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+        out_data = np.stack([t.data for t in tensors], axis=axis)
+
+        def backward(g):
+            return tuple(np.moveaxis(g, axis, 0))
+
+        return Tensor._make(out_data, tuple(tensors), backward)
+
+    def pad(self, pad_width) -> "Tensor":
+        """Zero-pad; ``pad_width`` follows ``numpy.pad`` convention."""
+        out_data = np.pad(self.data, pad_width)
+        slices = tuple(slice(lo, lo + s) for (lo, _hi), s in zip(pad_width, self.data.shape))
+        return Tensor._make(out_data, (self,), lambda g: (g[slices],))
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        src_shape = self.data.shape
+
+        def backward(g):
+            if axis is None:
+                return (np.broadcast_to(g, src_shape).copy(),)
+            g2 = g
+            if not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                for ax in sorted(a % len(src_shape) for a in axes):
+                    g2 = np.expand_dims(g2, ax)
+            return (np.broadcast_to(g2, src_shape).copy(),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            n = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            n = 1
+            for ax in axes:
+                n *= self.data.shape[ax]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / n)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        src = self
+
+        def backward(g):
+            if axis is None:
+                mask = (src.data == src.data.max())
+                return (mask * g / mask.sum(),)
+            expanded = out_data if keepdims else np.expand_dims(out_data, axis)
+            mask = (src.data == expanded)
+            counts = mask.sum(axis=axis, keepdims=True)
+            g2 = g if keepdims else np.expand_dims(g, axis)
+            return (mask * g2 / counts,)
+
+        return Tensor._make(out_data, (src,), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+        return Tensor._make(out_data, (self,), lambda g: (g * out_data,))
+
+    def log(self) -> "Tensor":
+        a = self
+        return Tensor._make(np.log(self.data), (a,), lambda g: (g / a.data,))
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+        return Tensor._make(out_data, (self,), lambda g: (g * 0.5 / out_data,))
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+        return Tensor._make(out_data, (self,), lambda g: (g * (1.0 - out_data * out_data),))
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+        return Tensor._make(out_data, (self,),
+                            lambda g: (g * out_data * (1.0 - out_data),))
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        return Tensor._make(self.data * mask, (self,), lambda g: (g * mask,))
+
+    def leaky_relu(self, slope: float = 0.01) -> "Tensor":
+        mask = self.data > 0
+        factor = np.where(mask, 1.0, slope)
+        return Tensor._make(self.data * factor, (self,), lambda g: (g * factor,))
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        return Tensor._make(np.abs(self.data), (self,), lambda g: (g * sign,))
+
+    def clip(self, lo: float, hi: float) -> "Tensor":
+        mask = (self.data >= lo) & (self.data <= hi)
+        return Tensor._make(np.clip(self.data, lo, hi), (self,), lambda g: (g * mask,))

@@ -1,0 +1,180 @@
+"""Training loop utilities: dataset splitting, minibatching, Trainer.
+
+Implements the supervised workflow of §III: the data collected by the
+runtime (inputs/outputs pairs) is split into training/validation per the
+paper's "best practices" citation, and the BO inner loop trains each
+candidate with these utilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .layers import Module
+from .loss import mse_loss, rmse
+from .optim import Adam, Optimizer
+from .tensor import Tensor, no_grad
+
+__all__ = ["train_val_split", "iterate_minibatches", "Trainer", "TrainResult",
+           "normalize_stats", "Normalizer"]
+
+
+def train_val_split(x: np.ndarray, y: np.ndarray, val_fraction: float = 0.2,
+                    rng: np.random.Generator | None = None):
+    """Shuffle and split arrays into train/validation partitions."""
+    if len(x) != len(y):
+        raise ValueError(f"x and y disagree on sample count: {len(x)} vs {len(y)}")
+    if not 0.0 < val_fraction < 1.0:
+        raise ValueError(f"val_fraction must be in (0, 1): {val_fraction}")
+    rng = rng or np.random.default_rng()
+    n = len(x)
+    perm = rng.permutation(n)
+    n_val = max(1, int(round(n * val_fraction)))
+    val_idx, train_idx = perm[:n_val], perm[n_val:]
+    return (x[train_idx], y[train_idx]), (x[val_idx], y[val_idx])
+
+
+def iterate_minibatches(x: np.ndarray, y: np.ndarray, batch_size: int,
+                        rng: np.random.Generator | None = None,
+                        shuffle: bool = True):
+    """Yield ``(xb, yb)`` minibatches covering the dataset once."""
+    n = len(x)
+    order = (rng or np.random.default_rng()).permutation(n) if shuffle \
+        else np.arange(n)
+    for start in range(0, n, batch_size):
+        idx = order[start:start + batch_size]
+        yield x[idx], y[idx]
+
+
+@dataclass
+class Normalizer:
+    """Feature-wise standardization fitted on training data only."""
+
+    mean: np.ndarray
+    std: np.ndarray
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        return (x - self.mean) / self.std
+
+    def inverse(self, x: np.ndarray) -> np.ndarray:
+        return x * self.std + self.mean
+
+
+def normalize_stats(x: np.ndarray, axis=0, eps: float = 1e-8) -> Normalizer:
+    mean = x.mean(axis=axis, keepdims=True)
+    std = x.std(axis=axis, keepdims=True)
+    std = np.where(std < eps, 1.0, std)
+    return Normalizer(mean=mean, std=std)
+
+
+@dataclass
+class TrainResult:
+    """Outcome of a training run; ``history`` holds per-epoch val loss."""
+
+    best_val_loss: float
+    epochs_run: int
+    history: list = field(default_factory=list)
+
+
+class Trainer:
+    """Minibatch trainer with early stopping on validation loss.
+
+    Parameters mirror the Table V hyperparameter space: learning rate,
+    weight decay and batch size are the knobs the BO inner loop turns.
+    """
+
+    def __init__(self, model: Module, lr: float = 1e-3, weight_decay: float = 0.0,
+                 batch_size: int = 64, max_epochs: int = 50, patience: int = 8,
+                 loss_fn=mse_loss, optimizer: Optimizer | None = None,
+                 seed: int = 0, grad_clip: float | None = None,
+                 scheduler=None):
+        self.model = model
+        self.batch_size = int(batch_size)
+        self.max_epochs = max_epochs
+        self.patience = patience
+        self.loss_fn = loss_fn
+        self.rng = np.random.default_rng(seed)
+        self.optimizer = optimizer or Adam(model.parameters(), lr=lr,
+                                           weight_decay=weight_decay)
+        self.grad_clip = grad_clip
+        #: Optional LR scheduler; stepped once per epoch.  Plateau-style
+        #: schedulers (taking the validation loss) are detected by
+        #: signature.
+        self.scheduler = scheduler
+
+    def _clip_gradients(self) -> None:
+        if self.grad_clip is None:
+            return
+        total = 0.0
+        params = [p for p in self.optimizer.params if p.grad is not None]
+        for p in params:
+            total += float((p.grad * p.grad).sum())
+        norm = np.sqrt(total)
+        if norm > self.grad_clip:
+            scale = self.grad_clip / (norm + 1e-12)
+            for p in params:
+                p.grad = p.grad * scale
+
+    def _step_scheduler(self, val_loss: float) -> None:
+        if self.scheduler is None:
+            return
+        try:
+            self.scheduler.step(val_loss)
+        except TypeError:
+            self.scheduler.step()
+
+    def _epoch(self, x: np.ndarray, y: np.ndarray) -> float:
+        self.model.train()
+        total, count = 0.0, 0
+        for xb, yb in iterate_minibatches(x, y, self.batch_size, self.rng):
+            self.optimizer.zero_grad()
+            pred = self.model(Tensor(xb))
+            loss = self.loss_fn(pred, Tensor(yb))
+            loss.backward()
+            self._clip_gradients()
+            self.optimizer.step()
+            total += loss.item() * len(xb)
+            count += len(xb)
+        return total / max(count, 1)
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Validation loss without touching the autograd graph."""
+        self.model.eval()
+        with no_grad():
+            pred = self.model(Tensor(x))
+            loss = self.loss_fn(pred, Tensor(y))
+        return loss.item()
+
+    def fit(self, x_train: np.ndarray, y_train: np.ndarray,
+            x_val: np.ndarray, y_val: np.ndarray) -> TrainResult:
+        best = float("inf")
+        best_state = None
+        stale = 0
+        history = []
+        epochs = 0
+        for epoch in range(self.max_epochs):
+            epochs = epoch + 1
+            train_loss = self._epoch(x_train, y_train)
+            val_loss = self.evaluate(x_val, y_val)
+            self._step_scheduler(val_loss)
+            history.append({"epoch": epoch, "train": train_loss, "val": val_loss})
+            if val_loss < best - 1e-12:
+                best = val_loss
+                best_state = self.model.state_dict()
+                stale = 0
+            else:
+                stale += 1
+                if stale >= self.patience:
+                    break
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        self.model.eval()
+        return TrainResult(best_val_loss=best, epochs_run=epochs, history=history)
+
+    def validation_rmse(self, x_val: np.ndarray, y_val: np.ndarray) -> float:
+        self.model.eval()
+        with no_grad():
+            pred = self.model(Tensor(x_val)).numpy()
+        return rmse(pred, y_val)

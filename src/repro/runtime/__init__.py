@@ -1,0 +1,12 @@
+"""``repro.runtime`` — HPAC-ML execution control (§III-A-2, §IV-B)."""
+
+from .events import Phase, InvocationRecord, EventLog
+from .control import ExecutionPath, decide_path, eval_condition
+from .collect import DataCollector, load_training_data
+from .infer import InferenceEngine, ModelCache
+from .region import ApproxRegion, RegionConfig
+
+__all__ = ["Phase", "InvocationRecord", "EventLog", "ExecutionPath",
+           "decide_path", "eval_condition", "DataCollector",
+           "load_training_data", "InferenceEngine", "ModelCache",
+           "ApproxRegion", "RegionConfig"]

@@ -1,0 +1,80 @@
+"""Data-collection backend (§IV-B).
+
+During collection the runtime maps the region's inputs and outputs to
+tensors through the data bridge and appends them — together with the
+measured execution time of the wrapped code region — to a hierarchical
+database.  The layout matches the paper: one group per annotated
+region, holding ``inputs``, ``outputs`` and ``region_time`` datasets
+whose outer dimension is the invocation index, "directly readable by
+the built-in PyTorch data loaders" (here: :mod:`repro.nn.training`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..h5 import File
+
+__all__ = ["DataCollector", "load_training_data"]
+
+
+class DataCollector:
+    """Appends (inputs, outputs, region_time) triples per region group."""
+
+    def __init__(self, db_path):
+        self.db_path = Path(db_path)
+        self._file: File | None = None
+
+    def _open(self) -> File:
+        if self._file is None:
+            mode = "a" if self.db_path.exists() else "w"
+            self._file = File(self.db_path, mode)
+        return self._file
+
+    def record(self, region_name: str, inputs: np.ndarray,
+               outputs: np.ndarray, region_time: float) -> None:
+        """Append one invocation's data.
+
+        ``inputs``/``outputs`` are batch-major: shape ``(B, *features)``.
+        Each invocation contributes its batch entries; ``region_time``
+        is replicated per entry so sample-level runtime statistics
+        remain available to the ML engineer, as §IV-B prescribes.
+        """
+        fh = self._open()
+        group = fh.require_group(region_name)
+        ds_in = group.require_dataset("inputs", inputs.shape[1:], inputs.dtype)
+        ds_out = group.require_dataset("outputs", outputs.shape[1:], outputs.dtype)
+        ds_t = group.require_dataset("region_time", (), np.float64)
+        if len(inputs) != len(outputs):
+            raise ValueError(
+                f"inputs ({len(inputs)}) and outputs ({len(outputs)}) "
+                "disagree on batch size")
+        ds_in.append(inputs)
+        ds_out.append(outputs)
+        ds_t.append(np.full(len(inputs), region_time, dtype=np.float64))
+        group.attrs["invocations"] = group.attrs.get("invocations", 0) + 1
+
+    def flush(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    @property
+    def bytes_written(self) -> int:
+        self.flush()
+        return self.db_path.stat().st_size if self.db_path.exists() else 0
+
+
+def load_training_data(db_path, region_name: str):
+    """Read a region's collected data: ``(inputs, outputs, region_time)``."""
+    with File(db_path, "r") as fh:
+        group = fh[region_name]
+        return (group["inputs"].read().copy(),
+                group["outputs"].read().copy(),
+                group["region_time"].read().copy())

@@ -1,0 +1,68 @@
+"""Execution-path decision logic (§III-A-2, §IV-B).
+
+HPAC generates two execution paths per annotated region — accurate and
+approximate — and decides per invocation which to take.  HPAC-ML's
+modes map onto that choice:
+
+* ``infer``      → approximate path (surrogate inference), always;
+* ``collect``    → accurate path *plus* data capture, always;
+* ``predicated`` → evaluate the condition each invocation: true means
+  inference, false means collection (paper §III-B);
+* an additional ``if(...)`` clause gates approximation entirely: when
+  false the accurate path runs with **no** collection — this is the
+  primitive Fig. 9 uses to interleave accurate timesteps with surrogate
+  steps.
+"""
+
+from __future__ import annotations
+
+from ..directives.ast_nodes import MLDirective
+
+__all__ = ["ExecutionPath", "decide_path", "eval_condition", "eval_expr"]
+
+
+class ExecutionPath:
+    ACCURATE = "accurate"
+    COLLECT = "collect"
+    INFER = "infer"
+
+
+def eval_condition(expr: str, env: dict) -> bool:
+    """Evaluate an opaque bool-expr against the region's bound arguments.
+
+    The directive grammar treats these conditions as host-language
+    expressions (in C they compile into the application); here the host
+    language is Python, so ``eval`` against the call's argument binding
+    is the faithful analogue.  Builtins are stripped: conditions are
+    arithmetic/logical expressions over region arguments, not programs.
+    """
+    try:
+        return bool(eval(expr, {"__builtins__": {}}, dict(env)))
+    except Exception as exc:
+        raise RuntimeError(f"failed to evaluate directive condition "
+                           f"{expr!r}: {exc}") from exc
+
+
+def eval_expr(expr: str, env: dict) -> float:
+    """Evaluate an opaque host-language numeric expression (e.g. the
+    rate operand of a ``perfo`` clause) against the call environment."""
+    try:
+        return float(eval(expr, {"__builtins__": {}}, dict(env)))
+    except Exception as exc:
+        raise RuntimeError(f"failed to evaluate directive expression "
+                           f"{expr!r}: {exc}") from exc
+
+
+def decide_path(ml: MLDirective, env: dict) -> str:
+    """Resolve which execution path this invocation takes."""
+    if ml.if_condition is not None and not eval_condition(ml.if_condition, env):
+        return ExecutionPath.ACCURATE
+    if ml.mode == "infer":
+        if ml.condition is not None and not eval_condition(ml.condition, env):
+            return ExecutionPath.ACCURATE
+        return ExecutionPath.INFER
+    if ml.mode == "collect":
+        return ExecutionPath.COLLECT
+    # predicated: true -> inference, false -> data collection
+    return ExecutionPath.INFER if eval_condition(ml.condition, env) \
+        else ExecutionPath.COLLECT

@@ -1,0 +1,94 @@
+"""Runtime event timing: the Fig. 6 breakdown instrumentation.
+
+Every region invocation records where its time went: mapping
+application memory **to tensors**, running the **inference engine**,
+mapping tensors back **from tensors**, or executing the **accurate
+path** (original kernel).  :class:`EventLog` aggregates per-phase
+totals so the benchmark harness can print the proportions of Fig. 6.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["Phase", "InvocationRecord", "EventLog"]
+
+
+class Phase(Enum):
+    TO_TENSOR = "to_tensor"
+    INFERENCE = "inference"
+    FROM_TENSOR = "from_tensor"
+    ACCURATE = "accurate"
+    COLLECT_IO = "collect_io"
+
+
+@dataclass
+class InvocationRecord:
+    """Timing of a single region invocation, seconds per phase."""
+
+    path: str  # 'infer' | 'collect' | 'accurate'
+    times: dict = field(default_factory=dict)
+
+    def add(self, phase: Phase, seconds: float) -> None:
+        self.times[phase] = self.times.get(phase, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        return sum(self.times.values())
+
+
+class EventLog:
+    """Accumulates invocation records and answers breakdown queries."""
+
+    def __init__(self):
+        self.records: list[InvocationRecord] = []
+
+    def new_record(self, path: str) -> InvocationRecord:
+        rec = InvocationRecord(path=path)
+        self.records.append(rec)
+        return rec
+
+    @contextmanager
+    def timed(self, record: InvocationRecord, phase: Phase):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            record.add(phase, time.perf_counter() - start)
+
+    # -- aggregation ----------------------------------------------------
+    def total(self, phase: Phase | None = None) -> float:
+        if phase is None:
+            return sum(r.total for r in self.records)
+        return sum(r.times.get(phase, 0.0) for r in self.records)
+
+    def count(self, path: str | None = None) -> int:
+        if path is None:
+            return len(self.records)
+        return sum(1 for r in self.records if r.path == path)
+
+    def breakdown(self) -> dict:
+        """Fraction of inference-path time per phase (Fig. 6 rows)."""
+        phases = (Phase.TO_TENSOR, Phase.INFERENCE, Phase.FROM_TENSOR)
+        totals = {p: 0.0 for p in phases}
+        for r in self.records:
+            if r.path != "infer":
+                continue
+            for p in phases:
+                totals[p] += r.times.get(p, 0.0)
+        grand = sum(totals.values())
+        if grand <= 0:
+            return {p.value: 0.0 for p in phases}
+        return {p.value: totals[p] / grand for p in phases}
+
+    def bridge_overhead(self) -> float:
+        """Bridge time relative to engine time (the paper's 0.01%–8%)."""
+        engine = self.total(Phase.INFERENCE)
+        bridge = self.total(Phase.TO_TENSOR) + self.total(Phase.FROM_TENSOR)
+        return bridge / engine if engine > 0 else float("inf")
+
+    def reset(self) -> None:
+        self.records.clear()

@@ -1,0 +1,99 @@
+"""Inference backend: model loading, caching, and device execution.
+
+Mirrors §IV-B's inference path: the first invocation loads the model
+file given by the ``model(...)`` clause (then caches it, "if it has not
+already been loaded"); every invocation moves the composed input tensor
+to the (simulated) device, evaluates the network, and moves the output
+back for the bridge to scatter.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..device import Device
+from ..nn import load_model, no_grad
+from ..nn.layers import Module
+from ..nn.tensor import Tensor
+
+__all__ = ["InferenceEngine", "ModelCache"]
+
+
+class ModelCache:
+    """Path-keyed cache of deserialized models (one load per path)."""
+
+    def __init__(self):
+        self._models: dict[str, Module] = {}
+
+    def get(self, path) -> Module:
+        key = str(Path(path).resolve())
+        model = self._models.get(key)
+        if model is None:
+            model = load_model(path)
+            self._models[key] = model
+        return model
+
+    def put(self, path, model: Module) -> None:
+        """Pre-seed the cache (used by in-memory search pipelines)."""
+        self._models[str(Path(path).resolve())] = model
+
+    def clear(self) -> None:
+        self._models.clear()
+
+    def __len__(self):
+        return len(self._models)
+
+
+class InferenceEngine:
+    """Runs surrogate inference on a simulated device."""
+
+    def __init__(self, device: Device | None = None,
+                 cache: ModelCache | None = None):
+        self.device = device or Device()
+        self.cache = cache or ModelCache()
+        #: Timing of the most recent inference: ``forward_wall`` is the
+        #: measured host time of the dense forward pass;
+        #: ``forward_device`` is its device-equivalent
+        #: (:meth:`repro.device.Device.dense_time`); ``transfer_sim``
+        #: is the modeled H2D+D2H cost.
+        self.last_timing: dict = {}
+
+    def infer(self, model_path, inputs: np.ndarray) -> np.ndarray:
+        """Full inference round trip: H2D transfer, forward, D2H transfer.
+
+        ``inputs`` is batch-major ``(B, *features)``; the return value
+        keeps the model's output shape ``(B, *out_features)``.
+        """
+        model = self.cache.get(model_path)
+        return self.infer_with_model(model, inputs)
+
+    def infer_with_model(self, model: Module, inputs: np.ndarray) -> np.ndarray:
+        import time
+
+        sim_before = self.device.clock.simulated
+        dev_in = self.device.to_device(inputs)
+        model.eval()
+
+        start = time.perf_counter()
+        with no_grad():
+            out = model(Tensor(dev_in.array)).numpy()
+        forward_wall = time.perf_counter() - start
+        self.device.kernel_launches += 1
+
+        from ..device.memory import DeviceBuffer, MemorySpace
+        dev_out = DeviceBuffer(out, MemorySpace.DEVICE)
+        result = self.device.to_host(dev_out)
+        self.last_timing = {
+            "forward_wall": forward_wall,
+            "forward_device": self.device.dense_time(forward_wall),
+            "transfer_sim": self.device.clock.simulated - sim_before,
+        }
+        return result
+
+    @property
+    def last_inference_seconds(self) -> float:
+        """Device-equivalent engine time of the last inference (used by
+        the runtime for the Fig. 6 INFERENCE phase)."""
+        return self.last_timing.get("forward_device", 0.0)

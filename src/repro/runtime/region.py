@@ -1,0 +1,276 @@
+"""ApproxRegion: the outlined code region and its runtime entry point.
+
+The HPAC-ML compiler outlines the annotated statement into a function
+and replaces it with a runtime call (§IV-B).  Here the "outlined
+function" is the decorated Python callable; :class:`ApproxRegion` is the
+runtime entry point that, per invocation:
+
+1. binds the call arguments to the directive's array names and integer
+   variables (the role Clang codegen plays when it forwards pointers);
+2. concretizes the ``to``/``from`` tensor maps over those arrays;
+3. decides the execution path (:mod:`repro.runtime.control`);
+4. runs inference (data bridge → engine → data bridge) or the accurate
+   path (plus collection), timing each phase for the Fig. 6 breakdown.
+"""
+
+from __future__ import annotations
+
+import inspect
+import weakref
+
+import numpy as np
+
+from ..bridge import BridgeError, TensorFunctor, concretize, evaluate_ranges
+from ..directives.ast_nodes import (FunctorDecl, MLDirective,
+                                    TensorMapDirective)
+from ..directives.parser import parse_program
+from ..directives.semantic import SemanticAnalyzer
+from .collect import DataCollector
+from .control import ExecutionPath, decide_path
+from .events import EventLog, Phase
+from .infer import InferenceEngine
+
+__all__ = ["ApproxRegion", "RegionConfig"]
+
+
+class RegionConfig:
+    """Mutable runtime knobs a region honors (override directive clauses)."""
+
+    def __init__(self, model_path=None, db_path=None, engine=None,
+                 event_log=None):
+        self.model_path = model_path
+        self.db_path = db_path
+        self.engine = engine
+        self.event_log = event_log
+
+
+class _BoundMap:
+    """One map target resolved against the analyzer's functor table."""
+
+    __slots__ = ("direction", "functor", "array_name", "spec")
+
+    def __init__(self, direction, functor, array_name, spec):
+        self.direction = direction
+        self.functor = functor
+        self.array_name = array_name
+        self.spec = spec
+
+
+class ApproxRegion:
+    """A callable wrapping an outlined region with HPAC-ML semantics."""
+
+    def __init__(self, func, directives: str, name: str | None = None,
+                 config: RegionConfig | None = None):
+        self.func = func
+        self.name = name or func.__name__
+        self.config = config or RegionConfig()
+        self.signature = inspect.signature(func)
+        self.events = self.config.event_log or EventLog()
+        self._engine = self.config.engine or InferenceEngine()
+        self._collector: DataCollector | None = None
+        self._map_cache: dict = {}
+
+        nodes = parse_program(directives)
+        analyzer = SemanticAnalyzer().analyze(nodes)
+        analyzer.raise_if_errors()
+        if analyzer.ml is None:
+            raise ValueError(f"region {self.name!r}: annotation lacks an "
+                             "ml directive")
+        self.ml: MLDirective = analyzer.ml
+        self.functors = {n: TensorFunctor.from_analyzed(a)
+                         for n, a in analyzer.functors.items()}
+
+        self._in_maps: list[_BoundMap] = []
+        self._out_maps: list[_BoundMap] = []
+        in_names = set(self.ml.in_arrays) | set(self.ml.inout_arrays)
+        out_names = set(self.ml.out_arrays) | set(self.ml.inout_arrays)
+        for directive in analyzer.maps:
+            functor = self.functors[directive.functor]
+            for target in directive.targets:
+                bound = _BoundMap(directive.direction, functor,
+                                  target.array, target.spec)
+                if directive.direction == "to":
+                    if target.array not in in_names:
+                        raise ValueError(
+                            f"region {self.name!r}: to-map targets "
+                            f"{target.array!r} which is not an in/inout array")
+                    self._in_maps.append(bound)
+                else:
+                    if target.array not in out_names:
+                        raise ValueError(
+                            f"region {self.name!r}: from-map targets "
+                            f"{target.array!r} which is not an out/inout array")
+                    self._out_maps.append(bound)
+        if not self._in_maps:
+            raise ValueError(f"region {self.name!r}: no to-direction tensor map")
+        if not self._out_maps:
+            raise ValueError(f"region {self.name!r}: no from-direction tensor map")
+
+    # ------------------------------------------------------------------
+    # Per-invocation plumbing
+    # ------------------------------------------------------------------
+    def _bind_env(self, args, kwargs) -> dict:
+        bound = self.signature.bind(*args, **kwargs)
+        bound.apply_defaults()
+        return dict(bound.arguments)
+
+    def _concretize(self, maps: list[_BoundMap], env: dict, writable: bool):
+        """Concretize map targets, reusing descriptors across invocations.
+
+        The paper's runtime allocates the slice descriptors once and
+        re-fills them per call; iterative applications (MiniWeather's
+        timestep fires thousands of times on the same buffers) would
+        otherwise pay symbolic resolution and view construction on the
+        hot path.  Cached entries are keyed on the exact array object
+        (via weakref), its shape, and the integer environment, so any
+        change re-concretizes.
+        """
+        env_key = tuple(sorted(
+            (k, int(v)) for k, v in env.items()
+            if isinstance(v, (int, np.integer))))
+        out = []
+        for idx, m in enumerate(maps):
+            array = env.get(m.array_name)
+            if array is None:
+                raise BridgeError(
+                    f"region {self.name!r}: array {m.array_name!r} not "
+                    "among call arguments")
+            if not isinstance(array, np.ndarray):
+                raise BridgeError(
+                    f"region {self.name!r}: argument {m.array_name!r} is "
+                    f"{type(array).__name__}, expected ndarray")
+            key = (writable, m.array_name, idx, id(array), array.shape,
+                   env_key)
+            cached = self._map_cache.get(key)
+            if cached is not None:
+                ref, cm = cached
+                if ref() is array:
+                    out.append(cm)
+                    continue
+            ranges = evaluate_ranges(m.spec, env)
+            cm = concretize(m.functor, array, ranges, env=env,
+                            writable=writable)
+            if len(self._map_cache) > 64:
+                self._map_cache.clear()
+            self._map_cache[key] = (weakref.ref(array), cm)
+            out.append(cm)
+        return out
+
+    def _gather_inputs(self, in_maps, record) -> np.ndarray:
+        with self.events.timed(record, Phase.TO_TENSOR):
+            if len(in_maps) == 1:
+                return in_maps[0].gather(flatten_batch=True)
+            parts = []
+            batch = None
+            for cm in in_maps:
+                x = cm.gather(flatten_batch=True)
+                x = x.reshape(len(x), -1)
+                if batch is None:
+                    batch = len(x)
+                elif len(x) != batch:
+                    raise BridgeError(
+                        f"region {self.name!r}: input maps disagree on batch "
+                        f"size ({batch} vs {len(x)})")
+                parts.append(x)
+            return np.concatenate(parts, axis=-1)
+
+    def _gather_outputs(self, env: dict) -> np.ndarray:
+        """Read output arrays through the from-maps (collection path)."""
+        out_reads = self._concretize(self._out_maps, env, writable=False)
+        if len(out_reads) == 1:
+            return out_reads[0].gather(flatten_batch=True)
+        parts = [cm.gather(flatten_batch=True).reshape(cm.entry_count, -1)
+                 for cm in out_reads]
+        return np.concatenate(parts, axis=-1)
+
+    def _scatter_outputs(self, out_maps, tensor: np.ndarray, record) -> None:
+        with self.events.timed(record, Phase.FROM_TENSOR):
+            if len(out_maps) == 1:
+                out_maps[0].scatter(tensor)
+                return
+            flat = tensor.reshape(len(tensor), -1)
+            offset = 0
+            for cm in out_maps:
+                width = cm.functor.total_features
+                cm.scatter(flat[:, offset:offset + width])
+                offset += width
+            if offset != flat.shape[-1]:
+                raise BridgeError(
+                    f"region {self.name!r}: model produced {flat.shape[-1]} "
+                    f"features, out maps consume {offset}")
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    @property
+    def model_path(self):
+        return self.config.model_path or self.ml.model_path
+
+    @property
+    def db_path(self):
+        return self.config.db_path or self.ml.db_path
+
+    def _collector_for(self, path) -> DataCollector:
+        if self._collector is None or str(self._collector.db_path) != str(path):
+            if self._collector is not None:
+                self._collector.close()
+            self._collector = DataCollector(path)
+        return self._collector
+
+    def _run_infer(self, env, record):
+        in_maps = self._concretize(self._in_maps, env, writable=False)
+        inputs = self._gather_inputs(in_maps, record)
+        if self.model_path is None:
+            raise RuntimeError(f"region {self.name!r}: inference "
+                               "requested but no model path configured")
+        outputs = self._engine.infer(self.model_path, inputs)
+        # The INFERENCE phase is the engine's device-equivalent time
+        # (dense forward on the simulated accelerator); transfer costs
+        # accumulate on the device clock.
+        record.add(Phase.INFERENCE, self._engine.last_inference_seconds)
+        out_maps = self._concretize(self._out_maps, env, writable=True)
+        self._scatter_outputs(out_maps, outputs, record)
+        return None
+
+    def _run_accurate(self, env, record, collect: bool, args, kwargs):
+        inputs = None
+        if collect:
+            in_maps = self._concretize(self._in_maps, env, writable=False)
+            inputs = self._gather_inputs(in_maps, record)
+        with self.events.timed(record, Phase.ACCURATE):
+            result = self.func(*args, **kwargs)
+        if collect:
+            outputs = self._gather_outputs(env)
+            region_time = record.times.get(Phase.ACCURATE, 0.0)
+            if self.db_path is None:
+                raise RuntimeError(f"region {self.name!r}: collection "
+                                   "requested but no db path configured")
+            with self.events.timed(record, Phase.COLLECT_IO):
+                self._collector_for(self.db_path).record(
+                    self.name, inputs, outputs, region_time)
+        return result
+
+    # ------------------------------------------------------------------
+    def __call__(self, *args, **kwargs):
+        env = self._bind_env(args, kwargs)
+        path = decide_path(self.ml, env)
+        record = self.events.new_record(path)
+        if path == ExecutionPath.INFER:
+            return self._run_infer(env, record)
+        if path == ExecutionPath.COLLECT:
+            return self._run_accurate(env, record, True, args, kwargs)
+        return self._run_accurate(env, record, False, args, kwargs)
+
+    def flush(self) -> None:
+        """Persist any buffered collection data."""
+        if self._collector is not None:
+            self._collector.flush()
+
+    def close(self) -> None:
+        if self._collector is not None:
+            self._collector.close()
+            self._collector = None
+
+    def __repr__(self):
+        return (f"ApproxRegion({self.name!r}, mode={self.ml.mode!r}, "
+                f"in={len(self._in_maps)}, out={len(self._out_maps)})")

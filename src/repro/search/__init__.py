@@ -1,0 +1,26 @@
+"""``repro.search`` — Bayesian-optimization NAS (§V-C, Tables IV/V)."""
+
+from .space import (Continuous, Integer, Choice, Space,
+                    minibude_arch_space, mlp2_arch_space,
+                    miniweather_arch_space, particlefilter_arch_space,
+                    hyperparameter_space, arch_space_for)
+from .kernels import rbf, matern52, Kernel, RBF, Matern52
+from .gp import GaussianProcess
+from .acquisition import expected_improvement, lower_confidence_bound
+from .bo import Trial, BOResult, BayesianOptimizer
+from .pareto import pareto_front_mask, chebyshev_scalarize, hypervolume_2d
+from .builders import (build_minibude_mlp, build_mlp2, build_miniweather_cnn,
+                       build_particlefilter_cnn, builder_for)
+from .nested import ModelTrial, NASResult, NestedSearch, measure_latency
+
+__all__ = [
+    "Continuous", "Integer", "Choice", "Space", "minibude_arch_space",
+    "mlp2_arch_space", "miniweather_arch_space", "particlefilter_arch_space",
+    "hyperparameter_space", "arch_space_for", "rbf", "matern52", "Kernel",
+    "RBF", "Matern52", "GaussianProcess", "expected_improvement",
+    "lower_confidence_bound", "Trial", "BOResult", "BayesianOptimizer",
+    "pareto_front_mask", "chebyshev_scalarize", "hypervolume_2d",
+    "build_minibude_mlp", "build_mlp2", "build_miniweather_cnn",
+    "build_particlefilter_cnn", "builder_for", "ModelTrial", "NASResult",
+    "NestedSearch", "measure_latency",
+]

@@ -1,0 +1,125 @@
+"""Bayesian optimization loop (§V-C).
+
+GP-surrogate minimization over a :class:`repro.search.space.Space`:
+seed with random samples, then per iteration fit the GP on unit-cube
+coordinates and pick the candidate maximizing expected improvement over
+a random candidate pool (the standard discrete-acquisition strategy for
+mixed integer/categorical spaces like Table IV's).
+
+Supports the paper's early-stopping rule: stop when no improving trial
+is found for ``stale_limit`` consecutive iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .acquisition import expected_improvement
+from .gp import GaussianProcess
+from .space import Space
+
+__all__ = ["Trial", "BOResult", "BayesianOptimizer"]
+
+
+@dataclass
+class Trial:
+    index: int
+    config: dict
+    value: float
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass
+class BOResult:
+    best: Trial
+    trials: list
+
+    @property
+    def best_config(self) -> dict:
+        return self.best.config
+
+    @property
+    def best_value(self) -> float:
+        return self.best.value
+
+
+class BayesianOptimizer:
+    """Minimize ``objective(config) -> float`` (or ``(float, extra)``)."""
+
+    def __init__(self, space: Space, n_init: int = 5, n_candidates: int = 256,
+                 stale_limit: int | None = None, seed: int = 0,
+                 dedup: bool = True):
+        self.space = space
+        self.n_init = max(1, n_init)
+        self.n_candidates = n_candidates
+        self.stale_limit = stale_limit
+        self.rng = np.random.default_rng(seed)
+        self.dedup = dedup
+
+    def _evaluate(self, objective: Callable, config: dict, index: int) -> Trial:
+        result = objective(config)
+        if isinstance(result, tuple):
+            value, extra = result
+        else:
+            value, extra = result, {}
+        if not np.isfinite(value):
+            value = 1e12
+        return Trial(index=index, config=config, value=float(value),
+                     extra=extra)
+
+    def _propose(self, xs: list, ys: list) -> dict:
+        x = np.array(xs)
+        y = np.array(ys)
+        gp = GaussianProcess()
+        try:
+            gp.fit(x, y)
+        except Exception:
+            return self.space.sample(self.rng)
+        cands = self.rng.random((self.n_candidates, self.space.dim))
+        # Round-trip through config space so integer/choice snapping is
+        # reflected in the acquisition coordinates.
+        configs = [self.space.from_unit(c) for c in cands]
+        snapped = np.array([self.space.to_unit(c) for c in configs])
+        mean, std = gp.predict(snapped)
+        ei = expected_improvement(mean, std, best=float(y.min()))
+        if self.dedup:
+            seen = {tuple(np.round(xi, 6)) for xi in x}
+            for i, s in enumerate(snapped):
+                if tuple(np.round(s, 6)) in seen:
+                    ei[i] = -np.inf
+        best_idx = int(np.argmax(ei))
+        if not np.isfinite(ei[best_idx]):
+            return self.space.sample(self.rng)
+        return configs[best_idx]
+
+    def minimize(self, objective: Callable, n_iterations: int = 30,
+                 callback: Callable | None = None) -> BOResult:
+        trials: list[Trial] = []
+        xs: list[np.ndarray] = []
+        ys: list[float] = []
+        best: Trial | None = None
+        stale = 0
+
+        for it in range(n_iterations):
+            if it < self.n_init:
+                config = self.space.sample(self.rng)
+            else:
+                config = self._propose(xs, ys)
+            trial = self._evaluate(objective, config, it)
+            trials.append(trial)
+            xs.append(self.space.to_unit(config))
+            ys.append(trial.value)
+
+            if best is None or trial.value < best.value - 1e-12:
+                best = trial
+                stale = 0
+            else:
+                stale += 1
+            if callback is not None:
+                callback(trial, best)
+            if self.stale_limit is not None and stale >= self.stale_limit:
+                break
+        return BOResult(best=best, trials=trials)

@@ -1,0 +1,137 @@
+"""Architecture builders: Table IV config dicts → ``repro.nn`` models.
+
+One builder per benchmark family, matching the paper's
+domain-expert-confined architecture classes: deep decaying MLPs for
+MiniBUDE, 1-2 hidden-layer MLPs for Binomial Options/Bonds, small
+grid-to-grid CNNs for MiniWeather, and conv+pool+FC regressors for
+ParticleFilter.  Dropout comes from the Table V hyperparameters, so
+builders accept it separately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import (Conv2d, CropPad2d, Dropout, Flatten, Linear, MaxPool2d,
+                  ReLU, Sequential)
+from ..nn.functional import conv_output_size
+
+__all__ = ["build_minibude_mlp", "build_mlp2", "build_miniweather_cnn",
+           "build_particlefilter_cnn", "builder_for"]
+
+
+def build_minibude_mlp(config: dict, in_features: int = 6,
+                       out_features: int = 1, dropout: float = 0.0,
+                       seed: int = 0) -> Sequential:
+    """Deep MLP whose width decays by ``feature_multiplier`` per layer."""
+    rng = np.random.default_rng(seed)
+    n_layers = int(config["num_hidden_layers"])
+    width = int(config["hidden1_size"])
+    mult = float(config["feature_multiplier"])
+    layers = []
+    prev = in_features
+    for i in range(n_layers):
+        w = max(4, int(round(width * mult ** i)))
+        layers.append(Linear(prev, w, rng=rng))
+        layers.append(ReLU())
+        if dropout > 0:
+            layers.append(Dropout(dropout, rng=np.random.default_rng(seed + i)))
+        prev = w
+    layers.append(Linear(prev, out_features, rng=rng))
+    return Sequential(*layers)
+
+
+def build_mlp2(config: dict, in_features: int, out_features: int,
+               dropout: float = 0.0, seed: int = 0) -> Sequential:
+    """1-2 hidden-layer MLP; ``hidden2_features == 0`` drops layer 2."""
+    rng = np.random.default_rng(seed)
+    h1 = max(1, int(config["hidden1_features"]))
+    h2 = int(config["hidden2_features"])
+    layers = [Linear(in_features, h1, rng=rng), ReLU()]
+    if dropout > 0:
+        layers.append(Dropout(dropout, rng=np.random.default_rng(seed + 1)))
+    prev = h1
+    if h2 > 0:
+        layers += [Linear(prev, h2, rng=rng), ReLU()]
+        if dropout > 0:
+            layers.append(Dropout(dropout, rng=np.random.default_rng(seed + 2)))
+        prev = h2
+    layers.append(Linear(prev, out_features, rng=rng))
+    return Sequential(*layers)
+
+
+def build_miniweather_cnn(config: dict, nz: int, nx: int,
+                          channels: int = 4, dropout: float = 0.0,
+                          seed: int = 0) -> Sequential:
+    """Grid-to-grid CNN: state (4, nz, nx) → next state (4, nz, nx).
+
+    Convolutions run un-padded; a :class:`CropPad2d` restores the exact
+    grid shape (the data bridge requires the LHS tensor shape back).
+    """
+    rng = np.random.default_rng(seed)
+    k1 = int(config["conv1_kernel"])
+    c1 = int(config["conv1_channels"])
+    k2 = int(config["conv2_kernel"])
+    pad1 = k1 // 2
+    layers = [Conv2d(channels, c1, k1, padding=pad1, rng=rng), ReLU()]
+    if k2 > 0:
+        layers += [Conv2d(c1, c1, k2, padding=k2 // 2, rng=rng), ReLU()]
+    layers.append(Conv2d(c1, channels, 1, rng=rng))
+    layers.append(CropPad2d(nz, nx))
+    return Sequential(*layers)
+
+
+def build_particlefilter_cnn(config: dict, height: int, width: int,
+                             out_features: int = 2, dropout: float = 0.0,
+                             conv_channels: int = 8, seed: int = 0) -> Sequential:
+    """Frame CNN: (1, H, W) → (y, x) location regression."""
+    rng = np.random.default_rng(seed)
+    k = int(config["conv_kernel"])
+    s = int(config["conv_stride"])
+    mk = int(config["maxpool_kernel"])
+    fc2 = int(config["fc2_size"])
+
+    h = conv_output_size(height, k, s)
+    w = conv_output_size(width, k, s)
+    if h < 1 or w < 1:
+        raise ValueError(f"conv config {config} collapses a {height}x{width} "
+                         "frame to nothing")
+    layers = [Conv2d(1, conv_channels, k, stride=s, rng=rng), ReLU()]
+    if mk > 1 and h >= mk and w >= mk:
+        layers.append(MaxPool2d(mk))
+        h = conv_output_size(h, mk, mk)
+        w = conv_output_size(w, mk, mk)
+    layers.append(Flatten())
+    flat = conv_channels * h * w
+    if dropout > 0:
+        layers.append(Dropout(dropout, rng=np.random.default_rng(seed + 1)))
+    if fc2 > 0:
+        layers += [Linear(flat, fc2, rng=rng), ReLU(),
+                   Linear(fc2, out_features, rng=rng)]
+    else:
+        layers.append(Linear(flat, out_features, rng=rng))
+    return Sequential(*layers)
+
+
+def builder_for(benchmark: str):
+    """Return ``build(config, dropout, seed, **shape_kwargs)`` per app."""
+    if benchmark == "minibude":
+        return lambda config, dropout=0.0, seed=0, **kw: build_minibude_mlp(
+            config, dropout=dropout, seed=seed,
+            in_features=kw.get("in_features", 6),
+            out_features=kw.get("out_features", 1))
+    if benchmark in ("binomial", "bonds"):
+        out_default = 2 if benchmark == "bonds" else 1
+        return lambda config, dropout=0.0, seed=0, **kw: build_mlp2(
+            config, dropout=dropout, seed=seed,
+            in_features=kw.get("in_features", 5),
+            out_features=kw.get("out_features", out_default))
+    if benchmark == "miniweather":
+        return lambda config, dropout=0.0, seed=0, **kw: build_miniweather_cnn(
+            config, dropout=dropout, seed=seed,
+            nz=kw["nz"], nx=kw["nx"])
+    if benchmark == "particlefilter":
+        return lambda config, dropout=0.0, seed=0, **kw: \
+            build_particlefilter_cnn(config, dropout=dropout, seed=seed,
+                                     height=kw["height"], width=kw["width"])
+    raise KeyError(f"no builder for benchmark {benchmark!r}")

@@ -1,0 +1,58 @@
+"""Covariance kernels for Gaussian-process regression."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rbf", "matern52", "Kernel", "RBF", "Matern52"]
+
+
+def _sqdist(a: np.ndarray, b: np.ndarray, lengthscale) -> np.ndarray:
+    a = a / lengthscale
+    b = b / lengthscale
+    aa = (a * a).sum(axis=1)[:, None]
+    bb = (b * b).sum(axis=1)[None, :]
+    d2 = aa + bb - 2.0 * a @ b.T
+    return np.maximum(d2, 0.0)
+
+
+def rbf(a: np.ndarray, b: np.ndarray, lengthscale=1.0,
+        variance: float = 1.0) -> np.ndarray:
+    """Squared-exponential covariance."""
+    return variance * np.exp(-0.5 * _sqdist(a, b, lengthscale))
+
+
+def matern52(a: np.ndarray, b: np.ndarray, lengthscale=1.0,
+             variance: float = 1.0) -> np.ndarray:
+    """Matérn 5/2 — the standard BO kernel (less smooth than RBF)."""
+    d = np.sqrt(_sqdist(a, b, lengthscale))
+    s = np.sqrt(5.0) * d
+    return variance * (1.0 + s + s * s / 3.0) * np.exp(-s)
+
+
+class Kernel:
+    """Callable kernel with trainable log-lengthscale/log-variance."""
+
+    fn = staticmethod(rbf)
+
+    def __init__(self, lengthscale: float = 0.3, variance: float = 1.0):
+        self.lengthscale = lengthscale
+        self.variance = variance
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return type(self).fn(a, b, self.lengthscale, self.variance)
+
+    def with_params(self, lengthscale: float, variance: float) -> "Kernel":
+        return type(self)(lengthscale, variance)
+
+    def __repr__(self):
+        return (f"{type(self).__name__}(lengthscale={self.lengthscale:.4g}, "
+                f"variance={self.variance:.4g})")
+
+
+class RBF(Kernel):
+    fn = staticmethod(rbf)
+
+
+class Matern52(Kernel):
+    fn = staticmethod(matern52)

@@ -1,0 +1,221 @@
+"""Nested two-level multi-objective BO for neural architecture search.
+
+Implements §V-C end to end:
+
+* The **outer** level proposes architectures from the benchmark's
+  Table IV space and jointly minimizes (inference latency, validation
+  error) via ParEGO-style randomized Chebyshev scalarization over the
+  trial archive, with the paper's early stop — five consecutive trials
+  without a new Pareto-optimal model.
+* The **inner** level tunes the Table V training hyperparameters for
+  the proposed architecture with single-objective BO on validation
+  error ("the inner level produces hyperparameters that minimize
+  validation error; the model architecture determines inference
+  speed").
+
+Returns every evaluated model with its metrics — the population Figs.
+7/8 scatter.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn import Tensor, Trainer, no_grad
+from .acquisition import expected_improvement
+from .bo import BayesianOptimizer
+from .gp import GaussianProcess
+from .pareto import chebyshev_scalarize, pareto_front_mask
+from .space import Space, hyperparameter_space
+
+__all__ = ["ModelTrial", "NASResult", "NestedSearch", "measure_latency"]
+
+
+def measure_latency(model, sample_batch: np.ndarray, repeats: int = 3) -> float:
+    """Median wall-clock seconds of a forward pass over ``sample_batch``."""
+    model.eval()
+    times = []
+    with no_grad():
+        model(Tensor(sample_batch[: min(4, len(sample_batch))]))  # warm-up
+        for _ in range(repeats):
+            start = time.perf_counter()
+            model(Tensor(sample_batch))
+            times.append(time.perf_counter() - start)
+    return float(np.median(times))
+
+
+@dataclass
+class ModelTrial:
+    """One fully evaluated architecture (after inner tuning)."""
+
+    index: int
+    arch: dict
+    hypers: dict
+    val_error: float
+    latency: float
+    n_params: int
+    model: object = field(repr=False, default=None)
+
+    @property
+    def objectives(self) -> tuple:
+        return (self.latency, self.val_error)
+
+
+@dataclass
+class NASResult:
+    trials: list
+
+    def objective_matrix(self) -> np.ndarray:
+        return np.array([t.objectives for t in self.trials])
+
+    def pareto_trials(self) -> list:
+        if not self.trials:
+            return []
+        mask = pareto_front_mask(self.objective_matrix())
+        return [t for t, m in zip(self.trials, mask) if m]
+
+    def best_by_error(self, error_cutoff: float | None = None) -> ModelTrial:
+        pool = self.trials
+        if error_cutoff is not None:
+            pool = [t for t in pool if t.val_error < error_cutoff] or self.trials
+        return min(pool, key=lambda t: t.val_error)
+
+    def fastest(self, error_cutoff: float | None = None) -> ModelTrial:
+        pool = self.trials
+        if error_cutoff is not None:
+            pool = [t for t in pool if t.val_error < error_cutoff] or self.trials
+        return min(pool, key=lambda t: t.latency)
+
+
+class NestedSearch:
+    """Drive the two-level search for one benchmark.
+
+    Parameters
+    ----------
+    arch_space:
+        The benchmark's Table IV space.
+    build_model:
+        ``build(arch_config, dropout=..., seed=...) -> Module``.
+    x_train, y_train, x_val, y_val:
+        Collected data, already split (the paper trains/evaluates only
+        on the collection-phase training/validation data).
+    n_inner:
+        Inner BO iterations (paper: 30).
+    max_epochs:
+        Trainer epochs per candidate (scaled down from the paper's GPU
+        budget; the search semantics are unchanged).
+    """
+
+    def __init__(self, arch_space: Space, build_model,
+                 x_train, y_train, x_val, y_val,
+                 n_inner: int = 6, max_epochs: int = 20,
+                 latency_batch: int = 256, seed: int = 0,
+                 loss_fn=None):
+        self.arch_space = arch_space
+        self.build_model = build_model
+        self.x_train, self.y_train = x_train, y_train
+        self.x_val, self.y_val = x_val, y_val
+        self.n_inner = n_inner
+        self.max_epochs = max_epochs
+        self.seed = seed
+        self.loss_fn = loss_fn
+        self.rng = np.random.default_rng(seed)
+        n = min(latency_batch, len(x_val))
+        self.latency_sample = np.ascontiguousarray(x_val[:n])
+
+    # -- inner level -------------------------------------------------------
+    def tune_architecture(self, arch: dict) -> ModelTrial:
+        """Inner BO: tune Table V hyperparameters for one architecture."""
+        hp_space = hyperparameter_space()
+        best_model = {}
+
+        def objective(hp: dict):
+            model = self.build_model(arch, dropout=hp["dropout"],
+                                     seed=self.seed)
+            kwargs = {}
+            if self.loss_fn is not None:
+                kwargs["loss_fn"] = self.loss_fn
+            trainer = Trainer(model, lr=hp["learning_rate"],
+                              weight_decay=hp["weight_decay"],
+                              batch_size=int(hp["batch_size"]),
+                              max_epochs=self.max_epochs,
+                              patience=max(3, self.max_epochs // 4),
+                              seed=self.seed, **kwargs)
+            result = trainer.fit(self.x_train, self.y_train,
+                                 self.x_val, self.y_val)
+            if "best" not in best_model or \
+                    result.best_val_loss < best_model["val"]:
+                best_model["model"] = model
+                best_model["val"] = result.best_val_loss
+                best_model["hypers"] = dict(hp)
+            return result.best_val_loss
+
+        bo = BayesianOptimizer(hp_space, n_init=max(2, self.n_inner // 3),
+                               seed=int(self.rng.integers(2 ** 31)))
+        bo.minimize(objective, n_iterations=self.n_inner)
+
+        model = best_model["model"]
+        latency = measure_latency(model, self.latency_sample)
+        return ModelTrial(index=-1, arch=dict(arch),
+                          hypers=best_model["hypers"],
+                          val_error=float(best_model["val"]),
+                          latency=latency,
+                          n_params=model.num_parameters(), model=model)
+
+    # -- outer level --------------------------------------------------------
+    def run(self, n_outer: int = 20, stale_limit: int = 5,
+            n_init: int = 4, n_candidates: int = 128,
+            callback=None) -> NASResult:
+        trials: list[ModelTrial] = []
+        xs: list[np.ndarray] = []
+        stale = 0
+
+        for it in range(n_outer):
+            if it < n_init or len(trials) < 2:
+                arch = self.arch_space.sample(self.rng)
+            else:
+                arch = self._propose(xs, trials, n_candidates)
+
+            try:
+                trial = self.tune_architecture(arch)
+            except (ValueError, RuntimeError):
+                # Infeasible architecture (e.g. conv collapses the frame):
+                # skip, as Ax marks failed trials.
+                stale += 1
+                if stale >= stale_limit:
+                    break
+                continue
+            trial.index = it
+            was_front = {id(t) for t in NASResult(trials).pareto_trials()}
+            trials.append(trial)
+            xs.append(self.arch_space.to_unit(arch))
+            now_front = NASResult(trials).pareto_trials()
+            if any(id(t) not in was_front and t is trial for t in now_front):
+                stale = 0
+            else:
+                stale += 1
+            if callback is not None:
+                callback(trial, trials)
+            if stale >= stale_limit:
+                break
+        return NASResult(trials=trials)
+
+    def _propose(self, xs: list, trials: list, n_candidates: int) -> dict:
+        """ParEGO step: random Chebyshev weights, GP fit, EI proposal."""
+        weights = self.rng.dirichlet(np.ones(2))
+        objectives = np.array([t.objectives for t in trials])
+        scalar = chebyshev_scalarize(objectives, weights)
+        gp = GaussianProcess()
+        try:
+            gp.fit(np.array(xs), scalar)
+        except Exception:
+            return self.arch_space.sample(self.rng)
+        cands = self.rng.random((n_candidates, self.arch_space.dim))
+        configs = [self.arch_space.from_unit(c) for c in cands]
+        snapped = np.array([self.arch_space.to_unit(c) for c in configs])
+        mean, std = gp.predict(snapped)
+        ei = expected_improvement(mean, std, best=float(scalar.min()))
+        return configs[int(np.argmax(ei))]

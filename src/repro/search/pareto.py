@@ -1,0 +1,67 @@
+"""Multi-objective utilities: Pareto fronts and scalarization (§V-C).
+
+The nested search "jointly minimizes inference latency and validation
+error".  The outer loop scalarizes the two objectives with randomized
+Chebyshev weights per iteration (the ParEGO strategy) — a standard way
+to drive a single-objective GP toward the whole Pareto front — and the
+analysis side extracts the front from all evaluated trials, which is
+what Figs. 7/8 plot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pareto_front_mask", "chebyshev_scalarize", "hypervolume_2d"]
+
+
+def pareto_front_mask(objectives: np.ndarray) -> np.ndarray:
+    """Boolean mask of non-dominated rows (all objectives minimized).
+
+    ``objectives`` has shape (n, m).  A point is dominated when another
+    point is <= in every objective and < in at least one.
+    """
+    obj = np.asarray(objectives, dtype=np.float64)
+    n = len(obj)
+    mask = np.ones(n, dtype=bool)
+    for i in range(n):
+        if not mask[i]:
+            continue
+        dominated = np.all(obj <= obj[i], axis=1) & np.any(obj < obj[i], axis=1)
+        if dominated.any():
+            mask[i] = False
+    return mask
+
+
+def chebyshev_scalarize(objectives: np.ndarray, weights: np.ndarray,
+                        rho: float = 0.05) -> np.ndarray:
+    """Augmented Chebyshev scalarization over normalized objectives."""
+    obj = np.atleast_2d(np.asarray(objectives, dtype=np.float64))
+    lo = obj.min(axis=0)
+    span = obj.max(axis=0) - lo
+    span[span == 0] = 1.0
+    norm = (obj - lo) / span
+    weighted = norm * weights
+    return weighted.max(axis=1) + rho * weighted.sum(axis=1)
+
+
+def hypervolume_2d(objectives: np.ndarray, reference: tuple) -> float:
+    """Dominated hypervolume for two minimized objectives.
+
+    Useful as a single progress number for the multi-objective search.
+    """
+    obj = np.asarray(objectives, dtype=np.float64)
+    if obj.ndim != 2 or obj.shape[1] != 2:
+        raise ValueError("hypervolume_2d expects (n, 2) objectives")
+    front = obj[pareto_front_mask(obj)]
+    front = front[(front[:, 0] <= reference[0]) & (front[:, 1] <= reference[1])]
+    if len(front) == 0:
+        return 0.0
+    order = np.argsort(front[:, 0])
+    front = front[order]
+    hv = 0.0
+    prev_y = reference[1]
+    for x, y in front:
+        hv += (reference[0] - x) * (prev_y - y)
+        prev_y = y
+    return float(hv)

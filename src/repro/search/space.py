@@ -1,0 +1,199 @@
+"""Search-space definitions, including the paper's Tables IV and V.
+
+A :class:`Space` is an ordered set of parameters, each continuous
+(optionally log-scaled), integer, or categorical.  Spaces map points to
+and from the unit hypercube so the Gaussian-process surrogate of the
+Bayesian optimizer works in a normalized, isotropic domain.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Continuous", "Integer", "Choice", "Space",
+           "minibude_arch_space", "mlp2_arch_space",
+           "miniweather_arch_space", "particlefilter_arch_space",
+           "hyperparameter_space", "arch_space_for"]
+
+
+@dataclass(frozen=True)
+class Continuous:
+    name: str
+    lo: float
+    hi: float
+    log: bool = False
+
+    def __post_init__(self):
+        if self.hi <= self.lo:
+            raise ValueError(f"{self.name}: empty range [{self.lo}, {self.hi}]")
+        if self.log and self.lo <= 0:
+            raise ValueError(f"{self.name}: log scale requires positive bounds")
+
+    def to_unit(self, value: float) -> float:
+        if self.log:
+            return (math.log(value) - math.log(self.lo)) / \
+                (math.log(self.hi) - math.log(self.lo))
+        return (value - self.lo) / (self.hi - self.lo)
+
+    def from_unit(self, u: float) -> float:
+        u = min(max(u, 0.0), 1.0)
+        if self.log:
+            return math.exp(math.log(self.lo)
+                            + u * (math.log(self.hi) - math.log(self.lo)))
+        return self.lo + u * (self.hi - self.lo)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.from_unit(rng.random())
+
+
+@dataclass(frozen=True)
+class Integer:
+    name: str
+    lo: int
+    hi: int  # inclusive
+
+    def __post_init__(self):
+        if self.hi < self.lo:
+            raise ValueError(f"{self.name}: empty range [{self.lo}, {self.hi}]")
+
+    def to_unit(self, value: int) -> float:
+        if self.hi == self.lo:
+            return 0.5
+        return (value - self.lo) / (self.hi - self.lo)
+
+    def from_unit(self, u: float) -> int:
+        u = min(max(u, 0.0), 1.0)
+        return int(round(self.lo + u * (self.hi - self.lo)))
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.lo, self.hi + 1))
+
+
+@dataclass(frozen=True)
+class Choice:
+    name: str
+    values: tuple
+
+    def __post_init__(self):
+        if not self.values:
+            raise ValueError(f"{self.name}: empty choice set")
+
+    def to_unit(self, value) -> float:
+        idx = self.values.index(value)
+        if len(self.values) == 1:
+            return 0.5
+        return idx / (len(self.values) - 1)
+
+    def from_unit(self, u: float):
+        u = min(max(u, 0.0), 1.0)
+        idx = int(round(u * (len(self.values) - 1)))
+        return self.values[idx]
+
+    def sample(self, rng: np.random.Generator):
+        return self.values[int(rng.integers(len(self.values)))]
+
+
+@dataclass
+class Space:
+    """An ordered parameter space with unit-cube encoding."""
+
+    params: list = field(default_factory=list)
+
+    @property
+    def names(self) -> list:
+        return [p.name for p in self.params]
+
+    @property
+    def dim(self) -> int:
+        return len(self.params)
+
+    def sample(self, rng: np.random.Generator) -> dict:
+        return {p.name: p.sample(rng) for p in self.params}
+
+    def to_unit(self, config: dict) -> np.ndarray:
+        return np.array([p.to_unit(config[p.name]) for p in self.params])
+
+    def from_unit(self, u: np.ndarray) -> dict:
+        if len(u) != self.dim:
+            raise ValueError(f"expected {self.dim} coords, got {len(u)}")
+        return {p.name: p.from_unit(float(v))
+                for p, v in zip(self.params, u)}
+
+    def validate(self, config: dict) -> None:
+        missing = set(self.names) - set(config)
+        if missing:
+            raise KeyError(f"config missing parameters {sorted(missing)}")
+
+
+# ----------------------------------------------------------------------
+# Table IV: neural architecture search spaces
+# ----------------------------------------------------------------------
+
+def minibude_arch_space() -> Space:
+    """MiniBUDE: deep MLP with geometric width decay (Table IV left)."""
+    return Space([
+        Integer("num_hidden_layers", 2, 12),
+        Choice("hidden1_size", tuple(64 * 2 ** i for i in range(7))),  # 64..4096
+        Continuous("feature_multiplier", 0.1, 0.8),
+    ])
+
+
+def mlp2_arch_space() -> Space:
+    """Binomial Options / Bonds: 1-2 hidden-layer MLP (Table IV right).
+
+    ``hidden2_features`` of 0 drops the second hidden layer, exactly
+    like the paper's [0, 512] bound.
+    """
+    return Space([
+        Integer("hidden1_features", 5, 512),
+        Integer("hidden2_features", 0, 512),
+    ])
+
+
+def miniweather_arch_space() -> Space:
+    """MiniWeather: 1-2 conv layers (Table IV bottom-left)."""
+    return Space([
+        Integer("conv1_kernel", 2, 8),
+        Integer("conv1_channels", 4, 8),
+        Integer("conv2_kernel", 0, 6),   # 0 drops the second conv
+    ])
+
+
+def particlefilter_arch_space() -> Space:
+    """ParticleFilter: conv + pool + FC head (Table IV bottom-right)."""
+    return Space([
+        Integer("conv_kernel", 2, 14),
+        Integer("conv_stride", 2, 14),
+        Integer("maxpool_kernel", 1, 10),
+        Integer("fc2_size", 0, 128),     # 0 drops the second FC layer
+    ])
+
+
+def arch_space_for(benchmark: str) -> Space:
+    """The Table IV space for a benchmark name."""
+    table = {
+        "minibude": minibude_arch_space,
+        "binomial": mlp2_arch_space,
+        "bonds": mlp2_arch_space,
+        "miniweather": miniweather_arch_space,
+        "particlefilter": particlefilter_arch_space,
+    }
+    if benchmark not in table:
+        raise KeyError(f"no architecture space for benchmark {benchmark!r}")
+    return table[benchmark]()
+
+
+# ----------------------------------------------------------------------
+# Table V: training hyperparameter space
+# ----------------------------------------------------------------------
+
+def hyperparameter_space() -> Space:
+    return Space([
+        Continuous("learning_rate", 1e-4, 1e-2, log=True),
+        Continuous("weight_decay", 1e-4, 1e-1, log=True),
+        Continuous("dropout", 0.0, 0.8),
+        Integer("batch_size", 32, 512),
+    ])

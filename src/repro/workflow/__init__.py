@@ -1,0 +1,7 @@
+"""``repro.workflow`` — futures-based workflow executor (Parsl substrate)."""
+
+from .executor import TaskFuture, WorkflowExecutor, task, WorkflowError
+from .pipeline import SearchCampaign, campaign_for, run_campaigns
+
+__all__ = ["TaskFuture", "WorkflowExecutor", "task", "WorkflowError",
+           "SearchCampaign", "campaign_for", "run_campaigns"]

@@ -1,0 +1,124 @@
+"""Futures-based DAG task executor (the "Parsl" substrate, §V-C/A4).
+
+The paper orchestrates its model-search campaign with Parsl apps wired
+into a dataflow.  This module provides the same programming surface at
+the scale this reproduction needs: ``@task``-decorated callables return
+:class:`TaskFuture` handles when invoked through a :class:`WorkflowExecutor`;
+passing a future as an argument creates a dependency edge, and
+independent tasks run concurrently on a thread pool (our kernels are
+NumPy-bound, which releases the GIL).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+__all__ = ["TaskFuture", "WorkflowExecutor", "task", "WorkflowError"]
+
+
+class WorkflowError(RuntimeError):
+    """A task failed; carries the originating task name."""
+
+    def __init__(self, task_name: str, cause: BaseException):
+        super().__init__(f"task {task_name!r} failed: {cause!r}")
+        self.task_name = task_name
+        self.cause = cause
+
+
+@dataclass
+class TaskFuture:
+    """Handle to an asynchronously executing task."""
+
+    name: str
+    future: Future = field(repr=False)
+
+    def result(self, timeout: float | None = None):
+        return self.future.result(timeout)
+
+    def done(self) -> bool:
+        return self.future.done()
+
+    def exception(self, timeout: float | None = None):
+        return self.future.exception(timeout)
+
+
+def _resolve(value):
+    if isinstance(value, TaskFuture):
+        return value.result()
+    if isinstance(value, (list, tuple)):
+        return type(value)(_resolve(v) for v in value)
+    if isinstance(value, dict):
+        return {k: _resolve(v) for k, v in value.items()}
+    return value
+
+
+class WorkflowExecutor:
+    """Submit callables; futures passed as args become dependencies."""
+
+    def __init__(self, max_workers: int = 4):
+        self._pool = ThreadPoolExecutor(max_workers=max_workers)
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+
+    def submit(self, fn, *args, name: str | None = None, **kwargs) -> TaskFuture:
+        task_name = name or getattr(fn, "__name__", "task")
+
+        def run():
+            try:
+                resolved_args = _resolve(list(args))
+                resolved_kwargs = _resolve(kwargs)
+                result = fn(*resolved_args, **resolved_kwargs)
+            except WorkflowError:
+                raise
+            except BaseException as exc:
+                raise WorkflowError(task_name, exc) from exc
+            with self._lock:
+                self.completed += 1
+            return result
+
+        with self._lock:
+            self.submitted += 1
+        return TaskFuture(name=task_name, future=self._pool.submit(run))
+
+    def map(self, fn, items, name: str | None = None) -> list:
+        return [self.submit(fn, item, name=f"{name or fn.__name__}[{i}]")
+                for i, item in enumerate(items)]
+
+    def wait_all(self, futures: list) -> list:
+        return [f.result() for f in futures]
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.shutdown()
+        return False
+
+
+def task(fn=None, *, executor: WorkflowExecutor | None = None):
+    """Parsl-style decorator: calling the function submits a task.
+
+    With no executor bound at decoration time, the call site must pass
+    ``_executor=``; this keeps module-level task definitions free of
+    global state.
+    """
+
+    def wrap(f):
+        def call(*args, _executor: WorkflowExecutor | None = None, **kwargs):
+            ex = _executor or executor
+            if ex is None:
+                raise WorkflowError(f.__name__,
+                                    RuntimeError("no executor bound"))
+            return ex.submit(f, *args, **kwargs)
+
+        call.__name__ = f.__name__
+        call.__wrapped__ = f
+        return call
+
+    return wrap if fn is None else wrap(fn)

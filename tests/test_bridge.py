@@ -1,0 +1,287 @@
+"""Data bridge: Fig. 4 pipeline — views, composition, scatter, bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bridge import (BridgeError, ConcretizedMap, SweepRange,
+                          TensorFunctor, concretize, evaluate_ranges,
+                          parse_map)
+from repro.directives.parser import parse_directive
+
+
+def functor(src: str) -> TensorFunctor:
+    return TensorFunctor.parse(f"#pragma approx tensor functor({src})")
+
+
+# ----------------------------------------------------------------------
+# SweepRange / evaluate_ranges
+# ----------------------------------------------------------------------
+
+def test_sweep_range_count():
+    assert SweepRange(0, 10).count == 10
+    assert SweepRange(1, 10, 2).count == 5
+    assert SweepRange(0, 7, 3).count == 3
+
+
+def test_sweep_range_validation():
+    with pytest.raises(BridgeError):
+        SweepRange(5, 5)
+    with pytest.raises(BridgeError):
+        SweepRange(0, 4, 0)
+
+
+def test_evaluate_ranges_with_env():
+    node = parse_directive("#pragma approx tensor map(to: f(t[1:N-1, 0:M:2]))")
+    ranges = evaluate_ranges(node.targets[0].spec, {"N": 10, "M": 8})
+    assert (ranges[0].lo, ranges[0].hi) == (1, 9)
+    assert ranges[1].step == 2
+
+
+def test_evaluate_ranges_unresolved():
+    node = parse_directive("#pragma approx tensor map(to: f(t[0:Q]))")
+    with pytest.raises(BridgeError):
+        evaluate_ranges(node.targets[0].spec, {})
+
+
+def test_evaluate_ranges_ignores_non_int_env():
+    node = parse_directive("#pragma approx tensor map(to: f(t[0:N]))")
+    env = {"N": 4, "t": np.zeros(4), "flag": True}
+    ranges = evaluate_ranges(node.targets[0].spec, env)
+    assert ranges[0].hi == 4
+
+
+# ----------------------------------------------------------------------
+# Gather: identity, stencil, window, stride
+# ----------------------------------------------------------------------
+
+def test_identity_gather_1d():
+    f = functor("f: [i, 0:3] = ([i, 0:3])")
+    arr = np.arange(12.0).reshape(4, 3)
+    out = concretize(f, arr, [SweepRange(0, 4)]).gather()
+    np.testing.assert_array_equal(out, arr)
+
+
+def test_gather_is_zero_copy_until_composition():
+    f = functor("f: [i, 0:3] = ([i, 0:3])")
+    arr = np.arange(12.0).reshape(4, 3)
+    cm = concretize(f, arr, [SweepRange(0, 4)])
+    views = cm.views()
+    assert all(v.view.base is not None for v in views)   # aliases arr
+    arr[0, 0] = 99.0
+    assert views[0].view[0, 0] == 99.0                   # sees the write
+
+
+def test_stencil_gather_offsets():
+    f = functor("st: [i, 0:2] = ([i-1], [i+1])")
+    arr = np.arange(10.0)
+    out = concretize(f, arr, [SweepRange(1, 9)]).gather()
+    assert out.shape == (8, 2)
+    np.testing.assert_array_equal(out[:, 0], arr[0:8])
+    np.testing.assert_array_equal(out[:, 1], arr[2:10])
+
+
+def test_window_gather():
+    f = functor("w: [i, 0:3] = ([i-1:i+2])")
+    arr = np.arange(8.0)
+    out = concretize(f, arr, [SweepRange(1, 7)]).gather()
+    for k, i in enumerate(range(1, 7)):
+        np.testing.assert_array_equal(out[k], arr[i - 1:i + 2])
+
+
+def test_strided_sweep():
+    f = functor("f: [i, 0:1] = ([i]))".rstrip(")") + ")")
+    arr = np.arange(10.0)
+    out = concretize(f, arr, [SweepRange(0, 10, 3)]).gather()
+    np.testing.assert_array_equal(out[:, 0], arr[::3])
+
+
+def test_2d_stencil_fig2():
+    f = functor("ifn: [i, j, 0:5] = ([i-1, j], [i+1, j], [i, j-1:j+2])")
+    N, M = 6, 7
+    arr = np.arange(float(N * M)).reshape(N, M)
+    out = concretize(f, arr, [SweepRange(1, N - 1),
+                              SweepRange(1, M - 1)]).gather()
+    assert out.shape == (N - 2, M - 2, 5)
+    i, j = 2, 3
+    np.testing.assert_array_equal(
+        out[i - 1, j - 1],
+        [arr[i - 1, j], arr[i + 1, j], arr[i, j - 1], arr[i, j],
+         arr[i, j + 1]])
+
+
+def test_gather_flatten_batch():
+    f = functor("f: [i, j, 0:1] = ([i, j])")
+    arr = np.arange(12.0).reshape(3, 4)
+    cm = concretize(f, arr, [SweepRange(0, 3), SweepRange(0, 4)])
+    flat = cm.gather(flatten_batch=True)
+    assert flat.shape == (12, 1)
+    np.testing.assert_array_equal(flat[:, 0], arr.ravel())
+
+
+def test_deferred_variable_functor_gather():
+    f = functor("fr: [t, 0:1, 0:H, 0:W] = ([t, 0:H, 0:W])")
+    frames = np.arange(2 * 3 * 4.0).reshape(2, 3, 4)
+    cm = concretize(f, frames, [SweepRange(0, 2)], env={"H": 3, "W": 4})
+    out = cm.gather(flatten_batch=True)
+    assert out.shape == (2, 1, 3, 4)
+    np.testing.assert_array_equal(out[:, 0], frames)
+
+
+def test_diagonal_access():
+    """Two dims driven by the same symbol: matrix diagonal."""
+    f = functor("d: [i, 0:1] = ([i, i])")
+    arr = np.arange(16.0).reshape(4, 4)
+    out = concretize(f, arr, [SweepRange(0, 4)]).gather()
+    np.testing.assert_array_equal(out[:, 0], np.diag(arr))
+
+
+# ----------------------------------------------------------------------
+# Bounds and validation
+# ----------------------------------------------------------------------
+
+def test_out_of_bounds_detected():
+    f = functor("st: [i, 0:2] = ([i-1], [i+1])")
+    arr = np.arange(10.0)
+    with pytest.raises(BridgeError):
+        concretize(f, arr, [SweepRange(0, 9)]).gather()   # i-1 -> -1
+    with pytest.raises(BridgeError):
+        concretize(f, arr, [SweepRange(1, 10)]).gather()  # i+1 -> 10
+
+
+def test_rank_mismatch():
+    f = functor("f: [i, 0:1] = ([i]))".rstrip(")") + ")")
+    with pytest.raises(BridgeError):
+        concretize(f, np.zeros((3, 3)), [SweepRange(0, 3)]).gather()
+
+
+def test_range_count_mismatch():
+    f = functor("f: [i, j, 0:1] = ([i, j])")
+    with pytest.raises(BridgeError):
+        ConcretizedMap(f, np.zeros((3, 3)), [SweepRange(0, 3)])
+
+
+def test_non_contiguous_rejected():
+    f = functor("f: [i, 0:1] = ([i]))".rstrip(")") + ")")
+    arr = np.arange(20.0)[::2]
+    with pytest.raises(BridgeError):
+        concretize(f, arr, [SweepRange(0, 5)]).gather()
+
+
+# ----------------------------------------------------------------------
+# Scatter (from-direction)
+# ----------------------------------------------------------------------
+
+def test_scatter_roundtrip():
+    f = functor("f: [i, j, 0:1] = ([i, j])")
+    src = np.random.default_rng(0).normal(size=(4, 5))
+    dst = np.zeros((6, 7))
+    cm = concretize(f, dst, [SweepRange(1, 5), SweepRange(1, 6)],
+                    writable=True)
+    cm.scatter(src.reshape(4, 5, 1))
+    np.testing.assert_array_equal(dst[1:5, 1:6], src)
+    assert dst[0].sum() == 0 and dst[5].sum() == 0
+
+
+def test_scatter_accepts_flat_batch():
+    f = functor("f: [i, 0:2] = ([i, 0:2])")
+    dst = np.zeros((3, 2))
+    cm = concretize(f, dst, [SweepRange(0, 3)], writable=True)
+    cm.scatter(np.arange(6.0).reshape(3, 2))
+    np.testing.assert_array_equal(dst, np.arange(6.0).reshape(3, 2))
+
+
+def test_scatter_multi_slice_feature_split():
+    f = functor("f: [i, 0:2] = ([i, 0], [i, 1])")
+    dst = np.zeros((4, 2))
+    cm = concretize(f, dst, [SweepRange(0, 4)], writable=True)
+    tensor = np.stack([np.arange(4.0), np.arange(4.0) * 10], axis=1)
+    cm.scatter(tensor.reshape(4, 2))
+    np.testing.assert_array_equal(dst[:, 0], np.arange(4.0))
+    np.testing.assert_array_equal(dst[:, 1], np.arange(4.0) * 10)
+
+
+def test_scatter_requires_writable():
+    f = functor("f: [i, 0:1] = ([i]))".rstrip(")") + ")")
+    cm = concretize(f, np.zeros(4), [SweepRange(0, 4)])
+    with pytest.raises(BridgeError):
+        cm.scatter(np.zeros((4, 1)))
+
+
+def test_scatter_shape_mismatch():
+    f = functor("f: [i, 0:1] = ([i]))".rstrip(")") + ")")
+    cm = concretize(f, np.zeros(4), [SweepRange(0, 4)], writable=True)
+    with pytest.raises(BridgeError):
+        cm.scatter(np.zeros((5, 1)))
+
+
+def test_gather_scatter_inverse_property():
+    """scatter(gather(x)) restores x on the swept region."""
+    f = functor("ifn: [i, j, 0:5] = ([i-1, j], [i+1, j], [i, j-1:j+2])")
+    g = functor("ofn: [i, j, 0:5] = ([i-1, j], [i+1, j], [i, j-1:j+2])")
+    # Use a functor whose slices don't overlap for exact inversion:
+    f2 = functor("p: [i, j, 0:1] = ([i, j])")
+    arr = np.random.default_rng(1).normal(size=(5, 5))
+    gathered = concretize(f2, arr, [SweepRange(0, 5),
+                                    SweepRange(0, 5)]).gather()
+    dst = np.zeros_like(arr)
+    concretize(f2, dst, [SweepRange(0, 5), SweepRange(0, 5)],
+               writable=True).scatter(gathered)
+    np.testing.assert_array_equal(dst, arr)
+
+
+# ----------------------------------------------------------------------
+# parse_map
+# ----------------------------------------------------------------------
+
+def test_parse_map_resolves_functor():
+    f = functor("fi: [i, 0:3] = ([i, 0:3])")
+    specs = parse_map("#pragma approx tensor map(to: fi(x[0:N]))",
+                      {"fi": f})
+    assert len(specs) == 1
+    assert specs[0].direction == "to"
+    assert specs[0].array_name == "x"
+
+
+def test_parse_map_unknown_functor():
+    from repro.directives import SemanticError
+    with pytest.raises(SemanticError):
+        parse_map("#pragma approx tensor map(to: nope(x[0:N]))", {})
+
+
+# ----------------------------------------------------------------------
+# Property tests
+# ----------------------------------------------------------------------
+
+@given(n=st.integers(4, 40), lo=st.integers(0, 3), step=st.integers(1, 3),
+       off=st.integers(-2, 2))
+@settings(max_examples=60, deadline=None)
+def test_point_slice_gather_property(n, lo, step, off):
+    """Property: gathering [i+off] over lo:hi:step equals fancy indexing."""
+    hi = n - 3
+    if hi <= lo:
+        return
+    idx = np.arange(lo, hi, step) + off
+    if idx.min() < 0 or idx.max() >= n:
+        return
+    f = functor(f"f: [i, 0:1] = ([i{'+' if off >= 0 else ''}{off}])") \
+        if off != 0 else functor("f: [i, 0:1] = ([i])")
+    arr = np.arange(float(n))
+    out = concretize(f, arr, [SweepRange(lo, hi, step)]).gather()
+    np.testing.assert_array_equal(out[:, 0], arr[idx])
+
+
+@given(rows=st.integers(3, 10), cols=st.integers(3, 10),
+       w=st.integers(1, 3))
+@settings(max_examples=40, deadline=None)
+def test_window_gather_property(rows, cols, w):
+    """Property: row windows [j:j+w] match direct slicing everywhere."""
+    if cols - w < 1:
+        return
+    f = functor(f"f: [i, j, 0:{w}] = ([i, j:j+{w}])")
+    arr = np.random.default_rng(rows * cols).normal(size=(rows, cols))
+    out = concretize(f, arr, [SweepRange(0, rows),
+                              SweepRange(0, cols - w)]).gather()
+    for i in range(rows):
+        for j in range(cols - w):
+            np.testing.assert_array_equal(out[i, j], arr[i, j:j + w])

@@ -1,0 +1,86 @@
+"""Simulated device: clock accounting, transfers, memory-space safety."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.device import (Device, DeviceBuffer, MemorySpace, TransferModel,
+                          VirtualClock, WrongSpaceError)
+
+
+def test_clock_advance_and_measure():
+    clock = VirtualClock()
+    clock.advance(1.5)
+    assert clock.simulated == pytest.approx(1.5)
+    with clock.measure():
+        time.sleep(0.01)
+    assert clock.measured >= 0.01
+    assert clock.now == pytest.approx(clock.measured + clock.simulated)
+
+
+def test_clock_rejects_negative():
+    with pytest.raises(ValueError):
+        VirtualClock().advance(-1.0)
+
+
+def test_clock_reset():
+    clock = VirtualClock()
+    clock.advance(2.0)
+    clock.reset()
+    assert clock.now == 0.0
+
+
+def test_transfer_model_cost():
+    model = TransferModel(bandwidth_bytes_per_s=1e9, latency_s=1e-5)
+    assert model.cost(0) == pytest.approx(1e-5)
+    assert model.cost(10 ** 9) == pytest.approx(1.0 + 1e-5)
+    with pytest.raises(ValueError):
+        model.cost(-1)
+
+
+def test_device_roundtrip_preserves_data():
+    dev = Device()
+    x = np.random.default_rng(0).normal(size=(100, 4))
+    buf = dev.to_device(x)
+    assert buf.space is MemorySpace.DEVICE
+    y = dev.to_host(buf)
+    np.testing.assert_array_equal(x, y)
+    # Copies, not aliases: mutating the host array later is safe.
+    x[0, 0] = 999
+    assert buf.array[0, 0] != 999
+
+
+def test_device_charges_transfer_time():
+    dev = Device(TransferModel(bandwidth_bytes_per_s=1e6, latency_s=0.0))
+    x = np.zeros(125000)  # 1 MB
+    dev.to_device(x)
+    assert dev.clock.simulated == pytest.approx(1.0)
+    assert dev.bytes_to_device == x.nbytes
+
+
+def test_device_buffer_space_enforcement():
+    buf = DeviceBuffer(np.zeros(3), MemorySpace.HOST)
+    with pytest.raises(WrongSpaceError):
+        buf.require(MemorySpace.DEVICE)
+    dev = Device()
+    with pytest.raises(WrongSpaceError):
+        dev.to_host(buf)   # host buffer cannot be copied "back"
+
+
+def test_device_launch_measures_and_counts():
+    dev = Device()
+    out = dev.launch(lambda a, b: a + b, 2, 3)
+    assert out == 5
+    assert dev.kernel_launches == 1
+    assert dev.clock.measured > 0
+
+
+def test_device_reset_counters():
+    dev = Device()
+    dev.to_device(np.zeros(10))
+    dev.launch(lambda: None)
+    dev.reset_counters()
+    assert dev.bytes_to_device == 0
+    assert dev.kernel_launches == 0
+    assert dev.clock.now == 0.0

@@ -1,0 +1,203 @@
+"""Lexer and parser over the full Fig. 3 grammar, including errors."""
+
+import pytest
+
+from repro.directives import (FunctorDecl, LexError, MLDirective, ParseError,
+                              TensorMapDirective, parse_directive,
+                              parse_program, tokenize)
+
+
+# ----------------------------------------------------------------------
+# Lexer
+# ----------------------------------------------------------------------
+
+def test_tokenize_kinds():
+    toks = tokenize('functor(ab_1: [i-1, 0:5] = "x y")')
+    kinds = [t.kind for t in toks]
+    assert kinds == ["IDENT", "LPAREN", "IDENT", "COLON", "LBRACKET",
+                     "IDENT", "MINUS", "INT", "COMMA", "INT", "COLON",
+                     "INT", "RBRACKET", "EQUALS", "STRING", "RPAREN", "EOF"]
+    assert toks[14].text == "x y"
+
+
+def test_tokenize_line_continuation():
+    toks = tokenize("a \\\n b")
+    assert [t.text for t in toks[:2]] == ["a", "b"]
+    assert toks[1].loc.line == 2
+
+
+def test_tokenize_positions():
+    toks = tokenize("ab + cd")
+    src = "ab + cd"
+    assert src[toks[0].pos:toks[0].pos + 2] == "ab"
+    assert src[toks[2].pos:toks[2].pos + 2] == "cd"
+
+
+def test_tokenize_unterminated_string():
+    with pytest.raises(LexError):
+        tokenize('db("unterminated')
+
+
+def test_tokenize_rejects_unknown_char():
+    with pytest.raises(LexError):
+        tokenize("a @ b")
+
+
+# ----------------------------------------------------------------------
+# Functor parsing
+# ----------------------------------------------------------------------
+
+def test_parse_simple_functor():
+    node = parse_directive(
+        "#pragma approx tensor functor(f: [i, 0:3] = ([i, 0:3]))")
+    assert isinstance(node, FunctorDecl)
+    assert node.name == "f"
+    assert node.lhs.ndim == 2
+    assert len(node.rhs) == 1
+
+
+def test_parse_functor_without_pragma_prefix():
+    node = parse_directive("approx tensor functor(f: [i] = ([i]))")
+    assert isinstance(node, FunctorDecl)
+
+
+def test_parse_functor_multiple_rhs_and_arithmetic():
+    node = parse_directive(
+        "#pragma approx tensor functor(st: [i, j, 0:5] = "
+        "([i-1, j], [i+1, j], [i, j-1:j+2]))")
+    assert len(node.rhs) == 3
+    assert str(node.rhs[2].slices[1]) == "(j - 1):(j + 2)"
+
+
+def test_parse_functor_doubled_parens():
+    node = parse_directive(
+        "#pragma approx tensor functor(st: [i, 0:2] = (([i], [i+1])))")
+    assert len(node.rhs) == 2
+
+
+def test_parse_functor_with_step():
+    node = parse_directive(
+        "#pragma approx tensor functor(f: [i, 0:4] = ([i, 0:8:2]))")
+    sl = node.rhs[0].slices[1]
+    assert str(sl.step) == "2"
+
+
+def test_parse_functor_errors():
+    with pytest.raises(ParseError):
+        parse_directive("#pragma approx tensor functor(f [i] = ([i]))")
+    with pytest.raises(ParseError):
+        parse_directive("#pragma approx tensor functor(f: [i] = [i])")
+    with pytest.raises(ParseError):
+        parse_directive("#pragma approx tensor blah(f: [i] = ([i]))")
+
+
+# ----------------------------------------------------------------------
+# Map parsing
+# ----------------------------------------------------------------------
+
+def test_parse_map_to():
+    node = parse_directive(
+        "#pragma approx tensor map(to: f(t[1:N-1, 1:M-1]))")
+    assert isinstance(node, TensorMapDirective)
+    assert node.direction == "to"
+    assert node.functor == "f"
+    assert node.targets[0].array == "t"
+    assert node.targets[0].spec.ndim == 2
+
+
+def test_parse_map_from_multiple_targets():
+    node = parse_directive(
+        "#pragma approx tensor map(from: g(a[0:N], b[0:N]))")
+    assert node.direction == "from"
+    assert [t.array for t in node.targets] == ["a", "b"]
+
+
+def test_parse_map_bad_direction():
+    with pytest.raises(ParseError):
+        parse_directive("#pragma approx tensor map(into: f(t[0:N]))")
+
+
+# ----------------------------------------------------------------------
+# ml parsing
+# ----------------------------------------------------------------------
+
+def test_parse_ml_full():
+    node = parse_directive(
+        '#pragma approx ml(predicated:use_model) in(t) out(tnew) '
+        'db("/d.h5") model("/m.pt")')
+    assert isinstance(node, MLDirective)
+    assert node.mode == "predicated"
+    assert node.condition == "use_model"
+    assert node.in_arrays == ("t",)
+    assert node.out_arrays == ("tnew",)
+    assert node.db_path == "/d.h5"
+    assert node.model_path == "/m.pt"
+
+
+def test_parse_ml_condition_with_operators():
+    node = parse_directive(
+        '#pragma approx ml(predicated: step % 10 == 0) in(a) out(b) '
+        'db("d") model("m")')
+    assert node.condition == "step % 10 == 0"
+
+
+def test_parse_ml_if_clause():
+    node = parse_directive(
+        '#pragma approx ml(collect) inout(u) db("d") if(i < 100)')
+    assert node.if_condition == "i < 100"
+    assert node.inout_arrays == ("u",)
+
+
+def test_parse_ml_database_alias():
+    node = parse_directive('#pragma approx ml(collect) in(a) database("x")')
+    assert node.db_path == "x"
+
+
+def test_parse_ml_modes():
+    for mode in ("infer", "collect"):
+        node = parse_directive(
+            f'#pragma approx ml({mode}) in(a) model("m") db("d")')
+        assert node.mode == mode
+    with pytest.raises(ParseError):
+        parse_directive("#pragma approx ml(train) in(a)")
+
+
+def test_parse_ml_unknown_clause():
+    with pytest.raises(ParseError):
+        parse_directive('#pragma approx ml(infer) weights("w")')
+
+
+def test_parse_ml_empty_condition():
+    with pytest.raises(ParseError):
+        parse_directive("#pragma approx ml(predicated:) in(a)")
+
+
+def test_parse_trailing_garbage():
+    with pytest.raises(ParseError):
+        parse_directive("#pragma approx tensor functor(f: [i] = ([i])) junk")
+
+
+# ----------------------------------------------------------------------
+# Program (multi-directive annotation) parsing
+# ----------------------------------------------------------------------
+
+def test_parse_program_splits_pragmas():
+    src = """
+#pragma approx tensor functor(fi: [i, 0:5] = ([i, 0:5]))
+#pragma approx tensor functor(fo: [i, 0:1] = ([i]))
+#pragma approx tensor map(to: fi(x[0:N]))
+#pragma approx tensor map(from: fo(y[0:N]))
+#pragma approx ml(infer) in(x) out(y) model("m")
+"""
+    nodes = parse_program(src)
+    assert len(nodes) == 5
+    assert isinstance(nodes[0], FunctorDecl)
+    assert isinstance(nodes[4], MLDirective)
+
+
+def test_parse_program_with_continuations():
+    src = ('#pragma approx tensor functor(fi: \\\n'
+           '    [i, 0:5] = ([i, 0:5]))\n'
+           '#pragma approx tensor map(to: fi(x[0:N]))')
+    nodes = parse_program(src)
+    assert len(nodes) == 2

@@ -1,0 +1,232 @@
+"""Semantic analysis: linearization, functor validation, deferred vars."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.directives import (SemanticAnalyzer, SemanticError, linearize,
+                              parse_directive, parse_program)
+from repro.directives.parser import _Parser
+from repro.directives.semantic import form_sub, substitute
+
+
+def expr(text: str):
+    p = _Parser(text)
+    return p.parse_s_expr()
+
+
+def analyzed(src: str) -> SemanticAnalyzer:
+    return SemanticAnalyzer().analyze(parse_program(src))
+
+
+# ----------------------------------------------------------------------
+# linearize
+# ----------------------------------------------------------------------
+
+def test_linearize_constant():
+    form = linearize(expr("3 + 4 * 2"))
+    assert form.is_constant() and form.const == 11
+
+
+def test_linearize_symbolic():
+    form = linearize(expr("2*i - j + 5"))
+    assert dict(form.coeffs) == {"i": 2, "j": -1}
+    assert form.const == 5
+
+
+def test_linearize_cancellation():
+    form = linearize(expr("i - i + 1"))
+    assert form.is_constant() and form.const == 1
+
+
+def test_linearize_env_resolution():
+    form = linearize(expr("N - 1"), {"N": 64})
+    assert form.is_constant() and form.const == 63
+
+
+def test_linearize_division():
+    form = linearize(expr("(4*i + 8) / 4"))
+    assert dict(form.coeffs) == {"i": 1}
+    assert form.const == 2
+
+
+def test_linearize_rejects_nonlinear():
+    with pytest.raises(SemanticError):
+        linearize(expr("i * j"))
+    with pytest.raises(SemanticError):
+        linearize(expr("5 / i"))
+    with pytest.raises(SemanticError):
+        linearize(expr("i / 0"))
+    with pytest.raises(SemanticError):
+        linearize(expr("i / 2"))   # non-integral coefficient
+
+
+def test_unary_minus():
+    form = linearize(expr("-i + 3"))
+    assert dict(form.coeffs) == {"i": -1}
+    assert form.const == 3
+
+
+@given(st.integers(-5, 5), st.integers(-5, 5), st.integers(-20, 20),
+       st.integers(-10, 10), st.integers(-10, 10))
+@settings(max_examples=50, deadline=None)
+def test_linearize_evaluates_correctly(a, b, c, i_val, j_val):
+    """Property: the linear form evaluates like the original expression."""
+    text = f"{a}*i + {b}*j + {c}" if a >= 0 and b >= 0 and c >= 0 else None
+    form = linearize(expr(f"({a})*i + ({b})*j + ({c})"))
+    got = form.coeff("i") * i_val + form.coeff("j") * j_val + form.const
+    assert got == a * i_val + b * j_val + c
+
+
+def test_substitute_and_form_sub():
+    f = linearize(expr("2*N + i - 3"))
+    g = substitute(f, {"N": 10})
+    assert dict(g.coeffs) == {"i": 1}
+    assert g.const == 17
+    d = form_sub(linearize(expr("i + 5")), linearize(expr("i + 2")))
+    assert d.is_constant() and d.const == 3
+
+
+# ----------------------------------------------------------------------
+# Functor analysis
+# ----------------------------------------------------------------------
+
+def test_functor_symbols_and_features():
+    a = analyzed("#pragma approx tensor functor(f: [i, j, 0:5] = "
+                 "([i-1, j], [i+1, j], [i, j-1:j+2]))")
+    a.raise_if_errors()
+    f = a.functors["f"]
+    assert f.symbols == ("i", "j")
+    assert f.feature_shape == (5,)
+    assert f.resolved
+    assert [s.feature_count for s in f.rhs] == [1, 1, 3]
+
+
+def test_functor_feature_total_mismatch():
+    a = analyzed("#pragma approx tensor functor(f: [i, 0:4] = ([i, 0:3]))")
+    assert any("features" in str(d) for d in a.errors)
+
+
+def test_functor_redeclaration():
+    a = analyzed("#pragma approx tensor functor(f: [i] = ([i]))\n"
+                 "#pragma approx tensor functor(f: [i] = ([i]))")
+    assert any("redeclared" in str(d) for d in a.errors)
+
+
+def test_functor_repeated_symbol():
+    a = analyzed("#pragma approx tensor functor(f: [i, i] = ([i, i]))")
+    assert any("repeated" in str(d) for d in a.errors)
+
+
+def test_functor_symbol_after_feature_dim():
+    a = analyzed("#pragma approx tensor functor(f: [0:3, i] = ([i, 0:3]))")
+    assert any("precede" in str(d) for d in a.errors)
+
+
+def test_functor_extent_depending_on_symbol():
+    a = analyzed("#pragma approx tensor functor(f: [i, 0:5] = ([0:i, 0:5]))")
+    assert any("extent depends" in str(d) for d in a.errors)
+
+
+def test_functor_negative_extent():
+    a = analyzed("#pragma approx tensor functor(f: [i, 0:0] = ([i, 5:2]))")
+    assert a.errors
+
+
+def test_functor_deferred_variables():
+    a = analyzed("#pragma approx tensor functor(f: [t, 0:1, 0:H, 0:W] = "
+                 "([t, 0:H, 0:W]))")
+    a.raise_if_errors()
+    f = a.functors["f"]
+    assert not f.resolved
+    assert f.feature_shape == (1, None, None)
+    resolved = f.resolve({"H": 4, "W": 6})
+    assert resolved.feature_shape == (1, 4, 6)
+    assert resolved.total_features == 24
+
+
+def test_functor_resolve_missing_variable():
+    a = analyzed("#pragma approx tensor functor(f: [t, 0:H] = ([t, 0:H]))")
+    a.raise_if_errors()
+    with pytest.raises(SemanticError):
+        a.functors["f"].resolve({})
+
+
+def test_functor_resolve_validates_totals():
+    a = analyzed("#pragma approx tensor functor(f: [t, 0:H] = ([t, 0:K]))")
+    a.raise_if_errors()
+    with pytest.raises(SemanticError):
+        a.functors["f"].resolve({"H": 4, "K": 5})
+
+
+def test_functor_no_symbols_warns():
+    a = analyzed("#pragma approx tensor functor(f: [0:3] = ([0:3]))")
+    assert any(d.severity == "warning" for d in a.diagnostics)
+
+
+# ----------------------------------------------------------------------
+# Map + ml analysis
+# ----------------------------------------------------------------------
+
+FULL = """
+#pragma approx tensor functor(fi: [i, 0:5] = ([i, 0:5]))
+#pragma approx tensor functor(fo: [i, 0:1] = ([i]))
+#pragma approx tensor map(to: fi(x[0:N]))
+#pragma approx tensor map(from: fo(y[0:N]))
+#pragma approx ml(predicated:flag) in(x) out(y) db("d") model("m")
+"""
+
+
+def test_full_annotation_clean():
+    a = analyzed(FULL)
+    a.raise_if_errors()
+    assert a.ml.mode == "predicated"
+    assert len(a.maps) == 2
+
+
+def test_map_undeclared_functor():
+    a = analyzed("#pragma approx tensor map(to: ghost(x[0:N]))")
+    assert any("undeclared functor" in str(d) for d in a.errors)
+
+
+def test_map_rank_mismatch():
+    a = analyzed("#pragma approx tensor functor(f: [i, j] = ([i, j]))\n"
+                 "#pragma approx tensor map(to: f(x[0:N]))")
+    assert any("sweep dims" in str(d) for d in a.errors)
+
+
+def test_map_point_target_rejected():
+    a = analyzed("#pragma approx tensor functor(f: [i] = ([i]))\n"
+                 "#pragma approx tensor map(to: f(x[5]))")
+    assert any("must be ranges" in str(d) for d in a.errors)
+
+
+def test_ml_missing_clauses():
+    a = analyzed("#pragma approx tensor functor(f: [i] = ([i]))\n"
+                 "#pragma approx tensor map(to: f(x[0:N]))\n"
+                 "#pragma approx ml(infer) in(x)")
+    assert any("model" in str(d) for d in a.errors)
+
+    a2 = analyzed("#pragma approx tensor functor(f: [i] = ([i]))\n"
+                  "#pragma approx tensor map(to: f(x[0:N]))\n"
+                  "#pragma approx ml(collect) in(x)")
+    assert any("db" in str(d) for d in a2.errors)
+
+
+def test_ml_unmapped_array():
+    a = analyzed("#pragma approx tensor functor(f: [i] = ([i]))\n"
+                 "#pragma approx tensor map(to: f(x[0:N]))\n"
+                 '#pragma approx ml(collect) in(x, zz) db("d")')
+    assert any("zz" in str(d) for d in a.errors)
+
+
+def test_ml_duplicate_directive():
+    a = analyzed(FULL + '\n#pragma approx ml(collect) in(x) db("d")')
+    assert any("multiple ml" in str(d) for d in a.errors)
+
+
+def test_raise_if_errors_message_lists_all():
+    a = analyzed("#pragma approx tensor map(to: g1(x[0:N]))\n"
+                 "#pragma approx tensor map(to: g2(x[0:N]))")
+    with pytest.raises(SemanticError) as err:
+        a.raise_if_errors()
+    assert "g1" in str(err.value) and "g2" in str(err.value)

@@ -1,0 +1,117 @@
+"""Cross-module integration: harnesses, nested NAS, full campaign.
+
+These run scaled-down versions of the paper's A4 workflow; they verify
+wiring and qualitative behaviour, not paper-scale numbers (the
+benchmark harness under ``benchmarks/`` does that).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.harness import (BinomialHarness, MiniWeatherHarness,
+                                harness_for)
+from repro.nn import Trainer
+from repro.runtime import load_training_data
+from repro.search import NestedSearch, arch_space_for
+from repro.workflow import SearchCampaign
+
+
+@pytest.fixture(scope="module")
+def binomial_setup(tmp_path_factory):
+    h = BinomialHarness(tmp_path_factory.mktemp("bin"), n_train=768,
+                        n_test=192, n_steps=48)
+    h.collect()
+    (xt, yt), (xv, yv) = h.training_arrays()
+    return h, (xt, yt), (xv, yv)
+
+
+def test_collection_matches_kernel(binomial_setup):
+    h, (xt, yt), (xv, yv) = binomial_setup
+    x, y, times = load_training_data(h.db_path, "binomial")
+    assert x.shape[1] == 5 and y.shape[1] == 1
+    assert len(x) == h.n_train
+    assert np.all(times > 0)
+    # Stored outputs equal the kernel on stored inputs.
+    from repro.apps.binomial.kernel import price_american
+    np.testing.assert_allclose(y[:64, 0],
+                               price_american(x[:64], n_steps=48),
+                               atol=1e-9)
+
+
+def test_trained_surrogate_deploys(binomial_setup):
+    h, (xt, yt), (xv, yv) = binomial_setup
+    build = h.make_builder(xt, yt)
+    model = build({"hidden1_features": 96, "hidden2_features": 48})
+    Trainer(model, lr=3e-3, batch_size=128, max_epochs=50,
+            patience=15).fit(xt, yt, xv, yv)
+    metrics = h.evaluate(model, repeats=2)
+    assert metrics.speedup > 1.0          # surrogate must win end-to-end
+    assert metrics.qoi_error < 2.0        # prices are O(10): small RMSE
+    assert metrics.breakdown["inference"] > 0
+    assert metrics.n_params == model.num_parameters()
+
+
+def test_nested_search_produces_trials(binomial_setup):
+    h, (xt, yt), (xv, yv) = binomial_setup
+    build = h.make_builder(xt, yt)
+    search = NestedSearch(arch_space_for("binomial"), build,
+                          xt, yt, xv, yv, n_inner=2, max_epochs=8, seed=0)
+    result = search.run(n_outer=4, n_init=2)
+    assert len(result.trials) >= 2
+    front = result.pareto_trials()
+    assert 1 <= len(front) <= len(result.trials)
+    best = result.best_by_error()
+    assert best.val_error == min(t.val_error for t in result.trials)
+    assert all(t.latency > 0 and t.n_params > 0 for t in result.trials)
+
+
+def test_campaign_end_to_end(tmp_path):
+    h = BinomialHarness(tmp_path, n_train=512, n_test=128, n_steps=32)
+    campaign = SearchCampaign(h, n_outer=3, n_inner=2, max_epochs=6)
+    result = campaign.run(deploy="pareto")
+    assert result.deployments
+    trial, metrics = result.fastest_deployment()
+    assert metrics.speedup > 0
+    assert metrics.benchmark == "binomial"
+
+
+def test_miniweather_error_propagation(tmp_path):
+    """Fig. 9 shape: pure-surrogate error grows; interleaving damps it."""
+    h = MiniWeatherHarness(tmp_path, nx=32, nz=16, train_steps=100,
+                           test_steps=20)
+    h.collect()
+    (xt, yt), (xv, yv) = h.training_arrays()
+    build = h.make_builder(xt, yt)
+    model = build({"conv1_kernel": 5, "conv1_channels": 8,
+                   "conv2_kernel": 3})
+    Trainer(model, lr=2e-3, batch_size=16, max_epochs=30,
+            patience=10).fit(xt, yt, xv, yv)
+    h.install_model(model)
+
+    pure = h.trajectory_errors(lambda i: True, 12)
+    inter = h.trajectory_errors(lambda i: i % 2 == 1, 12)
+    assert pure[-1] > pure[0]                 # error accumulates
+    assert pure[-1] / max(pure[0], 1e-12) > 3  # substantially
+    assert inter[-1] < pure[-1]               # interleaving helps
+
+
+def test_harness_for_dispatch(tmp_path):
+    h = harness_for("bonds", tmp_path, n_train=64, n_test=32)
+    assert h.name == "bonds"
+    with pytest.raises(KeyError):
+        harness_for("nonesuch", tmp_path)
+
+
+def test_parallel_campaigns(tmp_path):
+    """Two benchmark campaigns fan out on the workflow executor."""
+    from repro.workflow import run_campaigns
+    results = run_campaigns(
+        ["binomial", "bonds"], tmp_path, max_workers=2,
+        harness_kwargs={
+            "binomial": dict(n_train=384, n_test=96, n_steps=32),
+            "bonds": dict(n_train=384, n_test=96),
+        }, n_outer=2, n_inner=1, max_epochs=4)
+    assert set(results) == {"binomial", "bonds"}
+    for name, result in results.items():
+        assert result.benchmark == name
+        assert result.deployments

@@ -1,0 +1,162 @@
+"""Layer zoo: shapes, Module mechanics, state dicts."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+
+
+def test_linear_shapes_and_layout():
+    rng = np.random.default_rng(0)
+    layer = nn.Linear(5, 3, rng=rng)
+    out = layer(np.ones((7, 5)))
+    assert out.shape == (7, 3)
+    # Torch layout: weight is (out, in).
+    assert layer.weight.shape == (3, 5)
+    assert layer.bias.shape == (3,)
+
+
+def test_linear_no_bias():
+    layer = nn.Linear(4, 2, bias=False)
+    assert layer.bias is None
+    assert len(layer.parameters()) == 1
+
+
+@pytest.mark.parametrize("cls,kwargs,in_shape,out_shape", [
+    (nn.Conv2d, dict(in_channels=3, out_channels=8, kernel_size=3),
+     (2, 3, 10, 10), (2, 8, 8, 8)),
+    (nn.Conv2d, dict(in_channels=1, out_channels=4, kernel_size=3,
+                     stride=2, padding=1), (1, 1, 9, 9), (1, 4, 5, 5)),
+    (nn.MaxPool2d, dict(kernel_size=2), (1, 3, 8, 8), (1, 3, 4, 4)),
+    (nn.AvgPool2d, dict(kernel_size=2), (1, 3, 8, 8), (1, 3, 4, 4)),
+])
+def test_spatial_layer_shapes(cls, kwargs, in_shape, out_shape):
+    layer = cls(**kwargs)
+    assert layer(np.ones(in_shape)).shape == out_shape
+
+
+def test_conv1d_shape():
+    layer = nn.Conv1d(2, 6, 5, stride=3)
+    assert layer(np.ones((4, 2, 20))).shape == (4, 6, 6)
+
+
+def test_flatten():
+    assert nn.Flatten()(np.ones((2, 3, 4, 5))).shape == (2, 60)
+    assert nn.Flatten(start_dim=2)(np.ones((2, 3, 4, 5))).shape == (2, 3, 20)
+
+
+def test_croppad2d_crop_and_pad():
+    layer = nn.CropPad2d(5, 7)
+    assert layer(np.ones((1, 2, 9, 9))).shape == (1, 2, 5, 7)
+    out = layer(Tensor(np.ones((1, 2, 3, 4))))
+    assert out.shape == (1, 2, 5, 7)
+    assert out.numpy()[0, 0, 4, 6] == 0.0   # padded region is zero
+    assert out.numpy()[0, 0, 2, 3] == 1.0
+
+
+def test_croppad2d_gradient_flows():
+    layer = nn.CropPad2d(2, 2)
+    x = Tensor(np.ones((1, 1, 3, 3)), requires_grad=True)
+    layer(x).sum().backward()
+    np.testing.assert_allclose(x.grad, [[[[1, 1, 0], [1, 1, 0], [0, 0, 0]]]])
+
+
+def test_standardize_destandardize_inverse():
+    mean = np.array([1.0, -2.0])
+    std = np.array([2.0, 0.5])
+    f = nn.Standardize(mean, std)
+    g = nn.Destandardize(mean, std)
+    x = np.random.default_rng(0).normal(size=(5, 2))
+    np.testing.assert_allclose(g(f(Tensor(x))).numpy(), x, atol=1e-12)
+
+
+def test_standardize_rejects_zero_std():
+    with pytest.raises(ValueError):
+        nn.Standardize(np.zeros(2), np.array([1.0, 0.0]))
+
+
+def test_batchnorm_train_and_eval():
+    bn = nn.BatchNorm1d(3)
+    rng = np.random.default_rng(1)
+    x = rng.normal(loc=5.0, scale=2.0, size=(64, 3))
+    out = bn(Tensor(x)).numpy()
+    assert abs(out.mean()) < 0.1
+    assert abs(out.std() - 1.0) < 0.1
+    bn.eval()
+    out2 = bn(Tensor(x)).numpy()   # running stats differ from batch stats
+    assert out2.shape == (64, 3)
+
+
+def test_layernorm():
+    ln = nn.LayerNorm(8)
+    x = np.random.default_rng(2).normal(size=(4, 8)) * 10 + 3
+    out = ln(Tensor(x)).numpy()
+    np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-7)
+
+
+def test_sequential_iteration_and_indexing():
+    seq = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+    assert len(seq) == 3
+    assert isinstance(seq[1], nn.ReLU)
+    assert [type(l).__name__ for l in seq] == ["Linear", "ReLU", "Linear"]
+    out = seq(np.ones((5, 4)))
+    assert out.shape == (5, 2)
+
+
+def test_named_parameters_nested():
+    seq = nn.Sequential(nn.Linear(2, 3), nn.Sequential(nn.Linear(3, 4)))
+    names = dict(seq.named_parameters())
+    assert "layers.0.weight" in names
+    assert "layers.1.layers.0.bias" in names
+    assert seq.num_parameters() == (2 * 3 + 3) + (3 * 4 + 4)
+
+
+def test_state_dict_roundtrip():
+    a = nn.Sequential(nn.Linear(3, 4), nn.ReLU(), nn.Linear(4, 2))
+    b = nn.Sequential(nn.Linear(3, 4), nn.ReLU(), nn.Linear(4, 2))
+    b.load_state_dict(a.state_dict())
+    x = np.random.default_rng(3).normal(size=(6, 3))
+    np.testing.assert_allclose(a(x).numpy(), b(x).numpy())
+
+
+def test_state_dict_mismatch_errors():
+    a = nn.Sequential(nn.Linear(3, 4))
+    b = nn.Sequential(nn.Linear(3, 4), nn.Linear(4, 2))
+    with pytest.raises(KeyError):
+        b.load_state_dict(a.state_dict())
+    state = a.state_dict()
+    state["layers.0.weight"] = np.zeros((9, 9))
+    with pytest.raises(ValueError):
+        a.load_state_dict(state)
+
+
+def test_train_eval_propagates():
+    seq = nn.Sequential(nn.Dropout(0.5), nn.Sequential(nn.Dropout(0.3)))
+    seq.eval()
+    assert all(not m.training for m in seq.modules())
+    seq.train()
+    assert all(m.training for m in seq.modules())
+
+
+def test_dropout_validation():
+    with pytest.raises(ValueError):
+        nn.Dropout(1.0)
+    with pytest.raises(ValueError):
+        nn.Dropout(-0.1)
+
+
+def test_dropout_identity_in_eval():
+    d = nn.Dropout(0.9)
+    d.eval()
+    x = np.ones((10, 10))
+    np.testing.assert_allclose(d(x).numpy(), x)
+
+
+def test_zero_grad_clears():
+    layer = nn.Linear(2, 2)
+    out = layer(np.ones((1, 2)))
+    out.sum().backward()
+    assert layer.weight.grad is not None
+    layer.zero_grad()
+    assert layer.weight.grad is None

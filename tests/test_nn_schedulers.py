@@ -1,0 +1,89 @@
+"""LR schedulers and Trainer gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import (CosineAnnealingLR, ReduceLROnPlateau, StepLR, Trainer)
+from repro.nn.layers import Parameter
+
+
+def make_opt(lr=0.1):
+    return nn.SGD([Parameter(np.ones(2))], lr=lr)
+
+
+def test_step_lr_decays():
+    opt = make_opt(0.1)
+    sched = StepLR(opt, step_size=3, gamma=0.1)
+    lrs = [sched.step() for _ in range(7)]
+    assert lrs[0] == pytest.approx(0.1)    # epochs 1-2: base
+    assert lrs[2] == pytest.approx(0.01)   # epoch 3: decayed once
+    assert lrs[5] == pytest.approx(0.001)  # epoch 6: decayed twice
+
+
+def test_step_lr_validation():
+    with pytest.raises(ValueError):
+        StepLR(make_opt(), step_size=0)
+
+
+def test_cosine_annealing_endpoints():
+    opt = make_opt(1.0)
+    sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.1)
+    mid = None
+    last = None
+    for epoch in range(10):
+        last = sched.step()
+        if epoch == 4:
+            mid = last
+    assert last == pytest.approx(0.1)              # fully annealed
+    assert 0.1 < mid < 1.0
+    # Clamps past t_max.
+    assert sched.step() == pytest.approx(0.1)
+
+
+def test_reduce_on_plateau():
+    opt = make_opt(0.4)
+    sched = ReduceLROnPlateau(opt, factor=0.5, patience=2)
+    sched.step(1.0)
+    sched.step(0.9)       # improving: no decay
+    assert opt.lr == pytest.approx(0.4)
+    for _ in range(3):    # stale beyond patience
+        sched.step(0.9)
+    assert opt.lr == pytest.approx(0.2)
+
+
+def test_reduce_on_plateau_respects_min_lr():
+    opt = make_opt(1e-5)
+    sched = ReduceLROnPlateau(opt, factor=0.1, patience=0, min_lr=1e-6)
+    for _ in range(10):
+        sched.step(1.0)
+    assert opt.lr >= 1e-6
+
+
+def test_trainer_grad_clip_bounds_update():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(64, 3)) * 100   # huge inputs -> huge gradients
+    y = rng.normal(size=(64, 1)) * 100
+    model = nn.Sequential(nn.Linear(3, 1, rng=rng))
+    before = model[0].weight.data.copy()
+    trainer = Trainer(model, lr=1e-2, batch_size=64, max_epochs=1,
+                      patience=5, grad_clip=0.5,
+                      optimizer=nn.SGD(model.parameters(), lr=1e-2))
+    trainer.fit(x, y, x, y)
+    delta = np.abs(model[0].weight.data - before).max()
+    # One SGD step with clipped norm 0.5 and lr 1e-2 moves <= 5e-3.
+    assert delta <= 5e-3 + 1e-9
+
+
+def test_trainer_with_scheduler_converges():
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(200, 2))
+    y = x @ np.array([[1.0], [-2.0]])
+    model = nn.Sequential(nn.Linear(2, 1, rng=rng))
+    opt = nn.Adam(model.parameters(), lr=5e-2)
+    trainer = Trainer(model, optimizer=opt, batch_size=32, max_epochs=40,
+                      patience=40,
+                      scheduler=CosineAnnealingLR(opt, t_max=40))
+    result = trainer.fit(x[:160], y[:160], x[160:], y[160:])
+    assert result.best_val_loss < 1e-2
+    assert opt.lr < 5e-2      # scheduler actually ran

@@ -1,0 +1,164 @@
+"""Model serialization roundtrips and Trainer behaviour."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import (ModelFormatError, Tensor, Trainer, load_model,
+                      model_from_spec, save_model, spec_from_model,
+                      train_val_split, iterate_minibatches, normalize_stats)
+from repro.nn.serialize import load_meta
+
+
+def roundtrip(model, tmp_path, x):
+    path = tmp_path / "m.rnm"
+    save_model(model, path, meta={"who": "test"})
+    loaded = load_model(path)
+    model.eval()
+    np.testing.assert_allclose(loaded(x).numpy(), model(x).numpy(),
+                               atol=1e-12)
+    return loaded, path
+
+
+def test_mlp_roundtrip(tmp_path):
+    model = nn.Sequential(
+        nn.Standardize(np.zeros(5), np.ones(5)),
+        nn.Linear(5, 16), nn.ReLU(), nn.Dropout(0.3),
+        nn.Linear(16, 8), nn.Tanh(), nn.Linear(8, 2),
+        nn.Destandardize(np.array([1.0, 2.0]), np.array([3.0, 4.0])))
+    x = np.random.default_rng(0).normal(size=(6, 5))
+    loaded, path = roundtrip(model, tmp_path, x)
+    assert load_meta(path) == {"who": "test"}
+    # Loaded model is in eval mode: dropout must be inert.
+    np.testing.assert_allclose(loaded(x).numpy(), loaded(x).numpy())
+
+
+def test_cnn_roundtrip(tmp_path):
+    model = nn.Sequential(
+        nn.Conv2d(2, 4, 3, padding=1), nn.ReLU(),
+        nn.MaxPool2d(2), nn.Flatten(), nn.Linear(4 * 4 * 4, 3))
+    x = np.random.default_rng(1).normal(size=(2, 2, 8, 8))
+    roundtrip(model, tmp_path, x)
+
+
+def test_croppad_sigmoid_roundtrip(tmp_path):
+    model = nn.Sequential(nn.Conv2d(1, 2, 2), nn.Sigmoid(),
+                          nn.CropPad2d(6, 6), nn.LeakyReLU(0.2))
+    x = np.random.default_rng(2).normal(size=(1, 1, 6, 6))
+    roundtrip(model, tmp_path, x)
+
+
+def test_spec_rejects_non_sequential():
+    with pytest.raises(ModelFormatError):
+        spec_from_model(nn.Linear(2, 2))
+
+
+def test_spec_roundtrip_structure():
+    model = nn.Sequential(nn.Linear(3, 4), nn.ReLU(), nn.Identity())
+    spec = spec_from_model(model)
+    rebuilt = model_from_spec(spec)
+    assert [type(l).__name__ for l in rebuilt] == \
+        [type(l).__name__ for l in model]
+
+
+def test_model_from_spec_unknown_type():
+    with pytest.raises(ModelFormatError):
+        model_from_spec([{"type": "Quantum"}])
+
+
+def test_load_bad_magic(tmp_path):
+    path = tmp_path / "bad.rnm"
+    path.write_bytes(b"XXXX" + b"\0" * 32)
+    with pytest.raises(ModelFormatError):
+        load_model(path)
+
+
+def test_load_truncated(tmp_path):
+    model = nn.Sequential(nn.Linear(4, 4))
+    path = tmp_path / "trunc.rnm"
+    save_model(model, path)
+    blob = path.read_bytes()
+    path.write_bytes(blob[:len(blob) - 16])
+    with pytest.raises(ModelFormatError):
+        load_model(path)
+
+
+# ----------------------------------------------------------------------
+# Training utilities
+# ----------------------------------------------------------------------
+
+def test_train_val_split_partitions():
+    x = np.arange(100).reshape(50, 2).astype(float)
+    y = np.arange(50).astype(float)
+    (xt, yt), (xv, yv) = train_val_split(x, y, 0.2,
+                                         np.random.default_rng(0))
+    assert len(xv) == 10 and len(xt) == 40
+    # Every sample appears exactly once across the two splits.
+    all_y = np.sort(np.concatenate([yt, yv]))
+    np.testing.assert_allclose(all_y, np.arange(50))
+
+
+def test_train_val_split_validation():
+    with pytest.raises(ValueError):
+        train_val_split(np.zeros((5, 1)), np.zeros(4))
+    with pytest.raises(ValueError):
+        train_val_split(np.zeros((5, 1)), np.zeros(5), val_fraction=0.0)
+
+
+def test_iterate_minibatches_covers_dataset():
+    x = np.arange(23).astype(float)
+    y = x * 2
+    seen = []
+    for xb, yb in iterate_minibatches(x, y, 5, np.random.default_rng(1)):
+        assert len(xb) <= 5
+        np.testing.assert_allclose(yb, xb * 2)
+        seen.extend(xb.tolist())
+    assert sorted(seen) == x.tolist()
+
+
+def test_normalizer_roundtrip():
+    rng = np.random.default_rng(2)
+    x = rng.normal(loc=3, scale=7, size=(100, 4))
+    norm = normalize_stats(x)
+    z = norm.transform(x)
+    assert abs(z.mean()) < 1e-10
+    np.testing.assert_allclose(norm.inverse(z), x, atol=1e-10)
+
+
+def test_trainer_learns_linear_map():
+    rng = np.random.default_rng(3)
+    w_true = np.array([[2.0, -1.0, 0.5]])
+    x = rng.normal(size=(300, 3))
+    y = x @ w_true.T
+    model = nn.Sequential(nn.Linear(3, 1, rng=rng))
+    trainer = Trainer(model, lr=5e-2, batch_size=32, max_epochs=60,
+                      patience=60)
+    result = trainer.fit(x[:240], y[:240], x[240:], y[240:])
+    assert result.best_val_loss < 1e-3
+    assert result.epochs_run <= 60
+    np.testing.assert_allclose(model[0].weight.data, w_true, atol=0.05)
+
+
+def test_trainer_early_stops_and_restores_best():
+    rng = np.random.default_rng(4)
+    x = rng.normal(size=(60, 2))
+    y = rng.normal(size=(60, 1))   # pure noise: no signal to learn
+    model = nn.Sequential(nn.Linear(2, 32, rng=rng), nn.ReLU(),
+                          nn.Linear(32, 1, rng=rng))
+    trainer = Trainer(model, lr=1e-2, batch_size=16, max_epochs=100,
+                      patience=5)
+    result = trainer.fit(x[:48], y[:48], x[48:], y[48:])
+    assert result.epochs_run < 100          # early stopping kicked in
+    # Restored weights achieve exactly the best recorded loss.
+    assert trainer.evaluate(x[48:], y[48:]) == \
+        pytest.approx(result.best_val_loss, rel=1e-9)
+
+
+def test_trainer_validation_rmse():
+    model = nn.Sequential(nn.Linear(2, 1))
+    x = np.zeros((4, 2))
+    y = np.zeros((4, 1))
+    trainer = Trainer(model)
+    bias = model[0].bias.data.copy()
+    assert trainer.validation_rmse(x, y) == pytest.approx(
+        float(np.sqrt(np.mean(bias ** 2))), rel=1e-9)

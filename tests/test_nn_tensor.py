@@ -1,0 +1,245 @@
+"""Autograd core: gradients checked against finite differences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import Tensor, no_grad, is_grad_enabled
+from repro.nn.tensor import unbroadcast
+
+
+def numerical_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar-valued fn."""
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    gflat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = fn(x)
+        flat[i] = orig - eps
+        down = fn(x)
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_grad(op, shape, seed=0, atol=1e-5):
+    rng = np.random.default_rng(seed)
+    x0 = rng.normal(size=shape) + 2.5  # keep away from log/sqrt singularities
+
+    def scalar(xv):
+        return float(op(Tensor(xv)).sum().numpy())
+
+    t = Tensor(x0.copy(), requires_grad=True)
+    out = op(t).sum()
+    out.backward()
+    expected = numerical_grad(scalar, x0.copy())
+    np.testing.assert_allclose(t.grad, expected, atol=atol, rtol=1e-4)
+
+
+@pytest.mark.parametrize("op", [
+    lambda t: t * 3.0 + 1.0,
+    lambda t: t * t,
+    lambda t: t / 2.0,
+    lambda t: 2.0 / t,
+    lambda t: -t,
+    lambda t: t ** 3,
+    lambda t: t.exp(),
+    lambda t: t.log(),
+    lambda t: t.sqrt(),
+    lambda t: t.tanh(),
+    lambda t: t.sigmoid(),
+    lambda t: t.relu(),
+    lambda t: t.leaky_relu(0.1),
+    lambda t: t.abs(),
+    lambda t: t.clip(1.0, 3.0),
+], ids=["affine", "square", "div", "rdiv", "neg", "pow", "exp", "log",
+        "sqrt", "tanh", "sigmoid", "relu", "leaky", "abs", "clip"])
+def test_elementwise_grads(op):
+    check_grad(op, (3, 4))
+
+
+def test_matmul_grad():
+    rng = np.random.default_rng(1)
+    a0 = rng.normal(size=(4, 3))
+    b0 = rng.normal(size=(3, 5))
+    a = Tensor(a0.copy(), requires_grad=True)
+    b = Tensor(b0.copy(), requires_grad=True)
+    (a @ b).sum().backward()
+    ga = numerical_grad(lambda av: float((av @ b0).sum()), a0.copy())
+    gb = numerical_grad(lambda bv: float((a0 @ bv).sum()), b0.copy())
+    np.testing.assert_allclose(a.grad, ga, atol=1e-6)
+    np.testing.assert_allclose(b.grad, gb, atol=1e-6)
+
+
+def test_matmul_vector_cases():
+    rng = np.random.default_rng(2)
+    m = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+    v = Tensor(rng.normal(size=4), requires_grad=True)
+    (m @ v).sum().backward()
+    assert m.grad.shape == (3, 4)
+    assert v.grad.shape == (4,)
+
+    u = Tensor(rng.normal(size=3), requires_grad=True)
+    m2 = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+    (u @ m2).sum().backward()
+    assert u.grad.shape == (3,)
+    assert m2.grad.shape == (3, 4)
+
+
+def test_batched_matmul_grad_shapes():
+    rng = np.random.default_rng(3)
+    a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+    b = Tensor(rng.normal(size=(2, 4, 5)), requires_grad=True)
+    (a @ b).sum().backward()
+    assert a.grad.shape == (2, 3, 4)
+    assert b.grad.shape == (2, 4, 5)
+
+
+def test_broadcast_add_grads():
+    a = Tensor(np.ones((3, 4)), requires_grad=True)
+    b = Tensor(np.ones((1, 4)), requires_grad=True)
+    c = Tensor(np.ones(4), requires_grad=True)
+    (a + b + c).sum().backward()
+    np.testing.assert_allclose(a.grad, np.ones((3, 4)))
+    np.testing.assert_allclose(b.grad, np.full((1, 4), 3.0))
+    np.testing.assert_allclose(c.grad, np.full(4, 3.0))
+
+
+def test_sum_mean_axis_grads():
+    x0 = np.arange(12.0).reshape(3, 4)
+    t = Tensor(x0.copy(), requires_grad=True)
+    (t.sum(axis=0) * Tensor(np.arange(4.0))).sum().backward()
+    np.testing.assert_allclose(t.grad, np.tile(np.arange(4.0), (3, 1)))
+
+    t2 = Tensor(x0.copy(), requires_grad=True)
+    t2.mean(axis=1).sum().backward()
+    np.testing.assert_allclose(t2.grad, np.full((3, 4), 0.25))
+
+
+def test_max_grad_routes_to_argmax():
+    t = Tensor(np.array([[1.0, 5.0], [7.0, 2.0]]), requires_grad=True)
+    t.max(axis=1).sum().backward()
+    np.testing.assert_allclose(t.grad, [[0, 1], [1, 0]])
+
+
+def test_max_grad_splits_ties():
+    t = Tensor(np.array([2.0, 2.0, 1.0]), requires_grad=True)
+    t.max().backward()
+    np.testing.assert_allclose(t.grad, [0.5, 0.5, 0.0])
+
+
+def test_getitem_grad_scatter():
+    t = Tensor(np.zeros(5), requires_grad=True)
+    t[1:4].sum().backward()
+    np.testing.assert_allclose(t.grad, [0, 1, 1, 1, 0])
+
+
+def test_getitem_repeated_index_accumulates():
+    t = Tensor(np.zeros(3), requires_grad=True)
+    idx = np.array([0, 0, 2])
+    t[idx].sum().backward()
+    np.testing.assert_allclose(t.grad, [2, 0, 1])
+
+
+def test_concatenate_and_stack_grads():
+    a = Tensor(np.ones(3), requires_grad=True)
+    b = Tensor(np.ones(2), requires_grad=True)
+    Tensor.concatenate([a, b]).sum().backward()
+    np.testing.assert_allclose(a.grad, np.ones(3))
+    np.testing.assert_allclose(b.grad, np.ones(2))
+
+    c = Tensor(np.ones((2, 2)), requires_grad=True)
+    d = Tensor(np.ones((2, 2)), requires_grad=True)
+    (Tensor.stack([c, d], axis=0) * 2.0).sum().backward()
+    np.testing.assert_allclose(c.grad, np.full((2, 2), 2.0))
+
+
+def test_reshape_transpose_grads():
+    x0 = np.arange(6.0).reshape(2, 3)
+    t = Tensor(x0.copy(), requires_grad=True)
+    t.reshape(3, 2).transpose().sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones((2, 3)))
+
+    t2 = Tensor(np.arange(24.0).reshape(2, 3, 4), requires_grad=True)
+    t2.transpose(2, 0, 1).sum().backward()
+    assert t2.grad.shape == (2, 3, 4)
+
+
+def test_pad_grad():
+    t = Tensor(np.ones((2, 2)), requires_grad=True)
+    t.pad([(1, 1), (0, 2)]).sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones((2, 2)))
+
+
+def test_diamond_graph_accumulates():
+    # y = x*x + x  — gradient 2x + 1; x used twice in the graph.
+    t = Tensor(np.array([3.0]), requires_grad=True)
+    (t * t + t).sum().backward()
+    np.testing.assert_allclose(t.grad, [7.0])
+
+
+def test_backward_requires_grad():
+    t = Tensor(np.ones(3))
+    with pytest.raises(RuntimeError):
+        t.backward()
+
+
+def test_backward_shape_check():
+    t = Tensor(np.ones(3), requires_grad=True)
+    with pytest.raises(ValueError):
+        (t * 2).backward(np.ones(4))
+
+
+def test_no_grad_context():
+    assert is_grad_enabled()
+    with no_grad():
+        assert not is_grad_enabled()
+        t = Tensor(np.ones(3), requires_grad=True)
+        out = t * 2
+        assert not out.requires_grad
+    assert is_grad_enabled()
+
+
+def test_detach_cuts_graph():
+    t = Tensor(np.ones(3), requires_grad=True)
+    d = (t * 2).detach()
+    assert not d.requires_grad
+    out = d * 3
+    assert not out.requires_grad
+
+
+def test_grad_accumulates_across_backwards():
+    t = Tensor(np.ones(2), requires_grad=True)
+    (t * 2).sum().backward()
+    (t * 3).sum().backward()
+    np.testing.assert_allclose(t.grad, [5.0, 5.0])
+    t.zero_grad()
+    assert t.grad is None
+
+
+@given(st.lists(st.integers(1, 5), min_size=1, max_size=3),
+       st.data())
+@settings(max_examples=40, deadline=None)
+def test_unbroadcast_inverts_broadcast(shape, data):
+    """Property: unbroadcast(broadcast(g)) sums to the original shape."""
+    shape = tuple(shape)
+    # Build a broadcastable source shape by degrading random axes to 1.
+    src = tuple(1 if data.draw(st.booleans()) else s for s in shape)
+    grad = np.ones((2,) * data.draw(st.integers(0, 1)) + shape)
+    out = unbroadcast(grad, src)
+    assert out.shape == src
+    assert out.sum() == pytest.approx(grad.sum())
+
+
+@given(st.integers(1, 4), st.integers(1, 4))
+@settings(max_examples=25, deadline=None)
+def test_mul_grad_property(n, m):
+    """Property: d(sum(a*b))/da == b for arbitrary shapes."""
+    rng = np.random.default_rng(n * 10 + m)
+    a0 = rng.normal(size=(n, m))
+    b0 = rng.normal(size=(n, m))
+    a = Tensor(a0, requires_grad=True)
+    (a * Tensor(b0)).sum().backward()
+    np.testing.assert_allclose(a.grad, b0)

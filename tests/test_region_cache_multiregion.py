@@ -1,0 +1,116 @@
+"""Descriptor-cache correctness and multi-region databases."""
+
+import numpy as np
+import pytest
+
+from repro.api import approx_ml
+from repro.nn import Linear, Sequential, save_model
+from repro.runtime import EventLog, load_training_data
+
+DIRECTIVES = """
+#pragma approx tensor functor(fi: [i, 0:2] = ([i, 0:2]))
+#pragma approx tensor functor(fo: [i, 0:1] = ([i]))
+#pragma approx tensor map(to: fi(x[0:N]))
+#pragma approx tensor map(from: fo(y[0:N]))
+#pragma approx ml(predicated:flag) in(x) out(y) db("{db}") model("{model}")
+"""
+
+
+def make_region(db, model, log=None):
+    @approx_ml(DIRECTIVES.format(db=db, model=model), event_log=log)
+    def region(x, y, N, flag=False):
+        y[:N] = x[:N].sum(axis=1)
+
+    return region
+
+
+def identity_model(path):
+    model = Sequential(Linear(2, 1, rng=np.random.default_rng(0)))
+    model[0].weight.data = np.array([[1.0, 1.0]])
+    model[0].bias.data = np.array([0.0])
+    save_model(model, path)
+
+
+def test_cache_reuses_descriptors_for_same_buffer(tmp_path):
+    region = make_region(tmp_path / "d.rh5", tmp_path / "m.rnm")
+    identity_model(tmp_path / "m.rnm")
+    x = np.random.default_rng(0).normal(size=(8, 2))
+    y = np.zeros(8)
+    for _ in range(5):
+        region(x, y, 8, flag=True)
+    np.testing.assert_allclose(y, x.sum(axis=1), atol=1e-12)
+    # One cached entry per (map, direction) after repeated invocations.
+    assert len(region._map_cache) == 2
+
+
+def test_cache_sees_fresh_data_in_same_buffer(tmp_path):
+    """Views alias the buffer: new data must flow through cached maps."""
+    region = make_region(tmp_path / "d.rh5", tmp_path / "m.rnm")
+    identity_model(tmp_path / "m.rnm")
+    x = np.zeros((4, 2))
+    y = np.zeros(4)
+    region(x, y, 4, flag=True)
+    np.testing.assert_allclose(y, np.zeros(4), atol=1e-12)
+    x[:] = 3.0                         # mutate in place
+    region(x, y, 4, flag=True)
+    np.testing.assert_allclose(y, np.full(4, 6.0), atol=1e-12)
+
+
+def test_cache_invalidated_by_new_array(tmp_path):
+    region = make_region(tmp_path / "d.rh5", tmp_path / "m.rnm")
+    identity_model(tmp_path / "m.rnm")
+    y = np.zeros(4)
+    a = np.ones((4, 2))
+    b = np.full((4, 2), 2.0)
+    region(a, y, 4, flag=True)
+    np.testing.assert_allclose(y, np.full(4, 2.0), atol=1e-12)
+    region(b, y, 4, flag=True)         # different buffer, same shape
+    np.testing.assert_allclose(y, np.full(4, 4.0), atol=1e-12)
+
+
+def test_cache_invalidated_by_changed_extent(tmp_path):
+    region = make_region(tmp_path / "d.rh5", tmp_path / "m.rnm")
+    identity_model(tmp_path / "m.rnm")
+    x = np.arange(16.0).reshape(8, 2)
+    y = np.zeros(8)
+    region(x, y, 8, flag=True)
+    y2 = np.zeros(8)
+    region(x, y2, 4, flag=True)        # N shrinks: only 4 entries written
+    np.testing.assert_allclose(y2[:4], x[:4].sum(axis=1), atol=1e-12)
+    assert y2[4:].sum() == 0.0
+
+
+def test_two_regions_share_one_database(tmp_path):
+    db = tmp_path / "shared.rh5"
+    log = EventLog()
+
+    @approx_ml(DIRECTIVES.format(db=db, model=tmp_path / "a.rnm"),
+               name="alpha", event_log=log)
+    def alpha(x, y, N, flag=False):
+        y[:N] = x[:N].sum(axis=1)
+
+    @approx_ml(DIRECTIVES.format(db=db, model=tmp_path / "b.rnm"),
+               name="beta", event_log=log)
+    def beta(x, y, N, flag=False):
+        y[:N] = x[:N].prod(axis=1)
+
+    x = np.random.default_rng(1).normal(size=(6, 2))
+    alpha(x, np.zeros(6), 6)
+    alpha.flush()
+    beta(x, np.zeros(6), 6)
+    beta.flush()
+
+    xa, ya, _ = load_training_data(db, "alpha")
+    xb, yb, _ = load_training_data(db, "beta")
+    np.testing.assert_allclose(ya[:, 0], x.sum(axis=1), atol=1e-12)
+    np.testing.assert_allclose(yb[:, 0], x.prod(axis=1), atol=1e-12)
+
+
+def test_region_repr_and_flush_idempotent(tmp_path):
+    region = make_region(tmp_path / "d.rh5", tmp_path / "m.rnm")
+    assert "region" in repr(region)
+    region(np.ones((3, 2)), np.zeros(3), 3)
+    region.flush()
+    region.flush()
+    region.close()
+    region.close()

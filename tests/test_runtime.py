@@ -1,0 +1,220 @@
+"""Runtime: events, path decisions, collection, inference engine."""
+
+import numpy as np
+import pytest
+
+from repro.directives import parse_directive
+from repro.nn import Linear, Sequential, save_model
+from repro.runtime import (ApproxRegion, DataCollector, EventLog,
+                           ExecutionPath, InferenceEngine, ModelCache, Phase,
+                           decide_path, eval_condition, load_training_data)
+
+# ----------------------------------------------------------------------
+# EventLog
+# ----------------------------------------------------------------------
+
+def test_event_log_breakdown_fractions():
+    log = EventLog()
+    rec = log.new_record("infer")
+    rec.add(Phase.TO_TENSOR, 1.0)
+    rec.add(Phase.INFERENCE, 8.0)
+    rec.add(Phase.FROM_TENSOR, 1.0)
+    rec2 = log.new_record("collect")       # must not count toward breakdown
+    rec2.add(Phase.ACCURATE, 100.0)
+    br = log.breakdown()
+    assert br["to_tensor"] == pytest.approx(0.1)
+    assert br["inference"] == pytest.approx(0.8)
+    assert br["from_tensor"] == pytest.approx(0.1)
+    assert log.bridge_overhead() == pytest.approx(0.25)
+
+
+def test_event_log_counts_and_totals():
+    log = EventLog()
+    log.new_record("infer").add(Phase.INFERENCE, 2.0)
+    log.new_record("accurate").add(Phase.ACCURATE, 3.0)
+    assert log.count() == 2
+    assert log.count("infer") == 1
+    assert log.total() == pytest.approx(5.0)
+    assert log.total(Phase.ACCURATE) == pytest.approx(3.0)
+    log.reset()
+    assert log.count() == 0
+
+
+def test_event_log_timed_contextmanager():
+    log = EventLog()
+    rec = log.new_record("infer")
+    with log.timed(rec, Phase.INFERENCE):
+        sum(range(1000))
+    assert rec.times[Phase.INFERENCE] > 0
+
+
+def test_breakdown_empty_is_zero():
+    assert sum(EventLog().breakdown().values()) == 0.0
+
+
+# ----------------------------------------------------------------------
+# decide_path / eval_condition
+# ----------------------------------------------------------------------
+
+def ml(src: str):
+    return parse_directive(f"#pragma approx {src}")
+
+
+def test_decide_path_matrix():
+    assert decide_path(ml('ml(infer) in(a) model("m")'), {}) == \
+        ExecutionPath.INFER
+    assert decide_path(ml('ml(collect) in(a) db("d")'), {}) == \
+        ExecutionPath.COLLECT
+    pred = ml('ml(predicated:flag) in(a) db("d") model("m")')
+    assert decide_path(pred, {"flag": True}) == ExecutionPath.INFER
+    assert decide_path(pred, {"flag": False}) == ExecutionPath.COLLECT
+
+
+def test_decide_path_infer_condition():
+    node = ml('ml(infer:flag) in(a) model("m")')
+    assert decide_path(node, {"flag": True}) == ExecutionPath.INFER
+    assert decide_path(node, {"flag": False}) == ExecutionPath.ACCURATE
+
+
+def test_decide_path_if_clause_gates_everything():
+    node = ml('ml(predicated:flag) in(a) db("d") model("m") if(step < 5)')
+    assert decide_path(node, {"flag": True, "step": 3}) == \
+        ExecutionPath.INFER
+    assert decide_path(node, {"flag": True, "step": 7}) == \
+        ExecutionPath.ACCURATE
+    assert decide_path(node, {"flag": False, "step": 3}) == \
+        ExecutionPath.COLLECT
+
+
+def test_eval_condition_expressions():
+    assert eval_condition("step % 3 == 0", {"step": 9})
+    assert not eval_condition("x > y", {"x": 1, "y": 2})
+    with pytest.raises(RuntimeError):
+        eval_condition("undefined_name", {})
+
+
+def test_eval_condition_no_builtins():
+    with pytest.raises(RuntimeError):
+        eval_condition("open('/etc/passwd')", {})
+
+
+# ----------------------------------------------------------------------
+# DataCollector
+# ----------------------------------------------------------------------
+
+def test_collector_appends_and_loads(tmp_path):
+    db = tmp_path / "c.rh5"
+    coll = DataCollector(db)
+    coll.record("r", np.ones((3, 2)), np.zeros((3, 1)), 0.5)
+    coll.record("r", np.full((2, 2), 2.0), np.ones((2, 1)), 0.25)
+    coll.close()
+    x, y, t = load_training_data(db, "r")
+    assert x.shape == (5, 2)
+    assert y.shape == (5, 1)
+    np.testing.assert_allclose(t, [0.5] * 3 + [0.25] * 2)
+
+
+def test_collector_batch_mismatch(tmp_path):
+    coll = DataCollector(tmp_path / "m.rh5")
+    with pytest.raises(ValueError):
+        coll.record("r", np.ones((3, 2)), np.zeros((2, 1)), 0.1)
+
+
+def test_collector_multiple_regions(tmp_path):
+    db = tmp_path / "multi.rh5"
+    coll = DataCollector(db)
+    coll.record("alpha", np.ones((1, 2)), np.ones((1, 1)), 0.0)
+    coll.record("beta", np.ones((1, 4)), np.ones((1, 2)), 0.0)
+    coll.close()
+    xa, _, _ = load_training_data(db, "alpha")
+    xb, _, _ = load_training_data(db, "beta")
+    assert xa.shape == (1, 2) and xb.shape == (1, 4)
+
+
+def test_collector_bytes_written(tmp_path):
+    coll = DataCollector(tmp_path / "b.rh5")
+    coll.record("r", np.zeros((100, 10)), np.zeros((100, 2)), 0.0)
+    assert coll.bytes_written > 100 * 10 * 8
+
+
+# ----------------------------------------------------------------------
+# InferenceEngine / ModelCache
+# ----------------------------------------------------------------------
+
+def test_model_cache_loads_once(tmp_path):
+    path = tmp_path / "m.rnm"
+    save_model(Sequential(Linear(2, 1)), path)
+    cache = ModelCache()
+    m1 = cache.get(path)
+    m2 = cache.get(path)
+    assert m1 is m2
+    assert len(cache) == 1
+    cache.clear()
+    assert cache.get(path) is not m1
+
+
+def test_engine_roundtrip(tmp_path):
+    model = Sequential(Linear(3, 2))
+    path = tmp_path / "e.rnm"
+    save_model(model, path)
+    engine = InferenceEngine()
+    x = np.random.default_rng(0).normal(size=(5, 3))
+    out = engine.infer(path, x)
+    model.eval()
+    np.testing.assert_allclose(out, model(x).numpy(), atol=1e-12)
+    assert engine.device.bytes_to_device > 0
+    assert engine.device.bytes_to_host > 0
+
+
+# ----------------------------------------------------------------------
+# ApproxRegion construction errors
+# ----------------------------------------------------------------------
+
+GOOD = """
+#pragma approx tensor functor(fi: [i, 0:2] = ([i, 0:2]))
+#pragma approx tensor functor(fo: [i, 0:1] = ([i]))
+#pragma approx tensor map(to: fi(x[0:N]))
+#pragma approx tensor map(from: fo(y[0:N]))
+#pragma approx ml(predicated:flag) in(x) out(y) db("d.rh5") model("m.rnm")
+"""
+
+
+def test_region_requires_ml_directive():
+    with pytest.raises(ValueError):
+        ApproxRegion(lambda x, y, N, flag=False: None,
+                     "#pragma approx tensor functor(f: [i] = ([i]))")
+
+
+def test_region_requires_maps():
+    src = ('#pragma approx tensor functor(fi: [i, 0:2] = ([i, 0:2]))\n'
+           '#pragma approx tensor map(to: fi(x[0:N]))\n'
+           '#pragma approx ml(collect) in(x) db("d")')
+    with pytest.raises(ValueError):
+        ApproxRegion(lambda x, N: None, src)
+
+
+def test_region_map_must_match_inout_lists():
+    src = GOOD.replace("in(x) out(y)", "in(x) out(x)")
+    with pytest.raises(ValueError):
+        ApproxRegion(lambda x, y, N, flag=False: None, src)
+
+
+def test_region_missing_array_argument():
+    region = ApproxRegion(lambda x, y, N, flag=False: None, GOOD)
+    from repro.bridge import BridgeError
+    with pytest.raises(TypeError):
+        region(np.zeros((3, 2)), flag=False)   # y, N missing
+
+
+def test_region_non_array_argument():
+    region = ApproxRegion(lambda x, y, N, flag=False: None, GOOD)
+    from repro.bridge import BridgeError
+    with pytest.raises(BridgeError):
+        region("not an array", np.zeros(3), 3, flag=False)
+
+
+def test_region_infer_without_model(tmp_path):
+    src = GOOD.replace('model("m.rnm")', f'model("{tmp_path}/absent.rnm")')
+    region = ApproxRegion(lambda x, y, N, flag=False: None, src)
+    with pytest.raises(FileNotFoundError):
+        region(np.zeros((3, 2)), np.zeros(3), 3, flag=True)

@@ -1,0 +1,107 @@
+"""Integration: annotate a stencil region, collect, train, deploy (§III)."""
+
+import numpy as np
+import pytest
+
+from repro.api import approx_ml
+from repro.nn import Linear, ReLU, Sequential, Trainer, save_model
+from repro.runtime import EventLog, Phase, load_training_data
+
+DIRECTIVES = """
+#pragma approx tensor functor(ifnctr: \\
+    [i, j, 0:5] = (([i-1, j], [i+1, j], [i, j-1:j+2])))
+#pragma approx tensor functor(ofnctr: [i, j, 0:1] = ([i, j]))
+#pragma approx tensor map(to: ifnctr(t[1:N-1, 1:M-1]))
+#pragma approx tensor map(from: ofnctr(tnew[1:N-1, 1:M-1]))
+#pragma approx ml(predicated:use_model) in(t) out(tnew) \\
+    db("{db}") model("{model}")
+"""
+
+
+def make_region(db, model, log):
+    @approx_ml(DIRECTIVES.format(db=db, model=model), event_log=log)
+    def do_timestep(t, tnew, N, M, use_model=False):
+        # Jacobi-style 5-point average on the interior.
+        tnew[1:N - 1, 1:M - 1] = 0.2 * (
+            t[:N - 2, 1:M - 1] + t[2:, 1:M - 1] + t[1:N - 1, :M - 2]
+            + t[1:N - 1, 1:M - 1] + t[1:N - 1, 2:])
+
+    return do_timestep
+
+
+@pytest.fixture
+def paths(tmp_path):
+    return str(tmp_path / "data.rh5"), str(tmp_path / "model.rnm")
+
+
+def test_collect_then_infer(paths):
+    db, model_path = paths
+    log = EventLog()
+    region = make_region(db, model_path, log)
+    rng = np.random.default_rng(7)
+    N, M = 12, 10
+
+    # --- data collection phase (predicated condition false) ---
+    t = rng.random((N, M))
+    for _ in range(30):
+        tnew = np.zeros_like(t)
+        region(t, tnew, N, M, use_model=False)
+        t, tnew = tnew, t
+        t[0, :] = t[-1, :] = t[:, 0] = t[:, -1] = rng.random()
+    region.flush()
+
+    x, y, times = load_training_data(db, "do_timestep")
+    assert x.shape[1:] == (5,)
+    assert y.shape[1:] == (1,)
+    assert len(x) == len(y) == 30 * (N - 2) * (M - 2)
+    assert np.all(times >= 0)
+    # Ground truth check: output is the mean of the 5 gathered inputs.
+    np.testing.assert_allclose(y[:, 0], x.mean(axis=1), atol=1e-12)
+
+    # --- train a tiny surrogate; the map is linear so an MLP nails it ---
+    model = Sequential(Linear(5, 16, rng=np.random.default_rng(0)), ReLU(),
+                       Linear(16, 1, rng=np.random.default_rng(1)))
+    trainer = Trainer(model, lr=5e-3, batch_size=128, max_epochs=60,
+                      patience=60)
+    n_train = int(0.8 * len(x))
+    result = trainer.fit(x[:n_train], y[:n_train], x[n_train:], y[n_train:])
+    assert result.best_val_loss < 1e-3
+    save_model(model, model_path)
+
+    # --- inference phase (predicated condition true) ---
+    t_acc = rng.random((N, M))
+    t_ml = t_acc.copy()
+    tnew_acc = np.zeros_like(t_acc)
+    tnew_ml = np.zeros_like(t_ml)
+    region(t_acc, tnew_acc, N, M, use_model=False)
+    region(t_ml, tnew_ml, N, M, use_model=True)
+
+    interior_err = np.abs(tnew_ml[1:N - 1, 1:M - 1]
+                          - tnew_acc[1:N - 1, 1:M - 1]).max()
+    assert interior_err < 0.15
+    # Boundary untouched by inference.
+    assert tnew_ml[0].sum() == 0
+
+    # Event log saw both paths and all inference phases.
+    assert log.count("infer") == 1
+    assert log.count("collect") == 31  # 30 initial + 1 comparison run
+    br = log.breakdown()
+    assert abs(sum(br.values()) - 1.0) < 1e-9
+    assert all(v >= 0 for v in br.values())
+
+
+def test_if_clause_gates_approximation(paths):
+    db, model_path = paths
+    directives = DIRECTIVES.replace(
+        'ml(predicated:use_model)', 'ml(collect) if(step % 2 == 0)')
+    log = EventLog()
+
+    @approx_ml(directives.format(db=db, model=model_path), event_log=log)
+    def do_timestep(t, tnew, N, M, step=0, use_model=False):
+        tnew[1:N - 1, 1:M - 1] = t[1:N - 1, 1:M - 1]
+
+    t = np.ones((6, 6))
+    for step in range(4):
+        do_timestep(t, np.zeros_like(t), 6, 6, step=step)
+    assert log.count("collect") == 2
+    assert log.count("accurate") == 2

@@ -1,0 +1,45 @@
+"""End-to-end smoke: Fig. 2 stencil example through the full bridge."""
+
+import numpy as np
+
+from repro.bridge import TensorFunctor, SweepRange, concretize
+from repro.directives import parse_directive, FunctorDecl
+
+
+def test_fig2_stencil_roundtrip():
+    N, M = 8, 9
+    t = np.arange(N * M, dtype=np.float64).reshape(N, M)
+    tnew = np.zeros_like(t)
+
+    ifnctr = TensorFunctor.parse(
+        "#pragma approx tensor functor(ifnctr: "
+        "[i, j, 0:5] = (([i-1, j], [i+1, j], [i, j-1:j+2])))")
+    ofnctr = TensorFunctor.parse(
+        "#pragma approx tensor functor(ofnctr: [i, j, 0:1] = ([i, j]))")
+
+    cmap = concretize(ifnctr, t, [SweepRange(1, N - 1), SweepRange(1, M - 1)])
+    x = cmap.gather()
+    assert x.shape == (N - 2, M - 2, 5)
+    # Check the 5-point stencil at (i=1, j=1): up, down, left, center, right.
+    np.testing.assert_allclose(
+        x[0, 0], [t[0, 1], t[2, 1], t[1, 0], t[1, 1], t[1, 2]])
+    # interior point
+    np.testing.assert_allclose(
+        x[3, 4], [t[3, 5], t[5, 5], t[4, 4], t[4, 5], t[4, 6]])
+
+    omap = concretize(ofnctr, tnew, [SweepRange(1, N - 1), SweepRange(1, M - 1)],
+                      writable=True)
+    result = np.arange((N - 2) * (M - 2), dtype=np.float64).reshape(N - 2, M - 2, 1)
+    omap.scatter(result)
+    np.testing.assert_allclose(tnew[1:N - 1, 1:M - 1], result[..., 0])
+    assert tnew[0].sum() == 0 and tnew[-1].sum() == 0
+
+
+def test_parse_fig2_listing():
+    node = parse_directive(
+        '#pragma approx tensor functor(ifnctr: \\\n'
+        '[i, j, 0:5] = ( ([i-1, j], [i+1, j], \\\n'
+        '[i, j-1:j+2])))')
+    assert isinstance(node, FunctorDecl)
+    assert node.name == "ifnctr"
+    assert len(node.rhs) == 3

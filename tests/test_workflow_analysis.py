@@ -1,0 +1,171 @@
+"""Workflow executor and analysis utilities."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import (annotation_loc, cdf_quantile, count_directives,
+                            error_cdf, geometric_mean, relative_error,
+                            render_kv, render_series, render_table,
+                            summarize_errors, table2_rows)
+from repro.workflow import (TaskFuture, WorkflowError, WorkflowExecutor,
+                            task)
+
+# ----------------------------------------------------------------------
+# Executor
+# ----------------------------------------------------------------------
+
+def test_executor_runs_tasks():
+    with WorkflowExecutor() as ex:
+        f = ex.submit(lambda a, b: a + b, 2, 3)
+        assert f.result() == 5
+        assert ex.completed == 1
+
+
+def test_executor_future_dependencies():
+    with WorkflowExecutor() as ex:
+        a = ex.submit(lambda: 10)
+        b = ex.submit(lambda x: x * 2, a)       # future as argument
+        c = ex.submit(lambda xs: sum(xs), [a, b])
+        assert c.result() == 30
+
+
+def test_executor_kwarg_and_dict_futures():
+    with WorkflowExecutor() as ex:
+        a = ex.submit(lambda: 7)
+        b = ex.submit(lambda cfg: cfg["x"] + 1, cfg={"x": a})
+        assert b.result() == 8
+
+
+def test_executor_map():
+    with WorkflowExecutor() as ex:
+        futures = ex.map(lambda v: v * v, [1, 2, 3], name="sq")
+        assert ex.wait_all(futures) == [1, 4, 9]
+        assert futures[1].name == "sq[1]"
+
+
+def test_executor_error_wrapping():
+    with WorkflowExecutor() as ex:
+        f = ex.submit(lambda: 1 / 0, name="boom")
+        with pytest.raises(WorkflowError) as err:
+            f.result()
+        assert err.value.task_name == "boom"
+        assert isinstance(err.value.cause, ZeroDivisionError)
+
+
+def test_executor_error_propagates_through_deps():
+    with WorkflowExecutor() as ex:
+        bad = ex.submit(lambda: 1 / 0, name="src")
+        downstream = ex.submit(lambda x: x + 1, bad, name="sink")
+        with pytest.raises(WorkflowError):
+            downstream.result()
+
+
+def test_executor_parallelism():
+    with WorkflowExecutor(max_workers=4) as ex:
+        start = time.perf_counter()
+        futures = [ex.submit(time.sleep, 0.05) for _ in range(4)]
+        ex.wait_all(futures)
+        elapsed = time.perf_counter() - start
+    assert elapsed < 0.15   # ran concurrently, not 0.2s serially
+
+
+def test_task_decorator():
+    @task
+    def double(x):
+        return 2 * x
+
+    with WorkflowExecutor() as ex:
+        assert double(21, _executor=ex).result() == 42
+    with pytest.raises(WorkflowError):
+        double(1)   # no executor bound
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+
+def test_relative_error():
+    rel = relative_error(np.array([1.1, 2.0]), np.array([1.0, 2.0]))
+    np.testing.assert_allclose(rel, [0.1, 0.0], atol=1e-12)
+    with pytest.raises(ValueError):
+        relative_error(np.zeros(2), np.zeros(3))
+
+
+def test_error_cdf_monotone():
+    errs = np.random.default_rng(0).exponential(size=1000)
+    values, fractions = error_cdf(errs)
+    assert np.all(np.diff(values) >= 0)
+    assert np.all(np.diff(fractions) >= 0)
+    assert fractions[-1] == pytest.approx(1.0)
+
+
+def test_cdf_quantile_paper_style():
+    errs = np.linspace(0, 1, 101)   # uniform 0..1
+    assert cdf_quantile(errs, 0.8) == pytest.approx(0.8, abs=0.02)
+    with pytest.raises(ValueError):
+        cdf_quantile(errs, 1.5)
+
+
+def test_geometric_mean():
+    assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geometric_mean([10.0, 10.0, 10.0]) == pytest.approx(10.0)
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, -1.0])
+
+
+def test_summarize_errors_keys():
+    s = summarize_errors(np.ones((4, 4)), np.ones((4, 4)) * 1.1)
+    assert set(s) == {"rmse", "max_abs", "rel_p50", "rel_p80", "rel_p90"}
+    assert s["rel_p50"] <= s["rel_p80"] <= s["rel_p90"]
+
+
+# ----------------------------------------------------------------------
+# LoC accounting (Table II)
+# ----------------------------------------------------------------------
+
+def test_count_directives():
+    src = ('#pragma approx tensor functor(f: [i] = ([i]))\n'
+           '#pragma approx tensor map(to: f(x[0:N]))\n'
+           '#pragma approx ml(collect) in(x) db("d")')
+    assert count_directives(src) == 3
+    assert annotation_loc(src) == 3
+
+
+def test_annotation_loc_counts_continuations():
+    src = ('#pragma approx tensor functor(f: \\\n'
+           '    [i, 0:5] = ([i, 0:5]))\n')
+    assert count_directives(src) == 1
+    assert annotation_loc(src) == 2
+
+
+def test_table2_rows_structure():
+    rows = table2_rows()
+    assert len(rows) == 5
+    for row in rows:
+        assert row["directives"] >= 3
+        assert 0 < row["hpacml_loc"] <= 10
+        assert row["hpacml_loc"] < row["total_loc"] * 0.10  # small footprint
+
+
+# ----------------------------------------------------------------------
+# Report rendering
+# ----------------------------------------------------------------------
+
+def test_render_table():
+    text = render_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}],
+                        title="T")
+    assert "T" in text and "a" in text
+    assert "10" in text and "0.25" in text
+
+
+def test_render_table_empty():
+    assert "(no rows)" in render_table([], title="x")
+
+
+def test_render_series_and_kv():
+    s = render_series("fig", [1, 2], [0.5, 0.25], "step", "rmse")
+    assert "fig" in s and "0.25" in s
+    kv = render_kv("stats", {"speedup": 9.5, "n": 3})
+    assert "speedup" in kv and "9.5" in kv
