@@ -16,6 +16,7 @@ Both operate on the same outlined-region shape as the HPAC-ML runtime:
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 
 import numpy as np
@@ -24,13 +25,27 @@ __all__ = ["quantize_key", "InputMemo", "OutputMemo"]
 
 
 def quantize_key(arrays, tolerance: float) -> tuple:
-    """Hashable signature of input arrays on a ``tolerance`` grid."""
+    """Hashable signature of input arrays on a ``tolerance`` grid.
+
+    Each array contributes ``(shape, digest)`` where the digest is a
+    128-bit BLAKE2b hash of the quantized bytes.  The seed stored the
+    full ``tobytes()`` payload as the dict key, which made every cache
+    probe hash megabytes and kept the raw inputs alive in the table;
+    the fixed-size digest makes probes O(1) in key size while the shape
+    tuple still separates reshaped views of identical bytes.
+    """
     if tolerance <= 0:
         raise ValueError(f"tolerance must be positive: {tolerance}")
     parts = []
     for arr in arrays:
-        q = np.round(np.asarray(arr, dtype=np.float64) / tolerance)
-        parts.append((q.shape, q.tobytes()))
+        arr = np.asarray(arr)
+        if arr.dtype != np.float64:          # skip the copy when already f64
+            arr = arr.astype(np.float64)
+        q = arr / tolerance                  # fresh array: round in place
+        np.round(q, out=q)
+        digest = hashlib.blake2b(
+            np.ascontiguousarray(q).tobytes(), digest_size=16).digest()
+        parts.append((q.shape, digest))
     return tuple(parts)
 
 

@@ -54,6 +54,10 @@ class AppHarness:
     """Shared collect/deploy machinery; subclasses bind one benchmark."""
 
     name: str = ""
+    #: Fig. 5/6 runs use the compiled inference fast path by default;
+    #: subclass (or flip on an instance before ``_setup``) to force the
+    #: graph path, e.g. for fast-path ablation studies.
+    use_compiled: bool = True
 
     def __init__(self, workdir, seed: int = 0):
         self.workdir = Path(workdir)
@@ -63,7 +67,8 @@ class AppHarness:
         self.model_path = self.workdir / f"{self.name}.rnm"
         self.events = EventLog()
         self.device = Device()
-        self.engine = InferenceEngine(device=self.device)
+        self.engine = InferenceEngine(device=self.device,
+                                      use_compiled=self.use_compiled)
         self.info = REGISTRY[self.name]
         self.error_fn = qoi_error_fn(self.info.metric)
         self._setup()
@@ -101,6 +106,9 @@ class AppHarness:
         """Persist a trained model where the annotation's clause points."""
         save_model(model, self.model_path)
         self.engine.cache.clear()
+        # Load + precompile now so the first timed invocation of the
+        # deployed surrogate pays neither deserialization nor planning.
+        self.engine.warmup(self.model_path)
 
     def _surrogate_seconds(self, before_records: int) -> tuple[float, dict]:
         recs = self.events.records[before_records:]

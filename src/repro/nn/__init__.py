@@ -12,6 +12,7 @@ from .layers import (
     Sequential, Identity, BatchNorm1d, LayerNorm, CropPad2d,
     Standardize, Destandardize,
 )
+from .compile import compile_inference, CompiledPlan, UnsupportedLayerError
 from .optim import Optimizer, SGD, Adam
 from .loss import mse_loss, l1_loss, huber_loss, mape_loss, rmse, mape
 from .serialize import (save_model, load_model, load_meta, spec_from_model,
@@ -33,5 +34,6 @@ __all__ = [
     "Trainer", "TrainResult", "train_val_split", "iterate_minibatches",
     "normalize_stats", "Normalizer", "StepLR", "CosineAnnealingLR",
     "ReduceLROnPlateau", "GRUCell", "GRU", "ArrayDataset",
-    "H5Dataset", "DataLoader",
+    "H5Dataset", "DataLoader", "compile_inference", "CompiledPlan",
+    "UnsupportedLayerError",
 ]

@@ -17,7 +17,7 @@ from .tensor import Tensor
 __all__ = [
     "linear", "conv1d", "conv2d", "max_pool1d", "max_pool2d",
     "avg_pool2d", "dropout", "softmax", "log_softmax", "im2col", "col2im",
-    "conv_output_size",
+    "conv_output_size", "max_pool2d_raw", "max_pool1d_raw", "avg_pool2d_raw",
 ]
 
 
@@ -134,22 +134,58 @@ def conv1d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
     return out.reshape(n, c_out, oh)
 
 
-def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
-    """Max pooling over non-overlapping-or-strided ``kernel x kernel`` windows."""
-    stride = stride or kernel
+def max_pool2d_raw(x: np.ndarray, kernel: int, stride: int):
+    """Forward max-pool on a raw array: ``(out, argmax, out_h, out_w)``.
+
+    Shared between the autodiff op below and the compiled fast path.
+    """
     n, c, h, w = x.shape
     out_h = conv_output_size(h, kernel, stride)
     out_w = conv_output_size(w, kernel, stride)
-    sn, sc, sh, sw = x.data.strides
+    sn, sc, sh, sw = x.strides
     view = np.lib.stride_tricks.as_strided(
-        x.data,
+        x,
         shape=(n, c, out_h, out_w, kernel, kernel),
         strides=(sn, sc, sh * stride, sw * stride, sh, sw),
         writeable=False,
     )
     flat = view.reshape(n, c, out_h, out_w, kernel * kernel)
     arg = flat.argmax(axis=-1)
-    out_data = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+    out = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+    return out, arg, out_h, out_w
+
+
+def max_pool1d_raw(x: np.ndarray, kernel: int, stride: int):
+    """Forward 1-D max-pool on a raw array: ``(out, argmax)``."""
+    n, c, length = x.shape
+    out_l = conv_output_size(length, kernel, stride)
+    x4 = x.reshape(n, c, 1, length)
+    sn, sc, sh, sw = x4.strides
+    view = np.lib.stride_tricks.as_strided(
+        x4, shape=(n, c, 1, out_l, 1, kernel),
+        strides=(sn, sc, sh, sw * stride, sh, sw), writeable=False)
+    flat = view.reshape(n, c, out_l, kernel)
+    arg = flat.argmax(axis=-1)
+    out = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+    return out, arg
+
+
+def avg_pool2d_raw(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    """Forward average-pool on a raw array."""
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel, stride)
+    out_w = conv_output_size(w, kernel, stride)
+    sn, sc, sh, sw = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x, shape=(n, c, out_h, out_w, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw), writeable=False)
+    return view.mean(axis=(-1, -2))
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Max pooling over non-overlapping-or-strided ``kernel x kernel`` windows."""
+    stride = stride or kernel
+    out_data, arg, out_h, out_w = max_pool2d_raw(x.data, kernel, stride)
 
     def backward(g):
         gx = np.zeros_like(x.data)
@@ -173,15 +209,7 @@ def max_pool1d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
     if kernel == 1:
         return out.reshape(n, c, length)
     stride = stride or kernel
-    out_l = conv_output_size(length, kernel, stride)
-    x4 = x.reshape(n, c, 1, length)
-    sn, sc, sh, sw = x4.data.strides
-    view = np.lib.stride_tricks.as_strided(
-        x4.data, shape=(n, c, 1, out_l, 1, kernel),
-        strides=(sn, sc, sh, sw * stride, sh, sw), writeable=False)
-    flat = view.reshape(n, c, out_l, kernel)
-    arg = flat.argmax(axis=-1)
-    out_data = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+    out_data, arg = max_pool1d_raw(x.data, kernel, stride)
 
     def backward(g):
         gx = np.zeros_like(x.data)
@@ -199,11 +227,7 @@ def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
     n, c, h, w = x.shape
     out_h = conv_output_size(h, kernel, stride)
     out_w = conv_output_size(w, kernel, stride)
-    sn, sc, sh, sw = x.data.strides
-    view = np.lib.stride_tricks.as_strided(
-        x.data, shape=(n, c, out_h, out_w, kernel, kernel),
-        strides=(sn, sc, sh * stride, sw * stride, sh, sw), writeable=False)
-    out_data = view.mean(axis=(-1, -2))
+    out_data = avg_pool2d_raw(x.data, kernel, stride)
 
     def backward(g):
         gx = np.zeros_like(x.data)

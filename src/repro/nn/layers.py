@@ -15,7 +15,7 @@ import numpy as np
 
 from . import functional as F
 from . import init as init_mod
-from .tensor import Tensor
+from .tensor import Tensor, no_grad
 
 __all__ = [
     "Module", "Parameter", "Linear", "Conv1d", "Conv2d", "MaxPool1d",
@@ -111,6 +111,42 @@ class Module:
         if not isinstance(x, Tensor):
             x = Tensor(x)
         return self.forward(x)
+
+    # -- compiled inference fast path -------------------------------------
+    def forward_compiled(self, x) -> np.ndarray:
+        """Run inference through the compiled NumPy plan (eval semantics).
+
+        Compiles lazily on first use and caches the plan on the module;
+        the cache recompiles automatically when a parameter array is
+        rebound (e.g. :meth:`load_state_dict`).  Layers without a
+        compiled lowering fall back to the graph path under ``no_grad``.
+        Returns a plain ndarray which may be plan-owned scratch — copy
+        it if it must survive the next call.
+        """
+        plan = self.__dict__.get("_plan_cache")
+        if plan is None or (plan is not _COMPILE_UNSUPPORTED and plan.stale()):
+            from .compile import UnsupportedLayerError, compile_inference
+            try:
+                plan = compile_inference(self)
+            except UnsupportedLayerError:
+                plan = _COMPILE_UNSUPPORTED
+            self._plan_cache = plan
+        if plan is _COMPILE_UNSUPPORTED:
+            was_training = self.training
+            if was_training:
+                self.eval()
+            try:
+                with no_grad():
+                    out = self(x).numpy()
+            finally:
+                if was_training:
+                    self.train(True)
+            return out
+        return plan(x)
+
+
+#: Sentinel cached on modules whose layer set has no compiled lowering.
+_COMPILE_UNSUPPORTED = object()
 
 
 class Identity(Module):
@@ -390,6 +426,7 @@ class Sequential(Module):
 
     def append(self, layer: Module) -> "Sequential":
         self.layers.append(layer)
+        self.__dict__.pop("_plan_cache", None)   # structural change
         return self
 
     def __iter__(self):

@@ -4,9 +4,10 @@ from .events import Phase, InvocationRecord, EventLog
 from .control import ExecutionPath, decide_path, eval_condition
 from .collect import DataCollector, load_training_data
 from .infer import InferenceEngine, ModelCache
+from .batch import BatchedInferenceEngine
 from .region import ApproxRegion, RegionConfig
 
 __all__ = ["Phase", "InvocationRecord", "EventLog", "ExecutionPath",
            "decide_path", "eval_condition", "DataCollector",
            "load_training_data", "InferenceEngine", "ModelCache",
-           "ApproxRegion", "RegionConfig"]
+           "BatchedInferenceEngine", "ApproxRegion", "RegionConfig"]

@@ -1,0 +1,155 @@
+"""Region invocation batching: amortize per-call inference overhead.
+
+Every :class:`~repro.runtime.region.ApproxRegion` invocation in the
+seed runtime paid a full engine round trip — H2D transfer, forward,
+D2H transfer — even at batch size 1.  Iterative applications invoke the
+same surrogate thousands of times on small batches, so the wall-clock
+is dominated by fixed per-call overhead rather than math (the
+amortize-over-many-queries observation of the pragmatic-synthesis
+line of work).
+
+:class:`BatchedInferenceEngine` queues submitted invocations and
+flushes them as **one** ``(B, *features)`` forward:
+
+* **size-triggered**: a flush fires when the queued row count reaches
+  ``max_batch_rows``;
+* **region-triggered**: a submission for a different model (a different
+  region's surrogate) flushes the current queue first, preserving
+  cross-region ordering;
+* **explicit**: callers invoke :meth:`flush` at a program point where
+  deferred outputs must land (e.g. before reading region outputs).
+
+Because outputs are delivered at flush time, batching is only sound for
+invocations that are independent of each other's outputs.  Regions
+wired to a batched engine defer their scatter-back into the per-call
+``on_result`` callback; auto-regressive loops (MiniWeather stepping)
+must keep the immediate engine.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..device import Device
+from .infer import InferenceEngine, ModelCache
+
+__all__ = ["BatchedInferenceEngine"]
+
+
+class _Pending:
+    """One queued invocation: inputs plus its result callback."""
+
+    __slots__ = ("inputs", "on_result")
+
+    def __init__(self, inputs, on_result):
+        self.inputs = inputs
+        self.on_result = on_result
+
+
+class BatchedInferenceEngine(InferenceEngine):
+    """An :class:`InferenceEngine` that coalesces queued invocations."""
+
+    def __init__(self, device: Device | None = None,
+                 cache: ModelCache | None = None,
+                 use_compiled: bool = True, max_batch_rows: int = 256):
+        super().__init__(device=device, cache=cache,
+                         use_compiled=use_compiled)
+        if max_batch_rows <= 0:
+            raise ValueError(f"max_batch_rows must be positive: "
+                             f"{max_batch_rows}")
+        self.max_batch_rows = max_batch_rows
+        self._queue: list[_Pending] = []
+        self._queue_key: str | None = None
+        self._queued_rows = 0
+        self._key_cache: dict[str, str] = {}   # raw path -> resolved
+        self.submissions = 0
+        self.batches_flushed = 0
+        self.rows_flushed = 0
+
+    # -- queue state -----------------------------------------------------
+    @property
+    def pending_rows(self) -> int:
+        return self._queued_rows
+
+    @property
+    def pending_invocations(self) -> int:
+        # Deliberately a property, not __len__: a len-able engine would
+        # be falsy when idle and break ``engine or default`` wiring.
+        return len(self._queue)
+
+    # -- submission ------------------------------------------------------
+    def submit(self, model_path, inputs: np.ndarray, on_result=None) -> None:
+        """Queue one invocation's ``(b, *features)`` inputs.
+
+        ``on_result(outputs, seconds)`` fires at flush time with this
+        submission's slice of the batched output and its proportional
+        share of the device-equivalent forward time.  Inputs are copied
+        at submission, so callers may reuse their buffers immediately.
+        """
+        inputs = np.array(inputs)             # snapshot: defer-safe
+        raw = str(model_path)
+        key = self._key_cache.get(raw)        # resolve() syscalls are the
+        if key is None:                       # per-submit hot-path cost
+            key = self._key_cache[raw] = str(Path(raw).resolve())
+        if self._queue and (key != self._queue_key or
+                            inputs.shape[1:] != self._queue[0].inputs.shape[1:]):
+            self.flush()                      # region-triggered
+        self._queue.append(_Pending(inputs, on_result))
+        self._queue_key = key
+        self._queued_rows += len(inputs)
+        self.submissions += 1
+        if self._queued_rows >= self.max_batch_rows:
+            self.flush()                      # size-triggered
+
+    def flush(self) -> list:
+        """Run all queued invocations as one forward; deliver results.
+
+        Returns the per-submission output arrays in submission order.
+        If the forward itself fails the queue is left intact (callers
+        may repair the model file and flush again); a callback raising
+        does not stop delivery to the remaining submissions — the first
+        callback error re-raises after all deliveries ran.
+        """
+        if not self._queue:
+            return []
+        pending = self._queue
+        total = self._queued_rows
+
+        if len(pending) == 1:
+            batch = pending[0].inputs
+        else:
+            batch = np.concatenate([p.inputs for p in pending], axis=0)
+        outputs = super().infer(self._queue_key, batch)
+        # The forward succeeded: the queue is consumed from here on.
+        self._queue = []
+        self._queue_key = None
+        self._queued_rows = 0
+        self.batches_flushed += 1
+        self.rows_flushed += total
+
+        forward_device = self.last_inference_seconds
+        results = []
+        offset = 0
+        first_error = None
+        for p in pending:
+            n = len(p.inputs)
+            out = outputs[offset:offset + n]
+            offset += n
+            if p.on_result is not None:
+                try:
+                    p.on_result(out, forward_device * (n / total))
+                except Exception as exc:
+                    if first_error is None:
+                        first_error = exc
+            results.append(out)
+        if first_error is not None:
+            raise first_error
+        return results
+
+    # -- immediate path ---------------------------------------------------
+    def infer(self, model_path, inputs: np.ndarray) -> np.ndarray:
+        """Immediate inference; acts as a barrier for queued work."""
+        self.flush()
+        return super().infer(model_path, inputs)

@@ -20,12 +20,40 @@ from ..h5 import File
 __all__ = ["DataCollector", "load_training_data"]
 
 
+class _RegionBuffer:
+    """Pending chunks for one region, concatenated once at flush.
+
+    Collection rides the application's hot loop, so ``record`` must be
+    cheap: it validates and snapshots, and all database work (group
+    lookups, dataset appends) happens once per flush rather than once
+    per invocation — keeping the Fig. 6 COLLECT_IO share honest.
+    """
+
+    __slots__ = ("inner_in", "inner_out", "inputs", "outputs", "times",
+                 "invocations")
+
+    def __init__(self, inner_in: tuple, inner_out: tuple):
+        self.inner_in = inner_in
+        self.inner_out = inner_out
+        self.inputs: list = []
+        self.outputs: list = []
+        self.times: list = []
+        self.invocations = 0
+
+    def clear(self) -> None:
+        self.inputs.clear()
+        self.outputs.clear()
+        self.times.clear()
+        self.invocations = 0
+
+
 class DataCollector:
     """Appends (inputs, outputs, region_time) triples per region group."""
 
     def __init__(self, db_path):
         self.db_path = Path(db_path)
         self._file: File | None = None
+        self._buffers: dict[str, _RegionBuffer] = {}
 
     def _open(self) -> File:
         if self._file is None:
@@ -35,35 +63,78 @@ class DataCollector:
 
     def record(self, region_name: str, inputs: np.ndarray,
                outputs: np.ndarray, region_time: float) -> None:
-        """Append one invocation's data.
+        """Buffer one invocation's data (persisted at :meth:`flush`).
 
         ``inputs``/``outputs`` are batch-major: shape ``(B, *features)``.
         Each invocation contributes its batch entries; ``region_time``
         is replicated per entry so sample-level runtime statistics
         remain available to the ML engineer, as §IV-B prescribes.
         """
-        fh = self._open()
-        group = fh.require_group(region_name)
-        ds_in = group.require_dataset("inputs", inputs.shape[1:], inputs.dtype)
-        ds_out = group.require_dataset("outputs", outputs.shape[1:], outputs.dtype)
-        ds_t = group.require_dataset("region_time", (), np.float64)
+        inputs = np.asarray(inputs)
+        outputs = np.asarray(outputs)
         if len(inputs) != len(outputs):
             raise ValueError(
                 f"inputs ({len(inputs)}) and outputs ({len(outputs)}) "
                 "disagree on batch size")
-        ds_in.append(inputs)
-        ds_out.append(outputs)
-        ds_t.append(np.full(len(inputs), region_time, dtype=np.float64))
-        group.attrs["invocations"] = group.attrs.get("invocations", 0) + 1
+        buf = self._buffers.get(region_name)
+        if buf is None:
+            # Validate against a pre-existing database now, so a shape
+            # mismatch fails at the offending record() call (as the
+            # unbuffered collector did) rather than at flush time.
+            if self._file is not None or self.db_path.exists():
+                fh = self._open()
+                if region_name in fh:
+                    group = fh[region_name]
+                    for ds_name, inner in (("inputs", inputs.shape[1:]),
+                                           ("outputs", outputs.shape[1:])):
+                        if ds_name in group and \
+                                group[ds_name].shape[1:] != inner:
+                            raise ValueError(
+                                f"record shape {inner} does not match "
+                                f"existing dataset inner shape "
+                                f"{group[ds_name].shape[1:]} for "
+                                f"{region_name}/{ds_name}")
+            buf = self._buffers[region_name] = _RegionBuffer(
+                inputs.shape[1:], outputs.shape[1:])
+        if inputs.shape[1:] != buf.inner_in or \
+                outputs.shape[1:] != buf.inner_out:
+            raise ValueError(
+                f"append shape {inputs.shape[1:]}/{outputs.shape[1:]} does "
+                f"not match dataset inner shape {buf.inner_in}/{buf.inner_out}")
+        buf.inputs.append(np.array(inputs))       # snapshot: callers reuse
+        buf.outputs.append(np.array(outputs))
+        buf.times.append(np.full(len(inputs), region_time, dtype=np.float64))
+        buf.invocations += 1
 
     def flush(self) -> None:
+        """Concatenate buffered chunks into the database and sync it."""
+        for region_name, buf in self._buffers.items():
+            if not buf.invocations:
+                continue
+            fh = self._open()
+            group = fh.require_group(region_name)
+            xs = buf.inputs[0] if len(buf.inputs) == 1 \
+                else np.concatenate(buf.inputs, axis=0)
+            ys = buf.outputs[0] if len(buf.outputs) == 1 \
+                else np.concatenate(buf.outputs, axis=0)
+            ts = buf.times[0] if len(buf.times) == 1 \
+                else np.concatenate(buf.times, axis=0)
+            group.require_dataset("inputs", xs.shape[1:], xs.dtype).append(xs)
+            group.require_dataset("outputs", ys.shape[1:], ys.dtype).append(ys)
+            group.require_dataset("region_time", (), np.float64).append(ts)
+            group.attrs["invocations"] = (group.attrs.get("invocations", 0)
+                                          + buf.invocations)
+            buf.clear()
         if self._file is not None:
             self._file.flush()
 
     def close(self) -> None:
-        if self._file is not None:
-            self._file.close()
-            self._file = None
+        try:
+            self.flush()
+        finally:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
 
     @property
     def bytes_written(self) -> int:

@@ -5,16 +5,26 @@ file given by the ``model(...)`` clause (then caches it, "if it has not
 already been loaded"); every invocation moves the composed input tensor
 to the (simulated) device, evaluates the network, and moves the output
 back for the bridge to scatter.
+
+Two forward paths exist.  The default is the **compiled fast path**:
+the engine keeps a per-model cache of :class:`repro.nn.CompiledPlan`
+closures (keyed by model identity) and runs the flat NumPy plan —
+no autodiff ``Tensor`` wrappers, fused affine+activation, preallocated
+scratch.  Models with layers the planner cannot lower (or engines
+constructed with ``use_compiled=False``) fall back to the original
+graph path under ``no_grad``.
 """
 
 from __future__ import annotations
 
+import weakref
 from pathlib import Path
 
 import numpy as np
 
 from ..device import Device
 from ..nn import load_model, no_grad
+from ..nn.compile import UnsupportedLayerError, compile_inference
 from ..nn.layers import Module
 from ..nn.tensor import Tensor
 
@@ -49,17 +59,61 @@ class ModelCache:
 class InferenceEngine:
     """Runs surrogate inference on a simulated device."""
 
+    #: Compiled-plan cache entries kept before evicting dead ones.
+    _PLAN_CACHE_LIMIT = 64
+
     def __init__(self, device: Device | None = None,
-                 cache: ModelCache | None = None):
+                 cache: ModelCache | None = None,
+                 use_compiled: bool = True):
         self.device = device or Device()
         self.cache = cache or ModelCache()
+        self.use_compiled = use_compiled
+        #: id(model) -> (weakref to model, CompiledPlan | None).
+        #: ``None`` records a model whose layers have no lowering, so
+        #: the graph fallback is not re-attempted every call.
+        self._plans: dict[int, tuple] = {}
         #: Timing of the most recent inference: ``forward_wall`` is the
         #: measured host time of the dense forward pass;
         #: ``forward_device`` is its device-equivalent
         #: (:meth:`repro.device.Device.dense_time`); ``transfer_sim``
-        #: is the modeled H2D+D2H cost.
+        #: is the modeled H2D+D2H cost; ``compiled`` says which forward
+        #: path ran.
         self.last_timing: dict = {}
 
+    # -- compiled-plan cache ---------------------------------------------
+    def plan_for(self, model: Module):
+        """Return the cached :class:`CompiledPlan` for ``model``.
+
+        Compiles on first sight, recompiles when the plan went stale
+        (parameter arrays rebound), and returns ``None`` when the model
+        has unsupported layers or the engine runs with
+        ``use_compiled=False``.
+        """
+        if not self.use_compiled:
+            return None
+        key = id(model)
+        entry = self._plans.get(key)
+        if entry is not None:
+            ref, plan = entry
+            if ref() is model and (plan is None or not plan.stale()):
+                return plan
+        try:
+            plan = compile_inference(model)
+        except UnsupportedLayerError:
+            plan = None
+        if len(self._plans) > self._PLAN_CACHE_LIMIT:
+            self._plans = {k: v for k, v in self._plans.items()
+                           if v[0]() is not None}
+        self._plans[key] = (weakref.ref(model), plan)
+        return plan
+
+    def warmup(self, model_path) -> Module:
+        """Load + precompile a model so the first timed call is hot."""
+        model = self.cache.get(model_path)
+        self.plan_for(model)
+        return model
+
+    # -- inference -------------------------------------------------------
     def infer(self, model_path, inputs: np.ndarray) -> np.ndarray:
         """Full inference round trip: H2D transfer, forward, D2H transfer.
 
@@ -74,11 +128,15 @@ class InferenceEngine:
 
         sim_before = self.device.clock.simulated
         dev_in = self.device.to_device(inputs)
-        model.eval()
+        plan = self.plan_for(model)
 
         start = time.perf_counter()
-        with no_grad():
-            out = model(Tensor(dev_in.array)).numpy()
+        if plan is not None:
+            out = plan(dev_in.array)
+        else:
+            model.eval()
+            with no_grad():
+                out = model(Tensor(dev_in.array)).numpy()
         forward_wall = time.perf_counter() - start
         self.device.kernel_launches += 1
 
@@ -89,6 +147,7 @@ class InferenceEngine:
             "forward_wall": forward_wall,
             "forward_device": self.device.dense_time(forward_wall),
             "transfer_sim": self.device.clock.simulated - sim_before,
+            "compiled": plan is not None,
         }
         return result
 

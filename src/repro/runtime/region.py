@@ -24,7 +24,8 @@ from ..bridge import BridgeError, TensorFunctor, concretize, evaluate_ranges
 from ..directives.ast_nodes import (FunctorDecl, MLDirective,
                                     TensorMapDirective)
 from ..directives.parser import parse_program
-from ..directives.semantic import SemanticAnalyzer
+from ..directives.semantic import SemanticAnalyzer, linearize
+from .batch import BatchedInferenceEngine
 from .collect import DataCollector
 from .control import ExecutionPath, decide_path
 from .events import EventLog, Phase
@@ -66,7 +67,8 @@ class ApproxRegion:
         self.config = config or RegionConfig()
         self.signature = inspect.signature(func)
         self.events = self.config.event_log or EventLog()
-        self._engine = self.config.engine or InferenceEngine()
+        self._engine = self.config.engine \
+            if self.config.engine is not None else InferenceEngine()
         self._collector: DataCollector | None = None
         self._map_cache: dict = {}
 
@@ -106,10 +108,66 @@ class ApproxRegion:
         if not self._out_maps:
             raise ValueError(f"region {self.name!r}: no from-direction tensor map")
 
+        # -- precompiled bind/concretize plan (built once, not per call)
+        params = list(self.signature.parameters.values())
+        self._param_names = tuple(p.name for p in params)
+        self._param_defaults = {
+            p.name: p.default for p in params
+            if p.default is not inspect.Parameter.empty}
+        self._param_index = {p.name: i for i, p in enumerate(params)}
+        self._simple_signature = all(
+            p.kind == inspect.Parameter.POSITIONAL_OR_KEYWORD for p in params)
+        self._int_symbols = self._collect_int_symbols()
+        self._batched_engine = isinstance(self._engine, BatchedInferenceEngine)
+
+    def _collect_int_symbols(self) -> tuple:
+        """Integer argument names the maps depend on, computed once.
+
+        The per-call concretization cache is keyed only on these (plus
+        array identity/shape), so unrelated arguments — mode flags,
+        step counters driving ``if`` clauses — no longer churn the key.
+        """
+        names: set = set()
+        for m in self._in_maps + self._out_maps:
+            for sl in m.spec.slices:
+                for expr in (sl.start, sl.stop, sl.step):
+                    if expr is not None:
+                        names.update(linearize(expr).symbols)
+            analyzed = m.functor.analyzed
+            sweep = set(analyzed.symbols)
+            functor_names: set = set()
+            for form in analyzed.feature_forms:
+                functor_names.update(form.symbols)
+            for rhs_slice in analyzed.rhs:
+                for dim in rhs_slice.dims:
+                    for form in (dim.start, dim.stop):
+                        if form is not None:
+                            functor_names.update(form.symbols)
+            names |= functor_names - sweep
+        return tuple(sorted(names))
+
     # ------------------------------------------------------------------
     # Per-invocation plumbing
     # ------------------------------------------------------------------
     def _bind_env(self, args, kwargs) -> dict:
+        # Fast path for plain positional/keyword calls: dict assembly
+        # from the precomputed parameter table instead of
+        # ``Signature.bind`` (which dominates small-region call cost).
+        if self._simple_signature and len(args) <= len(self._param_names):
+            env = dict(self._param_defaults)
+            env.update(zip(self._param_names, args))
+            if kwargs:
+                n_positional = len(args)
+                for key, value in kwargs.items():
+                    idx = self._param_index.get(key)
+                    if idx is None or idx < n_positional:
+                        break          # unknown/duplicate: full bind below
+                    env[key] = value
+                else:
+                    if len(env) == len(self._param_names):
+                        return env
+            elif len(env) == len(self._param_names):
+                return env
         bound = self.signature.bind(*args, **kwargs)
         bound.apply_defaults()
         return dict(bound.arguments)
@@ -125,9 +183,14 @@ class ApproxRegion:
         (via weakref), its shape, and the integer environment, so any
         change re-concretizes.
         """
-        env_key = tuple(sorted(
-            (k, int(v)) for k, v in env.items()
-            if isinstance(v, (int, np.integer))))
+        # Only the integer variables the maps actually reference
+        # (precomputed at construction) participate in the cache key.
+        key_parts = []
+        for name in self._int_symbols:
+            value = env.get(name)
+            key_parts.append(int(value)
+                             if isinstance(value, (int, np.integer)) else None)
+        env_key = tuple(key_parts)
         out = []
         for idx, m in enumerate(maps):
             array = env.get(m.array_name)
@@ -223,6 +286,19 @@ class ApproxRegion:
         if self.model_path is None:
             raise RuntimeError(f"region {self.name!r}: inference "
                                "requested but no model path configured")
+        if self._batched_engine:
+            # Defer: the engine coalesces queued invocations into one
+            # forward; the scatter-back lands at flush time.  Only
+            # sound for invocations independent of each other's
+            # outputs — see :mod:`repro.runtime.batch`.
+            out_maps = self._concretize(self._out_maps, env, writable=True)
+
+            def deliver(outputs, seconds, out_maps=out_maps, record=record):
+                record.add(Phase.INFERENCE, seconds)
+                self._scatter_outputs(out_maps, outputs, record)
+
+            self._engine.submit(self.model_path, inputs, deliver)
+            return None
         outputs = self._engine.infer(self.model_path, inputs)
         # The INFERENCE phase is the engine's device-equivalent time
         # (dense forward on the simulated accelerator); transfer costs
@@ -262,7 +338,9 @@ class ApproxRegion:
         return self._run_accurate(env, record, False, args, kwargs)
 
     def flush(self) -> None:
-        """Persist any buffered collection data."""
+        """Deliver queued batched inferences; persist collection data."""
+        if self._batched_engine:
+            self._engine.flush()
         if self._collector is not None:
             self._collector.flush()
 

@@ -131,6 +131,40 @@ def test_quantize_key_tolerance():
         quantize_key([a], 0.0)
 
 
+def test_quantize_key_collision_resistance():
+    """Regression: the digest-based key must still separate near-keys.
+
+    Same bytes under a different shape, reshaped views, per-array
+    grouping, and dtype-coerced equal values must behave exactly as the
+    full-payload keys of the seed implementation did.
+    """
+    flat = np.arange(4.0)
+    square = flat.reshape(2, 2)
+    # Identical bytes, different shape: distinct keys.
+    assert quantize_key([flat], 0.1) != quantize_key([square], 0.1)
+    # Same values split across two arrays vs one: distinct keys.
+    assert quantize_key([flat[:2], flat[2:]], 0.1) != \
+        quantize_key([flat], 0.1)
+    # Equal values in different input dtypes: identical keys (both
+    # quantize on the float64 grid).
+    assert quantize_key([flat.astype(np.float32)], 0.5) == \
+        quantize_key([flat], 0.5)
+    # Non-contiguous views keyed by their logical contents.
+    strided = np.arange(8.0)[::2]
+    assert quantize_key([strided], 0.1) == \
+        quantize_key([strided.copy()], 0.1)
+    # The key is hashable and stable across calls.
+    key = quantize_key([square], 0.1)
+    assert hash(key) == hash(quantize_key([square], 0.1))
+
+
+def test_quantize_key_does_not_mutate_input():
+    a = np.array([1.25, -2.5])
+    before = a.copy()
+    quantize_key([a], 0.1)
+    np.testing.assert_array_equal(a, before)
+
+
 def test_input_memo_hits_and_eviction():
     calls = []
     memo = InputMemo(tolerance=0.1, capacity=2)

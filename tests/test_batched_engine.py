@@ -1,0 +1,205 @@
+"""BatchedInferenceEngine: ordering, flush triggers, region integration."""
+
+import numpy as np
+import pytest
+
+from repro.api import approx_ml
+from repro.nn import Linear, Sequential, save_model
+from repro.runtime import (BatchedInferenceEngine, EventLog, InferenceEngine,
+                           Phase)
+
+
+def linear_model(path, scale=1.0):
+    model = Sequential(Linear(2, 1, rng=np.random.default_rng(0)))
+    model[0].weight.data = np.array([[scale, scale]])
+    model[0].bias.data = np.array([0.0])
+    save_model(model, path)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Engine-level semantics
+# ----------------------------------------------------------------------
+
+def test_flush_matches_unbatched_and_preserves_order(tmp_path):
+    path = linear_model(tmp_path / "m.rnm")
+    rng = np.random.default_rng(1)
+    chunks = [rng.normal(size=(n, 2)) for n in (1, 3, 2)]
+
+    immediate = InferenceEngine()
+    expected = [immediate.infer(path, c) for c in chunks]
+
+    engine = BatchedInferenceEngine(max_batch_rows=100)
+    for c in chunks:
+        engine.submit(path, c)
+    assert engine.pending_rows == 6 and engine.pending_invocations == 3
+    results = engine.flush()
+    assert engine.pending_rows == 0 and engine.pending_invocations == 0
+    assert len(results) == 3
+    for got, want in zip(results, expected):
+        np.testing.assert_allclose(got, want, rtol=1e-12)
+    assert engine.batches_flushed == 1
+    assert engine.rows_flushed == 6
+
+
+def test_size_triggered_flush(tmp_path):
+    path = linear_model(tmp_path / "m.rnm")
+    engine = BatchedInferenceEngine(max_batch_rows=4)
+    outs = []
+    for i in range(5):
+        engine.submit(path, np.full((1, 2), float(i)),
+                      lambda out, _s, i=i: outs.append((i, out.copy())))
+    assert engine.batches_flushed == 1      # fired on the 4th row
+    assert engine.pending_rows == 1
+    engine.flush()
+    assert engine.batches_flushed == 2
+    assert [i for i, _ in outs] == [0, 1, 2, 3, 4]
+    for i, out in outs:
+        np.testing.assert_allclose(out, [[2.0 * i]], rtol=1e-12)
+
+
+def test_region_triggered_flush_on_model_switch(tmp_path):
+    a = linear_model(tmp_path / "a.rnm", scale=1.0)
+    b = linear_model(tmp_path / "b.rnm", scale=3.0)
+    engine = BatchedInferenceEngine(max_batch_rows=100)
+    engine.submit(a, np.ones((2, 2)))
+    engine.submit(b, np.ones((1, 2)))       # different model: a flushed
+    assert engine.batches_flushed == 1
+    results = engine.flush()
+    np.testing.assert_allclose(results[0], [[6.0]], rtol=1e-12)
+
+
+def test_immediate_infer_is_a_barrier(tmp_path):
+    path = linear_model(tmp_path / "m.rnm")
+    engine = BatchedInferenceEngine(max_batch_rows=100)
+    delivered = []
+    engine.submit(path, np.ones((1, 2)), lambda out, _s: delivered.append(out))
+    out = engine.infer(path, np.full((1, 2), 2.0))
+    assert len(delivered) == 1              # queued work drained first
+    np.testing.assert_allclose(out, [[4.0]], rtol=1e-12)
+
+
+def test_callback_seconds_share_sums_to_forward(tmp_path):
+    path = linear_model(tmp_path / "m.rnm")
+    engine = BatchedInferenceEngine(max_batch_rows=100)
+    shares = []
+    engine.submit(path, np.ones((1, 2)), lambda _o, s: shares.append(s))
+    engine.submit(path, np.ones((3, 2)), lambda _o, s: shares.append(s))
+    engine.flush()
+    assert len(shares) == 2
+    assert shares[1] == pytest.approx(3 * shares[0])
+    assert sum(shares) == pytest.approx(engine.last_inference_seconds)
+
+
+def test_submission_snapshot_allows_buffer_reuse(tmp_path):
+    path = linear_model(tmp_path / "m.rnm")
+    engine = BatchedInferenceEngine(max_batch_rows=100)
+    buf = np.ones((1, 2))
+    engine.submit(path, buf)
+    buf[:] = 100.0                          # mutate before flush
+    (result,) = engine.flush()
+    np.testing.assert_allclose(result, [[2.0]], rtol=1e-12)
+
+
+def test_flush_failure_preserves_queue(tmp_path):
+    """A failing forward must not drop queued invocations."""
+    path = tmp_path / "m.rnm"
+    linear_model(path)
+    engine = BatchedInferenceEngine(max_batch_rows=100)
+    engine.warmup(path)                     # resolve before sabotage
+    engine.cache.clear()
+    engine.submit(path, np.ones((2, 2)))
+    path.unlink()                           # model file vanishes
+    with pytest.raises(FileNotFoundError):
+        engine.flush()
+    assert engine.pending_rows == 2         # queue intact
+    linear_model(path)                      # repair the file
+    (result,) = engine.flush()
+    np.testing.assert_allclose(result, [[2.0], [2.0]], rtol=1e-12)
+
+
+def test_callback_error_does_not_block_other_deliveries(tmp_path):
+    path = linear_model(tmp_path / "m.rnm")
+    engine = BatchedInferenceEngine(max_batch_rows=100)
+    delivered = []
+
+    def bad(_out, _s):
+        raise RuntimeError("scatter exploded")
+
+    engine.submit(path, np.ones((1, 2)), bad)
+    engine.submit(path, np.ones((1, 2)), lambda out, _s: delivered.append(out))
+    with pytest.raises(RuntimeError, match="scatter exploded"):
+        engine.flush()
+    assert len(delivered) == 1              # second delivery still ran
+    assert engine.pending_rows == 0
+
+
+def test_flush_empty_queue_is_noop(tmp_path):
+    engine = BatchedInferenceEngine()
+    assert engine.flush() == []
+    assert engine.batches_flushed == 0
+
+
+def test_bad_max_batch_rows():
+    with pytest.raises(ValueError):
+        BatchedInferenceEngine(max_batch_rows=0)
+
+
+# ----------------------------------------------------------------------
+# Region integration: deferred scatter through the data bridge
+# ----------------------------------------------------------------------
+
+DIRECTIVES = """
+#pragma approx tensor functor(fi: [i, 0:2] = ([i, 0:2]))
+#pragma approx tensor functor(fo: [i, 0:1] = ([i]))
+#pragma approx tensor map(to: fi(x[0:N]))
+#pragma approx tensor map(from: fo(y[0:N]))
+#pragma approx ml(infer:flag) in(x) out(y) db("{db}") model("{model}")
+"""
+
+
+def make_region(db, model, engine, log=None):
+    @approx_ml(DIRECTIVES.format(db=db, model=model), event_log=log,
+               engine=engine)
+    def region(x, y, N, flag=True):
+        y[:N] = x[:N].sum(axis=1)
+
+    return region
+
+
+def test_region_defers_scatter_until_flush(tmp_path):
+    path = linear_model(tmp_path / "m.rnm")
+    engine = BatchedInferenceEngine(max_batch_rows=100)
+    log = EventLog()
+    region = make_region(tmp_path / "d.rh5", path, engine, log)
+    rng = np.random.default_rng(2)
+    xs = [rng.normal(size=(3, 2)) for _ in range(4)]
+    ys = [np.zeros(3) for _ in range(4)]
+    for x, y in zip(xs, ys):
+        region(x, y, 3)
+    assert all(np.all(y == 0.0) for y in ys)    # not yet delivered
+    region.flush()
+    for x, y in zip(xs, ys):
+        np.testing.assert_allclose(y, x.sum(axis=1), rtol=1e-12)
+    # One batched forward served all four invocations...
+    assert engine.batches_flushed == 1
+    # ...and each invocation record carries its share of inference time.
+    infer_records = [r for r in log.records if r.path == "infer"]
+    assert len(infer_records) == 4
+    assert all(r.times.get(Phase.INFERENCE, 0.0) > 0 for r in infer_records)
+
+
+def test_region_size_trigger_delivers_midstream(tmp_path):
+    path = linear_model(tmp_path / "m.rnm")
+    engine = BatchedInferenceEngine(max_batch_rows=4)
+    region = make_region(tmp_path / "d.rh5", path, engine)
+    xs = [np.full((2, 2), float(i)) for i in range(3)]
+    ys = [np.zeros(2) for _ in range(3)]
+    for x, y in zip(xs, ys):
+        region(x, y, 2)
+    # Rows 0-3 flushed automatically; the third invocation still queued.
+    np.testing.assert_allclose(ys[0], [0.0, 0.0], rtol=1e-12)
+    np.testing.assert_allclose(ys[1], [2.0, 2.0], rtol=1e-12)
+    assert np.all(ys[2] == 0.0)
+    region.flush()
+    np.testing.assert_allclose(ys[2], [4.0, 4.0], rtol=1e-12)

@@ -1,0 +1,66 @@
+"""Tier-1 smoke run of the inference fast-path microbenchmark.
+
+Runs ``benchmarks/bench_inference_fastpath.py`` at tiny sizes and
+validates the ``BENCH_inference.json`` schema, so CI catches a broken
+benchmark (or a fast path that stopped matching the graph) without
+paying full measurement cost.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_inference_fastpath.py"
+
+
+def load_bench_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_inference_fastpath", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_bench_smoke_writes_valid_schema(tmp_path):
+    bench = load_bench_module()
+    out = tmp_path / "BENCH_inference.json"
+    results = bench.main(["--quick", "--out", str(out),
+                          "--workdir", str(tmp_path / "models")])
+    assert out.exists()
+    on_disk = json.loads(out.read_text())
+    assert on_disk["schema"] == "bench_inference_fastpath/v1"
+    assert on_disk == json.loads(json.dumps(results))  # JSON-clean
+
+    config = on_disk["config"]
+    for key in ("repeats", "n_rows", "batch_rows", "seed"):
+        assert isinstance(config[key], int)
+
+    single = on_disk["single_call"]
+    assert len(single) == len(bench.TABLE4_MLP_SHAPES)
+    for row in single:
+        assert set(row) >= {"shape", "benchmark", "arch", "n_params",
+                            "graph_us", "compiled_us", "speedup",
+                            "max_abs_diff"}
+        assert row["benchmark"] in ("minibude", "binomial", "bonds")
+        assert row["n_params"] > 0
+        assert row["graph_us"] > 0 and row["compiled_us"] > 0
+        assert row["speedup"] > 0
+        # The acceptance bit-compare: fast path matches the graph path.
+        assert row["max_abs_diff"] <= 1e-12
+
+    batched = on_disk["batched"]
+    assert len(batched) >= 1
+    for row in batched:
+        assert row["rows_per_s_batched"] > 0
+        assert row["rows_per_s_unbatched"] > 0
+        assert row["throughput_gain"] > 0
+
+    summary = on_disk["summary"]
+    for key in ("single_call_speedup_geomean",
+                "single_call_speedup_geomean_deployed",
+                "single_call_speedup_best",
+                "single_call_max_abs_diff",
+                "batched_throughput_gain_geomean"):
+        assert isinstance(summary[key], float)
+    assert summary["single_call_max_abs_diff"] <= 1e-12

@@ -1,0 +1,231 @@
+"""Compiled inference fast path: graph-path equivalence + plan behavior."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (AvgPool2d, BatchNorm1d, Conv1d, Conv2d, CompiledPlan,
+                      CropPad2d, Destandardize, Dropout, Flatten, GRU,
+                      Identity, LayerNorm, LeakyReLU, Linear, MaxPool1d,
+                      MaxPool2d, ReLU, Sequential, Sigmoid, Standardize,
+                      Tanh, Tensor, UnsupportedLayerError, compile_inference,
+                      load_model, no_grad, save_model)
+
+RTOL = 1e-12
+
+
+def graph_forward(model, x):
+    model.eval()
+    with no_grad():
+        return model(Tensor(x)).numpy()
+
+
+def assert_equivalent(model, x):
+    ref = graph_forward(model, x)
+    plan = compile_inference(model)
+    out = np.array(plan(x))              # plan output may be scratch
+    np.testing.assert_allclose(out, ref, rtol=RTOL, atol=1e-300)
+    # Second call reuses scratch buffers; must still match.
+    np.testing.assert_allclose(np.array(plan(x)), ref, rtol=RTOL, atol=1e-300)
+    return plan
+
+
+def mlp_model(rng):
+    return Sequential(
+        Standardize(rng.normal(size=6), np.abs(rng.normal(size=6)) + 0.5),
+        Linear(6, 32, rng=rng), ReLU(),
+        Dropout(0.4, rng=np.random.default_rng(7)),
+        Linear(32, 16, rng=rng), Tanh(),
+        BatchNorm1d(16),
+        LayerNorm(16),
+        Linear(16, 8, rng=rng), Sigmoid(),
+        LeakyReLU(0.02),
+        Identity(),
+        Linear(8, 3, rng=rng),
+        Destandardize(rng.normal(size=3), np.abs(rng.normal(size=3)) + 0.1),
+    )
+
+
+def cnn2d_model(rng):
+    return Sequential(
+        Conv2d(2, 4, 3, padding=1, rng=rng), ReLU(),
+        MaxPool2d(2),
+        Conv2d(4, 3, 2, rng=rng), Tanh(),
+        CropPad2d(4, 4),
+        AvgPool2d(2),
+        Flatten(),
+        Linear(12, 2, rng=rng),
+    )
+
+
+def cnn1d_model(rng):
+    return Sequential(
+        Conv1d(2, 3, 3, rng=rng), ReLU(),
+        MaxPool1d(2),
+        Flatten(),
+        Linear(21, 2, rng=rng), Sigmoid(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Equivalence across the serialized layer zoo
+# ----------------------------------------------------------------------
+
+def test_mlp_equivalence_all_layer_types():
+    rng = np.random.default_rng(0)
+    model = mlp_model(rng)
+    # Give batch norm non-trivial running stats before eval comparison.
+    model.train()
+    with no_grad():
+        model(Tensor(rng.normal(size=(64, 6))))
+    x = rng.normal(size=(5, 6))
+    plan = assert_equivalent(model, x)
+    assert plan.n_fused >= 3             # Linear+act pairs fused
+
+
+def test_cnn2d_equivalence():
+    rng = np.random.default_rng(1)
+    assert_equivalent(cnn2d_model(rng), rng.normal(size=(3, 2, 8, 8)))
+
+
+def test_cnn1d_equivalence():
+    rng = np.random.default_rng(2)
+    assert_equivalent(cnn1d_model(rng), rng.normal(size=(4, 2, 16)))
+
+
+def test_equivalence_batch_one_and_large():
+    rng = np.random.default_rng(3)
+    model = mlp_model(rng)
+    for batch in (1, 2, 17):
+        assert_equivalent(model, rng.normal(size=(batch, 6)))
+
+
+def test_equivalence_after_serialization_roundtrip(tmp_path):
+    """Compiled(load(save(m))) must match the loaded model's graph path
+    for every serializable layer type."""
+    rng = np.random.default_rng(4)
+    for build, shape in ((mlp_model, (3, 6)), (cnn2d_model, (2, 2, 8, 8)),
+                         (cnn1d_model, (2, 2, 16))):
+        model = build(rng)
+        path = tmp_path / f"{build.__name__}.rnm"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert_equivalent(loaded, rng.normal(size=shape))
+
+
+def test_maxpool1d_unit_kernel():
+    rng = np.random.default_rng(5)
+    model = Sequential(MaxPool1d(1), Flatten(), Linear(12, 2, rng=rng))
+    assert_equivalent(model, rng.normal(size=(3, 3, 4)))
+
+
+def test_linear_without_bias():
+    rng = np.random.default_rng(6)
+    model = Sequential(Linear(4, 3, bias=False, rng=rng), ReLU())
+    assert_equivalent(model, rng.normal(size=(2, 4)))
+
+
+# ----------------------------------------------------------------------
+# Plan lifecycle
+# ----------------------------------------------------------------------
+
+def test_unsupported_layer_raises():
+    model = Sequential(GRU(4, 8), Linear(8, 1))
+    with pytest.raises(UnsupportedLayerError):
+        compile_inference(model)
+
+
+def test_forward_compiled_falls_back_for_unsupported():
+    rng = np.random.default_rng(7)
+    model = Sequential(GRU(4, 8, rng=rng), Linear(8, 1, rng=rng))
+    x = rng.normal(size=(2, 5, 4))
+    ref = graph_forward(model, x)
+    np.testing.assert_allclose(model.forward_compiled(x), ref, rtol=RTOL)
+
+
+def test_forward_compiled_caches_and_matches():
+    rng = np.random.default_rng(8)
+    model = mlp_model(rng)
+    model.eval()
+    x = rng.normal(size=(2, 6))
+    ref = graph_forward(model, x)
+    np.testing.assert_allclose(np.array(model.forward_compiled(x)), ref,
+                               rtol=RTOL, atol=1e-300)
+    assert isinstance(model.__dict__["_plan_cache"], CompiledPlan)
+
+
+def test_plan_stale_on_state_dict_load():
+    rng = np.random.default_rng(9)
+    model = Sequential(Linear(3, 2, rng=rng))
+    plan = compile_inference(model)
+    assert not plan.stale()
+    state = {k: v * 2.0 for k, v in model.state_dict().items()}
+    model.load_state_dict(state)
+    assert plan.stale()
+    x = rng.normal(size=(1, 3))
+    # forward_compiled recompiles transparently.
+    np.testing.assert_allclose(np.array(model.forward_compiled(x)),
+                               graph_forward(model, x), rtol=RTOL)
+
+
+def test_plan_tracks_in_place_updates():
+    """Optimizer-style in-place writes flow through without recompiling."""
+    rng = np.random.default_rng(10)
+    model = Sequential(Linear(3, 2, rng=rng))
+    plan = compile_inference(model)
+    x = rng.normal(size=(2, 3))
+    plan(x)
+    model[0].weight.data[...] *= 1.5     # in place: same array object
+    model[0].bias.data[...] += 0.25
+    assert not plan.stale()
+    np.testing.assert_allclose(np.array(plan(x)), graph_forward(model, x),
+                               rtol=RTOL, atol=1e-300)
+
+
+def test_plan_stale_on_structural_mutation():
+    """Appending a layer must trip staleness in *any* plan holder (the
+    engine's cache watches stale(), not the module's own cache)."""
+    rng = np.random.default_rng(20)
+    model = Sequential(Linear(4, 4, rng=rng), ReLU())
+    plan = compile_inference(model)
+    assert not plan.stale()
+    model.append(Linear(4, 2, rng=rng))
+    assert plan.stale()
+
+
+def test_engine_recompiles_after_append(tmp_path):
+    """Reviewer repro: engine must not serve a stale plan after append."""
+    from repro.runtime import InferenceEngine
+    rng = np.random.default_rng(21)
+    model = Sequential(Linear(4, 4, rng=rng), ReLU())
+    engine = InferenceEngine()
+    x = rng.normal(size=(1, 4))
+    assert engine.infer_with_model(model, x).shape == (1, 4)
+    model.append(Linear(4, 2, rng=rng))
+    out = engine.infer_with_model(model, x)
+    assert out.shape == (1, 2)
+    np.testing.assert_allclose(out, graph_forward(model, x), rtol=RTOL,
+                               atol=1e-300)
+
+
+def test_sequential_append_invalidates_cached_plan():
+    rng = np.random.default_rng(11)
+    model = Sequential(Linear(3, 3, rng=rng))
+    x = rng.normal(size=(1, 3))
+    model.forward_compiled(x)
+    model.append(ReLU())
+    np.testing.assert_allclose(np.array(model.forward_compiled(x)),
+                               graph_forward(model, x), rtol=RTOL,
+                               atol=1e-300)
+
+
+def test_plan_output_isolated_from_next_call():
+    """Scratch reuse must not corrupt a copied previous result."""
+    rng = np.random.default_rng(12)
+    model = mlp_model(rng)
+    plan = compile_inference(model)
+    x1 = rng.normal(size=(2, 6))
+    x2 = rng.normal(size=(2, 6))
+    out1 = np.array(plan(x1))
+    plan(x2)
+    np.testing.assert_allclose(out1, graph_forward(model, x1), rtol=RTOL,
+                               atol=1e-300)

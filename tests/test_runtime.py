@@ -137,6 +137,42 @@ def test_collector_bytes_written(tmp_path):
     assert coll.bytes_written > 100 * 10 * 8
 
 
+def test_collector_rejects_mismatch_against_existing_db(tmp_path):
+    """Shape conflicts with a pre-existing database fail at record()."""
+    db = tmp_path / "pre.rh5"
+    first = DataCollector(db)
+    first.record("r", np.ones((2, 4)), np.ones((2, 1)), 0.1)
+    first.close()
+    second = DataCollector(db)
+    with pytest.raises(ValueError):
+        second.record("r", np.ones((2, 3)), np.ones((2, 1)), 0.1)
+    # A matching shape still appends fine.
+    second.record("r", np.full((1, 4), 2.0), np.ones((1, 1)), 0.2)
+    second.close()
+    x, _, _ = load_training_data(db, "r")
+    assert x.shape == (3, 4)
+
+
+def test_collector_buffers_until_flush(tmp_path):
+    """record() is append-cheap: database work happens at flush time."""
+    db = tmp_path / "buf.rh5"
+    coll = DataCollector(db)
+    src = np.ones((2, 3))
+    coll.record("r", src, np.zeros((2, 1)), 0.1)
+    src[:] = 99.0                        # caller reuses its buffer
+    coll.record("r", np.full((2, 3), 2.0), np.ones((2, 1)), 0.2)
+    assert not db.exists()               # nothing persisted yet
+    coll.flush()
+    assert db.exists()
+    coll.record("r", np.full((1, 3), 3.0), np.ones((1, 1)), 0.3)
+    coll.close()                         # close flushes the tail
+    x, y, t = load_training_data(db, "r")
+    np.testing.assert_allclose(x[:2], 1.0)   # snapshot, not the mutation
+    np.testing.assert_allclose(x[2:4], 2.0)
+    np.testing.assert_allclose(x[4:], 3.0)
+    np.testing.assert_allclose(t, [0.1, 0.1, 0.2, 0.2, 0.3])
+
+
 # ----------------------------------------------------------------------
 # InferenceEngine / ModelCache
 # ----------------------------------------------------------------------
