@@ -125,6 +125,13 @@ class SessionStore:
         return bundle
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fig5-autobatch", action="store_true", default=False,
+        help="also run the Fig. 5 auto-batched deploy-loop variant "
+             "(chunked invocations coalesced by BatchedInferenceEngine)")
+
+
 @pytest.fixture(scope="session")
 def store(tmp_path_factory) -> SessionStore:
     return SessionStore(tmp_path_factory.mktemp("bench_store"))

@@ -7,7 +7,8 @@ depends on: a NumPy autograd NN framework (:mod:`repro.nn`), a
 hierarchical datastore (:mod:`repro.h5`), the directive compiler
 frontend (:mod:`repro.directives`), the data bridge
 (:mod:`repro.bridge`), the execution-control runtime
-(:mod:`repro.runtime`), a simulated accelerator (:mod:`repro.device`),
+(:mod:`repro.runtime`), an online quality-of-service layer
+(:mod:`repro.qos`), a simulated accelerator (:mod:`repro.device`),
 the five evaluation mini-apps (:mod:`repro.apps`), Bayesian-optimization
 neural-architecture search (:mod:`repro.search`), and a workflow
 executor (:mod:`repro.workflow`).

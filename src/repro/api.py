@@ -42,7 +42,9 @@ default_event_log = EventLog()
 def approx_ml(directives: str, *, name: str | None = None,
               model_path=None, db_path=None,
               engine: InferenceEngine | None = None,
-              event_log: EventLog | None = None):
+              event_log: EventLog | None = None,
+              qos=None, auto_batch: bool = False,
+              max_batch_rows: int = 256):
     """Annotate a function as an HPAC-ML approximable code region.
 
     Parameters
@@ -61,12 +63,23 @@ def approx_ml(directives: str, *, name: str | None = None,
         Custom :class:`InferenceEngine` (device/cache injection).
     event_log:
         Shared :class:`EventLog` for the Fig. 6 timing breakdown.
+    qos:
+        Optional :class:`repro.qos.QoSController`: shadow validation,
+        drift detection, and adaptive path policies.  ``None`` keeps
+        the invocation hot path untouched.
+    auto_batch, max_batch_rows:
+        When ``auto_batch`` is true the region wraps its engine in a
+        :class:`repro.runtime.BatchedInferenceEngine` so deploy loops
+        coalesce invocations (only for invocations independent of each
+        other's outputs; call ``region.flush()`` before reading).
     """
 
     def decorate(func) -> ApproxRegion:
         config = RegionConfig(model_path=model_path, db_path=db_path,
                               engine=engine,
-                              event_log=event_log or default_event_log)
+                              event_log=event_log or default_event_log,
+                              qos=qos, auto_batch=auto_batch,
+                              max_batch_rows=max_batch_rows)
         return ApproxRegion(func, directives, name=name, config=config)
 
     return decorate

@@ -58,9 +58,11 @@ def run_accurate(workload: Workload) -> np.ndarray:
 def build_region(*, mode: str = "predicated",
                  n_steps: int = 128, db_path: str = "binomial.rh5",
                  model_path: str = "binomial.rnm",
-                 event_log: EventLog | None = None, engine=None):
+                 event_log: EventLog | None = None, engine=None,
+                 auto_batch: bool = False, max_batch_rows: int = 256):
     @approx_ml(DIRECTIVES.format(mode=mode, db=db_path, model=model_path),
-               name="binomial", event_log=event_log, engine=engine)
+               name="binomial", event_log=event_log, engine=engine,
+               auto_batch=auto_batch, max_batch_rows=max_batch_rows)
     def price_portfolio(options, prices, NOPT, use_model=False):
         prices[:NOPT] = price_american(options[:NOPT], n_steps=n_steps)
 

@@ -27,9 +27,9 @@ from ..runtime import EventLog, InferenceEngine, Phase, load_training_data
 from . import binomial, bonds, minibude, miniweather, particlefilter
 from .base import REGISTRY, qoi_error_fn
 
-__all__ = ["DeploymentMetrics", "AppHarness", "MiniBudeHarness",
-           "BinomialHarness", "BondsHarness", "ParticleFilterHarness",
-           "MiniWeatherHarness", "harness_for"]
+__all__ = ["DeploymentMetrics", "QoSDeploymentMetrics", "AppHarness",
+           "MiniBudeHarness", "BinomialHarness", "BondsHarness",
+           "ParticleFilterHarness", "MiniWeatherHarness", "harness_for"]
 
 
 @dataclass
@@ -50,6 +50,33 @@ class DeploymentMetrics:
                 **{f"t_{k}": v for k, v in self.breakdown.items()}}
 
 
+@dataclass
+class QoSDeploymentMetrics:
+    """A deployment measured under a :class:`repro.qos.QoSController`.
+
+    ``deployed_time`` is the full serving cost — inference, bridge,
+    simulated transfers, *and* the accurate-path/shadow time the QoS
+    loop spent; ``validation_overhead`` is the SHADOW share of it.
+    """
+
+    benchmark: str
+    speedup: float
+    qoi_error: float
+    accurate_time: float
+    deployed_time: float
+    validation_overhead: float
+    shadow_invocations: int
+    path_counts: dict = field(default_factory=dict)
+    qos: dict = field(default_factory=dict)
+
+    def row(self) -> dict:
+        return {"benchmark": self.benchmark, "speedup": self.speedup,
+                "error": self.qoi_error,
+                "validation_overhead": self.validation_overhead,
+                "shadows": self.shadow_invocations,
+                **{f"n_{k}": v for k, v in sorted(self.path_counts.items())}}
+
+
 class AppHarness:
     """Shared collect/deploy machinery; subclasses bind one benchmark."""
 
@@ -58,11 +85,21 @@ class AppHarness:
     #: subclass (or flip on an instance before ``_setup``) to force the
     #: graph path, e.g. for fast-path ablation studies.
     use_compiled: bool = True
+    #: Auto-regressive harnesses (MiniWeather) must keep the immediate
+    #: engine: deferred scatter-back would feed step t+1 stale state.
+    supports_auto_batch: bool = True
 
-    def __init__(self, workdir, seed: int = 0):
+    def __init__(self, workdir, seed: int = 0, auto_batch: bool = False,
+                 batch_rows: int = 256, deploy_chunk: int | None = None):
         self.workdir = Path(workdir)
         self.workdir.mkdir(parents=True, exist_ok=True)
         self.seed = seed
+        if auto_batch and not self.supports_auto_batch:
+            raise ValueError(f"{type(self).__name__} is auto-regressive; "
+                             "auto-batching its deploy loop is unsound")
+        self.auto_batch = auto_batch
+        self.batch_rows = batch_rows
+        self.deploy_chunk = deploy_chunk
         self.db_path = self.workdir / f"{self.name}.rh5"
         self.model_path = self.workdir / f"{self.name}.rnm"
         self.events = EventLog()
@@ -102,6 +139,11 @@ class AppHarness:
         rng = np.random.default_rng(self.seed + 17)
         return train_val_split(x, y, val_fraction, rng)
 
+    @property
+    def deploy_region(self):
+        """The :class:`ApproxRegion` the deployment loop invokes."""
+        return self.region
+
     def install_model(self, model) -> None:
         """Persist a trained model where the annotation's clause points."""
         save_model(model, self.model_path)
@@ -109,6 +151,11 @@ class AppHarness:
         # Load + precompile now so the first timed invocation of the
         # deployed surrogate pays neither deserialization nor planning.
         self.engine.warmup(self.model_path)
+        # An auto-batched region wraps the harness engine (shared model
+        # cache, separate plan cache): warm that wrapper too.
+        region_engine = self.deploy_region.engine
+        if region_engine is not self.engine:
+            region_engine.warmup(self.model_path)
 
     def _surrogate_seconds(self, before_records: int) -> tuple[float, dict]:
         recs = self.events.records[before_records:]
@@ -119,6 +166,16 @@ class AppHarness:
         breakdown = {"to_tensor": to_t, "inference": inf,
                      "from_tensor": from_t}
         return total, breakdown
+
+    def _window_start(self, before: int) -> int:
+        """First record index of the measured deployment window.
+
+        Auto-regressive harnesses (MiniWeather) march a warm-up phase
+        before the test window and publish ``window_record_start``;
+        clamping both the accurate and surrogate measurements to it
+        keeps the speedup ratio's windows comparable.
+        """
+        return max(before, getattr(self, "window_record_start", before))
 
     def evaluate(self, model, repeats: int = 3) -> DeploymentMetrics:
         """Deploy ``model`` and measure speedup + QoI error (§V-D).
@@ -132,7 +189,7 @@ class AppHarness:
         for _ in range(repeats):
             before = len(self.events.records)
             qoi_acc = self.run_accurate()
-            recs = self.events.records[before:]
+            recs = self.events.records[self._window_start(before):]
             acc_times.append(sum(r.times.get(Phase.ACCURATE, 0.0)
                                  for r in recs))
         sur_times, breakdown, qoi_sur = [], {}, None
@@ -140,7 +197,8 @@ class AppHarness:
             before = len(self.events.records)
             sim_before = self.device.clock.simulated
             qoi_sur = self.run_surrogate()
-            wall, breakdown = self._surrogate_seconds(before)
+            wall, breakdown = self._surrogate_seconds(
+                self._window_start(before))
             sim = self.device.clock.simulated - sim_before
             breakdown["transfer_sim"] = sim
             sur_times.append(wall + sim)
@@ -160,6 +218,70 @@ class AppHarness:
     def reference_qoi(self, qoi_accurate: np.ndarray) -> np.ndarray:
         """What surrogate QoI is compared against (default: accurate)."""
         return qoi_accurate
+
+    def deploy_with_qos(self, model, controller,
+                        repeats: int = 1) -> QoSDeploymentMetrics:
+        """Deploy ``model`` under a QoS controller and measure it.
+
+        Extends the §V-D accounting with the QoS loop's own costs: the
+        deployed time includes shadow-validation kernel runs and any
+        accurate/collect invocations a policy forced, so the reported
+        speedup is the *net* serving speedup after paying for online
+        quality control.  The controller is attached only for the
+        surrogate window and detached afterwards.
+
+        Timing and ``path_counts`` cover the measured deployment
+        window, accumulated over ``repeats``; the controller's own
+        counters (``qos`` snapshot, ``shadow_invocations``) cover its
+        whole attachment, which for auto-regressive harnesses also
+        spans the warm-up march preceding each window.
+        """
+        self.install_model(model)
+        acc_times, qoi_acc = [], None
+        for _ in range(repeats):
+            before = len(self.events.records)
+            qoi_acc = self.run_accurate()
+            recs = self.events.records[self._window_start(before):]
+            acc_times.append(sum(r.times.get(Phase.ACCURATE, 0.0)
+                                 for r in recs))
+        region = self.deploy_region
+        dep_times, shadow_times, qoi_sur = [], [], None
+        # Accumulated across repeats, like the controller's own
+        # shadow/telemetry counters, so the row reconciles.
+        path_counts: dict = {}
+        prev_qos = region.config.qos
+        region.config.qos = controller
+        try:
+            for _ in range(repeats):
+                before = len(self.events.records)
+                sim_before = self.device.clock.simulated
+                qoi_sur = self.run_surrogate()
+                recs = self.events.records[self._window_start(before):]
+                sim = self.device.clock.simulated - sim_before
+                dep_times.append(sum(r.total for r in recs) + sim)
+                shadow_times.append(sum(r.times.get(Phase.SHADOW, 0.0)
+                                        for r in recs))
+                for r in recs:
+                    path_counts[r.path] = path_counts.get(r.path, 0) + 1
+        finally:
+            region.config.qos = prev_qos
+        accurate_time = float(np.mean(acc_times))
+        deployed_time = float(np.mean(dep_times))
+        error = float(self.error_fn(qoi_sur, self.reference_qoi(qoi_acc)))
+        snapshot = controller.snapshot()
+        shadows = snapshot["telemetry"].get(region.name, {}) \
+            .get("shadow_invocations", 0)
+        return QoSDeploymentMetrics(
+            benchmark=self.name,
+            speedup=accurate_time / max(deployed_time, 1e-12),
+            qoi_error=error,
+            accurate_time=accurate_time,
+            deployed_time=deployed_time,
+            validation_overhead=(float(np.mean(shadow_times)) /
+                                 max(deployed_time, 1e-12)),
+            shadow_invocations=shadows,
+            path_counts=path_counts,
+            qos=snapshot)
 
     # -- model construction with baked-in normalization --------------------
     def _input_stats(self, x: np.ndarray):
@@ -208,9 +330,9 @@ class MiniBudeHarness(AppHarness):
     name = "minibude"
 
     def __init__(self, workdir, seed: int = 0, n_train: int = 2048,
-                 n_test: int = 512):
+                 n_test: int = 512, **kwargs):
         self.n_train, self.n_test = n_train, n_test
-        super().__init__(workdir, seed)
+        super().__init__(workdir, seed, **kwargs)
 
     def _setup(self) -> None:
         self.deck = minibude.kernel.generate_deck(seed=self.seed)
@@ -222,10 +344,11 @@ class MiniBudeHarness(AppHarness):
                       model_path=str(self.model_path),
                       event_log=self.events, engine=self.engine)
         self.collect_region = minibude.build_region(mode="predicated", **common)
-        self.region = minibude.build_region(mode="infer", **common)
+        self.region = minibude.build_region(
+            mode="infer", auto_batch=self.auto_batch,
+            max_batch_rows=self.batch_rows, **common)
 
     def collect(self, chunk: int = 512) -> None:
-        energies = np.empty(self.n_train)
         for start in range(0, self.n_train, chunk):
             block = np.ascontiguousarray(
                 self.train_poses[start:start + chunk])
@@ -233,15 +356,24 @@ class MiniBudeHarness(AppHarness):
             self.collect_region(block, out, len(block), use_model=False)
         self.collect_region.flush()
 
-    def run_accurate(self) -> np.ndarray:
+    def _run(self, use_model: bool) -> np.ndarray:
         energies = np.empty(self.n_test)
-        self.region(self.test_poses, energies, self.n_test, use_model=False)
+        chunk = self.deploy_chunk or self.n_test
+        for start in range(0, self.n_test, chunk):
+            block = np.ascontiguousarray(self.test_poses[start:start + chunk])
+            n = len(block)
+            # Output views into the result buffer: a batched engine's
+            # deferred scatter lands through them at flush time.
+            self.region(block, energies[start:start + n], n,
+                        use_model=use_model)
+        self.region.flush()
         return energies.copy()
 
+    def run_accurate(self) -> np.ndarray:
+        return self._run(False)
+
     def run_surrogate(self) -> np.ndarray:
-        energies = np.empty(self.n_test)
-        self.region(self.test_poses, energies, self.n_test, use_model=True)
-        return energies.copy()
+        return self._run(True)
 
     def builder_kwargs(self) -> dict:
         return {"in_features": 6, "out_features": 1}
@@ -251,9 +383,9 @@ class BinomialHarness(AppHarness):
     name = "binomial"
 
     def __init__(self, workdir, seed: int = 0, n_train: int = 4096,
-                 n_test: int = 1024, n_steps: int = 128):
+                 n_test: int = 1024, n_steps: int = 128, **kwargs):
         self.n_train, self.n_test, self.n_steps = n_train, n_test, n_steps
-        super().__init__(workdir, seed)
+        super().__init__(workdir, seed, **kwargs)
 
     def _setup(self) -> None:
         self.train_opts = binomial.kernel.generate_options(
@@ -264,7 +396,9 @@ class BinomialHarness(AppHarness):
                       model_path=str(self.model_path),
                       event_log=self.events, engine=self.engine)
         self.collect_region = binomial.build_region(mode="predicated", **common)
-        self.region = binomial.build_region(mode="infer", **common)
+        self.region = binomial.build_region(
+            mode="infer", auto_batch=self.auto_batch,
+            max_batch_rows=self.batch_rows, **common)
 
     def collect(self, chunk: int = 1024) -> None:
         for start in range(0, self.n_train, chunk):
@@ -273,15 +407,22 @@ class BinomialHarness(AppHarness):
             self.collect_region(block, out, len(block), use_model=False)
         self.collect_region.flush()
 
-    def run_accurate(self) -> np.ndarray:
+    def _run(self, use_model: bool) -> np.ndarray:
         prices = np.empty(self.n_test)
-        self.region(self.test_opts, prices, self.n_test, use_model=False)
+        chunk = self.deploy_chunk or self.n_test
+        for start in range(0, self.n_test, chunk):
+            block = np.ascontiguousarray(self.test_opts[start:start + chunk])
+            n = len(block)
+            self.region(block, prices[start:start + n], n,
+                        use_model=use_model)
+        self.region.flush()
         return prices.copy()
 
+    def run_accurate(self) -> np.ndarray:
+        return self._run(False)
+
     def run_surrogate(self) -> np.ndarray:
-        prices = np.empty(self.n_test)
-        self.region(self.test_opts, prices, self.n_test, use_model=True)
-        return prices.copy()
+        return self._run(True)
 
     def builder_kwargs(self) -> dict:
         return {"in_features": 5, "out_features": 1}
@@ -291,9 +432,9 @@ class BondsHarness(AppHarness):
     name = "bonds"
 
     def __init__(self, workdir, seed: int = 0, n_train: int = 4096,
-                 n_test: int = 1024):
+                 n_test: int = 1024, **kwargs):
         self.n_train, self.n_test = n_train, n_test
-        super().__init__(workdir, seed)
+        super().__init__(workdir, seed, **kwargs)
 
     def _setup(self) -> None:
         self.train_bonds = bonds.kernel.generate_bonds(
@@ -304,7 +445,9 @@ class BondsHarness(AppHarness):
                       model_path=str(self.model_path),
                       event_log=self.events, engine=self.engine)
         self.collect_region = bonds.build_region(mode="predicated", **common)
-        self.region = bonds.build_region(mode="infer", **common)
+        self.region = bonds.build_region(
+            mode="infer", auto_batch=self.auto_batch,
+            max_batch_rows=self.batch_rows, **common)
 
     def collect(self, chunk: int = 1024) -> None:
         for start in range(0, self.n_train, chunk):
@@ -318,8 +461,13 @@ class BondsHarness(AppHarness):
     def _run(self, use_model: bool) -> np.ndarray:
         values = np.empty(self.n_test)
         accrued = np.empty(self.n_test)
-        self.region(self.test_bonds, values, accrued, self.n_test,
-                    use_model=use_model)
+        chunk = self.deploy_chunk or self.n_test
+        for start in range(0, self.n_test, chunk):
+            block = np.ascontiguousarray(self.test_bonds[start:start + chunk])
+            n = len(block)
+            self.region(block, values[start:start + n],
+                        accrued[start:start + n], n, use_model=use_model)
+        self.region.flush()
         return accrued.copy()   # QoI: accrued interest (Table I)
 
     def run_accurate(self) -> np.ndarray:
@@ -341,12 +489,12 @@ class ParticleFilterHarness(AppHarness):
 
     def __init__(self, workdir, seed: int = 0, n_train_frames: int = 192,
                  n_test_frames: int = 64, frame_size: int = 32,
-                 n_particles: int = 512):
+                 n_particles: int = 512, **kwargs):
         self.n_train_frames = n_train_frames
         self.n_test_frames = n_test_frames
         self.frame_size = frame_size
         self.n_particles = n_particles
-        super().__init__(workdir, seed)
+        super().__init__(workdir, seed, **kwargs)
 
     def _setup(self) -> None:
         self.train_video = particlefilter.generate_workload(
@@ -358,7 +506,8 @@ class ParticleFilterHarness(AppHarness):
         self.region = particlefilter.build_region(
             mode="infer", n_particles=self.n_particles,
             db_path=str(self.db_path), model_path=str(self.model_path),
-            event_log=self.events, engine=self.engine)
+            event_log=self.events, engine=self.engine,
+            auto_batch=self.auto_batch, max_batch_rows=self.batch_rows)
 
     def collect(self, chunk: int = 64) -> None:
         frames = self.train_video.frames
@@ -376,19 +525,28 @@ class ParticleFilterHarness(AppHarness):
             region(block, locs, len(block), h, w, use_model=False)
             region.flush()
 
-    def run_accurate(self) -> np.ndarray:
+    def _run(self, use_model: bool) -> np.ndarray:
         h = w = self.frame_size
         locs = np.empty((self.n_test_frames, 2))
-        self.region(self.test_video.frames, locs, self.n_test_frames, h, w,
-                    use_model=False)
+        # The filter carries state across frames, so the accurate path
+        # always runs as one invocation (chunking would re-seed it);
+        # only the per-frame CNN deploy loop honors deploy_chunk.
+        chunk = (self.deploy_chunk or self.n_test_frames) if use_model \
+            else self.n_test_frames
+        for start in range(0, self.n_test_frames, chunk):
+            block = np.ascontiguousarray(
+                self.test_video.frames[start:start + chunk])
+            n = len(block)
+            self.region(block, locs[start:start + n], n, h, w,
+                        use_model=use_model)
+        self.region.flush()
         return locs.copy()
 
+    def run_accurate(self) -> np.ndarray:
+        return self._run(False)
+
     def run_surrogate(self) -> np.ndarray:
-        h = w = self.frame_size
-        locs = np.empty((self.n_test_frames, 2))
-        self.region(self.test_video.frames, locs, self.n_test_frames, h, w,
-                    use_model=True)
-        return locs.copy()
+        return self._run(True)
 
     def reference_qoi(self, qoi_accurate: np.ndarray) -> np.ndarray:
         """PF error is judged against ground truth, not the filter."""
@@ -412,15 +570,16 @@ class ParticleFilterHarness(AppHarness):
 
 class MiniWeatherHarness(AppHarness):
     name = "miniweather"
+    supports_auto_batch = False        # auto-regressive stepping
 
     def __init__(self, workdir, seed: int = 0, nx: int = 32, nz: int = 16,
                  train_steps: int = 160, test_steps: int = 40,
-                 amplitude: float = 10.0):
+                 amplitude: float = 10.0, **kwargs):
         self.nx, self.nz = nx, nz
         self.train_steps = train_steps
         self.test_steps = test_steps
         self.amplitude = amplitude
-        super().__init__(workdir, seed)
+        super().__init__(workdir, seed, **kwargs)
 
     def _setup(self) -> None:
         wl = miniweather.generate_workload(nx=self.nx, nz=self.nz,
@@ -434,6 +593,10 @@ class MiniWeatherHarness(AppHarness):
                                                          **common)
         self.timestep = miniweather.build_region(mode="infer", **common)
         self._initial_q = wl.state.q.copy()
+
+    @property
+    def deploy_region(self):
+        return self.timestep.region
 
     def _fresh_u(self) -> np.ndarray:
         return np.ascontiguousarray(self._initial_q[None].copy())

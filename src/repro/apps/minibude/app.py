@@ -62,12 +62,14 @@ def run_accurate(workload: Workload) -> np.ndarray:
 def build_region(*, mode: str = "predicated",
                  deck: Deck, db_path: str = "minibude.rh5",
                  model_path: str = "minibude.rnm",
-                 event_log: EventLog | None = None, engine=None):
+                 event_log: EventLog | None = None, engine=None,
+                 auto_batch: bool = False, max_batch_rows: int = 256):
     """Create the annotated region; ``deck`` is captured like the
     application's constant global docking data."""
 
     @approx_ml(DIRECTIVES.format(mode=mode, db=db_path, model=model_path),
-               name="minibude", event_log=event_log, engine=engine)
+               name="minibude", event_log=event_log, engine=engine,
+               auto_batch=auto_batch, max_batch_rows=max_batch_rows)
     def score_poses(poses, energies, NP, use_model=False):
         energies[:NP] = binding_energies(deck, poses[:NP])
 

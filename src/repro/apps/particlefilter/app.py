@@ -62,7 +62,8 @@ def build_region(*, mode: str = "predicated",
                  db_path: str = "particlefilter.rh5",
                  model_path: str = "particlefilter.rnm",
                  event_log: EventLog | None = None, engine=None,
-                 collect_truth: np.ndarray | None = None):
+                 collect_truth: np.ndarray | None = None,
+                 auto_batch: bool = False, max_batch_rows: int = 256):
     """Create the annotated region.
 
     ``collect_truth`` mirrors the paper's setup: "the HPAC-ML version of
@@ -73,7 +74,8 @@ def build_region(*, mode: str = "predicated",
     """
 
     @approx_ml(DIRECTIVES.format(mode=mode, db=db_path, model=model_path),
-               name="particlefilter", event_log=event_log, engine=engine)
+               name="particlefilter", event_log=event_log, engine=engine,
+               auto_batch=auto_batch, max_batch_rows=max_batch_rows)
     def track(frames, locations, NF, H, W, use_model=False):
         if collect_truth is not None and not use_model:
             locations[:NF] = collect_truth[:NF]

@@ -31,6 +31,7 @@ import numpy as np
 
 from . import functional as F
 from . import layers as L
+from .recurrent import GRU
 
 __all__ = ["compile_inference", "CompiledPlan", "UnsupportedLayerError"]
 
@@ -296,6 +297,46 @@ def _layernorm_step(layer):
     return step
 
 
+def _gru_step(layer):
+    """Unrolled GRU forward over raw ndarrays.
+
+    Replays the graph path's exact operation sequence (per-timestep
+    ``x_t @ W_ih^T + b_ih`` / ``h @ W_hh^T + b_hh``, the 1/(1+exp(-x))
+    sigmoid, ``h = n + z*(h - n)``) so results match to the same
+    tolerance as the MLP lowerings.  Weight transposes are views over
+    the parameter arrays: in-place optimizer updates flow through.
+    """
+    cell = layer.cell
+    w_ih_t = cell.weight_ih.data.T
+    w_hh_t = cell.weight_hh.data.T
+    b_ih = cell.bias_ih.data
+    b_hh = cell.bias_hh.data
+    hs = cell.hidden_size
+    return_sequence = layer.return_sequence
+
+    def step(x, bufs):
+        if x.ndim != 3:
+            raise ValueError(f"GRU expects (batch, seq, features), got "
+                             f"{x.shape}")
+        batch, seq_len = x.shape[0], x.shape[1]
+        h = np.zeros((batch, hs))
+        outputs = [] if return_sequence else None
+        for t in range(seq_len):
+            gi = x[:, t, :] @ w_ih_t + b_ih
+            gh = h @ w_hh_t + b_hh
+            r = 1.0 / (1.0 + np.exp(-(gi[:, :hs] + gh[:, :hs])))
+            z = 1.0 / (1.0 + np.exp(-(gi[:, hs:2 * hs] + gh[:, hs:2 * hs])))
+            n = np.tanh(gi[:, 2 * hs:] + r * gh[:, 2 * hs:])
+            h = n + z * (h - n)
+            if outputs is not None:
+                outputs.append(h)
+        if outputs is not None:
+            return np.stack(outputs, axis=1)
+        return h
+
+    return step
+
+
 # ----------------------------------------------------------------------
 # Plan
 # ----------------------------------------------------------------------
@@ -371,7 +412,8 @@ def compile_inference(model: L.Module) -> CompiledPlan:
     """Compile ``model`` into a flat NumPy inference closure.
 
     Raises :class:`UnsupportedLayerError` for layers without a lowering
-    (e.g. GRU) — callers fall back to the graph path.
+    (custom modules outside the serialized zoo) — callers fall back to
+    the graph path.
     """
     struct_watch: list = []
     layers = _flatten_layers(model, struct_watch)
@@ -430,6 +472,13 @@ def compile_inference(model: L.Module) -> CompiledPlan:
             else:
                 summary.append("Conv1d: im2col")
                 i += 1
+            continue
+
+        if isinstance(layer, GRU):
+            steps.append(_gru_step(layer))
+            watch_layer(layer)
+            summary.append("GRU: unrolled recurrence")
+            i += 1
             continue
 
         kernels = _activation_kernels(layer)

@@ -1,0 +1,31 @@
+"""``repro.qos`` — online quality-of-service for deployed surrogates.
+
+Closes the loop the paper leaves open: HPAC-ML decides infer-vs-collect
+from static host expressions and measures QoI error only offline.  This
+subsystem estimates error *online* via shadow validation (sampled
+invocations also run the accurate kernel), maintains rolling per-region
+statistics, and lets pluggable policies adapt the execution path —
+tripping back to the accurate kernel, capping an error budget, or
+answering detected drift with collection bursts that refresh the
+training database.
+
+Wiring: construct a :class:`QoSController` and hand it to a region via
+``RegionConfig(qos=...)`` / ``approx_ml(..., qos=...)``, or use
+``AppHarness.deploy_with_qos`` for measured deployments.  With no
+controller attached the runtime hot path is untouched.
+"""
+
+from .monitor import (EwmaStats, P2Quantile, PageHinkley, PathDecision,
+                      QoSController, RegionErrorStats, ShadowValidator)
+from .policy import (CompositePolicy, DriftBurstPolicy, ErrorBudgetPolicy,
+                     PeriodicRecalibrationPolicy, PolicyAction, QoSPolicy,
+                     ThresholdPolicy)
+from .telemetry import QoSTelemetry, phase_summary
+
+__all__ = [
+    "EwmaStats", "P2Quantile", "PageHinkley", "RegionErrorStats",
+    "ShadowValidator", "PathDecision", "QoSController",
+    "QoSPolicy", "PolicyAction", "ThresholdPolicy", "ErrorBudgetPolicy",
+    "DriftBurstPolicy", "PeriodicRecalibrationPolicy", "CompositePolicy",
+    "QoSTelemetry", "phase_summary",
+]

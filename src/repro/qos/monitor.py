@@ -1,0 +1,420 @@
+"""Online error monitoring: shadow validation and rolling statistics.
+
+HPAC-ML's ``predicated`` mode decides infer-vs-collect from a *static*
+host expression (§III-B); the paper only measures QoI error offline,
+after a run.  A deployed surrogate that drifts off its training
+distribution therefore corrupts the QoI silently.  This module closes
+that gap at runtime:
+
+* :class:`ShadowValidator` samples a configurable fraction of
+  infer-path invocations and — for the sampled ones — *also* runs the
+  accurate kernel, turning each sample into a ground-truth error
+  observation (an informative-example-selection problem: which
+  invocations to validate is the budgeted choice).
+* :class:`RegionErrorStats` folds those observations into rolling
+  statistics per region: EWMA mean/variance and a P² quantile sketch,
+  both O(1) memory and update cost so they can ride the hot path.
+* :class:`PageHinkley` is the classic sequential drift test policies
+  use to trigger collection bursts.
+* :class:`QoSController` bundles validator + policy + telemetry into
+  the single object a :class:`~repro.runtime.region.RegionConfig`
+  carries; regions consult it per invocation (``decide``) and feed it
+  shadow observations (``observe_shadow``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..runtime.control import ExecutionPath, apply_override
+from .telemetry import QoSTelemetry
+
+__all__ = ["EwmaStats", "P2Quantile", "PageHinkley", "RegionErrorStats",
+           "ShadowValidator", "PathDecision", "QoSController"]
+
+
+class EwmaStats:
+    """Exponentially-weighted mean/variance of a scalar stream.
+
+    Seeded by the first observation (no bias-correction bookkeeping);
+    variance uses the standard EW recurrence
+    ``var <- (1 - a) * (var + a * diff^2)``.
+    """
+
+    __slots__ = ("alpha", "mean", "var", "count")
+
+    def __init__(self, alpha: float = 0.2):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1]: {alpha}")
+        self.alpha = alpha
+        self.mean = math.nan
+        self.var = 0.0
+        self.count = 0
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        if self.count == 1:
+            self.mean = value
+            self.var = 0.0
+            return
+        diff = value - self.mean
+        incr = self.alpha * diff
+        self.mean += incr
+        self.var = (1.0 - self.alpha) * (self.var + diff * incr)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.var) if self.var > 0 else 0.0
+
+
+class P2Quantile:
+    """P² streaming quantile estimator (Jain & Chlamtac, 1985).
+
+    Tracks one quantile with five markers — O(1) memory, no sample
+    buffer — which is what a serving runtime can afford per region.
+    Until five observations arrive the estimate falls back to the
+    empirical quantile of the seen values.
+    """
+
+    __slots__ = ("q", "_heights", "_pos", "_desired", "_incr", "_seed")
+
+    def __init__(self, q: float = 0.95):
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1): {q}")
+        self.q = q
+        self._seed: list[float] = []
+        self._heights: list[float] | None = None
+        self._pos = [1, 2, 3, 4, 5]
+        self._desired = [1.0, 1.0 + 2 * q, 1.0 + 4 * q, 3.0 + 2 * q, 5.0]
+        self._incr = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        if self._heights is None:
+            self._seed.append(value)
+            if len(self._seed) == 5:
+                self._heights = sorted(self._seed)
+                self._seed = []
+            return
+        h = self._heights
+        # Locate the cell and clamp the extreme markers.
+        if value < h[0]:
+            h[0] = value
+            k = 0
+        elif value >= h[4]:
+            h[4] = value
+            k = 3
+        else:
+            k = 0
+            while value >= h[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            self._pos[i] += 1
+        for i in range(5):
+            self._desired[i] += self._incr[i]
+        # Adjust the three interior markers toward their desired spots.
+        for i in (1, 2, 3):
+            d = self._desired[i] - self._pos[i]
+            n, n_lo, n_hi = self._pos[i], self._pos[i - 1], self._pos[i + 1]
+            if (d >= 1.0 and n_hi - n > 1) or (d <= -1.0 and n_lo - n < -1):
+                step = 1 if d >= 1.0 else -1
+                candidate = self._parabolic(i, step)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:                       # fall back to linear move
+                    h[i] += step * (h[i + step] - h[i]) / (
+                        self._pos[i + step] - n)
+                self._pos[i] += step
+
+    def _parabolic(self, i: int, step: int) -> float:
+        h, n = self._heights, self._pos
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (h[i] - h[i - 1]) / (n[i] - n[i - 1]))
+
+    @property
+    def value(self) -> float:
+        if self._heights is not None:
+            return self._heights[2]
+        if not self._seed:
+            return math.nan
+        return float(np.quantile(np.array(self._seed), self.q))
+
+
+class PageHinkley:
+    """Page-Hinkley sequential test for an upward mean shift.
+
+    ``update`` returns True when the cumulative positive deviation of
+    the stream from its running mean (minus the tolerance ``delta``)
+    exceeds ``threshold`` — the standard trigger for "the surrogate's
+    error distribution has drifted".
+    """
+
+    __slots__ = ("delta", "threshold", "burn_in", "count", "_mean",
+                 "_cum", "_cum_min")
+
+    def __init__(self, delta: float = 0.005, threshold: float = 0.1,
+                 burn_in: int = 5):
+        self.delta = delta
+        self.threshold = threshold
+        self.burn_in = burn_in
+        self.reset()
+
+    def reset(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._cum = 0.0
+        self._cum_min = 0.0
+
+    def update(self, value: float) -> bool:
+        value = float(value)
+        self.count += 1
+        self._mean += (value - self._mean) / self.count
+        self._cum += value - self._mean - self.delta
+        self._cum_min = min(self._cum_min, self._cum)
+        return (self.count > self.burn_in and
+                self._cum - self._cum_min > self.threshold)
+
+    @property
+    def statistic(self) -> float:
+        return self._cum - self._cum_min
+
+
+class RegionErrorStats:
+    """Rolling per-region error statistics fed by shadow validation."""
+
+    __slots__ = ("ewma", "sketch", "count", "last", "total", "worst")
+
+    def __init__(self, alpha: float = 0.2, quantile: float = 0.95):
+        self.ewma = EwmaStats(alpha)
+        self.sketch = P2Quantile(quantile)
+        self.count = 0
+        self.last = math.nan
+        self.total = 0.0
+        self.worst = 0.0
+
+    def update(self, error: float) -> None:
+        error = float(error)
+        self.ewma.update(error)
+        self.sketch.update(error)
+        self.count += 1
+        self.last = error
+        self.total += error
+        self.worst = max(self.worst, error)
+
+    @property
+    def mean(self) -> float:
+        return self.ewma.mean
+
+    @property
+    def std(self) -> float:
+        return self.ewma.std
+
+    @property
+    def quantile(self) -> float:
+        return self.sketch.value
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "ewma_mean": None if math.isnan(self.ewma.mean)
+            else self.ewma.mean,
+            "ewma_std": self.ewma.std,
+            "quantile": None if math.isnan(self.quantile) else self.quantile,
+            "quantile_p": self.sketch.q,
+            "last": None if math.isnan(self.last) else self.last,
+            "worst": self.worst,
+            "lifetime_mean": self.total / self.count if self.count else None,
+        }
+
+
+def _error_metric(metric: str):
+    eps = 1e-12
+    if metric == "relative":
+        def fn(pred, ref):
+            pred = np.asarray(pred, dtype=np.float64).ravel()
+            ref = np.asarray(ref, dtype=np.float64).ravel()
+            return float(np.linalg.norm(pred - ref) /
+                         (np.linalg.norm(ref) + eps))
+    elif metric == "rmse":
+        def fn(pred, ref):
+            diff = np.asarray(pred, dtype=np.float64) - \
+                np.asarray(ref, dtype=np.float64)
+            return float(np.sqrt(np.mean(diff * diff)))
+    elif metric == "mape":
+        def fn(pred, ref):
+            pred = np.asarray(pred, dtype=np.float64)
+            ref = np.asarray(ref, dtype=np.float64)
+            return float(np.mean(np.abs(pred - ref) /
+                                 (np.abs(ref) + eps)) * 100.0)
+    elif metric == "max_abs":
+        def fn(pred, ref):
+            return float(np.max(np.abs(np.asarray(pred, dtype=np.float64) -
+                                       np.asarray(ref, dtype=np.float64))))
+    else:
+        raise ValueError(f"unknown shadow error metric {metric!r}")
+    return fn
+
+
+class ShadowValidator:
+    """Samples infer invocations for ground-truth validation.
+
+    Sampling is Bernoulli(``rate``) from a seeded generator, so a fixed
+    seed reproduces the exact validation schedule — required both for
+    debugging a deployment and for the determinism tests.
+    """
+
+    def __init__(self, rate: float = 0.1, seed: int = 0,
+                 metric: str = "relative"):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"shadow rate must be in [0, 1]: {rate}")
+        self.rate = rate
+        self.seed = seed
+        self.metric = metric
+        self._rng = np.random.default_rng(seed)
+        self._error_fn = _error_metric(metric)
+        self.sampled = 0
+        self.offered = 0
+
+    def should_sample(self) -> bool:
+        self.offered += 1
+        if self.rate <= 0.0:
+            return False
+        if self.rate >= 1.0:
+            self.sampled += 1
+            return True
+        hit = bool(self._rng.random() < self.rate)
+        if hit:
+            self.sampled += 1
+        return hit
+
+    def error(self, predicted, accurate) -> float:
+        return self._error_fn(predicted, accurate)
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+        self.sampled = 0
+        self.offered = 0
+
+
+class PathDecision:
+    """One invocation's resolved QoS decision, consumed by the region."""
+
+    __slots__ = ("path", "shadow", "commit", "reason")
+
+    def __init__(self, path: str, shadow: bool = False,
+                 commit: str = "surrogate", reason: str | None = None):
+        self.path = path
+        self.shadow = shadow
+        self.commit = commit
+        self.reason = reason
+
+    def __repr__(self):
+        return (f"PathDecision({self.path!r}, shadow={self.shadow}, "
+                f"commit={self.commit!r}, reason={self.reason!r})")
+
+
+class QoSController:
+    """The online QoS loop: shadow validation -> stats -> policy -> path.
+
+    Attach one to a region via ``RegionConfig(qos=...)`` (or
+    ``region.config.qos = ...`` on a live region).  Per invocation the
+    region calls :meth:`decide` with the statically-decided path; on
+    shadow-validated invocations it calls :meth:`observe_shadow` with
+    the surrogate and accurate outputs.  ``commit`` selects which
+    result a shadowed invocation leaves in application memory:
+    ``"surrogate"`` keeps deployment behavior bit-identical to an
+    unmonitored run; ``"accurate"`` additionally corrects the state on
+    every validated invocation (the right choice for auto-regressive
+    regions, where corrections also cut error compounding).
+    """
+
+    def __init__(self, policy=None, shadow_rate: float = 0.1, seed: int = 0,
+                 commit: str = "surrogate", metric: str = "relative",
+                 alpha: float = 0.2, quantile: float = 0.95,
+                 telemetry: QoSTelemetry | None = None):
+        if commit not in ("surrogate", "accurate"):
+            raise ValueError(f"commit must be 'surrogate' or 'accurate': "
+                             f"{commit!r}")
+        self.policy = policy
+        self.validator = ShadowValidator(shadow_rate, seed=seed,
+                                         metric=metric)
+        self.commit = commit
+        self.telemetry = telemetry or QoSTelemetry()
+        self._alpha = alpha
+        self._quantile = quantile
+        self._stats: dict[str, RegionErrorStats] = {}
+
+    # -- stats -----------------------------------------------------------
+    def stats_for(self, region_name: str) -> RegionErrorStats:
+        stats = self._stats.get(region_name)
+        if stats is None:
+            stats = self._stats[region_name] = RegionErrorStats(
+                alpha=self._alpha, quantile=self._quantile)
+        return stats
+
+    # -- the per-invocation hooks ---------------------------------------
+    def decide(self, region_name: str, base_path: str) -> PathDecision:
+        """Resolve the final path for an invocation.
+
+        Policy overrides follow the rule of
+        :func:`repro.runtime.control.apply_override`: they apply only
+        when the directive's own decision is the infer path.
+        """
+        commit = self.commit
+        shadow = False
+        reason = None
+        path = base_path
+        if base_path == ExecutionPath.INFER:
+            action = None
+            if self.policy is not None:
+                action = self.policy.decide(region_name,
+                                            self.stats_for(region_name))
+            if action is not None:
+                path = apply_override(base_path, action.path)
+                reason = action.reason
+                if action.commit is not None:
+                    commit = action.commit
+            if path == ExecutionPath.INFER:
+                shadow = bool(action is not None and action.force_shadow)
+                if not shadow:
+                    shadow = self.validator.should_sample()
+        self.telemetry.record_decision(region_name, base_path, path,
+                                       shadow=shadow, reason=reason)
+        return PathDecision(path, shadow=shadow, commit=commit,
+                            reason=reason)
+
+    def observe_shadow(self, region_name: str, predicted,
+                       accurate) -> float:
+        """Fold one validated invocation's error into the rolling stats."""
+        err = self.validator.error(predicted, accurate)
+        stats = self.stats_for(region_name)
+        stats.update(err)
+        if self.policy is not None:
+            self.policy.observe(region_name, err, stats)
+        self.telemetry.record_shadow(region_name, err)
+        return err
+
+    # -- reporting -------------------------------------------------------
+    def snapshot(self) -> dict:
+        out = {
+            "shadow_rate": self.validator.rate,
+            "shadow_metric": self.validator.metric,
+            "commit": self.commit,
+            "regions": {name: stats.snapshot()
+                        for name, stats in self._stats.items()},
+            "telemetry": self.telemetry.snapshot(),
+        }
+        if self.policy is not None:
+            out["policy"] = self.policy.snapshot()
+        return out
+
+    def reset(self) -> None:
+        self.validator.reset()
+        self._stats.clear()
+        self.telemetry.reset()
+        if self.policy is not None:
+            self.policy.reset()

@@ -1,0 +1,346 @@
+"""Adaptive execution-path policies driven by online error estimates.
+
+A :class:`QoSPolicy` closes the infer/collect/accurate loop: given the
+rolling error statistics a :class:`~repro.qos.monitor.QoSController`
+maintains from shadow validation, it returns a :class:`PolicyAction`
+whose ``path`` is an :class:`~repro.runtime.control.ExecutionPath`
+override (consumed by ``decide_path``/``ApproxRegion``), plus optional
+shadow forcing (probes) and commit selection.
+
+Policies included:
+
+* :class:`ThresholdPolicy` — trip to the accurate path when the EWMA
+  error crosses ``high``; recover to inference only below ``low``
+  (hysteresis, so estimates oscillating inside the band cannot flap the
+  path); while tripped, periodic *probe* invocations keep the error
+  estimate alive.
+* :class:`ErrorBudgetPolicy` — charge every inferred invocation its
+  current error estimate and route to the accurate path whenever
+  admitting another inference would push the mean charge over the
+  budget: the deployed QoI error is capped by construction.
+* :class:`DriftBurstPolicy` — a Page-Hinkley test on the error stream
+  triggers a burst of ``collect`` invocations that runs the accurate
+  kernel *and* appends fresh (input, output) rows to the training
+  database, so the surrogate can be retrained on the drifted
+  distribution.
+* :class:`PeriodicRecalibrationPolicy` — the Fig. 9 interleave pattern
+  as a policy: every ``period`` invocations, ``n_accurate`` run the
+  accurate path (optionally collecting), bounding auto-regressive
+  error compounding.
+* :class:`CompositePolicy` — chains policies; the first override wins,
+  every policy observes every error.
+"""
+
+from __future__ import annotations
+
+from ..runtime.control import ExecutionPath
+from .monitor import PageHinkley, RegionErrorStats
+
+__all__ = ["PolicyAction", "QoSPolicy", "ThresholdPolicy",
+           "ErrorBudgetPolicy", "DriftBurstPolicy",
+           "PeriodicRecalibrationPolicy", "CompositePolicy"]
+
+
+class PolicyAction:
+    """What a policy wants for one invocation.
+
+    ``path`` is an :class:`ExecutionPath` value or None (no override);
+    ``force_shadow`` requests shadow validation regardless of the
+    sampler; ``commit`` optionally overrides the controller's commit
+    mode for this invocation (probes commit the accurate result — the
+    estimate says the surrogate is untrustworthy).
+    """
+
+    __slots__ = ("path", "force_shadow", "commit", "reason")
+
+    def __init__(self, path: str | None = None, force_shadow: bool = False,
+                 commit: str | None = None, reason: str | None = None):
+        self.path = path
+        self.force_shadow = force_shadow
+        self.commit = commit
+        self.reason = reason
+
+    def __repr__(self):
+        return (f"PolicyAction(path={self.path!r}, "
+                f"force_shadow={self.force_shadow}, commit={self.commit!r}, "
+                f"reason={self.reason!r})")
+
+
+class QoSPolicy:
+    """Base class: stateless pass-through (monitor-only)."""
+
+    def decide(self, region_name: str,
+               stats: RegionErrorStats) -> PolicyAction | None:
+        """Called before every statically-infer invocation."""
+        return None
+
+    def observe(self, region_name: str, error: float,
+                stats: RegionErrorStats) -> None:
+        """Called after every shadow-validated invocation."""
+
+    def snapshot(self) -> dict:
+        return {"policy": type(self).__name__}
+
+    def reset(self) -> None:
+        pass
+
+
+class ThresholdPolicy(QoSPolicy):
+    """Threshold with hysteresis plus probing.
+
+    State machine per region: *inferring* until the EWMA error exceeds
+    ``high``, then *tripped* (accurate path) until a probe-refreshed
+    EWMA falls below ``low``.  ``low < high`` is the hysteresis band:
+    an estimate wandering inside it never changes state, so the region
+    cannot flap between paths.  While tripped, every
+    ``probe_interval``-th invocation runs shadow-validated inference
+    committing the accurate result — the QoI stays safe, but the error
+    estimate keeps tracking the workload so recovery is possible.
+    The first ``warmup`` invocations are probes too: nothing is
+    admitted on trust before any error has been measured.
+    """
+
+    def __init__(self, high: float, low: float | None = None,
+                 probe_interval: int = 8, warmup: int = 1):
+        if low is None:
+            low = high / 2.0
+        if not 0.0 <= low <= high:
+            raise ValueError(f"need 0 <= low <= high, got low={low}, "
+                             f"high={high}")
+        if probe_interval < 1:
+            raise ValueError(f"probe_interval must be >= 1: {probe_interval}")
+        self.high = high
+        self.low = low
+        self.probe_interval = probe_interval
+        self.warmup = warmup
+        self._state: dict[str, dict] = {}
+        self.trips = 0
+        self.recoveries = 0
+
+    def _region(self, name: str) -> dict:
+        st = self._state.get(name)
+        if st is None:
+            st = self._state[name] = {"tripped": False, "since": 0}
+        return st
+
+    def observe(self, region_name, error, stats):
+        st = self._region(region_name)
+        if not st["tripped"]:
+            if stats.mean > self.high:
+                st["tripped"] = True
+                st["since"] = 0
+                self.trips += 1
+        elif stats.mean < self.low:
+            st["tripped"] = False
+            self.recoveries += 1
+
+    def decide(self, region_name, stats):
+        st = self._region(region_name)
+        if stats.count < self.warmup:
+            return PolicyAction(force_shadow=True, commit="accurate",
+                                reason="warmup")
+        if not st["tripped"]:
+            return None
+        st["since"] += 1
+        if st["since"] % self.probe_interval == 0:
+            return PolicyAction(force_shadow=True, commit="accurate",
+                                reason="probe")
+        return PolicyAction(ExecutionPath.ACCURATE, reason="threshold")
+
+    def snapshot(self):
+        return {"policy": "threshold", "high": self.high, "low": self.low,
+                "probe_interval": self.probe_interval, "trips": self.trips,
+                "recoveries": self.recoveries,
+                "tripped": {n: st["tripped"]
+                            for n, st in self._state.items()}}
+
+    def reset(self):
+        self._state.clear()
+        self.trips = 0
+        self.recoveries = 0
+
+
+class ErrorBudgetPolicy(QoSPolicy):
+    """Cap the mean deployed error at ``budget``.
+
+    Every invocation routed to inference is charged the current error
+    estimate (EWMA mean, or the sketch quantile with
+    ``pessimistic=True``); accurate invocations are charged zero.  The
+    policy admits an inference only if the post-admission mean charge
+    stays within ``budget * headroom``.  The first ``warmup``
+    invocations are forced shadow probes (committing the accurate
+    result) so the estimate exists before anything is admitted on
+    trust.
+    """
+
+    def __init__(self, budget: float, headroom: float = 0.9,
+                 warmup: int = 3, pessimistic: bool = False):
+        if budget <= 0:
+            raise ValueError(f"budget must be positive: {budget}")
+        if not 0.0 < headroom <= 1.0:
+            raise ValueError(f"headroom must be in (0, 1]: {headroom}")
+        self.budget = budget
+        self.headroom = headroom
+        self.warmup = warmup
+        self.pessimistic = pessimistic
+        self._state: dict[str, dict] = {}
+
+    def _region(self, name: str) -> dict:
+        st = self._state.get(name)
+        if st is None:
+            st = self._state[name] = {"spent": 0.0, "decisions": 0,
+                                      "inferred": 0, "denied": 0}
+        return st
+
+    def _estimate(self, stats: RegionErrorStats) -> float:
+        est = stats.quantile if self.pessimistic else stats.mean
+        return est if est == est else float("inf")     # NaN -> untrusted
+
+    def decide(self, region_name, stats):
+        st = self._region(region_name)
+        st["decisions"] += 1
+        if stats.count < self.warmup:
+            # Probes measure but commit the accurate result: zero charge.
+            return PolicyAction(force_shadow=True, commit="accurate",
+                                reason="warmup")
+        est = self._estimate(stats)
+        admitted = (st["spent"] + est) / st["decisions"]
+        if admitted > self.budget * self.headroom:
+            st["denied"] += 1
+            return PolicyAction(ExecutionPath.ACCURATE, reason="budget")
+        st["spent"] += est
+        st["inferred"] += 1
+        return None
+
+    def snapshot(self):
+        return {"policy": "error_budget", "budget": self.budget,
+                "headroom": self.headroom, "pessimistic": self.pessimistic,
+                "regions": {n: dict(st) for n, st in self._state.items()}}
+
+    def reset(self):
+        self._state.clear()
+
+
+class DriftBurstPolicy(QoSPolicy):
+    """Detect drift, answer with a collection burst that refreshes the DB.
+
+    A per-region Page-Hinkley test watches the shadow error stream; when
+    it fires, the next ``burst`` statically-infer invocations are
+    overridden to the *collect* path — the accurate kernel runs and its
+    (input, output) pairs are appended to the region's training
+    database, giving the ML engineer fresh rows from the drifted
+    distribution (the Fig. 9-style recalibration data).  The detector
+    resets after each burst.
+    """
+
+    def __init__(self, burst: int = 32, threshold: float = 0.1,
+                 delta: float = 0.005, burn_in: int = 5):
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1: {burst}")
+        self.burst = burst
+        self.threshold = threshold
+        self.delta = delta
+        self.burn_in = burn_in
+        self._state: dict[str, dict] = {}
+        self.drifts = 0
+
+    def _region(self, name: str) -> dict:
+        st = self._state.get(name)
+        if st is None:
+            st = self._state[name] = {
+                "detector": PageHinkley(delta=self.delta,
+                                        threshold=self.threshold,
+                                        burn_in=self.burn_in),
+                "remaining": 0, "collected": 0}
+        return st
+
+    def observe(self, region_name, error, stats):
+        st = self._region(region_name)
+        if st["remaining"] == 0 and st["detector"].update(error):
+            st["remaining"] = self.burst
+            st["detector"].reset()
+            self.drifts += 1
+
+    def decide(self, region_name, stats):
+        st = self._region(region_name)
+        if st["remaining"] > 0:
+            st["remaining"] -= 1
+            st["collected"] += 1
+            return PolicyAction(ExecutionPath.COLLECT, reason="drift-burst")
+        return None
+
+    def snapshot(self):
+        return {"policy": "drift_burst", "burst": self.burst,
+                "threshold": self.threshold, "drifts": self.drifts,
+                "regions": {n: {"remaining": st["remaining"],
+                                "collected": st["collected"],
+                                "ph_statistic": st["detector"].statistic}
+                            for n, st in self._state.items()}}
+
+    def reset(self):
+        self._state.clear()
+        self.drifts = 0
+
+
+class PeriodicRecalibrationPolicy(QoSPolicy):
+    """Fig. 9-style Original:Surrogate cycles as a runtime policy.
+
+    Of every ``period`` statically-infer invocations, the first
+    ``n_accurate`` run the accurate path (the collect path with
+    ``collect=True``, which also refreshes the training DB).  Unlike
+    the static ``if`` clause this needs no step variable threaded
+    through the application.
+    """
+
+    def __init__(self, period: int = 8, n_accurate: int = 2,
+                 collect: bool = False):
+        if period < 1 or not 0 <= n_accurate <= period:
+            raise ValueError(f"need 0 <= n_accurate <= period, got "
+                             f"{n_accurate}/{period}")
+        self.period = period
+        self.n_accurate = n_accurate
+        self.collect = collect
+        self._counters: dict[str, int] = {}
+
+    def decide(self, region_name, stats):
+        i = self._counters.get(region_name, 0)
+        self._counters[region_name] = i + 1
+        if i % self.period < self.n_accurate:
+            path = ExecutionPath.COLLECT if self.collect \
+                else ExecutionPath.ACCURATE
+            return PolicyAction(path, reason="recalibration")
+        return None
+
+    def snapshot(self):
+        return {"policy": "periodic_recalibration", "period": self.period,
+                "n_accurate": self.n_accurate, "collect": self.collect,
+                "invocations": dict(self._counters)}
+
+    def reset(self):
+        self._counters.clear()
+
+
+class CompositePolicy(QoSPolicy):
+    """Chain policies: first non-None override wins; all observe."""
+
+    def __init__(self, *policies: QoSPolicy):
+        self.policies = list(policies)
+
+    def decide(self, region_name, stats):
+        for policy in self.policies:
+            action = policy.decide(region_name, stats)
+            if action is not None:
+                return action
+        return None
+
+    def observe(self, region_name, error, stats):
+        for policy in self.policies:
+            policy.observe(region_name, error, stats)
+
+    def snapshot(self):
+        return {"policy": "composite",
+                "members": [p.snapshot() for p in self.policies]}
+
+    def reset(self):
+        for policy in self.policies:
+            policy.reset()

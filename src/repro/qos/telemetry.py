@@ -1,0 +1,129 @@
+"""QoS telemetry: counters and per-path/per-phase serving summaries.
+
+Layers on :class:`~repro.runtime.events.EventLog` — the Fig. 6 timing
+instrumentation — a serving-oriented view: how many invocations took
+which path (and why, when a policy overrode the directive), how many
+were shadow-validated, and where the time went per path including the
+validation overhead (the SHADOW phase).  Snapshots are plain dicts and
+:meth:`QoSTelemetry.export` writes them as JSON for dashboards.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..runtime.events import EventLog, Phase
+
+__all__ = ["QoSTelemetry", "phase_summary"]
+
+
+def phase_summary(event_log: EventLog,
+                  start: int = 0) -> dict:
+    """Per-path invocation counts and per-phase seconds of a record span.
+
+    ``start`` slices the log (e.g. the beginning of a deployment
+    window) so warm-up records do not pollute serving numbers.
+    """
+    per_path: dict[str, dict] = {}
+    for rec in event_log.records[start:]:
+        entry = per_path.get(rec.path)
+        if entry is None:
+            entry = per_path[rec.path] = {
+                "count": 0, "seconds": {p.value: 0.0 for p in Phase}}
+        entry["count"] += 1
+        for phase, seconds in rec.times.items():
+            entry["seconds"][phase.value] += seconds
+    total = sum(sum(e["seconds"].values()) for e in per_path.values())
+    shadow = sum(e["seconds"][Phase.SHADOW.value] for e in per_path.values())
+    return {
+        "paths": per_path,
+        "total_seconds": total,
+        "shadow_seconds": shadow,
+        "validation_overhead": shadow / total if total > 0 else 0.0,
+    }
+
+
+class _RegionCounters:
+    __slots__ = ("invocations", "base_paths", "final_paths", "overrides",
+                 "reasons", "shadows", "shadow_error_sum", "shadow_error_max")
+
+    def __init__(self):
+        self.invocations = 0
+        self.base_paths: dict[str, int] = {}
+        self.final_paths: dict[str, int] = {}
+        self.overrides = 0
+        self.reasons: dict[str, int] = {}
+        self.shadows = 0
+        self.shadow_error_sum = 0.0
+        self.shadow_error_max = 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "invocations": self.invocations,
+            "base_paths": dict(self.base_paths),
+            "final_paths": dict(self.final_paths),
+            "overrides": self.overrides,
+            "override_reasons": dict(self.reasons),
+            "shadow_invocations": self.shadows,
+            "shadow_error_mean": (self.shadow_error_sum / self.shadows
+                                  if self.shadows else None),
+            "shadow_error_max": self.shadow_error_max if self.shadows
+            else None,
+        }
+
+
+class QoSTelemetry:
+    """Counts QoS decisions and shadow observations per region."""
+
+    def __init__(self):
+        self._regions: dict[str, _RegionCounters] = {}
+
+    def _region(self, name: str) -> _RegionCounters:
+        counters = self._regions.get(name)
+        if counters is None:
+            counters = self._regions[name] = _RegionCounters()
+        return counters
+
+    # -- recording hooks (called by QoSController) -----------------------
+    def record_decision(self, region_name: str, base_path: str,
+                        final_path: str, shadow: bool = False,
+                        reason: str | None = None) -> None:
+        c = self._region(region_name)
+        c.invocations += 1
+        c.base_paths[base_path] = c.base_paths.get(base_path, 0) + 1
+        c.final_paths[final_path] = c.final_paths.get(final_path, 0) + 1
+        if final_path != base_path:
+            c.overrides += 1
+        if reason is not None:
+            c.reasons[reason] = c.reasons.get(reason, 0) + 1
+
+    def record_shadow(self, region_name: str, error: float) -> None:
+        c = self._region(region_name)
+        c.shadows += 1
+        c.shadow_error_sum += float(error)
+        c.shadow_error_max = max(c.shadow_error_max, float(error))
+
+    # -- reporting -------------------------------------------------------
+    def snapshot(self) -> dict:
+        return {name: counters.snapshot()
+                for name, counters in self._regions.items()}
+
+    def summary(self, event_log: EventLog | None = None,
+                start: int = 0) -> dict:
+        """Counters merged with the event log's per-path time breakdown."""
+        out = {"regions": self.snapshot()}
+        if event_log is not None:
+            out["phases"] = phase_summary(event_log, start=start)
+        return out
+
+    def export(self, path, event_log: EventLog | None = None,
+               start: int = 0) -> Path:
+        """Write the summary as JSON (the serving-dashboard feed)."""
+        path = Path(path)
+        path.write_text(json.dumps(self.summary(event_log, start=start),
+                                   indent=2, sort_keys=True) + "\n")
+        return path
+
+    def reset(self) -> None:
+        self._regions.clear()

@@ -18,7 +18,8 @@ from __future__ import annotations
 
 from ..directives.ast_nodes import MLDirective
 
-__all__ = ["ExecutionPath", "decide_path", "eval_condition", "eval_expr"]
+__all__ = ["ExecutionPath", "decide_path", "apply_override",
+           "eval_condition", "eval_expr"]
 
 
 class ExecutionPath:
@@ -53,16 +54,38 @@ def eval_expr(expr: str, env: dict) -> float:
                            f"{expr!r}: {exc}") from exc
 
 
-def decide_path(ml: MLDirective, env: dict) -> str:
-    """Resolve which execution path this invocation takes."""
+def apply_override(path: str, override: str | None) -> str:
+    """Apply a dynamic QoS path request to a statically-decided path.
+
+    The single source of the override rule: a request applies only when
+    the directive's own decision is the infer path.  A false ``if``
+    clause or a predicated-collect outcome expresses application intent
+    the runtime must not undo, whereas "this inference is not
+    trustworthy right now — run accurate/collect instead" is exactly
+    the adaptation QoS is for.  Used by both :func:`decide_path` and
+    :meth:`repro.qos.QoSController.decide`.
+    """
+    if override is not None and path == ExecutionPath.INFER:
+        return override
+    return path
+
+
+def decide_path(ml: MLDirective, env: dict, override: str | None = None) -> str:
+    """Resolve which execution path this invocation takes.
+
+    ``override`` is a dynamic :class:`ExecutionPath` request from a QoS
+    policy (:mod:`repro.qos`), applied per :func:`apply_override`.
+    """
     if ml.if_condition is not None and not eval_condition(ml.if_condition, env):
         return ExecutionPath.ACCURATE
     if ml.mode == "infer":
         if ml.condition is not None and not eval_condition(ml.condition, env):
             return ExecutionPath.ACCURATE
-        return ExecutionPath.INFER
-    if ml.mode == "collect":
-        return ExecutionPath.COLLECT
-    # predicated: true -> inference, false -> data collection
-    return ExecutionPath.INFER if eval_condition(ml.condition, env) \
-        else ExecutionPath.COLLECT
+        path = ExecutionPath.INFER
+    elif ml.mode == "collect":
+        path = ExecutionPath.COLLECT
+    else:
+        # predicated: true -> inference, false -> data collection
+        path = ExecutionPath.INFER if eval_condition(ml.condition, env) \
+            else ExecutionPath.COLLECT
+    return apply_override(path, override)

@@ -23,6 +23,10 @@ class Phase(Enum):
     FROM_TENSOR = "from_tensor"
     ACCURATE = "accurate"
     COLLECT_IO = "collect_io"
+    #: Accurate-kernel time spent *validating* an infer-path invocation
+    #: (QoS shadow validation) — kept apart from ACCURATE so serving
+    #: summaries can report validation overhead separately.
+    SHADOW = "shadow"
 
 
 @dataclass

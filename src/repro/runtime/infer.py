@@ -65,8 +65,10 @@ class InferenceEngine:
     def __init__(self, device: Device | None = None,
                  cache: ModelCache | None = None,
                  use_compiled: bool = True):
-        self.device = device or Device()
-        self.cache = cache or ModelCache()
+        self.device = device if device is not None else Device()
+        # Not ``cache or ...``: an empty ModelCache is falsy (__len__),
+        # which would silently drop a shared-but-cold cache.
+        self.cache = cache if cache is not None else ModelCache()
         self.use_compiled = use_compiled
         #: id(model) -> (weakref to model, CompiledPlan | None).
         #: ``None`` records a model whose layers have no lowering, so

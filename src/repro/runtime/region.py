@@ -35,14 +35,28 @@ __all__ = ["ApproxRegion", "RegionConfig"]
 
 
 class RegionConfig:
-    """Mutable runtime knobs a region honors (override directive clauses)."""
+    """Mutable runtime knobs a region honors (override directive clauses).
+
+    ``qos`` attaches a :class:`repro.qos.QoSController` (shadow
+    validation + adaptive path policies); ``None`` — the default —
+    keeps the invocation hot path byte-for-byte on the PR-1 fast path.
+    ``auto_batch`` wraps the region's engine in a
+    :class:`~repro.runtime.batch.BatchedInferenceEngine` (sharing its
+    device and model cache) so deploy loops coalesce invocations
+    without the caller constructing one; only sound for invocations
+    independent of each other's outputs.
+    """
 
     def __init__(self, model_path=None, db_path=None, engine=None,
-                 event_log=None):
+                 event_log=None, qos=None, auto_batch: bool = False,
+                 max_batch_rows: int = 256):
         self.model_path = model_path
         self.db_path = db_path
         self.engine = engine
         self.event_log = event_log
+        self.qos = qos
+        self.auto_batch = auto_batch
+        self.max_batch_rows = max_batch_rows
 
 
 class _BoundMap:
@@ -118,6 +132,12 @@ class ApproxRegion:
         self._simple_signature = all(
             p.kind == inspect.Parameter.POSITIONAL_OR_KEYWORD for p in params)
         self._int_symbols = self._collect_int_symbols()
+        if self.config.auto_batch and \
+                not isinstance(self._engine, BatchedInferenceEngine):
+            self._engine = BatchedInferenceEngine(
+                device=self._engine.device, cache=self._engine.cache,
+                use_compiled=self._engine.use_compiled,
+                max_batch_rows=self.config.max_batch_rows)
         self._batched_engine = isinstance(self._engine, BatchedInferenceEngine)
 
     def _collect_int_symbols(self) -> tuple:
@@ -326,9 +346,60 @@ class ApproxRegion:
                     self.name, inputs, outputs, region_time)
         return result
 
+    def _run_shadow(self, qos, decision, env, record, args, kwargs):
+        """Shadow-validated inference: run accurate AND surrogate paths.
+
+        The accurate kernel executes first (timed as the SHADOW phase,
+        so validation overhead stays separate from real accurate-path
+        time), its outputs are read through the from-maps, then the
+        surrogate runs on inputs gathered *before* the kernel mutated
+        anything.  The measured error feeds the QoS rolling stats; the
+        committed result is the surrogate's (deployment-identical) or
+        the accurate one (``commit="accurate"``, e.g. policy probes and
+        auto-regressive regions).
+        """
+        in_maps = self._concretize(self._in_maps, env, writable=False)
+        inputs = self._gather_inputs(in_maps, record)
+        # Gather may return a view of application memory (identity
+        # functors); the accurate run below mutates out/inout arrays,
+        # so snapshot before executing it.
+        inputs = np.array(inputs)
+        with self.events.timed(record, Phase.SHADOW):
+            result = self.func(*args, **kwargs)
+        accurate = self._gather_outputs(env)
+        if self.model_path is None:
+            raise RuntimeError(f"region {self.name!r}: shadow validation "
+                               "requested but no model path configured")
+        # Immediate inference (flushes any batched queue first): the
+        # error observation must not be deferred past policy decisions.
+        outputs = self._engine.infer(self.model_path, inputs)
+        record.add(Phase.INFERENCE, self._engine.last_inference_seconds)
+        qos.observe_shadow(self.name, outputs, accurate)
+        if decision.commit == "surrogate":
+            out_maps = self._concretize(self._out_maps, env, writable=True)
+            self._scatter_outputs(out_maps, outputs, record)
+        return result
+
+    def _invoke_qos(self, qos, env, args, kwargs):
+        base = decide_path(self.ml, env)
+        decision = qos.decide(self.name, base)
+        path = decision.path
+        record = self.events.new_record(path)
+        if path == ExecutionPath.INFER:
+            if decision.shadow:
+                return self._run_shadow(qos, decision, env, record,
+                                        args, kwargs)
+            return self._run_infer(env, record)
+        if path == ExecutionPath.COLLECT:
+            return self._run_accurate(env, record, True, args, kwargs)
+        return self._run_accurate(env, record, False, args, kwargs)
+
     # ------------------------------------------------------------------
     def __call__(self, *args, **kwargs):
         env = self._bind_env(args, kwargs)
+        qos = self.config.qos
+        if qos is not None:
+            return self._invoke_qos(qos, env, args, kwargs)
         path = decide_path(self.ml, env)
         record = self.events.new_record(path)
         if path == ExecutionPath.INFER:
@@ -336,6 +407,11 @@ class ApproxRegion:
         if path == ExecutionPath.COLLECT:
             return self._run_accurate(env, record, True, args, kwargs)
         return self._run_accurate(env, record, False, args, kwargs)
+
+    @property
+    def engine(self):
+        """The engine this region actually invokes (post ``auto_batch``)."""
+        return self._engine
 
     def flush(self) -> None:
         """Deliver queued batched inferences; persist collection data."""

@@ -203,3 +203,79 @@ def test_region_size_trigger_delivers_midstream(tmp_path):
     assert np.all(ys[2] == 0.0)
     region.flush()
     np.testing.assert_allclose(ys[2], [4.0, 4.0], rtol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# RegionConfig(auto_batch=...): the region wraps its own engine
+# ----------------------------------------------------------------------
+
+def test_region_auto_batch_wraps_engine(tmp_path):
+    path = linear_model(tmp_path / "m.rnm")
+    base = InferenceEngine()
+
+    @approx_ml(DIRECTIVES.format(db=tmp_path / "d.rh5", model=path),
+               engine=base, auto_batch=True, max_batch_rows=8)
+    def region(x, y, N, flag=True):
+        y[:N] = x[:N].sum(axis=1)
+
+    wrapped = region.engine
+    assert isinstance(wrapped, BatchedInferenceEngine)
+    assert wrapped is not base
+    assert wrapped.max_batch_rows == 8
+    # Shared device + model cache: one load serves both engines.
+    assert wrapped.device is base.device
+    assert wrapped.cache is base.cache
+
+    xs = [np.full((2, 2), float(i)) for i in range(3)]
+    ys = [np.zeros(2) for _ in range(3)]
+    for x, y in zip(xs, ys):
+        region(x, y, 2)
+    region.flush()
+    for i, y in enumerate(ys):
+        np.testing.assert_allclose(y, [2.0 * i, 2.0 * i], rtol=1e-12)
+    assert wrapped.batches_flushed >= 1
+
+
+def test_region_auto_batch_keeps_existing_batched_engine(tmp_path):
+    path = linear_model(tmp_path / "m.rnm")
+    engine = BatchedInferenceEngine(max_batch_rows=16)
+
+    @approx_ml(DIRECTIVES.format(db=tmp_path / "d.rh5", model=path),
+               engine=engine, auto_batch=True)
+    def region(x, y, N, flag=True):
+        y[:N] = x[:N].sum(axis=1)
+
+    assert region.engine is engine            # no double wrapping
+
+
+def test_harness_auto_batch_matches_unbatched(tmp_path):
+    """End-to-end: an auto-batched chunked deploy loop reproduces the
+    single-invocation surrogate output exactly."""
+    from repro.apps.harness import harness_for
+    from repro.search.builders import builder_for
+
+    model = builder_for("binomial")(
+        {"hidden1_features": 12, "hidden2_features": 0}, seed=0)
+    plain = harness_for("binomial", tmp_path / "plain",
+                        n_train=32, n_test=48, n_steps=16)
+    plain.install_model(model)
+    ref = plain.run_surrogate()
+
+    batched = harness_for("binomial", tmp_path / "batched",
+                          n_train=32, n_test=48, n_steps=16,
+                          auto_batch=True, batch_rows=16, deploy_chunk=6)
+    assert isinstance(batched.deploy_region.engine, BatchedInferenceEngine)
+    batched.install_model(model)
+    out = batched.run_surrogate()
+    np.testing.assert_allclose(out, ref, rtol=1e-12)
+    assert batched.deploy_region.engine.batches_flushed >= 3
+    # The accurate path is unaffected by batching.
+    np.testing.assert_allclose(batched.run_accurate(), plain.run_accurate(),
+                               rtol=1e-12)
+
+
+def test_miniweather_harness_rejects_auto_batch(tmp_path):
+    from repro.apps.harness import harness_for
+    with pytest.raises(ValueError):
+        harness_for("miniweather", tmp_path, nx=8, nz=4, train_steps=2,
+                    test_steps=2, auto_batch=True)

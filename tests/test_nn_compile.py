@@ -6,9 +6,9 @@ import pytest
 from repro.nn import (AvgPool2d, BatchNorm1d, Conv1d, Conv2d, CompiledPlan,
                       CropPad2d, Destandardize, Dropout, Flatten, GRU,
                       Identity, LayerNorm, LeakyReLU, Linear, MaxPool1d,
-                      MaxPool2d, ReLU, Sequential, Sigmoid, Standardize,
-                      Tanh, Tensor, UnsupportedLayerError, compile_inference,
-                      load_model, no_grad, save_model)
+                      MaxPool2d, Module, ReLU, Sequential, Sigmoid,
+                      Standardize, Tanh, Tensor, UnsupportedLayerError,
+                      compile_inference, load_model, no_grad, save_model)
 
 RTOL = 1e-12
 
@@ -128,18 +128,84 @@ def test_linear_without_bias():
 # Plan lifecycle
 # ----------------------------------------------------------------------
 
+class _OpaqueLayer(Module):                     # a Module with no lowering
+    def forward(self, x):
+        return x
+
+
 def test_unsupported_layer_raises():
-    model = Sequential(GRU(4, 8), Linear(8, 1))
+    model = Sequential(Linear(4, 4), _OpaqueLayer())
     with pytest.raises(UnsupportedLayerError):
         compile_inference(model)
 
 
 def test_forward_compiled_falls_back_for_unsupported():
     rng = np.random.default_rng(7)
-    model = Sequential(GRU(4, 8, rng=rng), Linear(8, 1, rng=rng))
-    x = rng.normal(size=(2, 5, 4))
+    model = Sequential(Linear(4, 4, rng=rng), _OpaqueLayer(),
+                       Linear(4, 1, rng=rng))
+    x = rng.normal(size=(2, 4))
     ref = graph_forward(model, x)
     np.testing.assert_allclose(model.forward_compiled(x), ref, rtol=RTOL)
+
+
+# ----------------------------------------------------------------------
+# GRU lowering (the recurrent branch of the serialized zoo)
+# ----------------------------------------------------------------------
+
+def test_gru_final_state_equivalence():
+    rng = np.random.default_rng(30)
+    model = Sequential(GRU(4, 8, rng=rng), Linear(8, 2, rng=rng))
+    assert_equivalent(model, rng.normal(size=(3, 7, 4)))
+
+
+def test_gru_sequence_output_equivalence():
+    rng = np.random.default_rng(31)
+    model = Sequential(GRU(3, 6, return_sequence=True, rng=rng),
+                       Flatten(), Linear(5 * 6, 2, rng=rng))
+    assert_equivalent(model, rng.normal(size=(2, 5, 3)))
+
+
+def test_gru_serialization_roundtrip_parity(tmp_path):
+    """Compiled(load(save(m))) matches the graph path <= 1e-12 for
+    sequence surrogates — the fast-path acceptance bit for GRUs."""
+    rng = np.random.default_rng(32)
+    model = Sequential(GRU(5, 10, rng=rng), Linear(10, 3, rng=rng))
+    path = tmp_path / "gru.rnm"
+    save_model(model, path)
+    loaded = load_model(path)
+    x = rng.normal(size=(4, 9, 5))
+    ref = graph_forward(loaded, x)
+    plan = compile_inference(loaded)
+    assert np.abs(np.array(plan(x)) - ref).max() <= 1e-12
+
+
+def test_gru_plan_tracks_in_place_updates():
+    rng = np.random.default_rng(33)
+    model = Sequential(GRU(3, 4, rng=rng), Linear(4, 1, rng=rng))
+    plan = compile_inference(model)
+    x = rng.normal(size=(2, 6, 3))
+    plan(x)
+    model[0].cell.weight_hh.data[...] *= 1.1      # in place
+    assert not plan.stale()
+    np.testing.assert_allclose(np.array(plan(x)), graph_forward(model, x),
+                               rtol=RTOL, atol=1e-300)
+
+
+def test_gru_engine_uses_compiled_plan(tmp_path):
+    """The engine no longer falls back to the graph path for GRUs."""
+    from repro.runtime import InferenceEngine
+    rng = np.random.default_rng(34)
+    model = Sequential(GRU(4, 6, rng=rng), Linear(6, 1, rng=rng))
+    path = tmp_path / "gru.rnm"
+    save_model(model, path)
+    engine = InferenceEngine()
+    loaded = engine.warmup(path)
+    assert engine.plan_for(loaded) is not None
+    x = rng.normal(size=(3, 5, 4))
+    out = engine.infer(path, x)
+    np.testing.assert_allclose(out, graph_forward(loaded, x), rtol=RTOL,
+                               atol=1e-300)
+    assert engine.last_timing["compiled"]
 
 
 def test_forward_compiled_caches_and_matches():

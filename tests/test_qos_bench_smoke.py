@@ -1,0 +1,77 @@
+"""Tier-1 smoke run of the adaptive-QoS benchmark.
+
+Runs ``benchmarks/bench_qos_adaptive.py`` at tiny sizes and validates
+the ``BENCH_qos.json`` schema plus the headline acceptance property:
+with a threshold policy at shadow rate 0.1, the deployed QoI error is
+capped below the configured budget on apps where pure ``infer``
+exceeds it.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_qos_adaptive.py"
+
+
+def load_bench_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_qos_adaptive", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_qos_bench_smoke_writes_valid_schema(tmp_path):
+    bench = load_bench_module()
+    out = tmp_path / "BENCH_qos.json"
+    results = bench.main(["--quick", "--out", str(out),
+                          "--workdir", str(tmp_path / "work")])
+    assert out.exists()
+    on_disk = json.loads(out.read_text())
+    assert on_disk["schema"] == "bench_qos_adaptive/v1"
+    assert on_disk == json.loads(json.dumps(results))    # JSON-clean
+
+    config = on_disk["config"]
+    assert config["apps"] == list(bench.APPS)
+    assert config["budget_fraction"] > 0
+    assert all(0 < r <= 1 for r in config["shadow_rates"])
+
+    apps = on_disk["apps"]
+    assert len(apps) == len(bench.APPS)
+    for row in apps:
+        assert row["benchmark"] in bench.APPS
+        assert row["metric"] in ("rmse", "mape")
+        assert row["accurate_time"] > 0
+        assert row["pure_infer"]["speedup"] > 0
+        assert len(row["shadow_sweep"]) == len(config["shadow_rates"])
+        for entry in row["shadow_sweep"]:
+            assert set(entry) >= {"rate", "speedup", "error",
+                                  "validation_overhead", "shadows",
+                                  "path_counts"}
+            assert entry["speedup"] > 0
+            assert 0 <= entry["validation_overhead"] <= 1
+            assert entry["shadows"] >= 0
+        weak = row["weak_model"]
+        assert weak["qoi_budget"] > 0
+        for policy_key in ("threshold", "error_budget"):
+            assert weak[policy_key]["error"] >= 0
+            assert isinstance(weak[policy_key]["capped"], bool)
+
+    summary = on_disk["summary"]
+    assert summary["pure_speedup_geomean"] > 0
+    assert 0 <= summary["validation_overhead_mean"] <= 1
+
+    # The acceptance property: wherever the broken surrogate's pure
+    # inference blows the budget, the threshold policy caps the error
+    # under it — on at least one app, and in practice on all of them.
+    exceeding = [r["benchmark"] for r in apps
+                 if r["weak_model"]["pure_exceeds_budget"]]
+    assert exceeding, "untrained surrogates must exceed the budget"
+    assert summary["threshold_capped_apps"], \
+        "threshold policy must cap QoI error below budget somewhere"
+    for row in apps:
+        weak = row["weak_model"]
+        if weak["pure_exceeds_budget"]:
+            assert weak["threshold"]["error"] < weak["pure_error"]
