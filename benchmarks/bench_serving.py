@@ -1,0 +1,483 @@
+"""Serving-layer benchmark: latency, throughput, arbitration, retrain.
+
+Measures the multi-region serving subsystem (:mod:`repro.serving`)
+across four scenarios:
+
+* **latency** — a single trained region served QoS-off through a
+  serial-backend ``RegionServer`` versus direct region invocation: the
+  server wrapper must stay within a few percent of the PR-2 baseline
+  (which *is* the direct call).
+* **throughput** — three trained regions served interleaved through
+  one server, serial versus thread-pool backend (per-region affinity);
+  rows/second for each.
+* **arbitration** — a trained surrogate and an *untrained* one under a
+  single ``QoSArbiter`` global error budget: the untrained region must
+  be forced onto the accurate path while the trained one keeps its
+  inference share, and both regions' deployed QoI errors (relative L2
+  vs the accurate kernel) must respect the global budget.
+* **retrain** — two trained regions under the arbiter plus a
+  drift-burst policy; one region's workload drifts, bursts refresh its
+  training DB, a ``RetrainWorker`` retrains in the background and
+  hot-swaps the model file under the live server; post-swap both
+  regions' deployed errors must again respect the budget — without a
+  server restart.
+
+Results land in ``BENCH_serving.json`` (schema ``bench_serving/v1``).
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+    PYTHONPATH=src python benchmarks/bench_serving.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.apps import binomial as binomial_app
+from repro.apps.harness import harness_for
+from repro.nn import Trainer
+from repro.qos import DriftBurstPolicy
+from repro.serving import (QoSArbiter, RegionServer, RetrainWorker,
+                           ThreadPoolBackend)
+
+SCHEMA = "bench_serving/v1"
+
+HARNESS_PARAMS = {
+    "binomial": dict(n_train=2048, n_test=768, n_steps=64),
+    "bonds": dict(n_train=2048, n_test=768),
+    "minibude": dict(n_train=2048, n_test=768),
+}
+QUICK_PARAMS = {
+    "binomial": dict(n_train=512, n_test=128, n_steps=16),
+    "bonds": dict(n_train=512, n_test=128),
+    "minibude": dict(n_train=512, n_test=128),
+}
+
+ARCHS = {
+    "binomial": {"hidden1_features": 48, "hidden2_features": 24},
+    "bonds": {"hidden1_features": 48, "hidden2_features": 24},
+    "minibude": {"num_hidden_layers": 2, "hidden1_size": 64,
+                 "feature_multiplier": 0.6},
+}
+
+TRAIN_PARAMS = {
+    "binomial": dict(lr=3e-3, batch_size=128, patience=15),
+    "bonds": dict(lr=3e-3, batch_size=128, patience=15),
+    "minibude": dict(lr=2e-3, batch_size=128, patience=20),
+}
+#: Quick mode trades epochs for a hotter schedule so the "strong"
+#: models are still strong enough for the arbiter to admit them.
+QUICK_TRAIN_PARAMS = {name: dict(lr=6e-3, batch_size=64, patience=20)
+                      for name in TRAIN_PARAMS}
+
+
+def _relative(pred: np.ndarray, ref: np.ndarray) -> float:
+    pred = np.asarray(pred, dtype=np.float64).ravel()
+    ref = np.asarray(ref, dtype=np.float64).ravel()
+    return float(np.linalg.norm(pred - ref) /
+                 (np.linalg.norm(ref) + 1e-12))
+
+
+def _make_harness(name, workdir, *, quick, chunk, server=None, seed=0):
+    params = (QUICK_PARAMS if quick else HARNESS_PARAMS)[name]
+    return harness_for(name, Path(workdir) / name, seed=seed,
+                       deploy_chunk=chunk, server=server, **params)
+
+
+def _train(harness, *, epochs, quick=False, seed=0):
+    harness.collect()
+    (xt, yt), (xv, yv) = harness.training_arrays()
+    build = harness.make_builder(xt, yt)
+    model = build(ARCHS[harness.name], seed=seed)
+    params = (QUICK_TRAIN_PARAMS if quick else TRAIN_PARAMS)[harness.name]
+    Trainer(model, max_epochs=epochs, seed=seed, **params).fit(xt, yt,
+                                                              xv, yv)
+    harness.install_model(model)
+    return model
+
+
+# ----------------------------------------------------------------------
+# Scenario: single-region QoS-off latency (server vs direct call)
+# ----------------------------------------------------------------------
+
+def scenario_latency(workdir, *, quick, chunk, epochs, repeats=7) -> dict:
+    harness = _make_harness("binomial", workdir / "latency", quick=quick,
+                            chunk=chunk)
+    _train(harness, epochs=epochs, quick=quick)
+    region = harness.deploy_region
+    server = harness.server
+    opts = harness.test_opts
+    n = len(opts)
+
+    def loop_direct():
+        prices = np.empty(n)
+        for start in range(0, n, chunk):
+            block = np.ascontiguousarray(opts[start:start + chunk])
+            b = len(block)
+            region(block, prices[start:start + b], b, use_model=True)
+        region.flush()
+
+    def loop_server():
+        prices = np.empty(n)
+        for start in range(0, n, chunk):
+            block = np.ascontiguousarray(opts[start:start + chunk])
+            b = len(block)
+            server.invoke("binomial", block, prices[start:start + b], b,
+                          use_model=True)
+        server.flush("binomial")
+
+    loop_direct(), loop_server()          # warm both paths
+    direct_times, server_times = [], []
+    for i in range(repeats):
+        # Alternate A/B order so cache-warmth effects do not
+        # systematically favor whichever loop runs second.
+        pair = ((loop_direct, direct_times), (loop_server, server_times))
+        for loop, times in (pair if i % 2 == 0 else pair[::-1]):
+            t0 = time.perf_counter()
+            loop()
+            times.append(time.perf_counter() - t0)
+    direct_s = min(direct_times)
+    server_s = min(server_times)
+    invocations = -(-n // chunk)
+    return {
+        "invocations": invocations,
+        "rows": n,
+        "direct_seconds": direct_s,
+        "server_seconds": server_s,
+        "ratio": server_s / direct_s,
+        "server_overhead_us_per_invocation":
+            (server_s - direct_s) / invocations * 1e6,
+    }
+
+
+# ----------------------------------------------------------------------
+# Scenario: multi-region throughput, serial vs thread backend
+# ----------------------------------------------------------------------
+
+def scenario_throughput(workdir, *, quick, chunk, epochs,
+                        repeats=3) -> dict:
+    names = ("binomial", "bonds") if quick \
+        else ("binomial", "bonds", "minibude")
+    server = RegionServer()
+    harnesses = {}
+    for name in names:
+        harness = _make_harness(name, workdir / "throughput", quick=quick,
+                                chunk=chunk, server=server)
+        _train(harness, epochs=epochs, quick=quick)
+        harnesses[name] = harness
+
+    streams = {
+        "binomial": lambda h: (h.test_opts, (np.empty(len(h.test_opts)),)),
+        "bonds": lambda h: (h.test_bonds, (np.empty(len(h.test_bonds)),
+                                           np.empty(len(h.test_bonds)))),
+        "minibude": lambda h: (h.test_poses,
+                               (np.empty(len(h.test_poses)),)),
+    }
+
+    def serve_all():
+        futures = []
+        buffers = {n: streams[n](harnesses[n]) for n in names}
+        total_rows = 0
+        # Round-robin across regions so backends see interleaved
+        # traffic (the worst case for a single queue, the natural one
+        # for per-region affinity).
+        max_len = max(len(rows) for rows, _ in buffers.values())
+        for start in range(0, max_len, chunk):
+            for name in names:
+                rows, outs = buffers[name]
+                if start >= len(rows):
+                    continue
+                block = np.ascontiguousarray(rows[start:start + chunk])
+                b = len(block)
+                views = [o[start:start + b] for o in outs]
+                result = server.invoke(name, block, *views, b,
+                                       use_model=True)
+                if result is not None and hasattr(result, "result"):
+                    futures.append(result)
+                total_rows += b
+        server.drain()
+        for future in futures:
+            future.result()
+        return total_rows
+
+    out = {"regions": list(names), "backends": {}}
+    for backend_name, backend in (("serial", None),
+                                  ("thread", ThreadPoolBackend())):
+        if backend is not None:
+            server.backend = backend      # swap while idle
+        serve_all()                       # warm
+        times = []
+        rows = 0
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            rows = serve_all()
+            times.append(time.perf_counter() - t0)
+        best = min(times)
+        out["backends"][backend_name] = {
+            "seconds": best,
+            "rows": rows,
+            "rows_per_second": rows / best,
+        }
+        if backend is not None:
+            backend.close()
+    serial = out["backends"]["serial"]["rows_per_second"]
+    thread = out["backends"]["thread"]["rows_per_second"]
+    out["thread_vs_serial"] = thread / serial
+    return out
+
+
+# ----------------------------------------------------------------------
+# Scenario: cross-region budget arbitration
+# ----------------------------------------------------------------------
+
+def scenario_arbitration(workdir, *, quick, chunk, epochs) -> dict:
+    server = RegionServer()
+    strong_h = _make_harness("binomial", workdir / "arbitration",
+                             quick=quick, chunk=chunk, server=server)
+    _train(strong_h, epochs=epochs, quick=quick)
+    weak_h = _make_harness("bonds", workdir / "arbitration", quick=quick,
+                           chunk=chunk, server=server)
+    weak_h.collect()
+    (xt, yt), _ = weak_h.training_arrays()
+    # Untrained weights: the worst-case stand-in for a fully drifted
+    # surrogate (PR-2's weak-model protocol).
+    weak_model = weak_h.make_builder(xt, yt)(ARCHS["bonds"], seed=3)
+    weak_h.install_model(weak_model)
+
+    # References + pure-infer errors, measured before QoS attaches.
+    strong_acc = strong_h.run_accurate()
+    weak_acc = weak_h.run_accurate()
+    strong_pure = _relative(strong_h.run_surrogate(), strong_acc)
+    weak_pure = _relative(weak_h.run_surrogate(), weak_acc)
+
+    # The budget must sit between the trained model's error and the
+    # untrained one's: comfortably above the former (it keeps its infer
+    # share), far below the latter (it gets forced accurate).
+    budget = float(min(max(4.0 * strong_pure, 0.05), weak_pure / 3.0))
+    # Pessimistic charging (P95 sketch, not the EWMA mean): the
+    # untrained model's per-chunk errors vary widely, and admissions
+    # priced at a transiently low mean would blow the L2 compliance.
+    arbiter = QoSArbiter(budget, shadow_rate=0.25, seed=7, warmup=2,
+                         rebalance_every=16, pessimistic=True)
+    server.attach_qos(arbiter)
+    strong_dep = _relative(strong_h.run_surrogate(), strong_acc)
+    weak_dep = _relative(weak_h.run_surrogate(), weak_acc)
+    server.detach_qos()
+
+    snap = arbiter.snapshot()
+    arb = snap["arbitration"]
+    strong_ledger = arb["regions"]["binomial"]
+    weak_ledger = arb["regions"]["bonds"]
+    return {
+        "budget": budget,
+        "strong": {
+            "benchmark": "binomial",
+            "pure_relative_error": strong_pure,
+            "deployed_relative_error": strong_dep,
+            "under_budget": bool(strong_dep <= budget),
+            "inferred": strong_ledger["inferred"],
+            "denied": strong_ledger["denied"],
+            "infer_share": strong_ledger["inferred"]
+            / max(strong_ledger["decisions"], 1),
+        },
+        "weak": {
+            "benchmark": "bonds",
+            "pure_relative_error": weak_pure,
+            "deployed_relative_error": weak_dep,
+            "under_budget": bool(weak_dep <= budget),
+            "inferred": weak_ledger["inferred"],
+            "denied": weak_ledger["denied"],
+            "forced_accurate": bool(
+                weak_ledger["denied"] > weak_ledger["inferred"]),
+        },
+        "global_mean_charge": arb["global_mean_charge"],
+        "rollup": snap["rollup"],
+        "compliant": bool(strong_dep <= budget and weak_dep <= budget),
+    }
+
+
+# ----------------------------------------------------------------------
+# Scenario: drift -> burst -> background retrain -> hot swap
+# ----------------------------------------------------------------------
+
+def scenario_retrain(workdir, *, quick, chunk, epochs,
+                     drift_factor=1.8) -> dict:
+    server = RegionServer()
+    bin_h = _make_harness("binomial", workdir / "retrain", quick=quick,
+                          chunk=chunk, server=server)
+    _train(bin_h, epochs=epochs, quick=quick)
+    bonds_h = _make_harness("bonds", workdir / "retrain", quick=quick,
+                            chunk=chunk, server=server)
+    _train(bonds_h, epochs=epochs, quick=quick)
+
+    bonds_acc = bonds_h.run_accurate()
+    base_pure = _relative(bin_h.run_surrogate(), bin_h.run_accurate())
+
+    # Accurate reference for the *drifted* binomial workload, computed
+    # directly from the kernel (the server never sees this run).
+    drifted = bin_h.test_opts.copy()
+    drifted[:, 0] *= drift_factor
+    drifted_acc = binomial_app.kernel.price_american(
+        drifted, n_steps=bin_h.n_steps)
+
+    budget = float(max(4.0 * base_pure, 0.06))
+    arbiter = QoSArbiter(
+        budget, shadow_rate=0.3, seed=7, warmup=2, rebalance_every=16,
+        pessimistic=True,
+        policies=[DriftBurstPolicy(burst=24, threshold=0.05, delta=0.005,
+                                   burn_in=2)])
+    server.attach_qos(arbiter)
+
+    worker = RetrainWorker(seed=1)
+    retrain_epochs = 8 if quick else 30
+
+    def build(xt, yt):
+        return bin_h.make_builder(xt, yt)(ARCHS["binomial"], seed=11)
+
+    worker.watch("binomial", bin_h.db_path, bin_h.model_path, build=build,
+                 trainer_kwargs=dict(max_epochs=retrain_epochs,
+                                     **TRAIN_PARAMS["binomial"]),
+                 min_new_rows=32, engines=[bin_h.engine], qos=arbiter)
+    worker.start(interval=0.05)
+
+    def serve_binomial(rows):
+        prices = np.empty(len(rows))
+        for start in range(0, len(rows), chunk):
+            block = np.ascontiguousarray(rows[start:start + chunk])
+            b = len(block)
+            server.invoke("binomial", block, prices[start:start + b], b,
+                          use_model=True)
+        server.flush("binomial")
+        return prices
+
+    # In-distribution phase first: the drift detector needs a baseline
+    # error level to register the shift against, and the arbiter's
+    # ledger learns that this region is cheap.
+    serve_binomial(bin_h.test_opts)
+
+    # Drift hits: shadow errors climb, Page-Hinkley fires, collect
+    # bursts append drifted rows to the DB while serving continues.
+    serve_binomial(drifted)
+    pre_stats = arbiter.stats_for("binomial")
+    pre_error = float(pre_stats.mean) if pre_stats.count else None
+
+    # The background worker retrains on the refreshed DB and hot-swaps;
+    # stop() runs a final poll, so a refresh that landed after the last
+    # tick is still honored.
+    deadline = time.time() + 60.0
+    while not worker.events and time.time() < deadline:
+        time.sleep(0.05)
+    worker.stop()
+    hot_swapped = len(worker.events) > 0
+
+    # Post-swap serving: same server object, never restarted.
+    post_prices = serve_binomial(drifted)
+    post_dep = _relative(post_prices, drifted_acc)
+    post_stats = arbiter.stats_for("binomial")
+    post_error = float(post_stats.mean) if post_stats.count else None
+    bonds_dep = _relative(bonds_h.run_surrogate(), bonds_acc)
+    server.detach_qos()
+
+    return {
+        "budget": budget,
+        "drift_factor": drift_factor,
+        "base_pure_relative_error": base_pure,
+        "pre_retrain_shadow_ewma": pre_error,
+        "post_retrain_shadow_ewma": post_error,
+        "hot_swapped": hot_swapped,
+        "server_restarted": False,
+        "retrains": [e.as_dict() for e in worker.events],
+        "drift_bursts": arbiter.snapshot()["policy"]["members"][0]["drifts"],
+        "binomial_deployed_relative_error": post_dep,
+        "bonds_deployed_relative_error": bonds_dep,
+        "both_under_budget": bool(post_dep <= budget
+                                  and bonds_dep <= budget),
+    }
+
+
+# ----------------------------------------------------------------------
+
+def run_benchmark(workdir, *, quick: bool = False, chunk: int = 16,
+                  epochs: int = 40) -> dict:
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    latency = scenario_latency(workdir, quick=quick, chunk=chunk,
+                               epochs=epochs)
+    throughput = scenario_throughput(workdir, quick=quick, chunk=chunk,
+                                     epochs=epochs)
+    arbitration = scenario_arbitration(workdir, quick=quick, chunk=chunk,
+                                       epochs=epochs)
+    retrain = scenario_retrain(workdir, quick=quick, chunk=chunk,
+                               epochs=epochs)
+    return {
+        "schema": SCHEMA,
+        "config": {"quick": quick, "chunk": chunk, "epochs": epochs},
+        "latency": latency,
+        "throughput": throughput,
+        "arbitration": arbitration,
+        "retrain": retrain,
+        "summary": {
+            "latency_ratio": latency["ratio"],
+            "latency_within_5pct": bool(latency["ratio"] <= 1.05),
+            "thread_vs_serial_throughput": throughput["thread_vs_serial"],
+            "arbitration_compliant": arbitration["compliant"],
+            "retrain_hot_swapped": retrain["hot_swapped"],
+            "retrain_both_under_budget": retrain["both_under_budget"],
+        },
+    }
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_serving.json",
+                        help="output JSON path")
+    parser.add_argument("--workdir", default=None,
+                        help="scratch dir (default: temp dir)")
+    parser.add_argument("--epochs", type=int, default=40)
+    parser.add_argument("--chunk", type=int, default=16,
+                        help="serving invocation chunk (rows)")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny sizes for smoke testing")
+    args = parser.parse_args(argv)
+
+    kwargs = dict(quick=args.quick, chunk=args.chunk,
+                  epochs=min(args.epochs, 30) if args.quick else args.epochs)
+    if args.workdir is None:
+        import tempfile
+        with tempfile.TemporaryDirectory() as tmp:
+            results = run_benchmark(tmp, **kwargs)
+    else:
+        results = run_benchmark(args.workdir, **kwargs)
+
+    out = Path(args.out)
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out}")
+    lat = results["latency"]
+    print(f"latency: server/direct ratio {lat['ratio']:.3f} "
+          f"({lat['server_overhead_us_per_invocation']:+.1f} us/invocation)")
+    thr = results["throughput"]
+    for backend, row in thr["backends"].items():
+        print(f"throughput[{backend}]: {row['rows_per_second']:,.0f} rows/s")
+    arb = results["arbitration"]
+    print(f"arbitration: budget {arb['budget']:.3g} | strong deployed "
+          f"{arb['strong']['deployed_relative_error']:.3g} "
+          f"(infer share {arb['strong']['infer_share']:.2f}) | weak "
+          f"deployed {arb['weak']['deployed_relative_error']:.3g} "
+          f"(pure {arb['weak']['pure_relative_error']:.3g}) | "
+          f"compliant={arb['compliant']}")
+    ret = results["retrain"]
+    print(f"retrain: bursts {ret['drift_bursts']}, hot_swapped="
+          f"{ret['hot_swapped']}, shadow ewma "
+          f"{ret['pre_retrain_shadow_ewma']} -> "
+          f"{ret['post_retrain_shadow_ewma']}, both regions under budget "
+          f"{ret['budget']:.3g}: {ret['both_under_budget']}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,157 @@
+"""Multi-region serving: one server, one error budget, online retrain.
+
+Two benchmarks — Binomial-Options and Bonds — register their
+approximated regions on a single :class:`~repro.serving.RegionServer`.
+A :class:`~repro.serving.QoSArbiter` splits one global error budget
+across both regions, and a :class:`~repro.serving.RetrainWorker` runs
+in the background watching their training databases.
+
+The walkthrough then drifts the Binomial workload (spot prices jump):
+shadow validation sees the error climb, the drift detector answers
+with a collection burst that refreshes the training DB with rows from
+the drifted distribution, the worker retrains in the background and
+**hot-swaps** the model file under the live server — no restart — and
+serving recovers, with both regions' deployed QoI errors back under
+the shared budget.
+
+Run:  PYTHONPATH=src python examples/serve_multi_region.py
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.apps import binomial as binomial_app
+from repro.apps.harness import BinomialHarness, BondsHarness
+from repro.nn import Trainer
+from repro.qos import DriftBurstPolicy
+from repro.serving import QoSArbiter, RegionServer, RetrainWorker
+
+ARCHS = {
+    "binomial": {"hidden1_features": 48, "hidden2_features": 24},
+    # Bonds regresses two outputs (value + accrued interest); it needs
+    # the wider Table IV size to serve its QoI accurately.
+    "bonds": {"hidden1_features": 96, "hidden2_features": 48},
+}
+EPOCHS = {"binomial": 40, "bonds": 80}
+
+
+def train(harness, seed=0):
+    harness.collect()
+    (xt, yt), (xv, yv) = harness.training_arrays()
+    model = harness.make_builder(xt, yt)(ARCHS[harness.name], seed=seed)
+    result = Trainer(model, lr=3e-3, batch_size=128,
+                     max_epochs=EPOCHS[harness.name],
+                     patience=30, seed=seed).fit(xt, yt, xv, yv)
+    harness.install_model(model)
+    return result.best_val_loss
+
+
+def relative(pred, ref):
+    return float(np.linalg.norm(pred - ref) / np.linalg.norm(ref))
+
+
+def serve_binomial(server, options, chunk=16):
+    prices = np.empty(len(options))
+    for start in range(0, len(options), chunk):
+        block = np.ascontiguousarray(options[start:start + chunk])
+        n = len(block)
+        server.invoke("binomial", block, prices[start:start + n], n,
+                      use_model=True)
+    server.flush("binomial")
+    return prices
+
+
+def main():
+    workdir = Path(tempfile.mkdtemp(prefix="hpacml_serve_"))
+
+    # One server hosts both regions; each harness registers its region
+    # on it instead of wiring a private controller.
+    server = RegionServer()
+    binomial_h = BinomialHarness(workdir / "binomial", n_train=2048,
+                                 n_test=512, n_steps=48, deploy_chunk=16,
+                                 server=server)
+    bonds_h = BondsHarness(workdir / "bonds", n_train=2048, n_test=512,
+                           deploy_chunk=16, server=server)
+    print("training both surrogates...")
+    for harness in (binomial_h, bonds_h):
+        val = train(harness)
+        print(f"  {harness.name:9s} val loss {val:.2e}")
+    print(f"server: {server}")
+
+    # References for deployed-error reporting (computed unmonitored).
+    bin_acc = binomial_h.run_accurate()
+    bonds_acc = bonds_h.run_accurate()
+    base_err = max(relative(binomial_h.run_surrogate(), bin_acc),
+                   relative(bonds_h.run_surrogate(), bonds_acc))
+
+    budget = max(3.0 * base_err, 0.06)
+    arbiter = QoSArbiter(
+        budget, shadow_rate=0.3, seed=0, warmup=2, pessimistic=True,
+        policies=[DriftBurstPolicy(burst=24, threshold=0.05, burn_in=2)])
+    server.attach_qos(arbiter)
+    print(f"\nglobal error budget {budget:.3f} shared by "
+          f"{len(server.names)} regions")
+
+    # Background retrainer: watches the binomial DB for drift-burst
+    # refreshes; on retrain it hot-swaps the model file and resets the
+    # arbiter's stale error stats for the region.
+    worker = RetrainWorker(seed=1)
+    worker.watch("binomial", binomial_h.db_path, binomial_h.model_path,
+                 build=lambda xt, yt:
+                 binomial_h.make_builder(xt, yt)(ARCHS["binomial"],
+                                                 seed=11),
+                 trainer_kwargs=dict(lr=3e-3, batch_size=128,
+                                     max_epochs=30, patience=12),
+                 min_new_rows=32, engines=[binomial_h.engine], qos=arbiter)
+    worker.start(interval=0.1)
+
+    print("\nserving both regions in-distribution...")
+    serve_binomial(server, binomial_h.test_opts)
+    bonds_dep = relative(bonds_h.run_surrogate(), bonds_acc)
+    stats = arbiter.stats_for("binomial")
+    print(f"  binomial shadow ewma {stats.mean:.4f}; bonds deployed "
+          f"error {bonds_dep:.4f}")
+
+    print("\nworkload drifts: binomial spot prices jump 1.8x...")
+    drifted = binomial_h.test_opts.copy()
+    drifted[:, 0] *= 1.8
+    drifted_acc = binomial_app.kernel.price_american(
+        drifted, n_steps=binomial_h.n_steps)
+    serve_binomial(server, drifted)
+    stats = arbiter.stats_for("binomial")
+    drifts = arbiter.snapshot()["policy"]["members"][0]["drifts"]
+    print(f"  shadow ewma {stats.mean:.4f}; drift events {drifts}; "
+          "collect bursts refreshed the training DB")
+
+    deadline = time.time() + 60.0
+    while not worker.events and time.time() < deadline:
+        time.sleep(0.05)
+    worker.stop()
+    for event in worker.events:
+        print(f"  background retrain: {event.new_rows} fresh rows, "
+              f"val loss {event.val_loss:.2e}, hot-swapped in "
+              f"{event.seconds:.1f}s — server never restarted")
+
+    print("\nserving the drifted workload with the hot-swapped model...")
+    post_prices = serve_binomial(server, drifted)
+    bonds_dep = relative(bonds_h.run_surrogate(), bonds_acc)
+    bin_dep = relative(post_prices, drifted_acc)
+    stats = arbiter.stats_for("binomial")
+    print(f"  binomial shadow ewma {stats.mean:.4f}, deployed error "
+          f"{bin_dep:.4f}; bonds deployed error {bonds_dep:.4f}")
+    ok = bin_dep <= budget and bonds_dep <= budget
+    print(f"  both regions under the global budget {budget:.3f}: {ok}")
+
+    rollup = arbiter.snapshot()["rollup"]
+    print(f"\nfleet roll-up: {rollup['invocations']} invocations across "
+          f"{rollup['regions']} regions, infer fraction "
+          f"{rollup['infer_fraction']:.2f}, "
+          f"{rollup['shadow_invocations']} shadow validations")
+    server.detach_qos()
+
+
+if __name__ == "__main__":
+    main()

@@ -44,7 +44,8 @@ def approx_ml(directives: str, *, name: str | None = None,
               engine: InferenceEngine | None = None,
               event_log: EventLog | None = None,
               qos=None, auto_batch: bool = False,
-              max_batch_rows: int = 256):
+              max_batch_rows: int = 256,
+              row_subsample: bool | None = None):
     """Annotate a function as an HPAC-ML approximable code region.
 
     Parameters
@@ -72,6 +73,17 @@ def approx_ml(directives: str, *, name: str | None = None,
         :class:`repro.runtime.BatchedInferenceEngine` so deploy loops
         coalesce invocations (only for invocations independent of each
         other's outputs; call ``region.flush()`` before reading).
+    row_subsample:
+        Whether QoS shadow validation may run the accurate kernel on a
+        row subset of a shadowed invocation (the controller's
+        ``shadow_rows`` knob).  ``None`` derives eligibility from the
+        tensor maps; pass ``False`` for kernels whose batch rows are
+        not computed independently (auto-regressive or cross-row
+        stateful regions).
+
+    Serving many regions at once — shared scheduling, one global error
+    budget, online retrain/hot-swap — is :mod:`repro.serving`
+    (:class:`~repro.serving.RegionServer`).
     """
 
     def decorate(func) -> ApproxRegion:
@@ -79,7 +91,8 @@ def approx_ml(directives: str, *, name: str | None = None,
                               engine=engine,
                               event_log=event_log or default_event_log,
                               qos=qos, auto_batch=auto_batch,
-                              max_batch_rows=max_batch_rows)
+                              max_batch_rows=max_batch_rows,
+                              row_subsample=row_subsample)
         return ApproxRegion(func, directives, name=name, config=config)
 
     return decorate

@@ -60,9 +60,12 @@ def build_region(*, mode: str = "predicated",
                  model_path: str = "binomial.rnm",
                  event_log: EventLog | None = None, engine=None,
                  auto_batch: bool = False, max_batch_rows: int = 256):
+    # Options price independently: shadow validation may sub-sample
+    # rows of an invocation (``QoSController(shadow_rows=...)``).
     @approx_ml(DIRECTIVES.format(mode=mode, db=db_path, model=model_path),
                name="binomial", event_log=event_log, engine=engine,
-               auto_batch=auto_batch, max_batch_rows=max_batch_rows)
+               auto_batch=auto_batch, max_batch_rows=max_batch_rows,
+               row_subsample=True)
     def price_portfolio(options, prices, NOPT, use_model=False):
         prices[:NOPT] = price_american(options[:NOPT], n_steps=n_steps)
 

@@ -70,9 +70,12 @@ def build_region(*, mode: str = "predicated",
                  db_path: str = "bonds.rh5", model_path: str = "bonds.rnm",
                  event_log: EventLog | None = None, engine=None,
                  auto_batch: bool = False, max_batch_rows: int = 256):
+    # Bonds value independently: shadow validation may sub-sample rows
+    # of an invocation (``QoSController(shadow_rows=...)``).
     @approx_ml(DIRECTIVES.format(mode=mode, db=db_path, model=model_path),
                name="bonds", event_log=event_log, engine=engine,
-               auto_batch=auto_batch, max_batch_rows=max_batch_rows)
+               auto_batch=auto_batch, max_batch_rows=max_batch_rows,
+               row_subsample=True)
     def value_bonds(bonds, values, accrued, NB, use_model=False):
         values[:NB] = bond_values(bonds[:NB])
         bond_yields(bonds[:NB], values[:NB])   # iterative YTM solve

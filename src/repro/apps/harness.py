@@ -24,12 +24,14 @@ from ..nn import Destandardize, Sequential, Standardize, mse_loss, save_model
 from ..nn.training import train_val_split
 from ..search.builders import builder_for
 from ..runtime import EventLog, InferenceEngine, Phase, load_training_data
+from ..serving import RegionServer
 from . import binomial, bonds, minibude, miniweather, particlefilter
 from .base import REGISTRY, qoi_error_fn
 
 __all__ = ["DeploymentMetrics", "QoSDeploymentMetrics", "AppHarness",
-           "MiniBudeHarness", "BinomialHarness", "BondsHarness",
-           "ParticleFilterHarness", "MiniWeatherHarness", "harness_for"]
+           "RowBatchedHarness", "MiniBudeHarness", "BinomialHarness",
+           "BondsHarness", "ParticleFilterHarness", "MiniWeatherHarness",
+           "harness_for"]
 
 
 @dataclass
@@ -90,7 +92,8 @@ class AppHarness:
     supports_auto_batch: bool = True
 
     def __init__(self, workdir, seed: int = 0, auto_batch: bool = False,
-                 batch_rows: int = 256, deploy_chunk: int | None = None):
+                 batch_rows: int = 256, deploy_chunk: int | None = None,
+                 server: RegionServer | None = None):
         self.workdir = Path(workdir)
         self.workdir.mkdir(parents=True, exist_ok=True)
         self.seed = seed
@@ -109,6 +112,12 @@ class AppHarness:
         self.info = REGISTRY[self.name]
         self.error_fn = qoi_error_fn(self.info.metric)
         self._setup()
+        # Every harness serves through a RegionServer: its own (serial
+        # backend, the latency baseline) or a shared one — the
+        # multi-region deployment story, where several harnesses
+        # register their regions on one server under one arbiter.
+        self.server = server if server is not None else RegionServer()
+        self.server.register(self.deploy_region, name=self.name)
 
     # subclass hooks ----------------------------------------------------
     def _setup(self) -> None:
@@ -118,13 +127,17 @@ class AppHarness:
         """Run the region in collection mode over the training workload."""
         raise NotImplementedError
 
+    def _run(self, use_model: bool) -> np.ndarray:
+        """Drive the deployment workload through the server; returns QoI."""
+        raise NotImplementedError
+
     def run_accurate(self) -> np.ndarray:
         """Accurate path on the *test* workload; returns QoI."""
-        raise NotImplementedError
+        return self._run(False)
 
     def run_surrogate(self) -> np.ndarray:
         """Inference path on the *test* workload; returns QoI."""
-        raise NotImplementedError
+        return self._run(True)
 
     def builder_kwargs(self) -> dict:
         return {}
@@ -249,8 +262,7 @@ class AppHarness:
         # Accumulated across repeats, like the controller's own
         # shadow/telemetry counters, so the row reconciles.
         path_counts: dict = {}
-        prev_qos = region.config.qos
-        region.config.qos = controller
+        prev_qos = self.server.attach_qos(controller, names=[self.name])
         try:
             for _ in range(repeats):
                 before = len(self.events.records)
@@ -264,7 +276,7 @@ class AppHarness:
                 for r in recs:
                     path_counts[r.path] = path_counts.get(r.path, 0) + 1
         finally:
-            region.config.qos = prev_qos
+            self.server.restore_qos(prev_qos)
         accurate_time = float(np.mean(acc_times))
         deployed_time = float(np.mean(dep_times))
         error = float(self.error_fn(qoi_sur, self.reference_qoi(qoi_acc)))
@@ -323,10 +335,68 @@ class AppHarness:
 
 
 # ----------------------------------------------------------------------
-# MLP-family harnesses: pose/option/bond batch evaluation
+# Row-batched harnesses: one server-driven deploy loop for every app
+# whose test workload is a batch of independent rows.
 # ----------------------------------------------------------------------
 
-class MiniBudeHarness(AppHarness):
+class RowBatchedHarness(AppHarness):
+    """Shared deploy loop for row-batched benchmarks.
+
+    The five per-app ``_run`` loops used to be near-identical copies;
+    this base collapses them into one server-driven path.  Subclasses
+    declare the workload shape — :meth:`test_inputs` (the test rows),
+    :attr:`output_shapes` (per-row inner shape of each output buffer),
+    :attr:`qoi_index` (which buffer is the QoI), and optionally
+    :meth:`extra_invoke_args` / :meth:`deploy_chunk_for` — and the base
+    chunks the rows, allocates output buffers, and submits each chunk
+    through ``self.server`` (output views into the result buffers, so
+    a batched engine's deferred scatter lands through them at the
+    drain).
+    """
+
+    #: Per-row inner shape of each output buffer, in region-argument
+    #: order; e.g. ``((), ())`` for bonds' value/accrued pair.
+    output_shapes: tuple = ((),)
+    #: Which output buffer is the QoI.
+    qoi_index: int = 0
+
+    def test_inputs(self) -> np.ndarray:
+        """The ``(n_test, *row)`` deployment workload rows."""
+        raise NotImplementedError
+
+    def extra_invoke_args(self) -> tuple:
+        """Trailing region arguments after the row count (e.g. H, W)."""
+        return ()
+
+    def deploy_chunk_for(self, use_model: bool, n_test: int) -> int:
+        """Invocation chunk size for one deployment run."""
+        return self.deploy_chunk or n_test
+
+    def _run(self, use_model: bool) -> np.ndarray:
+        rows = self.test_inputs()
+        n_test = len(rows)
+        outs = [np.empty((n_test, *shape)) for shape in self.output_shapes]
+        chunk = self.deploy_chunk_for(use_model, n_test)
+        extra = self.extra_invoke_args()
+        invoke = self.server.invoke
+        pending = []
+        for start in range(0, n_test, chunk):
+            block = np.ascontiguousarray(rows[start:start + chunk])
+            n = len(block)
+            views = [out[start:start + n] for out in outs]
+            result = invoke(self.name, block, *views, n, *extra,
+                            use_model=use_model)
+            if result is not None and hasattr(result, "result"):
+                pending.append(result)      # threaded backend: a Future
+        self.server.flush(self.name)
+        # Re-raise any worker-thread invocation failure: returning the
+        # uninitialized output buffers as QoI would be silently wrong.
+        for future in pending:
+            future.result()
+        return outs[self.qoi_index].copy()
+
+
+class MiniBudeHarness(RowBatchedHarness):
     name = "minibude"
 
     def __init__(self, workdir, seed: int = 0, n_train: int = 2048,
@@ -356,30 +426,14 @@ class MiniBudeHarness(AppHarness):
             self.collect_region(block, out, len(block), use_model=False)
         self.collect_region.flush()
 
-    def _run(self, use_model: bool) -> np.ndarray:
-        energies = np.empty(self.n_test)
-        chunk = self.deploy_chunk or self.n_test
-        for start in range(0, self.n_test, chunk):
-            block = np.ascontiguousarray(self.test_poses[start:start + chunk])
-            n = len(block)
-            # Output views into the result buffer: a batched engine's
-            # deferred scatter lands through them at flush time.
-            self.region(block, energies[start:start + n], n,
-                        use_model=use_model)
-        self.region.flush()
-        return energies.copy()
-
-    def run_accurate(self) -> np.ndarray:
-        return self._run(False)
-
-    def run_surrogate(self) -> np.ndarray:
-        return self._run(True)
+    def test_inputs(self) -> np.ndarray:
+        return self.test_poses
 
     def builder_kwargs(self) -> dict:
         return {"in_features": 6, "out_features": 1}
 
 
-class BinomialHarness(AppHarness):
+class BinomialHarness(RowBatchedHarness):
     name = "binomial"
 
     def __init__(self, workdir, seed: int = 0, n_train: int = 4096,
@@ -407,29 +461,17 @@ class BinomialHarness(AppHarness):
             self.collect_region(block, out, len(block), use_model=False)
         self.collect_region.flush()
 
-    def _run(self, use_model: bool) -> np.ndarray:
-        prices = np.empty(self.n_test)
-        chunk = self.deploy_chunk or self.n_test
-        for start in range(0, self.n_test, chunk):
-            block = np.ascontiguousarray(self.test_opts[start:start + chunk])
-            n = len(block)
-            self.region(block, prices[start:start + n], n,
-                        use_model=use_model)
-        self.region.flush()
-        return prices.copy()
-
-    def run_accurate(self) -> np.ndarray:
-        return self._run(False)
-
-    def run_surrogate(self) -> np.ndarray:
-        return self._run(True)
+    def test_inputs(self) -> np.ndarray:
+        return self.test_opts
 
     def builder_kwargs(self) -> dict:
         return {"in_features": 5, "out_features": 1}
 
 
-class BondsHarness(AppHarness):
+class BondsHarness(RowBatchedHarness):
     name = "bonds"
+    output_shapes = ((), ())
+    qoi_index = 1              # QoI: accrued interest (Table I)
 
     def __init__(self, workdir, seed: int = 0, n_train: int = 4096,
                  n_test: int = 1024, **kwargs):
@@ -458,23 +500,8 @@ class BondsHarness(AppHarness):
                                 use_model=False)
         self.collect_region.flush()
 
-    def _run(self, use_model: bool) -> np.ndarray:
-        values = np.empty(self.n_test)
-        accrued = np.empty(self.n_test)
-        chunk = self.deploy_chunk or self.n_test
-        for start in range(0, self.n_test, chunk):
-            block = np.ascontiguousarray(self.test_bonds[start:start + chunk])
-            n = len(block)
-            self.region(block, values[start:start + n],
-                        accrued[start:start + n], n, use_model=use_model)
-        self.region.flush()
-        return accrued.copy()   # QoI: accrued interest (Table I)
-
-    def run_accurate(self) -> np.ndarray:
-        return self._run(False)
-
-    def run_surrogate(self) -> np.ndarray:
-        return self._run(True)
+    def test_inputs(self) -> np.ndarray:
+        return self.test_bonds
 
     def builder_kwargs(self) -> dict:
         return {"in_features": 5, "out_features": 2}
@@ -484,8 +511,9 @@ class BondsHarness(AppHarness):
 # ParticleFilter: CNN per frame; error judged against ground truth
 # ----------------------------------------------------------------------
 
-class ParticleFilterHarness(AppHarness):
+class ParticleFilterHarness(RowBatchedHarness):
     name = "particlefilter"
+    output_shapes = ((2,),)
 
     def __init__(self, workdir, seed: int = 0, n_train_frames: int = 192,
                  n_test_frames: int = 64, frame_size: int = 32,
@@ -525,28 +553,17 @@ class ParticleFilterHarness(AppHarness):
             region(block, locs, len(block), h, w, use_model=False)
             region.flush()
 
-    def _run(self, use_model: bool) -> np.ndarray:
-        h = w = self.frame_size
-        locs = np.empty((self.n_test_frames, 2))
+    def test_inputs(self) -> np.ndarray:
+        return self.test_video.frames
+
+    def extra_invoke_args(self) -> tuple:
+        return (self.frame_size, self.frame_size)
+
+    def deploy_chunk_for(self, use_model: bool, n_test: int) -> int:
         # The filter carries state across frames, so the accurate path
         # always runs as one invocation (chunking would re-seed it);
         # only the per-frame CNN deploy loop honors deploy_chunk.
-        chunk = (self.deploy_chunk or self.n_test_frames) if use_model \
-            else self.n_test_frames
-        for start in range(0, self.n_test_frames, chunk):
-            block = np.ascontiguousarray(
-                self.test_video.frames[start:start + chunk])
-            n = len(block)
-            self.region(block, locs[start:start + n], n, h, w,
-                        use_model=use_model)
-        self.region.flush()
-        return locs.copy()
-
-    def run_accurate(self) -> np.ndarray:
-        return self._run(False)
-
-    def run_surrogate(self) -> np.ndarray:
-        return self._run(True)
+        return (self.deploy_chunk or n_test) if use_model else n_test
 
     def reference_qoi(self, qoi_accurate: np.ndarray) -> np.ndarray:
         """PF error is judged against ground truth, not the filter."""
@@ -598,6 +615,19 @@ class MiniWeatherHarness(AppHarness):
     def deploy_region(self):
         return self.timestep.region
 
+    def _step(self, u: np.ndarray, use_model: bool) -> None:
+        """One deploy-path timestep, through the server.
+
+        Auto-regressive: step t+1 consumes step t's in-place update of
+        ``u``, so a threaded backend's Future is resolved immediately —
+        the march is inherently sequential, but it still flows through
+        the serving surface (counters, QoS wiring, fleet snapshot).
+        """
+        result = self.server.invoke(self.name, u, self.nz, self.nx,
+                                    use_model=use_model)
+        if result is not None and hasattr(result, "result"):
+            result.result()
+
     def _fresh_u(self) -> np.ndarray:
         return np.ascontiguousarray(self._initial_q[None].copy())
 
@@ -619,10 +649,10 @@ class MiniWeatherHarness(AppHarness):
         """
         u = self._fresh_u()
         for _ in range(self.train_steps):     # reach the test window
-            self.timestep(u, use_model=False)
+            self._step(u, use_model=False)
         self.window_record_start = len(self.events.records)
         for i in range(n_steps):
-            self.timestep(u, use_model=bool(schedule(i)))
+            self._step(u, use_model=bool(schedule(i)))
         return u[0].copy()
 
     def window_seconds(self) -> float:
@@ -650,12 +680,12 @@ class MiniWeatherHarness(AppHarness):
         u_acc = self._fresh_u()
         u_sur = self._fresh_u()
         for _ in range(self.train_steps):
-            self.timestep(u_acc, use_model=False)
+            self._step(u_acc, use_model=False)
         u_sur[...] = u_acc
         errors = []
         for i in range(n_steps):
-            self.timestep(u_acc, use_model=False)
-            self.timestep(u_sur, use_model=bool(schedule(i)))
+            self._step(u_acc, use_model=False)
+            self._step(u_sur, use_model=bool(schedule(i)))
             errors.append(float(np.sqrt(np.mean((u_sur - u_acc) ** 2))))
         return np.array(errors)
 

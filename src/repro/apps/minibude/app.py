@@ -67,9 +67,12 @@ def build_region(*, mode: str = "predicated",
     """Create the annotated region; ``deck`` is captured like the
     application's constant global docking data."""
 
+    # Poses score independently: shadow validation may sub-sample rows
+    # of an invocation (``QoSController(shadow_rows=...)``).
     @approx_ml(DIRECTIVES.format(mode=mode, db=db_path, model=model_path),
                name="minibude", event_log=event_log, engine=engine,
-               auto_batch=auto_batch, max_batch_rows=max_batch_rows)
+               auto_batch=auto_batch, max_batch_rows=max_batch_rows,
+               row_subsample=True)
     def score_poses(poses, energies, NP, use_model=False):
         energies[:NP] = binding_energies(deck, poses[:NP])
 

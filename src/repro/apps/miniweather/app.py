@@ -103,8 +103,11 @@ def build_region(*, mode: str = "predicated",
     """
     nz, nx = state.config.nz, state.config.nx
 
+    # Auto-regressive stepping on a batch of one: shadow row
+    # sub-sampling can never apply — opt out explicitly.
     @approx_ml(DIRECTIVES.format(mode=mode, db=db_path, model=model_path),
-               name="miniweather", event_log=event_log, engine=engine)
+               name="miniweather", event_log=event_log, engine=engine,
+               row_subsample=False)
     def do_timestep(u, NZ, NX, use_model=False):
         st = WeatherState(q=u[0], hy_dens=state.hy_dens,
                           hy_dens_theta=state.hy_dens_theta,

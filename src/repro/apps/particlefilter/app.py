@@ -73,9 +73,13 @@ def build_region(*, mode: str = "predicated",
     filter's estimates, so the surrogate can learn to beat the filter.
     """
 
+    # The filter carries particle state across the frames of an
+    # invocation, so validating a row subset would re-seed it on a
+    # different trajectory: shadow row sub-sampling is unsound here.
     @approx_ml(DIRECTIVES.format(mode=mode, db=db_path, model=model_path),
                name="particlefilter", event_log=event_log, engine=engine,
-               auto_batch=auto_batch, max_batch_rows=max_batch_rows)
+               auto_batch=auto_batch, max_batch_rows=max_batch_rows,
+               row_subsample=False)
     def track(frames, locations, NF, H, W, use_model=False):
         if collect_truth is not None and not use_model:
             locations[:NF] = collect_truth[:NF]

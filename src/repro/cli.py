@@ -10,6 +10,9 @@ code:
   report speedup/error (a one-benchmark Fig. 5 row).
 * ``search``     — run the nested BO architecture search (§V-C) and
   print the Pareto front.
+* ``serve``      — collect/train several benchmarks, then serve all of
+  their regions from one ``RegionServer`` under a single
+  ``QoSArbiter`` error budget and print the fleet roll-up.
 """
 
 from __future__ import annotations
@@ -104,6 +107,75 @@ def _cmd_search(args) -> int:
     return 0
 
 
+#: Laptop-scale harness sizes for `serve` (keyed by --rows for the
+#: row-batched apps; miniweather is step-bounded instead).
+def _serve_params(name: str, rows: int) -> dict:
+    return {
+        "minibude": dict(n_train=1024, n_test=rows),
+        "binomial": dict(n_train=1024, n_test=rows, n_steps=48),
+        "bonds": dict(n_train=1024, n_test=rows),
+        "particlefilter": dict(n_train_frames=192,
+                               n_test_frames=min(rows, 64)),
+        "miniweather": dict(nx=32, nz=16, train_steps=120, test_steps=30),
+    }[name]
+
+
+def _cmd_serve(args) -> int:
+    from pathlib import Path
+
+    from .apps.harness import harness_for
+    from .nn import Trainer
+    from .serving import (QoSArbiter, RegionServer, SerialBackend,
+                          ThreadPoolBackend)
+
+    workdir = Path(_workdir(args))
+    backend = ThreadPoolBackend() if args.backend == "thread" \
+        else SerialBackend()
+    server = RegionServer(backend=backend)
+    harnesses = []
+    for name in args.benchmarks:
+        print(f"[{name}] collecting + training...")
+        harness = harness_for(name, workdir / name, seed=args.seed,
+                              deploy_chunk=args.chunk, server=server,
+                              **_serve_params(name, args.rows))
+        harness.collect()
+        (xt, yt), (xv, yv) = harness.training_arrays()
+        model = harness.make_builder(xt, yt)(_DEFAULT_ARCH[name],
+                                             seed=args.seed)
+        Trainer(model, lr=2e-3, batch_size=128, max_epochs=args.epochs,
+                patience=max(5, args.epochs // 4),
+                seed=args.seed).fit(xt, yt, xv, yv)
+        harness.install_model(model)
+        harnesses.append(harness)
+
+    arbiter = QoSArbiter(args.budget, shadow_rate=args.shadow_rate,
+                         seed=args.seed, shadow_rows=args.shadow_rows)
+    server.attach_qos(arbiter)
+    print(f"serving {len(harnesses)} region(s) on "
+          f"{type(backend).__name__} under a global error budget "
+          f"of {args.budget}...")
+    for harness in harnesses:
+        harness.run_surrogate()
+    server.drain()
+
+    snap = arbiter.snapshot()
+    for name, st in snap["arbitration"]["regions"].items():
+        stats = snap["regions"].get(name, {})
+        ewma = stats.get("ewma_mean")
+        ewma = "n/a" if ewma is None else f"{ewma:.4g}"
+        print(f"  {name:14s} decisions {st['decisions']:5d}  "
+              f"inferred {st['inferred']:5d}  denied {st['denied']:5d}  "
+              f"ewma err {ewma}")
+    rollup = snap["rollup"]
+    print(f"global mean charge {snap['arbitration']['global_mean_charge']:.4g}"
+          f" (budget {args.budget}); infer fraction "
+          f"{rollup['infer_fraction']:.2f}; "
+          f"{rollup['shadow_invocations']} shadow validations")
+    server.detach_qos()
+    server.backend.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="HPAC-ML reproduction CLI")
@@ -130,11 +202,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.add_argument("--outer", type=int, default=6)
     p_search.add_argument("--inner", type=int, default=3)
     p_search.add_argument("--epochs", type=int, default=12)
+
+    p_serve = sub.add_parser(
+        "serve", help="multi-region RegionServer under one QoS arbiter")
+    p_serve.add_argument("benchmarks", nargs="+",
+                         choices=sorted(_DEFAULT_ARCH))
+    p_serve.add_argument("--workdir", default=None)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--budget", type=float, default=0.05,
+                         help="global error budget (shadow-metric units)")
+    p_serve.add_argument("--shadow-rate", type=float, default=0.2)
+    p_serve.add_argument("--shadow-rows", type=int, default=None,
+                         help="validate at most N rows per shadowed "
+                              "invocation (row-batched regions)")
+    p_serve.add_argument("--backend", choices=("serial", "thread"),
+                         default="serial")
+    p_serve.add_argument("--epochs", type=int, default=20)
+    p_serve.add_argument("--chunk", type=int, default=32)
+    p_serve.add_argument("--rows", type=int, default=512,
+                         help="test rows per row-batched benchmark")
     return parser
 
 
 _COMMANDS = {"list": _cmd_list, "loc": _cmd_loc, "collect": _cmd_collect,
-             "evaluate": _cmd_evaluate, "search": _cmd_search}
+             "evaluate": _cmd_evaluate, "search": _cmd_search,
+             "serve": _cmd_serve}
 
 
 def main(argv=None) -> int:

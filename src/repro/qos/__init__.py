@@ -17,7 +17,8 @@ controller attached the runtime hot path is untouched.
 
 from .monitor import (EwmaStats, P2Quantile, PageHinkley, PathDecision,
                       QoSController, RegionErrorStats, ShadowValidator)
-from .policy import (CompositePolicy, DriftBurstPolicy, ErrorBudgetPolicy,
+from .policy import (BudgetArbitrationPolicy, CompositePolicy,
+                     DriftBurstPolicy, ErrorBudgetPolicy,
                      PeriodicRecalibrationPolicy, PolicyAction, QoSPolicy,
                      ThresholdPolicy)
 from .telemetry import QoSTelemetry, phase_summary
@@ -26,6 +27,7 @@ __all__ = [
     "EwmaStats", "P2Quantile", "PageHinkley", "RegionErrorStats",
     "ShadowValidator", "PathDecision", "QoSController",
     "QoSPolicy", "PolicyAction", "ThresholdPolicy", "ErrorBudgetPolicy",
-    "DriftBurstPolicy", "PeriodicRecalibrationPolicy", "CompositePolicy",
+    "DriftBurstPolicy", "PeriodicRecalibrationPolicy",
+    "BudgetArbitrationPolicy", "CompositePolicy",
     "QoSTelemetry", "phase_summary",
 ]

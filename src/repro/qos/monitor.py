@@ -291,6 +291,18 @@ class ShadowValidator:
             self.sampled += 1
         return hit
 
+    def row_subset(self, batch: int, rows: int) -> np.ndarray:
+        """Seeded sorted row indices for within-invocation sub-sampling.
+
+        Used by row-batched regions when the controller sets
+        ``shadow_rows``: the accurate kernel runs on these rows only.
+        Draws come from the validator's own generator, so a fixed seed
+        still reproduces the full validation schedule.
+        """
+        if rows >= batch:
+            return np.arange(batch)
+        return np.sort(self._rng.choice(batch, size=rows, replace=False))
+
     def error(self, predicted, accurate) -> float:
         return self._error_fn(predicted, accurate)
 
@@ -330,19 +342,30 @@ class QoSController:
     unmonitored run; ``"accurate"`` additionally corrects the state on
     every validated invocation (the right choice for auto-regressive
     regions, where corrections also cut error compounding).
+
+    ``shadow_rows`` caps how many rows of a shadowed invocation the
+    accurate kernel validates: row-batched regions (see
+    ``RegionConfig(row_subsample=...)``) run the kernel on a seeded
+    ``shadow_rows``-row subset instead of the whole batch, cutting the
+    dominant validation cost proportionally.  ``None`` validates full
+    batches.
     """
 
     def __init__(self, policy=None, shadow_rate: float = 0.1, seed: int = 0,
                  commit: str = "surrogate", metric: str = "relative",
                  alpha: float = 0.2, quantile: float = 0.95,
-                 telemetry: QoSTelemetry | None = None):
+                 telemetry: QoSTelemetry | None = None,
+                 shadow_rows: int | None = None):
         if commit not in ("surrogate", "accurate"):
             raise ValueError(f"commit must be 'surrogate' or 'accurate': "
                              f"{commit!r}")
+        if shadow_rows is not None and shadow_rows < 1:
+            raise ValueError(f"shadow_rows must be >= 1: {shadow_rows}")
         self.policy = policy
         self.validator = ShadowValidator(shadow_rate, seed=seed,
                                          metric=metric)
         self.commit = commit
+        self.shadow_rows = shadow_rows
         self.telemetry = telemetry or QoSTelemetry()
         self._alpha = alpha
         self._quantile = quantile
@@ -387,6 +410,15 @@ class QoSController:
         return PathDecision(path, shadow=shadow, commit=commit,
                             reason=reason)
 
+    def row_subset(self, batch: int):
+        """Seeded row indices for a sub-sampled shadow validation.
+
+        Regions call this (not the validator directly) so shared
+        controllers — :class:`repro.serving.QoSArbiter` — can serialize
+        the draw with the rest of the validator's RNG usage.
+        """
+        return self.validator.row_subset(batch, self.shadow_rows)
+
     def observe_shadow(self, region_name: str, predicted,
                        accurate) -> float:
         """Fold one validated invocation's error into the rolling stats."""
@@ -403,6 +435,7 @@ class QoSController:
         out = {
             "shadow_rate": self.validator.rate,
             "shadow_metric": self.validator.metric,
+            "shadow_rows": self.shadow_rows,
             "commit": self.commit,
             "regions": {name: stats.snapshot()
                         for name, stats in self._stats.items()},
@@ -411,6 +444,21 @@ class QoSController:
         if self.policy is not None:
             out["policy"] = self.policy.snapshot()
         return out
+
+    def reset_region(self, region_name: str) -> None:
+        """Forget one region's rolling stats (and policy state, for
+        policies that track per-region ledgers).
+
+        The model hot-swap hook: after a retrained surrogate replaces
+        the file, the old error estimates describe weights that no
+        longer serve, so the region re-enters through the policy's
+        warmup instead of being judged on its predecessor.
+        """
+        self._stats.pop(region_name, None)
+        if self.policy is not None:
+            reset = getattr(self.policy, "reset_region", None)
+            if reset is not None:
+                reset(region_name)
 
     def reset(self) -> None:
         self.validator.reset()

@@ -27,18 +27,28 @@ Policies included:
   as a policy: every ``period`` invocations, ``n_accurate`` run the
   accurate path (optionally collecting), bounding auto-regressive
   error compounding.
+* :class:`BudgetArbitrationPolicy` — the cross-region analogue of
+  :class:`ErrorBudgetPolicy`: one instance attached to a *shared*
+  controller (see :class:`repro.serving.QoSArbiter`) splits a single
+  global error budget across every region it serves, water-filling
+  per-region allocations from the observed error statistics so cheap
+  regions keep their inference share while expensive ones are forced
+  accurate.
 * :class:`CompositePolicy` — chains policies; the first override wins,
   every policy observes every error.
 """
 
 from __future__ import annotations
 
+import math
+
 from ..runtime.control import ExecutionPath
 from .monitor import PageHinkley, RegionErrorStats
 
 __all__ = ["PolicyAction", "QoSPolicy", "ThresholdPolicy",
            "ErrorBudgetPolicy", "DriftBurstPolicy",
-           "PeriodicRecalibrationPolicy", "CompositePolicy"]
+           "PeriodicRecalibrationPolicy", "BudgetArbitrationPolicy",
+           "CompositePolicy"]
 
 
 class PolicyAction:
@@ -269,6 +279,11 @@ class DriftBurstPolicy(QoSPolicy):
             return PolicyAction(ExecutionPath.COLLECT, reason="drift-burst")
         return None
 
+    def reset_region(self, region_name: str) -> None:
+        """Drop one region's detector and any in-flight burst (a model
+        hot-swap makes both describe weights that no longer serve)."""
+        self._state.pop(region_name, None)
+
     def snapshot(self):
         return {"policy": "drift_burst", "burst": self.burst,
                 "threshold": self.threshold, "drifts": self.drifts,
@@ -280,6 +295,221 @@ class DriftBurstPolicy(QoSPolicy):
     def reset(self):
         self._state.clear()
         self.drifts = 0
+
+
+class BudgetArbitrationPolicy(QoSPolicy):
+    """Split one global error budget across every served region.
+
+    A single instance rides a controller shared by *all* regions of a
+    server (the per-region dicts every policy here keeps become the
+    cross-region ledger).  Two invariants hold by construction:
+
+    * **arbitrated shares** — per-region allocations are recomputed
+      every ``rebalance_every`` decisions by water-filling: regions are
+      visited in ascending order of estimated error and granted their
+      full demand (traffic share × estimated cost) while budget mass
+      remains, every allocation capped at the global per-decision mass.
+      An invocation is admitted to inference only while its region's
+      *current* estimated cost fits its allocation — per-invocation
+      gating, not amortized averaging, because an "average" admission
+      of an expensive inference is exactly what pushes a region's
+      deployed L2 error past the budget.  A well-trained region's
+      demand is tiny, so it always fits; an untrained or drifted
+      region's demand exceeds its allocation and it is throttled onto
+      the accurate path.
+    * **global compliance** — every admitted inference is additionally
+      charged into a global ledger, and an admission is denied whenever
+      it would push the global mean charge per decision over the
+      per-decision budget mass (the backstop against many regions
+      simultaneously spending at their caps while estimates lag).
+
+    ``charge`` selects the accounting units.  ``"squared"`` (the
+    arbiter's default) charges ``estimate**2`` against
+    ``(budget * headroom)**2`` — RMS semantics, so a mix of admitted
+    inferences keeps the *L2/relative* deployed error under the budget
+    (the metric shadow validation measures); with linear charging an
+    occasional expensive admission can satisfy the mean yet blow the
+    L2.  ``"linear"`` charges the raw estimate (mean-error semantics,
+    matching :class:`ErrorBudgetPolicy`).
+
+    The first ``warmup`` observations per region are forced shadow
+    probes committing the accurate result (zero charge), so no region
+    is admitted on trust before its error has ever been measured; a
+    region with no estimate (NaN) is treated as infinitely expensive.
+    While a region is being denied, every ``probe_interval``-th denial
+    becomes a shadow probe (also committing accurate, also zero
+    charge): the estimate keeps tracking the live model, so a region
+    whose surrogate improves — e.g. after a retrain/hot-swap — earns
+    its inference share back.
+    """
+
+    def __init__(self, global_budget: float, headroom: float = 0.9,
+                 warmup: int = 2, rebalance_every: int = 32,
+                 probe_interval: int = 8, pessimistic: bool = False,
+                 charge: str = "squared"):
+        if global_budget <= 0:
+            raise ValueError(f"global_budget must be positive: "
+                             f"{global_budget}")
+        if not 0.0 < headroom <= 1.0:
+            raise ValueError(f"headroom must be in (0, 1]: {headroom}")
+        if rebalance_every < 1:
+            raise ValueError(f"rebalance_every must be >= 1: "
+                             f"{rebalance_every}")
+        if probe_interval < 1:
+            raise ValueError(f"probe_interval must be >= 1: "
+                             f"{probe_interval}")
+        if charge not in ("linear", "squared"):
+            raise ValueError(f"charge must be 'linear' or 'squared': "
+                             f"{charge!r}")
+        self.global_budget = global_budget
+        self.headroom = headroom
+        self.warmup = warmup
+        self.rebalance_every = rebalance_every
+        self.probe_interval = probe_interval
+        self.pessimistic = pessimistic
+        self.charge = charge
+        self._regions: dict[str, dict] = {}
+        self._global_spent = 0.0
+        self._global_decisions = 0
+        self._since_rebalance = 0
+        self.rebalances = 0
+
+    def _cost(self, error: float) -> float:
+        """One admitted inference's charge, in accounting units."""
+        return error * error if self.charge == "squared" else error
+
+    @property
+    def _budget_mass(self) -> float:
+        """Per-decision budget allowance, in accounting units."""
+        return self._cost(self.global_budget * self.headroom)
+
+    def _region(self, name: str) -> dict:
+        st = self._regions.get(name)
+        if st is None:
+            st = self._regions[name] = {
+                "spent": 0.0, "decisions": 0, "inferred": 0, "denied": 0,
+                "estimate": math.inf, "allocation": self._budget_mass}
+            # A new region changes every share: rebalance on the next
+            # decision rather than waiting out the current period.
+            self._since_rebalance = self.rebalance_every
+        return st
+
+    def _estimate(self, stats: RegionErrorStats) -> float:
+        est = stats.quantile if self.pessimistic else stats.mean
+        return est if est == est else math.inf         # NaN -> untrusted
+
+    def _rebalance(self) -> None:
+        """Water-fill per-region allocations from current estimates.
+
+        Cheapest regions are granted their full demand first; what they
+        leave funds the next cheapest.  Every allocation is capped at
+        the global per-decision mass — that cap is what makes *each
+        region's* deployed error respect the global budget, not just
+        the fleet mean.  A granted demand gets 2×-in-error-units slack
+        below the cap so a healthy region's estimate can fluctuate
+        without flapping onto the accurate path, plus a floor of 0.1%
+        of the mass so negligible-cost regions are never denied on
+        numerical noise.  Regions with no measured estimate are granted
+        nothing: they are admitted only after probes price them.
+        """
+        self._since_rebalance = 0
+        self.rebalances += 1
+        regions = list(self._regions.items())
+        total = sum(max(st["decisions"], 1) for _, st in regions)
+        remaining = self._budget_mass
+        slack = self._cost(2.0)
+        for name, st in sorted(regions, key=lambda kv: kv[1]["estimate"]):
+            share = max(st["decisions"], 1) / total
+            if not math.isfinite(st["estimate"]):
+                st["allocation"] = 0.0
+                continue
+            demand = self._cost(st["estimate"])
+            grant = min(share * demand, remaining)
+            remaining -= grant
+            st["allocation"] = min(
+                max(slack * grant / share, self._budget_mass * 1e-3),
+                self._budget_mass)
+
+    def decide(self, region_name, stats):
+        st = self._region(region_name)
+        st["decisions"] += 1
+        self._global_decisions += 1
+        self._since_rebalance += 1
+        if self._since_rebalance >= self.rebalance_every:
+            self._rebalance()
+        if stats.count < self.warmup:
+            return PolicyAction(force_shadow=True, commit="accurate",
+                                reason="warmup")
+        est = self._estimate(stats)
+        st["estimate"] = est
+        cost = self._cost(est) if math.isfinite(est) else math.inf
+        # Per-invocation gating: the *current* estimated cost must fit
+        # the region's allocation — amortizing expensive admissions
+        # over cheap decisions is what the L2 budget cannot tolerate.
+        region_ok = math.isfinite(cost) and cost <= st["allocation"]
+        global_ok = (self._global_spent + cost) / self._global_decisions \
+            <= self._budget_mass
+        if not (region_ok and global_ok):
+            st["denied"] += 1
+            if st["denied"] % self.probe_interval == 0:
+                return PolicyAction(force_shadow=True, commit="accurate",
+                                    reason="probe")
+            return PolicyAction(ExecutionPath.ACCURATE, reason="arbitration")
+        st["spent"] += cost
+        st["inferred"] += 1
+        self._global_spent += cost
+        return None
+
+    def observe(self, region_name, error, stats):
+        st = self._region(region_name)
+        had_estimate = math.isfinite(st["estimate"])
+        st["estimate"] = self._estimate(stats)
+        if not had_estimate and math.isfinite(st["estimate"]):
+            # First price for this region: rebalance on the next
+            # decision instead of serving it a stale allocation.
+            self._since_rebalance = self.rebalance_every
+
+    def reset_region(self, region_name: str) -> None:
+        """Forget one region's ledger and estimate (its global charges
+        stay spent — conservative).  Used after a model hot-swap: the
+        old estimate describes weights that no longer exist, so the
+        region re-enters through warmup probes against the new model."""
+        self._regions.pop(region_name, None)
+
+    @property
+    def global_mean_charge(self) -> float:
+        """Admitted error per arbitrated decision, in *error* units —
+        the compliance statistic the global budget bounds.  With
+        squared charging this is the RMS of admitted charges (which
+        bounds the fleet's relative-L2 deployed error); with linear
+        charging, the mean.
+        """
+        if self._global_decisions == 0:
+            return 0.0
+        mean_cost = self._global_spent / self._global_decisions
+        return math.sqrt(mean_cost) if self.charge == "squared" \
+            else mean_cost
+
+    def snapshot(self):
+        return {"policy": "budget_arbitration",
+                "global_budget": self.global_budget,
+                "headroom": self.headroom,
+                "pessimistic": self.pessimistic,
+                "charge": self.charge,
+                "global_decisions": self._global_decisions,
+                "global_mean_charge": self.global_mean_charge,
+                "rebalances": self.rebalances,
+                "regions": {n: {k: (v if math.isfinite(v) else None)
+                                if isinstance(v, float) else v
+                                for k, v in st.items()}
+                            for n, st in self._regions.items()}}
+
+    def reset(self):
+        self._regions.clear()
+        self._global_spent = 0.0
+        self._global_decisions = 0
+        self._since_rebalance = 0
+        self.rebalances = 0
 
 
 class PeriodicRecalibrationPolicy(QoSPolicy):
@@ -336,6 +566,12 @@ class CompositePolicy(QoSPolicy):
     def observe(self, region_name, error, stats):
         for policy in self.policies:
             policy.observe(region_name, error, stats)
+
+    def reset_region(self, region_name: str) -> None:
+        for policy in self.policies:
+            reset = getattr(policy, "reset_region", None)
+            if reset is not None:
+                reset(region_name)
 
     def snapshot(self):
         return {"policy": "composite",

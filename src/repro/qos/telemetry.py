@@ -13,6 +13,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from ..runtime.control import ExecutionPath
 from ..runtime.events import EventLog, Phase
 
 __all__ = ["QoSTelemetry", "phase_summary"]
@@ -108,6 +109,38 @@ class QoSTelemetry:
     def snapshot(self) -> dict:
         return {name: counters.snapshot()
                 for name, counters in self._regions.items()}
+
+    def rollup(self) -> dict:
+        """Cross-region aggregate: the serving-fleet view of the counters.
+
+        Sums decisions, path outcomes, overrides, and shadow validation
+        across every region a shared controller serves; the shadow
+        error mean is observation-weighted.  This is what a
+        multi-region server reports as one line.
+        """
+        invocations = overrides = shadows = 0
+        error_sum = 0.0
+        error_max = 0.0
+        final_paths = {p: 0 for p in ExecutionPath.ALL}
+        for c in self._regions.values():
+            invocations += c.invocations
+            overrides += c.overrides
+            shadows += c.shadows
+            error_sum += c.shadow_error_sum
+            error_max = max(error_max, c.shadow_error_max)
+            for path, count in c.final_paths.items():
+                final_paths[path] = final_paths.get(path, 0) + count
+        return {
+            "regions": len(self._regions),
+            "invocations": invocations,
+            "final_paths": final_paths,
+            "infer_fraction": (final_paths[ExecutionPath.INFER] / invocations
+                               if invocations else 0.0),
+            "overrides": overrides,
+            "shadow_invocations": shadows,
+            "shadow_error_mean": error_sum / shadows if shadows else None,
+            "shadow_error_max": error_max if shadows else None,
+        }
 
     def summary(self, event_log: EventLog | None = None,
                 start: int = 0) -> dict:

@@ -28,6 +28,7 @@ must keep the immediate engine.
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 
 import numpy as np
@@ -64,6 +65,10 @@ class BatchedInferenceEngine(InferenceEngine):
         self._queue_key: str | None = None
         self._queued_rows = 0
         self._key_cache: dict[str, str] = {}   # raw path -> resolved
+        # Reentrant: submit flushes (size/region triggers) while holding
+        # the lock.  Serving backends drain regions from their own
+        # threads, so queue mutation must be atomic with the forward.
+        self._queue_lock = threading.RLock()
         self.submissions = 0
         self.batches_flushed = 0
         self.rows_flushed = 0
@@ -93,15 +98,17 @@ class BatchedInferenceEngine(InferenceEngine):
         key = self._key_cache.get(raw)        # resolve() syscalls are the
         if key is None:                       # per-submit hot-path cost
             key = self._key_cache[raw] = str(Path(raw).resolve())
-        if self._queue and (key != self._queue_key or
-                            inputs.shape[1:] != self._queue[0].inputs.shape[1:]):
-            self.flush()                      # region-triggered
-        self._queue.append(_Pending(inputs, on_result))
-        self._queue_key = key
-        self._queued_rows += len(inputs)
-        self.submissions += 1
-        if self._queued_rows >= self.max_batch_rows:
-            self.flush()                      # size-triggered
+        with self._queue_lock:
+            if self._queue and (key != self._queue_key or
+                                inputs.shape[1:] !=
+                                self._queue[0].inputs.shape[1:]):
+                self.flush()                  # region-triggered
+            self._queue.append(_Pending(inputs, on_result))
+            self._queue_key = key
+            self._queued_rows += len(inputs)
+            self.submissions += 1
+            if self._queued_rows >= self.max_batch_rows:
+                self.flush()                  # size-triggered
 
     def flush(self) -> list:
         """Run all queued invocations as one forward; deliver results.
@@ -110,26 +117,32 @@ class BatchedInferenceEngine(InferenceEngine):
         If the forward itself fails the queue is left intact (callers
         may repair the model file and flush again); a callback raising
         does not stop delivery to the remaining submissions — the first
-        callback error re-raises after all deliveries ran.
+        callback error re-raises after all deliveries ran.  Safe to
+        call concurrently: the queue is consumed atomically, so a
+        redundant flush (e.g. a server drain racing a size trigger)
+        becomes a no-op instead of a double delivery.
         """
-        if not self._queue:
-            return []
-        pending = self._queue
-        total = self._queued_rows
+        with self._queue_lock:
+            if not self._queue:
+                return []
+            pending = self._queue
+            total = self._queued_rows
 
-        if len(pending) == 1:
-            batch = pending[0].inputs
-        else:
-            batch = np.concatenate([p.inputs for p in pending], axis=0)
-        outputs = super().infer(self._queue_key, batch)
-        # The forward succeeded: the queue is consumed from here on.
-        self._queue = []
-        self._queue_key = None
-        self._queued_rows = 0
-        self.batches_flushed += 1
-        self.rows_flushed += total
+            if len(pending) == 1:
+                batch = pending[0].inputs
+            else:
+                batch = np.concatenate([p.inputs for p in pending], axis=0)
+            outputs = super().infer(self._queue_key, batch)
+            # The forward succeeded: the queue is consumed from here on.
+            self._queue = []
+            self._queue_key = None
+            self._queued_rows = 0
+            self.batches_flushed += 1
+            self.rows_flushed += total
+            forward_device = self.last_inference_seconds
 
-        forward_device = self.last_inference_seconds
+        # Deliver outside the lock: callbacks scatter into application
+        # memory and may re-enter submit (never while holding the queue).
         results = []
         offset = 0
         first_error = None

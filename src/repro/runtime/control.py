@@ -16,6 +16,8 @@ modes map onto that choice:
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from ..directives.ast_nodes import MLDirective
 
 __all__ = ["ExecutionPath", "decide_path", "apply_override",
@@ -26,6 +28,17 @@ class ExecutionPath:
     ACCURATE = "accurate"
     COLLECT = "collect"
     INFER = "infer"
+
+    #: Every path value, in reporting order (telemetry roll-ups).
+    ALL = (ACCURATE, COLLECT, INFER)
+
+
+@lru_cache(maxsize=512)
+def _compile_expr(expr: str):
+    """Compile a directive expression once; conditions are evaluated on
+    every region invocation, so re-parsing the source string per call
+    would dominate small-region serving latency."""
+    return compile(expr, "<directive>", "eval")
 
 
 def eval_condition(expr: str, env: dict) -> bool:
@@ -38,7 +51,8 @@ def eval_condition(expr: str, env: dict) -> bool:
     arithmetic/logical expressions over region arguments, not programs.
     """
     try:
-        return bool(eval(expr, {"__builtins__": {}}, dict(env)))
+        return bool(eval(_compile_expr(expr), {"__builtins__": {}},
+                         dict(env)))
     except Exception as exc:
         raise RuntimeError(f"failed to evaluate directive condition "
                            f"{expr!r}: {exc}") from exc
@@ -48,7 +62,8 @@ def eval_expr(expr: str, env: dict) -> float:
     """Evaluate an opaque host-language numeric expression (e.g. the
     rate operand of a ``perfo`` clause) against the call environment."""
     try:
-        return float(eval(expr, {"__builtins__": {}}, dict(env)))
+        return float(eval(_compile_expr(expr), {"__builtins__": {}},
+                          dict(env)))
     except Exception as exc:
         raise RuntimeError(f"failed to evaluate directive expression "
                            f"{expr!r}: {exc}") from exc

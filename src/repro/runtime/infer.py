@@ -49,6 +49,17 @@ class ModelCache:
         """Pre-seed the cache (used by in-memory search pipelines)."""
         self._models[str(Path(path).resolve())] = model
 
+    def invalidate(self, path) -> bool:
+        """Drop one path's cached model so the next ``get`` reloads it.
+
+        The hot-swap primitive: after a retrained model file is moved
+        into place (``os.replace``), invalidating the entry makes every
+        engine sharing this cache pick up the new weights on its next
+        inference — no restart, no full cache clear.  Returns whether
+        an entry was dropped.
+        """
+        return self._models.pop(str(Path(path).resolve()), None) is not None
+
     def clear(self) -> None:
         self._models.clear()
 

@@ -16,6 +16,7 @@ runtime entry point that, per invocation:
 from __future__ import annotations
 
 import inspect
+import threading
 import weakref
 
 import numpy as np
@@ -45,11 +46,18 @@ class RegionConfig:
     device and model cache) so deploy loops coalesce invocations
     without the caller constructing one; only sound for invocations
     independent of each other's outputs.
+    ``row_subsample`` governs QoS shadow-validation row sub-sampling
+    (the controller's ``shadow_rows`` knob): ``None`` derives
+    eligibility from the tensor maps (leading slice ``0:N`` with a bare
+    count symbol), ``False`` disables it, ``True`` asserts it.  Only
+    sound for regions whose batch entries are computed independently —
+    auto-regressive or cross-row-stateful kernels must pass ``False``.
     """
 
     def __init__(self, model_path=None, db_path=None, engine=None,
                  event_log=None, qos=None, auto_batch: bool = False,
-                 max_batch_rows: int = 256):
+                 max_batch_rows: int = 256,
+                 row_subsample: bool | None = None):
         self.model_path = model_path
         self.db_path = db_path
         self.engine = engine
@@ -57,6 +65,7 @@ class RegionConfig:
         self.qos = qos
         self.auto_batch = auto_batch
         self.max_batch_rows = max_batch_rows
+        self.row_subsample = row_subsample
 
 
 class _BoundMap:
@@ -69,6 +78,24 @@ class _BoundMap:
         self.functor = functor
         self.array_name = array_name
         self.spec = spec
+
+
+class _RowPlan:
+    """How to re-invoke the accurate kernel on a row subset.
+
+    Derived once from the tensor maps: the mapped arrays whose leading
+    axis is the batch dimension, and the integer symbols that carry the
+    row count (the bare-symbol ``stop`` of each map's leading slice,
+    e.g. ``NOPT`` in ``options[0:NOPT]``).  Shadow validation slices
+    those arrays to a seeded row subset, rewrites the count symbols,
+    and calls the kernel on the reduced invocation.
+    """
+
+    __slots__ = ("count_symbols", "arrays")
+
+    def __init__(self, count_symbols: tuple, arrays: tuple):
+        self.count_symbols = count_symbols
+        self.arrays = arrays
 
 
 class ApproxRegion:
@@ -132,6 +159,10 @@ class ApproxRegion:
         self._simple_signature = all(
             p.kind == inspect.Parameter.POSITIONAL_OR_KEYWORD for p in params)
         self._int_symbols = self._collect_int_symbols()
+        self._row_plan = self._build_row_plan()
+        # Serving backends drain regions from worker threads; flush and
+        # close must therefore be idempotent and mutually exclusive.
+        self._io_lock = threading.RLock()
         if self.config.auto_batch and \
                 not isinstance(self._engine, BatchedInferenceEngine):
             self._engine = BatchedInferenceEngine(
@@ -165,6 +196,51 @@ class ApproxRegion:
                             functor_names.update(form.symbols)
             names |= functor_names - sweep
         return tuple(sorted(names))
+
+    def _build_row_plan(self) -> _RowPlan | None:
+        """Derive the shadow row-subsampling plan, or ``None``.
+
+        Eligibility is structural: every in/out map's leading slice must
+        be ``0:SYM`` (no step) with a bare count symbol, so batch row
+        ``i`` of the gathered tensors corresponds to row ``i`` of each
+        mapped array and the count can be rewritten for a sub-call.
+        ``RegionConfig(row_subsample=False)`` opts out regardless (for
+        kernels whose rows are not independent); ``True`` asserts
+        eligibility and raises when the maps cannot support it.
+        """
+        if self.config.row_subsample is False:
+            return None
+        count_syms: set = set()
+        arrays: set = set()
+        eligible = True
+        for m in self._in_maps + self._out_maps:
+            lead = m.spec.slices[0] if m.spec.slices else None
+            if lead is None or lead.is_point or lead.step is not None:
+                eligible = False
+                break
+            try:
+                start = linearize(lead.start)
+                stop = linearize(lead.stop)
+            except Exception:
+                eligible = False
+                break
+            if not start.is_constant() or start.const != 0:
+                eligible = False
+                break
+            if stop.is_constant() or len(stop.coeffs) != 1 or \
+                    stop.coeffs[0][1] != 1 or stop.const != 0:
+                eligible = False
+                break
+            count_syms.add(stop.symbols[0])
+            arrays.add(m.array_name)
+        if not eligible or not count_syms:
+            if self.config.row_subsample:
+                raise ValueError(
+                    f"region {self.name!r}: row_subsample=True but the "
+                    "tensor maps' leading slices are not of the "
+                    "row-batched 0:SYM form")
+            return None
+        return _RowPlan(tuple(sorted(count_syms)), tuple(sorted(arrays)))
 
     # ------------------------------------------------------------------
     # Per-invocation plumbing
@@ -346,6 +422,23 @@ class ApproxRegion:
                     self.name, inputs, outputs, region_time)
         return result
 
+    def _shadow_subset(self, qos, decision, batch: int):
+        """Pick the seeded row subset for a shadowed invocation, or None.
+
+        Sub-sampling (the controller's ``shadow_rows`` knob) only
+        applies when the surrogate result is the committed one — with
+        ``commit="accurate"`` the full kernel output must land in
+        application memory — and when this invocation's batch is the
+        leading extent the row plan expects.
+        """
+        rows = getattr(qos, "shadow_rows", None)
+        if (rows is None or self._row_plan is None or batch <= rows
+                or decision.commit != "surrogate"):
+            return None
+        # Through the controller, not the validator: shared controllers
+        # (QoSArbiter) serialize the RNG draw with their other hooks.
+        return qos.row_subset(batch)
+
     def _run_shadow(self, qos, decision, env, record, args, kwargs):
         """Shadow-validated inference: run accurate AND surrogate paths.
 
@@ -357,6 +450,14 @@ class ApproxRegion:
         committed result is the surrogate's (deployment-identical) or
         the accurate one (``commit="accurate"``, e.g. policy probes and
         auto-regressive regions).
+
+        When the controller sets ``shadow_rows`` and the region's maps
+        are row-batched (:class:`_RowPlan`), the accurate kernel runs on
+        a seeded row *subset* of the invocation: mapped arrays are
+        sliced to the subset, count symbols rewritten, and the error is
+        measured on those rows only — cutting validation cost by
+        ``rows/batch`` while the committed state stays the pure
+        surrogate output.
         """
         in_maps = self._concretize(self._in_maps, env, writable=False)
         inputs = self._gather_inputs(in_maps, record)
@@ -364,9 +465,24 @@ class ApproxRegion:
         # functors); the accurate run below mutates out/inout arrays,
         # so snapshot before executing it.
         inputs = np.array(inputs)
-        with self.events.timed(record, Phase.SHADOW):
-            result = self.func(*args, **kwargs)
-        accurate = self._gather_outputs(env)
+        batch = len(inputs)
+        subset = self._shadow_subset(qos, decision, batch)
+        if subset is not None and not all(
+                env.get(s) == batch for s in self._row_plan.count_symbols):
+            subset = None      # partial invocation: counts != batch rows
+        if subset is None:
+            with self.events.timed(record, Phase.SHADOW):
+                result = self.func(*args, **kwargs)
+            accurate = self._gather_outputs(env)
+        else:
+            sub_env = dict(env)
+            for name in self._row_plan.arrays:
+                sub_env[name] = np.ascontiguousarray(env[name][subset])
+            for sym in self._row_plan.count_symbols:
+                sub_env[sym] = int(len(subset))
+            with self.events.timed(record, Phase.SHADOW):
+                result = self.func(**sub_env)
+            accurate = self._gather_outputs(sub_env)
         if self.model_path is None:
             raise RuntimeError(f"region {self.name!r}: shadow validation "
                                "requested but no model path configured")
@@ -374,7 +490,8 @@ class ApproxRegion:
         # error observation must not be deferred past policy decisions.
         outputs = self._engine.infer(self.model_path, inputs)
         record.add(Phase.INFERENCE, self._engine.last_inference_seconds)
-        qos.observe_shadow(self.name, outputs, accurate)
+        predicted = outputs if subset is None else outputs[subset]
+        qos.observe_shadow(self.name, predicted, accurate)
         if decision.commit == "surrogate":
             out_maps = self._concretize(self._out_maps, env, writable=True)
             self._scatter_outputs(out_maps, outputs, record)
@@ -414,16 +531,28 @@ class ApproxRegion:
         return self._engine
 
     def flush(self) -> None:
-        """Deliver queued batched inferences; persist collection data."""
-        if self._batched_engine:
-            self._engine.flush()
-        if self._collector is not None:
-            self._collector.flush()
+        """Deliver queued batched inferences; persist collection data.
+
+        Idempotent and thread-safe: serving backends drain regions from
+        worker threads while the application may flush from its own, so
+        the engine/collector flush pair runs under the region's I/O
+        lock and a second flush of an already-drained region is a
+        no-op.
+        """
+        with self._io_lock:
+            if self._batched_engine:
+                self._engine.flush()
+            if self._collector is not None:
+                self._collector.flush()
 
     def close(self) -> None:
-        if self._collector is not None:
-            self._collector.close()
-            self._collector = None
+        """Drain queued work and release the collector.  Idempotent."""
+        with self._io_lock:
+            if self._batched_engine:
+                self._engine.flush()
+            if self._collector is not None:
+                self._collector.close()
+                self._collector = None
 
     def __repr__(self):
         return (f"ApproxRegion({self.name!r}, mode={self.ml.mode!r}, "

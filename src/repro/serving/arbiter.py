@@ -1,0 +1,91 @@
+"""QoSArbiter: one controller, one error budget, many regions.
+
+The PR-2 QoS loop attached one controller per harness; a multi-region
+server needs the opposite — a *single* controller whose policy sees
+every region's decisions and observations, so the error budget is a
+global resource arbitrated across the fleet rather than five
+independent promises.  :class:`QoSArbiter` is that controller: a
+:class:`~repro.qos.QoSController` pre-wired with a
+:class:`~repro.qos.BudgetArbitrationPolicy` (plus optional
+higher-priority policies such as drift-burst collection), made
+thread-safe so regions served from different backend worker threads
+can consult it concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..qos.monitor import QoSController
+from ..qos.policy import BudgetArbitrationPolicy, CompositePolicy
+
+__all__ = ["QoSArbiter"]
+
+
+class QoSArbiter(QoSController):
+    """Thread-safe shared controller splitting a global error budget.
+
+    ``policies`` are consulted *before* arbitration (first override
+    wins), which is how a :class:`~repro.qos.DriftBurstPolicy` gets to
+    answer drift with a collection burst while the arbiter keeps the
+    budget honest for everything else.  All the usual controller knobs
+    (``shadow_rate``, ``metric``, ``shadow_rows``, ...) pass through.
+    """
+
+    def __init__(self, global_budget: float, *, headroom: float = 0.9,
+                 warmup: int = 2, rebalance_every: int = 32,
+                 probe_interval: int = 8, pessimistic: bool = False,
+                 charge: str = "squared", policies=(),
+                 shadow_rate: float = 0.1, seed: int = 0,
+                 commit: str = "surrogate", metric: str = "relative",
+                 alpha: float = 0.2, quantile: float = 0.95,
+                 telemetry=None, shadow_rows: int | None = None):
+        self.arbitration = BudgetArbitrationPolicy(
+            global_budget, headroom=headroom, warmup=warmup,
+            rebalance_every=rebalance_every, probe_interval=probe_interval,
+            pessimistic=pessimistic, charge=charge)
+        members = list(policies) + [self.arbitration]
+        policy = members[0] if len(members) == 1 \
+            else CompositePolicy(*members)
+        super().__init__(policy=policy, shadow_rate=shadow_rate, seed=seed,
+                         commit=commit, metric=metric, alpha=alpha,
+                         quantile=quantile, telemetry=telemetry,
+                         shadow_rows=shadow_rows)
+        self._lock = threading.Lock()
+
+    @property
+    def global_budget(self) -> float:
+        return self.arbitration.global_budget
+
+    # The per-invocation hooks (decide / observe_shadow / row_subset)
+    # are the only controller surface touched from backend worker
+    # threads; everything they mutate (ledgers, rolling stats,
+    # telemetry counters, the validator's RNG) is shared across
+    # regions, so all of them serialize on one lock.
+    def decide(self, region_name, base_path):
+        with self._lock:
+            return super().decide(region_name, base_path)
+
+    def observe_shadow(self, region_name, predicted, accurate):
+        with self._lock:
+            return super().observe_shadow(region_name, predicted, accurate)
+
+    def row_subset(self, batch: int):
+        with self._lock:
+            return super().row_subset(batch)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            out = super().snapshot()
+            out["global_budget"] = self.global_budget
+            out["arbitration"] = self.arbitration.snapshot()
+            out["rollup"] = self.telemetry.rollup()
+        return out
+
+    def reset_region(self, region_name: str) -> None:
+        with self._lock:
+            super().reset_region(region_name)
+
+    def reset(self) -> None:
+        with self._lock:
+            super().reset()

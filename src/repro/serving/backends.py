@@ -1,0 +1,102 @@
+"""Execution backends: how a :class:`RegionServer` runs invocations.
+
+A backend turns a served region's invocation into actual execution.
+Two are provided:
+
+* :class:`SerialBackend` — runs every invocation inline on the
+  caller's thread; zero scheduling overhead, so the single-region
+  QoS-off latency matches a direct region call.  The default.
+* :class:`ThreadPoolBackend` — one dedicated worker thread per region
+  (*batched-engine affinity*): a region's invocations, flushes, and
+  deferred scatter-backs all execute on its own thread, so the
+  per-region :class:`~repro.runtime.batch.BatchedInferenceEngine`
+  queue is only ever touched from one thread while distinct regions
+  serve concurrently.  Regions scheduled on this backend must not
+  share an engine or mutable state with each other.
+
+The backend contract is three methods: ``submit`` (run one callable
+for a region), ``drain`` (flush a set of regions and wait until their
+queues are empty), and ``close``.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+
+__all__ = ["ExecutionBackend", "SerialBackend", "ThreadPoolBackend"]
+
+
+class ExecutionBackend:
+    """Scheduling strategy contract for :class:`RegionServer`."""
+
+    def submit(self, served, fn, args=(), kwargs=None):
+        """Run ``fn(*args, **kwargs)`` for ``served``'s region.
+
+        Returns the call's result directly (synchronous backends) or a
+        :class:`concurrent.futures.Future` resolving to it.
+        """
+        raise NotImplementedError
+
+    def drain(self, served_list) -> None:
+        """Flush every region in ``served_list`` and wait for quiescence."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (worker threads)."""
+
+
+class SerialBackend(ExecutionBackend):
+    """Inline execution on the caller's thread (the latency baseline)."""
+
+    def submit(self, served, fn, args=(), kwargs=None):
+        return fn(*args, **(kwargs or {}))
+
+    def drain(self, served_list) -> None:
+        for served in served_list:
+            served.region.flush()
+
+
+class ThreadPoolBackend(ExecutionBackend):
+    """One single-thread executor per region: cross-region parallelism
+    with strict per-region ordering.
+
+    Affinity is what makes batching sound under concurrency: a region's
+    invocation order (and therefore its batched queue and deferred
+    scatter-backs) is preserved because all of them run on the same
+    worker, while different regions' surrogates execute in parallel.
+    ``submit`` returns a :class:`Future`; ``drain`` schedules a flush
+    on each region's own worker — behind any queued invocations — and
+    blocks until all complete, re-raising the first failure.
+    """
+
+    def __init__(self):
+        self._executors: dict[str, ThreadPoolExecutor] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def _executor(self, name: str) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("backend is closed")
+            ex = self._executors.get(name)
+            if ex is None:
+                ex = self._executors[name] = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix=f"serve-{name}")
+            return ex
+
+    def submit(self, served, fn, args=(), kwargs=None) -> Future:
+        return self._executor(served.name).submit(fn, *args, **(kwargs or {}))
+
+    def drain(self, served_list) -> None:
+        futures = [self.submit(s, s.region.flush) for s in served_list]
+        for future in futures:
+            future.result()
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            executors = list(self._executors.values())
+            self._executors.clear()
+        for ex in executors:
+            ex.shutdown(wait=True)

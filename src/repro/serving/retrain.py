@@ -1,0 +1,260 @@
+"""Online retraining: watch the training DB, retrain, hot-swap.
+
+Closes the last gap in the adaptive loop: PR-2's drift-burst policy
+refreshes the training database with rows from the drifted
+distribution, but retraining stayed offline (``examples/adaptive_qos``
+did it by hand).  :class:`RetrainWorker` watches each registered
+region's database for growth, retrains a fresh surrogate through the
+existing :mod:`repro.nn.training` stack, and **hot-swaps** the model
+file — written to a sibling temp path and moved into place with
+``os.replace``, so readers only ever see the old file or the new one.
+Engines are then told to drop their cached model
+(:meth:`~repro.runtime.infer.ModelCache.invalidate`) and re-warm; the
+engine's compiled-plan staleness check handles the rebind, so serving
+never stops.
+
+The worker runs either synchronously (:meth:`poll`, used by tests and
+deterministic benchmarks) or as a daemon thread (:meth:`start` /
+:meth:`stop`); ``stop`` performs one final poll so any refresh that
+landed during shutdown is still honored.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..h5 import File
+from ..nn import Trainer, save_model
+from ..nn.training import train_val_split
+
+__all__ = ["RetrainSpec", "RetrainEvent", "RetrainWorker",
+           "hot_swap_model", "db_row_count"]
+
+
+def db_row_count(db_path, region_name: str) -> int:
+    """Rows currently collected for ``region_name`` (0 when absent)."""
+    db_path = Path(db_path)
+    if not db_path.exists():
+        return 0
+    with File(db_path, "r") as fh:
+        if region_name not in fh:
+            return 0
+        group = fh[region_name]
+        if "inputs" not in group:
+            return 0
+        return int(group["inputs"].shape[0])
+
+
+def hot_swap_model(model, model_path, engines=()) -> Path:
+    """Atomically replace ``model_path`` with ``model``; refresh engines.
+
+    The new file is serialized next to the target and moved over it
+    with ``os.replace`` (atomic on POSIX), then every engine's model
+    cache entry for the path is invalidated and re-warmed so the next
+    inference runs the new weights with a freshly compiled plan.
+    """
+    model_path = Path(model_path)
+    tmp_path = model_path.with_name(model_path.name + ".swap")
+    save_model(model, tmp_path)
+    os.replace(tmp_path, model_path)
+    seen = set()
+    for engine in engines:
+        if engine is None or id(engine) in seen:
+            continue
+        seen.add(id(engine))
+        engine.cache.invalidate(model_path)
+        engine.warmup(model_path)
+    return model_path
+
+
+class RetrainSpec:
+    """How to retrain one region's surrogate.
+
+    ``build(x_train, y_train) -> model`` constructs a fresh model from
+    the refreshed training split (harnesses provide this via
+    ``make_builder``, which bakes standardization stats from exactly
+    that split); ``trainer_kwargs`` parameterize the
+    :class:`~repro.nn.Trainer`.
+    """
+
+    __slots__ = ("name", "db_path", "model_path", "build", "trainer_kwargs",
+                 "min_new_rows", "val_fraction", "engines", "qos",
+                 "trained_rows")
+
+    def __init__(self, name, db_path, model_path, build,
+                 trainer_kwargs=None, min_new_rows: int = 32,
+                 val_fraction: float = 0.2, engines=(), qos=None):
+        self.name = name
+        self.db_path = Path(db_path)
+        self.model_path = Path(model_path)
+        self.build = build
+        self.trainer_kwargs = dict(trainer_kwargs or {})
+        self.min_new_rows = min_new_rows
+        self.val_fraction = val_fraction
+        self.engines = tuple(engines)
+        self.qos = qos
+        self.trained_rows = 0
+
+
+class RetrainEvent:
+    """One completed retrain/hot-swap, for reporting."""
+
+    __slots__ = ("region", "rows", "new_rows", "val_loss", "seconds")
+
+    def __init__(self, region, rows, new_rows, val_loss, seconds):
+        self.region = region
+        self.rows = rows
+        self.new_rows = new_rows
+        self.val_loss = val_loss
+        self.seconds = seconds
+
+    def as_dict(self) -> dict:
+        return {"region": self.region, "rows": self.rows,
+                "new_rows": self.new_rows, "val_loss": self.val_loss,
+                "seconds": self.seconds}
+
+    def __repr__(self):
+        return (f"RetrainEvent({self.region!r}, rows={self.rows}, "
+                f"new_rows={self.new_rows}, val_loss={self.val_loss:.3g})")
+
+
+class RetrainWorker:
+    """Background trainer keyed on training-database growth.
+
+    Register regions with :meth:`watch`; each :meth:`poll` compares the
+    database row count against the count at the last (re)train and,
+    when at least ``min_new_rows`` fresh rows arrived — a drift burst's
+    signature — retrains and hot-swaps.  ``poll`` is safe to call both
+    from the daemon thread and directly (a lock serializes cycles).
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._specs: dict[str, RetrainSpec] = {}
+        self._lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self.events: list[RetrainEvent] = []
+        #: Errors swallowed by the daemon loop (e.g. a poll that read a
+        #: mid-write DB), kept so operators can see the thread is
+        #: degraded rather than silently dead.
+        self.errors: list[str] = []
+
+    # -- registration ----------------------------------------------------
+    def watch(self, name, db_path, model_path, build, *,
+              trainer_kwargs=None, min_new_rows: int = 32,
+              val_fraction: float = 0.2, engines=(),
+              qos=None) -> RetrainSpec:
+        """Track one region.  The current DB row count becomes the
+        baseline, so only *future* refreshes trigger retraining.
+
+        ``qos`` is the controller serving the region (e.g. the server's
+        :class:`~repro.serving.QoSArbiter`): after a hot-swap its
+        rolling stats for the region are reset, because they estimate
+        the error of weights that no longer exist.
+        """
+        spec = RetrainSpec(name, db_path, model_path, build,
+                           trainer_kwargs=trainer_kwargs,
+                           min_new_rows=min_new_rows,
+                           val_fraction=val_fraction, engines=engines,
+                           qos=qos)
+        spec.trained_rows = db_row_count(db_path, name)
+        with self._lock:
+            self._specs[name] = spec
+        return spec
+
+    @property
+    def watched(self) -> tuple:
+        return tuple(self._specs)
+
+    # -- retraining ------------------------------------------------------
+    def _retrain(self, spec: RetrainSpec, rows: int) -> RetrainEvent:
+        from ..runtime.collect import load_training_data
+        start = time.perf_counter()
+        x, y, _t = load_training_data(spec.db_path, spec.name)
+        rng_seed = self.seed + 31 * (len(self.events) + 1)
+        rng = np.random.default_rng(rng_seed)
+        (xt, yt), (xv, yv) = train_val_split(x, y, spec.val_fraction, rng)
+        model = spec.build(xt, yt)
+        result = Trainer(model, seed=rng_seed,
+                         **spec.trainer_kwargs).fit(xt, yt, xv, yv)
+        hot_swap_model(model, spec.model_path, spec.engines)
+        if spec.qos is not None:
+            # The rolling error stats describe the replaced weights;
+            # drop them so the new model re-enters via warmup probes.
+            spec.qos.reset_region(spec.name)
+        event = RetrainEvent(spec.name, rows, rows - spec.trained_rows,
+                             result.best_val_loss,
+                             time.perf_counter() - start)
+        spec.trained_rows = rows
+        self.events.append(event)
+        return event
+
+    def retrain_now(self, name: str) -> RetrainEvent:
+        """Force one region's retrain regardless of DB growth."""
+        with self._lock:
+            spec = self._specs[name]
+            return self._retrain(spec, db_row_count(spec.db_path, spec.name))
+
+    def poll(self) -> list:
+        """One watch cycle: retrain every region whose DB grew enough."""
+        events = []
+        with self._lock:
+            for spec in self._specs.values():
+                rows = db_row_count(spec.db_path, spec.name)
+                if rows - spec.trained_rows >= spec.min_new_rows:
+                    events.append(self._retrain(spec, rows))
+        return events
+
+    # -- background thread -----------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self, interval: float = 1.0) -> None:
+        """Poll every ``interval`` seconds on a daemon thread.
+
+        A failing cycle — e.g. a poll that catches the training DB
+        mid-rewrite, or a transient trainer error — is recorded in
+        :attr:`errors` and the loop keeps going; one bad tick must not
+        end online retraining for the life of the server.
+        """
+        if self.running:
+            raise RuntimeError("RetrainWorker already running")
+        self._stop.clear()
+
+        def loop():
+            while not self._stop.wait(interval):
+                try:
+                    self.poll()
+                except Exception as exc:
+                    self.errors.append(f"{type(exc).__name__}: {exc}")
+
+        self._thread = threading.Thread(target=loop, name="retrain-worker",
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self) -> list:
+        """Stop the thread; a final poll catches late DB refreshes."""
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join()
+            self._thread = None
+        return self.poll()
+
+    def snapshot(self) -> dict:
+        return {
+            "watched": {name: {"trained_rows": spec.trained_rows,
+                               "min_new_rows": spec.min_new_rows,
+                               "db_path": str(spec.db_path),
+                               "model_path": str(spec.model_path)}
+                        for name, spec in self._specs.items()},
+            "retrains": [e.as_dict() for e in self.events],
+            "errors": list(self.errors),
+            "running": self.running,
+        }

@@ -1,0 +1,167 @@
+"""RegionServer: one serving surface for many approximated regions.
+
+The paper's deployment story is a long-running application serving
+many approximated regions at once; until this subsystem, each
+:class:`~repro.runtime.region.ApproxRegion` was driven by its own
+ad-hoc loop with its own QoS controller.  A :class:`RegionServer`
+owns a set of regions, schedules their invocations through a
+pluggable :class:`~repro.serving.backends.ExecutionBackend`, and
+hosts a single QoS controller — typically a
+:class:`~repro.serving.arbiter.QoSArbiter` — shared by every region,
+so one global error budget governs the whole fleet.
+
+Lifecycle::
+
+    server = RegionServer(backend=ThreadPoolBackend())
+    server.register(region_a)
+    server.register(region_b)
+    server.attach_qos(QoSArbiter(global_budget=0.05))
+    ...
+    server.invoke("region_a", *args)       # scheduled by the backend
+    server.drain()                         # flush queues, barrier
+    server.snapshot()                      # fleet roll-up
+    server.close()
+"""
+
+from __future__ import annotations
+
+from .backends import ExecutionBackend, SerialBackend
+
+__all__ = ["ServedRegion", "RegionServer"]
+
+
+class ServedRegion:
+    """One region registered with a server, plus its serving counters."""
+
+    __slots__ = ("name", "region", "invocations")
+
+    def __init__(self, name: str, region):
+        self.name = name
+        self.region = region
+        self.invocations = 0
+
+    def __repr__(self):
+        return (f"ServedRegion({self.name!r}, "
+                f"invocations={self.invocations})")
+
+
+class RegionServer:
+    """Owns regions, schedules invocations, hosts the shared QoS loop."""
+
+    def __init__(self, backend: ExecutionBackend | None = None):
+        self.backend = backend if backend is not None else SerialBackend()
+        self._regions: dict[str, ServedRegion] = {}
+        self._qos = None
+
+    # -- registration ----------------------------------------------------
+    def register(self, region, name: str | None = None) -> str:
+        """Add a region under ``name`` (default: the region's own name).
+
+        A server-level QoS controller already attached via
+        :meth:`attach_qos` is wired onto the new region immediately.
+        """
+        name = name or region.name
+        if name in self._regions:
+            raise ValueError(f"region name {name!r} already registered")
+        self._regions[name] = ServedRegion(name, region)
+        if self._qos is not None:
+            region.config.qos = self._qos
+        return name
+
+    @property
+    def names(self) -> tuple:
+        return tuple(self._regions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions
+
+    def region(self, name: str):
+        return self._regions[name].region
+
+    def served(self, name: str) -> ServedRegion:
+        return self._regions[name]
+
+    # -- serving ---------------------------------------------------------
+    def invoke(self, name: str, *args, **kwargs):
+        """Schedule one invocation of region ``name``.
+
+        With a :class:`SerialBackend` this returns the region's result
+        directly; threaded backends return a Future.  Outputs written
+        through the region's from-maps land when the invocation (and,
+        for batched engines, its flush) has executed — call
+        :meth:`drain` before reading them.
+        """
+        served = self._regions[name]
+        served.invocations += 1
+        return self.backend.submit(served, served.region, args, kwargs)
+
+    def flush(self, name: str | None = None) -> None:
+        """Flush one region's queues (or all), honoring backend affinity."""
+        targets = [self._regions[name]] if name is not None \
+            else list(self._regions.values())
+        self.backend.drain(targets)
+
+    def drain(self) -> None:
+        """Flush every region and wait until all queued work landed."""
+        self.flush()
+
+    # -- QoS wiring ------------------------------------------------------
+    @property
+    def qos(self):
+        """The server-level controller (None when serving unmonitored)."""
+        return self._qos
+
+    def attach_qos(self, controller, names=None) -> dict:
+        """Attach one controller to ``names`` (default: every region).
+
+        Returns ``{name: previous_controller}`` so a measurement window
+        can restore prior wiring via :meth:`restore_qos`.  Without
+        ``names`` the controller also becomes the server default,
+        inherited by regions registered later.
+        """
+        previous = {}
+        for name in (names if names is not None else self._regions):
+            region = self._regions[name].region
+            previous[name] = region.config.qos
+            region.config.qos = controller
+        if names is None:
+            self._qos = controller
+        return previous
+
+    def restore_qos(self, previous: dict) -> None:
+        """Undo an :meth:`attach_qos` using its returned mapping."""
+        for name, controller in previous.items():
+            self._regions[name].region.config.qos = controller
+
+    def detach_qos(self) -> None:
+        """Remove the server-level controller from every region."""
+        for served in self._regions.values():
+            served.region.config.qos = None
+        self._qos = None
+
+    # -- reporting / lifecycle -------------------------------------------
+    def snapshot(self) -> dict:
+        """Fleet view: per-region serving counters plus the controller's
+        snapshot and cross-region telemetry roll-up when attached."""
+        out = {
+            "backend": type(self.backend).__name__,
+            "regions": {name: {"invocations": served.invocations}
+                        for name, served in self._regions.items()},
+        }
+        if self._qos is not None:
+            out["qos"] = self._qos.snapshot()
+            telemetry = getattr(self._qos, "telemetry", None)
+            if telemetry is not None:
+                out["rollup"] = telemetry.rollup()
+        return out
+
+    def close(self) -> None:
+        """Drain, release the backend, and close every region."""
+        self.drain()
+        self.backend.close()
+        for served in self._regions.values():
+            served.region.close()
+
+    def __repr__(self):
+        return (f"RegionServer(backend={type(self.backend).__name__}, "
+                f"regions={list(self._regions)})")

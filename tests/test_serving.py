@@ -1,0 +1,516 @@
+"""Serving layer: RegionServer, backends, arbiter, retrain/hot-swap.
+
+The two-region arbitration test is the subsystem's acceptance story:
+one untrained surrogate must be forced onto the accurate path while a
+trained one keeps its inference share, with the *global* error budget
+respected end-to-end.  Thread-pool tests carry the ``serving`` marker
+so CI can run them as a dedicated lane on both Python versions.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import approx_ml
+from repro.nn import Linear, Sequential, save_model
+from repro.qos import BudgetArbitrationPolicy, QoSController, RegionErrorStats
+from repro.runtime import EventLog, ExecutionPath, Phase
+from repro.serving import (QoSArbiter, RegionServer, RetrainWorker,
+                           ThreadPoolBackend, db_row_count, hot_swap_model)
+
+
+def linear_region(tmp_path, name, *, weight=1.0, scale=1.0, mode="infer",
+                  auto_batch=False, calls=None, engine=None, qos=None):
+    """A 2->1 region: accurate kernel computes ``scale * row_sum``, the
+    saved model predicts ``weight * row_sum``.  ``calls`` (a list, when
+    given) records each accurate-kernel invocation's row count."""
+    model = Sequential(Linear(2, 1, rng=np.random.default_rng(0)))
+    model[0].weight.data = np.array([[weight, weight]])
+    model[0].bias.data = np.array([0.0])
+    save_model(model, tmp_path / f"{name}.rnm")
+    src = f"""
+#pragma approx tensor functor(fi: [i, 0:2] = ([i, 0:2]))
+#pragma approx tensor functor(fo: [i, 0:1] = ([i]))
+#pragma approx tensor map(to: fi(x[0:N]))
+#pragma approx tensor map(from: fo(y[0:N]))
+#pragma approx ml({mode}:use_model) in(x) out(y) \\
+    db("{tmp_path}/{name}.rh5") model("{tmp_path}/{name}.rnm")
+"""
+    log = EventLog()
+
+    @approx_ml(src, name=name, event_log=log, engine=engine, qos=qos,
+               auto_batch=auto_batch)
+    def region(x, y, N, use_model=False):
+        if calls is not None:
+            calls.append(N)
+        y[:N] = x[:N].sum(axis=1) * scale
+
+    return region, log
+
+
+# ----------------------------------------------------------------------
+# RegionServer basics
+# ----------------------------------------------------------------------
+
+def test_serial_server_matches_direct_invocation(tmp_path):
+    region_a, _ = linear_region(tmp_path, "a", weight=1.0)
+    region_b, _ = linear_region(tmp_path, "b", weight=2.0)
+    server = RegionServer()
+    assert server.register(region_a) == "a"
+    server.register(region_b, name="b")
+    assert set(server.names) == {"a", "b"}
+
+    x = np.arange(8.0).reshape(4, 2)
+    y_served = np.empty(4)
+    y_direct = np.empty(4)
+    server.invoke("a", x, y_served, 4, use_model=True)
+    region_a(x, y_direct, 4, use_model=True)
+    np.testing.assert_allclose(y_served, y_direct)
+
+    y_b = np.empty(4)
+    server.invoke("b", x, y_b, 4, use_model=True)
+    np.testing.assert_allclose(y_b, 2.0 * x.sum(axis=1))
+    assert server.served("a").invocations == 1
+    snap = server.snapshot()
+    assert snap["backend"] == "SerialBackend"
+    assert snap["regions"]["b"]["invocations"] == 1
+
+
+def test_register_duplicate_name_raises(tmp_path):
+    region, _ = linear_region(tmp_path, "dup")
+    server = RegionServer()
+    server.register(region)
+    with pytest.raises(ValueError, match="already registered"):
+        server.register(region)
+
+
+def test_attach_restore_qos_roundtrip(tmp_path):
+    region, _ = linear_region(tmp_path, "r")
+    server = RegionServer()
+    server.register(region)
+    ctrl = QoSController(shadow_rate=0.0)
+    prev = server.attach_qos(ctrl)
+    assert region.config.qos is ctrl and server.qos is ctrl
+    server.restore_qos(prev)
+    assert region.config.qos is None
+    # Server-level controller is inherited by later registrations.
+    server.attach_qos(ctrl)
+    late, _ = linear_region(tmp_path, "late")
+    server.register(late)
+    assert late.config.qos is ctrl
+    server.detach_qos()
+    assert late.config.qos is None and server.qos is None
+
+
+# ----------------------------------------------------------------------
+# Thread-pool backend (the `serving` CI lane)
+# ----------------------------------------------------------------------
+
+@pytest.mark.serving
+def test_thread_backend_serves_two_regions_concurrently(tmp_path):
+    region_a, _ = linear_region(tmp_path, "a", weight=1.0, auto_batch=True)
+    region_b, _ = linear_region(tmp_path, "b", weight=3.0, auto_batch=True)
+    server = RegionServer(backend=ThreadPoolBackend())
+    server.register(region_a)
+    server.register(region_b)
+
+    rng = np.random.default_rng(0)
+    x = rng.random((64, 2))
+    y_a = np.empty(64)
+    y_b = np.empty(64)
+    futures = []
+    for start in range(0, 64, 8):
+        block = np.ascontiguousarray(x[start:start + 8])
+        futures.append(server.invoke("a", block, y_a[start:start + 8], 8,
+                                     use_model=True))
+        futures.append(server.invoke("b", block, y_b[start:start + 8], 8,
+                                     use_model=True))
+    server.drain()
+    for future in futures:
+        assert future.exception() is None
+    np.testing.assert_allclose(y_a, x.sum(axis=1), rtol=1e-10)
+    np.testing.assert_allclose(y_b, 3.0 * x.sum(axis=1), rtol=1e-10)
+    server.close()
+
+
+@pytest.mark.serving
+def test_thread_backend_preserves_per_region_order(tmp_path):
+    order = []
+
+    src = """
+#pragma approx tensor functor(fi: [i, 0:1] = ([i]))
+#pragma approx tensor functor(fo: [i, 0:1] = ([i]))
+#pragma approx tensor map(to: fi(x[0:N]))
+#pragma approx tensor map(from: fo(y[0:N]))
+#pragma approx ml(infer:use_model) in(x) out(y) \\
+    db("unused.rh5") model("unused.rnm")
+"""
+
+    @approx_ml(src, name="seq", event_log=EventLog())
+    def region(x, y, N, tag=0, use_model=False):
+        order.append(tag)
+        y[:N] = x[:N]
+
+    server = RegionServer(backend=ThreadPoolBackend())
+    server.register(region)
+    x = np.zeros(1)
+    y = np.zeros(1)
+    futures = [server.invoke("seq", x, y, 1, tag=i) for i in range(32)]
+    server.drain()
+    for future in futures:
+        assert future.exception() is None
+    assert order == list(range(32))     # affinity thread: FIFO per region
+    server.close()
+
+
+@pytest.mark.serving
+def test_harness_run_propagates_worker_thread_failures(tmp_path):
+    from repro.apps.harness import BinomialHarness
+    server = RegionServer(backend=ThreadPoolBackend())
+    harness = BinomialHarness(tmp_path, n_train=32, n_test=16, n_steps=4,
+                              deploy_chunk=8, server=server)
+    # No model installed: the worker-thread inference fails, and the
+    # harness must re-raise instead of returning garbage buffers.
+    with pytest.raises(Exception):
+        harness.run_surrogate()
+    server.close()
+
+
+@pytest.mark.serving
+def test_region_flush_is_idempotent_and_thread_safe(tmp_path):
+    region, _ = linear_region(tmp_path, "flushy", auto_batch=True)
+    engine = region.engine
+    x = np.arange(64.0).reshape(32, 2)
+    y = np.empty(32)
+    for start in range(0, 32, 4):
+        region(x[start:start + 4], y[start:start + 4], 4, use_model=True)
+    assert engine.pending_rows == 32      # max_batch_rows default: queued
+
+    threads = [threading.Thread(target=region.flush) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    np.testing.assert_allclose(y, x.sum(axis=1))
+    assert engine.rows_flushed == 32      # exactly one flush won
+    assert engine.batches_flushed == 1
+    region.flush()                        # idempotent afterwards
+    assert engine.batches_flushed == 1
+    region.close()
+    region.close()                        # close is idempotent too
+
+
+# ----------------------------------------------------------------------
+# Shadow-validation row sub-sampling
+# ----------------------------------------------------------------------
+
+def test_shadow_rows_runs_accurate_kernel_on_subset(tmp_path):
+    calls = []
+    ctrl = QoSController(shadow_rate=1.0, seed=0, shadow_rows=4)
+    region, log = linear_region(tmp_path, "sub", weight=1.0, calls=calls,
+                                qos=ctrl)
+    rng = np.random.default_rng(1)
+    x = rng.random((16, 2)) + 0.5
+    y = np.empty(16)
+    region(x, y, 16, use_model=True)
+    # Accurate kernel validated 4 rows, not 16; the committed result is
+    # still the full surrogate output.
+    assert calls == [4]
+    np.testing.assert_allclose(y, x.sum(axis=1), rtol=1e-10)
+    stats = ctrl.stats_for("sub")
+    assert stats.count == 1
+    assert stats.last == pytest.approx(0.0, abs=1e-10)   # exact model
+    assert log.records[-1].times[Phase.SHADOW] > 0
+
+
+def test_shadow_rows_measures_error_of_wrong_model(tmp_path):
+    ctrl = QoSController(shadow_rate=1.0, seed=0, shadow_rows=3)
+    region, _ = linear_region(tmp_path, "wrong", weight=2.0, qos=ctrl)
+    x = np.ones((12, 2))
+    y = np.empty(12)
+    region(x, y, 12, use_model=True)
+    # pred = 2*sum, acc = sum -> relative error 1 on any row subset.
+    assert ctrl.stats_for("wrong").last == pytest.approx(1.0, rel=1e-6)
+
+
+def test_shadow_rows_ineligible_region_validates_full_batch(tmp_path):
+    calls = []
+    ctrl = QoSController(shadow_rate=1.0, seed=0, shadow_rows=4)
+    region, _ = linear_region(tmp_path, "full", calls=calls, qos=ctrl)
+    region.config.row_subsample = False          # opt-out wins
+    region._row_plan = region._build_row_plan()
+    x = np.ones((16, 2))
+    y = np.empty(16)
+    region(x, y, 16, use_model=True)
+    assert calls == [16]
+
+
+def test_shadow_rows_accurate_commit_validates_full_batch(tmp_path):
+    calls = []
+    ctrl = QoSController(shadow_rate=1.0, seed=0, shadow_rows=4,
+                         commit="accurate")
+    region, _ = linear_region(tmp_path, "acc", weight=2.0, calls=calls,
+                              qos=ctrl)
+    x = np.ones((16, 2))
+    y = np.empty(16)
+    region(x, y, 16, use_model=True)
+    assert calls == [16]                 # accurate result is committed
+    np.testing.assert_allclose(y, x.sum(axis=1))
+
+
+def test_row_subsample_true_on_unsupported_maps_raises(tmp_path):
+    src = """
+#pragma approx tensor functor(f: [b, 0:4] = ([b, 0:4]))
+#pragma approx tensor map(to: f(u[0:1]))
+#pragma approx tensor map(from: f(u[0:1]))
+#pragma approx ml(infer:use_model) inout(u) db("d.rh5") model("m.rnm")
+"""
+    with pytest.raises(ValueError, match="row_subsample"):
+        @approx_ml(src, name="bad", row_subsample=True)
+        def region(u, use_model=False):
+            pass
+
+
+# ----------------------------------------------------------------------
+# Budget arbitration
+# ----------------------------------------------------------------------
+
+def test_arbitration_policy_warmup_then_denial_and_probing():
+    policy = BudgetArbitrationPolicy(0.05, warmup=1, probe_interval=4,
+                                     rebalance_every=4)
+    stats = RegionErrorStats(alpha=0.5)
+    assert policy.decide("r", stats).reason == "warmup"
+    stats.update(2.0)                    # terrible surrogate
+    policy.observe("r", 2.0, stats)
+    actions = [policy.decide("r", stats) for _ in range(8)]
+    paths = [a.path for a in actions]
+    assert ExecutionPath.ACCURATE in paths
+    assert all(a.path == ExecutionPath.ACCURATE or a.force_shadow
+               for a in actions)
+    probes = [a for a in actions if a.reason == "probe"]
+    assert len(probes) == 2              # every 4th denial probes
+    snap = policy.snapshot()
+    assert snap["regions"]["r"]["denied"] == 8
+    assert snap["global_mean_charge"] == 0.0
+
+
+def test_arbitration_policy_admits_cheap_region():
+    policy = BudgetArbitrationPolicy(0.05, warmup=1, rebalance_every=4)
+    stats = RegionErrorStats(alpha=0.5)
+    policy.decide("good", stats)         # warmup
+    stats.update(1e-4)
+    policy.observe("good", 1e-4, stats)
+    decisions = [policy.decide("good", stats) for _ in range(16)]
+    assert all(d is None for d in decisions)
+    st = policy.snapshot()["regions"]["good"]
+    assert st["inferred"] == 16 and st["denied"] == 0
+    assert policy.global_mean_charge <= 0.05
+
+
+def test_arbitration_water_filling_splits_budget():
+    policy = BudgetArbitrationPolicy(0.1, warmup=0, rebalance_every=1,
+                                     headroom=1.0, charge="linear")
+    cheap = RegionErrorStats(alpha=1.0)
+    cheap.update(0.01)
+    costly = RegionErrorStats(alpha=1.0)
+    costly.update(5.0)
+    policy.decide("cheap", cheap)
+    policy.decide("costly", costly)
+    policy.observe("cheap", 0.01, cheap)
+    policy.observe("costly", 5.0, costly)
+    policy.decide("cheap", cheap)        # triggers rebalance
+    alloc = {n: st["allocation"]
+             for n, st in policy.snapshot()["regions"].items()}
+    # The cheap region gets its full demand; the costly one only the
+    # leftover mass over its share — far below its 5.0 demand.
+    assert alloc["cheap"] >= 0.009
+    assert alloc["costly"] < 0.5
+    assert policy.rebalances >= 1
+
+
+def test_reset_region_forgets_ledger():
+    policy = BudgetArbitrationPolicy(0.05, warmup=1)
+    stats = RegionErrorStats()
+    policy.decide("r", stats)
+    policy.reset_region("r")
+    assert "r" not in policy.snapshot()["regions"]
+
+
+# ----------------------------------------------------------------------
+# Two-region arbitration end-to-end (the satellite acceptance test)
+# ----------------------------------------------------------------------
+
+def test_arbiter_forces_untrained_region_accurate_under_global_budget(
+        tmp_path):
+    budget = 0.05
+    good, _ = linear_region(tmp_path, "good", weight=1.0)   # exact model
+    bad, _ = linear_region(tmp_path, "bad", weight=5.0)     # rel err ~4
+    server = RegionServer()
+    server.register(good)
+    server.register(bad)
+    arbiter = QoSArbiter(budget, shadow_rate=0.3, seed=0, warmup=2,
+                         rebalance_every=8)
+    server.attach_qos(arbiter)
+
+    rng = np.random.default_rng(2)
+    x = rng.random((128, 2)) + 0.5
+    y_good = np.empty(128)
+    y_bad = np.empty(128)
+    for start in range(0, 128, 4):
+        block = np.ascontiguousarray(x[start:start + 4])
+        server.invoke("good", block, y_good[start:start + 4], 4,
+                      use_model=True)
+        server.invoke("bad", block, y_bad[start:start + 4], 4,
+                      use_model=True)
+    server.drain()
+
+    accurate = x.sum(axis=1)
+
+    def rel(y):
+        return float(np.linalg.norm(y - accurate) / np.linalg.norm(accurate))
+
+    # Both regions' deployed QoI errors respect the global budget: the
+    # good region because its surrogate is accurate, the bad one
+    # because arbitration forced it onto the accurate path.
+    assert rel(y_good) <= budget
+    assert rel(y_bad) <= budget
+
+    snap = arbiter.snapshot()
+    arb = snap["arbitration"]
+    assert arb["global_mean_charge"] <= budget
+    assert arb["regions"]["bad"]["inferred"] == 0
+    assert arb["regions"]["bad"]["denied"] >= 20
+    assert arb["regions"]["good"]["inferred"] >= 24   # keeps infer share
+    tele = snap["telemetry"]
+    bad_paths = tele["bad"]["final_paths"]
+    assert bad_paths.get(ExecutionPath.ACCURATE, 0) > \
+        bad_paths.get(ExecutionPath.INFER, 0)
+    rollup = snap["rollup"]
+    assert rollup["regions"] == 2
+    assert rollup["invocations"] == 64
+    assert rollup["overrides"] >= 20
+
+
+def test_telemetry_rollup_aggregates_regions(tmp_path):
+    ctrl = QoSController(shadow_rate=1.0, seed=0)
+    for name, weight in (("r1", 1.0), ("r2", 1.0)):
+        region, _ = linear_region(tmp_path, name, weight=weight, qos=ctrl)
+        x = np.ones((4, 2))
+        y = np.empty(4)
+        region(x, y, 4, use_model=True)
+    rollup = ctrl.telemetry.rollup()
+    assert rollup["regions"] == 2
+    assert rollup["invocations"] == 2
+    assert rollup["shadow_invocations"] == 2
+    assert rollup["infer_fraction"] == pytest.approx(1.0)
+    assert rollup["shadow_error_mean"] == pytest.approx(0.0, abs=1e-10)
+
+
+# ----------------------------------------------------------------------
+# Retrain worker: DB watch, background retrain, atomic hot-swap
+# ----------------------------------------------------------------------
+
+def _collectable_region(tmp_path, name="learn"):
+    """Predicated region computing ``y = 2*x0 + 3*x1`` (learnable by a
+    Linear layer); collection appends rows to its training DB."""
+    src = f"""
+#pragma approx tensor functor(fi: [i, 0:2] = ([i, 0:2]))
+#pragma approx tensor functor(fo: [i, 0:1] = ([i]))
+#pragma approx tensor map(to: fi(x[0:N]))
+#pragma approx tensor map(from: fo(y[0:N]))
+#pragma approx ml(predicated:use_model) in(x) out(y) \\
+    db("{tmp_path}/{name}.rh5") model("{tmp_path}/{name}.rnm")
+"""
+    log = EventLog()
+
+    @approx_ml(src, name=name, event_log=log)
+    def region(x, y, N, use_model=False):
+        y[:N] = 2.0 * x[:N, 0] + 3.0 * x[:N, 1]
+
+    return region
+
+
+def test_hot_swap_model_replaces_file_and_refreshes_engine(tmp_path):
+    path = tmp_path / "m.rnm"
+    model_a = Sequential(Linear(2, 1, rng=np.random.default_rng(0)))
+    model_a[0].weight.data = np.array([[1.0, 1.0]])
+    model_a[0].bias.data = np.array([0.0])
+    save_model(model_a, path)
+
+    from repro.runtime import InferenceEngine
+    engine = InferenceEngine()
+    x = np.ones((2, 2))
+    np.testing.assert_allclose(engine.infer(path, x).ravel(), [2.0, 2.0])
+
+    model_b = Sequential(Linear(2, 1, rng=np.random.default_rng(0)))
+    model_b[0].weight.data = np.array([[10.0, 10.0]])
+    model_b[0].bias.data = np.array([0.0])
+    hot_swap_model(model_b, path, engines=[engine])
+    np.testing.assert_allclose(engine.infer(path, x).ravel(), [20.0, 20.0])
+    assert not path.with_name(path.name + ".swap").exists()
+
+
+def test_retrain_worker_polls_db_growth_and_hot_swaps(tmp_path):
+    region = _collectable_region(tmp_path)
+    rng = np.random.default_rng(3)
+
+    # A deliberately wrong initial model.
+    bad = Sequential(Linear(2, 1, rng=np.random.default_rng(0)))
+    bad[0].weight.data = np.array([[0.0, 0.0]])
+    bad[0].bias.data = np.array([0.0])
+    save_model(bad, tmp_path / "learn.rnm")
+
+    worker = RetrainWorker(seed=0)
+    worker.watch(
+        "learn", tmp_path / "learn.rh5", tmp_path / "learn.rnm",
+        build=lambda xt, yt: Sequential(
+            Linear(2, 1, rng=np.random.default_rng(1))),
+        trainer_kwargs=dict(lr=0.1, batch_size=32, max_epochs=200,
+                            patience=50),
+        min_new_rows=32, engines=[region.engine])
+    assert worker.poll() == []           # nothing collected yet
+
+    x = rng.random((64, 2))
+    y = np.empty(64)
+    region(x, y, 64, use_model=False)    # predicated-false -> collect
+    region.flush()
+    assert db_row_count(tmp_path / "learn.rh5", "learn") == 64
+
+    events = worker.poll()
+    assert len(events) == 1
+    assert events[0].region == "learn" and events[0].new_rows == 64
+    assert worker.poll() == []           # baseline advanced: no re-fire
+
+    # The hot-swapped model now serves: predictions close to 2x0+3x1.
+    y_pred = np.empty(64)
+    region(x, y_pred, 64, use_model=True)
+    region.flush()
+    ref = 2.0 * x[:, 0] + 3.0 * x[:, 1]
+    rel = np.linalg.norm(y_pred - ref) / np.linalg.norm(ref)
+    assert rel < 0.05
+
+
+@pytest.mark.serving
+def test_retrain_worker_background_thread_catches_refresh(tmp_path):
+    region = _collectable_region(tmp_path, name="bg")
+    bad = Sequential(Linear(2, 1, rng=np.random.default_rng(0)))
+    save_model(bad, tmp_path / "bg.rnm")
+    worker = RetrainWorker(seed=0)
+    worker.watch(
+        "bg", tmp_path / "bg.rh5", tmp_path / "bg.rnm",
+        build=lambda xt, yt: Sequential(
+            Linear(2, 1, rng=np.random.default_rng(1))),
+        trainer_kwargs=dict(lr=0.1, batch_size=32, max_epochs=50,
+                            patience=20),
+        min_new_rows=16, engines=[region.engine])
+    worker.start(interval=0.05)
+    assert worker.running
+    x = np.random.default_rng(4).random((48, 2))
+    y = np.empty(48)
+    region(x, y, 48, use_model=False)
+    region.flush()
+    worker.stop()                        # final poll catches the refresh
+    assert not worker.running
+    assert len(worker.events) == 1
+    assert worker.snapshot()["retrains"][0]["region"] == "bg"

@@ -1,0 +1,74 @@
+"""Tier-1 smoke run of the serving-layer benchmark.
+
+Runs ``benchmarks/bench_serving.py`` at tiny sizes and validates the
+``BENCH_serving.json`` schema plus the headline acceptance properties:
+the untrained region is forced onto the accurate path with both
+regions' deployed QoI errors under the global budget, and the retrain
+worker hot-swaps a model under the live server.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_serving.py"
+
+
+def load_bench_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_serving", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_serving_bench_smoke_writes_valid_schema(tmp_path):
+    bench = load_bench_module()
+    out = tmp_path / "BENCH_serving.json"
+    results = bench.main(["--quick", "--out", str(out),
+                          "--workdir", str(tmp_path / "work")])
+    assert out.exists()
+    on_disk = json.loads(out.read_text())
+    assert on_disk["schema"] == "bench_serving/v1"
+    assert on_disk == json.loads(json.dumps(results))    # JSON-clean
+    assert on_disk["config"]["quick"] is True
+
+    latency = on_disk["latency"]
+    assert latency["invocations"] > 0 and latency["rows"] > 0
+    assert latency["direct_seconds"] > 0
+    assert latency["server_seconds"] > 0
+    assert latency["ratio"] > 0
+
+    throughput = on_disk["throughput"]
+    assert set(throughput["backends"]) == {"serial", "thread"}
+    for row in throughput["backends"].values():
+        assert row["rows_per_second"] > 0
+        assert row["rows"] > 0
+    assert throughput["thread_vs_serial"] > 0
+
+    arb = on_disk["arbitration"]
+    assert 0 < arb["budget"] < arb["weak"]["pure_relative_error"]
+    # The acceptance property: the untrained surrogate is forced onto
+    # the accurate path and both regions' deployed QoI errors respect
+    # the single global budget.
+    assert arb["weak"]["forced_accurate"]
+    assert arb["weak"]["under_budget"]
+    assert arb["strong"]["under_budget"]
+    assert arb["compliant"]
+    assert arb["global_mean_charge"] <= arb["budget"]
+    assert arb["rollup"]["regions"] == 2
+
+    retrain = on_disk["retrain"]
+    assert retrain["hot_swapped"], "RetrainWorker must hot-swap a model"
+    assert retrain["server_restarted"] is False
+    assert retrain["drift_bursts"] >= 1
+    assert len(retrain["retrains"]) >= 1
+    assert retrain["retrains"][0]["region"] == "binomial"
+    assert retrain["retrains"][0]["new_rows"] > 0
+    assert retrain["both_under_budget"]
+
+    summary = on_disk["summary"]
+    assert summary["arbitration_compliant"]
+    assert summary["retrain_hot_swapped"]
+    assert summary["retrain_both_under_budget"]
