@@ -20,7 +20,9 @@ across four scenarios:
   training DB, a ``RetrainWorker`` retrains in the background and
   hot-swaps the model file under the live server; post-swap both
   regions' deployed errors must again respect the budget — without a
-  server restart.
+  server restart.  Also times retrain->hot-swap wall clock on the
+  refreshed DB with the compiled trainer vs the graph trainer (the
+  drift-recovery latency the in-process worker pays).
 
 Results land in ``BENCH_serving.json`` (schema ``bench_serving/v1``).
 Run from the repo root::
@@ -383,7 +385,32 @@ def scenario_retrain(workdir, *, quick, chunk, epochs,
     bonds_dep = _relative(bonds_h.run_surrogate(), bonds_acc)
     server.detach_qos()
 
+    # Compiled-vs-graph trainer on the very DB the drift bursts
+    # refreshed: the retrain->hot-swap wall time (DB load -> train ->
+    # serialize -> atomic swap) is the drift-recovery latency the live
+    # server pays; scratch model paths keep the served file untouched.
+    trainer_comparison = {}
+    for mode, compiled in (("graph", False), ("compiled", True)):
+        probe = RetrainWorker(seed=1)
+        probe.watch("binomial", bin_h.db_path,
+                    Path(workdir) / f"retrain-compare-{mode}.rnm",
+                    build=build,
+                    trainer_kwargs=dict(max_epochs=retrain_epochs,
+                                        compiled=compiled,
+                                        **TRAIN_PARAMS["binomial"]))
+        event = probe.retrain_now("binomial")
+        trainer_comparison[mode] = {"seconds": event.seconds,
+                                    "rows": event.rows,
+                                    "val_loss": event.val_loss}
+    trainer_comparison["speedup"] = (
+        trainer_comparison["graph"]["seconds"]
+        / trainer_comparison["compiled"]["seconds"])
+    trainer_comparison["val_loss_diff"] = abs(
+        trainer_comparison["graph"]["val_loss"]
+        - trainer_comparison["compiled"]["val_loss"])
+
     return {
+        "trainer_comparison": trainer_comparison,
         "budget": budget,
         "drift_factor": drift_factor,
         "base_pure_relative_error": base_pure,
@@ -428,6 +455,8 @@ def run_benchmark(workdir, *, quick: bool = False, chunk: int = 16,
             "arbitration_compliant": arbitration["compliant"],
             "retrain_hot_swapped": retrain["hot_swapped"],
             "retrain_both_under_budget": retrain["both_under_budget"],
+            "retrain_trainer_speedup":
+                retrain["trainer_comparison"]["speedup"],
         },
     }
 
@@ -476,6 +505,11 @@ def main(argv=None) -> dict:
           f"{ret['pre_retrain_shadow_ewma']} -> "
           f"{ret['post_retrain_shadow_ewma']}, both regions under budget "
           f"{ret['budget']:.3g}: {ret['both_under_budget']}")
+    cmp_ = ret["trainer_comparison"]
+    print(f"retrain wall time: graph {cmp_['graph']['seconds']:.3f} s, "
+          f"compiled {cmp_['compiled']['seconds']:.3f} s "
+          f"({cmp_['speedup']:.2f}x, val-loss diff "
+          f"{cmp_['val_loss_diff']:.3g})")
     return results
 
 

@@ -13,6 +13,8 @@ from .layers import (
     Standardize, Destandardize,
 )
 from .compile import compile_inference, CompiledPlan, UnsupportedLayerError
+from .compile_train import (compile_training, CompiledTrainingPlan,
+                            FusedAdam, FusedSGD)
 from .optim import Optimizer, SGD, Adam
 from .loss import mse_loss, l1_loss, huber_loss, mape_loss, rmse, mape
 from .serialize import (save_model, load_model, load_meta, spec_from_model,
@@ -35,5 +37,6 @@ __all__ = [
     "normalize_stats", "Normalizer", "StepLR", "CosineAnnealingLR",
     "ReduceLROnPlateau", "GRUCell", "GRU", "ArrayDataset",
     "H5Dataset", "DataLoader", "compile_inference", "CompiledPlan",
-    "UnsupportedLayerError",
+    "UnsupportedLayerError", "compile_training", "CompiledTrainingPlan",
+    "FusedAdam", "FusedSGD",
 ]

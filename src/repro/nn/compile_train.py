@@ -1,0 +1,848 @@
+"""Compiled training fast path: fused forward/backward plans + fused optimizer.
+
+PR 1 compiled *inference* (:mod:`repro.nn.compile`); this module does
+the same for *training*, the remaining hot path: every
+``Trainer._epoch`` minibatch on the graph path allocates dozens of
+autodiff ``Tensor`` intermediates, and ``Adam.step`` loops over
+parameters in Python.  Since the online serving layer retrains
+in-process (``serving.retrain.RetrainWorker``) and the BO
+hyperparameter search trains every candidate, epoch time bounds both
+drift-recovery latency and search throughput.
+
+:func:`compile_training` walks a model **once** and emits a
+:class:`CompiledTrainingPlan`:
+
+* **fused forward** — affine + activation steps over raw ndarrays into
+  preallocated per-batch-size scratch, stashing only the activations
+  the backward pass needs (zero ``Tensor`` wrappers);
+* **hand-derived backward** — per-step closures that replay the exact
+  op sequence of the autodiff graph (same formulas, same association
+  where it matters) and write parameter gradients straight into
+  per-parameter views of one flat, preallocated gradient buffer;
+* **fused optimizer** — :class:`FusedAdam` / :class:`FusedSGD` run the
+  moment updates vectorized over the flat gradient/moment buffers
+  (decoupled weight decay, in-place parameter updates) instead of a
+  Python loop of temporaries per parameter;
+* **in-place global-norm clipping** — :meth:`CompiledTrainingPlan.
+  clip_gradients` accumulates per-parameter ``np.vdot`` and rescales
+  the flat buffer in place.
+
+Supported layer set is the deployed-surrogate zoo: ``Linear``,
+ReLU/Tanh/Sigmoid/LeakyReLU, ``Dropout`` (train-mode masks drawn from
+the layer's own RNG stream, so compiled and graph training consume
+identical draws), ``BatchNorm1d`` (train mode, running-stat updates
+included), ``Standardize``/``Destandardize``, ``Flatten``,
+``Identity``, and ``Sequential`` nesting.  Anything else (GRU, convs)
+raises :class:`UnsupportedLayerError` and callers fall back to the
+graph path — :class:`~repro.nn.Trainer` does this automatically.
+
+Numerical contract: with float64 data and fixed seeds the compiled
+path reproduces the graph path's losses, gradients and parameter
+trajectories to within a few ULP (element-wise ops are mirrored
+exactly; the only divergence source is BLAS accumulation order inside
+the weight-gradient GEMM).  ``tests/test_nn_compile_train.py`` pins
+gradient parity at <= 1e-10 and identical early-stopping behavior.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+
+import numpy as np
+
+from . import layers as L
+from .compile import UnsupportedLayerError, _flatten_layers
+from .loss import huber_loss, l1_loss, mape_loss, mse_loss
+from .optim import SGD, Adam
+
+__all__ = ["compile_training", "CompiledTrainingPlan", "FusedAdam",
+           "FusedSGD", "UnsupportedLayerError"]
+
+
+# ----------------------------------------------------------------------
+# Scratch helpers
+# ----------------------------------------------------------------------
+
+class _StepBase:
+    """A plan step owning per-batch-size scratch buffers."""
+
+    __slots__ = ("_bufs",)
+
+    def __init__(self):
+        self._bufs: dict = {}
+
+    def scratch(self, n: int) -> dict:
+        s = self._bufs.get(n)
+        if s is None:
+            s = self._bufs[n] = {}
+        return s
+
+    def clear(self) -> None:
+        self._bufs.clear()
+
+
+def _buf(s: dict, key: str, shape: tuple, dtype=np.float64) -> np.ndarray:
+    arr = s.get(key)
+    if arr is None or arr.shape != shape:
+        arr = s[key] = np.empty(shape, dtype=dtype)
+    return arr
+
+
+# ----------------------------------------------------------------------
+# Activation kernels (forward into scratch, backward from stashed output)
+# ----------------------------------------------------------------------
+
+def _act_kind(layer):
+    if isinstance(layer, L.ReLU):
+        return ("relu", 0.0)
+    if isinstance(layer, L.Tanh):
+        return ("tanh", 0.0)
+    if isinstance(layer, L.Sigmoid):
+        return ("sigmoid", 0.0)
+    if isinstance(layer, L.LeakyReLU):
+        return ("leaky", layer.slope)
+    return None
+
+
+def _act_forward(kind, slope, z, s):
+    """Apply activation in place on the pre-activation buffer ``z``."""
+    if kind == "relu":
+        np.maximum(z, 0.0, out=z)
+    elif kind == "tanh":
+        np.tanh(z, out=z)
+    elif kind == "sigmoid":
+        # 1 / (1 + exp(-x)) — the Tensor.sigmoid formula, in place.
+        np.negative(z, out=z)
+        np.exp(z, out=z)
+        z += 1.0
+        np.reciprocal(z, out=z)
+    else:  # leaky
+        mb = _buf(s, "act_mask", z.shape, dtype=bool)
+        t = _buf(s, "act_t", z.shape)
+        np.greater(z, 0.0, out=mb)
+        t.fill(slope)
+        np.copyto(t, 1.0, where=mb)
+        np.multiply(z, t, out=z)
+
+
+def _act_backward(kind, slope, g, out, s):
+    """In-place ``g *= act'`` using the stashed activation *output*.
+
+    All four activations admit derivative-from-output forms that match
+    the graph path's derivative-from-input values exactly (for ReLU and
+    LeakyReLU, ``out > 0`` iff ``pre > 0`` because the slope is
+    positive).
+    """
+    if kind == "relu":
+        mb = _buf(s, "act_mask", out.shape, dtype=bool)
+        np.greater(out, 0.0, out=mb)
+        np.multiply(g, mb, out=g)
+    elif kind == "tanh":
+        t = _buf(s, "act_t", out.shape)
+        np.multiply(out, out, out=t)
+        np.subtract(1.0, t, out=t)
+        np.multiply(g, t, out=g)
+    elif kind == "sigmoid":
+        # Graph: g * out * (1 - out), associated as (g*out)*(1-out).
+        t = _buf(s, "act_t", out.shape)
+        np.multiply(g, out, out=g)
+        np.subtract(1.0, out, out=t)
+        np.multiply(g, t, out=g)
+    else:  # leaky
+        mb = _buf(s, "act_mask", out.shape, dtype=bool)
+        t = _buf(s, "act_t", out.shape)
+        np.greater(out, 0.0, out=mb)
+        t.fill(slope)
+        np.copyto(t, 1.0, where=mb)
+        np.multiply(g, t, out=g)
+
+
+# ----------------------------------------------------------------------
+# Steps
+# ----------------------------------------------------------------------
+
+class _AffineStep(_StepBase):
+    """Fused ``z = act(x @ W.T + b)`` with gradient writes into flat views.
+
+    Backward: ``dz = g * act'(z)`` in place on the incoming gradient
+    buffer, then ``gW = dz.T @ x`` and ``gb = dz.sum(0)`` straight into
+    the plan's flat gradient buffer, and ``gx = dz @ W`` into step
+    scratch (skipped for the first step of the plan).
+    """
+
+    __slots__ = ("w", "wt", "b_row", "act", "slope", "gw", "gb")
+
+    def __init__(self, weight, bias, act, gw, gb):
+        super().__init__()
+        self.w = weight
+        self.wt = weight.T                 # view: in-place updates flow
+        self.b_row = bias.reshape(1, -1) if bias is not None else None
+        if act is None:
+            self.act, self.slope = None, 0.0
+        else:
+            self.act, self.slope = act
+        self.gw = gw
+        self.gb = gb
+
+    def forward(self, x, n):
+        if x.ndim != 2:
+            raise ValueError(f"compiled training expects 2-D activations, "
+                             f"got {x.shape}")
+        s = self.scratch(n)
+        z = _buf(s, "z", (n, self.wt.shape[1]))
+        np.dot(x, self.wt, out=z)
+        if self.b_row is not None:
+            np.add(z, self.b_row, out=z)
+        if self.act is not None:
+            _act_forward(self.act, self.slope, z, s)
+        s["x"] = x
+        return z
+
+    def backward(self, g, n, need_gx):
+        s = self._bufs[n]
+        if self.act is not None:
+            _act_backward(self.act, self.slope, g, s["z"], s)
+        np.dot(g.T, s["x"], out=self.gw)
+        if self.gb is not None:
+            # add.reduce is what np.sum dispatches to (bit-identical to
+            # the graph path's unbroadcast sum) minus wrapper overhead.
+            np.add.reduce(g, axis=0, out=self.gb)
+        if not need_gx:
+            return None
+        gx = _buf(s, "gx", (n, self.w.shape[1]))
+        np.dot(g, self.w, out=gx)
+        return gx
+
+
+class _ActStep(_StepBase):
+    """Standalone activation (not fused behind a Linear)."""
+
+    __slots__ = ("act", "slope")
+
+    def __init__(self, act):
+        super().__init__()
+        self.act, self.slope = act
+
+    def forward(self, x, n):
+        s = self.scratch(n)
+        z = _buf(s, "z", x.shape)
+        np.copyto(z, x)
+        _act_forward(self.act, self.slope, z, s)
+        return z
+
+    def backward(self, g, n, need_gx):
+        s = self._bufs[n]
+        _act_backward(self.act, self.slope, g, s["z"], s)
+        return g
+
+
+class _DropoutStep(_StepBase):
+    """Inverted dropout with cached mask buffers.
+
+    Draws from the layer's own RNG with ``Generator.random(out=...)``,
+    which consumes exactly the same stream as the graph path's
+    ``rng.random(x.shape)`` — fixed-seed training is bit-for-bit
+    reproducible across the two paths.
+    """
+
+    __slots__ = ("layer", "keep")
+
+    def __init__(self, layer):
+        super().__init__()
+        self.layer = layer
+        self.keep = 1.0 - layer.p
+
+    def forward(self, x, n):
+        s = self.scratch(n)
+        r = _buf(s, "r", x.shape)
+        self.layer.rng.random(out=r)
+        mb = _buf(s, "mask_bool", x.shape, dtype=bool)
+        np.less(r, self.keep, out=mb)
+        m = _buf(s, "mask", x.shape)
+        np.divide(mb, self.keep, out=m)
+        z = _buf(s, "z", x.shape)
+        np.multiply(x, m, out=z)
+        return z
+
+    def backward(self, g, n, need_gx):
+        np.multiply(g, self._bufs[n]["mask"], out=g)
+        return g
+
+
+class _BatchNormStep(_StepBase):
+    """BatchNorm1d in train mode: batch stats + running-stat updates.
+
+    The forward mirrors the graph ops (``mean = sum * (1/n)``, biased
+    variance); the backward is the classic batch-norm adjoint derived
+    from those exact ops — gradient flows through the batch mean and
+    variance as well as the normalized activations.
+    """
+
+    __slots__ = ("layer", "gw", "gb")
+
+    def __init__(self, layer, gw, gb):
+        super().__init__()
+        self.layer = layer
+        self.gw = gw
+        self.gb = gb
+
+    def forward(self, x, n):
+        if x.ndim != 2:
+            raise ValueError(f"BatchNorm1d expects (N, F) inputs, got "
+                             f"{x.shape}")
+        lay = self.layer
+        s = self.scratch(n)
+        inv_n = 1.0 / n
+        mu = x.sum(axis=0, keepdims=True) * inv_n
+        c = _buf(s, "c", x.shape)
+        np.subtract(x, mu, out=c)
+        sq = _buf(s, "sq", x.shape)
+        np.multiply(c, c, out=sq)
+        var = sq.sum(axis=0, keepdims=True) * inv_n
+        # Rebinding assignments, exactly like the graph path (so any
+        # inference plan watching the running stats goes stale too).
+        lay.running_mean = ((1 - lay.momentum) * lay.running_mean
+                            + lay.momentum * mu.ravel())
+        lay.running_var = ((1 - lay.momentum) * lay.running_var
+                           + lay.momentum * var.ravel())
+        std = np.sqrt(var + lay.eps)
+        norm = _buf(s, "norm", x.shape)
+        np.divide(c, std, out=norm)
+        z = _buf(s, "z", x.shape)
+        np.multiply(norm, lay.weight.data, out=z)
+        np.add(z, lay.bias.data, out=z)
+        s["std"] = std
+        s["inv_n"] = inv_n
+        return z
+
+    def backward(self, g, n, need_gx):
+        s = self._bufs[n]
+        c, sq, norm, std = s["c"], s["sq"], s["norm"], s["std"]
+        inv_n = s["inv_n"]
+        np.multiply(g, norm, out=sq)           # sq reused as scratch
+        np.add.reduce(sq, axis=0, out=self.gw)
+        np.add.reduce(g, axis=0, out=self.gb)
+        dn = _buf(s, "dn", g.shape)
+        np.multiply(g, self.layer.weight.data, out=dn)
+        # d std via norm = c / std (the truediv adjoint, unbroadcast).
+        np.multiply(dn, c, out=sq)
+        np.negative(sq, out=sq)
+        np.divide(sq, std * std, out=sq)
+        dstd = sq.sum(axis=0, keepdims=True)
+        dvar = dstd * 0.5 / std
+        np.divide(dn, std, out=dn)             # dn = dc (from norm)
+        gci = dvar * inv_n
+        np.multiply(c, gci, out=sq)
+        np.add(sq, sq, out=sq)                 # 2 * c * dvar / n
+        np.add(dn, sq, out=dn)                 # total dc
+        if not need_gx:
+            return None
+        dmu = dn.sum(axis=0, keepdims=True)
+        np.negative(dmu, out=dmu)
+        np.multiply(dmu, inv_n, out=dmu)
+        gx = _buf(s, "gx", g.shape)
+        np.add(dn, dmu, out=gx)
+        return gx
+
+
+class _StandardizeStep(_StepBase):
+    """Frozen ``(x - mean) * (1/std)`` — constants, gradient is a scale."""
+
+    __slots__ = ("mean", "inv_std")
+
+    def __init__(self, layer):
+        super().__init__()
+        self.mean = layer.mean
+        self.inv_std = 1.0 / layer.std
+
+    def forward(self, x, n):
+        s = self.scratch(n)
+        z = _buf(s, "z", x.shape)
+        np.subtract(x, self.mean, out=z)
+        np.multiply(z, self.inv_std, out=z)
+        return z
+
+    def backward(self, g, n, need_gx):
+        if not need_gx:
+            return None
+        np.multiply(g, self.inv_std, out=g)
+        return g
+
+
+class _DestandardizeStep(_StepBase):
+    """Frozen ``x * std + mean`` output head."""
+
+    __slots__ = ("mean", "std")
+
+    def __init__(self, layer):
+        super().__init__()
+        self.mean = layer.mean
+        self.std = layer.std
+
+    def forward(self, x, n):
+        s = self.scratch(n)
+        z = _buf(s, "z", x.shape)
+        np.multiply(x, self.std, out=z)
+        np.add(z, self.mean, out=z)
+        return z
+
+    def backward(self, g, n, need_gx):
+        if not need_gx:
+            return None
+        np.multiply(g, self.std, out=g)
+        return g
+
+
+class _FlattenStep(_StepBase):
+    __slots__ = ("start_dim",)
+
+    def __init__(self, start_dim):
+        super().__init__()
+        self.start_dim = start_dim
+
+    def forward(self, x, n):
+        s = self.scratch(n)
+        s["shape"] = x.shape
+        return x.reshape(x.shape[:self.start_dim] + (-1,))
+
+    def backward(self, g, n, need_gx):
+        if not need_gx:
+            return None
+        return g.reshape(self._bufs[n]["shape"])
+
+
+# ----------------------------------------------------------------------
+# Loss lowering
+# ----------------------------------------------------------------------
+
+class _CompiledLoss(_StepBase):
+    """Loss value + seed gradient, mirroring the graph op sequence."""
+
+    __slots__ = ("kind", "delta", "eps")
+
+    def __init__(self, kind, delta=1.0, eps=1e-8):
+        super().__init__()
+        self.kind = kind
+        self.delta = delta
+        self.eps = eps
+
+    def run(self, pred, target, n):
+        if pred.shape != target.shape:
+            raise ValueError(f"loss shape mismatch: {pred.shape} vs "
+                             f"{target.shape}")
+        s = self.scratch(n)
+        d = _buf(s, "d", pred.shape)
+        np.subtract(pred, target, out=d)
+        inv = 1.0 / d.size
+        g = _buf(s, "g", pred.shape)
+        t = _buf(s, "t", pred.shape)
+        kind = self.kind
+        if kind == "mse":
+            np.multiply(d, d, out=t)
+            val = float(t.sum() * inv)
+            # Graph: two (1/N)*diff accumulations — exact doubling.
+            np.multiply(d, inv, out=g)
+            np.add(g, g, out=g)
+            return val, g
+        if kind == "l1":
+            np.abs(d, out=t)
+            val = float(t.sum() * inv)
+            np.sign(d, out=g)
+            np.multiply(g, inv, out=g)
+            return val, g
+        if kind == "mape":
+            denom = np.maximum(np.abs(target), self.eps)
+            np.abs(d, out=t)
+            np.divide(t, denom, out=t)
+            val = float(t.sum() * inv)
+            np.sign(d, out=g)
+            np.multiply(g, inv, out=g)
+            np.divide(g, denom, out=g)
+            return val, g
+        # huber: a = |d|; quad = clip(a, 0, delta); lin = a - quad;
+        # loss = (quad*quad*0.5 + lin*delta).mean()
+        delta = self.delta
+        a = np.abs(d)
+        quad = np.clip(a, 0.0, delta)
+        lin = a - quad
+        val = float((quad * quad * 0.5 + lin * delta).sum() * inv)
+        gq = quad * (inv * 0.5)
+        gq += gq
+        gq -= inv * delta
+        mask = (a >= 0.0) & (a <= delta)
+        ga = inv * delta + gq * mask
+        np.sign(d, out=g)
+        np.multiply(g, ga, out=g)
+        return val, g
+
+
+def _resolve_loss(loss_fn) -> _CompiledLoss:
+    base, kwargs = loss_fn, {}
+    if isinstance(loss_fn, functools.partial):
+        if loss_fn.args:
+            raise UnsupportedLayerError(
+                "compiled training supports keyword-only loss partials")
+        base, kwargs = loss_fn.func, dict(loss_fn.keywords or {})
+    if base is mse_loss and not kwargs:
+        return _CompiledLoss("mse")
+    if base is l1_loss and not kwargs:
+        return _CompiledLoss("l1")
+    if base is huber_loss and set(kwargs) <= {"delta"}:
+        return _CompiledLoss("huber", delta=kwargs.get("delta", 1.0))
+    if base is mape_loss and set(kwargs) <= {"eps"}:
+        return _CompiledLoss("mape", eps=kwargs.get("eps", 1e-8))
+    name = getattr(base, "__name__", repr(base))
+    raise UnsupportedLayerError(f"no compiled training lowering for loss "
+                                f"{name!r}")
+
+
+# ----------------------------------------------------------------------
+# Fused optimizers over flat gradient/moment buffers
+# ----------------------------------------------------------------------
+
+class FusedAdam:
+    """Vectorized Adam/AdamW step over a plan's flat gradient buffer.
+
+    Reads hyperparameters (``lr``, betas, ``eps``, ``weight_decay``)
+    from the source :class:`~repro.nn.optim.Adam` on every step, so LR
+    schedulers mutating ``optimizer.lr`` keep working.  Moment buffers
+    are flat; the per-parameter tail applies decoupled weight decay and
+    the in-place ``p -= lr * update`` (which, unlike the graph
+    optimizer's rebinding update, lets compiled inference plans keep
+    watching the same arrays).
+    """
+
+    __slots__ = ("plan", "src", "m", "v", "_u", "_s", "t", "_segs")
+
+    def __init__(self, plan, src):
+        n = plan.n_flat
+        self.plan = plan
+        self.src = src
+        self.m = np.zeros(n)
+        self.v = np.zeros(n)
+        self._u = np.empty(n)
+        self._s = np.empty(n)
+        self.t = int(src._t)
+        self._segs = [
+            (p.data.reshape(-1), self._u[lo:hi], plan.grads[lo:hi])
+            for p, (lo, hi) in zip(plan.params, plan.offsets)]
+
+    def step(self) -> None:
+        src = self.src
+        lr, wd = src.lr, src.weight_decay
+        b1, b2, eps = src.beta1, src.beta2, src.eps
+        self.t += 1
+        bias1 = 1.0 - b1 ** self.t
+        bias2 = 1.0 - b2 ** self.t
+        G, M, V, U, S = self.plan.grads, self.m, self.v, self._u, self._s
+        M *= b1
+        np.multiply(G, 1.0 - b1, out=U)
+        M += U
+        V *= b2
+        np.multiply(G, G, out=S)
+        S *= 1.0 - b2
+        V += S
+        np.divide(M, bias1, out=U)
+        np.divide(V, bias2, out=S)
+        np.sqrt(S, out=S)
+        S += eps
+        U /= S
+        # Per-parameter tail: decoupled decay + in-place update.  The
+        # gradient segment doubles as scratch (it is rewritten by the
+        # next backward pass anyway).  Without decay the lr scale runs
+        # once over the flat buffer instead of per segment.
+        if wd:
+            for pflat, useg, gseg in self._segs:
+                np.multiply(pflat, wd, out=gseg)
+                useg += gseg
+                np.multiply(useg, lr, out=gseg)
+                np.subtract(pflat, gseg, out=pflat)
+        else:
+            U *= lr
+            for pflat, useg, _gseg in self._segs:
+                np.subtract(pflat, useg, out=pflat)
+
+
+class FusedSGD:
+    """Vectorized SGD (momentum, L2 decay) over the flat gradient buffer."""
+
+    __slots__ = ("plan", "src", "vel", "_s", "_segs")
+
+    def __init__(self, plan, src):
+        n = plan.n_flat
+        self.plan = plan
+        self.src = src
+        self.vel = np.zeros(n) if src.momentum else None
+        self._s = np.empty(n)
+        self._segs = [
+            (p.data.reshape(-1), self._s[lo:hi], plan.grads[lo:hi])
+            for p, (lo, hi) in zip(plan.params, plan.offsets)]
+
+    def step(self) -> None:
+        src = self.src
+        lr, mom, wd = src.lr, src.momentum, src.weight_decay
+        G = self.plan.grads
+        if wd:
+            for pflat, sseg, gseg in self._segs:
+                np.multiply(pflat, wd, out=sseg)
+                gseg += sseg
+        if mom:
+            V = self.vel
+            V *= mom
+            V += G
+            upd = V
+        else:
+            upd = G
+        S = self._s
+        np.multiply(upd, lr, out=S)
+        for pflat, sseg, _gseg in self._segs:
+            np.subtract(pflat, sseg, out=pflat)
+
+
+# ----------------------------------------------------------------------
+# Plan
+# ----------------------------------------------------------------------
+
+class CompiledTrainingPlan:
+    """A fused forward/backward training closure over raw ndarrays.
+
+    ``train_batch(x, y)`` runs one minibatch — forward with train-mode
+    semantics, loss, and backward — leaving parameter gradients in
+    per-parameter views of the flat :attr:`grads` buffer, and returns
+    the scalar loss.  Pair with :meth:`bind_optimizer` for the fused
+    update and :meth:`clip_gradients` for global-norm clipping.
+    """
+
+    __slots__ = ("_steps", "_loss", "params", "offsets", "n_flat", "grads",
+                 "grad_views", "_watch", "_struct_watch", "summary",
+                 "n_layers", "n_fused", "_keys", "_need_gx")
+
+    def __init__(self, steps, loss_plan, params, watch, struct_watch,
+                 summary, n_layers, n_fused):
+        self._steps = tuple(steps)
+        self._loss = loss_plan
+        self.params = tuple(params)
+        sizes = [p.data.size for p in self.params]
+        bounds = np.concatenate(([0], np.cumsum(sizes))).astype(int)
+        self.offsets = tuple((int(bounds[i]), int(bounds[i + 1]))
+                             for i in range(len(sizes)))
+        self.n_flat = int(bounds[-1])
+        self.grads = np.zeros(self.n_flat)
+        self.grad_views = tuple(
+            self.grads[lo:hi].reshape(p.data.shape)
+            for p, (lo, hi) in zip(self.params, self.offsets))
+        self._watch = tuple(watch)
+        self._struct_watch = tuple(struct_watch)
+        self.summary = tuple(summary)
+        self.n_layers = n_layers
+        self.n_fused = n_fused
+        self._keys: set = set()
+        # Late-bind gradient views into the steps (built before the
+        # flat buffer exists).
+        cursor = 0
+        for step in self._steps:
+            if isinstance(step, (_AffineStep, _BatchNormStep)):
+                step.gw = self.grad_views[cursor]
+                cursor += 1
+                if step.gb is not False:
+                    step.gb = self.grad_views[cursor]
+                    cursor += 1
+                else:
+                    step.gb = None
+        # A step only needs an input gradient if some *earlier* step
+        # holds parameters — skips the input-gradient GEMM of the first
+        # Linear and the backward sweeps of leading Standardize/Flatten
+        # steps (those gradients were discarded anyway).
+        need = []
+        seen_params = False
+        for step in self._steps:
+            need.append(seen_params)
+            if isinstance(step, (_AffineStep, _BatchNormStep)):
+                seen_params = True
+        self._need_gx = tuple(need)
+
+    def stale(self) -> bool:
+        """True when the plan no longer describes the model.
+
+        Trips on parameter-array rebinding (``load_state_dict``) and on
+        structural ``Sequential`` mutation; the fused optimizer's
+        in-place updates do **not** flip staleness.
+        """
+        for obj, name, arr in self._watch:
+            if getattr(obj, name) is not arr:
+                return True
+        for seq, layer_list, n_layers in self._struct_watch:
+            if seq.layers is not layer_list or len(layer_list) != n_layers:
+                return True
+        return False
+
+    def bind_optimizer(self, opt):
+        """Build the fused optimizer mirroring ``opt``'s hyperparameters.
+
+        Raises :class:`UnsupportedLayerError` for optimizers without a
+        fused lowering (custom subclasses, pre-stepped moment state, or
+        a parameter set that differs from the plan's).
+        """
+        plan_ids = {id(p) for p in self.params}
+        opt_ids = {id(p) for p in opt.params}
+        if plan_ids != opt_ids:
+            raise UnsupportedLayerError(
+                "optimizer parameter set differs from the compiled plan's")
+        if type(opt) is Adam:
+            if any(m.any() for m in opt._m):
+                raise UnsupportedLayerError(
+                    "Adam has pre-stepped moment state; compiled training "
+                    "requires a fresh optimizer")
+            return FusedAdam(self, opt)
+        if type(opt) is SGD:
+            if opt.momentum and any(v.any() for v in opt._velocity):
+                raise UnsupportedLayerError(
+                    "SGD has pre-stepped velocity state; compiled training "
+                    "requires a fresh optimizer")
+            return FusedSGD(self, opt)
+        raise UnsupportedLayerError(
+            f"no fused lowering for optimizer {type(opt).__name__}")
+
+    def train_batch(self, x, y) -> float:
+        """One fused forward/backward minibatch; returns the loss."""
+        x = np.asarray(x)
+        y = np.asarray(y)
+        if x.dtype != np.float64 or y.dtype != np.float64:
+            raise TypeError("compiled training requires float64 arrays")
+        n = x.shape[0]
+        if n not in self._keys:
+            if len(self._keys) > 16:
+                for step in self._steps:
+                    step.clear()
+                self._loss.clear()
+                self._keys.clear()
+            self._keys.add(n)
+        h = x
+        for step in self._steps:
+            h = step.forward(h, n)
+        loss, g = self._loss.run(h, y, n)
+        steps = self._steps
+        need_gx = self._need_gx
+        for i in range(len(steps) - 1, -1, -1):
+            g = steps[i].backward(g, n, need_gx[i])
+            if g is None:
+                break
+        return loss
+
+    def clip_gradients(self, max_norm: float) -> float:
+        """Global-norm clip, in place on the flat gradient buffer."""
+        total = 0.0
+        for view in self.grad_views:
+            total += float(np.vdot(view, view))
+        norm = float(np.sqrt(total))
+        if norm > max_norm:
+            self.grads *= max_norm / (norm + 1e-12)
+        return norm
+
+    def __repr__(self):
+        return (f"CompiledTrainingPlan(layers={self.n_layers}, "
+                f"steps={len(self._steps)}, fused={self.n_fused}, "
+                f"params={len(self.params)})")
+
+
+def compile_training(model: L.Module, loss_fn=mse_loss) -> CompiledTrainingPlan:
+    """Compile ``model`` + ``loss_fn`` into a fused training plan.
+
+    Raises :class:`UnsupportedLayerError` for layers, losses or
+    optimizers without a training lowering — callers fall back to the
+    autodiff graph path (``Trainer`` does so automatically).
+    """
+    loss_plan = _resolve_loss(loss_fn)
+    struct_watch: list = []
+    layers = _flatten_layers(model, struct_watch)
+    steps: list = []
+    params: list = []
+    watch: list = []
+    summary: list = []
+    n_fused = 0
+
+    def add_param(p):
+        if p.data.dtype != np.float64 or not p.data.flags["C_CONTIGUOUS"]:
+            raise UnsupportedLayerError(
+                "compiled training requires contiguous float64 parameters")
+        params.append(p)
+        watch.append((p, "data", p.data))
+
+    i = 0
+    while i < len(layers):
+        layer = layers[i]
+        nxt = layers[i + 1] if i + 1 < len(layers) else None
+
+        if isinstance(layer, L.Identity):
+            summary.append("Identity: skipped")
+            i += 1
+            continue
+        if isinstance(layer, L.Dropout):
+            if layer.p > 0.0:
+                steps.append(_DropoutStep(layer))
+                summary.append(f"Dropout(p={layer.p}): cached masks")
+            else:
+                summary.append("Dropout(p=0): skipped")
+            i += 1
+            continue
+        if isinstance(layer, L.Linear):
+            act = _act_kind(nxt) if nxt is not None else None
+            add_param(layer.weight)
+            has_bias = layer.bias is not None
+            if has_bias:
+                add_param(layer.bias)
+            step = _AffineStep(layer.weight.data,
+                               layer.bias.data if has_bias else None,
+                               act, None, None)
+            # Marker consumed by the plan's late view binding.
+            step.gb = None if has_bias else False
+            steps.append(step)
+            if act is not None:
+                summary.append(f"Linear+{type(nxt).__name__}: fused "
+                               "affine fwd/bwd")
+                n_fused += 1
+                i += 2
+            else:
+                summary.append("Linear: affine fwd/bwd")
+                i += 1
+            continue
+        act = _act_kind(layer)
+        if act is not None:
+            steps.append(_ActStep(act))
+            summary.append(f"{type(layer).__name__}: activation")
+            i += 1
+            continue
+        if isinstance(layer, L.BatchNorm1d):
+            add_param(layer.weight)
+            add_param(layer.bias)
+            steps.append(_BatchNormStep(layer, None, None))
+            summary.append("BatchNorm1d: batch stats + running update")
+            i += 1
+            continue
+        if isinstance(layer, L.Standardize):
+            steps.append(_StandardizeStep(layer))
+            watch.append((layer, "mean", layer.mean))
+            watch.append((layer, "std", layer.std))
+            summary.append("Standardize: affine constants")
+            i += 1
+            continue
+        if isinstance(layer, L.Destandardize):
+            steps.append(_DestandardizeStep(layer))
+            watch.append((layer, "mean", layer.mean))
+            watch.append((layer, "std", layer.std))
+            summary.append("Destandardize: affine constants")
+            i += 1
+            continue
+        if isinstance(layer, L.Flatten):
+            steps.append(_FlattenStep(layer.start_dim))
+            summary.append("Flatten: reshape view")
+            i += 1
+            continue
+        raise UnsupportedLayerError(
+            f"no compiled training lowering for {type(layer).__name__}")
+
+    if not params:
+        raise UnsupportedLayerError("model has no trainable parameters")
+    return CompiledTrainingPlan(steps, loss_plan, params, watch,
+                                struct_watch, summary, len(layers), n_fused)

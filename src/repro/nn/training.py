@@ -4,6 +4,14 @@ Implements the supervised workflow of §III: the data collected by the
 runtime (inputs/outputs pairs) is split into training/validation per the
 paper's "best practices" citation, and the BO inner loop trains each
 candidate with these utilities.
+
+``Trainer`` runs minibatches through the compiled training fast path
+(:mod:`repro.nn.compile_train`) by default: a fused forward/backward
+NumPy plan plus a vectorized optimizer, reproducing the graph path's
+numerics while skipping its per-intermediate ``Tensor`` allocations.
+Models, losses or optimizers without a compiled lowering fall back to
+the autodiff graph automatically (``Trainer.compiled_active`` /
+``Trainer.compile_fallback`` report which path ran).
 """
 
 from __future__ import annotations
@@ -12,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .compile import UnsupportedLayerError
 from .layers import Module
 from .loss import mse_loss, rmse
 from .optim import Adam, Optimizer
@@ -22,8 +31,15 @@ __all__ = ["train_val_split", "iterate_minibatches", "Trainer", "TrainResult",
 
 
 def train_val_split(x: np.ndarray, y: np.ndarray, val_fraction: float = 0.2,
-                    rng: np.random.Generator | None = None):
-    """Shuffle and split arrays into train/validation partitions."""
+                    rng: np.random.Generator | None = None,
+                    return_indices: bool = False):
+    """Shuffle and split arrays into train/validation partitions.
+
+    With ``return_indices`` the ``(train_idx, val_idx)`` row-index
+    arrays are returned instead of the gathered partitions, for
+    callers that reweight or resample a partition (e.g. the retrain
+    worker's recency bootstrap) without forking the split convention.
+    """
     if len(x) != len(y):
         raise ValueError(f"x and y disagree on sample count: {len(x)} vs {len(y)}")
     if not 0.0 < val_fraction < 1.0:
@@ -33,6 +49,8 @@ def train_val_split(x: np.ndarray, y: np.ndarray, val_fraction: float = 0.2,
     perm = rng.permutation(n)
     n_val = max(1, int(round(n * val_fraction)))
     val_idx, train_idx = perm[:n_val], perm[n_val:]
+    if return_indices:
+        return train_idx, val_idx
     return (x[train_idx], y[train_idx]), (x[val_idx], y[val_idx])
 
 
@@ -89,7 +107,7 @@ class Trainer:
                  batch_size: int = 64, max_epochs: int = 50, patience: int = 8,
                  loss_fn=mse_loss, optimizer: Optimizer | None = None,
                  seed: int = 0, grad_clip: float | None = None,
-                 scheduler=None):
+                 scheduler=None, compiled: bool = True):
         self.model = model
         self.batch_size = int(batch_size)
         self.max_epochs = max_epochs
@@ -103,6 +121,55 @@ class Trainer:
         #: schedulers (taking the validation loss) are detected by
         #: signature.
         self.scheduler = scheduler
+        #: Use the compiled training fast path when the model/loss/
+        #: optimizer support it; falls back to the graph automatically.
+        self.compiled = compiled
+        self._plan = None
+        self._fused = None
+        self._compile_failed = False
+        #: True while epochs actually run through the compiled plan.
+        self.compiled_active = False
+        #: Human-readable reason the last compile attempt fell back.
+        self.compile_fallback: str | None = None
+
+    # -- compiled fast path ------------------------------------------------
+    def _ensure_compiled(self, x: np.ndarray, y: np.ndarray) -> bool:
+        """(Re)compile the fused training plan if needed; False => graph.
+
+        The plan is cached across epochs and revalidated against
+        parameter rebinding (``load_state_dict``) via its staleness
+        watch.  Any unsupported layer, loss, optimizer or dtype falls
+        back silently — the graph path is always correct.
+        """
+        if not self.compiled:
+            return False
+        if self._plan is not None and not self._plan.stale():
+            return True
+        if self._compile_failed:
+            # One failed attempt covers the whole fit: neither the
+            # layer set nor the loss changes between epochs.  fit()
+            # clears the latch, so a later fit (e.g. with float64 data
+            # this time) retries once.
+            return False
+        self._plan = self._fused = None
+        self.compiled_active = False
+        if np.asarray(x).dtype != np.float64 or \
+                np.asarray(y).dtype != np.float64:
+            self.compile_fallback = "training arrays are not float64"
+            self._compile_failed = True
+            return False
+        try:
+            from .compile_train import compile_training
+            plan = compile_training(self.model, self.loss_fn)
+            fused = plan.bind_optimizer(self.optimizer)
+        except UnsupportedLayerError as exc:
+            self.compile_fallback = str(exc)
+            self._compile_failed = True
+            return False
+        self._plan, self._fused = plan, fused
+        self.compiled_active = True
+        self.compile_fallback = None
+        return True
 
     def _clip_gradients(self) -> None:
         if self.grad_clip is None:
@@ -110,12 +177,12 @@ class Trainer:
         total = 0.0
         params = [p for p in self.optimizer.params if p.grad is not None]
         for p in params:
-            total += float((p.grad * p.grad).sum())
+            total += float(np.vdot(p.grad, p.grad))
         norm = np.sqrt(total)
         if norm > self.grad_clip:
             scale = self.grad_clip / (norm + 1e-12)
             for p in params:
-                p.grad = p.grad * scale
+                p.grad *= scale
 
     def _step_scheduler(self, val_loss: float) -> None:
         if self.scheduler is None:
@@ -127,6 +194,8 @@ class Trainer:
 
     def _epoch(self, x: np.ndarray, y: np.ndarray) -> float:
         self.model.train()
+        if self._ensure_compiled(x, y):
+            return self._epoch_compiled(x, y)
         total, count = 0.0, 0
         for xb, yb in iterate_minibatches(x, y, self.batch_size, self.rng):
             self.optimizer.zero_grad()
@@ -139,16 +208,37 @@ class Trainer:
             count += len(xb)
         return total / max(count, 1)
 
+    def _epoch_compiled(self, x: np.ndarray, y: np.ndarray) -> float:
+        """One epoch through the fused plan — same minibatch order, same
+        dropout draws, same losses as the graph epoch, no ``Tensor``
+        intermediates and no per-parameter Python optimizer loop."""
+        plan, fused = self._plan, self._fused
+        total, count = 0.0, 0
+        for xb, yb in iterate_minibatches(x, y, self.batch_size, self.rng):
+            loss = plan.train_batch(xb, yb)
+            if self.grad_clip is not None:
+                plan.clip_gradients(self.grad_clip)
+            fused.step()
+            total += loss * len(xb)
+            count += len(xb)
+        return total / max(count, 1)
+
     def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:
-        """Validation loss without touching the autograd graph."""
-        self.model.eval()
+        """Validation loss through the compiled inference path.
+
+        ``forward_compiled`` falls back to the graph internally for
+        unsupported layers, so this is safe for every model; both the
+        compiled and graph training paths share this evaluation, which
+        keeps their loss histories (and early stopping) identical.
+        """
         with no_grad():
-            pred = self.model(Tensor(x))
-            loss = self.loss_fn(pred, Tensor(y))
+            pred = self.model.forward_compiled(x)
+            loss = self.loss_fn(Tensor(pred), Tensor(y))
         return loss.item()
 
     def fit(self, x_train: np.ndarray, y_train: np.ndarray,
             x_val: np.ndarray, y_val: np.ndarray) -> TrainResult:
+        self._compile_failed = False      # new data may be compilable
         best = float("inf")
         best_state = None
         stale = 0
@@ -174,7 +264,5 @@ class Trainer:
         return TrainResult(best_val_loss=best, epochs_run=epochs, history=history)
 
     def validation_rmse(self, x_val: np.ndarray, y_val: np.ndarray) -> float:
-        self.model.eval()
-        with no_grad():
-            pred = self.model(Tensor(x_val)).numpy()
+        pred = self.model.forward_compiled(x_val)
         return rmse(pred, y_val)

@@ -332,6 +332,12 @@ class BudgetArbitrationPolicy(QoSPolicy):
     L2.  ``"linear"`` charges the raw estimate (mean-error semantics,
     matching :class:`ErrorBudgetPolicy`).
 
+    ``spend_window`` bounds the ledgers' memory: every decision decays
+    accumulated spend and decision mass by ``1 - 1/spend_window``, so
+    a long-running server is judged on roughly its last
+    ``spend_window`` decisions rather than constrained forever by
+    ancient error spend (``None`` — the default — never forgets).
+
     The first ``warmup`` observations per region are forced shadow
     probes committing the accurate result (zero charge), so no region
     is admitted on trust before its error has ever been measured; a
@@ -346,7 +352,7 @@ class BudgetArbitrationPolicy(QoSPolicy):
     def __init__(self, global_budget: float, headroom: float = 0.9,
                  warmup: int = 2, rebalance_every: int = 32,
                  probe_interval: int = 8, pessimistic: bool = False,
-                 charge: str = "squared"):
+                 charge: str = "squared", spend_window: int | None = None):
         if global_budget <= 0:
             raise ValueError(f"global_budget must be positive: "
                              f"{global_budget}")
@@ -361,6 +367,9 @@ class BudgetArbitrationPolicy(QoSPolicy):
         if charge not in ("linear", "squared"):
             raise ValueError(f"charge must be 'linear' or 'squared': "
                              f"{charge!r}")
+        if spend_window is not None and spend_window < 2:
+            raise ValueError(f"spend_window must be >= 2 decisions: "
+                             f"{spend_window}")
         self.global_budget = global_budget
         self.headroom = headroom
         self.warmup = warmup
@@ -368,9 +377,18 @@ class BudgetArbitrationPolicy(QoSPolicy):
         self.probe_interval = probe_interval
         self.pessimistic = pessimistic
         self.charge = charge
+        #: Exponentially-decayed spend ledgers: every decision scales
+        #: the accumulated charge and decision mass by
+        #: ``1 - 1/spend_window``, giving the ledger an effective
+        #: memory of about ``spend_window`` decisions.  A long-running
+        #: server's compliance statistic then tracks the *current*
+        #: serving regime instead of being pinned by ancient spend;
+        #: ``None`` keeps the original never-forgetting ledger.
+        self.spend_window = spend_window
+        self._keep = 1.0 - 1.0 / spend_window if spend_window else 1.0
         self._regions: dict[str, dict] = {}
         self._global_spent = 0.0
-        self._global_decisions = 0
+        self._global_decisions = 0.0
         self._since_rebalance = 0
         self.rebalances = 0
 
@@ -431,6 +449,17 @@ class BudgetArbitrationPolicy(QoSPolicy):
                 self._budget_mass)
 
     def decide(self, region_name, stats):
+        if self.spend_window is not None:
+            # Age every ledger before accounting this decision: spend
+            # and decision mass fade together, so the global mean
+            # charge (and the water-filling traffic shares) reflect
+            # roughly the last ``spend_window`` decisions.
+            keep = self._keep
+            self._global_spent *= keep
+            self._global_decisions *= keep
+            for other in self._regions.values():
+                other["spent"] *= keep
+                other["decisions"] *= keep
         st = self._region(region_name)
         st["decisions"] += 1
         self._global_decisions += 1
@@ -496,6 +525,7 @@ class BudgetArbitrationPolicy(QoSPolicy):
                 "headroom": self.headroom,
                 "pessimistic": self.pessimistic,
                 "charge": self.charge,
+                "spend_window": self.spend_window,
                 "global_decisions": self._global_decisions,
                 "global_mean_charge": self.global_mean_charge,
                 "rebalances": self.rebalances,
@@ -507,7 +537,7 @@ class BudgetArbitrationPolicy(QoSPolicy):
     def reset(self):
         self._regions.clear()
         self._global_spent = 0.0
-        self._global_decisions = 0
+        self._global_decisions = 0.0
         self._since_rebalance = 0
         self.rebalances = 0
 

@@ -113,7 +113,7 @@ class NestedSearch:
                  x_train, y_train, x_val, y_val,
                  n_inner: int = 6, max_epochs: int = 20,
                  latency_batch: int = 256, seed: int = 0,
-                 loss_fn=None):
+                 loss_fn=None, compiled: bool = True):
         self.arch_space = arch_space
         self.build_model = build_model
         self.x_train, self.y_train = x_train, y_train
@@ -122,6 +122,10 @@ class NestedSearch:
         self.max_epochs = max_epochs
         self.seed = seed
         self.loss_fn = loss_fn
+        #: Train candidates through the compiled fast path (the inner
+        #: loop trains every BO candidate, so epoch time bounds search
+        #: throughput); unsupported architectures fall back per model.
+        self.compiled = compiled
         self.rng = np.random.default_rng(seed)
         n = min(latency_batch, len(x_val))
         self.latency_sample = np.ascontiguousarray(x_val[:n])
@@ -143,7 +147,8 @@ class NestedSearch:
                               batch_size=int(hp["batch_size"]),
                               max_epochs=self.max_epochs,
                               patience=max(3, self.max_epochs // 4),
-                              seed=self.seed, **kwargs)
+                              seed=self.seed, compiled=self.compiled,
+                              **kwargs)
             result = trainer.fit(self.x_train, self.y_train,
                                  self.x_val, self.y_val)
             if "best" not in best_model or \

@@ -30,20 +30,24 @@ class QoSArbiter(QoSController):
     answer drift with a collection burst while the arbiter keeps the
     budget honest for everything else.  All the usual controller knobs
     (``shadow_rate``, ``metric``, ``shadow_rows``, ...) pass through.
+    Long-running servers should set ``spend_window`` so the budget
+    ledgers decay instead of letting ancient spend constrain the
+    present (see :class:`~repro.qos.BudgetArbitrationPolicy`).
     """
 
     def __init__(self, global_budget: float, *, headroom: float = 0.9,
                  warmup: int = 2, rebalance_every: int = 32,
                  probe_interval: int = 8, pessimistic: bool = False,
-                 charge: str = "squared", policies=(),
-                 shadow_rate: float = 0.1, seed: int = 0,
+                 charge: str = "squared", spend_window: int | None = None,
+                 policies=(), shadow_rate: float = 0.1, seed: int = 0,
                  commit: str = "surrogate", metric: str = "relative",
                  alpha: float = 0.2, quantile: float = 0.95,
                  telemetry=None, shadow_rows: int | None = None):
         self.arbitration = BudgetArbitrationPolicy(
             global_budget, headroom=headroom, warmup=warmup,
             rebalance_every=rebalance_every, probe_interval=probe_interval,
-            pessimistic=pessimistic, charge=charge)
+            pessimistic=pessimistic, charge=charge,
+            spend_window=spend_window)
         members = list(policies) + [self.arbitration]
         policy = members[0] if len(members) == 1 \
             else CompositePolicy(*members)

@@ -17,6 +17,14 @@ The worker runs either synchronously (:meth:`poll`, used by tests and
 deterministic benchmarks) or as a daemon thread (:meth:`start` /
 :meth:`stop`); ``stop`` performs one final poll so any refresh that
 landed during shutdown is still honored.
+
+Retraining rides the serving critical loop (the worker shares the
+process, and under the GIL epoch time is serving jitter), so the
+:class:`~repro.nn.Trainer` it builds trains through the compiled fast
+path (:mod:`repro.nn.compile_train`) by default — pass
+``trainer_kwargs=dict(compiled=False)`` to force the graph path.
+Optional ``recency_half_life`` weights the refreshed DB toward recent
+rows for faster adaptation under sustained drift.
 """
 
 from __future__ import annotations
@@ -33,7 +41,33 @@ from ..nn import Trainer, save_model
 from ..nn.training import train_val_split
 
 __all__ = ["RetrainSpec", "RetrainEvent", "RetrainWorker",
-           "hot_swap_model", "db_row_count"]
+           "hot_swap_model", "db_row_count", "recency_weighted_indices"]
+
+
+def recency_weighted_indices(indices, n_total: int, half_life: float,
+                             rng: np.random.Generator) -> np.ndarray:
+    """Bootstrap ``indices`` with age-decayed weights (newest row age 0).
+
+    Rows are stored in insertion order, so after a drift burst the
+    newest rows come from the drifted distribution.  ``indices`` are
+    row positions in a database of ``n_total`` rows; each row's weight
+    halves every ``half_life`` rows of age.  Sampling ``len(indices)``
+    of them with replacement yields a partition dominated by recent
+    rows while old rows still contribute — faster adaptation under
+    sustained drift without forgetting the stationary regime outright.
+
+    Callers must bootstrap the training and validation partitions
+    *separately* (after splitting): resampling before the split would
+    duplicate rows across both partitions and turn the validation loss
+    into a memorization probe.
+    """
+    if half_life <= 0:
+        raise ValueError(f"half_life must be positive: {half_life}")
+    indices = np.asarray(indices)
+    age = (n_total - 1) - indices
+    weights = np.exp2(-age / half_life)
+    return rng.choice(indices, size=indices.size, replace=True,
+                      p=weights / weights.sum())
 
 
 def db_row_count(db_path, region_name: str) -> int:
@@ -84,11 +118,12 @@ class RetrainSpec:
 
     __slots__ = ("name", "db_path", "model_path", "build", "trainer_kwargs",
                  "min_new_rows", "val_fraction", "engines", "qos",
-                 "trained_rows")
+                 "trained_rows", "recency_half_life")
 
     def __init__(self, name, db_path, model_path, build,
                  trainer_kwargs=None, min_new_rows: int = 32,
-                 val_fraction: float = 0.2, engines=(), qos=None):
+                 val_fraction: float = 0.2, engines=(), qos=None,
+                 recency_half_life: float | None = None):
         self.name = name
         self.db_path = Path(db_path)
         self.model_path = Path(model_path)
@@ -99,6 +134,10 @@ class RetrainSpec:
         self.engines = tuple(engines)
         self.qos = qos
         self.trained_rows = 0
+        #: When set, retraining bootstraps the DB rows with weights
+        #: halving every ``recency_half_life`` rows of age, so a
+        #: drift-refreshed tail dominates the next surrogate.
+        self.recency_half_life = recency_half_life
 
 
 class RetrainEvent:
@@ -149,7 +188,7 @@ class RetrainWorker:
     def watch(self, name, db_path, model_path, build, *,
               trainer_kwargs=None, min_new_rows: int = 32,
               val_fraction: float = 0.2, engines=(),
-              qos=None) -> RetrainSpec:
+              qos=None, recency_half_life: float | None = None) -> RetrainSpec:
         """Track one region.  The current DB row count becomes the
         baseline, so only *future* refreshes trigger retraining.
 
@@ -157,12 +196,17 @@ class RetrainWorker:
         :class:`~repro.serving.QoSArbiter`): after a hot-swap its
         rolling stats for the region are reset, because they estimate
         the error of weights that no longer exist.
+
+        ``recency_half_life`` (rows) enables age-decayed bootstrap
+        sampling of the training DB before each retrain: a refreshed
+        tail of drifted rows dominates the new surrogate instead of
+        being diluted by the full stationary history.
         """
         spec = RetrainSpec(name, db_path, model_path, build,
                            trainer_kwargs=trainer_kwargs,
                            min_new_rows=min_new_rows,
                            val_fraction=val_fraction, engines=engines,
-                           qos=qos)
+                           qos=qos, recency_half_life=recency_half_life)
         spec.trained_rows = db_row_count(db_path, name)
         with self._lock:
             self._specs[name] = spec
@@ -179,7 +223,24 @@ class RetrainWorker:
         x, y, _t = load_training_data(spec.db_path, spec.name)
         rng_seed = self.seed + 31 * (len(self.events) + 1)
         rng = np.random.default_rng(rng_seed)
-        (xt, yt), (xv, yv) = train_val_split(x, y, spec.val_fraction, rng)
+        if spec.recency_half_life is not None and len(x) > 1:
+            # Split on original row indices first, then bootstrap each
+            # partition by row age independently — no row can land in
+            # both train and validation, and the validation loss that
+            # drives early stopping reflects the same recency-weighted
+            # regime the surrogate is trained for.
+            train_idx, val_idx = train_val_split(
+                x, y, spec.val_fraction, rng, return_indices=True)
+            n = len(x)
+            train_idx = recency_weighted_indices(
+                train_idx, n, spec.recency_half_life, rng)
+            val_idx = recency_weighted_indices(
+                val_idx, n, spec.recency_half_life, rng)
+            xt, yt = x[train_idx], y[train_idx]
+            xv, yv = x[val_idx], y[val_idx]
+        else:
+            (xt, yt), (xv, yv) = train_val_split(x, y, spec.val_fraction,
+                                                 rng)
         model = spec.build(xt, yt)
         result = Trainer(model, seed=rng_seed,
                          **spec.trainer_kwargs).fit(xt, yt, xv, yv)
@@ -251,6 +312,7 @@ class RetrainWorker:
         return {
             "watched": {name: {"trained_rows": spec.trained_rows,
                                "min_new_rows": spec.min_new_rows,
+                               "recency_half_life": spec.recency_half_life,
                                "db_path": str(spec.db_path),
                                "model_path": str(spec.model_path)}
                         for name, spec in self._specs.items()},

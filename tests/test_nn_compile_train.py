@@ -1,0 +1,415 @@
+"""Compiled training fast path: gradient parity, fallback, equivalence.
+
+The acceptance contract of the fused plan (``repro.nn.compile_train``):
+
+* per-layer and full-model gradient parity with the autodiff graph at
+  <= 1e-10 (in practice the element-wise ops are mirrored exactly and
+  parity is a few ULP);
+* ``Trainer.fit`` under fixed seeds produces identical loss histories
+  and early-stopping epoch counts on both paths, including Dropout
+  (same RNG draws), BatchNorm1d (running-stat updates), weight decay,
+  momentum and gradient clipping;
+* clean fallback to the graph path for unsupported layers (GRU),
+  losses, optimizers and dtypes.
+"""
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro.nn import (GRU, Adam, BatchNorm1d, Destandardize, Dropout,
+                      LeakyReLU, Linear, ReLU, SGD, Sequential, Sigmoid,
+                      Standardize, Tanh, Tensor, Trainer,
+                      UnsupportedLayerError, compile_training, huber_loss,
+                      l1_loss, mape_loss, mse_loss)
+from repro.nn.optim import Optimizer
+
+PARITY = 1e-10
+
+
+def graph_gradients(model, loss_fn, x, y):
+    """Reference gradients through the autodiff graph (train mode)."""
+    model.train()
+    model.zero_grad()
+    loss = loss_fn(model(Tensor(x)), Tensor(y))
+    loss.backward()
+    return loss.item(), [p.grad.copy() for p in model.parameters()]
+
+
+def assert_plan_parity(build, loss_fn=mse_loss, n=32, in_features=5,
+                       out_shape=(1,), seed=0):
+    """Build the model twice with identical seeds; compare both paths."""
+    rng = np.random.default_rng(99)
+    x = rng.normal(size=(n, in_features))
+    y = rng.normal(size=(n,) + out_shape)
+    ref_loss, ref_grads = graph_gradients(build(seed), loss_fn, x, y)
+    plan = compile_training(build(seed), loss_fn)
+    got_loss = plan.train_batch(x, y)
+    assert got_loss == pytest.approx(ref_loss, abs=PARITY)
+    assert len(ref_grads) == len(plan.grad_views)
+    for ref, got in zip(ref_grads, plan.grad_views):
+        assert np.abs(ref - got).max() <= PARITY
+    return plan
+
+
+# ----------------------------------------------------------------------
+# Per-layer gradient parity
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("act", [ReLU, Tanh, Sigmoid,
+                                 lambda: LeakyReLU(0.02)])
+def test_linear_activation_parity(act):
+    def build(seed):
+        r = np.random.default_rng(seed)
+        return Sequential(Linear(5, 16, rng=r), act(),
+                          Linear(16, 3, rng=r))
+    assert_plan_parity(build, out_shape=(3,))
+
+
+def test_linear_without_bias_parity():
+    def build(seed):
+        r = np.random.default_rng(seed)
+        return Sequential(Linear(5, 8, bias=False, rng=r), ReLU(),
+                          Linear(8, 1, rng=r))
+    assert_plan_parity(build)
+
+
+def test_standalone_activation_parity():
+    # Activation not preceded by a Linear exercises the unfused step.
+    def build(seed):
+        r = np.random.default_rng(seed)
+        return Sequential(Tanh(), Linear(5, 8, rng=r), ReLU(),
+                          Linear(8, 1, rng=r))
+    assert_plan_parity(build)
+
+
+def test_dropout_mask_parity():
+    # Both paths must consume the same per-layer RNG stream.
+    def build(seed):
+        r = np.random.default_rng(seed)
+        return Sequential(Linear(5, 32, rng=r), ReLU(),
+                          Dropout(0.4, rng=np.random.default_rng(seed + 1)),
+                          Linear(32, 1, rng=r))
+    assert_plan_parity(build)
+
+
+def test_dropout_mask_reuse_across_batches():
+    # The cached mask buffer must be refilled from the RNG every batch,
+    # not reused: two compiled batches == two graph batches.
+    def build(seed):
+        r = np.random.default_rng(seed)
+        return Sequential(Linear(4, 16, rng=r), ReLU(),
+                          Dropout(0.5, rng=np.random.default_rng(seed + 1)),
+                          Linear(16, 1, rng=r))
+    rng = np.random.default_rng(5)
+    x1, x2 = rng.normal(size=(16, 4)), rng.normal(size=(16, 4))
+    y1, y2 = rng.normal(size=(16, 1)), rng.normal(size=(16, 1))
+
+    graph = build(0)
+    _, _ = graph_gradients(graph, mse_loss, x1, y1)
+    ref_loss, ref_grads = graph_gradients(graph, mse_loss, x2, y2)
+
+    plan = compile_training(build(0), mse_loss)
+    plan.train_batch(x1, y1)
+    got_loss = plan.train_batch(x2, y2)
+    assert got_loss == pytest.approx(ref_loss, abs=PARITY)
+    for ref, got in zip(ref_grads, plan.grad_views):
+        assert np.abs(ref - got).max() <= PARITY
+
+
+def test_dropout_p_zero_is_skipped():
+    def build(seed):
+        r = np.random.default_rng(seed)
+        return Sequential(Linear(5, 8, rng=r),
+                          Dropout(0.0, rng=np.random.default_rng(1)),
+                          Linear(8, 1, rng=r))
+    plan = assert_plan_parity(build)
+    assert not any("Dropout" in s and "cached" in s for s in plan.summary)
+
+
+def test_batchnorm_parity_and_running_stats():
+    def build(seed):
+        r = np.random.default_rng(seed)
+        return Sequential(Linear(5, 12, rng=r), BatchNorm1d(12), ReLU(),
+                          Linear(12, 1, rng=r))
+    rng = np.random.default_rng(7)
+    x = rng.normal(size=(24, 5))
+    y = rng.normal(size=(24, 1))
+
+    graph = build(3)
+    ref_loss, ref_grads = graph_gradients(graph, mse_loss, x, y)
+    compiled = build(3)
+    plan = compile_training(compiled, mse_loss)
+    got_loss = plan.train_batch(x, y)
+    assert got_loss == pytest.approx(ref_loss, abs=PARITY)
+    for ref, got in zip(ref_grads, plan.grad_views):
+        assert np.abs(ref - got).max() <= PARITY
+    # Train-mode forward must update the running statistics too.
+    bn_g, bn_c = graph.layers[1], compiled.layers[1]
+    assert np.abs(bn_g.running_mean - bn_c.running_mean).max() <= PARITY
+    assert np.abs(bn_g.running_var - bn_c.running_var).max() <= PARITY
+
+
+def test_standardize_destandardize_parity():
+    mean_in, std_in = np.arange(5.0), np.arange(1.0, 6.0)
+    mean_out, std_out = np.array([2.0]), np.array([3.0])
+
+    def build(seed):
+        r = np.random.default_rng(seed)
+        return Sequential(Standardize(mean_in, std_in),
+                          Linear(5, 8, rng=r), ReLU(),
+                          Linear(8, 1, rng=r),
+                          Destandardize(mean_out, std_out))
+    assert_plan_parity(build)
+
+
+@pytest.mark.parametrize("loss_fn", [mse_loss, l1_loss, huber_loss,
+                                     mape_loss,
+                                     functools.partial(huber_loss,
+                                                       delta=0.3)])
+def test_loss_lowerings_parity(loss_fn):
+    def build(seed):
+        r = np.random.default_rng(seed)
+        return Sequential(Linear(5, 16, rng=r), Tanh(),
+                          Linear(16, 2, rng=r))
+    assert_plan_parity(build, loss_fn=loss_fn, out_shape=(2,))
+
+
+def test_full_table_iv_mlp_parity():
+    """Table IV/V-sized MLPs, harness-wrapped, with dropout."""
+    from repro.search.builders import build_minibude_mlp, build_mlp2
+
+    def build_bude(seed):
+        core = build_minibude_mlp({"num_hidden_layers": 3,
+                                   "hidden1_size": 128,
+                                   "feature_multiplier": 0.8},
+                                  dropout=0.2, seed=seed)
+        return Sequential(Standardize(np.zeros(6), np.ones(6)), *core)
+    assert_plan_parity(build_bude, in_features=6, n=64)
+
+    def build_bonds(seed):
+        return build_mlp2({"hidden1_features": 48, "hidden2_features": 24},
+                          5, 2, dropout=0.1, seed=seed)
+    assert_plan_parity(build_bonds, out_shape=(2,), n=64)
+
+
+# ----------------------------------------------------------------------
+# Fused optimizer parity
+# ----------------------------------------------------------------------
+
+def _step_pair(opt_factory, steps=3):
+    rng = np.random.default_rng(11)
+    x = rng.normal(size=(32, 5))
+    y = rng.normal(size=(32, 1))
+
+    def build(seed=4):
+        r = np.random.default_rng(seed)
+        return Sequential(Linear(5, 16, rng=r), ReLU(),
+                          Linear(16, 1, rng=r))
+
+    graph = build()
+    gopt = opt_factory(graph.parameters())
+    for _ in range(steps):
+        gopt.zero_grad()
+        loss = mse_loss(graph(Tensor(x)), Tensor(y))
+        loss.backward()
+        gopt.step()
+
+    compiled = build()
+    copt = opt_factory(compiled.parameters())
+    plan = compile_training(compiled, mse_loss)
+    fused = plan.bind_optimizer(copt)
+    for _ in range(steps):
+        plan.train_batch(x, y)
+        fused.step()
+    return graph, compiled
+
+
+@pytest.mark.parametrize("factory", [
+    lambda ps: Adam(ps, lr=3e-3),
+    lambda ps: Adam(ps, lr=3e-3, weight_decay=1e-2),
+    lambda ps: SGD(ps, lr=1e-2),
+    lambda ps: SGD(ps, lr=1e-2, momentum=0.9, weight_decay=1e-3),
+])
+def test_fused_optimizer_matches_graph(factory):
+    graph, compiled = _step_pair(factory)
+    for pg, pc in zip(graph.parameters(), compiled.parameters()):
+        assert np.abs(pg.data - pc.data).max() <= PARITY
+
+
+def test_bind_rejects_foreign_and_stateful_optimizers():
+    r = np.random.default_rng(0)
+    model = Sequential(Linear(4, 8, rng=r), ReLU(), Linear(8, 1, rng=r))
+    plan = compile_training(model, mse_loss)
+
+    class Custom(Optimizer):
+        def step(self):
+            pass
+
+    with pytest.raises(UnsupportedLayerError):
+        plan.bind_optimizer(Custom(model.parameters(), lr=1e-3))
+    other = Sequential(Linear(4, 1, rng=r))
+    with pytest.raises(UnsupportedLayerError):
+        plan.bind_optimizer(Adam(other.parameters(), lr=1e-3))
+    stepped = Adam(model.parameters(), lr=1e-3)
+    stepped._m[0] += 1.0  # pre-existing moment state
+    with pytest.raises(UnsupportedLayerError):
+        plan.bind_optimizer(stepped)
+
+
+# ----------------------------------------------------------------------
+# Fallback
+# ----------------------------------------------------------------------
+
+def test_gru_raises_and_trainer_falls_back():
+    r = np.random.default_rng(0)
+    model = Sequential(GRU(4, 8), Linear(8, 1, rng=r))
+    with pytest.raises(UnsupportedLayerError):
+        compile_training(model, mse_loss)
+
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(24, 6, 4))
+    y = rng.normal(size=(24, 1))
+    trainer = Trainer(model, batch_size=8, max_epochs=2, compiled=True)
+    result = trainer.fit(x, y, x[:8], y[:8])
+    assert not trainer.compiled_active
+    assert "GRU" in trainer.compile_fallback
+    assert np.isfinite(result.best_val_loss)
+
+
+def test_unknown_loss_falls_back():
+    r = np.random.default_rng(0)
+    model = Sequential(Linear(5, 8, rng=r), ReLU(), Linear(8, 1, rng=r))
+
+    def custom_loss(pred, target):
+        return mse_loss(pred, target)
+
+    with pytest.raises(UnsupportedLayerError):
+        compile_training(model, custom_loss)
+    rng = np.random.default_rng(1)
+    x, y = rng.normal(size=(32, 5)), rng.normal(size=(32, 1))
+    trainer = Trainer(model, batch_size=16, max_epochs=2,
+                      loss_fn=custom_loss, compiled=True)
+    trainer.fit(x, y, x[:8], y[:8])
+    assert not trainer.compiled_active
+
+
+def test_non_float64_data_falls_back():
+    r = np.random.default_rng(0)
+    model = Sequential(Linear(5, 8, rng=r), ReLU(), Linear(8, 1, rng=r))
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(32, 5)).astype(np.float32)
+    y = rng.normal(size=(32, 1)).astype(np.float32)
+    trainer = Trainer(model, batch_size=16, max_epochs=2, compiled=True)
+    trainer.fit(x, y, x[:8], y[:8])
+    assert not trainer.compiled_active
+    assert "float64" in trainer.compile_fallback
+
+
+def test_plan_goes_stale_on_state_dict_load():
+    r = np.random.default_rng(0)
+    model = Sequential(Linear(5, 8, rng=r), ReLU(), Linear(8, 1, rng=r))
+    plan = compile_training(model, mse_loss)
+    assert not plan.stale()
+    model.load_state_dict(model.state_dict())
+    assert plan.stale()
+
+
+# ----------------------------------------------------------------------
+# End-to-end Trainer equivalence
+# ----------------------------------------------------------------------
+
+def _fit_pair(build, trainer_kwargs, n=256, in_features=5, out=1, seed=42):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, in_features))
+    y = rng.normal(size=(n, out))
+    xv = rng.normal(size=(n // 4, in_features))
+    yv = rng.normal(size=(n // 4, out))
+    results = []
+    for compiled in (False, True):
+        model = build()
+        trainer = Trainer(model, compiled=compiled, **trainer_kwargs)
+        results.append((trainer.fit(x, y, xv, yv), model, trainer))
+    return results
+
+
+def test_fit_histories_identical_under_fixed_seeds():
+    def build():
+        r = np.random.default_rng(8)
+        return Sequential(Linear(5, 32, rng=r), ReLU(),
+                          Dropout(0.2, rng=np.random.default_rng(9)),
+                          Linear(32, 16, rng=r), Tanh(),
+                          Linear(16, 1, rng=r))
+    (rg, mg, tg), (rc, mc, tc) = _fit_pair(
+        build, dict(lr=3e-3, weight_decay=1e-3, batch_size=32,
+                    max_epochs=15, patience=4, seed=3))
+    assert tc.compiled_active and not tg.compiled_active
+    # Identical early stopping and per-epoch losses, not just "close".
+    assert rc.epochs_run == rg.epochs_run
+    assert len(rc.history) == len(rg.history)
+    for hg, hc in zip(rg.history, rc.history):
+        assert hc["train"] == pytest.approx(hg["train"], abs=PARITY)
+        assert hc["val"] == pytest.approx(hg["val"], abs=PARITY)
+    for pg, pc in zip(mg.parameters(), mc.parameters()):
+        assert np.abs(pg.data - pc.data).max() <= PARITY
+
+
+def test_fit_equivalence_with_grad_clip_and_scheduler():
+    from repro.nn import StepLR
+
+    def build():
+        r = np.random.default_rng(2)
+        return Sequential(Linear(5, 16, rng=r), ReLU(),
+                          Linear(16, 1, rng=r))
+
+    def run(compiled):
+        rng = np.random.default_rng(6)
+        x, y = rng.normal(size=(128, 5)), rng.normal(size=(128, 1))
+        model = build()
+        opt = Adam(model.parameters(), lr=5e-3)
+        trainer = Trainer(model, optimizer=opt, batch_size=32,
+                          max_epochs=10, patience=10, seed=1,
+                          grad_clip=0.5, compiled=compiled,
+                          scheduler=StepLR(opt, step_size=3, gamma=0.5))
+        return trainer.fit(x, y, x[:32], y[:32]), model, trainer
+
+    (rg, mg, _), (rc, mc, tc) = run(False), run(True)
+    assert tc.compiled_active
+    assert rc.epochs_run == rg.epochs_run
+    for hg, hc in zip(rg.history, rc.history):
+        assert hc["val"] == pytest.approx(hg["val"], abs=PARITY)
+    for pg, pc in zip(mg.parameters(), mc.parameters()):
+        assert np.abs(pg.data - pc.data).max() <= PARITY
+
+
+def test_refit_after_restore_recompiles():
+    # fit() restores the best state_dict at the end (rebinding parameter
+    # arrays); a second fit must notice staleness and recompile rather
+    # than training through dead views.
+    def build():
+        r = np.random.default_rng(4)
+        return Sequential(Linear(5, 8, rng=r), ReLU(), Linear(8, 1, rng=r))
+    rng = np.random.default_rng(0)
+    x, y = rng.normal(size=(64, 5)), rng.normal(size=(64, 1))
+    model = build()
+    trainer = Trainer(model, batch_size=16, max_epochs=3, compiled=True)
+    trainer.fit(x, y, x[:16], y[:16])
+    first_plan = trainer._plan
+    trainer.fit(x, y, x[:16], y[:16])
+    assert trainer.compiled_active
+    assert trainer._plan is not first_plan
+
+
+def test_variable_batch_sizes_share_plan():
+    # The dataset tail yields a short final minibatch; scratch is keyed
+    # by batch size so both sizes run through one plan.
+    def build():
+        r = np.random.default_rng(3)
+        return Sequential(Linear(5, 8, rng=r), ReLU(), Linear(8, 1, rng=r))
+    (rg, _, _), (rc, _, tc) = _fit_pair(
+        build, dict(lr=1e-3, batch_size=48, max_epochs=4, patience=4,
+                    seed=0), n=200)
+    assert tc.compiled_active
+    for hg, hc in zip(rg.history, rc.history):
+        assert hc["train"] == pytest.approx(hg["train"], abs=PARITY)

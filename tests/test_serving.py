@@ -514,3 +514,141 @@ def test_retrain_worker_background_thread_catches_refresh(tmp_path):
     assert not worker.running
     assert len(worker.events) == 1
     assert worker.snapshot()["retrains"][0]["region"] == "bg"
+
+
+# ----------------------------------------------------------------------
+# Decayed spend window (long-running servers)
+# ----------------------------------------------------------------------
+
+def test_spend_window_ledger_decays():
+    policy = BudgetArbitrationPolicy(1.0, warmup=0, charge="linear",
+                                     headroom=0.9, spend_window=16)
+    stats = RegionErrorStats(alpha=1.0)
+    stats.update(0.5)
+    policy.observe("r", 0.5, stats)
+    for _ in range(200):
+        policy.decide("r", stats)
+    # Without decay the decision mass would be ~200; the window keeps
+    # its effective memory near spend_window decisions.
+    snap = policy.snapshot()
+    assert snap["spend_window"] == 16
+    assert snap["global_decisions"] < 30
+    assert snap["regions"]["r"]["decisions"] < 30
+    # Lifetime counters are not decayed.
+    assert snap["regions"]["r"]["inferred"] > 100
+
+
+def test_spend_window_forgets_ancient_spend():
+    """After a regime change the windowed mean charge tracks the new
+    regime while the unwindowed one stays pinned by ancient spend."""
+    def run(spend_window):
+        policy = BudgetArbitrationPolicy(1.0, warmup=1, charge="linear",
+                                         headroom=0.9,
+                                         spend_window=spend_window)
+        stats = RegionErrorStats(alpha=1.0)
+        policy.decide("r", stats)                     # warmup probe
+        stats.update(0.8)                             # expensive era
+        policy.observe("r", 0.8, stats)
+        for _ in range(100):
+            policy.decide("r", stats)
+        stats.update(0.05)                            # model improves
+        policy.observe("r", 0.05, stats)
+        for _ in range(100):
+            policy.decide("r", stats)
+        return policy.global_mean_charge
+
+    pinned = run(None)
+    windowed = run(32)
+    assert pinned > 0.3                  # ancient spend still dominates
+    assert windowed < 0.15               # window tracks the new regime
+
+
+def test_arbiter_passes_spend_window_through():
+    arbiter = QoSArbiter(0.1, spend_window=64)
+    assert arbiter.arbitration.spend_window == 64
+    assert arbiter.snapshot()["arbitration"]["spend_window"] == 64
+
+
+def test_spend_window_validation():
+    with pytest.raises(ValueError):
+        BudgetArbitrationPolicy(0.1, spend_window=1)
+
+
+# ----------------------------------------------------------------------
+# Recency-weighted retraining
+# ----------------------------------------------------------------------
+
+def test_recency_weighted_indices_prefer_fresh_rows():
+    from repro.serving import recency_weighted_indices
+    rng = np.random.default_rng(0)
+    idx = recency_weighted_indices(np.arange(1000), 1000, 50.0, rng)
+    assert idx.shape == (1000,)
+    # With a 50-row half-life on 1000 rows, the newest quarter should
+    # dominate the bootstrap and the oldest half should barely appear.
+    assert (idx >= 750).mean() > 0.9
+    assert (idx < 500).mean() < 0.01
+    with pytest.raises(ValueError):
+        recency_weighted_indices(np.arange(10), 10, 0.0, rng)
+
+
+def test_recency_weighted_indices_long_half_life_is_uniformish():
+    from repro.serving import recency_weighted_indices
+    rng = np.random.default_rng(1)
+    idx = recency_weighted_indices(np.arange(1000), 1000, 1e9, rng)
+    # Effectively uniform: every quartile is represented.
+    assert (idx < 250).mean() > 0.15
+    assert (idx >= 750).mean() < 0.35
+
+
+def test_recency_weighted_indices_respects_partition():
+    # Bootstrapping a partition only ever returns members of it: the
+    # no-train/val-leakage property of the split-then-bootstrap order.
+    from repro.serving import recency_weighted_indices
+    rng = np.random.default_rng(2)
+    part = np.array([3, 900, 901, 950, 999])
+    idx = recency_weighted_indices(part, 1000, 25.0, rng)
+    assert set(idx) <= set(part)
+    assert idx.size == part.size
+
+
+def test_retrain_worker_recency_sampling_tracks_drifted_tail(tmp_path):
+    """Old rows teach y = x0 + x1, a drifted refresh teaches
+    y = 5*(x0 + x1).  With a short half-life the retrained surrogate
+    must follow the fresh regime instead of averaging the two."""
+    from repro.nn import load_model
+    from repro.runtime import DataCollector
+
+    rng = np.random.default_rng(0)
+    db = tmp_path / "drift.rh5"
+    collector = DataCollector(db)
+    x_old = rng.random((256, 2))
+    y_old = x_old.sum(axis=1, keepdims=True)
+    x_new = rng.random((128, 2))
+    y_new = 5.0 * x_new.sum(axis=1, keepdims=True)
+    for xi, yi in zip(x_old, y_old):
+        collector.record("drift", (xi,), (yi,), 0.0)
+    for xi, yi in zip(x_new, y_new):
+        collector.record("drift", (xi,), (yi,), 0.0)
+    collector.close()
+
+    def build(xt, yt):
+        return Sequential(Linear(2, 1, rng=np.random.default_rng(1)))
+
+    def retrain(half_life):
+        worker = RetrainWorker(seed=0)
+        model_path = tmp_path / f"drift-{half_life}.rnm"
+        save_model(build(None, None), model_path)
+        worker.watch("drift", db, model_path, build=build,
+                     trainer_kwargs=dict(lr=0.05, batch_size=64,
+                                         max_epochs=300, patience=60),
+                     recency_half_life=half_life)
+        worker.retrain_now("drift")
+        model = load_model(model_path)
+        probe = np.array([[0.5, 0.5]])
+        return float(model.forward_compiled(probe).ravel()[0])
+
+    full_history = retrain(None)         # trained on the 2:1 mixture
+    recent = retrain(32.0)               # dominated by the drifted tail
+    # Drifted truth at the probe is 5.0; stationary truth is 1.0.
+    assert abs(recent - 5.0) < 0.8
+    assert abs(full_history - 5.0) > abs(recent - 5.0)

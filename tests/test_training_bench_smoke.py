@@ -1,0 +1,85 @@
+"""Tier-1 smoke run of the compiled-training microbenchmark.
+
+Runs ``benchmarks/bench_training_fastpath.py`` at tiny sizes and
+validates the ``BENCH_training.json`` schema plus the headline
+acceptance properties: gradient parity <= 1e-10, identical fixed-seed
+early-stopping behavior on both paths, and a retrained surrogate whose
+quality is unchanged by the fast path.  (The >= 3x geomean speedup is
+asserted on the committed full-size baseline, not under CI load.)
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_training_fastpath.py"
+
+
+def load_bench_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_training_fastpath", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_training_bench_smoke_writes_valid_schema(tmp_path):
+    bench = load_bench_module()
+    out = tmp_path / "BENCH_training.json"
+    results = bench.main(["--quick", "--out", str(out),
+                          "--workdir", str(tmp_path / "work")])
+    assert out.exists()
+    on_disk = json.loads(out.read_text())
+    assert on_disk["schema"] == "bench_training_fastpath/v1"
+    assert on_disk == json.loads(json.dumps(results))    # JSON-clean
+    assert on_disk["config"]["quick"] is True
+
+    epochs = on_disk["epochs"]
+    assert len(epochs) >= 3
+    for row in epochs:
+        assert set(row) >= {"shape", "benchmark", "arch", "batch_size",
+                            "graph_ms", "compiled_ms", "speedup",
+                            "grad_parity_max_abs", "headline"}
+        assert row["graph_ms"] > 0 and row["compiled_ms"] > 0
+        assert row["speedup"] > 0
+        # The acceptance bit: fast-path gradients match the graph.
+        assert row["grad_parity_max_abs"] <= 1e-10
+
+    equivalence = on_disk["fit_equivalence"]
+    assert len(equivalence) >= 1
+    for row in equivalence:
+        assert row["compiled_active"], \
+            f"{row['shape']} fell back to the graph path"
+        assert row["epochs_match"], \
+            f"{row['shape']} early stopping diverged"
+        assert row["max_val_loss_diff"] <= 1e-10
+
+    retrain = on_disk["retrain_hot_swap"]
+    assert retrain["graph"]["seconds"] > 0
+    assert retrain["compiled"]["seconds"] > 0
+    assert retrain["speedup"] > 0
+    assert retrain["val_loss_diff"] <= 1e-10
+
+    summary = on_disk["summary"]
+    assert summary["grad_parity_max_abs"] <= 1e-10
+    assert summary["early_stop_epochs_match"] is True
+    assert summary["all_compiled_active"] is True
+    assert summary["epoch_speedup_geomean"] > 0
+
+
+def test_committed_training_baseline_meets_acceptance():
+    """The checked-in full-size BENCH_training.json carries the PR's
+    acceptance numbers: >= 3x geomean epoch speedup on the headline
+    (Table IV deployment shape x Table V batch) grid with parity
+    <= 1e-10 and identical early stopping."""
+    baseline_path = REPO_ROOT / "BENCH_training.json"
+    assert baseline_path.exists(), "commit BENCH_training.json baselines"
+    baseline = json.loads(baseline_path.read_text())
+    assert baseline["schema"] == "bench_training_fastpath/v1"
+    assert baseline["config"]["quick"] is False
+    summary = baseline["summary"]
+    assert summary["epoch_speedup_geomean"] >= 3.0
+    assert summary["grad_parity_max_abs"] <= 1e-10
+    assert summary["early_stop_epochs_match"] is True
+    assert summary["retrain_hot_swap_speedup"] > 1.0
