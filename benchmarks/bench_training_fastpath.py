@@ -36,8 +36,9 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.nn import (Destandardize, Sequential, Standardize, Tensor,
-                      Trainer, compile_training, mse_loss)
+from repro.nn import (GRU, Conv1d, Destandardize, Flatten, Linear, ReLU,
+                      Sequential, Standardize, Tensor, Trainer,
+                      compile_training, mse_loss)
 from repro.search.builders import build_minibude_mlp, build_mlp2
 
 SCHEMA = "bench_training_fastpath/v1"
@@ -62,9 +63,24 @@ WIDE_SHAPES = [
      {"hidden1_features": 160, "hidden2_features": 96}),
 ]
 
+#: Sequence/conv shapes: the GRU + Conv1d lowerings the plan-IR registry
+#: added — these previously fell back to the pure-Python graph for
+#: training.  Informational rows (outside the MLP headline geomean);
+#: the acceptance bit is >= 2x on at least one recurrent shape and no
+#: silent fallback.
+SEQ_SHAPES = [
+    ("gru-s", "gru",
+     {"hidden_size": 16, "seq_len": 8, "features": 6}),
+    ("gru-m", "gru",
+     {"hidden_size": 32, "seq_len": 16, "features": 6}),
+    ("conv1d-s", "conv1d",
+     {"channels": 8, "kernel": 3, "length": 32, "in_channels": 4}),
+]
+
 #: Table V batch sizes covered by the headline geomean.
 BATCH_SIZES = (32, 64, 128)
 WIDE_BATCH_SIZES = (128, 256)
+SEQ_BATCH_SIZES = (64,)
 
 _IN_FEATURES = {"minibude": 6, "binomial": 5, "bonds": 5}
 _OUT_FEATURES = {"minibude": 1, "binomial": 1, "bonds": 2}
@@ -73,6 +89,17 @@ _OUT_FEATURES = {"minibude": 1, "binomial": 1, "bonds": 2}
 def build_shape(benchmark: str, arch: dict, seed: int = 0):
     """Harness-style surrogate: Standardize -> Table IV core -> Destandardize
     (what ``RetrainWorker`` and the BO inner loop actually train)."""
+    rng = np.random.default_rng(seed)
+    if benchmark == "gru":
+        fin, hs = arch["features"], arch["hidden_size"]
+        return Sequential(Standardize(np.zeros(fin), np.ones(fin)),
+                          GRU(fin, hs, rng=rng), Linear(hs, 1, rng=rng),
+                          Destandardize(np.zeros(1), np.ones(1)))
+    if benchmark == "conv1d":
+        cin, c, k = arch["in_channels"], arch["channels"], arch["kernel"]
+        out_l = arch["length"] - k + 1
+        return Sequential(Conv1d(cin, c, k, rng=rng), ReLU(), Flatten(),
+                          Linear(c * out_l, 1, rng=rng))
     fin, fout = _IN_FEATURES[benchmark], _OUT_FEATURES[benchmark]
     if benchmark == "minibude":
         core = build_minibude_mlp(arch, in_features=fin, out_features=fout,
@@ -83,14 +110,20 @@ def build_shape(benchmark: str, arch: dict, seed: int = 0):
                       Destandardize(np.zeros(fout), np.ones(fout)))
 
 
-def _train_data(benchmark: str, n_rows: int, seed: int = 0):
+def _train_data(benchmark: str, n_rows: int, seed: int = 0, arch=None):
     rng = np.random.default_rng(seed)
+    if benchmark == "gru":
+        x = rng.normal(size=(n_rows, arch["seq_len"], arch["features"]))
+        return x, rng.normal(size=(n_rows, 1))
+    if benchmark == "conv1d":
+        x = rng.normal(size=(n_rows, arch["in_channels"], arch["length"]))
+        return x, rng.normal(size=(n_rows, 1))
     x = rng.normal(size=(n_rows, _IN_FEATURES[benchmark]))
     y = rng.normal(size=(n_rows, _OUT_FEATURES[benchmark]))
     return x, y
 
 
-def _epoch_seconds(model, x, y, batch_size, compiled, repeats) -> float:
+def _epoch_seconds(model, x, y, batch_size, compiled, repeats):
     trainer = Trainer(model, lr=3e-3, batch_size=batch_size, seed=0,
                       compiled=compiled)
     trainer._epoch(x, y)                  # warm-up (plan compile, buffers)
@@ -99,12 +132,12 @@ def _epoch_seconds(model, x, y, batch_size, compiled, repeats) -> float:
         start = time.perf_counter()
         trainer._epoch(x, y)
         best = min(best, time.perf_counter() - start)
-    return best
+    return best, trainer.compiled_active, trainer.compile_fallback
 
 
 def _grad_parity(benchmark, arch, batch_size, seed=0) -> float:
     """Max abs gradient difference, graph vs compiled, on one batch."""
-    x, y = _train_data(benchmark, batch_size, seed=7)
+    x, y = _train_data(benchmark, batch_size, seed=7, arch=arch)
     graph = build_shape(benchmark, arch, seed=seed)
     graph.train()
     loss = mse_loss(graph(Tensor(x)), Tensor(y))
@@ -119,15 +152,20 @@ def _grad_parity(benchmark, arch, batch_size, seed=0) -> float:
 
 
 def bench_epochs(n_rows: int, repeats: int, shapes, batch_sizes,
-                 headline: bool) -> list[dict]:
+                 headline: bool, category: str = "mlp") -> list[dict]:
     rows = []
     for label, benchmark, arch in shapes:
-        x, y = _train_data(benchmark, n_rows)
+        x, y = _train_data(benchmark, n_rows, arch=arch)
         for bs in batch_sizes:
-            graph_s = _epoch_seconds(build_shape(benchmark, arch), x, y,
-                                     bs, False, repeats)
-            compiled_s = _epoch_seconds(build_shape(benchmark, arch), x, y,
-                                        bs, True, repeats)
+            graph_s, _, _ = _epoch_seconds(build_shape(benchmark, arch),
+                                           x, y, bs, False, repeats)
+            compiled_s, active, fallback = _epoch_seconds(
+                build_shape(benchmark, arch), x, y, bs, True, repeats)
+            if not active:
+                # A shape in this grid silently training on the graph
+                # would report a fake 1.0x "speedup" — fail loudly.
+                raise RuntimeError(f"{label} fell back to the graph "
+                                   f"path: {fallback}")
             rows.append({
                 "shape": label,
                 "benchmark": benchmark,
@@ -139,6 +177,8 @@ def bench_epochs(n_rows: int, repeats: int, shapes, batch_sizes,
                 "speedup": graph_s / compiled_s,
                 "grad_parity_max_abs": _grad_parity(benchmark, arch, bs),
                 "headline": headline,
+                "category": category,
+                "compiled_active": active,
             })
     return rows
 
@@ -147,8 +187,9 @@ def bench_fit_equivalence(n_rows: int, shapes, max_epochs: int = 8) -> list[dict
     """Fixed-seed Trainer.fit on both paths: histories must coincide."""
     rows = []
     for label, benchmark, arch in shapes:
-        x, y = _train_data(benchmark, n_rows)
-        xv, yv = _train_data(benchmark, max(n_rows // 4, 16), seed=5)
+        x, y = _train_data(benchmark, n_rows, arch=arch)
+        xv, yv = _train_data(benchmark, max(n_rows // 4, 16), seed=5,
+                             arch=arch)
         results = []
         for compiled in (False, True):
             model = build_shape(benchmark, arch, seed=3)
@@ -218,13 +259,21 @@ def run_benchmark(workdir, *, quick: bool = False, n_rows: int = 2048,
                                headline=True)
     if not quick:
         epochs_rows += bench_epochs(n_rows, repeats, WIDE_SHAPES,
-                                    WIDE_BATCH_SIZES, headline=False)
+                                    WIDE_BATCH_SIZES, headline=False,
+                                    category="wide")
+    # Every GRU/Conv1d shape always runs (quick included) so the CI
+    # smoke lane catches a silent graph fallback for sequence shapes.
+    epochs_rows += bench_epochs(max(n_rows // 2, 256), repeats, SEQ_SHAPES,
+                                SEQ_BATCH_SIZES, headline=False,
+                                category="sequence")
     equivalence = bench_fit_equivalence(min(n_rows, 512), shapes)
     retrain = bench_retrain_hot_swap(workdir, quick=quick,
                                      epochs=retrain_epochs)
 
     headline = [r["speedup"] for r in epochs_rows if r["headline"]]
     geomean = math.exp(sum(math.log(s) for s in headline) / len(headline))
+    seq_rows = [r for r in epochs_rows if r["category"] == "sequence"]
+    recurrent = [r["speedup"] for r in seq_rows if r["benchmark"] == "gru"]
     summary = {
         "epoch_speedup_geomean": geomean,
         "epoch_speedup_best": max(headline),
@@ -238,6 +287,11 @@ def run_benchmark(workdir, *, quick: bool = False, n_rows: int = 2048,
         "max_val_loss_diff": max(r["max_val_loss_diff"]
                                  for r in equivalence),
         "retrain_hot_swap_speedup": retrain["speedup"],
+        "sequence_compiled_active": all(r["compiled_active"]
+                                        for r in seq_rows),
+        "recurrent_epoch_speedup_best": max(recurrent),
+        "sequence_epoch_speedup_geomean": math.exp(
+            sum(math.log(r["speedup"]) for r in seq_rows) / len(seq_rows)),
     }
     return {
         "schema": SCHEMA,
@@ -279,7 +333,7 @@ def main(argv=None) -> dict:
     out.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {out}")
     for row in results["epochs"]:
-        flag = "" if row["headline"] else "  [wide]"
+        flag = "" if row["headline"] else f"  [{row['category']}]"
         print(f"epoch {row['shape']:>12} bs={row['batch_size']:<4} "
               f"graph {row['graph_ms']:7.2f} ms  compiled "
               f"{row['compiled_ms']:7.2f} ms  {row['speedup']:4.2f}x{flag}")
@@ -288,6 +342,10 @@ def main(argv=None) -> dict:
           f"{s['epoch_speedup_geomean']:.2f}x "
           f"(best {s['epoch_speedup_best']:.2f}x, worst "
           f"{s['epoch_speedup_worst']:.2f}x)")
+    print(f"sequence lowerings: geomean "
+          f"{s['sequence_epoch_speedup_geomean']:.2f}x, recurrent best "
+          f"{s['recurrent_epoch_speedup_best']:.2f}x, compiled active: "
+          f"{s['sequence_compiled_active']}")
     print(f"grad parity max abs: {s['grad_parity_max_abs']:.3g} | "
           f"early-stop epochs match: {s['early_stop_epochs_match']} | "
           f"max val-loss diff: {s['max_val_loss_diff']:.3g}")

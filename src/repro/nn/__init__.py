@@ -12,9 +12,11 @@ from .layers import (
     Sequential, Identity, BatchNorm1d, LayerNorm, CropPad2d,
     Standardize, Destandardize,
 )
-from .compile import compile_inference, CompiledPlan, UnsupportedLayerError
+from .plan import (PlanStep, register_lowering, structural_fingerprint,
+                   UnsupportedLayerError)
+from .compile import compile_inference, CompiledPlan
 from .compile_train import (compile_training, CompiledTrainingPlan,
-                            FusedAdam, FusedSGD)
+                            FusedAdam, FusedSGD, training_fingerprint)
 from .optim import Optimizer, SGD, Adam
 from .loss import mse_loss, l1_loss, huber_loss, mape_loss, rmse, mape
 from .serialize import (save_model, load_model, load_meta, spec_from_model,
@@ -38,5 +40,6 @@ __all__ = [
     "ReduceLROnPlateau", "GRUCell", "GRU", "ArrayDataset",
     "H5Dataset", "DataLoader", "compile_inference", "CompiledPlan",
     "UnsupportedLayerError", "compile_training", "CompiledTrainingPlan",
-    "FusedAdam", "FusedSGD",
+    "FusedAdam", "FusedSGD", "PlanStep", "register_lowering",
+    "structural_fingerprint", "training_fingerprint",
 ]

@@ -1,11 +1,12 @@
-"""Compiled inference fast path: ``Module`` -> flat NumPy closure.
+"""Compiled inference fast path: ``Module`` -> flat NumPy step plan.
 
 The graph path (:meth:`Module.__call__`) builds an autodiff ``Tensor``
 per intermediate even under ``no_grad`` — dozens of Python-level
 allocations per forward.  For deployed surrogates that is pure
 overhead: inference is a fixed pipeline of dense kernels over known
-weights.  :func:`compile_inference` walks a model **once** and emits a
-:class:`CompiledPlan` — a list of step closures over raw ndarrays with:
+weights.  :func:`compile_inference` lowers a model **once** through
+the shared plan IR (:mod:`repro.nn.plan`) and wraps the forward steps
+in a :class:`CompiledPlan`:
 
 * **fused affine+activation**: ``Linear`` followed by
   ReLU/Tanh/Sigmoid/LeakyReLU becomes a single ``np.dot`` into a
@@ -15,11 +16,15 @@ weights.  :func:`compile_inference` walks a model **once** and emits a
   Python-level array allocation on the MLP path;
 * **zero Tensor wrappers**: the plan never touches the autodiff graph.
 
-Inference semantics are fixed at *eval* mode: dropout is identity and
-batch-norm uses its running statistics.  The plan holds references to
-the model's parameter arrays, so in-place optimizer updates flow
-through automatically; rebinding a parameter (``load_state_dict``)
-flips :meth:`CompiledPlan.stale` and callers recompile.
+The per-layer emitters live in the :mod:`repro.nn.plan` lowering
+registry, shared with :mod:`repro.nn.compile_train` — this module only
+selects eval-mode semantics: dropout is identity and batch-norm uses
+its running statistics.  The plan holds references to the model's
+parameter arrays, so in-place optimizer updates flow through
+automatically; rebinding a parameter (``load_state_dict``) flips
+:meth:`CompiledPlan.stale` and callers recompile.  Plans carry the
+model's structural fingerprint, letting callers (the engine's plan
+cache) re-adopt warm scratch buffers across a same-structure recompile.
 
 The returned array may be a scratch buffer owned by the plan — it is
 valid until the next call with the same batch size; copy it to keep it.
@@ -29,334 +34,35 @@ from __future__ import annotations
 
 import numpy as np
 
-from . import functional as F
 from . import layers as L
-from .recurrent import GRU
+from .plan import UnsupportedLayerError, lower_model, structural_fingerprint
 
 __all__ = ["compile_inference", "CompiledPlan", "UnsupportedLayerError"]
 
 
-class UnsupportedLayerError(TypeError):
-    """A layer has no compiled lowering; callers fall back to the graph."""
-
-
-# ----------------------------------------------------------------------
-# In/out-of-place activation kernels (must match the Tensor ops exactly)
-# ----------------------------------------------------------------------
-
-#: 0-d operand: saves the per-call scalar->array conversion in ufuncs.
-_ZERO = np.zeros(())
-
-
-def _relu_in(buf, _zero=_ZERO):
-    np.maximum(buf, _zero, out=buf)
-
-
-def _relu_out(x, buf, _zero=_ZERO):
-    np.maximum(x, _zero, out=buf)
-
-
-def _tanh_in(buf):
-    np.tanh(buf, out=buf)
-
-
-def _tanh_out(x, buf):
-    np.tanh(x, out=buf)
-
-
-def _sigmoid_in(buf):
-    # 1 / (1 + exp(-x)), the Tensor.sigmoid formula, fully in place.
-    np.negative(buf, out=buf)
-    np.exp(buf, out=buf)
-    buf += 1.0
-    np.reciprocal(buf, out=buf)
-
-
-def _sigmoid_out(x, buf):
-    np.negative(x, out=buf)
-    np.exp(buf, out=buf)
-    buf += 1.0
-    np.reciprocal(buf, out=buf)
-
-
-def _leaky_in(slope):
-    def apply(buf):
-        np.multiply(buf, np.where(buf > 0, 1.0, slope), out=buf)
-    return apply
-
-
-def _leaky_out(slope):
-    def apply(x, buf):
-        np.multiply(x, np.where(x > 0, 1.0, slope), out=buf)
-    return apply
-
-
-def _activation_kernels(layer):
-    """(in_place, out_of_place) kernels for an activation layer."""
-    if isinstance(layer, L.ReLU):
-        return _relu_in, _relu_out
-    if isinstance(layer, L.Tanh):
-        return _tanh_in, _tanh_out
-    if isinstance(layer, L.Sigmoid):
-        return _sigmoid_in, _sigmoid_out
-    if isinstance(layer, L.LeakyReLU):
-        return _leaky_in(layer.slope), _leaky_out(layer.slope)
-    return None
-
-
-# ----------------------------------------------------------------------
-# Step factories
-# ----------------------------------------------------------------------
-
-def _affine_step(slot, weight, bias, act_in_place):
-    """Fused ``y = act(x @ W.T + b)`` into a per-batch scratch buffer.
-
-    ``weight`` is the parameter's data array; the transposed view is
-    taken once here so the per-call work is a single BLAS dispatch.
-    The bias is pre-shaped to a ``(1, out)`` row so the in-place add is
-    a same-shape ufunc sweep (broadcast setup costs more than the add).
-    """
-    wt = weight.T                     # view: live updates flow through
-    out_features = wt.shape[1]
-    bias_row = bias.reshape(1, -1) if bias is not None else None
-    wt_narrow = weight.dtype != np.float64
-
-    def step(x, bufs, dot=np.dot, empty=np.empty, add=np.add):
-        if x.ndim != 2:               # rare shapes: correctness over speed
-            y = np.matmul(x, wt)
-            if bias is not None:
-                y = y + bias
-            if act_in_place is not None:
-                act_in_place(y)
-            return y
-        buf = bufs[slot]
-        # With float64 weights the result dtype is float64 for any
-        # input, so only non-f64 weights need the per-call dtype check.
-        if buf is None or buf.shape[0] != x.shape[0] or \
-                (wt_narrow and buf.dtype != np.result_type(x.dtype, wt.dtype)):
-            buf = bufs[slot] = empty(
-                (x.shape[0], out_features),
-                dtype=np.result_type(x.dtype, wt.dtype))
-        dot(x, wt, out=buf)
-        if bias_row is not None:
-            add(buf, bias_row, out=buf)
-        if act_in_place is not None:
-            act_in_place(buf)
-        return buf
-
-    return step
-
-
-def _activation_step(slot, act_out_of_place):
-    """Standalone activation into scratch (never mutates its input)."""
-
-    def step(x, bufs):
-        buf = bufs[slot]
-        if buf is None or buf.shape != x.shape or buf.dtype != x.dtype:
-            buf = bufs[slot] = np.empty_like(x)
-        act_out_of_place(x, buf)
-        return buf
-
-    return step
-
-
-def _standardize_step(layer):
-    mean, std = layer.mean, layer.std
-
-    def step(x, bufs):
-        return (x - mean) * (1.0 / std)
-
-    return step
-
-
-def _destandardize_step(layer):
-    mean, std = layer.mean, layer.std
-
-    def step(x, bufs):
-        return x * std + mean
-
-    return step
-
-
-def _flatten_step(start_dim):
-    def step(x, bufs):
-        return x.reshape(x.shape[:start_dim] + (-1,))
-
-    return step
-
-
-def _conv2d_step(layer, act_in_place):
-    weight = layer.weight.data
-    bias = layer.bias.data if layer.bias is not None else None
-    stride, padding = layer.stride, layer.padding
-    c_out, _c_in, kh, kw = weight.shape
-    wmat_t = weight.reshape(c_out, -1).T       # view over the parameter
-
-    def step(x, bufs):
-        cols = F.im2col(x, kh, kw, stride, padding)
-        out = cols @ wmat_t                    # (N, oh, ow, C_out)
-        out = out.transpose(0, 3, 1, 2)
-        if bias is not None:
-            out = out + bias.reshape(1, -1, 1, 1)
-        if act_in_place is not None:
-            out = np.ascontiguousarray(out)
-            act_in_place(out)
-        return out
-
-    return step
-
-
-def _conv1d_step(layer, act_in_place):
-    weight = layer.weight.data
-    bias = layer.bias.data if layer.bias is not None else None
-    stride = layer.stride
-    c_out, _c_in, k = weight.shape
-    wmat_t = weight.reshape(c_out, -1).T
-
-    def step(x, bufs):
-        n, c_in, length = x.shape
-        x4 = x.reshape(n, c_in, 1, length)
-        cols = F.im2col(x4, 1, k, stride, 0)
-        out = cols @ wmat_t                    # (N, 1, oL, C_out)
-        out = out.transpose(0, 3, 1, 2)
-        if bias is not None:
-            out = out + bias.reshape(1, -1, 1, 1)
-        out = out.reshape(n, c_out, out.shape[-1])
-        if act_in_place is not None:
-            out = np.ascontiguousarray(out)
-            act_in_place(out)
-        return out
-
-    return step
-
-
-def _max_pool2d_step(kernel, stride):
-    def step(x, bufs):
-        out, _arg, _oh, _ow = F.max_pool2d_raw(x, kernel, stride)
-        return out
-
-    return step
-
-
-def _max_pool1d_step(kernel, stride):
-    def step(x, bufs):
-        if kernel == 1:
-            return x                 # 1-wide windows at stride 1: identity
-        out, _arg = F.max_pool1d_raw(x, kernel, stride)
-        return out
-
-    return step
-
-
-def _avg_pool2d_step(kernel, stride):
-    def step(x, bufs):
-        return F.avg_pool2d_raw(x, kernel, stride)
-
-    return step
-
-
-def _croppad2d_step(height, width):
-    def step(x, bufs):
-        h, w = x.shape[-2], x.shape[-1]
-        if h > height or w > width:
-            x = x[..., :min(h, height), :min(w, width)]
-            h, w = x.shape[-2], x.shape[-1]
-        if h < height or w < width:
-            pad = [(0, 0)] * (x.ndim - 2)
-            pad += [(0, height - h), (0, width - w)]
-            x = np.pad(x, pad)
-        return x
-
-    return step
-
-
-def _batchnorm1d_step(layer):
-    weight, bias = layer.weight.data, layer.bias.data
-    eps = layer.eps
-
-    def step(x, bufs):
-        mu = layer.running_mean.reshape(1, -1)
-        denom = np.sqrt(layer.running_var.reshape(1, -1) + eps)
-        return (x - mu) / denom * weight + bias
-
-    return step
-
-
-def _layernorm_step(layer):
-    weight, bias = layer.weight.data, layer.bias.data
-    eps = layer.eps
-
-    def step(x, bufs):
-        n = x.shape[-1]
-        # Matches Tensor.mean/var: sum * (1/n), biased variance.
-        mu = x.sum(axis=-1, keepdims=True) * (1.0 / n)
-        centered = x - mu
-        var = (centered * centered).sum(axis=-1, keepdims=True) * (1.0 / n)
-        return centered / np.sqrt(var + eps) * weight + bias
-
-    return step
-
-
-def _gru_step(layer):
-    """Unrolled GRU forward over raw ndarrays.
-
-    Replays the graph path's exact operation sequence (per-timestep
-    ``x_t @ W_ih^T + b_ih`` / ``h @ W_hh^T + b_hh``, the 1/(1+exp(-x))
-    sigmoid, ``h = n + z*(h - n)``) so results match to the same
-    tolerance as the MLP lowerings.  Weight transposes are views over
-    the parameter arrays: in-place optimizer updates flow through.
-    """
-    cell = layer.cell
-    w_ih_t = cell.weight_ih.data.T
-    w_hh_t = cell.weight_hh.data.T
-    b_ih = cell.bias_ih.data
-    b_hh = cell.bias_hh.data
-    hs = cell.hidden_size
-    return_sequence = layer.return_sequence
-
-    def step(x, bufs):
-        if x.ndim != 3:
-            raise ValueError(f"GRU expects (batch, seq, features), got "
-                             f"{x.shape}")
-        batch, seq_len = x.shape[0], x.shape[1]
-        h = np.zeros((batch, hs))
-        outputs = [] if return_sequence else None
-        for t in range(seq_len):
-            gi = x[:, t, :] @ w_ih_t + b_ih
-            gh = h @ w_hh_t + b_hh
-            r = 1.0 / (1.0 + np.exp(-(gi[:, :hs] + gh[:, :hs])))
-            z = 1.0 / (1.0 + np.exp(-(gi[:, hs:2 * hs] + gh[:, hs:2 * hs])))
-            n = np.tanh(gi[:, 2 * hs:] + r * gh[:, 2 * hs:])
-            h = n + z * (h - n)
-            if outputs is not None:
-                outputs.append(h)
-        if outputs is not None:
-            return np.stack(outputs, axis=1)
-        return h
-
-    return step
-
-
-# ----------------------------------------------------------------------
-# Plan
-# ----------------------------------------------------------------------
-
 class CompiledPlan:
-    """A flat inference closure emitted by :func:`compile_inference`."""
+    """A flat inference step plan emitted by :func:`compile_inference`."""
 
-    __slots__ = ("_steps", "_watch", "_struct_watch", "_buffers", "n_slots",
-                 "n_layers", "n_fused", "summary")
+    __slots__ = ("_steps", "_fns", "_watch", "_struct_watch", "_keys",
+                 "n_layers", "n_fused", "summary", "fingerprint")
 
-    def __init__(self, steps, watch, struct_watch, n_slots, n_layers,
-                 n_fused, summary):
+    def __init__(self, steps, watch, struct_watch, n_layers, n_fused,
+                 summary, fingerprint):
         self._steps = tuple(steps)
+        # Hot steps hand out specialized closures (constants bound,
+        # scratch dict captured); the rest run their bound method.
+        self._fns = tuple(step.inference_fn() or step.forward
+                          for step in self._steps)
         self._watch = tuple(watch)
         self._struct_watch = tuple(struct_watch)
-        self._buffers: dict = {}       # batch size -> per-slot scratch
-        self.n_slots = n_slots
+        self._keys: set = set()        # batch sizes with live scratch
         self.n_layers = n_layers
         self.n_fused = n_fused
         self.summary = tuple(summary)
+        #: Structural digest of the lowered model (layer types, shapes,
+        #: hyperparameters).  Equal fingerprints => interchangeable
+        #: step/scratch layout.
+        self.fingerprint = fingerprint
 
     def stale(self) -> bool:
         """True when the plan no longer describes the model.
@@ -371,23 +77,48 @@ class CompiledPlan:
         for obj, name, arr in self._watch:
             if getattr(obj, name) is not arr:
                 return True
-        for seq, layer_list, n_layers in self._struct_watch:
-            if seq.layers is not layer_list or len(layer_list) != n_layers:
+        for ref, layer_list, n_layers in self._struct_watch:
+            seq = ref()
+            if seq is None or seq.layers is not layer_list or \
+                    len(layer_list) != n_layers:
                 return True
         return False
+
+    def adopt_scratch(self, old: "CompiledPlan | None") -> bool:
+        """Take over a same-fingerprint predecessor's scratch buffers.
+
+        After a recompile that preserved the structure (hot-swap /
+        ``load_state_dict``), the old plan's per-batch buffers have
+        exactly the shapes this plan will allocate — adopting them
+        keeps the first post-swap inference warm.  Returns whether the
+        adoption happened.
+        """
+        if old is None or old is self or \
+                old.fingerprint != self.fingerprint or \
+                len(old._steps) != len(self._steps):
+            return False
+        for mine, theirs in zip(self._steps, old._steps):
+            if type(mine) is not type(theirs):
+                return False
+        for mine, theirs in zip(self._steps, old._steps):
+            # In place: specialized step closures capture the dict.
+            mine._bufs.update(theirs._bufs)
+        self._keys = set(old._keys)
+        return True
 
     def __call__(self, x) -> np.ndarray:
         x = np.asarray(x)
         if x.dtype == np.float16:      # mirror Tensor's dtype coercion
             x = x.astype(np.float64)
         key = x.shape[0] if x.ndim else 1
-        bufs = self._buffers.get(key)
-        if bufs is None:
-            if len(self._buffers) > 16:
-                self._buffers.clear()
-            bufs = self._buffers[key] = [None] * self.n_slots
-        for step in self._steps:
-            x = step(x, bufs)
+        if key not in self._keys:
+            if len(self._keys) > 16:
+                for step in self._steps:
+                    step.clear()
+                self._keys.clear()
+            self._keys.add(key)
+        for fn in self._fns:
+            x = fn(x, key)
         return x
 
     def __repr__(self):
@@ -395,136 +126,14 @@ class CompiledPlan:
                 f"steps={len(self._steps)}, fused={self.n_fused})")
 
 
-def _flatten_layers(model: L.Module, seqs: list) -> list:
-    if isinstance(model, L.Sequential):
-        seqs.append((model, model.layers, len(model.layers)))
-        out = []
-        for layer in model.layers:
-            out.extend(_flatten_layers(layer, seqs))
-        return out
-    return [model]
-
-
-_PASSTHROUGH = (L.Identity, L.Dropout)
-
-
 def compile_inference(model: L.Module) -> CompiledPlan:
-    """Compile ``model`` into a flat NumPy inference closure.
+    """Compile ``model`` into a flat NumPy inference plan.
 
     Raises :class:`UnsupportedLayerError` for layers without a lowering
     (custom modules outside the serialized zoo) — callers fall back to
     the graph path.
     """
-    struct_watch: list = []
-    layers = _flatten_layers(model, struct_watch)
-    steps, watch, summary = [], [], []
-    n_slots = 0
-    n_fused = 0
-
-    def watch_layer(layer):
-        for _name, p in layer.named_parameters():
-            watch.append((p, "data", p.data))
-
-    i = 0
-    while i < len(layers):
-        layer = layers[i]
-        nxt = layers[i + 1] if i + 1 < len(layers) else None
-        fuse = _activation_kernels(nxt) if nxt is not None else None
-
-        if isinstance(layer, _PASSTHROUGH):
-            summary.append(f"{type(layer).__name__}: skipped (eval)")
-            i += 1
-            continue
-        if isinstance(layer, L.Linear):
-            act_in = fuse[0] if fuse else None
-            steps.append(_affine_step(n_slots, layer.weight.data,
-                                      layer.bias.data
-                                      if layer.bias is not None else None,
-                                      act_in))
-            n_slots += 1
-            watch_layer(layer)
-            if fuse:
-                summary.append(f"Linear+{type(nxt).__name__}: fused affine")
-                n_fused += 1
-                i += 2
-            else:
-                summary.append("Linear: affine")
-                i += 1
-            continue
-        if isinstance(layer, L.Conv2d):
-            steps.append(_conv2d_step(layer, fuse[0] if fuse else None))
-            watch_layer(layer)
-            if fuse:
-                summary.append(f"Conv2d+{type(nxt).__name__}: fused im2col")
-                n_fused += 1
-                i += 2
-            else:
-                summary.append("Conv2d: im2col")
-                i += 1
-            continue
-        if isinstance(layer, L.Conv1d):
-            steps.append(_conv1d_step(layer, fuse[0] if fuse else None))
-            watch_layer(layer)
-            if fuse:
-                summary.append(f"Conv1d+{type(nxt).__name__}: fused im2col")
-                n_fused += 1
-                i += 2
-            else:
-                summary.append("Conv1d: im2col")
-                i += 1
-            continue
-
-        if isinstance(layer, GRU):
-            steps.append(_gru_step(layer))
-            watch_layer(layer)
-            summary.append("GRU: unrolled recurrence")
-            i += 1
-            continue
-
-        kernels = _activation_kernels(layer)
-        if kernels is not None:
-            steps.append(_activation_step(n_slots, kernels[1]))
-            n_slots += 1
-            summary.append(f"{type(layer).__name__}: activation")
-        elif isinstance(layer, L.Flatten):
-            steps.append(_flatten_step(layer.start_dim))
-            summary.append("Flatten: reshape")
-        elif isinstance(layer, L.Standardize):
-            steps.append(_standardize_step(layer))
-            watch.append((layer, "mean", layer.mean))
-            watch.append((layer, "std", layer.std))
-            summary.append("Standardize: affine constants")
-        elif isinstance(layer, L.Destandardize):
-            steps.append(_destandardize_step(layer))
-            watch.append((layer, "mean", layer.mean))
-            watch.append((layer, "std", layer.std))
-            summary.append("Destandardize: affine constants")
-        elif isinstance(layer, L.MaxPool2d):
-            steps.append(_max_pool2d_step(layer.kernel_size, layer.stride))
-            summary.append("MaxPool2d: strided view")
-        elif isinstance(layer, L.MaxPool1d):
-            steps.append(_max_pool1d_step(layer.kernel_size, layer.stride))
-            summary.append("MaxPool1d: strided view")
-        elif isinstance(layer, L.AvgPool2d):
-            steps.append(_avg_pool2d_step(layer.kernel_size, layer.stride))
-            summary.append("AvgPool2d: strided view")
-        elif isinstance(layer, L.CropPad2d):
-            steps.append(_croppad2d_step(layer.height, layer.width))
-            summary.append("CropPad2d: slice/pad")
-        elif isinstance(layer, L.BatchNorm1d):
-            steps.append(_batchnorm1d_step(layer))
-            watch_layer(layer)
-            watch.append((layer, "running_mean", layer.running_mean))
-            watch.append((layer, "running_var", layer.running_var))
-            summary.append("BatchNorm1d: running stats")
-        elif isinstance(layer, L.LayerNorm):
-            steps.append(_layernorm_step(layer))
-            watch_layer(layer)
-            summary.append("LayerNorm: fused normalize")
-        else:
-            raise UnsupportedLayerError(
-                f"no compiled lowering for {type(layer).__name__}")
-        i += 1
-
-    return CompiledPlan(steps, watch, struct_watch, n_slots, len(layers),
-                        n_fused, summary)
+    ctx, struct_watch, n_layers = lower_model(model, training=False)
+    return CompiledPlan(ctx.steps, ctx.watch, struct_watch, n_layers,
+                        ctx.n_fused, ctx.summary,
+                        structural_fingerprint(model, extra=("infer",)))

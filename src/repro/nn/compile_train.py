@@ -1,428 +1,86 @@
 """Compiled training fast path: fused forward/backward plans + fused optimizer.
 
-PR 1 compiled *inference* (:mod:`repro.nn.compile`); this module does
-the same for *training*, the remaining hot path: every
-``Trainer._epoch`` minibatch on the graph path allocates dozens of
-autodiff ``Tensor`` intermediates, and ``Adam.step`` loops over
-parameters in Python.  Since the online serving layer retrains
-in-process (``serving.retrain.RetrainWorker``) and the BO
-hyperparameter search trains every candidate, epoch time bounds both
-drift-recovery latency and search throughput.
+PR 1 compiled *inference*; this module compiles *training*, the
+remaining hot path: every ``Trainer._epoch`` minibatch on the graph
+path allocates dozens of autodiff ``Tensor`` intermediates, and
+``Adam.step`` loops over parameters in Python.  Since the online
+serving layer retrains in-process (``serving.retrain.RetrainWorker``)
+and the BO hyperparameter search trains every candidate, epoch time
+bounds both drift-recovery latency and search throughput.
 
-:func:`compile_training` walks a model **once** and emits a
+:func:`compile_training` lowers a model **once** through the shared
+plan IR (:mod:`repro.nn.plan`) — the same per-layer registry the
+inference compiler uses, in training mode — and emits a
 :class:`CompiledTrainingPlan`:
 
-* **fused forward** — affine + activation steps over raw ndarrays into
-  preallocated per-batch-size scratch, stashing only the activations
-  the backward pass needs (zero ``Tensor`` wrappers);
-* **hand-derived backward** — per-step closures that replay the exact
+* **fused forward** — affine/conv/recurrent steps over raw ndarrays
+  into preallocated per-batch-size scratch, stashing only the
+  activations the backward pass needs (zero ``Tensor`` wrappers);
+* **hand-derived backward** — per-step adjoints that replay the exact
   op sequence of the autodiff graph (same formulas, same association
   where it matters) and write parameter gradients straight into
   per-parameter views of one flat, preallocated gradient buffer;
 * **fused optimizer** — :class:`FusedAdam` / :class:`FusedSGD` run the
   moment updates vectorized over the flat gradient/moment buffers
   (decoupled weight decay, in-place parameter updates) instead of a
-  Python loop of temporaries per parameter;
+  Python loop of temporaries per parameter.  Both expose
+  ``state_dict()`` / ``load_state_dict()`` over the flat moment
+  buffers, and plans carry a structural fingerprint — together these
+  let moments survive a same-structure recompile (warm restarts across
+  ``load_state_dict``, hot-swap retrains, repeated ``fit()`` calls);
 * **in-place global-norm clipping** — :meth:`CompiledTrainingPlan.
   clip_gradients` accumulates per-parameter ``np.vdot`` and rescales
   the flat buffer in place.
 
 Supported layer set is the deployed-surrogate zoo: ``Linear``,
 ReLU/Tanh/Sigmoid/LeakyReLU, ``Dropout`` (train-mode masks drawn from
-the layer's own RNG stream, so compiled and graph training consume
-identical draws), ``BatchNorm1d`` (train mode, running-stat updates
-included), ``Standardize``/``Destandardize``, ``Flatten``,
-``Identity``, and ``Sequential`` nesting.  Anything else (GRU, convs)
-raises :class:`UnsupportedLayerError` and callers fall back to the
-graph path — :class:`~repro.nn.Trainer` does this automatically.
+the layer RNG stream, so compiled and graph training consume identical
+draws), ``BatchNorm1d`` (train mode, running stats), ``Conv1d``/
+``Conv2d`` (im2col + GEMM with the ``col2im`` adjoint), ``GRU``
+(full-window BPTT; final-state and sequence outputs),
+``MaxPool2d``, ``CropPad2d``, ``Standardize``/``Destandardize``,
+``Flatten``, ``Identity``, and ``Sequential`` nesting — every Table IV
+surrogate family trains on the fast path.  Anything else (custom
+modules, custom losses/optimizers, non-float64 data) raises
+:class:`UnsupportedLayerError` and callers fall back to the graph path
+— :class:`~repro.nn.Trainer` does this automatically.
 
 Numerical contract: with float64 data and fixed seeds the compiled
 path reproduces the graph path's losses, gradients and parameter
 trajectories to within a few ULP (element-wise ops are mirrored
 exactly; the only divergence source is BLAS accumulation order inside
-the weight-gradient GEMM).  ``tests/test_nn_compile_train.py`` pins
-gradient parity at <= 1e-10 and identical early-stopping behavior.
+the weight-gradient GEMMs).  ``tests/test_nn_compile_train.py`` and
+``tests/test_nn_plan.py`` pin gradient parity at <= 1e-10 and
+identical early-stopping behavior.
 """
 
 from __future__ import annotations
 
 import functools
-import math
 
 import numpy as np
 
 from . import layers as L
-from .compile import UnsupportedLayerError, _flatten_layers
 from .loss import huber_loss, l1_loss, mape_loss, mse_loss
 from .optim import SGD, Adam
+from .plan import (PlanStep, UnsupportedLayerError, _buf, loss_token,
+                   lower_model, structural_fingerprint)
 
 __all__ = ["compile_training", "CompiledTrainingPlan", "FusedAdam",
            "FusedSGD", "UnsupportedLayerError"]
 
 
 # ----------------------------------------------------------------------
-# Scratch helpers
-# ----------------------------------------------------------------------
-
-class _StepBase:
-    """A plan step owning per-batch-size scratch buffers."""
-
-    __slots__ = ("_bufs",)
-
-    def __init__(self):
-        self._bufs: dict = {}
-
-    def scratch(self, n: int) -> dict:
-        s = self._bufs.get(n)
-        if s is None:
-            s = self._bufs[n] = {}
-        return s
-
-    def clear(self) -> None:
-        self._bufs.clear()
-
-
-def _buf(s: dict, key: str, shape: tuple, dtype=np.float64) -> np.ndarray:
-    arr = s.get(key)
-    if arr is None or arr.shape != shape:
-        arr = s[key] = np.empty(shape, dtype=dtype)
-    return arr
-
-
-# ----------------------------------------------------------------------
-# Activation kernels (forward into scratch, backward from stashed output)
-# ----------------------------------------------------------------------
-
-def _act_kind(layer):
-    if isinstance(layer, L.ReLU):
-        return ("relu", 0.0)
-    if isinstance(layer, L.Tanh):
-        return ("tanh", 0.0)
-    if isinstance(layer, L.Sigmoid):
-        return ("sigmoid", 0.0)
-    if isinstance(layer, L.LeakyReLU):
-        return ("leaky", layer.slope)
-    return None
-
-
-def _act_forward(kind, slope, z, s):
-    """Apply activation in place on the pre-activation buffer ``z``."""
-    if kind == "relu":
-        np.maximum(z, 0.0, out=z)
-    elif kind == "tanh":
-        np.tanh(z, out=z)
-    elif kind == "sigmoid":
-        # 1 / (1 + exp(-x)) — the Tensor.sigmoid formula, in place.
-        np.negative(z, out=z)
-        np.exp(z, out=z)
-        z += 1.0
-        np.reciprocal(z, out=z)
-    else:  # leaky
-        mb = _buf(s, "act_mask", z.shape, dtype=bool)
-        t = _buf(s, "act_t", z.shape)
-        np.greater(z, 0.0, out=mb)
-        t.fill(slope)
-        np.copyto(t, 1.0, where=mb)
-        np.multiply(z, t, out=z)
-
-
-def _act_backward(kind, slope, g, out, s):
-    """In-place ``g *= act'`` using the stashed activation *output*.
-
-    All four activations admit derivative-from-output forms that match
-    the graph path's derivative-from-input values exactly (for ReLU and
-    LeakyReLU, ``out > 0`` iff ``pre > 0`` because the slope is
-    positive).
-    """
-    if kind == "relu":
-        mb = _buf(s, "act_mask", out.shape, dtype=bool)
-        np.greater(out, 0.0, out=mb)
-        np.multiply(g, mb, out=g)
-    elif kind == "tanh":
-        t = _buf(s, "act_t", out.shape)
-        np.multiply(out, out, out=t)
-        np.subtract(1.0, t, out=t)
-        np.multiply(g, t, out=g)
-    elif kind == "sigmoid":
-        # Graph: g * out * (1 - out), associated as (g*out)*(1-out).
-        t = _buf(s, "act_t", out.shape)
-        np.multiply(g, out, out=g)
-        np.subtract(1.0, out, out=t)
-        np.multiply(g, t, out=g)
-    else:  # leaky
-        mb = _buf(s, "act_mask", out.shape, dtype=bool)
-        t = _buf(s, "act_t", out.shape)
-        np.greater(out, 0.0, out=mb)
-        t.fill(slope)
-        np.copyto(t, 1.0, where=mb)
-        np.multiply(g, t, out=g)
-
-
-# ----------------------------------------------------------------------
-# Steps
-# ----------------------------------------------------------------------
-
-class _AffineStep(_StepBase):
-    """Fused ``z = act(x @ W.T + b)`` with gradient writes into flat views.
-
-    Backward: ``dz = g * act'(z)`` in place on the incoming gradient
-    buffer, then ``gW = dz.T @ x`` and ``gb = dz.sum(0)`` straight into
-    the plan's flat gradient buffer, and ``gx = dz @ W`` into step
-    scratch (skipped for the first step of the plan).
-    """
-
-    __slots__ = ("w", "wt", "b_row", "act", "slope", "gw", "gb")
-
-    def __init__(self, weight, bias, act, gw, gb):
-        super().__init__()
-        self.w = weight
-        self.wt = weight.T                 # view: in-place updates flow
-        self.b_row = bias.reshape(1, -1) if bias is not None else None
-        if act is None:
-            self.act, self.slope = None, 0.0
-        else:
-            self.act, self.slope = act
-        self.gw = gw
-        self.gb = gb
-
-    def forward(self, x, n):
-        if x.ndim != 2:
-            raise ValueError(f"compiled training expects 2-D activations, "
-                             f"got {x.shape}")
-        s = self.scratch(n)
-        z = _buf(s, "z", (n, self.wt.shape[1]))
-        np.dot(x, self.wt, out=z)
-        if self.b_row is not None:
-            np.add(z, self.b_row, out=z)
-        if self.act is not None:
-            _act_forward(self.act, self.slope, z, s)
-        s["x"] = x
-        return z
-
-    def backward(self, g, n, need_gx):
-        s = self._bufs[n]
-        if self.act is not None:
-            _act_backward(self.act, self.slope, g, s["z"], s)
-        np.dot(g.T, s["x"], out=self.gw)
-        if self.gb is not None:
-            # add.reduce is what np.sum dispatches to (bit-identical to
-            # the graph path's unbroadcast sum) minus wrapper overhead.
-            np.add.reduce(g, axis=0, out=self.gb)
-        if not need_gx:
-            return None
-        gx = _buf(s, "gx", (n, self.w.shape[1]))
-        np.dot(g, self.w, out=gx)
-        return gx
-
-
-class _ActStep(_StepBase):
-    """Standalone activation (not fused behind a Linear)."""
-
-    __slots__ = ("act", "slope")
-
-    def __init__(self, act):
-        super().__init__()
-        self.act, self.slope = act
-
-    def forward(self, x, n):
-        s = self.scratch(n)
-        z = _buf(s, "z", x.shape)
-        np.copyto(z, x)
-        _act_forward(self.act, self.slope, z, s)
-        return z
-
-    def backward(self, g, n, need_gx):
-        s = self._bufs[n]
-        _act_backward(self.act, self.slope, g, s["z"], s)
-        return g
-
-
-class _DropoutStep(_StepBase):
-    """Inverted dropout with cached mask buffers.
-
-    Draws from the layer's own RNG with ``Generator.random(out=...)``,
-    which consumes exactly the same stream as the graph path's
-    ``rng.random(x.shape)`` — fixed-seed training is bit-for-bit
-    reproducible across the two paths.
-    """
-
-    __slots__ = ("layer", "keep")
-
-    def __init__(self, layer):
-        super().__init__()
-        self.layer = layer
-        self.keep = 1.0 - layer.p
-
-    def forward(self, x, n):
-        s = self.scratch(n)
-        r = _buf(s, "r", x.shape)
-        self.layer.rng.random(out=r)
-        mb = _buf(s, "mask_bool", x.shape, dtype=bool)
-        np.less(r, self.keep, out=mb)
-        m = _buf(s, "mask", x.shape)
-        np.divide(mb, self.keep, out=m)
-        z = _buf(s, "z", x.shape)
-        np.multiply(x, m, out=z)
-        return z
-
-    def backward(self, g, n, need_gx):
-        np.multiply(g, self._bufs[n]["mask"], out=g)
-        return g
-
-
-class _BatchNormStep(_StepBase):
-    """BatchNorm1d in train mode: batch stats + running-stat updates.
-
-    The forward mirrors the graph ops (``mean = sum * (1/n)``, biased
-    variance); the backward is the classic batch-norm adjoint derived
-    from those exact ops — gradient flows through the batch mean and
-    variance as well as the normalized activations.
-    """
-
-    __slots__ = ("layer", "gw", "gb")
-
-    def __init__(self, layer, gw, gb):
-        super().__init__()
-        self.layer = layer
-        self.gw = gw
-        self.gb = gb
-
-    def forward(self, x, n):
-        if x.ndim != 2:
-            raise ValueError(f"BatchNorm1d expects (N, F) inputs, got "
-                             f"{x.shape}")
-        lay = self.layer
-        s = self.scratch(n)
-        inv_n = 1.0 / n
-        mu = x.sum(axis=0, keepdims=True) * inv_n
-        c = _buf(s, "c", x.shape)
-        np.subtract(x, mu, out=c)
-        sq = _buf(s, "sq", x.shape)
-        np.multiply(c, c, out=sq)
-        var = sq.sum(axis=0, keepdims=True) * inv_n
-        # Rebinding assignments, exactly like the graph path (so any
-        # inference plan watching the running stats goes stale too).
-        lay.running_mean = ((1 - lay.momentum) * lay.running_mean
-                            + lay.momentum * mu.ravel())
-        lay.running_var = ((1 - lay.momentum) * lay.running_var
-                           + lay.momentum * var.ravel())
-        std = np.sqrt(var + lay.eps)
-        norm = _buf(s, "norm", x.shape)
-        np.divide(c, std, out=norm)
-        z = _buf(s, "z", x.shape)
-        np.multiply(norm, lay.weight.data, out=z)
-        np.add(z, lay.bias.data, out=z)
-        s["std"] = std
-        s["inv_n"] = inv_n
-        return z
-
-    def backward(self, g, n, need_gx):
-        s = self._bufs[n]
-        c, sq, norm, std = s["c"], s["sq"], s["norm"], s["std"]
-        inv_n = s["inv_n"]
-        np.multiply(g, norm, out=sq)           # sq reused as scratch
-        np.add.reduce(sq, axis=0, out=self.gw)
-        np.add.reduce(g, axis=0, out=self.gb)
-        dn = _buf(s, "dn", g.shape)
-        np.multiply(g, self.layer.weight.data, out=dn)
-        # d std via norm = c / std (the truediv adjoint, unbroadcast).
-        np.multiply(dn, c, out=sq)
-        np.negative(sq, out=sq)
-        np.divide(sq, std * std, out=sq)
-        dstd = sq.sum(axis=0, keepdims=True)
-        dvar = dstd * 0.5 / std
-        np.divide(dn, std, out=dn)             # dn = dc (from norm)
-        gci = dvar * inv_n
-        np.multiply(c, gci, out=sq)
-        np.add(sq, sq, out=sq)                 # 2 * c * dvar / n
-        np.add(dn, sq, out=dn)                 # total dc
-        if not need_gx:
-            return None
-        dmu = dn.sum(axis=0, keepdims=True)
-        np.negative(dmu, out=dmu)
-        np.multiply(dmu, inv_n, out=dmu)
-        gx = _buf(s, "gx", g.shape)
-        np.add(dn, dmu, out=gx)
-        return gx
-
-
-class _StandardizeStep(_StepBase):
-    """Frozen ``(x - mean) * (1/std)`` — constants, gradient is a scale."""
-
-    __slots__ = ("mean", "inv_std")
-
-    def __init__(self, layer):
-        super().__init__()
-        self.mean = layer.mean
-        self.inv_std = 1.0 / layer.std
-
-    def forward(self, x, n):
-        s = self.scratch(n)
-        z = _buf(s, "z", x.shape)
-        np.subtract(x, self.mean, out=z)
-        np.multiply(z, self.inv_std, out=z)
-        return z
-
-    def backward(self, g, n, need_gx):
-        if not need_gx:
-            return None
-        np.multiply(g, self.inv_std, out=g)
-        return g
-
-
-class _DestandardizeStep(_StepBase):
-    """Frozen ``x * std + mean`` output head."""
-
-    __slots__ = ("mean", "std")
-
-    def __init__(self, layer):
-        super().__init__()
-        self.mean = layer.mean
-        self.std = layer.std
-
-    def forward(self, x, n):
-        s = self.scratch(n)
-        z = _buf(s, "z", x.shape)
-        np.multiply(x, self.std, out=z)
-        np.add(z, self.mean, out=z)
-        return z
-
-    def backward(self, g, n, need_gx):
-        if not need_gx:
-            return None
-        np.multiply(g, self.std, out=g)
-        return g
-
-
-class _FlattenStep(_StepBase):
-    __slots__ = ("start_dim",)
-
-    def __init__(self, start_dim):
-        super().__init__()
-        self.start_dim = start_dim
-
-    def forward(self, x, n):
-        s = self.scratch(n)
-        s["shape"] = x.shape
-        return x.reshape(x.shape[:self.start_dim] + (-1,))
-
-    def backward(self, g, n, need_gx):
-        if not need_gx:
-            return None
-        return g.reshape(self._bufs[n]["shape"])
-
-
-# ----------------------------------------------------------------------
 # Loss lowering
 # ----------------------------------------------------------------------
 
-class _CompiledLoss(_StepBase):
+class _CompiledLoss(PlanStep):
     """Loss value + seed gradient, mirroring the graph op sequence."""
 
     __slots__ = ("kind", "delta", "eps")
 
     def __init__(self, kind, delta=1.0, eps=1e-8):
-        super().__init__()
+        super().__init__(True)
         self.kind = kind
         self.delta = delta
         self.eps = eps
@@ -510,7 +168,9 @@ class FusedAdam:
     are flat; the per-parameter tail applies decoupled weight decay and
     the in-place ``p -= lr * update`` (which, unlike the graph
     optimizer's rebinding update, lets compiled inference plans keep
-    watching the same arrays).
+    watching the same arrays).  ``state_dict`` / ``load_state_dict``
+    move the flat moments between same-layout plans (equal structural
+    fingerprints), which is how warm restarts survive a recompile.
     """
 
     __slots__ = ("plan", "src", "m", "v", "_u", "_s", "t", "_segs")
@@ -527,6 +187,21 @@ class FusedAdam:
         self._segs = [
             (p.data.reshape(-1), self._u[lo:hi], plan.grads[lo:hi])
             for p, (lo, hi) in zip(plan.params, plan.offsets)]
+
+    def state_dict(self) -> dict:
+        """Flat moment state, copy-safe for carrying across recompiles."""
+        return {"t": self.t, "m": self.m.copy(), "v": self.v.copy()}
+
+    def load_state_dict(self, state: dict) -> None:
+        m = np.asarray(state["m"], dtype=np.float64)
+        v = np.asarray(state["v"], dtype=np.float64)
+        if m.shape != self.m.shape or v.shape != self.v.shape:
+            raise ValueError(
+                f"moment shape mismatch: got {m.shape}/{v.shape}, plan "
+                f"has {self.m.shape} flat parameters")
+        self.m[...] = m
+        self.v[...] = v
+        self.t = int(state["t"])
 
     def step(self) -> None:
         src = self.src
@@ -579,6 +254,21 @@ class FusedSGD:
             (p.data.reshape(-1), self._s[lo:hi], plan.grads[lo:hi])
             for p, (lo, hi) in zip(plan.params, plan.offsets)]
 
+    def state_dict(self) -> dict:
+        return {"vel": None if self.vel is None else self.vel.copy()}
+
+    def load_state_dict(self, state: dict) -> None:
+        vel = state.get("vel")
+        if vel is None:
+            return                       # momentum-less: nothing to carry
+        if self.vel is None:
+            raise ValueError("velocity state given but momentum is 0")
+        vel = np.asarray(vel, dtype=np.float64)
+        if vel.shape != self.vel.shape:
+            raise ValueError(f"velocity shape mismatch: {vel.shape} vs "
+                             f"{self.vel.shape}")
+        self.vel[...] = vel
+
     def step(self) -> None:
         src = self.src
         lr, mom, wd = src.lr, src.momentum, src.weight_decay
@@ -616,12 +306,15 @@ class CompiledTrainingPlan:
 
     __slots__ = ("_steps", "_loss", "params", "offsets", "n_flat", "grads",
                  "grad_views", "_watch", "_struct_watch", "summary",
-                 "n_layers", "n_fused", "_keys", "_need_gx")
+                 "n_layers", "n_fused", "_keys", "_need_gx", "fingerprint")
 
-    def __init__(self, steps, loss_plan, params, watch, struct_watch,
-                 summary, n_layers, n_fused):
+    def __init__(self, steps, loss_plan, watch, struct_watch, summary,
+                 n_layers, n_fused, fingerprint):
         self._steps = tuple(steps)
         self._loss = loss_plan
+        params = []
+        for step in self._steps:
+            params.extend(step.grad_params)
         self.params = tuple(params)
         sizes = [p.data.size for p in self.params]
         bounds = np.concatenate(([0], np.cumsum(sizes))).astype(int)
@@ -638,27 +331,28 @@ class CompiledTrainingPlan:
         self.n_layers = n_layers
         self.n_fused = n_fused
         self._keys: set = set()
+        #: Structural digest of the lowered (model, loss) pair.  Equal
+        #: fingerprints => identical flat-buffer layout, so fused
+        #: optimizer moments may be carried across a recompile.
+        self.fingerprint = fingerprint
         # Late-bind gradient views into the steps (built before the
         # flat buffer exists).
         cursor = 0
         for step in self._steps:
-            if isinstance(step, (_AffineStep, _BatchNormStep)):
-                step.gw = self.grad_views[cursor]
-                cursor += 1
-                if step.gb is not False:
-                    step.gb = self.grad_views[cursor]
-                    cursor += 1
-                else:
-                    step.gb = None
+            k = len(step.grad_params)
+            if k:
+                step.bind_grads(self.grad_views[cursor:cursor + k])
+                cursor += k
         # A step only needs an input gradient if some *earlier* step
         # holds parameters — skips the input-gradient GEMM of the first
-        # Linear and the backward sweeps of leading Standardize/Flatten
-        # steps (those gradients were discarded anyway).
+        # parameterized step and the backward sweeps of leading
+        # Standardize/Flatten steps (those gradients were discarded
+        # anyway).
         need = []
         seen_params = False
         for step in self._steps:
             need.append(seen_params)
-            if isinstance(step, (_AffineStep, _BatchNormStep)):
+            if step.grad_params:
                 seen_params = True
         self._need_gx = tuple(need)
 
@@ -672,8 +366,10 @@ class CompiledTrainingPlan:
         for obj, name, arr in self._watch:
             if getattr(obj, name) is not arr:
                 return True
-        for seq, layer_list, n_layers in self._struct_watch:
-            if seq.layers is not layer_list or len(layer_list) != n_layers:
+        for ref, layer_list, n_layers in self._struct_watch:
+            seq = ref()
+            if seq is None or seq.layers is not layer_list or \
+                    len(layer_list) != n_layers:
                 return True
         return False
 
@@ -746,6 +442,15 @@ class CompiledTrainingPlan:
                 f"params={len(self.params)})")
 
 
+def training_fingerprint(model: L.Module, loss_fn=mse_loss) -> str:
+    """Structural fingerprint of a (model, loss) training plan — what
+    :attr:`CompiledTrainingPlan.fingerprint` will be if compiled.  Cheap
+    (no array math), so callers key caches/latches on it without
+    lowering first."""
+    return structural_fingerprint(model,
+                                  extra=("train", loss_token(loss_fn)))
+
+
 def compile_training(model: L.Module, loss_fn=mse_loss) -> CompiledTrainingPlan:
     """Compile ``model`` + ``loss_fn`` into a fused training plan.
 
@@ -754,95 +459,10 @@ def compile_training(model: L.Module, loss_fn=mse_loss) -> CompiledTrainingPlan:
     autodiff graph path (``Trainer`` does so automatically).
     """
     loss_plan = _resolve_loss(loss_fn)
-    struct_watch: list = []
-    layers = _flatten_layers(model, struct_watch)
-    steps: list = []
-    params: list = []
-    watch: list = []
-    summary: list = []
-    n_fused = 0
-
-    def add_param(p):
-        if p.data.dtype != np.float64 or not p.data.flags["C_CONTIGUOUS"]:
-            raise UnsupportedLayerError(
-                "compiled training requires contiguous float64 parameters")
-        params.append(p)
-        watch.append((p, "data", p.data))
-
-    i = 0
-    while i < len(layers):
-        layer = layers[i]
-        nxt = layers[i + 1] if i + 1 < len(layers) else None
-
-        if isinstance(layer, L.Identity):
-            summary.append("Identity: skipped")
-            i += 1
-            continue
-        if isinstance(layer, L.Dropout):
-            if layer.p > 0.0:
-                steps.append(_DropoutStep(layer))
-                summary.append(f"Dropout(p={layer.p}): cached masks")
-            else:
-                summary.append("Dropout(p=0): skipped")
-            i += 1
-            continue
-        if isinstance(layer, L.Linear):
-            act = _act_kind(nxt) if nxt is not None else None
-            add_param(layer.weight)
-            has_bias = layer.bias is not None
-            if has_bias:
-                add_param(layer.bias)
-            step = _AffineStep(layer.weight.data,
-                               layer.bias.data if has_bias else None,
-                               act, None, None)
-            # Marker consumed by the plan's late view binding.
-            step.gb = None if has_bias else False
-            steps.append(step)
-            if act is not None:
-                summary.append(f"Linear+{type(nxt).__name__}: fused "
-                               "affine fwd/bwd")
-                n_fused += 1
-                i += 2
-            else:
-                summary.append("Linear: affine fwd/bwd")
-                i += 1
-            continue
-        act = _act_kind(layer)
-        if act is not None:
-            steps.append(_ActStep(act))
-            summary.append(f"{type(layer).__name__}: activation")
-            i += 1
-            continue
-        if isinstance(layer, L.BatchNorm1d):
-            add_param(layer.weight)
-            add_param(layer.bias)
-            steps.append(_BatchNormStep(layer, None, None))
-            summary.append("BatchNorm1d: batch stats + running update")
-            i += 1
-            continue
-        if isinstance(layer, L.Standardize):
-            steps.append(_StandardizeStep(layer))
-            watch.append((layer, "mean", layer.mean))
-            watch.append((layer, "std", layer.std))
-            summary.append("Standardize: affine constants")
-            i += 1
-            continue
-        if isinstance(layer, L.Destandardize):
-            steps.append(_DestandardizeStep(layer))
-            watch.append((layer, "mean", layer.mean))
-            watch.append((layer, "std", layer.std))
-            summary.append("Destandardize: affine constants")
-            i += 1
-            continue
-        if isinstance(layer, L.Flatten):
-            steps.append(_FlattenStep(layer.start_dim))
-            summary.append("Flatten: reshape view")
-            i += 1
-            continue
-        raise UnsupportedLayerError(
-            f"no compiled training lowering for {type(layer).__name__}")
-
-    if not params:
+    ctx, struct_watch, n_layers = lower_model(model, training=True)
+    if not any(step.grad_params for step in ctx.steps):
         raise UnsupportedLayerError("model has no trainable parameters")
-    return CompiledTrainingPlan(steps, loss_plan, params, watch,
-                                struct_watch, summary, len(layers), n_fused)
+    return CompiledTrainingPlan(ctx.steps, loss_plan, ctx.watch,
+                                struct_watch, ctx.summary, n_layers,
+                                ctx.n_fused,
+                                training_fingerprint(model, loss_fn))

@@ -1,0 +1,1157 @@
+"""Unified plan IR: one lowering pipeline for compiled inference + training.
+
+PRs 1 and 4 grew two parallel compilers — ``compile.py`` walked the
+layer list and emitted forward closures, ``compile_train.py`` walked it
+again and emitted forward/backward step objects — and every new layer
+lowering had to be written (and kept numerically honest) twice.  This
+module is the single pipeline both are now built on:
+
+* **Step IR** — a compiled plan is a flat list of :class:`PlanStep`
+  objects over raw ndarrays.  Every step owns its per-batch-size
+  scratch table and implements ``forward(x, n)``; training-capable
+  steps also implement ``backward(g, n, need_gx)`` and write parameter
+  gradients straight into views of the plan's flat gradient buffer.
+* **Lowering registry** — each layer type registers exactly one
+  ``lower(layer, ctx)`` entry (:func:`register_lowering`).  The
+  :class:`LoweringContext` tells the lowering whether it is emitting
+  for inference or training (``ctx.training``), hands it fusion
+  (peeking/consuming a following activation), parameter registration
+  and staleness-watch bookkeeping.  ``compile_inference`` is "lower +
+  run forward steps"; ``compile_training`` is "lower + forward/backward
+  + loss + fused optimizer" — neither owns per-layer emitters anymore.
+  Lowerings for the :mod:`repro.nn.layers` zoo live at the bottom of
+  this module; recurrent layers register theirs from
+  :mod:`repro.nn.recurrent` (imported by the package ``__init__``), so
+  out-of-tree layers can plug into both compilers with one entry.
+* **Structural fingerprints** — :func:`structural_fingerprint` digests
+  a model's layer/parameter structure (shapes, hyperparameters — not
+  weight values).  Plans carry it so callers can tell "recompiled, same
+  structure" (hot-swap, ``load_state_dict``) from "different model":
+  fused-optimizer moments survive the former (warm restarts), engines
+  re-adopt warm scratch buffers, and the :class:`~repro.nn.Trainer`
+  compile-failure latch is keyed on it.
+
+Numerical contract: training-mode steps replay the autodiff graph's
+exact op sequence (same formulas, same association where it matters),
+so compiled gradients match the graph to <= 1e-10; inference-mode steps
+match the eval-mode graph path to the same tolerance as before.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import weakref
+
+import numpy as np
+
+from . import functional as F
+from . import layers as L
+
+__all__ = [
+    "UnsupportedLayerError", "PlanStep", "LoweringContext",
+    "register_lowering", "lowering_for", "lower_model",
+    "structural_fingerprint", "loss_token",
+]
+
+
+class UnsupportedLayerError(TypeError):
+    """A layer has no compiled lowering; callers fall back to the graph."""
+
+
+# ----------------------------------------------------------------------
+# Structural fingerprints
+# ----------------------------------------------------------------------
+
+def _describe(module, out: list) -> None:
+    out.append(type(module).__name__)
+    for name, value in vars(module).items():
+        if name == "training" or name.startswith("_"):
+            continue
+        if isinstance(value, L.Parameter):
+            out.append(f"{name}:{value.data.shape}:{value.data.dtype}")
+        elif isinstance(value, L.Module):
+            out.append(f"{name}<")
+            _describe(value, out)
+            out.append(">")
+        elif isinstance(value, np.ndarray):
+            # Constants (Standardize stats, BN running stats): shape
+            # only — values are captured by reference, not structure.
+            out.append(f"{name}:array{value.shape}")
+        elif isinstance(value, (bool, int, float, str)):
+            out.append(f"{name}={value!r}")
+        elif isinstance(value, (list, tuple)):
+            out.append(f"{name}[")
+            for item in value:
+                if isinstance(item, L.Module):
+                    _describe(item, out)
+            out.append("]")
+    out.append(";")
+
+
+def structural_fingerprint(model: L.Module, extra=()) -> str:
+    """Digest of the model's *structure*: layer types, parameter shapes
+    and scalar hyperparameters — everything that determines a compiled
+    plan's step sequence and flat-buffer layout, and nothing that an
+    optimizer step or ``load_state_dict`` changes.  Two models with
+    equal fingerprints lower to interchangeable plans (same scratch
+    shapes, same gradient layout), which is what makes warm-restarting
+    optimizer moments across a recompile safe.
+    """
+    parts: list = []
+    _describe(model, parts)
+    parts.extend(str(e) for e in extra)
+    return hashlib.blake2b("|".join(parts).encode(),
+                           digest_size=16).hexdigest()
+
+
+def loss_token(loss_fn) -> str:
+    """Stable identity token for a loss callable (plain or partial)."""
+    import functools
+    if isinstance(loss_fn, functools.partial):
+        inner = loss_token(loss_fn.func)
+        kw = ",".join(f"{k}={v!r}"
+                      for k, v in sorted((loss_fn.keywords or {}).items()))
+        return f"partial({inner},{kw})"
+    mod = getattr(loss_fn, "__module__", "")
+    name = getattr(loss_fn, "__qualname__", None) or repr(loss_fn)
+    return f"{mod}.{name}"
+
+
+# ----------------------------------------------------------------------
+# Step base + scratch helpers
+# ----------------------------------------------------------------------
+
+class PlanStep:
+    """One plan step owning per-batch-size scratch buffers.
+
+    ``forward(x, n)`` runs the step; training-capable steps also
+    implement ``backward(g, n, need_gx)`` (``need_gx=False`` lets the
+    first parameterized step skip its input-gradient GEMM).
+    ``grad_params`` lists the step's trainable parameters in
+    ``named_parameters`` order; the training plan binds matching views
+    of its flat gradient buffer via :meth:`bind_grads`.
+    """
+
+    __slots__ = ("_bufs", "training")
+    #: Parameters whose gradients this step writes (training mode).
+    grad_params: tuple = ()
+
+    def __init__(self, training: bool = False):
+        self._bufs: dict = {}
+        self.training = training
+
+    def scratch(self, n: int) -> dict:
+        s = self._bufs.get(n)
+        if s is None:
+            s = self._bufs[n] = {}
+        return s
+
+    def clear(self) -> None:
+        self._bufs.clear()
+
+    def bind_grads(self, views) -> None:  # pragma: no cover - interface
+        raise UnsupportedLayerError(
+            f"{type(self).__name__} does not take gradients")
+
+    def forward(self, x, n):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def backward(self, g, n, need_gx):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def inference_fn(self):
+        """Optionally return a specialized ``fwd(x, n)`` closure for
+        inference plans.  Hot steps (affine, standardize) close over
+        their constants and keep single-call dispatch at the PR-1
+        closure cost; the default ``None`` means "use ``forward``".
+        Must share :attr:`_bufs` so :meth:`clear` stays effective.
+        """
+        return None
+
+
+def _buf(s: dict, key: str, shape: tuple, dtype=np.float64) -> np.ndarray:
+    arr = s.get(key)
+    if arr is None or arr.shape != shape:
+        arr = s[key] = np.empty(shape, dtype=dtype)
+    return arr
+
+
+# ----------------------------------------------------------------------
+# Activation kernels (forward in place, backward from stashed output)
+# ----------------------------------------------------------------------
+
+#: 0-d operand: saves the per-call scalar->array conversion in ufuncs.
+_ZERO = np.zeros(())
+
+
+def _relu_in(buf, _zero=_ZERO):
+    np.maximum(buf, _zero, out=buf)
+
+
+def _tanh_in(buf):
+    np.tanh(buf, out=buf)
+
+
+def _sigmoid_in(buf):
+    # 1 / (1 + exp(-x)), the Tensor.sigmoid formula, fully in place.
+    np.negative(buf, out=buf)
+    np.exp(buf, out=buf)
+    buf += 1.0
+    np.reciprocal(buf, out=buf)
+
+
+# Out-of-place variants (single sweep, no input mutation) for the
+# standalone-activation inference fast path.
+
+def _relu_out(x, buf, _zero=_ZERO):
+    np.maximum(x, _zero, out=buf)
+
+
+def _tanh_out(x, buf):
+    np.tanh(x, out=buf)
+
+
+def _sigmoid_out(x, buf):
+    np.negative(x, out=buf)
+    np.exp(buf, out=buf)
+    buf += 1.0
+    np.reciprocal(buf, out=buf)
+
+
+def act_kind(layer):
+    """``(kind, slope)`` for an activation layer, else ``None``."""
+    if isinstance(layer, L.ReLU):
+        return ("relu", 0.0)
+    if isinstance(layer, L.Tanh):
+        return ("tanh", 0.0)
+    if isinstance(layer, L.Sigmoid):
+        return ("sigmoid", 0.0)
+    if isinstance(layer, L.LeakyReLU):
+        return ("leaky", layer.slope)
+    return None
+
+
+def _act_forward(kind, slope, z, s):
+    """Apply activation in place on the pre-activation buffer ``z``."""
+    if kind == "relu":
+        _relu_in(z)
+    elif kind == "tanh":
+        _tanh_in(z)
+    elif kind == "sigmoid":
+        _sigmoid_in(z)
+    else:  # leaky
+        mb = _buf(s, "act_mask", z.shape, dtype=bool)
+        t = _buf(s, "act_t", z.shape)
+        np.greater(z, 0.0, out=mb)
+        t.fill(slope)
+        np.copyto(t, 1.0, where=mb)
+        np.multiply(z, t, out=z)
+
+
+def _act_backward(kind, slope, g, out, s):
+    """In-place ``g *= act'`` using the stashed activation *output*.
+
+    All four activations admit derivative-from-output forms that match
+    the graph path's derivative-from-input values exactly (for ReLU and
+    LeakyReLU, ``out > 0`` iff ``pre > 0`` because the slope is
+    positive).
+    """
+    if kind == "relu":
+        mb = _buf(s, "act_mask", out.shape, dtype=bool)
+        np.greater(out, 0.0, out=mb)
+        np.multiply(g, mb, out=g)
+    elif kind == "tanh":
+        t = _buf(s, "act_t", out.shape)
+        np.multiply(out, out, out=t)
+        np.subtract(1.0, t, out=t)
+        np.multiply(g, t, out=g)
+    elif kind == "sigmoid":
+        # Graph: g * out * (1 - out), associated as (g*out)*(1-out).
+        t = _buf(s, "act_t", out.shape)
+        np.multiply(g, out, out=g)
+        np.subtract(1.0, out, out=t)
+        np.multiply(g, t, out=g)
+    else:  # leaky
+        mb = _buf(s, "act_mask", out.shape, dtype=bool)
+        t = _buf(s, "act_t", out.shape)
+        np.greater(out, 0.0, out=mb)
+        t.fill(slope)
+        np.copyto(t, 1.0, where=mb)
+        np.multiply(g, t, out=g)
+
+
+# ----------------------------------------------------------------------
+# Lowering registry + context
+# ----------------------------------------------------------------------
+
+_LOWERINGS: dict = {}
+
+
+def register_lowering(*layer_types):
+    """Register ``lower(layer, ctx)`` for one or more layer types.
+
+    The function is looked up through the layer's MRO, so subclasses
+    inherit their base lowering unless they register their own.
+    """
+    def deco(fn):
+        for t in layer_types:
+            _LOWERINGS[t] = fn
+        return fn
+    return deco
+
+
+def lowering_for(layer):
+    for klass in type(layer).__mro__:
+        fn = _LOWERINGS.get(klass)
+        if fn is not None:
+            return fn
+    return None
+
+
+def _flatten_layers(model: L.Module, seqs: list) -> list:
+    if isinstance(model, L.Sequential):
+        # Weak container reference: a plan must not keep its model
+        # alive (engines cache plans per model id and rely on the
+        # model's death to retire entries — and to hand the retired
+        # scratch to a hot-swapped successor).  A dead ref reads as
+        # stale.
+        seqs.append((weakref.ref(model), model.layers, len(model.layers)))
+        out = []
+        for layer in model.layers:
+            out.extend(_flatten_layers(layer, seqs))
+        return out
+    return [model]
+
+
+class LoweringContext:
+    """Per-compilation state handed to each layer lowering.
+
+    ``training`` selects the lowering mode.  Lowerings append steps via
+    :meth:`emit`, fuse a following activation via :meth:`peek` /
+    :meth:`fuse_next`, and register staleness watches and (in training
+    mode) trainable parameters.
+    """
+
+    __slots__ = ("training", "steps", "watch", "summary", "n_fused",
+                 "_layers", "_pos")
+
+    def __init__(self, layers, training: bool):
+        self.training = training
+        self.steps: list = []
+        self.watch: list = []
+        self.summary: list = []
+        self.n_fused = 0
+        self._layers = layers
+        self._pos = 0
+
+    # -- walk ------------------------------------------------------------
+    def peek(self):
+        """The layer following the one being lowered, if any."""
+        nxt = self._pos + 1
+        return self._layers[nxt] if nxt < len(self._layers) else None
+
+    def fuse_next(self) -> None:
+        """Consume the next layer (it was fused into the current step)."""
+        self._pos += 1
+        self.n_fused += 1
+
+    # -- emission --------------------------------------------------------
+    def emit(self, step, note: str) -> None:
+        self.steps.append(step)
+        self.summary.append(note)
+
+    def note(self, note: str) -> None:
+        """Record a summary line without emitting a step (skipped layers)."""
+        self.summary.append(note)
+
+    # -- bookkeeping -----------------------------------------------------
+    def watch_attr(self, obj, name: str) -> None:
+        self.watch.append((obj, name, getattr(obj, name)))
+
+    def watch_params(self, layer) -> None:
+        for _name, p in layer.named_parameters():
+            self.watch.append((p, "data", p.data))
+
+    def add_param(self, p) -> None:
+        """Register a trainable parameter (training mode): validates the
+        layout the flat gradient buffer requires and watches rebinds."""
+        if p.data.dtype != np.float64 or not p.data.flags["C_CONTIGUOUS"]:
+            raise UnsupportedLayerError(
+                "compiled training requires contiguous float64 parameters")
+        self.watch.append((p, "data", p.data))
+
+    def unsupported(self, layer, why: str | None = None):
+        mode = "training" if self.training else "inference"
+        reason = why or f"no compiled {mode} lowering for " \
+                        f"{type(layer).__name__}"
+        raise UnsupportedLayerError(reason)
+
+
+def lower_model(model: L.Module, training: bool):
+    """Lower ``model`` through the registry; returns the filled context
+    plus the structural watch list.  Raises
+    :class:`UnsupportedLayerError` for layers without an entry (or whose
+    entry rejects the requested mode) — callers fall back to the graph.
+    """
+    struct_watch: list = []
+    layers = _flatten_layers(model, struct_watch)
+    ctx = LoweringContext(layers, training)
+    while ctx._pos < len(layers):
+        layer = layers[ctx._pos]
+        fn = lowering_for(layer)
+        if fn is None:
+            raise UnsupportedLayerError(
+                f"no compiled lowering for {type(layer).__name__}")
+        fn(layer, ctx)
+        ctx._pos += 1
+    return ctx, struct_watch, len(layers)
+
+
+# ----------------------------------------------------------------------
+# Steps shared by both modes
+# ----------------------------------------------------------------------
+
+class AffineStep(PlanStep):
+    """Fused ``z = act(x @ W.T + b)``.
+
+    Training backward: ``dz = g * act'(z)`` in place on the incoming
+    gradient buffer, then ``gW = dz.T @ x`` and ``gb = dz.sum(0)``
+    straight into the plan's flat gradient buffer, and ``gx = dz @ W``
+    into step scratch (skipped for the plan's first parameterized
+    step).  Inference forward additionally handles non-2-D inputs and
+    non-float64 dtypes (correctness over speed on those rare shapes).
+    """
+
+    __slots__ = ("w", "wt", "bias", "b_row", "act", "slope", "gw", "gb",
+                 "grad_params", "_narrow")
+
+    def __init__(self, layer, act, training):
+        super().__init__(training)
+        self.w = layer.weight.data
+        self.wt = self.w.T                 # view: in-place updates flow
+        self.bias = layer.bias.data if layer.bias is not None else None
+        self.b_row = self.bias.reshape(1, -1) if self.bias is not None \
+            else None
+        if act is None:
+            self.act, self.slope = None, 0.0
+        else:
+            self.act, self.slope = act
+        self.gw = self.gb = None
+        self.grad_params = (layer.weight, layer.bias) \
+            if layer.bias is not None else (layer.weight,)
+        self._narrow = self.w.dtype != np.float64
+
+    def bind_grads(self, views):
+        self.gw = views[0]
+        self.gb = views[1] if len(views) > 1 else None
+
+    def forward(self, x, n):
+        if x.ndim != 2:
+            if self.training:
+                raise UnsupportedLayerError(
+                    f"compiled training expects 2-D activations, got "
+                    f"{x.shape}")
+            y = np.matmul(x, self.wt)      # rare inference shapes
+            if self.bias is not None:
+                y = y + self.bias
+            if self.act is not None:
+                _act_forward(self.act, self.slope, y, {})
+            return y
+        s = self.scratch(n)
+        z = s.get("z")
+        # With float64 weights the result dtype is float64 for any
+        # input, so only non-f64 weights need the per-call dtype check.
+        if z is None or z.shape[0] != x.shape[0] or \
+                (self._narrow and
+                 z.dtype != np.result_type(x.dtype, self.w.dtype)):
+            z = s["z"] = np.empty(
+                (x.shape[0], self.wt.shape[1]),
+                dtype=np.result_type(x.dtype, self.w.dtype))
+        np.dot(x, self.wt, out=z)
+        if self.b_row is not None:
+            np.add(z, self.b_row, out=z)
+        if self.act is not None:
+            _act_forward(self.act, self.slope, z, s)
+        if self.training:
+            s["x"] = x
+        return z
+
+    def backward(self, g, n, need_gx):
+        s = self._bufs[n]
+        if self.act is not None:
+            _act_backward(self.act, self.slope, g, s["z"], s)
+        np.dot(g.T, s["x"], out=self.gw)
+        if self.gb is not None:
+            # add.reduce is what np.sum dispatches to (bit-identical to
+            # the graph path's unbroadcast sum) minus wrapper overhead.
+            np.add.reduce(g, axis=0, out=self.gb)
+        if not need_gx:
+            return None
+        gx = _buf(s, "gx", (g.shape[0], self.w.shape[1]))
+        np.dot(g, self.w, out=gx)
+        return gx
+
+    def inference_fn(self):
+        # Leaky needs mask scratch; its generic path is fine (rare in
+        # deployed shapes, which fuse ReLU/Tanh/Sigmoid).
+        if self.training or self.act == "leaky":
+            return None
+        bufs = self._bufs                  # z cached directly per batch
+        w, wt, b_row = self.w, self.wt, self.b_row
+        narrow = self._narrow
+        out_features = wt.shape[1]
+        act = {None: None, "relu": _relu_in, "tanh": _tanh_in,
+               "sigmoid": _sigmoid_in}[self.act]
+        generic = self.forward
+
+        def fwd(x, n, dot=np.dot, add=np.add, empty=np.empty,
+                result_type=np.result_type):
+            if x.ndim != 2:
+                return generic(x, n)       # rare shapes
+            z = bufs.get(n)
+            if z is None or z.shape[0] != x.shape[0] or \
+                    (narrow and z.dtype != result_type(x.dtype, w.dtype)):
+                z = bufs[n] = empty((x.shape[0], out_features),
+                                    dtype=result_type(x.dtype, w.dtype))
+            dot(x, wt, out=z)
+            if b_row is not None:
+                add(z, b_row, out=z)
+            if act is not None:
+                act(z)
+            return z
+
+        return fwd
+
+
+class ActStep(PlanStep):
+    """Standalone activation (not fused behind an affine/conv step)."""
+
+    __slots__ = ("act", "slope")
+
+    def __init__(self, act, training):
+        super().__init__(training)
+        self.act, self.slope = act
+
+    def forward(self, x, n):
+        s = self.scratch(n)
+        z = s.get("z")
+        if z is None or z.shape != x.shape or z.dtype != x.dtype:
+            z = s["z"] = np.empty_like(x)
+        np.copyto(z, x)
+        _act_forward(self.act, self.slope, z, s)
+        return z
+
+    def backward(self, g, n, need_gx):
+        s = self._bufs[n]
+        _act_backward(self.act, self.slope, g, s["z"], s)
+        return g
+
+    def inference_fn(self):
+        # Single out-of-place sweep (the PR-1 kernels) instead of
+        # copy-then-in-place; leaky keeps the generic path (needs mask
+        # scratch).
+        if self.training or self.act == "leaky":
+            return None
+        bufs = self._bufs
+        act = {"relu": _relu_out, "tanh": _tanh_out,
+               "sigmoid": _sigmoid_out}[self.act]
+
+        def fwd(x, n, empty_like=np.empty_like):
+            z = bufs.get(n)
+            if z is None or z.shape != x.shape or z.dtype != x.dtype:
+                z = bufs[n] = empty_like(x)
+            act(x, z)
+            return z
+
+        return fwd
+
+
+class DropoutStep(PlanStep):
+    """Inverted dropout with cached mask buffers (training mode only;
+    inference lowers dropout to identity).
+
+    Draws from the layer's own RNG with ``Generator.random(out=...)``,
+    which consumes exactly the same stream as the graph path's
+    ``rng.random(x.shape)`` — fixed-seed training is bit-for-bit
+    reproducible across the two paths.
+    """
+
+    __slots__ = ("layer", "keep")
+
+    def __init__(self, layer):
+        super().__init__(True)
+        self.layer = layer
+        self.keep = 1.0 - layer.p
+
+    def forward(self, x, n):
+        s = self.scratch(n)
+        r = _buf(s, "r", x.shape)
+        self.layer.rng.random(out=r)
+        mb = _buf(s, "mask_bool", x.shape, dtype=bool)
+        np.less(r, self.keep, out=mb)
+        m = _buf(s, "mask", x.shape)
+        np.divide(mb, self.keep, out=m)
+        z = _buf(s, "z", x.shape)
+        np.multiply(x, m, out=z)
+        return z
+
+    def backward(self, g, n, need_gx):
+        np.multiply(g, self._bufs[n]["mask"], out=g)
+        return g
+
+
+class BatchNormStep(PlanStep):
+    """BatchNorm1d: batch stats + running updates in training mode,
+    frozen running stats in inference mode.
+
+    The training forward mirrors the graph ops (``mean = sum * (1/n)``,
+    biased variance); the backward is the classic batch-norm adjoint
+    derived from those exact ops — gradient flows through the batch
+    mean and variance as well as the normalized activations.
+    """
+
+    __slots__ = ("layer", "gw", "gb", "grad_params")
+
+    def __init__(self, layer, training):
+        super().__init__(training)
+        self.layer = layer
+        self.gw = self.gb = None
+        self.grad_params = (layer.weight, layer.bias)
+
+    def bind_grads(self, views):
+        self.gw, self.gb = views
+
+    def forward(self, x, n):
+        lay = self.layer
+        if not self.training:
+            mu = lay.running_mean.reshape(1, -1)
+            denom = np.sqrt(lay.running_var.reshape(1, -1) + lay.eps)
+            return (x - mu) / denom * lay.weight.data + lay.bias.data
+        if x.ndim != 2:
+            raise UnsupportedLayerError(
+                f"BatchNorm1d expects (N, F) inputs, got {x.shape}")
+        s = self.scratch(n)
+        inv_n = 1.0 / n
+        mu = x.sum(axis=0, keepdims=True) * inv_n
+        c = _buf(s, "c", x.shape)
+        np.subtract(x, mu, out=c)
+        sq = _buf(s, "sq", x.shape)
+        np.multiply(c, c, out=sq)
+        var = sq.sum(axis=0, keepdims=True) * inv_n
+        # Rebinding assignments, exactly like the graph path (so any
+        # inference plan watching the running stats goes stale too).
+        lay.running_mean = ((1 - lay.momentum) * lay.running_mean
+                            + lay.momentum * mu.ravel())
+        lay.running_var = ((1 - lay.momentum) * lay.running_var
+                           + lay.momentum * var.ravel())
+        std = np.sqrt(var + lay.eps)
+        norm = _buf(s, "norm", x.shape)
+        np.divide(c, std, out=norm)
+        z = _buf(s, "z", x.shape)
+        np.multiply(norm, lay.weight.data, out=z)
+        np.add(z, lay.bias.data, out=z)
+        s["std"] = std
+        s["inv_n"] = inv_n
+        return z
+
+    def backward(self, g, n, need_gx):
+        s = self._bufs[n]
+        c, sq, norm, std = s["c"], s["sq"], s["norm"], s["std"]
+        inv_n = s["inv_n"]
+        np.multiply(g, norm, out=sq)           # sq reused as scratch
+        np.add.reduce(sq, axis=0, out=self.gw)
+        np.add.reduce(g, axis=0, out=self.gb)
+        dn = _buf(s, "dn", g.shape)
+        np.multiply(g, self.layer.weight.data, out=dn)
+        # d std via norm = c / std (the truediv adjoint, unbroadcast).
+        np.multiply(dn, c, out=sq)
+        np.negative(sq, out=sq)
+        np.divide(sq, std * std, out=sq)
+        dstd = sq.sum(axis=0, keepdims=True)
+        dvar = dstd * 0.5 / std
+        np.divide(dn, std, out=dn)             # dn = dc (from norm)
+        gci = dvar * inv_n
+        np.multiply(c, gci, out=sq)
+        np.add(sq, sq, out=sq)                 # 2 * c * dvar / n
+        np.add(dn, sq, out=dn)                 # total dc
+        if not need_gx:
+            return None
+        dmu = dn.sum(axis=0, keepdims=True)
+        np.negative(dmu, out=dmu)
+        np.multiply(dmu, inv_n, out=dmu)
+        gx = _buf(s, "gx", g.shape)
+        np.add(dn, dmu, out=gx)
+        return gx
+
+
+class LayerNormStep(PlanStep):
+    """LayerNorm over the trailing axis (inference mode only)."""
+
+    __slots__ = ("layer",)
+
+    def __init__(self, layer):
+        super().__init__(False)
+        self.layer = layer
+
+    def forward(self, x, n):
+        lay = self.layer
+        d = x.shape[-1]
+        # Matches Tensor.mean/var: sum * (1/n), biased variance.
+        mu = x.sum(axis=-1, keepdims=True) * (1.0 / d)
+        centered = x - mu
+        var = (centered * centered).sum(axis=-1, keepdims=True) * (1.0 / d)
+        return centered / np.sqrt(var + lay.eps) * lay.weight.data \
+            + lay.bias.data
+
+
+class StandardizeStep(PlanStep):
+    """Frozen ``(x - mean) * (1/std)`` — constants, gradient is a scale."""
+
+    __slots__ = ("mean", "inv_std")
+
+    def __init__(self, layer, training):
+        super().__init__(training)
+        self.mean = layer.mean
+        self.inv_std = 1.0 / layer.std
+
+    def forward(self, x, n):
+        s = self.scratch(n)
+        z = s.get("z")
+        dtype = np.result_type(x.dtype, self.mean.dtype)
+        if z is None or z.shape != x.shape or z.dtype != dtype:
+            z = s["z"] = np.empty(x.shape, dtype=dtype)
+        np.subtract(x, self.mean, out=z)
+        np.multiply(z, self.inv_std, out=z)
+        return z
+
+    def backward(self, g, n, need_gx):
+        if not need_gx:
+            return None
+        np.multiply(g, self.inv_std, out=g)
+        return g
+
+    def inference_fn(self):
+        if self.training:
+            return None
+        bufs = self._bufs
+        mean, inv_std = self.mean, self.inv_std
+        mdtype = mean.dtype
+
+        def fwd(x, n, sub=np.subtract, mul=np.multiply,
+                empty=np.empty, result_type=np.result_type):
+            z = bufs.get(n)
+            dtype = result_type(x.dtype, mdtype)
+            if z is None or z.shape != x.shape or z.dtype != dtype:
+                z = bufs[n] = empty(x.shape, dtype=dtype)
+            sub(x, mean, out=z)
+            mul(z, inv_std, out=z)
+            return z
+
+        return fwd
+
+
+class DestandardizeStep(PlanStep):
+    """Frozen ``x * std + mean`` output head."""
+
+    __slots__ = ("mean", "std")
+
+    def __init__(self, layer, training):
+        super().__init__(training)
+        self.mean = layer.mean
+        self.std = layer.std
+
+    def forward(self, x, n):
+        s = self.scratch(n)
+        z = s.get("z")
+        dtype = np.result_type(x.dtype, self.std.dtype)
+        if z is None or z.shape != x.shape or z.dtype != dtype:
+            z = s["z"] = np.empty(x.shape, dtype=dtype)
+        np.multiply(x, self.std, out=z)
+        np.add(z, self.mean, out=z)
+        return z
+
+    def backward(self, g, n, need_gx):
+        if not need_gx:
+            return None
+        np.multiply(g, self.std, out=g)
+        return g
+
+    def inference_fn(self):
+        if self.training:
+            return None
+        bufs = self._bufs
+        mean, std = self.mean, self.std
+        sdtype = std.dtype
+
+        def fwd(x, n, add=np.add, mul=np.multiply,
+                empty=np.empty, result_type=np.result_type):
+            z = bufs.get(n)
+            dtype = result_type(x.dtype, sdtype)
+            if z is None or z.shape != x.shape or z.dtype != dtype:
+                z = bufs[n] = empty(x.shape, dtype=dtype)
+            mul(x, std, out=z)
+            add(z, mean, out=z)
+            return z
+
+        return fwd
+
+
+class FlattenStep(PlanStep):
+    __slots__ = ("start_dim",)
+
+    def __init__(self, start_dim, training):
+        super().__init__(training)
+        self.start_dim = start_dim
+
+    def forward(self, x, n):
+        if self.training:
+            self.scratch(n)["shape"] = x.shape
+        return x.reshape(x.shape[:self.start_dim] + (-1,))
+
+    def backward(self, g, n, need_gx):
+        if not need_gx:
+            return None
+        return g.reshape(self._bufs[n]["shape"])
+
+
+# ----------------------------------------------------------------------
+# Convolution steps (im2col + GEMM, backward mirrors functional.conv2d)
+# ----------------------------------------------------------------------
+
+class Conv2dStep(PlanStep):
+    """2-D cross-correlation.  Forward mirrors ``functional.conv2d``
+    (im2col + GEMM); training backward replays its adjoint exactly —
+    ``gW`` from the gathered columns, ``gx`` via ``col2im``.  Inference
+    mode optionally fuses a following activation in place.
+
+    :class:`Conv1dStep` reuses this machinery through the same
+    unit-height reshape route ``functional.conv1d`` takes, overriding
+    only the window geometry and the 3-D <-> 4-D lift/lower hooks.
+    """
+
+    __slots__ = ("layer", "wmat_t", "act", "slope", "gw", "gb",
+                 "grad_params", "kh", "kw", "padding")
+
+    def __init__(self, layer, act, training):
+        super().__init__(training)
+        self.layer = layer
+        c_out = layer.weight.data.shape[0]
+        self.wmat_t = layer.weight.data.reshape(c_out, -1).T  # param view
+        if act is None:
+            self.act, self.slope = None, 0.0
+        else:
+            self.act, self.slope = act
+        self.gw = self.gb = None
+        self.grad_params = (layer.weight, layer.bias) \
+            if layer.bias is not None else (layer.weight,)
+        self.kh = self.kw = layer.kernel_size
+        self.padding = getattr(layer, "padding", 0)
+
+    def bind_grads(self, views):
+        self.gw = views[0]
+        self.gb = views[1] if len(views) > 1 else None
+
+    # 3-D <-> unit-height-4-D hooks, identity for the 2-D case.
+    def _lift(self, arr):
+        return arr
+
+    def _lower(self, out4):
+        return out4
+
+    def forward(self, x, n):
+        lay = self.layer
+        x4 = self._lift(x)
+        cols = F.im2col(x4, self.kh, self.kw, lay.stride, self.padding)
+        out = cols @ self.wmat_t               # (N, oh, ow, C_out)
+        out = out.transpose(0, 3, 1, 2)
+        if lay.bias is not None:
+            out = out + lay.bias.data.reshape(1, -1, 1, 1)
+        out = self._lower(out)
+        if self.act is not None:
+            out = np.ascontiguousarray(out)
+            _act_forward(self.act, self.slope, out, self.scratch(n))
+        if self.training:
+            s = self.scratch(n)
+            s["cols"] = cols
+            s["x4_shape"] = x4.shape
+            s["out"] = out
+        return out
+
+    def backward(self, g, n, need_gx):
+        s = self._bufs[n]
+        if self.act is not None:
+            _act_backward(self.act, self.slope, g, s["out"], s)
+        lay = self.layer
+        cols = s["cols"]
+        c_out = self.gw.shape[0]
+        # Mirrors the functional.conv2d adjoint op-for-op.
+        g4 = self._lift(g)
+        gmat = g4.transpose(0, 2, 3, 1).reshape(-1, c_out)
+        cols_flat = cols.reshape(-1, cols.shape[-1])
+        np.dot(gmat.T, cols_flat, out=self.gw.reshape(c_out, -1))
+        if self.gb is not None:
+            g4.sum(axis=(0, 2, 3), out=self.gb)
+        if not need_gx:
+            return None
+        gcols = (gmat @ self.wmat_t.T).reshape(cols.shape)
+        gx4 = F.col2im(gcols, s["x4_shape"], self.kh, self.kw,
+                       lay.stride, self.padding)
+        return self._lower(gx4)
+
+
+class Conv1dStep(Conv2dStep):
+    """1-D cross-correlation via the 2-D kernel with a unit height —
+    the exact reshape route ``functional.conv1d`` takes, so gradients
+    match the graph path bit-for-bit up to GEMM accumulation order."""
+
+    __slots__ = ()
+
+    def __init__(self, layer, act, training):
+        super().__init__(layer, act, training)
+        self.kh, self.kw = 1, layer.kernel_size
+        self.padding = 0
+
+    def _lift(self, arr):
+        b, c, length = arr.shape
+        return arr.reshape(b, c, 1, length)
+
+    def _lower(self, out4):
+        return out4.reshape(out4.shape[0], out4.shape[1], -1)
+
+
+# ----------------------------------------------------------------------
+# Pooling / crop-pad steps
+# ----------------------------------------------------------------------
+
+class MaxPool2dStep(PlanStep):
+    __slots__ = ("kernel", "stride")
+
+    def __init__(self, kernel, stride, training):
+        super().__init__(training)
+        self.kernel = kernel
+        self.stride = stride
+
+    def forward(self, x, n):
+        out, arg, _oh, _ow = F.max_pool2d_raw(x, self.kernel, self.stride)
+        if self.training:
+            s = self.scratch(n)
+            s["arg"] = arg
+            s["x_shape"] = x.shape
+        return out
+
+    def backward(self, g, n, need_gx):
+        if not need_gx:
+            return None
+        s = self._bufs[n]
+        arg = s["arg"]
+        gx = np.zeros(s["x_shape"])
+        # Scatter each window gradient back to the argmax position —
+        # the functional.max_pool2d adjoint, verbatim.
+        ih = arg // self.kernel
+        iw = arg % self.kernel
+        n_idx, c_idx, oh_idx, ow_idx = np.indices(arg.shape)
+        rows = oh_idx * self.stride + ih
+        cols_ = ow_idx * self.stride + iw
+        np.add.at(gx, (n_idx, c_idx, rows, cols_), g)
+        return gx
+
+
+class MaxPool1dStep(PlanStep):
+    __slots__ = ("kernel", "stride")
+
+    def __init__(self, kernel, stride):
+        super().__init__(False)
+        self.kernel = kernel
+        self.stride = stride
+
+    def forward(self, x, n):
+        if self.kernel == 1:
+            return x                 # 1-wide windows at stride 1: identity
+        out, _arg = F.max_pool1d_raw(x, self.kernel, self.stride)
+        return out
+
+
+class AvgPool2dStep(PlanStep):
+    __slots__ = ("kernel", "stride")
+
+    def __init__(self, kernel, stride):
+        super().__init__(False)
+        self.kernel = kernel
+        self.stride = stride
+
+    def forward(self, x, n):
+        return F.avg_pool2d_raw(x, self.kernel, self.stride)
+
+
+class CropPad2dStep(PlanStep):
+    """Crop/zero-pad trailing spatial dims; backward un-pads then
+    un-crops (the adjoints of ``Tensor.pad`` and ``__getitem__``)."""
+
+    __slots__ = ("height", "width")
+
+    def __init__(self, height, width, training):
+        super().__init__(training)
+        self.height = height
+        self.width = width
+
+    def forward(self, x, n):
+        if self.training:
+            self.scratch(n)["x_shape"] = x.shape
+        h, w = x.shape[-2], x.shape[-1]
+        if h > self.height or w > self.width:
+            x = x[..., :min(h, self.height), :min(w, self.width)]
+            h, w = x.shape[-2], x.shape[-1]
+        if self.training:
+            self._bufs[n]["crop_shape"] = x.shape
+        if h < self.height or w < self.width:
+            pad = [(0, 0)] * (x.ndim - 2)
+            pad += [(0, self.height - h), (0, self.width - w)]
+            x = np.pad(x, pad)
+        return x
+
+    def backward(self, g, n, need_gx):
+        if not need_gx:
+            return None
+        s = self._bufs[n]
+        crop_shape, x_shape = s["crop_shape"], s["x_shape"]
+        ch, cw = crop_shape[-2], crop_shape[-1]
+        if g.shape != crop_shape:                    # un-pad: slice
+            g = g[..., :ch, :cw]
+        if crop_shape != x_shape:                    # un-crop: scatter
+            gx = np.zeros(x_shape)
+            gx[..., :ch, :cw] = g
+            return gx
+        return g
+
+
+# ----------------------------------------------------------------------
+# Lowerings for the repro.nn.layers zoo
+# ----------------------------------------------------------------------
+
+@register_lowering(L.Identity)
+def _lower_identity(layer, ctx):
+    ctx.note("Identity: skipped")
+
+
+@register_lowering(L.Dropout)
+def _lower_dropout(layer, ctx):
+    if ctx.training and layer.p > 0.0:
+        ctx.emit(DropoutStep(layer), f"Dropout(p={layer.p}): cached masks")
+    elif ctx.training:
+        ctx.note("Dropout(p=0): skipped")
+    else:
+        ctx.note("Dropout: skipped (eval)")
+
+
+def _lower_fusable(layer, ctx, step_cls, label):
+    """Shared weight+bias lowering with a fused following activation —
+    the Linear/Conv2d/Conv1d protocol (params registered, activation
+    peeked and consumed, fusion counted)."""
+    nxt = ctx.peek()
+    act = act_kind(nxt) if nxt is not None else None
+    if ctx.training:
+        ctx.add_param(layer.weight)
+        if layer.bias is not None:
+            ctx.add_param(layer.bias)
+    else:
+        ctx.watch_params(layer)
+    step = step_cls(layer, act, ctx.training)
+    name = type(layer).__name__
+    if act is not None:
+        ctx.emit(step, f"{name}+{type(nxt).__name__}: fused {label}")
+        ctx.fuse_next()
+    else:
+        ctx.emit(step, f"{name}: {label}")
+
+
+@register_lowering(L.Linear)
+def _lower_linear(layer, ctx):
+    _lower_fusable(layer, ctx, AffineStep, "affine")
+
+
+@register_lowering(L.ReLU, L.Tanh, L.Sigmoid, L.LeakyReLU)
+def _lower_activation(layer, ctx):
+    ctx.emit(ActStep(act_kind(layer), ctx.training),
+             f"{type(layer).__name__}: activation")
+
+
+@register_lowering(L.BatchNorm1d)
+def _lower_batchnorm(layer, ctx):
+    if ctx.training:
+        ctx.add_param(layer.weight)
+        ctx.add_param(layer.bias)
+        ctx.emit(BatchNormStep(layer, True),
+                 "BatchNorm1d: batch stats + running update")
+    else:
+        ctx.watch_params(layer)
+        ctx.watch_attr(layer, "running_mean")
+        ctx.watch_attr(layer, "running_var")
+        ctx.emit(BatchNormStep(layer, False), "BatchNorm1d: running stats")
+
+
+@register_lowering(L.LayerNorm)
+def _lower_layernorm(layer, ctx):
+    if ctx.training:
+        ctx.unsupported(layer)
+    ctx.watch_params(layer)
+    ctx.emit(LayerNormStep(layer), "LayerNorm: fused normalize")
+
+
+@register_lowering(L.Standardize)
+def _lower_standardize(layer, ctx):
+    ctx.watch_attr(layer, "mean")
+    ctx.watch_attr(layer, "std")
+    ctx.emit(StandardizeStep(layer, ctx.training),
+             "Standardize: affine constants")
+
+
+@register_lowering(L.Destandardize)
+def _lower_destandardize(layer, ctx):
+    ctx.watch_attr(layer, "mean")
+    ctx.watch_attr(layer, "std")
+    ctx.emit(DestandardizeStep(layer, ctx.training),
+             "Destandardize: affine constants")
+
+
+@register_lowering(L.Flatten)
+def _lower_flatten(layer, ctx):
+    ctx.emit(FlattenStep(layer.start_dim, ctx.training),
+             "Flatten: reshape")
+
+
+@register_lowering(L.Conv2d)
+def _lower_conv2d(layer, ctx):
+    _lower_fusable(layer, ctx, Conv2dStep, "im2col")
+
+
+@register_lowering(L.Conv1d)
+def _lower_conv1d(layer, ctx):
+    _lower_fusable(layer, ctx, Conv1dStep, "im2col")
+
+
+@register_lowering(L.MaxPool2d)
+def _lower_maxpool2d(layer, ctx):
+    ctx.emit(MaxPool2dStep(layer.kernel_size, layer.stride, ctx.training),
+             "MaxPool2d: strided view")
+
+
+@register_lowering(L.MaxPool1d)
+def _lower_maxpool1d(layer, ctx):
+    if ctx.training:
+        ctx.unsupported(layer)
+    ctx.emit(MaxPool1dStep(layer.kernel_size, layer.stride),
+             "MaxPool1d: strided view")
+
+
+@register_lowering(L.AvgPool2d)
+def _lower_avgpool2d(layer, ctx):
+    if ctx.training:
+        ctx.unsupported(layer)
+    ctx.emit(AvgPool2dStep(layer.kernel_size, layer.stride),
+             "AvgPool2d: strided view")
+
+
+@register_lowering(L.CropPad2d)
+def _lower_croppad2d(layer, ctx):
+    ctx.emit(CropPad2dStep(layer.height, layer.width, ctx.training),
+             "CropPad2d: slice/pad")

@@ -4,8 +4,10 @@
 as MLPs, CNNs, and RNNs"; the Table IV spaces only exercise the first
 two, so recurrent support is the natural extension for sequence-shaped
 regions (e.g. time-windowed auto-regressive surrogates).  The GRU here
-unrolls over the autograd graph, so it trains with the ordinary
-:class:`repro.nn.Trainer`.
+unrolls over the autograd graph for the reference path, and registers
+its own :mod:`repro.nn.plan` lowering (bottom of this module) so both
+compiled pipelines — inference *and* training (truncated-free BPTT
+over the full window) — cover sequence surrogates.
 """
 
 from __future__ import annotations
@@ -14,9 +16,10 @@ import numpy as np
 
 from . import init as init_mod
 from .layers import Module, Parameter
+from .plan import PlanStep, register_lowering
 from .tensor import Tensor
 
-__all__ = ["GRUCell", "GRU"]
+__all__ = ["GRUCell", "GRU", "GRUStep"]
 
 
 class GRUCell(Module):
@@ -98,3 +101,128 @@ class GRU(Module):
     def __repr__(self):
         return (f"GRU({self.input_size}, {self.hidden_size}, "
                 f"return_sequence={self.return_sequence})")
+
+
+# ----------------------------------------------------------------------
+# Compiled lowering (inference recurrence + hand-derived BPTT)
+# ----------------------------------------------------------------------
+
+class GRUStep(PlanStep):
+    """Unrolled GRU over raw ndarrays, shared by both compiled modes.
+
+    The forward replays the graph path's exact operation sequence (per
+    timestep ``x_t @ W_ih^T + b_ih`` / ``h @ W_hh^T + b_hh``, the
+    1/(1+exp(-x)) sigmoid, ``h = n + z*(h - n)``).  In training mode it
+    stashes the per-timestep gate activations and the backward pass
+    runs backpropagation-through-time over the full window: the gate
+    adjoints mirror the autodiff formulas term for term (sigmoid as
+    ``(g*s)*(1-s)``, tanh as ``g*(1-n*n)``, the update-gate split as
+    ``dh*z`` / ``dh - dh*z``), and the four parameter gradients
+    accumulate across timesteps in the same reverse order the graph's
+    leaf accumulation runs, straight into views of the plan's flat
+    gradient buffer.  Weight transposes are views over the parameter
+    arrays: in-place optimizer updates flow through without recompiling.
+    """
+
+    __slots__ = ("cell", "w_ih_t", "w_hh_t", "return_sequence",
+                 "gw_ih", "gw_hh", "gb_ih", "gb_hh", "grad_params")
+
+    def __init__(self, layer, training):
+        super().__init__(training)
+        cell = layer.cell
+        self.cell = cell
+        self.w_ih_t = cell.weight_ih.data.T   # views: live updates flow
+        self.w_hh_t = cell.weight_hh.data.T
+        self.return_sequence = layer.return_sequence
+        self.gw_ih = self.gw_hh = self.gb_ih = self.gb_hh = None
+        self.grad_params = (cell.weight_ih, cell.weight_hh,
+                            cell.bias_ih, cell.bias_hh)
+
+    def bind_grads(self, views):
+        self.gw_ih, self.gw_hh, self.gb_ih, self.gb_hh = views
+
+    def forward(self, x, n):
+        if x.ndim != 3:
+            raise ValueError(f"GRU expects (batch, seq, features), got "
+                             f"{x.shape}")
+        cell = self.cell
+        hs = cell.hidden_size
+        b_ih, b_hh = cell.bias_ih.data, cell.bias_hh.data
+        batch, seq_len = x.shape[0], x.shape[1]
+        h = np.zeros((batch, hs))
+        outputs = [] if self.return_sequence else None
+        stash = [] if self.training else None
+        for t in range(seq_len):
+            x_t = x[:, t, :]
+            gi = x_t @ self.w_ih_t + b_ih
+            gh = h @ self.w_hh_t + b_hh
+            r = 1.0 / (1.0 + np.exp(-(gi[:, :hs] + gh[:, :hs])))
+            z = 1.0 / (1.0 + np.exp(-(gi[:, hs:2 * hs] + gh[:, hs:2 * hs])))
+            gh_n = gh[:, 2 * hs:]
+            n_gate = np.tanh(gi[:, 2 * hs:] + r * gh_n)
+            if stash is not None:
+                stash.append((x_t, h, r, z, n_gate, gh_n))
+            h = n_gate + z * (h - n_gate)
+            if outputs is not None:
+                outputs.append(h)
+        if stash is not None:
+            self.scratch(n)["stash"] = stash
+        if outputs is not None:
+            return np.stack(outputs, axis=1)
+        return h
+
+    def backward(self, g, n, need_gx):
+        stash = self._bufs[n]["stash"]
+        seq_len = len(stash)
+        gw_ih, gw_hh = self.gw_ih, self.gw_hh
+        gb_ih, gb_hh = self.gb_ih, self.gb_hh
+        gw_ih.fill(0.0)
+        gw_hh.fill(0.0)
+        gb_ih.fill(0.0)
+        gb_hh.fill(0.0)
+        w_ih = self.w_ih_t.T                   # (3H, F) original layout
+        w_hh = self.w_hh_t.T
+        gx = np.zeros((g.shape[0],) + (seq_len, w_ih.shape[1])) \
+            if need_gx else None
+        if self.return_sequence:
+            dh = np.zeros_like(g[:, 0, :])
+        else:
+            dh = g
+        for t in range(seq_len - 1, -1, -1):
+            x_t, h_prev, r, z, n_gate, gh_n = stash[t]
+            if self.return_sequence:
+                dh = dh + g[:, t, :]
+            # h = n + z*(h_prev - n): graph splits the incoming gradient
+            # as dn = dh - dh*z, dz = dh*(h_prev - n), dh_prev = dh*z.
+            dhz = dh * z
+            dn = dh - dhz
+            dz = dh * (h_prev - n_gate)
+            # tanh / sigmoid adjoints, associated exactly as the graph.
+            dn_pre = dn * (1.0 - n_gate * n_gate)
+            dr = dn_pre * gh_n
+            dghn = dn_pre * r
+            dz_pre = (dz * z) * (1.0 - z)
+            dr_pre = (dr * r) * (1.0 - r)
+            dgi = np.concatenate((dr_pre, dz_pre, dn_pre), axis=1)
+            dgh = np.concatenate((dr_pre, dz_pre, dghn), axis=1)
+            gw_ih += dgi.T @ x_t
+            gb_ih += dgi.sum(axis=0)
+            gw_hh += dgh.T @ h_prev
+            gb_hh += dgh.sum(axis=0)
+            if gx is not None:
+                gx[:, t, :] = dgi @ w_ih
+            dh = dhz + dgh @ w_hh
+        return gx
+
+
+@register_lowering(GRU)
+def _lower_gru(layer, ctx):
+    if ctx.training:
+        cell = layer.cell
+        for p in (cell.weight_ih, cell.weight_hh, cell.bias_ih,
+                  cell.bias_hh):
+            ctx.add_param(p)
+        ctx.emit(GRUStep(layer, True), "GRU: unrolled BPTT")
+    else:
+        ctx.watch_params(layer)
+        ctx.emit(GRUStep(layer, False), "GRU: unrolled recurrence")

@@ -107,7 +107,7 @@ class Trainer:
                  batch_size: int = 64, max_epochs: int = 50, patience: int = 8,
                  loss_fn=mse_loss, optimizer: Optimizer | None = None,
                  seed: int = 0, grad_clip: float | None = None,
-                 scheduler=None, compiled: bool = True):
+                 scheduler=None, compiled: bool = True, warm_start=None):
         self.model = model
         self.batch_size = int(batch_size)
         self.max_epochs = max_epochs
@@ -125,38 +125,58 @@ class Trainer:
         #: optimizer support it; falls back to the graph automatically.
         self.compiled = compiled
         self._plan = None
+        self._plan_model = None
         self._fused = None
-        self._compile_failed = False
+        #: Fingerprint of the (model, loss) whose compile failed.  The
+        #: latch is keyed structurally, not per fit: swapping in a
+        #: supported model re-attempts compilation immediately.
+        self._failed_fingerprint: str | None = None
+        #: Optional fused-optimizer state from a previous Trainer (see
+        #: :meth:`optimizer_state`), applied once when the plan whose
+        #: fingerprint it names is compiled — warm restarts across
+        #: hot-swap retrains.
+        self._warm_start = warm_start
         #: True while epochs actually run through the compiled plan.
         self.compiled_active = False
         #: Human-readable reason the last compile attempt fell back.
         self.compile_fallback: str | None = None
 
     # -- compiled fast path ------------------------------------------------
+    def _fingerprint(self) -> str:
+        from .compile_train import training_fingerprint
+        return training_fingerprint(self.model, self.loss_fn)
+
     def _ensure_compiled(self, x: np.ndarray, y: np.ndarray) -> bool:
         """(Re)compile the fused training plan if needed; False => graph.
 
         The plan is cached across epochs and revalidated against
         parameter rebinding (``load_state_dict``) via its staleness
-        watch.  Any unsupported layer, loss, optimizer or dtype falls
-        back silently — the graph path is always correct.
+        watch and against model replacement (``trainer.model = other``)
+        by identity.  Any unsupported layer, loss, optimizer or dtype
+        falls back silently — the graph path is always correct.  When a
+        recompile preserves the structural fingerprint, the fused
+        optimizer's moments are carried over instead of reset (warm
+        restart); a failed compile latches on the fingerprint, so only
+        the *same* structure short-circuits future attempts.
         """
         if not self.compiled:
             return False
-        if self._plan is not None and not self._plan.stale():
+        if self._plan is not None and self._plan_model is self.model \
+                and not self._plan.stale():
             return True
-        if self._compile_failed:
-            # One failed attempt covers the whole fit: neither the
-            # layer set nor the loss changes between epochs.  fit()
-            # clears the latch, so a later fit (e.g. with float64 data
-            # this time) retries once.
+        if self._failed_fingerprint is not None and \
+                self._failed_fingerprint == self._fingerprint():
+            # Same structure as the failed attempt: don't retry every
+            # epoch.  A swapped-in model (different fingerprint) falls
+            # through and compiles.
             return False
-        self._plan = self._fused = None
+        old_plan, old_fused = self._plan, self._fused
+        self._plan = self._fused = self._plan_model = None
         self.compiled_active = False
         if np.asarray(x).dtype != np.float64 or \
                 np.asarray(y).dtype != np.float64:
             self.compile_fallback = "training arrays are not float64"
-            self._compile_failed = True
+            self._failed_fingerprint = self._fingerprint()
             return False
         try:
             from .compile_train import compile_training
@@ -164,12 +184,46 @@ class Trainer:
             fused = plan.bind_optimizer(self.optimizer)
         except UnsupportedLayerError as exc:
             self.compile_fallback = str(exc)
-            self._compile_failed = True
+            self._failed_fingerprint = self._fingerprint()
             return False
+        if old_fused is not None and old_plan is not None and \
+                type(old_fused) is type(fused) and \
+                old_plan.fingerprint == plan.fingerprint:
+            # Same structure, recompiled (load_state_dict / hot swap):
+            # moments survive instead of resetting to zero.  The
+            # fingerprint covers layout, not optimizer hyperparameters
+            # (a replaced optimizer may reject the state) — an
+            # incompatible carry degrades to a cold start, never a
+            # failed fit.
+            try:
+                fused.load_state_dict(old_fused.state_dict())
+            except ValueError:
+                pass
+        elif self._warm_start is not None and \
+                self._warm_start.get("fingerprint") == plan.fingerprint \
+                and self._warm_start.get("kind") == type(fused).__name__:
+            try:
+                fused.load_state_dict(self._warm_start["state"])
+            except ValueError:
+                pass                       # incompatible state: cold start
+            self._warm_start = None
         self._plan, self._fused = plan, fused
+        self._plan_model = self.model
         self.compiled_active = True
         self.compile_fallback = None
+        self._failed_fingerprint = None
         return True
+
+    def optimizer_state(self) -> dict | None:
+        """Portable fused-optimizer state for warm-restarting a future
+        Trainer (``Trainer(..., warm_start=state)``).  Tagged with the
+        plan fingerprint so it is only ever applied to a same-layout
+        plan; ``None`` when training ran on the graph path."""
+        if self._fused is None or self._plan is None:
+            return None
+        return {"fingerprint": self._plan.fingerprint,
+                "kind": type(self._fused).__name__,
+                "state": self._fused.state_dict()}
 
     def _clip_gradients(self) -> None:
         if self.grad_clip is None:
@@ -195,7 +249,27 @@ class Trainer:
     def _epoch(self, x: np.ndarray, y: np.ndarray) -> float:
         self.model.train()
         if self._ensure_compiled(x, y):
-            return self._epoch_compiled(x, y)
+            # Snapshot the shuffle RNG and every layer RNG (Dropout) so
+            # an aborted compiled attempt can be replayed on the graph
+            # path with the exact same draws — the fixed-seed
+            # compiled/graph equivalence contract survives the retry.
+            snaps = [(self.rng, self.rng.bit_generator.state)]
+            for m in self.model.modules():
+                r = getattr(m, "rng", None)
+                if isinstance(r, np.random.Generator):
+                    snaps.append((r, r.bit_generator.state))
+            try:
+                return self._epoch_compiled(x, y)
+            except UnsupportedLayerError as exc:
+                # Shape-dependent rejection (e.g. 3-D activations into
+                # an affine step) only surfaces at run time; latch and
+                # fall back to the graph for this data.
+                self.compile_fallback = str(exc)
+                self._failed_fingerprint = self._fingerprint()
+                self._plan = self._fused = self._plan_model = None
+                self.compiled_active = False
+                for r, state in snaps:
+                    r.bit_generator.state = state
         total, count = 0.0, 0
         for xb, yb in iterate_minibatches(x, y, self.batch_size, self.rng):
             self.optimizer.zero_grad()
@@ -238,7 +312,16 @@ class Trainer:
 
     def fit(self, x_train: np.ndarray, y_train: np.ndarray,
             x_val: np.ndarray, y_val: np.ndarray) -> TrainResult:
-        self._compile_failed = False      # new data may be compilable
+        # A replaced model with the original optimizer would compute
+        # gradients on the new parameters while stepping the old ones —
+        # a silent no-op fit on either path.  Fail loudly instead.
+        model_ids = {id(p) for p in self.model.parameters()}
+        if not all(id(p) in model_ids for p in self.optimizer.params):
+            raise ValueError(
+                "optimizer does not reference this trainer's model "
+                "parameters; replace trainer.optimizer when replacing "
+                "trainer.model")
+        self._failed_fingerprint = None   # new data may be compilable
         best = float("inf")
         best_state = None
         stale = 0

@@ -100,20 +100,40 @@ class InferenceEngine:
         Compiles on first sight, recompiles when the plan went stale
         (parameter arrays rebound), and returns ``None`` when the model
         has unsupported layers or the engine runs with
-        ``use_compiled=False``.
+        ``use_compiled=False``.  Cache entries carry the plan's
+        structural fingerprint: when a recompile preserves it (the
+        hot-swap / ``load_state_dict`` case — same architecture, new
+        weights), the fresh plan adopts the stale plan's scratch
+        buffers, so the first post-swap inference allocates nothing.
         """
         if not self.use_compiled:
             return None
         key = id(model)
         entry = self._plans.get(key)
+        old_plan = None
         if entry is not None:
             ref, plan = entry
-            if ref() is model and (plan is None or not plan.stale()):
-                return plan
+            if ref() is model:
+                if plan is None or not plan.stale():
+                    return plan
+                old_plan = plan           # stale, same model: recompile
         try:
             plan = compile_inference(model)
         except UnsupportedLayerError:
             plan = None
+        if plan is not None and not plan.adopt_scratch(old_plan):
+            # Hot-swap path: the old model object is gone (the cache
+            # invalidated its last strong reference), leaving a retired
+            # entry with a dead weakref.  Its plan's scratch has
+            # exactly the layout a same-fingerprint successor will
+            # allocate; adopt it and retire the donor entry.  Entries
+            # whose model is still alive are never donors — sharing
+            # scratch between two live plans would corrupt outputs.
+            for k, (ref2, p2) in list(self._plans.items()):
+                if p2 is not None and ref2() is None and \
+                        plan.adopt_scratch(p2):
+                    del self._plans[k]
+                    break
         if len(self._plans) > self._PLAN_CACHE_LIMIT:
             self._plans = {k: v for k, v in self._plans.items()
                            if v[0]() is not None}

@@ -58,6 +58,10 @@ class ModelTrial:
     latency: float
     n_params: int
     model: object = field(repr=False, default=None)
+    #: Whether the winning inner-loop fit ran on the compiled training
+    #: fast path (False = graph fallback; ``compile_fallback`` says why).
+    compiled: bool = True
+    compile_fallback: str | None = None
 
     @property
     def objectives(self) -> tuple:
@@ -67,6 +71,14 @@ class ModelTrial:
 @dataclass
 class NASResult:
     trials: list
+
+    def compiled_fraction(self) -> float:
+        """Share of trials whose best fit trained on the compiled path —
+        the BO throughput story depends on this staying at 1.0 now that
+        the registry lowers the full Table IV zoo (MLP/CNN/RNN)."""
+        if not self.trials:
+            return 1.0
+        return sum(1 for t in self.trials if t.compiled) / len(self.trials)
 
     def objective_matrix(self) -> np.ndarray:
         return np.array([t.objectives for t in self.trials])
@@ -151,11 +163,12 @@ class NestedSearch:
                               **kwargs)
             result = trainer.fit(self.x_train, self.y_train,
                                  self.x_val, self.y_val)
-            if "best" not in best_model or \
-                    result.best_val_loss < best_model["val"]:
+            if not best_model or result.best_val_loss < best_model["val"]:
                 best_model["model"] = model
                 best_model["val"] = result.best_val_loss
                 best_model["hypers"] = dict(hp)
+                best_model["compiled"] = trainer.compiled_active
+                best_model["fallback"] = trainer.compile_fallback
             return result.best_val_loss
 
         bo = BayesianOptimizer(hp_space, n_init=max(2, self.n_inner // 3),
@@ -168,7 +181,9 @@ class NestedSearch:
                           hypers=best_model["hypers"],
                           val_error=float(best_model["val"]),
                           latency=latency,
-                          n_params=model.num_parameters(), model=model)
+                          n_params=model.num_parameters(), model=model,
+                          compiled=best_model["compiled"],
+                          compile_fallback=best_model["fallback"])
 
     # -- outer level --------------------------------------------------------
     def run(self, n_outer: int = 20, stale_limit: int = 5,

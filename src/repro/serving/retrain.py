@@ -118,12 +118,14 @@ class RetrainSpec:
 
     __slots__ = ("name", "db_path", "model_path", "build", "trainer_kwargs",
                  "min_new_rows", "val_fraction", "engines", "qos",
-                 "trained_rows", "recency_half_life")
+                 "trained_rows", "recency_half_life", "warm_start",
+                 "require_compiled", "opt_state", "compiled_last")
 
     def __init__(self, name, db_path, model_path, build,
                  trainer_kwargs=None, min_new_rows: int = 32,
                  val_fraction: float = 0.2, engines=(), qos=None,
-                 recency_half_life: float | None = None):
+                 recency_half_life: float | None = None,
+                 warm_start: bool = False, require_compiled: bool = False):
         self.name = name
         self.db_path = Path(db_path)
         self.model_path = Path(model_path)
@@ -138,28 +140,51 @@ class RetrainSpec:
         #: halving every ``recency_half_life`` rows of age, so a
         #: drift-refreshed tail dominates the next surrogate.
         self.recency_half_life = recency_half_life
+        #: Carry fused-optimizer moments from one retrain into the
+        #: next (applied only when the rebuilt model's plan fingerprint
+        #: matches — a changed architecture starts cold automatically).
+        self.warm_start = warm_start
+        #: Fail loudly when a retrain silently falls back to the
+        #: pure-Python graph path — sequence/conv apps sit on the
+        #: serving critical path and must train compiled.
+        self.require_compiled = require_compiled
+        #: Fused-optimizer state of the last retrain (when warm_start).
+        self.opt_state = None
+        #: Whether the last retrain ran on the compiled fast path.
+        self.compiled_last: bool | None = None
 
 
 class RetrainEvent:
-    """One completed retrain/hot-swap, for reporting."""
+    """One completed retrain/hot-swap, for reporting.
 
-    __slots__ = ("region", "rows", "new_rows", "val_loss", "seconds")
+    ``compiled`` says whether the trainer ran on the compiled fast path
+    (``fallback`` carries the reason when it did not) — the coverage
+    signal operators watch now that sequence/conv surrogates lower too.
+    """
 
-    def __init__(self, region, rows, new_rows, val_loss, seconds):
+    __slots__ = ("region", "rows", "new_rows", "val_loss", "seconds",
+                 "compiled", "fallback")
+
+    def __init__(self, region, rows, new_rows, val_loss, seconds,
+                 compiled=True, fallback=None):
         self.region = region
         self.rows = rows
         self.new_rows = new_rows
         self.val_loss = val_loss
         self.seconds = seconds
+        self.compiled = compiled
+        self.fallback = fallback
 
     def as_dict(self) -> dict:
         return {"region": self.region, "rows": self.rows,
                 "new_rows": self.new_rows, "val_loss": self.val_loss,
-                "seconds": self.seconds}
+                "seconds": self.seconds, "compiled": self.compiled,
+                "fallback": self.fallback}
 
     def __repr__(self):
         return (f"RetrainEvent({self.region!r}, rows={self.rows}, "
-                f"new_rows={self.new_rows}, val_loss={self.val_loss:.3g})")
+                f"new_rows={self.new_rows}, val_loss={self.val_loss:.3g}, "
+                f"compiled={self.compiled})")
 
 
 class RetrainWorker:
@@ -188,7 +213,9 @@ class RetrainWorker:
     def watch(self, name, db_path, model_path, build, *,
               trainer_kwargs=None, min_new_rows: int = 32,
               val_fraction: float = 0.2, engines=(),
-              qos=None, recency_half_life: float | None = None) -> RetrainSpec:
+              qos=None, recency_half_life: float | None = None,
+              warm_start: bool = False,
+              require_compiled: bool = False) -> RetrainSpec:
         """Track one region.  The current DB row count becomes the
         baseline, so only *future* refreshes trigger retraining.
 
@@ -201,12 +228,21 @@ class RetrainWorker:
         sampling of the training DB before each retrain: a refreshed
         tail of drifted rows dominates the new surrogate instead of
         being diluted by the full stationary history.
+
+        ``warm_start`` carries the fused optimizer's flat moments from
+        each retrain into the next (keyed on the plan fingerprint, so
+        an architecture change starts cold); ``require_compiled`` makes
+        a silent graph-path fallback an error instead of a slow retrain
+        — use it for the sequence/conv apps whose whole reason to
+        retrain in-process is the compiled path.
         """
         spec = RetrainSpec(name, db_path, model_path, build,
                            trainer_kwargs=trainer_kwargs,
                            min_new_rows=min_new_rows,
                            val_fraction=val_fraction, engines=engines,
-                           qos=qos, recency_half_life=recency_half_life)
+                           qos=qos, recency_half_life=recency_half_life,
+                           warm_start=warm_start,
+                           require_compiled=require_compiled)
         spec.trained_rows = db_row_count(db_path, name)
         with self._lock:
             self._specs[name] = spec
@@ -242,8 +278,13 @@ class RetrainWorker:
             (xt, yt), (xv, yv) = train_val_split(x, y, spec.val_fraction,
                                                  rng)
         model = spec.build(xt, yt)
-        result = Trainer(model, seed=rng_seed,
-                         **spec.trainer_kwargs).fit(xt, yt, xv, yv)
+        trainer = Trainer(model, seed=rng_seed,
+                          warm_start=spec.opt_state if spec.warm_start
+                          else None, **spec.trainer_kwargs)
+        result = trainer.fit(xt, yt, xv, yv)
+        if spec.warm_start:
+            spec.opt_state = trainer.optimizer_state()
+        spec.compiled_last = trainer.compiled_active
         hot_swap_model(model, spec.model_path, spec.engines)
         if spec.qos is not None:
             # The rolling error stats describe the replaced weights;
@@ -251,19 +292,44 @@ class RetrainWorker:
             spec.qos.reset_region(spec.name)
         event = RetrainEvent(spec.name, rows, rows - spec.trained_rows,
                              result.best_val_loss,
-                             time.perf_counter() - start)
+                             time.perf_counter() - start,
+                             compiled=trainer.compiled_active,
+                             fallback=trainer.compile_fallback)
         spec.trained_rows = rows
         self.events.append(event)
+        if spec.require_compiled and not trainer.compiled_active:
+            # The retrained model was still swapped in (the graph path
+            # is correct, just slow); surface the coverage break loudly
+            # so the operator sees serving-latency jitter coming.
+            self.errors.append(
+                f"{spec.name}: retrain fell back to the graph path "
+                f"({trainer.compile_fallback})")
         return event
 
     def retrain_now(self, name: str) -> RetrainEvent:
-        """Force one region's retrain regardless of DB growth."""
+        """Force one region's retrain regardless of DB growth.
+
+        Raises when the region requires the compiled path and the
+        retrain fell back (the swap still happened — the graph path is
+        correct, just slow).
+        """
         with self._lock:
             spec = self._specs[name]
-            return self._retrain(spec, db_row_count(spec.db_path, spec.name))
+            event = self._retrain(spec, db_row_count(spec.db_path,
+                                                     spec.name))
+        if spec.require_compiled and not event.compiled:
+            raise RuntimeError(
+                f"{spec.name}: retrain fell back to the graph path "
+                f"({event.fallback})")
+        return event
 
     def poll(self) -> list:
-        """One watch cycle: retrain every region whose DB grew enough."""
+        """One watch cycle: retrain every region whose DB grew enough.
+
+        A ``require_compiled`` coverage break lands in :attr:`errors`
+        but does not abort the cycle — the other due regions still
+        retrain this tick.
+        """
         events = []
         with self._lock:
             for spec in self._specs.values():
@@ -313,6 +379,9 @@ class RetrainWorker:
             "watched": {name: {"trained_rows": spec.trained_rows,
                                "min_new_rows": spec.min_new_rows,
                                "recency_half_life": spec.recency_half_life,
+                               "warm_start": spec.warm_start,
+                               "require_compiled": spec.require_compiled,
+                               "compiled_last": spec.compiled_last,
                                "db_path": str(spec.db_path),
                                "model_path": str(spec.model_path)}
                         for name, spec in self._specs.items()},

@@ -10,6 +10,8 @@ from repro.nn import (AvgPool2d, BatchNorm1d, Conv1d, Conv2d, CompiledPlan,
                       Standardize, Tanh, Tensor, UnsupportedLayerError,
                       compile_inference, load_model, no_grad, save_model)
 
+pytestmark = pytest.mark.compile
+
 RTOL = 1e-12
 
 

@@ -25,6 +25,8 @@ from repro.nn import (GRU, Adam, BatchNorm1d, Destandardize, Dropout,
                       l1_loss, mape_loss, mse_loss)
 from repro.nn.optim import Optimizer
 
+pytestmark = pytest.mark.compile
+
 PARITY = 1e-10
 
 
@@ -262,19 +264,38 @@ def test_bind_rejects_foreign_and_stateful_optimizers():
 # Fallback
 # ----------------------------------------------------------------------
 
-def test_gru_raises_and_trainer_falls_back():
+def test_gru_now_compiles_for_training():
+    # PR-4 latched GRU models to the graph path; the plan-IR registry
+    # lowers them (BPTT), so sequence surrogates train compiled.
     r = np.random.default_rng(0)
-    model = Sequential(GRU(4, 8), Linear(8, 1, rng=r))
-    with pytest.raises(UnsupportedLayerError):
-        compile_training(model, mse_loss)
+    model = Sequential(GRU(4, 8, rng=r), Linear(8, 1, rng=r))
+    plan = compile_training(model, mse_loss)
+    assert any("GRU" in s for s in plan.summary)
 
     rng = np.random.default_rng(1)
     x = rng.normal(size=(24, 6, 4))
     y = rng.normal(size=(24, 1))
     trainer = Trainer(model, batch_size=8, max_epochs=2, compiled=True)
     result = trainer.fit(x, y, x[:8], y[:8])
+    assert trainer.compiled_active
+    assert np.isfinite(result.best_val_loss)
+
+
+def test_unsupported_layer_raises_and_trainer_falls_back():
+    from repro.nn import LayerNorm
+    r = np.random.default_rng(0)
+    model = Sequential(Linear(4, 8, rng=r), LayerNorm(8),
+                       Linear(8, 1, rng=r))
+    with pytest.raises(UnsupportedLayerError):
+        compile_training(model, mse_loss)
+
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(24, 4))
+    y = rng.normal(size=(24, 1))
+    trainer = Trainer(model, batch_size=8, max_epochs=2, compiled=True)
+    result = trainer.fit(x, y, x[:8], y[:8])
     assert not trainer.compiled_active
-    assert "GRU" in trainer.compile_fallback
+    assert "LayerNorm" in trainer.compile_fallback
     assert np.isfinite(result.best_val_loss)
 
 

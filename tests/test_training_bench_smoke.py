@@ -40,11 +40,20 @@ def test_training_bench_smoke_writes_valid_schema(tmp_path):
     for row in epochs:
         assert set(row) >= {"shape", "benchmark", "arch", "batch_size",
                             "graph_ms", "compiled_ms", "speedup",
-                            "grad_parity_max_abs", "headline"}
+                            "grad_parity_max_abs", "headline", "category",
+                            "compiled_active"}
         assert row["graph_ms"] > 0 and row["compiled_ms"] > 0
         assert row["speedup"] > 0
         # The acceptance bit: fast-path gradients match the graph.
         assert row["grad_parity_max_abs"] <= 1e-10
+        # No silent graph fallback anywhere in the grid.
+        assert row["compiled_active"]
+
+    # The plan-IR lowerings: GRU/conv shapes must be present and hit
+    # the compiled path even in quick mode (the CI smoke lane).
+    seq = [r for r in epochs if r["category"] == "sequence"]
+    assert {r["benchmark"] for r in seq} == {"gru", "conv1d"}
+    assert on_disk["summary"]["sequence_compiled_active"] is True
 
     equivalence = on_disk["fit_equivalence"]
     assert len(equivalence) >= 1
@@ -83,3 +92,7 @@ def test_committed_training_baseline_meets_acceptance():
     assert summary["grad_parity_max_abs"] <= 1e-10
     assert summary["early_stop_epochs_match"] is True
     assert summary["retrain_hot_swap_speedup"] > 1.0
+    # PR-5 acceptance: the GRU/Conv1d training lowerings hit the
+    # compiled path with >= 2x on at least one recurrent shape.
+    assert summary["sequence_compiled_active"] is True
+    assert summary["recurrent_epoch_speedup_best"] >= 2.0
