@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 import struct
+import warnings
 
 import numpy as np
 
@@ -63,9 +64,26 @@ def _decode_group(node: dict, payload: bytes) -> dict:
     for name, meta in node.get("datasets", {}).items():
         start = meta["offset"]
         raw = payload[start:start + meta["nbytes"]]
+        shape = list(meta["shape"])
         if len(raw) != meta["nbytes"]:
-            raise FormatError(f"truncated dataset {name!r}")
-        arr = np.frombuffer(raw, dtype=meta["dtype"]).reshape(meta["shape"]).copy()
+            # Unclean shutdown mid-append: the header already promises
+            # the full extent but the payload stops short.  Recover the
+            # intact row prefix (rows are contiguous along the leading
+            # axis) instead of refusing the whole database — losing the
+            # final partial record beats losing every collected row.
+            itemsize = np.dtype(meta["dtype"]).itemsize
+            row_bytes = itemsize * int(np.prod(shape[1:], dtype=np.int64)) \
+                if shape else itemsize
+            rows = len(raw) // row_bytes if row_bytes else 0
+            if not shape or rows <= 0:
+                raise FormatError(f"truncated dataset {name!r}")
+            warnings.warn(
+                f"dataset {name!r} truncated (unclean shutdown?): "
+                f"recovering {rows} of {shape[0]} rows", RuntimeWarning,
+                stacklevel=2)
+            shape[0] = rows
+            raw = raw[:rows * row_bytes]
+        arr = np.frombuffer(raw, dtype=meta["dtype"]).reshape(shape).copy()
         out["datasets"][name] = {"data": arr, "attrs": dict(meta.get("attrs", {}))}
     return out
 

@@ -15,11 +15,20 @@ Layout::
                          "arrays": [{"name", "dtype", "shape", "offset", "nbytes"}],
                          "meta": {...}}
     bytes  concatenated raw array payloads
+    bytes  checksum footer: b"RNMF" + blake2b-128 of all preceding bytes
+
+Writes are crash-safe: :func:`save_model` serializes to a sibling temp
+file, fsyncs, and moves it into place with ``os.replace`` — readers
+only ever see the previous complete file or the new complete file,
+never a torn write.  :func:`load_model` verifies the checksum footer
+(and still accepts footerless files written by earlier versions).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 import struct
 from pathlib import Path
 
@@ -28,9 +37,17 @@ import numpy as np
 from . import layers as L
 
 __all__ = ["save_model", "load_model", "spec_from_model", "model_from_spec",
-           "ModelFormatError", "MAGIC"]
+           "ModelFormatError", "MAGIC", "FOOTER_MAGIC"]
 
 MAGIC = b"RNM1"
+FOOTER_MAGIC = b"RNMF"
+
+#: blake2b digest size of the checksum footer (bytes).
+_DIGEST_SIZE = 16
+
+
+def _checksum(blob: bytes) -> bytes:
+    return hashlib.blake2b(blob, digest_size=_DIGEST_SIZE).digest()
 
 
 class ModelFormatError(RuntimeError):
@@ -186,7 +203,13 @@ def model_from_spec(spec: list[dict]) -> L.Sequential:
 # ----------------------------------------------------------------------
 
 def save_model(model: L.Module, path, meta: dict | None = None) -> None:
-    """Serialize ``model`` (architecture + weights) to ``path``."""
+    """Serialize ``model`` (architecture + weights) to ``path``.
+
+    Crash-safe: the checksummed blob lands in a sibling temp file,
+    fsyncs, and is moved over ``path`` with ``os.replace`` — a crash at
+    any point leaves either the old file or the new one, never a torn
+    mix.
+    """
     path = Path(path)
     spec = spec_from_model(model)
     state = model.state_dict()
@@ -202,28 +225,49 @@ def save_model(model: L.Module, path, meta: dict | None = None) -> None:
 
     header = json.dumps({"arch": spec, "arrays": arrays,
                          "meta": meta or {}}).encode("utf-8")
+    blob = MAGIC + struct.pack("<Q", len(header)) + header + bytes(payload)
+    blob += FOOTER_MAGIC + _checksum(blob)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "wb") as fh:
-        fh.write(MAGIC)
-        fh.write(struct.pack("<Q", len(header)))
-        fh.write(header)
-        fh.write(bytes(payload))
+    tmp_path = path.with_name(path.name + ".tmp")
+    with open(tmp_path, "wb") as fh:
+        fh.write(blob)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp_path, path)
 
 
 def load_model(path) -> L.Sequential:
-    """Load a model saved by :func:`save_model`; returns it in eval mode."""
+    """Load a model saved by :func:`save_model`; returns it in eval mode.
+
+    The checksum footer is verified before any array is trusted;
+    footerless files from earlier format versions still load (their
+    arrays remain length-checked individually).
+    """
     path = Path(path)
-    with open(path, "rb") as fh:
-        magic = fh.read(4)
-        if magic != MAGIC:
-            raise ModelFormatError(f"{path}: bad magic {magic!r}")
-        try:
-            (hlen,) = struct.unpack("<Q", fh.read(8))
-            header = json.loads(fh.read(hlen).decode("utf-8"))
-        except (struct.error, UnicodeDecodeError,
-                json.JSONDecodeError) as exc:
-            raise ModelFormatError(f"{path}: corrupt header: {exc}") from exc
-        payload = fh.read()
+    blob = path.read_bytes()
+    if blob[:4] != MAGIC:
+        raise ModelFormatError(f"{path}: bad magic {blob[:4]!r}")
+    try:
+        (hlen,) = struct.unpack("<Q", blob[4:12])
+        header = json.loads(blob[12:12 + hlen].decode("utf-8"))
+    except (struct.error, UnicodeDecodeError,
+            json.JSONDecodeError) as exc:
+        raise ModelFormatError(f"{path}: corrupt header: {exc}") from exc
+    payload_start = 12 + hlen
+    payload = blob[payload_start:]
+    # The payload's true extent is known from the header, so the footer
+    # is unambiguous: any bytes past the last array must be it.
+    payload_end = max((e["offset"] + e["nbytes"]
+                       for e in header["arrays"]), default=0)
+    trailer = payload[payload_end:]
+    if trailer:
+        if len(trailer) != len(FOOTER_MAGIC) + _DIGEST_SIZE or \
+                not trailer.startswith(FOOTER_MAGIC):
+            raise ModelFormatError(f"{path}: invalid checksum footer")
+        if _checksum(blob[:payload_start + payload_end]) != \
+                trailer[len(FOOTER_MAGIC):]:
+            raise ModelFormatError(
+                f"{path}: checksum mismatch (torn or corrupted write)")
 
     model = model_from_spec(header["arch"])
     state = {}

@@ -47,7 +47,8 @@ def phase_summary(event_log: EventLog,
 
 class _RegionCounters:
     __slots__ = ("invocations", "base_paths", "final_paths", "overrides",
-                 "reasons", "shadows", "shadow_error_sum", "shadow_error_max")
+                 "reasons", "shadows", "shadow_error_sum", "shadow_error_max",
+                 "fallbacks", "fallback_reasons", "health")
 
     def __init__(self):
         self.invocations = 0
@@ -58,6 +59,11 @@ class _RegionCounters:
         self.shadows = 0
         self.shadow_error_sum = 0.0
         self.shadow_error_max = 0.0
+        self.fallbacks = 0
+        self.fallback_reasons: dict[str, int] = {}
+        #: Last breaker state reported for the region (None = never
+        #: guarded, i.e. no circuit breaker attached or no event yet).
+        self.health: str | None = None
 
     def snapshot(self) -> dict:
         return {
@@ -71,6 +77,9 @@ class _RegionCounters:
                                   if self.shadows else None),
             "shadow_error_max": self.shadow_error_max if self.shadows
             else None,
+            "fallbacks": self.fallbacks,
+            "fallback_reasons": dict(self.fallback_reasons),
+            "health": self.health,
         }
 
 
@@ -105,6 +114,21 @@ class QoSTelemetry:
         c.shadow_error_sum += float(error)
         c.shadow_error_max = max(c.shadow_error_max, float(error))
 
+    def record_fallback(self, region_name: str, reason: str,
+                        state: str | None = None) -> None:
+        """One breaker-driven accurate fallback (denial or caught
+        failure), called by the region's guarded infer path."""
+        c = self._region(region_name)
+        c.fallbacks += 1
+        c.fallback_reasons[reason] = c.fallback_reasons.get(reason, 0) + 1
+        if state is not None:
+            c.health = state
+
+    def record_health(self, region_name: str, state: str) -> None:
+        """Report a region's current breaker state (e.g. at snapshot
+        time, so recovered regions show healthy again)."""
+        self._region(region_name).health = state
+
     # -- reporting -------------------------------------------------------
     def snapshot(self) -> dict:
         return {name: counters.snapshot()
@@ -118,18 +142,22 @@ class QoSTelemetry:
         error mean is observation-weighted.  This is what a
         multi-region server reports as one line.
         """
-        invocations = overrides = shadows = 0
+        invocations = overrides = shadows = fallbacks = 0
         error_sum = 0.0
         error_max = 0.0
         final_paths = {p: 0 for p in ExecutionPath.ALL}
+        health: dict[str, int] = {}
         for c in self._regions.values():
             invocations += c.invocations
             overrides += c.overrides
             shadows += c.shadows
+            fallbacks += c.fallbacks
             error_sum += c.shadow_error_sum
             error_max = max(error_max, c.shadow_error_max)
             for path, count in c.final_paths.items():
                 final_paths[path] = final_paths.get(path, 0) + count
+            if c.health is not None:
+                health[c.health] = health.get(c.health, 0) + 1
         return {
             "regions": len(self._regions),
             "invocations": invocations,
@@ -140,6 +168,8 @@ class QoSTelemetry:
             "shadow_invocations": shadows,
             "shadow_error_mean": error_sum / shadows if shadows else None,
             "shadow_error_max": error_max if shadows else None,
+            "fallbacks": fallbacks,
+            "health": health,
         }
 
     def summary(self, event_log: EventLog | None = None,

@@ -1,0 +1,22 @@
+"""Fault injection and self-healing primitives for the serving stack.
+
+See :mod:`repro.resilience.faults` for the deterministic seeded
+FaultInjector (scripted faults at the surrogate/kernel/trainer/
+hot-swap/DB seams) and :mod:`repro.resilience.primitives` for the
+pieces the stack wires at those seams: RetryPolicy, CircuitBreaker,
+and the run_with_timeout watchdog.
+"""
+
+from repro.resilience.faults import (ACCURATE, DB_READ, HOT_SWAP, SEAMS,
+                                     SURROGATE, TRAINER, Fault,
+                                     FaultInjector, InjectedFault)
+from repro.resilience.primitives import (CircuitBreaker, NonFiniteOutput,
+                                         RetryPolicy, WatchdogTimeout,
+                                         run_with_timeout)
+
+__all__ = [
+    "FaultInjector", "Fault", "InjectedFault",
+    "SURROGATE", "ACCURATE", "TRAINER", "HOT_SWAP", "DB_READ", "SEAMS",
+    "RetryPolicy", "CircuitBreaker", "NonFiniteOutput",
+    "WatchdogTimeout", "run_with_timeout",
+]

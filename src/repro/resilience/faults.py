@@ -1,0 +1,276 @@
+"""Deterministic, seeded fault injection at well-defined seams.
+
+The serving stack's graceful-degradation contract — approximate when
+safe, fall back to the accurate kernel when not — can only be trusted
+if it is exercised under *faults*, not just under error drift.  This
+module scripts faults at the seams where real deployments break:
+
+========================  ==============================================
+seam                      where it fires
+========================  ==============================================
+``SURROGATE``             :meth:`repro.runtime.infer.InferenceEngine.\
+infer_with_model`, after the forward — the surrogate raises or emits
+                          NaN/Inf/garbage outputs.
+``ACCURATE``              :meth:`repro.runtime.region.ApproxRegion.\
+_run_accurate` — the accurate kernel slows down (timed as real kernel
+                          time).
+``TRAINER``               ``RetrainWorker._retrain``'s train step — the
+                          trainer raises or hangs.
+``HOT_SWAP``              :func:`repro.serving.retrain.hot_swap_model`,
+                          between serializing the candidate and
+                          verifying it — the model file arrives
+                          corrupt/truncated.
+``DB_READ``               :func:`repro.serving.retrain.db_row_count` —
+                          the training DB read is stale or fails.
+========================  ==============================================
+
+Determinism is the point: a :class:`FaultInjector` is seeded, rules
+match on per-seam invocation counters (``at``/``start``/``stop``) or on
+draws from a per-seam generator (``probability``), and every fault fired
+is appended to :attr:`FaultInjector.fired`.  Two runs with the same seed
+and the same call sequence produce **bit-identical** fault schedules, so
+tests and benchmarks can replay a fault storm exactly.
+
+Hook installation is context-managed and global (one active injector per
+process)::
+
+    injector = FaultInjector(seed=7)
+    injector.script(SURROGATE, "nan", start=100, stop=112)
+    with injector:
+        run_serving_loop()
+    assert injector.fired == expected_schedule
+
+When no injector is active the seams cost one attribute load and a
+``None`` check — the hot path stays the hot path.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+
+import numpy as np
+
+__all__ = ["FaultInjector", "Fault", "InjectedFault", "fire", "active",
+           "SURROGATE", "ACCURATE", "TRAINER", "HOT_SWAP", "DB_READ",
+           "SEAMS", "apply_surrogate_fault", "apply_kernel_fault",
+           "apply_trainer_fault", "apply_file_fault"]
+
+SURROGATE = "surrogate_forward"
+ACCURATE = "accurate_kernel"
+TRAINER = "trainer"
+HOT_SWAP = "hot_swap"
+DB_READ = "db_read"
+
+SEAMS = (SURROGATE, ACCURATE, TRAINER, HOT_SWAP, DB_READ)
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised by ``raise``-kind faults (distinguishable
+    from organic failures in logs and breaker snapshots)."""
+
+
+class Fault:
+    """One fired fault: which seam, which firing index, what to do."""
+
+    __slots__ = ("seam", "kind", "index", "payload")
+
+    def __init__(self, seam: str, kind: str, index: int, payload: dict):
+        self.seam = seam
+        self.kind = kind
+        self.index = index
+        self.payload = payload
+
+    def as_tuple(self) -> tuple:
+        """Hashable identity used for schedule-equality assertions."""
+        return (self.seam, self.index, self.kind)
+
+    def __repr__(self):
+        return f"Fault({self.seam!r}, {self.kind!r}, index={self.index})"
+
+
+class _Rule:
+    __slots__ = ("kind", "at", "start", "stop", "every", "probability",
+                 "payload")
+
+    def __init__(self, kind, at, start, stop, every, probability, payload):
+        self.kind = kind
+        self.at = frozenset(int(i) for i in at) if at is not None else None
+        self.start = start
+        self.stop = stop
+        self.every = every
+        self.probability = probability
+        self.payload = payload
+
+    def matches(self, index: int, rng: np.random.Generator) -> bool:
+        # A probability rule consumes exactly one draw per fire whether
+        # or not it matches, so the schedule depends only on the seed
+        # and the sequence of fire() calls — never on other rules.
+        hit = True
+        if self.probability is not None:
+            hit = bool(rng.random() < self.probability)
+        if self.at is not None:
+            return index in self.at and hit
+        if index < self.start:
+            return False
+        if self.stop is not None and index >= self.stop:
+            return False
+        if self.every is not None and (index - self.start) % self.every:
+            return False
+        return hit
+
+
+class FaultInjector:
+    """Seeded fault scheduler; install with ``with injector:``."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rules: dict[str, list[_Rule]] = {}
+        self._counts: dict[str, int] = {}
+        self._rngs: dict[str, np.random.Generator] = {}
+        #: Every fault fired, in firing order — the replayable schedule.
+        self.fired: list[Fault] = []
+
+    # -- scripting -------------------------------------------------------
+    def script(self, seam: str, kind: str, *, at=None, start: int = 0,
+               stop: int | None = None, every: int | None = None,
+               probability: float | None = None, **payload) -> "FaultInjector":
+        """Add one fault rule for ``seam``; rules match first-wins.
+
+        ``at`` pins explicit firing indices (0-based, per seam);
+        ``start``/``stop``/``every`` select a window/stride of firings;
+        ``probability`` gates the rule on a seeded per-seam draw.
+        ``payload`` parameterizes the fault (``seconds`` for slowdowns
+        and hangs, ``scale`` for garbage outputs, ``keep`` for
+        truncations, ``rows`` for stale DB reads).  Returns ``self`` so
+        scripts chain.
+        """
+        if seam not in SEAMS:
+            raise ValueError(f"unknown seam {seam!r}; one of {SEAMS}")
+        self._rules.setdefault(seam, []).append(
+            _Rule(kind, at, start, stop, every, probability, payload))
+        return self
+
+    # -- firing ----------------------------------------------------------
+    def _rng(self, seam: str) -> np.random.Generator:
+        rng = self._rngs.get(seam)
+        if rng is None:
+            # Stable per-seam stream: crc32 keys the seam name so adding
+            # rules to one seam never perturbs another seam's draws.
+            rng = self._rngs[seam] = np.random.default_rng(
+                [self.seed, zlib.crc32(seam.encode("utf-8"))])
+        return rng
+
+    def fire(self, seam: str, **context) -> Fault | None:
+        """One seam firing: advance the counter, match rules in order."""
+        index = self._counts.get(seam, 0)
+        self._counts[seam] = index + 1
+        rules = self._rules.get(seam)
+        if not rules:
+            return None
+        rng = self._rng(seam)
+        for rule in rules:
+            if rule.matches(index, rng):
+                payload = dict(rule.payload)
+                payload.update(context)
+                fault = Fault(seam, rule.kind, index, payload)
+                self.fired.append(fault)
+                return fault
+        return None
+
+    def count(self, seam: str) -> int:
+        """How many times ``seam`` has fired (matched or not)."""
+        return self._counts.get(seam, 0)
+
+    def schedule(self) -> list:
+        """The fired faults as comparable tuples (determinism checks)."""
+        return [f.as_tuple() for f in self.fired]
+
+    def reset(self) -> None:
+        """Rewind counters, RNG streams, and the fired log — replaying
+        the same call sequence reproduces the same schedule."""
+        self._counts.clear()
+        self._rngs.clear()
+        self.fired.clear()
+
+    # -- installation ----------------------------------------------------
+    def __enter__(self) -> "FaultInjector":
+        global _ACTIVE
+        if _ACTIVE is not None:
+            raise RuntimeError("another FaultInjector is already active")
+        _ACTIVE = self
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        global _ACTIVE
+        _ACTIVE = None
+        return False
+
+
+#: The process-wide active injector (None when fault injection is off).
+_ACTIVE: FaultInjector | None = None
+
+
+def active() -> FaultInjector | None:
+    return _ACTIVE
+
+
+def fire(seam: str, **context) -> Fault | None:
+    """Seam entry point: no-op (None) unless an injector is installed."""
+    injector = _ACTIVE
+    if injector is None:
+        return None
+    return injector.fire(seam, **context)
+
+
+# ----------------------------------------------------------------------
+# Fault application helpers (what each seam does with a matched fault)
+# ----------------------------------------------------------------------
+
+def apply_surrogate_fault(fault: Fault, outputs: np.ndarray) -> np.ndarray:
+    """Corrupt (or abort) a surrogate forward's outputs."""
+    if fault.kind == "raise":
+        raise InjectedFault(f"injected surrogate failure #{fault.index}")
+    out = np.array(outputs, dtype=np.float64)
+    if fault.kind == "nan":
+        out[...] = np.nan
+    elif fault.kind == "inf":
+        out[...] = np.inf
+    elif fault.kind == "garbage":
+        scale = float(fault.payload.get("scale", 1e6))
+        out = out * scale + scale
+    else:
+        raise ValueError(f"unknown surrogate fault kind {fault.kind!r}")
+    return out
+
+
+def apply_kernel_fault(fault: Fault) -> None:
+    """Slow the accurate kernel down (rides inside its timed phase)."""
+    if fault.kind == "slow":
+        time.sleep(float(fault.payload.get("seconds", 0.01)))
+    else:
+        raise ValueError(f"unknown kernel fault kind {fault.kind!r}")
+
+
+def apply_trainer_fault(fault: Fault) -> None:
+    """Abort or stall a retrain's train step."""
+    if fault.kind == "raise":
+        raise InjectedFault(f"injected trainer failure #{fault.index}")
+    if fault.kind == "hang":
+        time.sleep(float(fault.payload.get("seconds", 1.0)))
+    else:
+        raise ValueError(f"unknown trainer fault kind {fault.kind!r}")
+
+
+def apply_file_fault(fault: Fault, path) -> None:
+    """Corrupt a just-written model file (the torn/partial-write case)."""
+    blob = bytearray(path.read_bytes())
+    if fault.kind == "truncate":
+        keep = float(fault.payload.get("keep", 0.5))
+        del blob[int(len(blob) * keep):]
+    elif fault.kind == "corrupt":
+        offset = int(fault.payload.get("offset", len(blob) // 2))
+        blob[offset] ^= 0xFF
+    else:
+        raise ValueError(f"unknown file fault kind {fault.kind!r}")
+    path.write_bytes(bytes(blob))

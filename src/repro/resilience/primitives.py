@@ -1,0 +1,264 @@
+"""Resilience primitives: retries, circuit breaking, job watchdogs.
+
+Three small, composable pieces the serving stack wires at its failure
+points:
+
+* :class:`RetryPolicy` — capped exponential backoff around transient
+  failures (``RetrainWorker`` retries a crashed train step instead of
+  abandoning the refresh).
+* :class:`CircuitBreaker` — per-region health automaton
+  ``healthy → degraded → quarantined``: a repeatedly failing or
+  NaN-emitting surrogate is demoted to the accurate path, with
+  counter-based probe scheduling that lets it earn its way back after
+  a hot-swap fixes the model.
+* :func:`run_with_timeout` — a thread watchdog for jobs that may hang
+  (a wedged trainer must not wedge the retrain worker, whose lock the
+  whole poll cycle serializes on).
+
+All state machines are deterministic (counter-driven, no clocks or
+RNG), so a scripted fault schedule produces the same transition
+sequence every run.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+
+__all__ = ["RetryPolicy", "CircuitBreaker", "NonFiniteOutput",
+           "WatchdogTimeout", "run_with_timeout"]
+
+logger = logging.getLogger("repro.resilience")
+
+
+class NonFiniteOutput(RuntimeError):
+    """A guarded surrogate emitted NaN/Inf — treated as a failure by the
+    circuit breaker *before* anything is scattered into application
+    memory."""
+
+
+class WatchdogTimeout(TimeoutError):
+    """A watchdogged job exceeded its deadline (the thread is abandoned
+    as a daemon; its side effects must be discardable)."""
+
+
+def run_with_timeout(fn, timeout: float | None, name: str = "job"):
+    """Run ``fn()`` with a watchdog; raise :class:`WatchdogTimeout` late.
+
+    ``timeout=None`` calls ``fn`` inline (zero overhead).  Otherwise the
+    job runs on a daemon thread and the caller waits at most ``timeout``
+    seconds: Python offers no safe preemption, so a timed-out job is
+    *abandoned*, not killed — callers must treat its side effects as
+    discarded (the retrain worker does: a timed-out trainer never
+    reaches the hot-swap step).
+    """
+    if timeout is None:
+        return fn()
+    box: dict = {}
+
+    def runner():
+        try:
+            box["result"] = fn()
+        except BaseException as exc:          # delivered to the caller
+            box["error"] = exc
+
+    thread = threading.Thread(target=runner, name=f"watchdog-{name}",
+                              daemon=True)
+    thread.start()
+    thread.join(timeout)
+    if thread.is_alive():
+        raise WatchdogTimeout(f"{name} exceeded {timeout:g}s deadline")
+    if "error" in box:
+        raise box["error"]
+    return box["result"]
+
+
+class RetryPolicy:
+    """Capped exponential backoff: ``base * multiplier**attempt``, capped
+    at ``max_delay``, for ``max_attempts`` total tries.
+
+    ``sleep`` is injectable so tests assert the schedule without waiting
+    it out.  :meth:`run` re-raises the last exception when every attempt
+    failed; ``on_retry(attempt, exc)`` fires before each backoff sleep.
+    """
+
+    def __init__(self, max_attempts: int = 3, base_delay: float = 0.05,
+                 max_delay: float = 2.0, multiplier: float = 2.0,
+                 retry_on=(Exception,), sleep=time.sleep):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1: {max_attempts}")
+        if base_delay < 0 or max_delay < 0 or multiplier < 1.0:
+            raise ValueError("delays must be >= 0 and multiplier >= 1")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.multiplier = multiplier
+        self.retry_on = tuple(retry_on)
+        self.sleep = sleep
+
+    def delays(self) -> list:
+        """The backoff schedule (one entry per retry gap)."""
+        return [min(self.max_delay, self.base_delay * self.multiplier ** i)
+                for i in range(self.max_attempts - 1)]
+
+    def run(self, fn, *args, on_retry=None, **kwargs):
+        """Call ``fn(*args, **kwargs)``, retrying per the schedule."""
+        last: BaseException | None = None
+        for attempt in range(self.max_attempts):
+            try:
+                return fn(*args, **kwargs)
+            except self.retry_on as exc:
+                last = exc
+                if on_retry is not None:
+                    on_retry(attempt + 1, exc)
+                if attempt + 1 < self.max_attempts:
+                    self.sleep(min(self.max_delay,
+                                   self.base_delay
+                                   * self.multiplier ** attempt))
+        assert last is not None
+        raise last
+
+
+class CircuitBreaker:
+    """Per-region health automaton demoting a failing surrogate.
+
+    States and transitions (all thresholds count *consecutive* events):
+
+    * ``healthy`` — every infer-path invocation is allowed.
+      ``failure_threshold`` consecutive failures → ``degraded``.
+    * ``degraded`` — invocations are denied (served by the accurate
+      kernel) except a probe every ``probe_interval``-th denial, which
+      runs the surrogate to test recovery.  ``recovery_successes``
+      consecutive probe successes → ``healthy``;
+      ``quarantine_threshold`` consecutive failures → ``quarantined``.
+    * ``quarantined`` — like degraded but probes only every
+      ``cooldown``-th denial (the surrogate is presumed broken until a
+      hot-swap replaces it).  ``recovery_successes`` consecutive probe
+      successes → ``degraded``.
+
+    The automaton is counter-driven and deterministic.  Methods are
+    lock-protected so a breaker shared across backend worker threads
+    stays consistent; transitions are logged once each and kept in
+    :attr:`transitions` for post-mortems.
+    """
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    QUARANTINED = "quarantined"
+
+    _MAX_TRANSITIONS = 100
+
+    def __init__(self, failure_threshold: int = 3,
+                 quarantine_threshold: int = 8,
+                 recovery_successes: int = 2, probe_interval: int = 8,
+                 cooldown: int = 32, name: str | None = None):
+        if failure_threshold < 1 or quarantine_threshold < failure_threshold:
+            raise ValueError("need 1 <= failure_threshold <= "
+                             "quarantine_threshold")
+        if recovery_successes < 1 or probe_interval < 1 or cooldown < 1:
+            raise ValueError("recovery_successes, probe_interval and "
+                             "cooldown must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.quarantine_threshold = quarantine_threshold
+        self.recovery_successes = recovery_successes
+        self.probe_interval = probe_interval
+        self.cooldown = cooldown
+        self.name = name
+        self._lock = threading.Lock()
+        self.state = self.HEALTHY
+        self.consecutive_failures = 0
+        self.consecutive_successes = 0
+        self.failures = 0
+        self.successes = 0
+        self.denials = 0
+        self.probes = 0
+        self.last_failure: str | None = None
+        self.transitions: list[tuple] = []
+        self._since_probe = 0
+
+    # -- the per-invocation protocol -------------------------------------
+    def allow(self) -> bool:
+        """Whether this infer-path invocation may run the surrogate."""
+        with self._lock:
+            if self.state == self.HEALTHY:
+                return True
+            self._since_probe += 1
+            interval = (self.probe_interval if self.state == self.DEGRADED
+                        else self.cooldown)
+            if self._since_probe >= interval:
+                self._since_probe = 0
+                self.probes += 1
+                return True
+            self.denials += 1
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self.successes += 1
+            self.consecutive_failures = 0
+            self.consecutive_successes += 1
+            if self.consecutive_successes < self.recovery_successes:
+                return
+            if self.state == self.QUARANTINED:
+                self._transition(self.DEGRADED, "probe successes")
+                self.consecutive_successes = 0
+            elif self.state == self.DEGRADED:
+                self._transition(self.HEALTHY, "probe successes")
+                self.consecutive_successes = 0
+
+    def record_failure(self, reason: str | None = None) -> None:
+        with self._lock:
+            self.failures += 1
+            self.consecutive_successes = 0
+            self.consecutive_failures += 1
+            self.last_failure = reason
+            if self.state == self.HEALTHY and \
+                    self.consecutive_failures >= self.failure_threshold:
+                self._transition(self.DEGRADED, reason)
+            elif self.state == self.DEGRADED and \
+                    self.consecutive_failures >= self.quarantine_threshold:
+                self._transition(self.QUARANTINED, reason)
+
+    def _transition(self, to: str, reason) -> None:
+        entry = (self.state, to, reason)
+        self.state = to
+        self._since_probe = 0
+        if len(self.transitions) < self._MAX_TRANSITIONS:
+            self.transitions.append(entry)
+        label = f" [{self.name}]" if self.name else ""
+        logger.warning("circuit breaker%s: %s -> %s (%s)", label,
+                       entry[0], to, reason)
+
+    # -- reporting / control ---------------------------------------------
+    @property
+    def healthy(self) -> bool:
+        return self.state == self.HEALTHY
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self.state,
+                "consecutive_failures": self.consecutive_failures,
+                "failures": self.failures,
+                "successes": self.successes,
+                "denials": self.denials,
+                "probes": self.probes,
+                "fallbacks": self.denials + self.failures,
+                "last_failure": self.last_failure,
+                "transitions": list(self.transitions),
+            }
+
+    def reset(self) -> None:
+        """Back to healthy with counters cleared (e.g. after a verified
+        hot-swap replaced the model the failures belonged to)."""
+        with self._lock:
+            if self.state != self.HEALTHY:
+                self._transition(self.HEALTHY, "reset")
+            self.consecutive_failures = 0
+            self.consecutive_successes = 0
+            self._since_probe = 0
+
+    def __repr__(self):
+        return (f"CircuitBreaker(state={self.state!r}, "
+                f"failures={self.failures}, denials={self.denials})")

@@ -143,9 +143,17 @@ class DataCollector:
 
 
 def load_training_data(db_path, region_name: str):
-    """Read a region's collected data: ``(inputs, outputs, region_time)``."""
+    """Read a region's collected data: ``(inputs, outputs, region_time)``.
+
+    The triple is trimmed to its common row count: after an unclean
+    shutdown mid-append the h5 layer recovers a truncated final dataset
+    as its intact row prefix (with a warning), which can leave the
+    three datasets one partial record apart.
+    """
     with File(db_path, "r") as fh:
         group = fh[region_name]
-        return (group["inputs"].read().copy(),
-                group["outputs"].read().copy(),
-                group["region_time"].read().copy())
+        inputs = group["inputs"].read().copy()
+        outputs = group["outputs"].read().copy()
+        times = group["region_time"].read().copy()
+    rows = min(len(inputs), len(outputs), len(times))
+    return inputs[:rows], outputs[:rows], times[:rows]

@@ -27,6 +27,7 @@ from ..nn import load_model, no_grad
 from ..nn.compile import UnsupportedLayerError, compile_inference
 from ..nn.layers import Module
 from ..nn.tensor import Tensor
+from ..resilience import faults as _faults
 
 __all__ = ["InferenceEngine", "ModelCache"]
 
@@ -182,6 +183,12 @@ class InferenceEngine:
             "transfer_sim": self.device.clock.simulated - sim_before,
             "compiled": plan is not None,
         }
+        # SURROGATE fault seam: with an active FaultInjector this forward
+        # may raise or hand back NaN/Inf/garbage outputs, exactly like a
+        # model poisoned mid-training or a device fault would.
+        fault = _faults.fire(_faults.SURROGATE)
+        if fault is not None:
+            result = _faults.apply_surrogate_fault(fault, result)
         return result
 
     @property

@@ -26,6 +26,8 @@ from ..directives.ast_nodes import (FunctorDecl, MLDirective,
                                     TensorMapDirective)
 from ..directives.parser import parse_program
 from ..directives.semantic import SemanticAnalyzer, linearize
+from ..resilience import faults as _faults
+from ..resilience.primitives import NonFiniteOutput
 from .batch import BatchedInferenceEngine
 from .collect import DataCollector
 from .control import ExecutionPath, decide_path
@@ -52,12 +54,18 @@ class RegionConfig:
     count symbol), ``False`` disables it, ``True`` asserts it.  Only
     sound for regions whose batch entries are computed independently —
     auto-regressive or cross-row-stateful kernels must pass ``False``.
+    ``breaker`` attaches a
+    :class:`~repro.resilience.CircuitBreaker`: infer-path invocations
+    are then *guarded* — a surrogate that raises or emits non-finite
+    outputs is caught before anything reaches application memory, the
+    invocation is served by the accurate kernel, and repeated failures
+    demote the region to the accurate path until probes recover it.
     """
 
     def __init__(self, model_path=None, db_path=None, engine=None,
                  event_log=None, qos=None, auto_batch: bool = False,
                  max_batch_rows: int = 256,
-                 row_subsample: bool | None = None):
+                 row_subsample: bool | None = None, breaker=None):
         self.model_path = model_path
         self.db_path = db_path
         self.engine = engine
@@ -66,6 +74,7 @@ class RegionConfig:
         self.auto_batch = auto_batch
         self.max_batch_rows = max_batch_rows
         self.row_subsample = row_subsample
+        self.breaker = breaker
 
 
 class _BoundMap:
@@ -376,17 +385,39 @@ class ApproxRegion:
             self._collector = DataCollector(path)
         return self._collector
 
-    def _run_infer(self, env, record):
+    def _surrogate_outputs(self, inputs, record, guard):
+        """One surrogate forward; guarded, non-finite outputs raise.
+
+        The finite check runs *before* any scatter so a NaN/Inf-emitting
+        model can never poison application memory — the guard converts
+        it into a breaker failure served by the accurate kernel.
+        """
+        outputs = self._engine.infer(self.model_path, inputs)
+        # The INFERENCE phase is the engine's device-equivalent time
+        # (dense forward on the simulated accelerator); transfer costs
+        # accumulate on the device clock.
+        record.add(Phase.INFERENCE, self._engine.last_inference_seconds)
+        if guard is not None and not np.all(np.isfinite(outputs)):
+            raise NonFiniteOutput(
+                f"region {self.name!r}: surrogate emitted non-finite "
+                "outputs")
+        return outputs
+
+    def _run_infer(self, env, record, guard=None):
         in_maps = self._concretize(self._in_maps, env, writable=False)
         inputs = self._gather_inputs(in_maps, record)
         if self.model_path is None:
             raise RuntimeError(f"region {self.name!r}: inference "
                                "requested but no model path configured")
-        if self._batched_engine:
+        if self._batched_engine and guard is None:
             # Defer: the engine coalesces queued invocations into one
             # forward; the scatter-back lands at flush time.  Only
             # sound for invocations independent of each other's
-            # outputs — see :mod:`repro.runtime.batch`.
+            # outputs — see :mod:`repro.runtime.batch`.  A guarded
+            # region skips the deferral: the breaker needs the forward's
+            # outcome *now* to decide whether this invocation falls back
+            # (``BatchedInferenceEngine.infer`` flushes the queue
+            # first), trading batching for synchronous verification.
             out_maps = self._concretize(self._out_maps, env, writable=True)
 
             def deliver(outputs, seconds, out_maps=out_maps, record=record):
@@ -395,11 +426,7 @@ class ApproxRegion:
 
             self._engine.submit(self.model_path, inputs, deliver)
             return None
-        outputs = self._engine.infer(self.model_path, inputs)
-        # The INFERENCE phase is the engine's device-equivalent time
-        # (dense forward on the simulated accelerator); transfer costs
-        # accumulate on the device clock.
-        record.add(Phase.INFERENCE, self._engine.last_inference_seconds)
+        outputs = self._surrogate_outputs(inputs, record, guard)
         out_maps = self._concretize(self._out_maps, env, writable=True)
         self._scatter_outputs(out_maps, outputs, record)
         return None
@@ -410,6 +437,11 @@ class ApproxRegion:
             in_maps = self._concretize(self._in_maps, env, writable=False)
             inputs = self._gather_inputs(in_maps, record)
         with self.events.timed(record, Phase.ACCURATE):
+            # ACCURATE fault seam: scripted kernel slowdowns ride inside
+            # the timed phase, so they show up as real kernel time.
+            fault = _faults.fire(_faults.ACCURATE)
+            if fault is not None:
+                _faults.apply_kernel_fault(fault)
             result = self.func(*args, **kwargs)
         if collect:
             outputs = self._gather_outputs(env)
@@ -439,7 +471,8 @@ class ApproxRegion:
         # (QoSArbiter) serialize the RNG draw with their other hooks.
         return qos.row_subset(batch)
 
-    def _run_shadow(self, qos, decision, env, record, args, kwargs):
+    def _run_shadow(self, qos, decision, env, record, args, kwargs,
+                    guard=None):
         """Shadow-validated inference: run accurate AND surrogate paths.
 
         The accurate kernel executes first (timed as the SHADOW phase,
@@ -488,8 +521,21 @@ class ApproxRegion:
                                "requested but no model path configured")
         # Immediate inference (flushes any batched queue first): the
         # error observation must not be deferred past policy decisions.
-        outputs = self._engine.infer(self.model_path, inputs)
-        record.add(Phase.INFERENCE, self._engine.last_inference_seconds)
+        try:
+            outputs = self._surrogate_outputs(inputs, record, guard)
+        except Exception as exc:
+            if guard is None:
+                raise
+            guard.record_failure(type(exc).__name__)
+            self._note_fallback(type(exc).__name__, guard)
+            if subset is not None:
+                # The kernel only ran on sliced *copies*; the real
+                # output arrays are still unwritten — run it for real.
+                with self.events.timed(record, Phase.ACCURATE):
+                    result = self.func(*args, **kwargs)
+            return result
+        if guard is not None:
+            guard.record_success()
         predicted = outputs if subset is None else outputs[subset]
         qos.observe_shadow(self.name, predicted, accurate)
         if decision.commit == "surrogate":
@@ -497,16 +543,61 @@ class ApproxRegion:
             self._scatter_outputs(out_maps, outputs, record)
         return result
 
+    def _note_fallback(self, reason: str, breaker) -> None:
+        """Report one breaker-driven fallback to the QoS telemetry."""
+        qos = self.config.qos
+        telemetry = getattr(qos, "telemetry", None) if qos is not None \
+            else None
+        if telemetry is not None and hasattr(telemetry, "record_fallback"):
+            telemetry.record_fallback(self.name, reason,
+                                      state=breaker.state)
+
+    def _guarded_infer(self, breaker, env, args, kwargs,
+                       qos=None, decision=None):
+        """An infer-path invocation under the circuit breaker.
+
+        A denied invocation (breaker open, not this denial's probe turn)
+        is served by the accurate kernel outright.  An allowed one runs
+        the surrogate guarded — any exception, including the pre-scatter
+        non-finite check, becomes a breaker failure and the invocation
+        is re-served accurately.  Either way the caller gets a result:
+        the region stays available through a broken surrogate.
+        """
+        if not breaker.allow():
+            self._note_fallback("breaker_open", breaker)
+            record = self.events.new_record(ExecutionPath.ACCURATE)
+            return self._run_accurate(env, record, False, args, kwargs)
+        record = self.events.new_record(ExecutionPath.INFER)
+        if decision is not None and decision.shadow:
+            # Shadow runs the accurate kernel anyway; failure handling
+            # (record_failure + keep the accurate result) is internal.
+            return self._run_shadow(qos, decision, env, record,
+                                    args, kwargs, guard=breaker)
+        try:
+            result = self._run_infer(env, record, guard=breaker)
+        except Exception as exc:
+            breaker.record_failure(type(exc).__name__)
+            self._note_fallback(type(exc).__name__, breaker)
+            record = self.events.new_record(ExecutionPath.ACCURATE)
+            return self._run_accurate(env, record, False, args, kwargs)
+        breaker.record_success()
+        return result
+
     def _invoke_qos(self, qos, env, args, kwargs):
         base = decide_path(self.ml, env)
         decision = qos.decide(self.name, base)
         path = decision.path
-        record = self.events.new_record(path)
         if path == ExecutionPath.INFER:
+            breaker = self.config.breaker
+            if breaker is not None:
+                return self._guarded_infer(breaker, env, args, kwargs,
+                                           qos=qos, decision=decision)
+            record = self.events.new_record(path)
             if decision.shadow:
                 return self._run_shadow(qos, decision, env, record,
                                         args, kwargs)
             return self._run_infer(env, record)
+        record = self.events.new_record(path)
         if path == ExecutionPath.COLLECT:
             return self._run_accurate(env, record, True, args, kwargs)
         return self._run_accurate(env, record, False, args, kwargs)
@@ -518,9 +609,13 @@ class ApproxRegion:
         if qos is not None:
             return self._invoke_qos(qos, env, args, kwargs)
         path = decide_path(self.ml, env)
-        record = self.events.new_record(path)
         if path == ExecutionPath.INFER:
+            breaker = self.config.breaker
+            if breaker is not None:
+                return self._guarded_infer(breaker, env, args, kwargs)
+            record = self.events.new_record(path)
             return self._run_infer(env, record)
+        record = self.events.new_record(path)
         if path == ExecutionPath.COLLECT:
             return self._run_accurate(env, record, True, args, kwargs)
         return self._run_accurate(env, record, False, args, kwargs)

@@ -14,8 +14,8 @@ model file is hot-swapped atomically under the live server.
 
 from .arbiter import QoSArbiter
 from .backends import ExecutionBackend, SerialBackend, ThreadPoolBackend
-from .retrain import (RetrainEvent, RetrainSpec, RetrainWorker,
-                      db_row_count, hot_swap_model,
+from .retrain import (HotSwapError, RetrainEvent, RetrainSpec,
+                      RetrainWorker, db_row_count, hot_swap_model,
                       recency_weighted_indices)
 from .server import RegionServer, ServedRegion
 
@@ -24,5 +24,6 @@ __all__ = [
     "ExecutionBackend", "SerialBackend", "ThreadPoolBackend",
     "QoSArbiter",
     "RetrainWorker", "RetrainSpec", "RetrainEvent",
+    "HotSwapError",
     "hot_swap_model", "db_row_count", "recency_weighted_indices",
 ]

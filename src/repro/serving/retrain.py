@@ -29,6 +29,7 @@ rows for faster adaptation under sustained drift.
 
 from __future__ import annotations
 
+import logging
 import os
 import threading
 import time
@@ -37,11 +38,20 @@ from pathlib import Path
 import numpy as np
 
 from ..h5 import File
-from ..nn import Trainer, save_model
+from ..nn import Trainer, load_model, save_model
 from ..nn.training import train_val_split
+from ..resilience import faults as _faults
+from ..resilience.primitives import RetryPolicy, run_with_timeout
 
-__all__ = ["RetrainSpec", "RetrainEvent", "RetrainWorker",
+__all__ = ["RetrainSpec", "RetrainEvent", "RetrainWorker", "HotSwapError",
            "hot_swap_model", "db_row_count", "recency_weighted_indices"]
+
+logger = logging.getLogger("repro.serving.retrain")
+
+
+class HotSwapError(RuntimeError):
+    """A candidate model failed verification at hot-swap time; the
+    deployed model file was left untouched (rollback)."""
 
 
 def recency_weighted_indices(indices, n_total: int, half_life: float,
@@ -72,6 +82,15 @@ def recency_weighted_indices(indices, n_total: int, half_life: float,
 
 def db_row_count(db_path, region_name: str) -> int:
     """Rows currently collected for ``region_name`` (0 when absent)."""
+    fault = _faults.fire(_faults.DB_READ, region=region_name)
+    if fault is not None:
+        # DB_READ fault seam: a stale replica read (report old rows) or
+        # an outright failed read.
+        if fault.kind == "stale":
+            return int(fault.payload.get("rows", 0))
+        if fault.kind == "raise":
+            raise _faults.InjectedFault(
+                f"injected db read failure #{fault.index}")
     db_path = Path(db_path)
     if not db_path.exists():
         return 0
@@ -84,17 +103,47 @@ def db_row_count(db_path, region_name: str) -> int:
         return int(group["inputs"].shape[0])
 
 
-def hot_swap_model(model, model_path, engines=()) -> Path:
+def hot_swap_model(model, model_path, engines=(),
+                   verify_inputs=None) -> Path:
     """Atomically replace ``model_path`` with ``model``; refresh engines.
 
-    The new file is serialized next to the target and moved over it
-    with ``os.replace`` (atomic on POSIX), then every engine's model
-    cache entry for the path is invalidated and re-warmed so the next
-    inference runs the new weights with a freshly compiled plan.
+    The swap is **verified**: the candidate is serialized to a sibling
+    temp file, read back (which checks the format's checksum footer),
+    and — when ``verify_inputs`` is given — forward-checked on that
+    holdout slice for finite outputs.  Only a candidate that passes
+    reaches ``os.replace`` (atomic on POSIX); any verification failure
+    deletes the temp file and raises :class:`HotSwapError` with the
+    deployed model untouched — rollback is simply not swapping.
+
+    After the replace, every engine's model cache entry for the path is
+    invalidated and re-warmed so the next inference runs the new
+    weights with a freshly compiled plan.
     """
     model_path = Path(model_path)
     tmp_path = model_path.with_name(model_path.name + ".swap")
     save_model(model, tmp_path)
+    # HOT_SWAP fault seam: the candidate file arrives corrupt/truncated
+    # (torn replication, bad disk) between serialize and verify.
+    fault = _faults.fire(_faults.HOT_SWAP, path=str(tmp_path))
+    if fault is not None:
+        _faults.apply_file_fault(fault, tmp_path)
+    try:
+        candidate = load_model(tmp_path)
+        if verify_inputs is not None:
+            probe = candidate.forward_compiled(
+                np.ascontiguousarray(verify_inputs))
+            if not np.all(np.isfinite(probe)):
+                raise HotSwapError(
+                    f"{model_path}: candidate emitted non-finite outputs "
+                    "on the verification slice")
+    except HotSwapError:
+        tmp_path.unlink(missing_ok=True)
+        raise
+    except Exception as exc:
+        tmp_path.unlink(missing_ok=True)
+        raise HotSwapError(
+            f"{model_path}: candidate failed verification, keeping "
+            f"deployed model ({type(exc).__name__}: {exc})") from exc
     os.replace(tmp_path, model_path)
     seen = set()
     for engine in engines:
@@ -119,7 +168,8 @@ class RetrainSpec:
     __slots__ = ("name", "db_path", "model_path", "build", "trainer_kwargs",
                  "min_new_rows", "val_fraction", "engines", "qos",
                  "trained_rows", "recency_half_life", "warm_start",
-                 "require_compiled", "opt_state", "compiled_last")
+                 "require_compiled", "opt_state", "compiled_last",
+                 "consecutive_failures")
 
     def __init__(self, name, db_path, model_path, build,
                  trainer_kwargs=None, min_new_rows: int = 32,
@@ -152,6 +202,9 @@ class RetrainSpec:
         self.opt_state = None
         #: Whether the last retrain ran on the compiled fast path.
         self.compiled_last: bool | None = None
+        #: Failed retrain attempts since the last success (drives the
+        #: worker's once-per-transition degradation/recovery logging).
+        self.consecutive_failures = 0
 
 
 class RetrainEvent:
@@ -197,8 +250,27 @@ class RetrainWorker:
     from the daemon thread and directly (a lock serializes cycles).
     """
 
-    def __init__(self, seed: int = 0):
+    #: Default cap on :attr:`errors` (oldest entries dropped first).
+    MAX_ERRORS = 100
+
+    def __init__(self, seed: int = 0, retry: RetryPolicy | None = None,
+                 job_timeout: float | None = None,
+                 max_errors: int | None = None,
+                 verify_swap: bool = True):
         self.seed = seed
+        #: Backoff policy around each region's train step (``None``:
+        #: one attempt).  Transient trainer crashes — injected or
+        #: organic — are retried instead of abandoning the refresh.
+        self.retry = retry
+        #: Watchdog deadline (seconds) on each train step; a hung
+        #: trainer is abandoned past it so the poll cycle (and the
+        #: worker lock every caller serializes on) stays bounded.
+        self.job_timeout = job_timeout
+        self.max_errors = self.MAX_ERRORS if max_errors is None \
+            else max_errors
+        #: Forward-check each retrained candidate on a training-split
+        #: holdout slice before the swap (see :func:`hot_swap_model`).
+        self.verify_swap = verify_swap
         self._specs: dict[str, RetrainSpec] = {}
         self._lock = threading.Lock()
         self._thread: threading.Thread | None = None
@@ -206,7 +278,9 @@ class RetrainWorker:
         self.events: list[RetrainEvent] = []
         #: Errors swallowed by the daemon loop (e.g. a poll that read a
         #: mid-write DB), kept so operators can see the thread is
-        #: degraded rather than silently dead.
+        #: degraded rather than silently dead.  Bounded to
+        #: ``max_errors`` — a region failing every tick for days must
+        #: not grow the list without limit.
         self.errors: list[str] = []
 
     # -- registration ----------------------------------------------------
@@ -252,12 +326,43 @@ class RetrainWorker:
     def watched(self) -> tuple:
         return tuple(self._specs)
 
+    # -- error bookkeeping -----------------------------------------------
+    def _append_error(self, message: str) -> None:
+        self.errors.append(message)
+        if len(self.errors) > self.max_errors:
+            del self.errors[:len(self.errors) - self.max_errors]
+
+    def _record_failure(self, spec: RetrainSpec, exc: BaseException) -> None:
+        """One failed retrain attempt for ``spec`` (after retries)."""
+        spec.consecutive_failures += 1
+        self._append_error(
+            f"{spec.name}: {type(exc).__name__}: {exc}")
+        if spec.consecutive_failures == 1:
+            # Log the healthy -> failing transition once, not per tick.
+            logger.warning("retrain for %r failing (%s: %s); serving "
+                           "continues on the deployed model", spec.name,
+                           type(exc).__name__, exc)
+
+    def _note_success(self, spec: RetrainSpec) -> None:
+        if spec.consecutive_failures:
+            logger.warning("retrain for %r recovered after %d failed "
+                           "attempt(s)", spec.name,
+                           spec.consecutive_failures)
+            spec.consecutive_failures = 0
+
     # -- retraining ------------------------------------------------------
-    def _retrain(self, spec: RetrainSpec, rows: int) -> RetrainEvent:
+    def _train_step(self, spec: RetrainSpec, rng_seed: int):
+        """One training attempt: load, split, build, fit.
+
+        This is the retried/watchdogged unit; the TRAINER fault seam
+        fires at its start so injected crashes and hangs behave like a
+        trainer that died mid-fit (each retry re-fires the seam).
+        """
+        fault = _faults.fire(_faults.TRAINER, region=spec.name)
+        if fault is not None:
+            _faults.apply_trainer_fault(fault)
         from ..runtime.collect import load_training_data
-        start = time.perf_counter()
         x, y, _t = load_training_data(spec.db_path, spec.name)
-        rng_seed = self.seed + 31 * (len(self.events) + 1)
         rng = np.random.default_rng(rng_seed)
         if spec.recency_half_life is not None and len(x) > 1:
             # Split on original row indices first, then bootstrap each
@@ -282,10 +387,31 @@ class RetrainWorker:
                           warm_start=spec.opt_state if spec.warm_start
                           else None, **spec.trainer_kwargs)
         result = trainer.fit(xt, yt, xv, yv)
+        return model, trainer, result, xv
+
+    def _retrain(self, spec: RetrainSpec, rows: int) -> RetrainEvent:
+        start = time.perf_counter()
+        rng_seed = self.seed + 31 * (len(self.events) + 1)
+
+        def attempt():
+            return run_with_timeout(
+                lambda: self._train_step(spec, rng_seed),
+                self.job_timeout, name=f"retrain:{spec.name}")
+
+        if self.retry is not None:
+            model, trainer, result, xv = self.retry.run(
+                attempt,
+                on_retry=lambda n, exc: self._append_error(
+                    f"{spec.name}: attempt {n} failed "
+                    f"({type(exc).__name__}: {exc}); retrying"))
+        else:
+            model, trainer, result, xv = attempt()
         if spec.warm_start:
             spec.opt_state = trainer.optimizer_state()
         spec.compiled_last = trainer.compiled_active
-        hot_swap_model(model, spec.model_path, spec.engines)
+        verify_inputs = xv[:32] if self.verify_swap and len(xv) else None
+        hot_swap_model(model, spec.model_path, spec.engines,
+                       verify_inputs=verify_inputs)
         if spec.qos is not None:
             # The rolling error stats describe the replaced weights;
             # drop them so the new model re-enters via warmup probes.
@@ -297,11 +423,12 @@ class RetrainWorker:
                              fallback=trainer.compile_fallback)
         spec.trained_rows = rows
         self.events.append(event)
+        self._note_success(spec)
         if spec.require_compiled and not trainer.compiled_active:
             # The retrained model was still swapped in (the graph path
             # is correct, just slow); surface the coverage break loudly
             # so the operator sees serving-latency jitter coming.
-            self.errors.append(
+            self._append_error(
                 f"{spec.name}: retrain fell back to the graph path "
                 f"({trainer.compile_fallback})")
         return event
@@ -315,8 +442,12 @@ class RetrainWorker:
         """
         with self._lock:
             spec = self._specs[name]
-            event = self._retrain(spec, db_row_count(spec.db_path,
-                                                     spec.name))
+            try:
+                event = self._retrain(spec, db_row_count(spec.db_path,
+                                                         spec.name))
+            except Exception as exc:
+                self._record_failure(spec, exc)
+                raise
         if spec.require_compiled and not event.compiled:
             raise RuntimeError(
                 f"{spec.name}: retrain fell back to the graph path "
@@ -326,16 +457,23 @@ class RetrainWorker:
     def poll(self) -> list:
         """One watch cycle: retrain every region whose DB grew enough.
 
-        A ``require_compiled`` coverage break lands in :attr:`errors`
-        but does not abort the cycle — the other due regions still
-        retrain this tick.
+        Per-spec failures are contained: one region's crashed DB read or
+        exhausted-retries trainer lands in :attr:`errors` (and bumps its
+        spec's ``consecutive_failures``) while the other due regions
+        still retrain this tick.  ``trained_rows`` only advances on
+        success, so a failed refresh is retried next cycle.  A
+        ``require_compiled`` coverage break likewise lands in
+        :attr:`errors` without aborting the cycle.
         """
         events = []
         with self._lock:
             for spec in self._specs.values():
-                rows = db_row_count(spec.db_path, spec.name)
-                if rows - spec.trained_rows >= spec.min_new_rows:
-                    events.append(self._retrain(spec, rows))
+                try:
+                    rows = db_row_count(spec.db_path, spec.name)
+                    if rows - spec.trained_rows >= spec.min_new_rows:
+                        events.append(self._retrain(spec, rows))
+                except Exception as exc:
+                    self._record_failure(spec, exc)
         return events
 
     # -- background thread -----------------------------------------------
@@ -360,17 +498,30 @@ class RetrainWorker:
                 try:
                     self.poll()
                 except Exception as exc:
-                    self.errors.append(f"{type(exc).__name__}: {exc}")
+                    self._append_error(f"{type(exc).__name__}: {exc}")
 
         self._thread = threading.Thread(target=loop, name="retrain-worker",
                                         daemon=True)
         self._thread.start()
 
-    def stop(self) -> list:
-        """Stop the thread; a final poll catches late DB refreshes."""
+    def stop(self, timeout: float | None = 30.0) -> list:
+        """Stop the thread; a final poll catches late DB refreshes.
+
+        The join is bounded by ``timeout``: a retrain hung past the
+        watchdog must not hang shutdown too.  When the thread fails to
+        join, it is abandoned (daemon — it dies with the process), the
+        condition lands in :attr:`errors`, and the final poll is
+        skipped: the hung cycle still holds the worker lock.
+        """
         if self._thread is not None:
             self._stop.set()
-            self._thread.join()
+            self._thread.join(timeout)
+            if self._thread.is_alive():
+                self._append_error(
+                    f"stop: retrain thread failed to join within "
+                    f"{timeout:g}s; abandoning it")
+                self._thread = None
+                return []
             self._thread = None
         return self.poll()
 
@@ -382,10 +533,17 @@ class RetrainWorker:
                                "warm_start": spec.warm_start,
                                "require_compiled": spec.require_compiled,
                                "compiled_last": spec.compiled_last,
+                               "consecutive_failures":
+                                   spec.consecutive_failures,
                                "db_path": str(spec.db_path),
                                "model_path": str(spec.model_path)}
                         for name, spec in self._specs.items()},
             "retrains": [e.as_dict() for e in self.events],
             "errors": list(self.errors),
+            "retry": None if self.retry is None else {
+                "max_attempts": self.retry.max_attempts,
+                "base_delay": self.retry.base_delay,
+                "max_delay": self.retry.max_delay},
+            "job_timeout": self.job_timeout,
             "running": self.running,
         }

@@ -139,6 +139,31 @@ class RegionServer:
             served.region.config.qos = None
         self._qos = None
 
+    # -- resilience wiring -----------------------------------------------
+    def attach_breakers(self, names=None, **breaker_kwargs) -> dict:
+        """Give each of ``names`` (default: all regions) its own
+        :class:`~repro.resilience.CircuitBreaker`.
+
+        Per-region, not shared: one region's broken surrogate must not
+        demote its healthy neighbors.  ``breaker_kwargs`` parameterize
+        every breaker (thresholds, probe cadence).  Returns the
+        ``{name: breaker}`` mapping; regions that already carry a
+        breaker keep it.
+        """
+        from ..resilience import CircuitBreaker
+        out = {}
+        for name in (names if names is not None else self._regions):
+            region = self._regions[name].region
+            if region.config.breaker is None:
+                region.config.breaker = CircuitBreaker(name=name,
+                                                       **breaker_kwargs)
+            out[name] = region.config.breaker
+        return out
+
+    def breaker(self, name: str):
+        """Region ``name``'s circuit breaker (None when unguarded)."""
+        return self._regions[name].region.config.breaker
+
     # -- reporting / lifecycle -------------------------------------------
     def snapshot(self) -> dict:
         """Fleet view: per-region serving counters plus the controller's
@@ -148,9 +173,21 @@ class RegionServer:
             "regions": {name: {"invocations": served.invocations}
                         for name, served in self._regions.items()},
         }
+        health = {}
+        for name, served in self._regions.items():
+            breaker = served.region.config.breaker
+            if breaker is not None:
+                health[name] = breaker.snapshot()
+        if health:
+            out["health"] = health
         if self._qos is not None:
-            out["qos"] = self._qos.snapshot()
             telemetry = getattr(self._qos, "telemetry", None)
+            if telemetry is not None and hasattr(telemetry, "record_health"):
+                for name, snap in health.items():
+                    # Push current states so the roll-up's health view
+                    # reflects recovery, not just the last fallback.
+                    telemetry.record_health(name, snap["state"])
+            out["qos"] = self._qos.snapshot()
             if telemetry is not None:
                 out["rollup"] = telemetry.rollup()
         return out

@@ -103,11 +103,23 @@ def test_decode_rejects_bad_magic():
         decode_tree(b"NOPE" + b"\0" * 16)
 
 
-def test_decode_rejects_truncation():
+def test_decode_recovers_truncated_row_prefix():
+    # Unclean shutdown mid-append: the intact row prefix is recovered
+    # with a warning instead of refusing the whole database.
+    blob = encode_tree({"attrs": {}, "groups": {},
+                        "datasets": {"x": {"data": np.arange(10.0)}}})
+    with pytest.warns(RuntimeWarning, match="truncated"):
+        tree = decode_tree(blob[:-8])
+    np.testing.assert_array_equal(tree["datasets"]["x"]["data"],
+                                  np.arange(9.0))
+
+
+def test_decode_rejects_unrecoverable_truncation():
+    # A dataset cut before its first complete row cannot be salvaged.
     blob = encode_tree({"attrs": {}, "groups": {},
                         "datasets": {"x": {"data": np.arange(10.0)}}})
     with pytest.raises(FormatError):
-        decode_tree(blob[:-8])
+        decode_tree(blob[:-78])
 
 
 def test_various_dtypes_roundtrip(tmp_path):

@@ -1,0 +1,71 @@
+"""Tier-1 smoke run of the resilience benchmark.
+
+Runs ``benchmarks/bench_resilience.py`` at tiny sizes and validates
+the ``BENCH_resilience.json`` schema plus the acceptance properties:
+100% of invocations served under the scripted fault suite, QoI error
+held through the NaN burst, every component recovered, the corrupt
+hot-swap rolled back, and the fault schedule replays bit-identically.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_resilience.py"
+
+pytestmark = pytest.mark.resilience
+
+
+def load_bench_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_resilience", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_resilience_bench_smoke_writes_valid_schema(tmp_path):
+    bench = load_bench_module()
+    out = tmp_path / "BENCH_resilience.json"
+    results = bench.main(["--quick", "--out", str(out),
+                          "--workdir", str(tmp_path / "work")])
+    assert out.exists()
+    on_disk = json.loads(out.read_text())
+    assert on_disk["schema"] == "bench_resilience/v1"
+    assert on_disk == json.loads(json.dumps(results))    # JSON-clean
+    assert on_disk["config"]["quick"] is True
+
+    burst = on_disk["nan_burst"]
+    assert burst["availability"] == 1.0
+    assert burst["unserved"] == 0
+    assert burst["faults_fired"] > 0 and burst["fallbacks"] > 0
+    assert burst["qoi_relative_error"] <= \
+        burst["fault_free_relative_error"] + 1e-9
+    assert burst["recovered"], "breaker must re-close after the burst"
+    assert 0 < burst["degraded_span_invocations"] < burst["invocations"]
+
+    trainer = on_disk["trainer_crashes"]
+    assert trainer["recovered"]
+    assert trainer["polls_to_recovery"] == 4             # 3 crashes + 1 ok
+    assert trainer["availability"] == 1.0
+    assert trainer["consecutive_failures_after"] == 0
+    assert trainer["errors_recorded"] >= 3
+
+    swap = on_disk["corrupt_swap"]
+    assert swap["rolled_back"]
+    assert swap["availability"] == 1.0
+    assert swap["no_tmp_litter"]
+    assert swap["swap_landed"]
+
+    determinism = on_disk["determinism"]
+    assert determinism["schedules_identical"]
+    assert determinism["schedule_length"] > 0
+
+    summary = on_disk["summary"]
+    assert summary["availability"] >= 0.99
+    assert summary["availability_floor_met"]
+    assert summary["qoi_error_held"]
+    assert summary["swap_rolled_back_and_landed"]

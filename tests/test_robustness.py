@@ -29,11 +29,31 @@ def test_corrupt_db_header_rejected(tmp_path):
 
 
 def test_corrupt_model_payload_rejected(tmp_path):
+    """A torn write (file cut mid-payload) is detected at load time.
+
+    ``save_model`` itself can no longer produce this state — it writes
+    to a temp file and ``os.replace``\\ s it into place — so a truncated
+    file on disk means external corruption, and the loader refuses it."""
     path = tmp_path / "m.rnm"
     save_model(Sequential(Linear(4, 4)), path)
     blob = path.read_bytes()
     path.write_bytes(blob[: len(blob) // 2])
     with pytest.raises(ModelFormatError):
+        load_model(path)
+
+
+def test_save_model_atomic_and_checksum_catches_bitrot(tmp_path):
+    """Crash-safe persistence: no temp-file residue after a save, and a
+    single flipped payload bit trips the checksum footer on load."""
+    path = tmp_path / "m.rnm"
+    save_model(Sequential(Linear(4, 4)), path)
+    assert not path.with_name(path.name + ".tmp").exists()
+    load_model(path)                      # pristine file round-trips
+
+    blob = bytearray(path.read_bytes())
+    blob[-40] ^= 0x01                     # one bit, inside the payload
+    path.write_bytes(bytes(blob))
+    with pytest.raises(ModelFormatError, match="checksum"):
         load_model(path)
 
 

@@ -451,6 +451,59 @@ def test_hot_swap_model_replaces_file_and_refreshes_engine(tmp_path):
     assert not path.with_name(path.name + ".swap").exists()
 
 
+@pytest.mark.serving
+@pytest.mark.resilience
+def test_hot_swap_race_never_serves_torn_model(tmp_path):
+    """Thread-hammer: engines inferring at full speed while the model
+    file is hot-swapped back and forth must only ever observe complete
+    models — old weights or new weights, never a torn mixture.  The
+    atomic ``os.replace`` plus the checksum footer make any other
+    outcome a test failure (garbage values or ModelFormatError)."""
+    from repro.runtime import InferenceEngine, ModelCache
+
+    path = tmp_path / "race.rnm"
+
+    def make(w):
+        m = Sequential(Linear(2, 1, rng=np.random.default_rng(0)))
+        m[0].weight.data = np.array([[w, w]])
+        m[0].bias.data = np.array([0.0])
+        return m
+
+    save_model(make(1.0), path)
+    cache = ModelCache()                  # shared: one invalidate, all see it
+    engines = [InferenceEngine(cache=cache) for _ in range(4)]
+    x = np.ones((4, 2))
+    stop = threading.Event()
+    bad: list = []
+
+    def hammer(engine):
+        try:
+            while not stop.is_set():
+                out = engine.infer(path, x).ravel()
+                if not (np.allclose(out, 2.0) or np.allclose(out, 20.0)):
+                    bad.append(("torn", out.copy()))
+                    return
+        except Exception as exc:          # pragma: no cover - failure path
+            bad.append(("raised", repr(exc)))
+
+    threads = [threading.Thread(target=hammer, args=(e,)) for e in engines]
+    for t in threads:
+        t.start()
+    try:
+        for i in range(40):
+            hot_swap_model(make(10.0 if i % 2 == 0 else 1.0), path,
+                           engines=engines)
+    finally:
+        stop.set()
+        for t in threads:
+            t.join(timeout=10.0)
+    assert bad == []
+    assert not path.with_name(path.name + ".swap").exists()
+    # The file on disk is a complete, checksummed model either way.
+    from repro.nn import load_model
+    assert np.isfinite(load_model(path)[0].weight.data).all()
+
+
 def test_retrain_worker_polls_db_growth_and_hot_swaps(tmp_path):
     region = _collectable_region(tmp_path)
     rng = np.random.default_rng(3)
