@@ -13,6 +13,9 @@ code:
 * ``serve``      — collect/train several benchmarks, then serve all of
   their regions from one ``RegionServer`` under a single
   ``QoSArbiter`` error budget and print the fleet roll-up.
+* ``stats``      — render the observability dashboard: metrics
+  registry, recent traces, and the decision stream, from a small
+  in-process demo workload or an exported snapshot JSON.
 """
 
 from __future__ import annotations
@@ -176,6 +179,83 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _obs_demo(args) -> dict:
+    """Serve two tiny regions in-process to populate the registry,
+    tracer, and a decision stream; return the combined snapshot."""
+    from pathlib import Path
+
+    import numpy as np
+
+    from . import obs
+    from .api import approx_ml
+    from .nn import Linear, Sequential, save_model
+    from .runtime import EventLog
+    from .serving import QoSArbiter, RegionServer
+
+    obs.reset()           # drops prior collector registrations, so each
+    workdir = Path(_workdir(args))   # region gets a fresh EventLog below
+    server = RegionServer()
+
+    def make_region(name, weight):
+        model = Sequential(Linear(2, 1, rng=np.random.default_rng(0)))
+        model[0].weight.data = np.array([[weight, weight]])
+        model[0].bias.data = np.array([0.0])
+        save_model(model, workdir / f"{name}.rnm")
+        src = f"""
+#pragma approx tensor functor(fi: [i, 0:2] = ([i, 0:2]))
+#pragma approx tensor functor(fo: [i, 0:1] = ([i]))
+#pragma approx tensor map(to: fi(x[0:N]))
+#pragma approx tensor map(from: fo(y[0:N]))
+#pragma approx ml(infer:use_model) in(x) out(y) \\
+    db("{workdir}/{name}.rh5") model("{workdir}/{name}.rnm")
+"""
+
+        @approx_ml(src, name=name, event_log=EventLog())
+        def region(x, y, N, use_model=False):
+            y[:N] = x[:N].sum(axis=1) * weight
+
+        return region
+
+    for name, weight in (("demo_a", 1.0), ("demo_b", 2.0)):
+        server.register(make_region(name, weight))
+    server.attach_qos(QoSArbiter(0.5, shadow_rate=0.5, seed=args.seed))
+    server.attach_breakers()
+    server.attach_stream(workdir / "decisions.rh5")
+
+    rng = np.random.default_rng(args.seed)
+    for _ in range(args.invocations):
+        x = rng.random((8, 2))
+        for name in server.names:
+            y = np.empty(8)
+            server.invoke(name, x, y, 8, use_model=True)
+    server.drain()
+
+    snap = obs.snapshot()
+    snap["server"] = server.snapshot()
+    server.close()
+    return snap
+
+
+def _cmd_stats(args) -> int:
+    import json
+    from pathlib import Path
+
+    if args.snapshot_file:
+        snap = json.loads(Path(args.snapshot_file).read_text())
+    else:
+        snap = _obs_demo(args)
+    if args.out:
+        from .ioutil import atomic_write_text
+        atomic_write_text(args.out, json.dumps(snap, indent=2, default=str))
+        print(f"wrote snapshot to {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(snap, indent=2, default=str))
+    else:
+        from .obs import render_dashboard
+        print(render_dashboard(snap, max_traces=args.traces), end="")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="HPAC-ML reproduction CLI")
@@ -221,12 +301,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--chunk", type=int, default=32)
     p_serve.add_argument("--rows", type=int, default=512,
                          help="test rows per row-batched benchmark")
+
+    p_stats = sub.add_parser(
+        "stats", help="observability dashboard (in-process demo, or "
+                      "render an exported snapshot)")
+    p_stats.add_argument("--from", dest="snapshot_file", default=None,
+                         metavar="FILE",
+                         help="render a previously exported snapshot JSON "
+                              "instead of running the demo workload")
+    p_stats.add_argument("--json", action="store_true",
+                         help="dump the snapshot as JSON instead of the "
+                              "text dashboard")
+    p_stats.add_argument("--out", default=None, metavar="FILE",
+                         help="also write the snapshot JSON to FILE "
+                              "(crash-safe)")
+    p_stats.add_argument("--traces", type=int, default=5,
+                         help="recent traces to show in the dashboard")
+    p_stats.add_argument("--invocations", type=int, default=24,
+                         help="demo invocations per region")
+    p_stats.add_argument("--workdir", default=None)
+    p_stats.add_argument("--seed", type=int, default=0)
     return parser
 
 
 _COMMANDS = {"list": _cmd_list, "loc": _cmd_loc, "collect": _cmd_collect,
              "evaluate": _cmd_evaluate, "search": _cmd_search,
-             "serve": _cmd_serve}
+             "serve": _cmd_serve, "stats": _cmd_stats}
 
 
 def main(argv=None) -> int:

@@ -186,14 +186,20 @@ class File(Group):
 
     Modes: ``"w"`` truncate-create, ``"a"`` read-modify-write (creates if
     missing), ``"r"`` read-only (writes raise at flush).
+
+    ``atomic=True`` routes every flush through the crash-safe
+    tmp+fsync+``os.replace`` path (:mod:`repro.ioutil`), so readers
+    never observe a torn container — required for files that other
+    processes tail while the writer is live (telemetry streams).
     """
 
-    def __init__(self, path, mode: str = "r"):
+    def __init__(self, path, mode: str = "r", atomic: bool = False):
         super().__init__("/")
         if mode not in ("r", "w", "a"):
             raise ValueError(f"invalid mode {mode!r}")
         self.path = Path(path)
         self.mode = mode
+        self.atomic = atomic
         self._closed = False
         if mode in ("r", "a") and self.path.exists():
             tree = decode_tree(self.path.read_bytes())
@@ -206,6 +212,10 @@ class File(Group):
 
     def flush(self) -> None:
         if self.mode == "r":
+            return
+        if self.atomic:
+            from ..ioutil import atomic_write_bytes
+            atomic_write_bytes(self.path, encode_tree(self._to_tree()))
             return
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.path.write_bytes(encode_tree(self._to_tree()))

@@ -1,0 +1,42 @@
+"""Crash-safe file writes shared across the persistence surfaces.
+
+PR 6 made :func:`repro.nn.serialize.save_model` crash-safe (serialize
+to a sibling temp file, fsync, ``os.replace``); every other writer that
+feeds dashboards or offline analysis needs the same guarantee — a
+telemetry export or decision stream torn mid-write is worse than a
+missing one, because downstream tooling trusts what it parses.  This
+module factors that write path into one helper so the model format,
+the QoS telemetry export, and the observability stream recorder all
+share it.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["atomic_write_bytes", "atomic_write_text"]
+
+
+def atomic_write_bytes(path, blob: bytes, suffix: str = ".tmp") -> Path:
+    """Write ``blob`` to ``path`` via tmp + fsync + ``os.replace``.
+
+    A crash at any point leaves either the previous complete file or
+    the new complete file, never a torn mix.  Parent directories are
+    created as needed; the temp file is a sibling (same filesystem) so
+    the final ``os.replace`` is atomic on POSIX.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp_path = path.with_name(path.name + suffix)
+    with open(tmp_path, "wb") as fh:
+        fh.write(blob)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp_path, path)
+    return path
+
+
+def atomic_write_text(path, text: str, suffix: str = ".tmp") -> Path:
+    """Crash-safe UTF-8 text write (see :func:`atomic_write_bytes`)."""
+    return atomic_write_bytes(path, text.encode("utf-8"), suffix=suffix)

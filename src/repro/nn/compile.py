@@ -121,6 +121,34 @@ class CompiledPlan:
             x = fn(x, key)
         return x
 
+    def profile(self, x) -> tuple:
+        """Run the plan once, timing each step individually.
+
+        Returns ``(output, timings)`` where ``timings`` is a list of
+        ``{"step", "seconds"}`` dicts aligned with :attr:`summary`.
+        The per-step clock reads make this slower than :meth:`__call__`
+        — it is a diagnostic surface (``repro stats`` / the
+        observability benchmarks), not the serving path.
+        """
+        import time
+        x = np.asarray(x)
+        if x.dtype == np.float16:
+            x = x.astype(np.float64)
+        key = x.shape[0] if x.ndim else 1
+        if key not in self._keys:
+            if len(self._keys) > 16:
+                for step in self._steps:
+                    step.clear()
+                self._keys.clear()
+            self._keys.add(key)
+        timings = []
+        for label, fn in zip(self.summary, self._fns):
+            start = time.perf_counter()
+            x = fn(x, key)
+            timings.append({"step": label,
+                            "seconds": time.perf_counter() - start})
+        return x, timings
+
     def __repr__(self):
         return (f"CompiledPlan(layers={self.n_layers}, "
                 f"steps={len(self._steps)}, fused={self.n_fused})")

@@ -28,7 +28,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 import struct
 from pathlib import Path
 
@@ -227,13 +226,8 @@ def save_model(model: L.Module, path, meta: dict | None = None) -> None:
                          "meta": meta or {}}).encode("utf-8")
     blob = MAGIC + struct.pack("<Q", len(header)) + header + bytes(payload)
     blob += FOOTER_MAGIC + _checksum(blob)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp_path = path.with_name(path.name + ".tmp")
-    with open(tmp_path, "wb") as fh:
-        fh.write(blob)
-        fh.flush()
-        os.fsync(fh.fileno())
-    os.replace(tmp_path, path)
+    from ..ioutil import atomic_write_bytes
+    atomic_write_bytes(path, blob)
 
 
 def load_model(path) -> L.Sequential:

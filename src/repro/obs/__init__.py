@@ -1,0 +1,76 @@
+"""Unified observability: metrics registry, tracing, telemetry streams.
+
+One subsystem replaces the three instrumentation views that grew with
+PRs 1–6 (``EventLog`` timings, ``QoSTelemetry`` counters, component
+snapshots):
+
+* :mod:`repro.obs.registry` — labeled counters/gauges/histograms with
+  a JSON export contract (the future ``/metrics`` endpoint body);
+* :mod:`repro.obs.trace` — per-invocation trace ids + span trees in a
+  bounded ring buffer;
+* :mod:`repro.obs.stream` — per-decision records persisted to the
+  ``repro.h5`` format for reproducible offline replay;
+* :mod:`repro.obs.stats` — the ``repro stats`` text dashboard.
+
+Instrumentation is **default-on** and built on *one measurement, two
+views*: the EventLog's invocation ring is the only hot-path record,
+and metrics (collector fold at snapshot time) and traces (source pull
+at read time) derive from it lazily.  Components fall back to the
+process-wide registry/tracer below when not given instance-scoped
+ones.  :func:`set_enabled` is the global kill switch (used by the
+overhead benchmark's baseline leg); it gates the explicit spans and
+stream writes, the only per-invocation costs beyond the timing the
+runtime always took.
+"""
+
+from __future__ import annotations
+
+from .registry import (Counter, Gauge, Histogram, LATENCY_BUCKETS,
+                       MetricsRegistry, merge_histograms)
+from .stats import render_dashboard
+from .stream import DecisionStream, input_digest, read_stream
+from .trace import Span, Tracer
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "LATENCY_BUCKETS",
+    "merge_histograms", "Span", "Tracer", "DecisionStream", "read_stream",
+    "input_digest", "render_dashboard",
+    "metrics", "tracer", "snapshot", "set_enabled", "is_enabled", "reset",
+]
+
+_default_registry = MetricsRegistry()
+_default_tracer = Tracer()
+_enabled = True
+
+
+def metrics() -> MetricsRegistry:
+    """The process-wide default metrics registry."""
+    return _default_registry
+
+
+def tracer() -> Tracer:
+    """The process-wide default tracer."""
+    return _default_tracer
+
+
+def set_enabled(flag: bool) -> None:
+    """Globally enable/disable default-on instrumentation."""
+    global _enabled
+    _enabled = bool(flag)
+    _default_tracer.enabled = _enabled
+
+
+def is_enabled() -> bool:
+    return _enabled
+
+
+def snapshot() -> dict:
+    """Combined metrics + trace snapshot (the ``repro stats`` feed)."""
+    return {"metrics": _default_registry.snapshot(),
+            "traces": _default_tracer.snapshot()}
+
+
+def reset() -> None:
+    """Clear the default registry and tracer (test isolation helper)."""
+    _default_registry.reset()
+    _default_tracer.reset()

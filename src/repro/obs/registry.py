@@ -1,0 +1,367 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The serving stack grew three incompatible instrumentation views
+(``EventLog`` phase timings, ``QoSTelemetry`` decision counters,
+breaker/server ``snapshot()`` dicts).  This module is the one metrics
+vocabulary they all now speak:
+
+* :class:`Counter` / :class:`Gauge` / :class:`Histogram` — small
+  lock-protected primitives with O(1) recording cost, labeled by
+  arbitrary key/value pairs (``region=...``, ``path=...``,
+  ``tenant=...``).
+* :class:`MetricsRegistry` — get-or-create metric handles keyed on
+  ``(kind, name, labels)``; hot paths resolve a handle once and hold
+  it, so recording never pays a registry lookup.
+* **Collectors** — subsystems that keep their own single-writer
+  aggregates (the per-region :class:`~repro.runtime.events.EventLog`)
+  register a callback that contributes samples at snapshot time: zero
+  hot-path cost, one export surface.
+
+``snapshot()`` returns a plain JSON-ready dict — the export contract a
+future ``/metrics`` HTTP endpoint serves verbatim — and ``rollup()``
+aggregates a metric across label sets (the cross-region fleet view).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import weakref
+from bisect import bisect_left
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "LATENCY_BUCKETS", "merge_histograms"]
+
+#: Default latency bucket upper bounds (seconds): log-spaced from 1 µs
+#: to 10 s, the range region invocations and retrains actually span.
+#: The final implicit bucket is +inf.
+LATENCY_BUCKETS = (
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _labels_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing labeled count."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = dict(labels)
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, n: float = 1.0) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def sample(self) -> dict:
+        return {"type": "counter", "name": self.name, "labels": self.labels,
+                "value": self._value}
+
+    def __repr__(self):
+        return f"Counter({self.name!r}, {self.labels}, value={self._value})"
+
+
+class Gauge:
+    """A labeled value that goes up and down (or a state string)."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = dict(labels)
+        self._value = None
+        self._lock = threading.Lock()
+
+    def set(self, value) -> None:
+        with self._lock:
+            self._value = value
+
+    def add(self, n: float = 1.0) -> None:
+        with self._lock:
+            self._value = (self._value or 0.0) + n
+
+    @property
+    def value(self):
+        return self._value
+
+    def sample(self) -> dict:
+        return {"type": "gauge", "name": self.name, "labels": self.labels,
+                "value": self._value}
+
+    def __repr__(self):
+        return f"Gauge({self.name!r}, {self.labels}, value={self._value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram with streaming sum/min/max.
+
+    Buckets are upper bounds (ascending) with an implicit +inf bucket;
+    recording is one bisect plus a few adds — O(1), allocation-free,
+    and **lock-free single-writer**: the observability layer's
+    thread-safety model gives every histogram one writer at a time
+    (serving backends pin each region to one thread; the QoSArbiter
+    serializes its shared telemetry under its own lock), so the
+    per-invocation hot path pays no lock.  Cross-thread *writers* must
+    serialize externally; readers (:meth:`sample`) may see one
+    in-flight observation torn across count/sum, and quiesced reads
+    are exact.  :class:`Counter`/:class:`Gauge` stay locked — they are
+    the genuinely shared primitives.
+    Quantiles (:meth:`quantile`) interpolate linearly within the bucket
+    containing the target rank, which is the standard
+    fixed-bucket-histogram estimate: exact bucket choice bounds the
+    error, not sample count.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "counts", "count", "sum",
+                 "min", "max")
+
+    def __init__(self, name: str, labels: dict, buckets=None):
+        self.name = name
+        self.labels = dict(labels)
+        self.bounds = tuple(buckets if buckets is not None
+                            else LATENCY_BUCKETS)
+        if any(b <= a for a, b in zip(self.bounds, self.bounds[1:])):
+            raise ValueError("histogram buckets must be strictly ascending")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile from the bucket counts (NaN if empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1]: {q}")
+        if self.count == 0:
+            return math.nan
+        rank = q * self.count
+        cum = 0
+        for idx, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            lo = self.bounds[idx - 1] if idx > 0 else \
+                min(self.min, self.bounds[0])
+            hi = self.bounds[idx] if idx < len(self.bounds) else self.max
+            if cum + n >= rank:
+                frac = (rank - cum) / n
+                # Clamp to observed extremes so tiny samples do not
+                # report a bucket edge no observation ever reached.
+                return float(min(max(lo + frac * (hi - lo), self.min),
+                                 self.max))
+            cum += n
+        return float(self.max)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else math.nan
+
+    def sample(self) -> dict:
+        counts = list(self.counts)
+        count, total = self.count, self.sum
+        mn, mx = self.min, self.max
+        out = {"type": "histogram", "name": self.name, "labels": self.labels,
+               "count": count, "sum": total,
+               "min": None if count == 0 else mn,
+               "max": None if count == 0 else mx,
+               "buckets": dict(zip([str(b) for b in self.bounds]
+                                   + ["+inf"], counts))}
+        for q, key in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
+            v = self.quantile(q)
+            out[key] = None if v != v else v
+        return out
+
+    def __repr__(self):
+        return (f"Histogram({self.name!r}, {self.labels}, "
+                f"count={self.count}, mean={self.mean:.3g})")
+
+
+def merge_histograms(samples: list) -> dict:
+    """Merge histogram sample dicts (same bucket layout) into one.
+
+    The cross-region roll-up: bucket counts add, so quantiles of the
+    merged distribution stay exact to bucket resolution.
+    """
+    if not samples:
+        return {}
+    merged = {"type": "histogram", "count": 0, "sum": 0.0,
+              "min": None, "max": None,
+              "buckets": {k: 0 for k in samples[0]["buckets"]}}
+    for s in samples:
+        if set(s["buckets"]) != set(merged["buckets"]):
+            raise ValueError("cannot merge histograms with different "
+                             "bucket layouts")
+        merged["count"] += s["count"]
+        merged["sum"] += s["sum"]
+        for k, n in s["buckets"].items():
+            merged["buckets"][k] += n
+        for key, pick in (("min", min), ("max", max)):
+            if s[key] is not None:
+                merged[key] = s[key] if merged[key] is None \
+                    else pick(merged[key], s[key])
+    bounds = [float(k) for k in merged["buckets"] if k != "+inf"]
+    counts = list(merged["buckets"].values())
+    for q, key in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
+        merged[key] = _merged_quantile(bounds, counts, merged, q)
+    return merged
+
+
+def _merged_quantile(bounds, counts, merged, q):
+    count = merged["count"]
+    if count == 0:
+        return None
+    rank = q * count
+    cum = 0
+    for idx, n in enumerate(counts):
+        if n == 0:
+            continue
+        lo = bounds[idx - 1] if idx > 0 else min(merged["min"], bounds[0])
+        hi = bounds[idx] if idx < len(bounds) else merged["max"]
+        if cum + n >= rank:
+            frac = (rank - cum) / n
+            return float(min(max(lo + frac * (hi - lo), merged["min"]),
+                             merged["max"]))
+        cum += n
+    return float(merged["max"])
+
+
+class MetricsRegistry:
+    """Get-or-create registry of labeled metrics plus collectors.
+
+    Handles are stable: two lookups with the same kind/name/labels
+    return the same object, so hot paths resolve once and record
+    forever after without touching the registry.  Collectors are held
+    by weakref — a dropped ``EventLog`` silently stops contributing.
+    """
+
+    def __init__(self):
+        self._metrics: dict[tuple, object] = {}
+        self._lock = threading.Lock()
+        self._collectors: list = []          # weakref.ref -> callable owner
+
+    # -- handles ---------------------------------------------------------
+    def _get(self, kind, cls, name, labels, **kwargs):
+        key = (kind, name, _labels_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = self._metrics[key] = cls(name, labels, **kwargs)
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get("counter", Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get("gauge", Gauge, name, labels)
+
+    def histogram(self, name: str, buckets=None, **labels) -> Histogram:
+        return self._get("histogram", Histogram, name, labels,
+                         buckets=buckets)
+
+    def metrics(self) -> list:
+        return list(self._metrics.values())
+
+    def __len__(self):
+        return len(self._metrics)
+
+    # -- collectors ------------------------------------------------------
+    def register_collector(self, owner) -> None:
+        """Register ``owner`` (has ``collect() -> list[sample dict]``).
+
+        Held weakly: a garbage-collected owner drops out of snapshots
+        automatically, so short-lived EventLogs never leak into the
+        process-global registry.
+        """
+        with self._lock:
+            self._collectors.append(weakref.ref(owner))
+
+    def _collected(self) -> list:
+        samples = []
+        dead = False
+        for ref in self._collectors:
+            owner = ref()
+            if owner is None:
+                dead = True
+                continue
+            samples.extend(owner.collect())
+        if dead:
+            with self._lock:
+                self._collectors = [r for r in self._collectors
+                                    if r() is not None]
+        return samples
+
+    # -- export ----------------------------------------------------------
+    def snapshot(self) -> dict:
+        """All samples (direct metrics + collectors) as a plain dict.
+
+        Shape: ``{"metrics": {name: [sample, ...]}}`` with samples
+        sorted by label key for deterministic output — the JSON feed a
+        ``/metrics`` endpoint or ``repro stats`` renders.
+        """
+        # Collectors run first: they may fold deferred observations
+        # into registry metrics (lazy histogram folding), and those
+        # must land before the direct metrics are serialized.
+        collected = self._collected()
+        by_name: dict[str, list] = {}
+        for metric in self.metrics():
+            by_name.setdefault(metric.name, []).append(metric.sample())
+        for sample in collected:
+            by_name.setdefault(sample["name"], []).append(sample)
+        for name in by_name:
+            by_name[name].sort(key=lambda s: _labels_key(s.get("labels", {})))
+        return {"metrics": by_name}
+
+    def rollup(self, name: str, **match) -> dict:
+        """Aggregate one metric across label sets matching ``match``.
+
+        Counters/gauges sum; histograms merge bucket-wise (quantiles of
+        the merged distribution).  ``match`` filters on label equality,
+        e.g. ``rollup("qos_decisions", path="infer")``.
+        """
+        samples = [s for s in self.snapshot()["metrics"].get(name, [])
+                   if all(s.get("labels", {}).get(k) == v
+                          for k, v in match.items())]
+        if not samples:
+            return {"name": name, "samples": 0}
+        kinds = {s["type"] for s in samples}
+        if kinds == {"histogram"}:
+            out = merge_histograms(samples)
+        else:
+            out = {"type": samples[0]["type"],
+                   "value": sum(s["value"] or 0.0 for s in samples)}
+        out.update(name=name, samples=len(samples))
+        return out
+
+    def export(self, path) -> None:
+        """Crash-safe JSON dump of :meth:`snapshot` (tmp+fsync+replace)."""
+        from ..ioutil import atomic_write_text
+        atomic_write_text(path, json.dumps(self.snapshot(), indent=2,
+                                           sort_keys=True) + "\n")
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+            self._collectors.clear()

@@ -419,6 +419,21 @@ class QoSController:
         """
         return self.validator.row_subset(batch, self.shadow_rows)
 
+    def budget_spend(self, region_name: str) -> float | None:
+        """The policy's current spend ledger for a region, or ``None``.
+
+        Telemetry accessor (no mutation): budget-style policies —
+        :class:`~repro.qos.ErrorBudgetPolicy`,
+        :class:`~repro.qos.BudgetArbitrationPolicy`, composites holding
+        one — expose ``spend_for``; anything else has no ledger.  The
+        decision stream persists the value per invocation so offline
+        tuning can reconstruct budget trajectories.
+        """
+        if self.policy is None:
+            return None
+        fn = getattr(self.policy, "spend_for", None)
+        return fn(region_name) if fn is not None else None
+
     def observe_shadow(self, region_name: str, predicted,
                        accurate) -> float:
         """Fold one validated invocation's error into the rolling stats."""

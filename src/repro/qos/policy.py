@@ -222,6 +222,12 @@ class ErrorBudgetPolicy(QoSPolicy):
         st["inferred"] += 1
         return None
 
+    def spend_for(self, region_name: str) -> float | None:
+        """Current accumulated error charge for one region (telemetry
+        hook: the decision stream records it per invocation)."""
+        st = self._state.get(region_name)
+        return st["spent"] if st is not None else None
+
     def snapshot(self):
         return {"policy": "error_budget", "budget": self.budget,
                 "headroom": self.headroom, "pessimistic": self.pessimistic,
@@ -505,6 +511,13 @@ class BudgetArbitrationPolicy(QoSPolicy):
         region re-enters through warmup probes against the new model."""
         self._regions.pop(region_name, None)
 
+    def spend_for(self, region_name: str) -> float | None:
+        """One region's decayed ledger spend, in accounting units
+        (telemetry hook: the decision stream records it per
+        invocation)."""
+        st = self._regions.get(region_name)
+        return st["spent"] if st is not None else None
+
     @property
     def global_mean_charge(self) -> float:
         """Admitted error per arbitrated decision, in *error* units —
@@ -602,6 +615,16 @@ class CompositePolicy(QoSPolicy):
             reset = getattr(policy, "reset_region", None)
             if reset is not None:
                 reset(region_name)
+
+    def spend_for(self, region_name: str) -> float | None:
+        """First member with a ledger entry for the region answers."""
+        for policy in self.policies:
+            fn = getattr(policy, "spend_for", None)
+            if fn is not None:
+                spend = fn(region_name)
+                if spend is not None:
+                    return spend
+        return None
 
     def snapshot(self):
         return {"policy": "composite",

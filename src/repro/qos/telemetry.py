@@ -4,8 +4,21 @@ Layers on :class:`~repro.runtime.events.EventLog` — the Fig. 6 timing
 instrumentation — a serving-oriented view: how many invocations took
 which path (and why, when a policy overrode the directive), how many
 were shadow-validated, and where the time went per path including the
-validation overhead (the SHADOW phase).  Snapshots are plain dicts and
-:meth:`QoSTelemetry.export` writes them as JSON for dashboards.
+validation overhead (the SHADOW phase).
+
+Since the observability PR this class is a **thin adapter over
+:class:`repro.obs.MetricsRegistry`**: every count lives in a registry
+metric (``qos_invocations``, ``qos_final_paths``,
+``qos_shadow_error``, ``region_health``, ...) labeled by region, so
+the same numbers surface through both the legacy ``snapshot()`` dict
+shape (unchanged — dashboards and tests keep working) and the
+registry's JSON export contract.  By default each telemetry instance
+owns a private registry (test isolation); pass ``registry=`` to share
+one, e.g. the process-wide ``repro.obs.metrics()``.
+
+Snapshots are plain dicts and :meth:`QoSTelemetry.export` writes them
+as JSON for dashboards — crash-safely, via the shared
+tmp+fsync+replace path.
 """
 
 from __future__ import annotations
@@ -13,6 +26,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from ..obs import MetricsRegistry
 from ..runtime.control import ExecutionPath
 from ..runtime.events import EventLog, Phase
 
@@ -24,10 +38,15 @@ def phase_summary(event_log: EventLog,
     """Per-path invocation counts and per-phase seconds of a record span.
 
     ``start`` slices the log (e.g. the beginning of a deployment
-    window) so warm-up records do not pollute serving numbers.
+    window) so warm-up records do not pollute serving numbers.  It is
+    an *absolute* record index (capture ``event_log.seen`` at window
+    start): the bounded ring may have evicted older raw records, and
+    :meth:`EventLog.records_since` converts accordingly.
     """
     per_path: dict[str, dict] = {}
-    for rec in event_log.records[start:]:
+    records = event_log.records_since(start) \
+        if hasattr(event_log, "records_since") else event_log.records[start:]
+    for rec in records:
         entry = per_path.get(rec.path)
         if entry is None:
             entry = per_path[rec.path] = {
@@ -45,94 +64,111 @@ def phase_summary(event_log: EventLog,
     }
 
 
-class _RegionCounters:
-    __slots__ = ("invocations", "base_paths", "final_paths", "overrides",
-                 "reasons", "shadows", "shadow_error_sum", "shadow_error_max",
-                 "fallbacks", "fallback_reasons", "health")
+class _RegionMetrics:
+    """Registry metric handles for one region (resolved once)."""
 
-    def __init__(self):
-        self.invocations = 0
-        self.base_paths: dict[str, int] = {}
-        self.final_paths: dict[str, int] = {}
-        self.overrides = 0
-        self.reasons: dict[str, int] = {}
-        self.shadows = 0
-        self.shadow_error_sum = 0.0
-        self.shadow_error_max = 0.0
-        self.fallbacks = 0
-        self.fallback_reasons: dict[str, int] = {}
-        #: Last breaker state reported for the region (None = never
-        #: guarded, i.e. no circuit breaker attached or no event yet).
-        self.health: str | None = None
+    __slots__ = ("registry", "region", "invocations", "overrides",
+                 "shadows", "shadow_error", "fallbacks", "health",
+                 "base_paths", "final_paths", "reasons", "fallback_reasons")
+
+    def __init__(self, registry: MetricsRegistry, region: str):
+        self.registry = registry
+        self.region = region
+        self.invocations = registry.counter("qos_invocations", region=region)
+        self.overrides = registry.counter("qos_overrides", region=region)
+        self.shadows = registry.counter("qos_shadow_invocations",
+                                        region=region)
+        self.shadow_error = registry.histogram("qos_shadow_error",
+                                               region=region)
+        self.fallbacks = registry.counter("qos_fallbacks", region=region)
+        self.health = registry.gauge("region_health", region=region)
+        # Label-keyed handle caches, filled on first use per label value.
+        self.base_paths: dict = {}
+        self.final_paths: dict = {}
+        self.reasons: dict = {}
+        self.fallback_reasons: dict = {}
+
+    def _labeled(self, cache: dict, name: str, key: str, value: str):
+        handle = cache.get(value)
+        if handle is None:
+            handle = cache[value] = self.registry.counter(
+                name, region=self.region, **{key: value})
+        return handle
 
     def snapshot(self) -> dict:
+        shadows = int(self.shadows.value)
         return {
-            "invocations": self.invocations,
-            "base_paths": dict(self.base_paths),
-            "final_paths": dict(self.final_paths),
-            "overrides": self.overrides,
-            "override_reasons": dict(self.reasons),
-            "shadow_invocations": self.shadows,
-            "shadow_error_mean": (self.shadow_error_sum / self.shadows
-                                  if self.shadows else None),
-            "shadow_error_max": self.shadow_error_max if self.shadows
-            else None,
-            "fallbacks": self.fallbacks,
-            "fallback_reasons": dict(self.fallback_reasons),
-            "health": self.health,
+            "invocations": int(self.invocations.value),
+            "base_paths": {p: int(c.value)
+                           for p, c in self.base_paths.items()},
+            "final_paths": {p: int(c.value)
+                            for p, c in self.final_paths.items()},
+            "overrides": int(self.overrides.value),
+            "override_reasons": {r: int(c.value)
+                                 for r, c in self.reasons.items()},
+            "shadow_invocations": shadows,
+            "shadow_error_mean": (self.shadow_error.sum / shadows
+                                  if shadows else None),
+            "shadow_error_max": self.shadow_error.max if shadows else None,
+            "fallbacks": int(self.fallbacks.value),
+            "fallback_reasons": {r: int(c.value)
+                                 for r, c in self.fallback_reasons.items()},
+            "health": self.health.value,
         }
 
 
 class QoSTelemetry:
     """Counts QoS decisions and shadow observations per region."""
 
-    def __init__(self):
-        self._regions: dict[str, _RegionCounters] = {}
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._regions: dict[str, _RegionMetrics] = {}
 
-    def _region(self, name: str) -> _RegionCounters:
-        counters = self._regions.get(name)
-        if counters is None:
-            counters = self._regions[name] = _RegionCounters()
-        return counters
+    def _region(self, name: str) -> _RegionMetrics:
+        rm = self._regions.get(name)
+        if rm is None:
+            rm = self._regions[name] = _RegionMetrics(self.registry, name)
+        return rm
 
     # -- recording hooks (called by QoSController) -----------------------
     def record_decision(self, region_name: str, base_path: str,
                         final_path: str, shadow: bool = False,
                         reason: str | None = None) -> None:
-        c = self._region(region_name)
-        c.invocations += 1
-        c.base_paths[base_path] = c.base_paths.get(base_path, 0) + 1
-        c.final_paths[final_path] = c.final_paths.get(final_path, 0) + 1
+        rm = self._region(region_name)
+        rm.invocations.inc()
+        rm._labeled(rm.base_paths, "qos_base_paths", "path", base_path).inc()
+        rm._labeled(rm.final_paths, "qos_final_paths", "path",
+                    final_path).inc()
         if final_path != base_path:
-            c.overrides += 1
+            rm.overrides.inc()
         if reason is not None:
-            c.reasons[reason] = c.reasons.get(reason, 0) + 1
+            rm._labeled(rm.reasons, "qos_override_reasons", "reason",
+                        reason).inc()
 
     def record_shadow(self, region_name: str, error: float) -> None:
-        c = self._region(region_name)
-        c.shadows += 1
-        c.shadow_error_sum += float(error)
-        c.shadow_error_max = max(c.shadow_error_max, float(error))
+        rm = self._region(region_name)
+        rm.shadows.inc()
+        rm.shadow_error.observe(float(error))
 
     def record_fallback(self, region_name: str, reason: str,
                         state: str | None = None) -> None:
         """One breaker-driven accurate fallback (denial or caught
         failure), called by the region's guarded infer path."""
-        c = self._region(region_name)
-        c.fallbacks += 1
-        c.fallback_reasons[reason] = c.fallback_reasons.get(reason, 0) + 1
+        rm = self._region(region_name)
+        rm.fallbacks.inc()
+        rm._labeled(rm.fallback_reasons, "qos_fallback_reasons", "reason",
+                    reason).inc()
         if state is not None:
-            c.health = state
+            rm.health.set(state)
 
     def record_health(self, region_name: str, state: str) -> None:
         """Report a region's current breaker state (e.g. at snapshot
         time, so recovered regions show healthy again)."""
-        self._region(region_name).health = state
+        self._region(region_name).health.set(state)
 
     # -- reporting -------------------------------------------------------
     def snapshot(self) -> dict:
-        return {name: counters.snapshot()
-                for name, counters in self._regions.items()}
+        return {name: rm.snapshot() for name, rm in self._regions.items()}
 
     def rollup(self) -> dict:
         """Cross-region aggregate: the serving-fleet view of the counters.
@@ -147,17 +183,19 @@ class QoSTelemetry:
         error_max = 0.0
         final_paths = {p: 0 for p in ExecutionPath.ALL}
         health: dict[str, int] = {}
-        for c in self._regions.values():
-            invocations += c.invocations
-            overrides += c.overrides
-            shadows += c.shadows
-            fallbacks += c.fallbacks
-            error_sum += c.shadow_error_sum
-            error_max = max(error_max, c.shadow_error_max)
-            for path, count in c.final_paths.items():
-                final_paths[path] = final_paths.get(path, 0) + count
-            if c.health is not None:
-                health[c.health] = health.get(c.health, 0) + 1
+        for rm in self._regions.values():
+            invocations += int(rm.invocations.value)
+            overrides += int(rm.overrides.value)
+            shadows += int(rm.shadows.value)
+            fallbacks += int(rm.fallbacks.value)
+            if rm.shadow_error.count:
+                error_sum += rm.shadow_error.sum
+                error_max = max(error_max, rm.shadow_error.max)
+            for path, counter in rm.final_paths.items():
+                final_paths[path] = final_paths.get(path, 0) \
+                    + int(counter.value)
+            if rm.health.value is not None:
+                health[rm.health.value] = health.get(rm.health.value, 0) + 1
         return {
             "regions": len(self._regions),
             "invocations": invocations,
@@ -182,11 +220,15 @@ class QoSTelemetry:
 
     def export(self, path, event_log: EventLog | None = None,
                start: int = 0) -> Path:
-        """Write the summary as JSON (the serving-dashboard feed)."""
-        path = Path(path)
-        path.write_text(json.dumps(self.summary(event_log, start=start),
-                                   indent=2, sort_keys=True) + "\n")
-        return path
+        """Write the summary as JSON (the serving-dashboard feed).
+
+        Crash-safe: lands through tmp+fsync+``os.replace``, so a
+        dashboard polling the file never reads a torn summary.
+        """
+        from ..ioutil import atomic_write_text
+        return atomic_write_text(
+            path, json.dumps(self.summary(event_log, start=start),
+                             indent=2, sort_keys=True) + "\n")
 
     def reset(self) -> None:
         self._regions.clear()

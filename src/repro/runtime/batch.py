@@ -29,14 +29,20 @@ must keep the immediate engine.
 from __future__ import annotations
 
 import threading
+import time
 from pathlib import Path
 
 import numpy as np
 
+from .. import obs
 from ..device import Device
 from .infer import InferenceEngine, ModelCache
 
 __all__ = ["BatchedInferenceEngine"]
+
+#: Bucket bounds for the flushed-rows histogram (rows per fused
+#: forward, powers of two up to typical ``max_batch_rows`` settings).
+_ROW_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
 
 
 class _Pending:
@@ -69,6 +75,8 @@ class BatchedInferenceEngine(InferenceEngine):
         # the lock.  Serving backends drain regions from their own
         # threads, so queue mutation must be atomic with the forward.
         self._queue_lock = threading.RLock()
+        self._rows_hist = None                # lazy cached obs handles
+        self._obs_tracer = None
         self.submissions = 0
         self.batches_flushed = 0
         self.rows_flushed = 0
@@ -132,7 +140,20 @@ class BatchedInferenceEngine(InferenceEngine):
                 batch = pending[0].inputs
             else:
                 batch = np.concatenate([p.inputs for p in pending], axis=0)
+            start = time.perf_counter()
             outputs = super().infer(self._queue_key, batch)
+            if obs.is_enabled():
+                tracer = self._obs_tracer
+                if tracer is None:
+                    tracer = self._obs_tracer = obs.tracer()
+                tracer.record_span(
+                    "batch_flush", time.perf_counter() - start,
+                    model=self._queue_key.rsplit("/", 1)[-1],
+                    rows=total, invocations=len(pending))
+                if self._rows_hist is None:
+                    self._rows_hist = obs.metrics().histogram(
+                        "batch_flush_rows", buckets=_ROW_BUCKETS)
+                self._rows_hist.observe(total)
             # The forward succeeded: the queue is consumed from here on.
             self._queue = []
             self._queue_key = None

@@ -5,16 +5,49 @@ application memory **to tensors**, running the **inference engine**,
 mapping tensors back **from tensors**, or executing the **accurate
 path** (original kernel).  :class:`EventLog` aggregates per-phase
 totals so the benchmark harness can print the proportions of Fig. 6.
+
+The log is the observability layer's hot-path measurement point and is
+built around a **bounded ring with exact aggregates**: raw
+:class:`InvocationRecord` objects live in a ring of configurable
+capacity (long-running servers no longer grow without bound), and
+records evicted from the ring are folded into per-(region, path) phase
+totals first — so ``total``/``count``/``breakdown`` stay exact over
+the whole run even after raw records are dropped.
+
+The ring is the observability layer's **single measurement**; every
+other view derives from it lazily, so default-on instrumentation adds
+(nearly) nothing to the invocation path:
+
+* **metrics** — the log registers as a registry *collector*:
+  per-(region, path) counters are computed from the exact aggregates
+  at snapshot time, and latency-histogram observations are folded
+  from the ring on the same scrape (cursor-tracked, each record
+  observed exactly once; eviction folds first, so nothing is lost).
+* **traces** — the log registers as a tracer *source*: the span trees
+  (to_tensor → infer/accurate → shadow → policy → breaker) are
+  materialized at read time from the phase timings and notes each
+  record already carries.
+* **stream** — the one genuinely eager fan-out: when a
+  :class:`~repro.obs.stream.DecisionStream` is attached,
+  :meth:`EventLog.finish` appends one persisted per-decision record
+  (replay needs every decision, not a sampled view).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
 from enum import Enum
 
+from .. import obs as _obs_module
+
 __all__ = ["Phase", "InvocationRecord", "EventLog"]
+
+#: Default ring capacity: large enough that benchmark-harness runs and
+#: tests never see an eviction (their index-based windowing stays
+#: valid), small enough to bound a long-running server's memory.
+_DEFAULT_CAPACITY = 65536
 
 
 class Phase(Enum):
@@ -29,31 +62,121 @@ class Phase(Enum):
     SHADOW = "shadow"
 
 
-@dataclass
 class InvocationRecord:
-    """Timing of a single region invocation, seconds per phase."""
+    """Timing of a single region invocation, seconds per phase.
 
-    path: str  # 'infer' | 'collect' | 'accurate'
-    times: dict = field(default_factory=dict)
+    ``notes`` carries decision context for the trace/stream fan-out
+    (policy reason, breaker verdict, shadow error, inputs digest, ...)
+    and stays ``None`` until the first :meth:`note` — zero cost for
+    code that only times phases.
+    """
+
+    __slots__ = ("path", "region", "times", "notes", "finished")
+
+    def __init__(self, path: str, times: dict | None = None,
+                 region: str | None = None):
+        self.path = path
+        self.region = region
+        self.times: dict = times if times is not None else {}
+        self.notes: dict | None = None
+        self.finished = False
 
     def add(self, phase: Phase, seconds: float) -> None:
         self.times[phase] = self.times.get(phase, 0.0) + seconds
+
+    def note(self, key: str, value) -> None:
+        """Attach one piece of decision context (trace/stream fan-out)."""
+        if self.notes is None:
+            self.notes = {}
+        self.notes[key] = value
 
     @property
     def total(self) -> float:
         return sum(self.times.values())
 
+    def __repr__(self):
+        return (f"InvocationRecord(path={self.path!r}, "
+                f"region={self.region!r}, total={self.total:.3g})")
 
-class EventLog:
-    """Accumulates invocation records and answers breakdown queries."""
+
+class _Agg:
+    """Folded totals for one (region, path) after ring eviction."""
+
+    __slots__ = ("count", "times")
 
     def __init__(self):
-        self.records: list[InvocationRecord] = []
+        self.count = 0
+        self.times: dict = {}
 
-    def new_record(self, path: str) -> InvocationRecord:
-        rec = InvocationRecord(path=path)
+    def fold(self, record: InvocationRecord) -> None:
+        self.count += 1
+        for phase, seconds in record.times.items():
+            self.times[phase] = self.times.get(phase, 0.0) + seconds
+
+
+class EventLog:
+    """Accumulates invocation records and answers breakdown queries.
+
+    Thread-safety model: serving backends give each region a single
+    writer thread, so record mutation is single-writer; the ring trim
+    and aggregate fold run under a lock, and cross-thread reads during
+    a fold may transiently double-count at most one trim chunk —
+    quiesced totals are always exact.
+    """
+
+    def __init__(self, capacity: int = _DEFAULT_CAPACITY,
+                 stream=None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self.records: list[InvocationRecord] = []
+        self.dropped = 0
+        self.stream = stream
+        self._agg: dict[tuple, _Agg] = {}
+        self._hist_cache: dict = {}
+        self._hist_cursor = 0    # absolute index of next unfolded record
+        # RLock: _trim folds histograms while already holding it.
+        self._trim_lock = threading.RLock()
+        self._register_collector()
+
+    def _register_collector(self) -> None:
+        _obs_module.metrics().register_collector(self)
+        _obs_module.tracer().register_source(self)
+
+    # -- recording ------------------------------------------------------
+    def new_record(self, path: str,
+                   region: str | None = None) -> InvocationRecord:
+        rec = InvocationRecord(path=path, region=region)
         self.records.append(rec)
+        if len(self.records) > self.capacity:
+            self._trim()
         return rec
+
+    def _trim(self) -> None:
+        """Fold the oldest quarter of the ring into the aggregates.
+
+        Trimming in chunks keeps the amortized append cost O(1) (one
+        front ``del`` per capacity/4 appends) while bounding live
+        memory at ~1.25× capacity.
+        """
+        with self._trim_lock:
+            excess = len(self.records) - self.capacity
+            if excess <= 0:
+                return
+            chunk = max(excess, self.capacity // 4)
+            # Evicted records leave the lazy-fold window, so observe
+            # them into the latency histograms first (batched: the
+            # whole chunk folds with warm caches, off the append path).
+            self._fold_histograms()
+            folded = self.records[:chunk]
+            for rec in folded:
+                key = (rec.region, rec.path)
+                agg = self._agg.get(key)
+                if agg is None:
+                    agg = self._agg[key] = _Agg()
+                agg.fold(rec)
+            del self.records[:chunk]
+            self.dropped += len(folded)
 
     @contextmanager
     def timed(self, record: InvocationRecord, phase: Phase):
@@ -63,16 +186,99 @@ class EventLog:
         finally:
             record.add(phase, time.perf_counter() - start)
 
+    def finish(self, record: InvocationRecord) -> InvocationRecord:
+        """Mark one invocation complete (the views fold from it later).
+
+        Idempotent (batched deliveries and fallback re-records can race
+        a flush).  Metrics and traces derive from the ring at snapshot
+        / read time, so the only per-invocation work here is the eager
+        stream append when a :class:`~repro.obs.stream.DecisionStream`
+        is attached and ``repro.obs`` is enabled.
+        """
+        if record.finished:
+            return record
+        record.finished = True
+        # Module global: the cheapest gate on the per-invocation path.
+        if self.stream is not None and _obs_module._enabled:
+            notes = record.notes or {}
+            self.stream.record(
+                record.region or "region",
+                digest=notes.get("digest", 0),
+                path=record.path,
+                reason=notes.get("policy"),
+                breaker=notes.get("breaker"),
+                shadow_error=notes.get("shadow"),
+                spend=notes.get("spend"))
+        return record
+
+    def _fold_histograms(self) -> None:
+        """Observe finished-but-unfolded records into latency histograms.
+
+        Cursor-tracked in absolute (pre-eviction) indices so each
+        record is observed exactly once across snapshots and trims.
+        Folding stops at the first unfinished record — in-flight
+        invocations fold on the next scrape, once their timings are
+        complete.
+        """
+        with self._trim_lock:
+            recs = self.records
+            idx = max(0, self._hist_cursor - self.dropped)
+            n = len(recs)
+            while idx < n:
+                rec = recs[idx]
+                if not rec.finished:
+                    break
+                region = rec.region or "region"
+                key = (region, rec.path)
+                hist = self._hist_cache.get(key)
+                if hist is None:
+                    hist = self._hist_cache[key] = \
+                        _obs_module.metrics().histogram(
+                            "region_invocation_seconds",
+                            region=region, path=rec.path)
+                hist.observe(rec.total)
+                idx += 1
+            self._hist_cursor = self.dropped + idx
+
     # -- aggregation ----------------------------------------------------
+    @property
+    def seen(self) -> int:
+        """Total records ever created (survives ring eviction)."""
+        return self.dropped + len(self.records)
+
+    def records_since(self, start: int) -> list:
+        """Live records from absolute index ``start`` (pre-eviction
+        numbering): callers capture ``log.seen`` before a window and
+        slice with it after, robust to drops in between."""
+        return self.records[max(0, start - self.dropped):]
+
+    def trace_entries(self, limit: int | None = None) -> list:
+        """Tracer-source hook: recent invocations as compact entries.
+
+        Trace ids are the records' absolute invocation indices (stable
+        across eviction, monotone per log).  Phase timings and notes go
+        by reference — finished records no longer mutate, so the view
+        is stable; unfinished tail records are skipped.
+        """
+        records = self.records[-limit:] if limit else self.records[:]
+        base = self.seen - len(records)
+        return [("inv", base + i + 1, rec.region or "region", rec.path,
+                 rec.total, rec.times, rec.notes)
+                for i, rec in enumerate(records) if rec.finished]
+
     def total(self, phase: Phase | None = None) -> float:
         if phase is None:
-            return sum(r.total for r in self.records)
-        return sum(r.times.get(phase, 0.0) for r in self.records)
+            return (sum(r.total for r in self.records)
+                    + sum(sum(a.times.values()) for a in self._agg.values()))
+        return (sum(r.times.get(phase, 0.0) for r in self.records)
+                + sum(a.times.get(phase, 0.0) for a in self._agg.values()))
 
     def count(self, path: str | None = None) -> int:
         if path is None:
-            return len(self.records)
-        return sum(1 for r in self.records if r.path == path)
+            return self.seen
+        return (sum(1 for r in self.records if r.path == path)
+                + sum(a.count for (_, p), a in self._agg.items()
+                      if p == path))
 
     def breakdown(self) -> dict:
         """Fraction of inference-path time per phase (Fig. 6 rows)."""
@@ -83,6 +289,11 @@ class EventLog:
                 continue
             for p in phases:
                 totals[p] += r.times.get(p, 0.0)
+        for (_, path), agg in self._agg.items():
+            if path != "infer":
+                continue
+            for p in phases:
+                totals[p] += agg.times.get(p, 0.0)
         grand = sum(totals.values())
         if grand <= 0:
             return {p.value: 0.0 for p in phases}
@@ -94,5 +305,49 @@ class EventLog:
         bridge = self.total(Phase.TO_TENSOR) + self.total(Phase.FROM_TENSOR)
         return bridge / engine if engine > 0 else float("inf")
 
+    def collect(self) -> list:
+        """Registry-collector hook: aggregate samples at snapshot time.
+
+        Contributes per-(region, path) invocation counts and per-phase
+        seconds computed from the exact totals (ring + folded), after
+        folding any deferred latency-histogram observations — all of
+        the "one measurement, two views" cost lands here, at scrape
+        time, none on the invocation path.  Folding runs under the
+        trim lock, which also serializes histogram writers across
+        scrape and eviction.
+        """
+        self._fold_histograms()
+        per_key: dict[tuple, dict] = {}
+        for r in self.records:
+            entry = per_key.setdefault((r.region, r.path),
+                                       {"count": 0, "times": {}})
+            entry["count"] += 1
+            for phase, seconds in r.times.items():
+                entry["times"][phase] = entry["times"].get(phase, 0.0) \
+                    + seconds
+        for key, agg in self._agg.items():
+            entry = per_key.setdefault(key, {"count": 0, "times": {}})
+            entry["count"] += agg.count
+            for phase, seconds in agg.times.items():
+                entry["times"][phase] = entry["times"].get(phase, 0.0) \
+                    + seconds
+        samples = []
+        for (region, path), entry in sorted(
+                per_key.items(), key=lambda kv: (str(kv[0][0]), kv[0][1])):
+            labels = {"region": region or "region", "path": path}
+            samples.append({"type": "counter", "name": "region_invocations",
+                            "labels": dict(labels),
+                            "value": entry["count"]})
+            for phase, seconds in entry["times"].items():
+                samples.append({
+                    "type": "counter", "name": "region_phase_seconds",
+                    "labels": dict(labels, phase=phase.value),
+                    "value": seconds})
+        return samples
+
     def reset(self) -> None:
         self.records.clear()
+        self._agg.clear()
+        self._hist_cache.clear()
+        self._hist_cursor = 0
+        self.dropped = 0

@@ -191,6 +191,37 @@ class InferenceEngine:
             result = _faults.apply_surrogate_fault(fault, result)
         return result
 
+    def profile(self, model_path, inputs: np.ndarray) -> dict:
+        """One instrumented forward with per-plan-step timings.
+
+        Returns ``{"compiled", "steps", "total_seconds", "outputs"}``.
+        On the compiled path ``steps`` holds one ``{"step", "seconds"}``
+        entry per plan step (:meth:`CompiledPlan.profile
+        <repro.nn.compile.CompiledPlan.profile>`); on the graph
+        fallback it is a single whole-forward entry.  Diagnostic
+        surface for ``repro stats`` — slower than :meth:`infer`, and
+        it bypasses the transfer simulation and fault seams.
+        """
+        import time
+        model = self.cache.get(model_path)
+        plan = self.plan_for(model)
+        x = np.asarray(inputs)
+        start = time.perf_counter()
+        if plan is not None:
+            out, steps = plan.profile(x)
+        else:
+            model.eval()
+            with no_grad():
+                out = model(Tensor(x)).numpy()
+            steps = [{"step": "graph forward",
+                      "seconds": time.perf_counter() - start}]
+        return {
+            "compiled": plan is not None,
+            "steps": steps,
+            "total_seconds": time.perf_counter() - start,
+            "outputs": out,
+        }
+
     @property
     def last_inference_seconds(self) -> float:
         """Device-equivalent engine time of the last inference (used by

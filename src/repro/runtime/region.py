@@ -403,12 +403,29 @@ class ApproxRegion:
                 "outputs")
         return outputs
 
+    def _note_stream_context(self, record, inputs) -> None:
+        """Stream-only decision context (digest, budget spend).
+
+        Costs a blake2b over the inputs, so it runs only when a
+        :class:`~repro.obs.DecisionStream` is attached to the log.
+        """
+        if self.events.stream is None:
+            return
+        from ..obs import input_digest
+        record.note("digest", input_digest(inputs))
+        qos = self.config.qos
+        if qos is not None:
+            spend = qos.budget_spend(self.name)
+            if spend is not None:
+                record.note("spend", spend)
+
     def _run_infer(self, env, record, guard=None):
         in_maps = self._concretize(self._in_maps, env, writable=False)
         inputs = self._gather_inputs(in_maps, record)
         if self.model_path is None:
             raise RuntimeError(f"region {self.name!r}: inference "
                                "requested but no model path configured")
+        self._note_stream_context(record, inputs)
         if self._batched_engine and guard is None:
             # Defer: the engine coalesces queued invocations into one
             # forward; the scatter-back lands at flush time.  Only
@@ -423,12 +440,16 @@ class ApproxRegion:
             def deliver(outputs, seconds, out_maps=out_maps, record=record):
                 record.add(Phase.INFERENCE, seconds)
                 self._scatter_outputs(out_maps, outputs, record)
+                # Deferred invocations complete here: the trace/stream
+                # fold must see the flush-time scatter cost.
+                self.events.finish(record)
 
             self._engine.submit(self.model_path, inputs, deliver)
             return None
         outputs = self._surrogate_outputs(inputs, record, guard)
         out_maps = self._concretize(self._out_maps, env, writable=True)
         self._scatter_outputs(out_maps, outputs, record)
+        self.events.finish(record)
         return None
 
     def _run_accurate(self, env, record, collect: bool, args, kwargs):
@@ -452,6 +473,8 @@ class ApproxRegion:
             with self.events.timed(record, Phase.COLLECT_IO):
                 self._collector_for(self.db_path).record(
                     self.name, inputs, outputs, region_time)
+            self._note_stream_context(record, inputs)
+        self.events.finish(record)
         return result
 
     def _shadow_subset(self, qos, decision, batch: int):
@@ -498,6 +521,7 @@ class ApproxRegion:
         # functors); the accurate run below mutates out/inout arrays,
         # so snapshot before executing it.
         inputs = np.array(inputs)
+        self._note_stream_context(record, inputs)
         batch = len(inputs)
         subset = self._shadow_subset(qos, decision, batch)
         if subset is not None and not all(
@@ -528,19 +552,23 @@ class ApproxRegion:
                 raise
             guard.record_failure(type(exc).__name__)
             self._note_fallback(type(exc).__name__, guard)
+            record.note("breaker", type(exc).__name__)
             if subset is not None:
                 # The kernel only ran on sliced *copies*; the real
                 # output arrays are still unwritten — run it for real.
                 with self.events.timed(record, Phase.ACCURATE):
                     result = self.func(*args, **kwargs)
+            self.events.finish(record)
             return result
         if guard is not None:
             guard.record_success()
         predicted = outputs if subset is None else outputs[subset]
-        qos.observe_shadow(self.name, predicted, accurate)
+        err = qos.observe_shadow(self.name, predicted, accurate)
+        record.note("shadow", err)
         if decision.commit == "surrogate":
             out_maps = self._concretize(self._out_maps, env, writable=True)
             self._scatter_outputs(out_maps, outputs, record)
+        self.events.finish(record)
         return result
 
     def _note_fallback(self, reason: str, breaker) -> None:
@@ -565,9 +593,17 @@ class ApproxRegion:
         """
         if not breaker.allow():
             self._note_fallback("breaker_open", breaker)
-            record = self.events.new_record(ExecutionPath.ACCURATE)
+            record = self.events.new_record(ExecutionPath.ACCURATE,
+                                            region=self.name)
+            record.note("breaker", "breaker_open")
+            if decision is not None and decision.reason is not None:
+                record.note("policy", decision.reason)
             return self._run_accurate(env, record, False, args, kwargs)
-        record = self.events.new_record(ExecutionPath.INFER)
+        record = self.events.new_record(ExecutionPath.INFER,
+                                        region=self.name)
+        record.note("breaker", breaker.state)
+        if decision is not None and decision.reason is not None:
+            record.note("policy", decision.reason)
         if decision is not None and decision.shadow:
             # Shadow runs the accurate kernel anyway; failure handling
             # (record_failure + keep the accurate result) is internal.
@@ -578,7 +614,13 @@ class ApproxRegion:
         except Exception as exc:
             breaker.record_failure(type(exc).__name__)
             self._note_fallback(type(exc).__name__, breaker)
-            record = self.events.new_record(ExecutionPath.ACCURATE)
+            # The abandoned infer attempt still folds into the trace,
+            # carrying the failure as its breaker verdict.
+            record.note("breaker", type(exc).__name__)
+            self.events.finish(record)
+            record = self.events.new_record(ExecutionPath.ACCURATE,
+                                            region=self.name)
+            record.note("breaker", breaker.state)
             return self._run_accurate(env, record, False, args, kwargs)
         breaker.record_success()
         return result
@@ -592,12 +634,16 @@ class ApproxRegion:
             if breaker is not None:
                 return self._guarded_infer(breaker, env, args, kwargs,
                                            qos=qos, decision=decision)
-            record = self.events.new_record(path)
+            record = self.events.new_record(path, region=self.name)
+            if decision.reason is not None:
+                record.note("policy", decision.reason)
             if decision.shadow:
                 return self._run_shadow(qos, decision, env, record,
                                         args, kwargs)
             return self._run_infer(env, record)
-        record = self.events.new_record(path)
+        record = self.events.new_record(path, region=self.name)
+        if decision.reason is not None:
+            record.note("policy", decision.reason)
         if path == ExecutionPath.COLLECT:
             return self._run_accurate(env, record, True, args, kwargs)
         return self._run_accurate(env, record, False, args, kwargs)
@@ -613,9 +659,9 @@ class ApproxRegion:
             breaker = self.config.breaker
             if breaker is not None:
                 return self._guarded_infer(breaker, env, args, kwargs)
-            record = self.events.new_record(path)
+            record = self.events.new_record(path, region=self.name)
             return self._run_infer(env, record)
-        record = self.events.new_record(path)
+        record = self.events.new_record(path, region=self.name)
         if path == ExecutionPath.COLLECT:
             return self._run_accurate(env, record, True, args, kwargs)
         return self._run_accurate(env, record, False, args, kwargs)

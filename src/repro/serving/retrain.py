@@ -119,7 +119,13 @@ def hot_swap_model(model, model_path, engines=(),
     invalidated and re-warmed so the next inference runs the new
     weights with a freshly compiled plan.
     """
+    from .. import obs
     model_path = Path(model_path)
+    with obs.tracer().span("hot_swap", model=model_path.name):
+        return _hot_swap_model(model, model_path, engines, verify_inputs)
+
+
+def _hot_swap_model(model, model_path, engines, verify_inputs) -> Path:
     tmp_path = model_path.with_name(model_path.name + ".swap")
     save_model(model, tmp_path)
     # HOT_SWAP fault seam: the candidate file arrives corrupt/truncated
@@ -390,6 +396,20 @@ class RetrainWorker:
         return model, trainer, result, xv
 
     def _retrain(self, spec: RetrainSpec, rows: int) -> RetrainEvent:
+        """One retrain + hot-swap, recorded as a trace span (the
+        nested ``hot_swap`` span lands under it)."""
+        from .. import obs
+        with obs.tracer().span("retrain", region=spec.name) as span:
+            event = self._retrain_inner(spec, rows)
+            if span is not None:
+                span.attrs.update(rows=event.rows, new_rows=event.new_rows,
+                                  val_loss=event.val_loss,
+                                  compiled=event.compiled)
+        if obs.is_enabled():
+            obs.metrics().counter("retrains", region=spec.name).inc()
+        return event
+
+    def _retrain_inner(self, spec: RetrainSpec, rows: int) -> RetrainEvent:
         start = time.perf_counter()
         rng_seed = self.seed + 31 * (len(self.events) + 1)
 

@@ -52,6 +52,7 @@ class RegionServer:
         self.backend = backend if backend is not None else SerialBackend()
         self._regions: dict[str, ServedRegion] = {}
         self._qos = None
+        self._stream = None
 
     # -- registration ----------------------------------------------------
     def register(self, region, name: str | None = None) -> str:
@@ -66,6 +67,8 @@ class RegionServer:
         self._regions[name] = ServedRegion(name, region)
         if self._qos is not None:
             region.config.qos = self._qos
+        if self._stream is not None:
+            region.events.stream = self._stream
         return name
 
     @property
@@ -104,6 +107,8 @@ class RegionServer:
     def drain(self) -> None:
         """Flush every region and wait until all queued work landed."""
         self.flush()
+        if self._stream is not None:
+            self._stream.flush()
 
     # -- QoS wiring ------------------------------------------------------
     @property
@@ -138,6 +143,40 @@ class RegionServer:
         for served in self._regions.values():
             served.region.config.qos = None
         self._qos = None
+
+    # -- telemetry-stream wiring -----------------------------------------
+    @property
+    def stream(self):
+        """The attached decision stream (None when not recording)."""
+        return self._stream
+
+    def attach_stream(self, stream):
+        """Record every region's per-decision telemetry to ``stream``.
+
+        ``stream`` is a :class:`~repro.obs.DecisionStream` or a path
+        (one is created).  Each invocation then appends one record —
+        inputs digest, path, shadow error, policy reason, budget
+        spend, breaker state — to the h5 stream file; :meth:`drain`
+        and :meth:`close` flush it.  Regions registered later inherit
+        the stream.  Returns the stream.
+        """
+        from ..obs import DecisionStream
+        if not isinstance(stream, DecisionStream):
+            stream = DecisionStream(stream)
+        self._stream = stream
+        for served in self._regions.values():
+            served.region.events.stream = stream
+        return stream
+
+    def detach_stream(self) -> None:
+        """Stop recording; flushes and closes the current stream."""
+        if self._stream is None:
+            return
+        for served in self._regions.values():
+            if served.region.events.stream is self._stream:
+                served.region.events.stream = None
+        self._stream.close()
+        self._stream = None
 
     # -- resilience wiring -----------------------------------------------
     def attach_breakers(self, names=None, **breaker_kwargs) -> dict:
@@ -190,6 +229,15 @@ class RegionServer:
             out["qos"] = self._qos.snapshot()
             if telemetry is not None:
                 out["rollup"] = telemetry.rollup()
+        from .. import obs
+        trace = obs.tracer().snapshot()
+        out["obs"] = {
+            "enabled": obs.is_enabled(),
+            "traces_seen": trace["seen"],
+            "traces_buffered": trace["buffered"],
+            "stream": str(self._stream.path) if self._stream is not None
+            else None,
+        }
         return out
 
     def close(self) -> None:

@@ -1,0 +1,69 @@
+"""Tier-1 smoke run of the observability benchmark.
+
+Runs ``benchmarks/bench_observability.py`` at tiny sizes and validates
+the ``BENCH_observability.json`` schema plus the acceptance
+properties: default-on instrumentation within the <= 3% overhead
+bound (the instrumented view — wall-clock deltas are reported but too
+noisy to assert on shared machines), the profile hook covering the
+compiled forward, and bit-identical stream replay under a fixed seed.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_observability.py"
+
+pytestmark = pytest.mark.obs
+
+
+def load_bench_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_observability", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_observability_bench_smoke_writes_valid_schema(tmp_path):
+    bench = load_bench_module()
+    out = tmp_path / "BENCH_observability.json"
+    results = bench.main(["--quick", "--out", str(out),
+                          "--workdir", str(tmp_path / "work")])
+    assert out.exists()
+    on_disk = json.loads(out.read_text())
+    assert on_disk["schema"] == "bench_observability/v1"
+    assert on_disk == json.loads(json.dumps(results))    # JSON-clean
+    assert on_disk["config"]["quick"] is True
+
+    overhead = on_disk["overhead"]
+    assert overhead["within_bound"], (
+        f"instrumented overhead {overhead['overhead_fraction']:.2%} "
+        f"exceeds {overhead['bound']:.0%}")
+    assert overhead["obs_us_per_invocation"] >= 0
+    assert overhead["per_invocation_us_obs_off"] > 0
+    assert overhead["seconds_obs_off"] > 0
+
+    costs = on_disk["hot_path_costs"]
+    assert 0 < costs["histogram_observe_ns"] < 50_000
+    assert 0 < costs["trace_fold_ns"] < 50_000
+
+    profile = on_disk["profile_hook"]
+    assert profile["compiled"]
+    assert profile["steps_cover_total"]
+    assert len(profile["steps"]) >= 1
+
+    determinism = on_disk["stream_determinism"]
+    assert determinism["bit_identical"]
+    assert determinism["records_replayed"] == determinism["invocations"]
+
+    stream = on_disk["stream_overhead"]
+    assert stream["records"] > 0
+
+    summary = on_disk["summary"]
+    assert summary["within_bound"]
+    assert summary["stream_bit_identical"]
+    assert summary["profile_compiled"]
