@@ -10,6 +10,11 @@ across four scenarios:
 * **throughput** — three trained regions served interleaved through
   one server, serial versus thread-pool backend (per-region affinity);
   rows/second for each.
+* **backend_scaling** — synthetic Table IV ``binomial-s`` replicas at
+  fleet sizes 1/2/4, served through serial, thread, and process
+  (4-worker slab-ring) backends; wall-clock rows/second per cell (the
+  modeled-concurrency acceptance numbers for the process backend live
+  in ``BENCH_multiproc.json``).
 * **arbitration** — a trained surrogate and an *untrained* one under a
   single ``QoSArbiter`` global error budget: the untrained region must
   be forced onto the accurate path while the trained one keeps its
@@ -35,16 +40,23 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 import time
 from pathlib import Path
 
 import numpy as np
 
-from repro.apps import binomial as binomial_app
-from repro.apps.harness import harness_for
-from repro.nn import Trainer
-from repro.qos import DriftBurstPolicy
-from repro.serving import (QoSArbiter, RegionServer, RetrainWorker,
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_multiproc import _serve_pass, make_io, make_mlp_region  # noqa: E402
+
+from repro.apps import binomial as binomial_app     # noqa: E402
+from repro.apps.harness import harness_for          # noqa: E402
+from repro.nn import Trainer                        # noqa: E402
+from repro.obs.registry import MetricsRegistry      # noqa: E402
+from repro.qos import DriftBurstPolicy              # noqa: E402
+from repro.serving import (ProcessPoolBackend, QoSArbiter,  # noqa: E402
+                           RegionServer, RetrainWorker, SerialBackend,
                            ThreadPoolBackend)
 
 SCHEMA = "bench_serving/v1"
@@ -230,6 +242,78 @@ def scenario_throughput(workdir, *, quick, chunk, epochs,
     serial = out["backends"]["serial"]["rows_per_second"]
     thread = out["backends"]["thread"]["rows_per_second"]
     out["thread_vs_serial"] = thread / serial
+    return out
+
+
+# ----------------------------------------------------------------------
+# Scenario: backend scaling sweep (1/2/4 regions x serial/thread/process)
+# ----------------------------------------------------------------------
+
+def scenario_backend_scaling(workdir, *, quick, workers=4,
+                             repeats=2) -> dict:
+    """Aggregate rows/s as the fleet grows, per execution backend.
+
+    Synthetic ``binomial-s`` replicas (Table IV shape, ``ml(infer)``
+    only — no harness training) served round-robin; the thread backend
+    shows per-region affinity under the GIL, the process backend the
+    slab-ring pool.  Wall-clock numbers — on a single-core box the
+    process backend pays IPC without gaining overlap, which is exactly
+    what the sweep should show there (``BENCH_multiproc.json`` carries
+    the modeled-concurrency acceptance figures).
+    """
+    arch = {"hidden1_features": 48, "hidden2_features": 24}
+    rows = 32 if quick else 128
+    invocations = 4 if quick else 24
+    out = {"shape": "binomial-s", "workers": workers,
+           "rows_per_invocation": rows,
+           "invocations_per_region": invocations, "fleets": {}}
+    for fleet in (1, 2, 4):
+        names, regions = [], []
+        x, _ = make_io("binomial", rows, seed=3)
+        for r in range(fleet):
+            name = f"scale{fleet}-r{r}"
+            region, _ = make_mlp_region(Path(workdir) / "scaling",
+                                        "binomial", arch, name=name, seed=r)
+            regions.append(region)
+            names.append(name)
+        ys = [make_io("binomial", rows)[1] for _ in range(fleet)]
+        server = RegionServer()
+        for region in regions:
+            server.register(region)
+        per_backend = {}
+        for kind in ("serial", "thread", "process"):
+            backend = None
+            if kind == "thread":
+                backend = ThreadPoolBackend()
+            elif kind == "process":
+                backend = ProcessPoolBackend(workers=workers,
+                                             request_timeout=120.0,
+                                             registry=MetricsRegistry())
+            if backend is not None:
+                server.backend = backend      # swap while idle
+            _serve_pass(server, names, x, ys, 1, rows)        # warm
+            best, total = float("inf"), 0
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                total = _serve_pass(server, names, x, ys, invocations,
+                                    rows)
+                best = min(best, time.perf_counter() - t0)
+            entry = {"seconds": best, "rows": total,
+                     "rows_per_second": total / best}
+            if kind == "process":
+                entry["pickle_fallbacks"] = sum(
+                    backend.client_for(n).pickle_fallbacks for n in names)
+            if backend is not None:
+                backend.close()               # process: restores engines
+            per_backend[kind] = entry
+        server.backend = SerialBackend()      # live backend for close()
+        server.close()
+        out["fleets"][str(fleet)] = per_backend
+    at4 = out["fleets"]["4"]
+    out["thread_vs_serial_at_4"] = (at4["thread"]["rows_per_second"]
+                                    / at4["serial"]["rows_per_second"])
+    out["process_vs_serial_at_4"] = (at4["process"]["rows_per_second"]
+                                     / at4["serial"]["rows_per_second"])
     return out
 
 
@@ -437,6 +521,7 @@ def run_benchmark(workdir, *, quick: bool = False, chunk: int = 16,
                                epochs=epochs)
     throughput = scenario_throughput(workdir, quick=quick, chunk=chunk,
                                      epochs=epochs)
+    scaling = scenario_backend_scaling(workdir, quick=quick)
     arbitration = scenario_arbitration(workdir, quick=quick, chunk=chunk,
                                        epochs=epochs)
     retrain = scenario_retrain(workdir, quick=quick, chunk=chunk,
@@ -446,12 +531,14 @@ def run_benchmark(workdir, *, quick: bool = False, chunk: int = 16,
         "config": {"quick": quick, "chunk": chunk, "epochs": epochs},
         "latency": latency,
         "throughput": throughput,
+        "backend_scaling": scaling,
         "arbitration": arbitration,
         "retrain": retrain,
         "summary": {
             "latency_ratio": latency["ratio"],
             "latency_within_5pct": bool(latency["ratio"] <= 1.05),
             "thread_vs_serial_throughput": throughput["thread_vs_serial"],
+            "process_vs_serial_at_4": scaling["process_vs_serial_at_4"],
             "arbitration_compliant": arbitration["compliant"],
             "retrain_hot_swapped": retrain["hot_swapped"],
             "retrain_both_under_budget": retrain["both_under_budget"],
@@ -492,6 +579,14 @@ def main(argv=None) -> dict:
     thr = results["throughput"]
     for backend, row in thr["backends"].items():
         print(f"throughput[{backend}]: {row['rows_per_second']:,.0f} rows/s")
+    scaling = results["backend_scaling"]
+    for fleet, row in scaling["fleets"].items():
+        rates = " | ".join(f"{kind} {entry['rows_per_second']:,.0f}"
+                           for kind, entry in row.items())
+        print(f"scaling[{fleet} region(s)]: {rates} rows/s")
+    print(f"scaling at 4 regions: thread "
+          f"{scaling['thread_vs_serial_at_4']:.2f}x, process "
+          f"{scaling['process_vs_serial_at_4']:.2f}x vs serial")
     arb = results["arbitration"]
     print(f"arbitration: budget {arb['budget']:.3g} | strong deployed "
           f"{arb['strong']['deployed_relative_error']:.3g} "

@@ -128,12 +128,16 @@ def _cmd_serve(args) -> int:
 
     from .apps.harness import harness_for
     from .nn import Trainer
-    from .serving import (QoSArbiter, RegionServer, SerialBackend,
-                          ThreadPoolBackend)
+    from .serving import (ProcessPoolBackend, QoSArbiter, RegionServer,
+                          SerialBackend, ThreadPoolBackend)
 
     workdir = Path(_workdir(args))
-    backend = ThreadPoolBackend() if args.backend == "thread" \
-        else SerialBackend()
+    if args.backend == "process":
+        backend = ProcessPoolBackend(workers=args.workers)
+    elif args.backend == "thread":
+        backend = ThreadPoolBackend()
+    else:
+        backend = SerialBackend()
     server = RegionServer(backend=backend)
     harnesses = []
     for name in args.benchmarks:
@@ -295,8 +299,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--shadow-rows", type=int, default=None,
                          help="validate at most N rows per shadowed "
                               "invocation (row-batched regions)")
-    p_serve.add_argument("--backend", choices=("serial", "thread"),
+    p_serve.add_argument("--backend",
+                         choices=("serial", "thread", "process"),
                          default="serial")
+    p_serve.add_argument("--workers", type=int, default=4,
+                         help="worker processes for --backend process")
     p_serve.add_argument("--epochs", type=int, default=20)
     p_serve.add_argument("--chunk", type=int, default=32)
     p_serve.add_argument("--rows", type=int, default=512,

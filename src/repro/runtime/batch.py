@@ -141,7 +141,7 @@ class BatchedInferenceEngine(InferenceEngine):
             else:
                 batch = np.concatenate([p.inputs for p in pending], axis=0)
             start = time.perf_counter()
-            outputs = super().infer(self._queue_key, batch)
+            outputs = self._flush_forward(self._queue_key, batch)
             if obs.is_enabled():
                 tracer = self._obs_tracer
                 if tracer is None:
@@ -182,8 +182,19 @@ class BatchedInferenceEngine(InferenceEngine):
             raise first_error
         return results
 
+    # -- the one fused forward --------------------------------------------
+    def _flush_forward(self, model_path, batch: np.ndarray) -> np.ndarray:
+        """Run one fused ``(B, *features)`` forward for the queue.
+
+        The single seam between batching policy and execution:
+        process-backend engines override this to ship the batch to a
+        worker process, inheriting the queue/flush/delivery machinery
+        unchanged.
+        """
+        return super().infer(model_path, batch)
+
     # -- immediate path ---------------------------------------------------
     def infer(self, model_path, inputs: np.ndarray) -> np.ndarray:
         """Immediate inference; acts as a barrier for queued work."""
         self.flush()
-        return super().infer(model_path, inputs)
+        return self._flush_forward(model_path, inputs)

@@ -671,6 +671,25 @@ class ApproxRegion:
         """The engine this region actually invokes (post ``auto_batch``)."""
         return self._engine
 
+    def swap_engine(self, engine):
+        """Replace the region's engine; returns the previous one.
+
+        The adoption primitive for process backends: the old engine is
+        flushed first (under the I/O lock, mutually exclusive with
+        serving-thread flushes) so queued invocations deliver through
+        the engine that queued them, then the new engine takes over.
+        The caller is responsible for handing over an engine whose
+        batching semantics match the region's (a batched region gets a
+        batched engine) — ``auto_batch`` wrapping is not re-applied.
+        """
+        with self._io_lock:
+            old = self._engine
+            if self._batched_engine:
+                old.flush()
+            self._engine = engine
+            self._batched_engine = isinstance(engine, BatchedInferenceEngine)
+            return old
+
     def flush(self) -> None:
         """Deliver queued batched inferences; persist collection data.
 

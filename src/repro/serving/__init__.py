@@ -13,15 +13,23 @@ model file is hot-swapped atomically under the live server.
 """
 
 from .arbiter import QoSArbiter
-from .backends import ExecutionBackend, SerialBackend, ThreadPoolBackend
+from .backends import (ExecutionBackend, ProcessPoolBackend, SerialBackend,
+                       ThreadPoolBackend)
 from .retrain import (HotSwapError, RetrainEvent, RetrainSpec,
                       RetrainWorker, db_row_count, hot_swap_model,
                       recency_weighted_indices)
 from .server import RegionServer, ServedRegion
+from .shm import (ProcessBatchedInferenceEngine, ProcessInferenceEngine,
+                  RemoteEngineClient, SlabRing, WorkerCrashed, WorkerError,
+                  WorkerHandle, WorkerTimeout)
 
 __all__ = [
     "RegionServer", "ServedRegion",
     "ExecutionBackend", "SerialBackend", "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "SlabRing", "WorkerHandle", "RemoteEngineClient",
+    "ProcessInferenceEngine", "ProcessBatchedInferenceEngine",
+    "WorkerCrashed", "WorkerTimeout", "WorkerError",
     "QoSArbiter",
     "RetrainWorker", "RetrainSpec", "RetrainEvent",
     "HotSwapError",

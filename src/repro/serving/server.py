@@ -64,11 +64,16 @@ class RegionServer:
         name = name or region.name
         if name in self._regions:
             raise ValueError(f"region name {name!r} already registered")
-        self._regions[name] = ServedRegion(name, region)
+        served = ServedRegion(name, region)
+        self._regions[name] = served
         if self._qos is not None:
             region.config.qos = self._qos
         if self._stream is not None:
             region.events.stream = self._stream
+        # Backend adoption hook: process backends take over the
+        # region's engine execution (worker placement, slab ring) at
+        # registration time rather than on the first invocation.
+        self.backend.adopt(served)
         return name
 
     @property
@@ -212,6 +217,11 @@ class RegionServer:
             "regions": {name: {"invocations": served.invocations}
                         for name, served in self._regions.items()},
         }
+        backend_snapshot = getattr(self.backend, "snapshot", None)
+        if callable(backend_snapshot):
+            # Process backends report worker health/placement; a dead
+            # worker is visible here alongside the breaker states.
+            out["backend_detail"] = backend_snapshot()
         health = {}
         for name, served in self._regions.items():
             breaker = served.region.config.breaker

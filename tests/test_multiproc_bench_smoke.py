@@ -1,0 +1,77 @@
+"""Tier-1 smoke run of the multiprocess serving benchmark.
+
+Runs ``benchmarks/bench_multiproc.py`` at tiny sizes and validates the
+``BENCH_multiproc.json`` schema plus the structural acceptance
+properties: every app's process outputs match the serial baseline
+bitwise, the slab hot path never pickled an array, and both speedup
+bases (measured wall and modeled concurrency) are reported alongside
+the core count and judging mode — the quantitative >= 2x bar is judged
+on the committed full-mode run, not the smoke sizes.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.serving
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_multiproc.py"
+
+
+def load_bench_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_multiproc", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_multiproc_bench_smoke_writes_valid_schema(tmp_path):
+    bench = load_bench_module()
+    out = tmp_path / "BENCH_multiproc.json"
+    results = bench.main(["--quick", "--out", str(out),
+                          "--workdir", str(tmp_path / "work")])
+    assert out.exists()
+    on_disk = json.loads(out.read_text())
+    assert on_disk["schema"] == "bench_multiproc/v1"
+    assert on_disk == json.loads(json.dumps(results))    # JSON-clean
+    assert on_disk["config"]["quick"] is True
+    assert on_disk["config"]["workers"] == 4
+
+    thr = on_disk["throughput"]
+    assert thr["mode"] in ("measured", "modeled")
+    assert thr["cores"] >= 1
+    assert len(thr["apps"]) >= 2, "acceptance needs >= 2 Table IV apps"
+    for app in thr["apps"].values():
+        assert app["serial"]["rows_per_second"] > 0
+        proc = app["process"]
+        assert proc["rows_per_second_measured"] > 0
+        assert proc["rows_per_second_modeled"] > 0
+        assert proc["modeled_seconds"] == pytest.approx(
+            max(proc["parent_cpu_seconds"],
+                proc["max_worker_busy_seconds"]))
+        assert len(proc["worker_busy_seconds"]) >= 1
+        # Correctness and the zero-copy hot path hold at any size.
+        assert app["outputs_match"], app["max_abs_diff"]
+        assert app["zero_copy"]
+        assert proc["pickle_fallbacks"] == 0
+        assert app["speedup_measured"] > 0
+        assert app["speedup_modeled"] > 0
+    assert thr["all_outputs_match"]
+    assert thr["all_zero_copy"]
+
+    ipc = on_disk["ipc"]
+    assert set(ipc["transports"]) == {"inproc", "shm", "pickle"}
+    for row in ipc["transports"].values():
+        assert row["roundtrip_us"] > 0
+    assert ipc["transports"]["shm"]["pickle_fallbacks"] == 0
+    assert ipc["pickle_vs_shm_overhead"] > 0
+
+    summary = on_disk["summary"]
+    assert summary["mode"] == thr["mode"]
+    assert summary["all_zero_copy"]
+    assert summary["all_outputs_match"]
+    assert summary["apps_total"] == len(thr["apps"])

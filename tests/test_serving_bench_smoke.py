@@ -47,6 +47,18 @@ def test_serving_bench_smoke_writes_valid_schema(tmp_path):
         assert row["rows"] > 0
     assert throughput["thread_vs_serial"] > 0
 
+    scaling = on_disk["backend_scaling"]
+    assert set(scaling["fleets"]) == {"1", "2", "4"}
+    for fleet in scaling["fleets"].values():
+        assert set(fleet) == {"serial", "thread", "process"}
+        for entry in fleet.values():
+            assert entry["rows_per_second"] > 0
+        # The slab ring must carry every tensor on the hot path.
+        assert fleet["process"]["pickle_fallbacks"] == 0
+    assert scaling["thread_vs_serial_at_4"] > 0
+    assert scaling["process_vs_serial_at_4"] > 0
+    assert on_disk["summary"]["process_vs_serial_at_4"] > 0
+
     arb = on_disk["arbitration"]
     assert 0 < arb["budget"] < arb["weak"]["pure_relative_error"]
     # The acceptance property: the untrained surrogate is forced onto
