@@ -1,0 +1,243 @@
+"""Fleet GEMM benchmark: stacked cross-model forwards + vectorized NAS.
+
+Measures the fleet execution subsystem across two scenarios:
+
+* **forward** — K same-architecture mlp2 surrogates (Table IV shapes)
+  answered by one stacked ``(K, B, in) @ (K, in, out)`` fleet forward
+  versus K sequential compiled forwards.  The stacked outputs must be
+  **bitwise** equal to each member's own plan (asserted, not just
+  recorded); the headline acceptance number is the K=8 throughput
+  ratio on the small-surrogate shape, where per-call Python dispatch
+  dominates and batching pays the most.
+* **nas** — ``NestedSearch(population=8)`` versus the exact sequential
+  search (``population=1``) on a fixed-seed Table IV mlp2 slice: the
+  inner BO loop trains rounds of eight hyperparameter candidates in
+  lockstep through one :class:`~repro.nn.FleetTrainer`.  Records
+  end-to-end wall clock, the speedup, and whether both modes selected
+  the same best architecture.
+
+Results land in ``BENCH_fleet.json`` (schema ``bench_fleet/v1``).
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py
+    PYTHONPATH=src python benchmarks/bench_fleet.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn import compile_fleet_inference, compile_inference
+from repro.search.builders import build_mlp2
+from repro.search.nested import NestedSearch
+from repro.search.space import Integer, Space
+
+SCHEMA = "bench_fleet/v1"
+
+#: Table IV mlp2 instances: a serving-sized surrogate (the regime the
+#: fleet lane targets — many tenants answering small chunked calls),
+#: the best architecture the NAS slice below selects, and the largest
+#: best-found Table IV shape (GEMM-bound; batching gains less there,
+#: recorded for honesty).
+FORWARD_SHAPES = {
+    "mlp2_16x8": (16, 8),
+    "mlp2_57x37": (57, 37),
+    "mlp2_418x333": (418, 333),
+}
+#: Per-call row counts: serving invocations arrive in small chunks
+#: (the multi-tenant case the fleet amortizes), up to batched waves.
+FORWARD_BATCHES = (4, 16, 64)
+#: The acceptance cell: serving-sized surrogate, chunked invocations.
+HEADLINE = ("mlp2_16x8", 4)
+FLEET_SIZES = (2, 4, 8, 16)
+
+
+def _best_of(fn, passes: int) -> float:
+    """Min wall time across ``passes`` runs of ``fn`` (noise floor)."""
+    best = float("inf")
+    for _ in range(passes):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Forward throughput: fleet vs sequential compiled plans
+# ----------------------------------------------------------------------
+
+def bench_forward(*, quick: bool) -> dict:
+    repeats = 50 if quick else 300
+    passes = 3
+    in_features = 6
+    rng = np.random.default_rng(0)
+    shapes = {}
+    for label, (h1, h2) in FORWARD_SHAPES.items():
+        cfg = {"hidden1_features": h1, "hidden2_features": h2}
+        rows = {}
+        for batch in FORWARD_BATCHES:
+            x = rng.normal(size=(batch, in_features))
+            for k in FLEET_SIZES:
+                models = [build_mlp2(cfg, in_features, 1, seed=s)
+                          for s in range(k)]
+                singles = [compile_inference(m) for m in models]
+                fleet = compile_fleet_inference(models)
+
+                stacked = fleet(x)                   # warm + parity
+                worst = 0.0
+                for m, plan in enumerate(singles):
+                    worst = max(worst, float(np.abs(stacked[m]
+                                                    - plan(x)).max()))
+                assert worst == 0.0, (f"fleet forward not bitwise at "
+                                      f"{label} B={batch} K={k}: {worst}")
+
+                def run_sequential():
+                    for _ in range(repeats):
+                        for plan in singles:
+                            plan(x)
+
+                def run_fleet():
+                    for _ in range(repeats):
+                        fleet(x)
+
+                seq_s = _best_of(run_sequential, passes)
+                fleet_s = _best_of(run_fleet, passes)
+                rows[f"b{batch}_k{k}"] = {
+                    "batch": batch,
+                    "k": k,
+                    "sequential_seconds": seq_s,
+                    "fleet_seconds": fleet_s,
+                    "speedup": seq_s / fleet_s,
+                    "rows_per_second_sequential":
+                        batch * k * repeats / seq_s,
+                    "rows_per_second_fleet":
+                        batch * k * repeats / fleet_s,
+                    "max_abs_diff": worst,
+                }
+        shapes[label] = rows
+    head_shape, head_batch = HEADLINE
+    return {
+        "batches": list(FORWARD_BATCHES),
+        "repeats": repeats,
+        "timing_passes": passes,
+        "fleet_sizes": list(FLEET_SIZES),
+        "shapes": shapes,
+        "headline": {"shape": head_shape, "batch": head_batch, "k": 8},
+        "headline_speedup_k8":
+            shapes[head_shape][f"b{head_batch}_k8"]["speedup"],
+    }
+
+
+# ----------------------------------------------------------------------
+# NAS: population-mode inner loop vs exact sequential search
+# ----------------------------------------------------------------------
+
+def _nas_slice(quick: bool):
+    """Fixed-seed Table IV mlp2 slice: 1-D sin(6x) regression over the
+    small-surrogate width range, where candidate training is dominated
+    by per-op Python overhead the fleet amortizes."""
+    rng = np.random.default_rng(7)
+    n = 300 if quick else 600
+    x = rng.uniform(-2.0, 2.0, size=(n, 1))
+    y = np.sin(6.0 * x) + 0.01 * rng.normal(size=x.shape)
+    split = int(n * 0.8)
+    space = Space([Integer("hidden1_features", 5, 64),
+                   Integer("hidden2_features", 0, 64)])
+
+    def build(arch, dropout=0.0, seed=0):
+        return build_mlp2(arch, 1, 1, dropout=dropout, seed=seed)
+
+    return space, build, x[:split], y[:split], x[split:], y[split:]
+
+
+def bench_nas(*, quick: bool) -> dict:
+    space, build, xt, yt, xv, yv = _nas_slice(quick)
+    n_inner = 8 if quick else 16
+    max_epochs = 12 if quick else 24
+    n_outer = 2 if quick else 4
+
+    runs = {}
+    for label, population in (("sequential", 1), ("population8", 8)):
+        search = NestedSearch(space, build, xt, yt, xv, yv,
+                              n_inner=n_inner, max_epochs=max_epochs,
+                              seed=3, population=population)
+        start = time.perf_counter()
+        result = search.run(n_outer=n_outer, n_init=n_outer)
+        seconds = time.perf_counter() - start
+        best = result.best_by_error()
+        runs[label] = {
+            "population": population,
+            "seconds": seconds,
+            "trials": len(result.trials),
+            "best_arch": best.arch,
+            "best_val_error": best.val_error,
+            "compiled_fraction": result.compiled_fraction(),
+            "max_fleet_size": max(t.fleet_size for t in result.trials),
+        }
+    seq, pop = runs["sequential"], runs["population8"]
+    return {
+        "n_inner": n_inner,
+        "n_outer": n_outer,
+        "max_epochs": max_epochs,
+        "runs": runs,
+        "speedup": seq["seconds"] / pop["seconds"],
+        "same_best_arch": seq["best_arch"] == pop["best_arch"],
+    }
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+def run_benchmark(*, quick: bool) -> dict:
+    forward = bench_forward(quick=quick)
+    nas = bench_nas(quick=quick)
+    return {
+        "schema": SCHEMA,
+        "config": {"quick": quick},
+        "forward": forward,
+        "nas": nas,
+        "summary": {
+            "forward_speedup_k8": forward["headline_speedup_k8"],
+            "forward_bitwise": True,           # asserted in bench_forward
+            "nas_speedup": nas["speedup"],
+            "nas_same_best_arch": nas["same_best_arch"],
+        },
+    }
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_fleet.json",
+                        help="output JSON path")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny sizes for smoke testing")
+    args = parser.parse_args(argv)
+
+    results = run_benchmark(quick=args.quick)
+    out = Path(args.out)
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out}")
+    for label, rows in results["forward"]["shapes"].items():
+        rates = " | ".join(f"{cell} {row['speedup']:.2f}x"
+                           for cell, row in rows.items())
+        print(f"forward[{label}]: {rates}")
+    print(f"forward headline (serving-sized, K=8): "
+          f"{results['forward']['headline_speedup_k8']:.2f}x")
+    nas = results["nas"]
+    seq, pop = nas["runs"]["sequential"], nas["runs"]["population8"]
+    print(f"nas: sequential {seq['seconds']:.2f} s, population=8 "
+          f"{pop['seconds']:.2f} s ({nas['speedup']:.2f}x), best arch "
+          f"{seq['best_arch']} vs {pop['best_arch']} "
+          f"(same={nas['same_best_arch']}), max fleet size "
+          f"{pop['max_fleet_size']})")
+    return results
+
+
+if __name__ == "__main__":
+    main()

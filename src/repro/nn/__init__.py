@@ -12,17 +12,22 @@ from .layers import (
     Sequential, Identity, BatchNorm1d, LayerNorm, CropPad2d,
     Standardize, Destandardize,
 )
-from .plan import (PlanStep, register_lowering, structural_fingerprint,
-                   UnsupportedLayerError)
-from .compile import compile_inference, CompiledPlan
-from .compile_train import (compile_training, CompiledTrainingPlan,
-                            FusedAdam, FusedSGD, training_fingerprint)
-from .optim import Optimizer, SGD, Adam
+from .plan import (FleetPlan, PlanStep, fleet_fingerprint,
+                   register_fleet_lowering, register_lowering,
+                   structural_fingerprint, UnsupportedLayerError)
+from .compile import compile_fleet_inference, compile_inference, CompiledPlan
+from .compile_train import (compile_fleet_training, compile_training,
+                            CompiledTrainingPlan, FleetTrainingPlan,
+                            FusedAdam, FusedSGD,
+                            fleet_training_fingerprint,
+                            training_fingerprint)
+from .optim import Optimizer, SGD, Adam, FleetAdam, FleetSGD
 from .loss import mse_loss, l1_loss, huber_loss, mape_loss, rmse, mape
 from .serialize import (save_model, load_model, load_meta, spec_from_model,
                         model_from_spec, ModelFormatError)
-from .training import (Trainer, TrainResult, train_val_split,
-                       iterate_minibatches, normalize_stats, Normalizer)
+from .training import (FleetTrainer, Trainer, TrainResult,
+                       train_val_split, iterate_minibatches,
+                       normalize_stats, Normalizer)
 from .schedulers import StepLR, CosineAnnealingLR, ReduceLROnPlateau
 from .recurrent import GRUCell, GRU
 from .data import ArrayDataset, H5Dataset, DataLoader
@@ -42,4 +47,8 @@ __all__ = [
     "UnsupportedLayerError", "compile_training", "CompiledTrainingPlan",
     "FusedAdam", "FusedSGD", "PlanStep", "register_lowering",
     "structural_fingerprint", "training_fingerprint",
+    "FleetPlan", "FleetTrainingPlan", "FleetTrainer", "FleetAdam",
+    "FleetSGD", "compile_fleet_inference", "compile_fleet_training",
+    "fleet_fingerprint", "fleet_training_fingerprint",
+    "register_fleet_lowering",
 ]

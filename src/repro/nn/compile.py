@@ -35,9 +35,12 @@ from __future__ import annotations
 import numpy as np
 
 from . import layers as L
-from .plan import UnsupportedLayerError, lower_model, structural_fingerprint
+from .plan import (FleetPlan, UnsupportedLayerError, fleet_fingerprint,
+                   lower_model, structural_fingerprint)
 
-__all__ = ["compile_inference", "CompiledPlan", "UnsupportedLayerError"]
+__all__ = ["compile_inference", "compile_fleet_inference",
+           "CompiledPlan", "FleetPlan", "fleet_fingerprint",
+           "UnsupportedLayerError"]
 
 
 class CompiledPlan:
@@ -165,3 +168,14 @@ def compile_inference(model: L.Module) -> CompiledPlan:
     return CompiledPlan(ctx.steps, ctx.watch, struct_watch, n_layers,
                         ctx.n_fused, ctx.summary,
                         structural_fingerprint(model, extra=("infer",)))
+
+
+def compile_fleet_inference(models) -> FleetPlan:
+    """Compile K same-fleet-fingerprint models into one stacked plan.
+
+    Stacked outputs are bitwise-equal to each member's own
+    :func:`compile_inference` forward; raises
+    :class:`UnsupportedLayerError` on structurally mixed groups or
+    layers without a fleet lowering (callers keep per-model plans).
+    """
+    return FleetPlan(models)

@@ -63,11 +63,13 @@ import numpy as np
 from . import layers as L
 from .loss import huber_loss, l1_loss, mape_loss, mse_loss
 from .optim import SGD, Adam
-from .plan import (PlanStep, UnsupportedLayerError, _buf, loss_token,
+from .plan import (PlanStep, UnsupportedLayerError, _buf,
+                   fleet_fingerprint, loss_token, lower_fleet,
                    lower_model, structural_fingerprint)
 
 __all__ = ["compile_training", "CompiledTrainingPlan", "FusedAdam",
-           "FusedSGD", "UnsupportedLayerError"]
+           "FusedSGD", "compile_fleet_training", "FleetTrainingPlan",
+           "fleet_training_fingerprint", "UnsupportedLayerError"]
 
 
 # ----------------------------------------------------------------------
@@ -466,3 +468,275 @@ def compile_training(model: L.Module, loss_fn=mse_loss) -> CompiledTrainingPlan:
                                 struct_watch, ctx.summary, n_layers,
                                 ctx.n_fused,
                                 training_fingerprint(model, loss_fn))
+
+
+# ----------------------------------------------------------------------
+# Fleet training: K same-fingerprint candidates in lockstep
+# ----------------------------------------------------------------------
+
+class _FleetLoss:
+    """Per-member loss values + stacked seed gradient.
+
+    Wraps one :class:`_CompiledLoss` and runs it member by member —
+    the loss is a cheap elementwise tail next to the batched GEMMs, and
+    looping guarantees member ``k``'s value/gradient are bitwise what
+    its own sequential plan computes (shared reductions would change
+    the ``1/N`` scale).
+    """
+
+    __slots__ = ("single", "_bufs")
+
+    def __init__(self, single: _CompiledLoss):
+        self.single = single
+        self._bufs: dict = {}
+
+    def run(self, pred, target, n):
+        na = pred.shape[0]
+        bufs = self._bufs.setdefault(n, {})
+        g = bufs.get("g")
+        if g is None or g.shape != pred.shape:
+            g = bufs["g"] = np.empty(pred.shape)
+            bufs["d"] = np.empty(pred.shape)
+            bufs["t"] = np.empty(pred.shape)
+        if self.single.kind == "mse":
+            # Batched fast path: every op is elementwise (or a
+            # per-member reduce with the sequential association), so
+            # member rows stay bitwise — no Python loop over K.
+            d, t = bufs["d"], bufs["t"]
+            np.subtract(pred, target, out=d)
+            inv = 1.0 / pred[0].size
+            np.multiply(d, d, out=t)
+            vals = t.reshape(na, -1).sum(axis=1) * inv
+            np.multiply(d, inv, out=g)
+            np.add(g, g, out=g)
+            return vals, g
+        vals = np.empty(na)
+        for i in range(na):
+            vals[i], gi = self.single.run(pred[i], target, n)
+            np.copyto(g[i], gi)
+        return vals, g[:na]
+
+    def clear(self):
+        self.single.clear()
+        self._bufs.clear()
+
+
+class FleetTrainingPlan:
+    """Fused forward/backward over K stacked same-fingerprint models.
+
+    ``train_batch(x, y)`` advances every *active* member one minibatch
+    — one batched forward, per-member losses, one batched backward —
+    leaving gradients in the ``(K, n_flat)`` :attr:`grads` slab rows.
+    Early-stopped members are compacted out via :meth:`deactivate`
+    (their slab rows swap to the tail and every kernel shrinks to the
+    active prefix), so finished candidates stop contributing compute.
+    Member ``k``'s loss/gradient/parameter trajectory is bitwise the
+    one its own sequential :class:`CompiledTrainingPlan` would produce.
+    """
+
+    __slots__ = ("k", "n_active", "n_flat", "pslab", "cslab", "grads",
+                 "_steps", "_loss", "_psegs", "_csegs", "summary",
+                 "n_layers", "n_fused", "fingerprint", "_keys",
+                 "_need_gx", "row_of", "member_at", "_opt")
+
+    def __init__(self, models, loss_fn=mse_loss):
+        single_loss = _resolve_loss(loss_fn)
+        ctx, _struct, n_layers = lower_fleet(models, training=True)
+        if not any(step.param_sources() for step in ctx.steps):
+            raise UnsupportedLayerError("models have no trainable "
+                                        "parameters")
+        self.k = ctx.k
+        self.n_active = ctx.k
+        self._steps = tuple(ctx.steps)
+        self._loss = _FleetLoss(single_loss)
+        self.summary = tuple(ctx.summary)
+        self.n_layers = n_layers
+        self.n_fused = ctx.n_fused
+        self.fingerprint = fleet_training_fingerprint(models[0], loss_fn)
+        self._keys = set()
+        self.row_of = list(range(self.k))
+        self.member_at = list(range(self.k))
+        self._opt = None
+        psegs, csegs = [], []
+        po = co = 0
+        for step in self._steps:
+            for si, src in enumerate(step.param_sources()):
+                arr0 = getattr(*src[0])
+                if arr0.dtype != np.float64:
+                    raise UnsupportedLayerError(
+                        "fleet training requires float64 parameters")
+                psegs.append((step, si, po, po + arr0.size, arr0.shape))
+                po += arr0.size
+            for si, src in enumerate(step.const_sources()):
+                arr0 = getattr(*src[0])
+                csegs.append((step, si, co, co + arr0.size, arr0.shape))
+                co += arr0.size
+        self._psegs = tuple(psegs)
+        self._csegs = tuple(csegs)
+        self.n_flat = po
+        self.pslab = np.empty((self.k, po))
+        self.cslab = np.empty((self.k, max(co, 1)))
+        self.grads = np.zeros((self.k, po))
+        for (step, si, lo, hi, shape) in psegs:
+            srcs = step.param_sources()[si]
+            for m in range(self.k):
+                self.pslab[m, lo:hi] = getattr(*srcs[m]).reshape(-1)
+        for (step, si, lo, hi, shape) in csegs:
+            srcs = step.const_sources()[si]
+            for m in range(self.k):
+                self.cslab[m, lo:hi] = \
+                    np.asarray(getattr(*srcs[m]),
+                               dtype=np.float64).reshape(-1)
+        for step in self._steps:
+            pviews = [self.pslab[:, lo:hi].reshape((self.k,) + shape)
+                      for (s2, _si, lo, hi, shape) in psegs if s2 is step]
+            cviews = [self.cslab[:, lo:hi].reshape((self.k,) + shape)
+                      for (s2, _si, lo, hi, shape) in csegs if s2 is step]
+            if pviews:
+                step.bind_params(pviews)
+                step.bind_grads(
+                    [self.grads[:, lo:hi].reshape((self.k,) + shape)
+                     for (s2, _si, lo, hi, shape) in psegs if s2 is step])
+            if cviews:
+                step.bind_consts(cviews)
+        for step in self._steps:
+            step.slab_updated()
+        need, seen = [], False
+        for step in self._steps:
+            need.append(seen)
+            if step.param_sources():
+                seen = True
+        self._need_gx = tuple(need)
+
+    # -- optimizer / member management ------------------------------------
+    def bind_optimizer(self, opt) -> None:
+        """Register the fleet optimizer so member compaction swaps its
+        per-member state rows alongside the slab rows."""
+        self._opt = opt
+
+    def deactivate(self, member: int) -> None:
+        """Retire ``member`` (early stop): swap its slab/optimizer rows
+        to the tail and shrink every kernel's active prefix."""
+        row = self.row_of[member]
+        last = self.n_active - 1
+        if row > last:
+            raise ValueError(f"member {member} is already inactive")
+        if row != last:
+            other = self.member_at[last]
+            for slab in (self.pslab, self.grads, self.cslab):
+                slab[[row, last]] = slab[[last, row]]
+            for step in self._steps:
+                step.swap_members(row, last)
+                step.slab_updated()
+            if self._opt is not None:
+                self._opt.swap_rows(row, last)
+            self.row_of[member], self.row_of[other] = last, row
+            self.member_at[row], self.member_at[last] = other, member
+        self.n_active -= 1
+        for step in self._steps:
+            step.n_active = self.n_active
+
+    def snapshot_member(self, member: int) -> dict:
+        """Best-epoch capture of one member: parameter row + step-owned
+        state (BatchNorm running stats) — the fleet analogue of the
+        sequential trainer's ``state_dict`` snapshot."""
+        row = self.row_of[member]
+        return {"params": self.pslab[row].copy(),
+                "steps": [step.snapshot_row(row) for step in self._steps]}
+
+    def restore_member(self, member: int, snap: dict) -> None:
+        row = self.row_of[member]
+        self.pslab[row] = snap["params"]
+        for step, s in zip(self._steps, snap["steps"]):
+            step.restore_row(row, s)
+
+    def sync_members(self) -> None:
+        """Copy slab rows back into the member models' live parameter
+        arrays (and running stats) — call once after training."""
+        for (step, si, lo, hi, shape) in self._psegs:
+            srcs = step.param_sources()[si]   # row order after swaps
+            for row in range(self.k):
+                holder, attr = srcs[row]
+                getattr(holder, attr)[...] = \
+                    self.pslab[row, lo:hi].reshape(shape)
+        for step in self._steps:
+            step.sync_members()
+
+    # -- execution ---------------------------------------------------------
+    def train_batch(self, x, y) -> np.ndarray:
+        """One fused minibatch for every active member; returns the
+        ``(n_active,)`` per-member losses in *row* order (map to member
+        order via :attr:`member_at`)."""
+        x = np.asarray(x)
+        y = np.asarray(y)
+        if x.dtype != np.float64 or y.dtype != np.float64:
+            raise TypeError("fleet training requires float64 arrays")
+        n = x.shape[-2]
+        if n not in self._keys:
+            if len(self._keys) > 16:
+                for step in self._steps:
+                    step.clear()
+                self._loss.clear()
+                self._keys.clear()
+            self._keys.add(n)
+        h = x
+        for step in self._steps:
+            h = step.forward(h, n)
+        vals, g = self._loss.run(h, y, n)
+        steps = self._steps
+        need_gx = self._need_gx
+        for i in range(len(steps) - 1, -1, -1):
+            g = steps[i].backward(g, n, need_gx[i])
+            if g is None:
+                break
+        return vals
+
+    def eval_forward(self, x) -> np.ndarray:
+        """Stacked evaluation-mode forward (dropout off, BatchNorm on
+        running stats) — row ``r`` is bitwise member ``member_at[r]``'s
+        compiled inference forward."""
+        x = np.asarray(x)
+        if x.dtype != np.float64:
+            x = x.astype(np.float64)
+        n = x.shape[-2]
+        h = x
+        for step in self._steps:
+            h = step.eval_forward(h, n)
+        return h
+
+    def clip_gradients(self, max_norm: float) -> np.ndarray:
+        """Per-member global-norm clip, in place on the gradient slab
+        rows (same per-parameter ``np.vdot`` association as the
+        sequential plan)."""
+        na = self.n_active
+        norms = np.empty(na)
+        for row in range(na):
+            total = 0.0
+            for (_step, _si, lo, hi, _shape) in self._psegs:
+                seg = self.grads[row, lo:hi]
+                total += float(np.vdot(seg, seg))
+            norm = float(np.sqrt(total))
+            norms[row] = norm
+            if norm > max_norm:
+                self.grads[row] *= max_norm / (norm + 1e-12)
+        return norms
+
+    def __repr__(self):
+        return (f"FleetTrainingPlan(k={self.k}, "
+                f"active={self.n_active}, steps={len(self._steps)}, "
+                f"n_flat={self.n_flat})")
+
+
+def fleet_training_fingerprint(model: L.Module, loss_fn=mse_loss) -> str:
+    """Fleet grouping key for training: structure with per-member knobs
+    (dropout rate) masked, plus the loss token.  Models sharing this
+    fingerprint (and a batch size) can train as one fleet."""
+    return fleet_fingerprint(model, extra=("train", loss_token(loss_fn)))
+
+
+def compile_fleet_training(models, loss_fn=mse_loss) -> FleetTrainingPlan:
+    """Compile K same-fleet-fingerprint models + ``loss_fn`` into one
+    stacked training plan; raises :class:`UnsupportedLayerError` on
+    mixed structures or unsupported layers/losses (callers fall back to
+    sequential per-model training)."""
+    return FleetTrainingPlan(models, loss_fn)

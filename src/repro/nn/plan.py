@@ -51,6 +51,8 @@ __all__ = [
     "UnsupportedLayerError", "PlanStep", "LoweringContext",
     "register_lowering", "lowering_for", "lower_model",
     "structural_fingerprint", "loss_token",
+    "FleetStep", "FleetLoweringContext", "register_fleet_lowering",
+    "fleet_lowering_for", "lower_fleet", "fleet_fingerprint", "FleetPlan",
 ]
 
 
@@ -62,16 +64,20 @@ class UnsupportedLayerError(TypeError):
 # Structural fingerprints
 # ----------------------------------------------------------------------
 
-def _describe(module, out: list) -> None:
+def _describe(module, out: list, skip=()) -> None:
     out.append(type(module).__name__)
     for name, value in vars(module).items():
         if name == "training" or name.startswith("_"):
+            continue
+        if skip and any(isinstance(module, t) and name == a
+                        for t, a in skip):
+            out.append(f"{name}=*")
             continue
         if isinstance(value, L.Parameter):
             out.append(f"{name}:{value.data.shape}:{value.data.dtype}")
         elif isinstance(value, L.Module):
             out.append(f"{name}<")
-            _describe(value, out)
+            _describe(value, out, skip)
             out.append(">")
         elif isinstance(value, np.ndarray):
             # Constants (Standardize stats, BN running stats): shape
@@ -83,7 +89,7 @@ def _describe(module, out: list) -> None:
             out.append(f"{name}[")
             for item in value:
                 if isinstance(item, L.Module):
-                    _describe(item, out)
+                    _describe(item, out, skip)
             out.append("]")
     out.append(";")
 
@@ -99,6 +105,29 @@ def structural_fingerprint(model: L.Module, extra=()) -> str:
     """
     parts: list = []
     _describe(model, parts)
+    parts.extend(str(e) for e in extra)
+    return hashlib.blake2b("|".join(parts).encode(),
+                           digest_size=16).hexdigest()
+
+
+#: Per-member-tunable attributes masked out of fleet fingerprints:
+#: members of one fleet may differ here without changing the stacked
+#: step sequence or any buffer layout.
+_FLEET_FINGERPRINT_MASK = ((L.Dropout, "p"),)
+
+
+def fleet_fingerprint(model: L.Module, extra=()) -> str:
+    """:func:`structural_fingerprint` with per-member-tunable scalar
+    hyperparameters masked (currently ``Dropout.p``): two models whose
+    fleet fingerprints agree lower to the *same* batched step sequence
+    with the same slab layout, even though their dropout rates — which
+    the batched kernel carries as a per-member ``(K, 1, 1)`` keep
+    column — differ.  Everything else (layer types, parameter shapes,
+    activation slopes, normalization eps) still participates, so a
+    mismatch anywhere that would change a kernel refuses to group.
+    """
+    parts: list = []
+    _describe(model, parts, skip=_FLEET_FINGERPRINT_MASK)
     parts.extend(str(e) for e in extra)
     return hashlib.blake2b("|".join(parts).encode(),
                            digest_size=16).hexdigest()
@@ -418,7 +447,12 @@ class AffineStep(PlanStep):
     gradient buffer, then ``gW = dz.T @ x`` and ``gb = dz.sum(0)``
     straight into the plan's flat gradient buffer, and ``gx = dz @ W``
     into step scratch (skipped for the plan's first parameterized
-    step).  Inference forward additionally handles non-2-D inputs and
+    step).  3-D activations (GRU ``return_sequence=True`` feeding a
+    head affine) train through the same kernel: the forward is a
+    batched ``np.matmul`` over the leading axes and the weight gradient
+    collapses the leading axes into one flattened GEMM — the same sum
+    the graph path accumulates per batch entry, within 1e-10.
+    Inference forward additionally handles non-2-D inputs and
     non-float64 dtypes (correctness over speed on those rare shapes).
     """
 
@@ -448,9 +482,18 @@ class AffineStep(PlanStep):
     def forward(self, x, n):
         if x.ndim != 2:
             if self.training:
-                raise UnsupportedLayerError(
-                    f"compiled training expects 2-D activations, got "
-                    f"{x.shape}")
+                s = self.scratch(n)
+                z = s.get("z")
+                shape = x.shape[:-1] + (self.wt.shape[1],)
+                if z is None or z.shape != shape:
+                    z = s["z"] = np.empty(shape)
+                np.matmul(x, self.wt, out=z)
+                if self.b_row is not None:
+                    np.add(z, self.bias, out=z)
+                if self.act is not None:
+                    _act_forward(self.act, self.slope, z, s)
+                s["x"] = x
+                return z
             y = np.matmul(x, self.wt)      # rare inference shapes
             if self.bias is not None:
                 y = y + self.bias
@@ -480,7 +523,21 @@ class AffineStep(PlanStep):
         s = self._bufs[n]
         if self.act is not None:
             _act_backward(self.act, self.slope, g, s["z"], s)
-        np.dot(g.T, s["x"], out=self.gw)
+        x = s["x"]
+        if g.ndim != 2:
+            # Leading axes collapse into one GEMM: the same per-entry
+            # outer-product sum the graph accumulates batch-by-batch.
+            out_f, in_f = self.w.shape
+            np.dot(g.reshape(-1, out_f).T, x.reshape(-1, in_f),
+                   out=self.gw)
+            if self.gb is not None:
+                np.add.reduce(g.reshape(-1, out_f), axis=0, out=self.gb)
+            if not need_gx:
+                return None
+            gx = _buf(s, "gx", g.shape[:-1] + (in_f,))
+            np.matmul(g, self.w, out=gx)
+            return gx
+        np.dot(g.T, x, out=self.gw)
         if self.gb is not None:
             # add.reduce is what np.sum dispatches to (bit-identical to
             # the graph path's unbroadcast sum) minus wrapper overhead.
@@ -685,23 +742,85 @@ class BatchNormStep(PlanStep):
 
 
 class LayerNormStep(PlanStep):
-    """LayerNorm over the trailing axis (inference mode only)."""
+    """LayerNorm over the trailing axis.
 
-    __slots__ = ("layer",)
+    Training mode mirrors :class:`BatchNormStep`'s adjoint structure
+    with the reduction moved to the trailing axis (per-row statistics,
+    no running state): the forward replays the graph ops (``mean =
+    sum * (1/d)``, biased variance, ``(var + eps).sqrt()``), the
+    backward flows gradient through the row mean and variance exactly
+    as the Tensor adjoints compose.
+    """
 
-    def __init__(self, layer):
-        super().__init__(False)
+    __slots__ = ("layer", "gw", "gb", "grad_params")
+
+    def __init__(self, layer, training: bool = False):
+        super().__init__(training)
         self.layer = layer
+        self.gw = self.gb = None
+        self.grad_params = (layer.weight, layer.bias) if training else ()
+
+    def bind_grads(self, views):
+        self.gw, self.gb = views
 
     def forward(self, x, n):
         lay = self.layer
         d = x.shape[-1]
-        # Matches Tensor.mean/var: sum * (1/n), biased variance.
-        mu = x.sum(axis=-1, keepdims=True) * (1.0 / d)
-        centered = x - mu
-        var = (centered * centered).sum(axis=-1, keepdims=True) * (1.0 / d)
-        return centered / np.sqrt(var + lay.eps) * lay.weight.data \
-            + lay.bias.data
+        if not self.training:
+            # Matches Tensor.mean/var: sum * (1/n), biased variance.
+            mu = x.sum(axis=-1, keepdims=True) * (1.0 / d)
+            centered = x - mu
+            var = (centered * centered).sum(axis=-1, keepdims=True) \
+                * (1.0 / d)
+            return centered / np.sqrt(var + lay.eps) * lay.weight.data \
+                + lay.bias.data
+        s = self.scratch(n)
+        inv_d = 1.0 / d
+        mu = x.sum(axis=-1, keepdims=True) * inv_d
+        c = _buf(s, "c", x.shape)
+        np.subtract(x, mu, out=c)
+        sq = _buf(s, "sq", x.shape)
+        np.multiply(c, c, out=sq)
+        var = sq.sum(axis=-1, keepdims=True) * inv_d
+        std = np.sqrt(var + lay.eps)
+        norm = _buf(s, "norm", x.shape)
+        np.divide(c, std, out=norm)
+        z = _buf(s, "z", x.shape)
+        np.multiply(norm, lay.weight.data, out=z)
+        np.add(z, lay.bias.data, out=z)
+        s["std"] = std
+        s["inv_d"] = inv_d
+        return z
+
+    def backward(self, g, n, need_gx):
+        s = self._bufs[n]
+        c, sq, norm, std = s["c"], s["sq"], s["norm"], s["std"]
+        inv_d = s["inv_d"]
+        d_feat = self.gw.shape[0]
+        np.multiply(g, norm, out=sq)           # sq reused as scratch
+        np.add.reduce(sq.reshape(-1, d_feat), axis=0, out=self.gw)
+        np.add.reduce(g.reshape(-1, d_feat), axis=0, out=self.gb)
+        dn = _buf(s, "dn", g.shape)
+        np.multiply(g, self.layer.weight.data, out=dn)
+        # d std via norm = c / std (the truediv adjoint, unbroadcast).
+        np.multiply(dn, c, out=sq)
+        np.negative(sq, out=sq)
+        np.divide(sq, std * std, out=sq)
+        dstd = sq.sum(axis=-1, keepdims=True)
+        dvar = dstd * 0.5 / std
+        np.divide(dn, std, out=dn)             # dn = dc (from norm)
+        gci = dvar * inv_d
+        np.multiply(c, gci, out=sq)
+        np.add(sq, sq, out=sq)                 # 2 * c * dvar / d
+        np.add(dn, sq, out=dn)                 # total dc
+        if not need_gx:
+            return None
+        dmu = dn.sum(axis=-1, keepdims=True)
+        np.negative(dmu, out=dmu)
+        np.multiply(dmu, inv_d, out=dmu)
+        gx = _buf(s, "gx", g.shape)
+        np.add(dn, dmu, out=gx)
+        return gx
 
 
 class StandardizeStep(PlanStep):
@@ -1092,7 +1211,11 @@ def _lower_batchnorm(layer, ctx):
 @register_lowering(L.LayerNorm)
 def _lower_layernorm(layer, ctx):
     if ctx.training:
-        ctx.unsupported(layer)
+        ctx.add_param(layer.weight)
+        ctx.add_param(layer.bias)
+        ctx.emit(LayerNormStep(layer, True),
+                 "LayerNorm: trailing-axis stats")
+        return
     ctx.watch_params(layer)
     ctx.emit(LayerNormStep(layer), "LayerNorm: fused normalize")
 
@@ -1155,3 +1278,899 @@ def _lower_avgpool2d(layer, ctx):
 def _lower_croppad2d(layer, ctx):
     ctx.emit(CropPad2dStep(layer.height, layer.width, ctx.training),
              "CropPad2d: slice/pad")
+
+
+# ----------------------------------------------------------------------
+# Fleet IR: one batched step list over K same-fingerprint members
+# ----------------------------------------------------------------------
+
+class FleetStep(PlanStep):
+    """One plan step batched over a leading member axis of size K.
+
+    Fleet steps see activations shaped ``(K, B, ...)`` — or the shared
+    ``(B, F)`` input before the first member-specific step, which
+    broadcasts through the batched kernels (``np.matmul`` and the
+    elementwise ufuncs treat a missing leading axis as "same rows for
+    every member").  Member ``k``'s slice of every buffer is computed
+    with exactly the ops its own single-model plan would run, so
+    stacked outputs are bitwise-equal to sequential ones.
+
+    ``n_active`` is the training plan's member-compaction cursor:
+    early-stopped members are swapped to the tail (:meth:`swap_members`)
+    and every kernel runs on the ``[:n_active]`` row prefix, so a
+    finished candidate stops contributing compute.  Inference plans
+    keep it at ``k``.
+
+    Stacked tensors are declared, not allocated, by the step:
+    :meth:`param_sources` / :meth:`const_sources` name the per-member
+    arrays as ``(holder, attr)`` pairs and the owning plan binds
+    ``(K, *shape)`` views of its flat slab via :meth:`bind_params` /
+    :meth:`bind_consts` — which is what makes a member hot-swap a
+    single slab row copy.
+    """
+
+    __slots__ = ("k", "n_active", "pos")
+
+    def __init__(self, k: int, training: bool):
+        super().__init__(training)
+        self.k = k
+        self.n_active = k
+        self.pos = -1            # flattened-layer index (set by emit)
+
+    # -- slab sources -----------------------------------------------------
+    def param_sources(self) -> tuple:
+        """Trainable stacked tensors: a tuple of K-tuples of
+        ``(holder, attr)`` pairs, in the member order the step was
+        built with.  Read via ``getattr`` so hot-swap re-reads live
+        arrays."""
+        return ()
+
+    def const_sources(self) -> tuple:
+        """Frozen per-member constants (standardize stats, running
+        stats at inference), same layout as :meth:`param_sources`."""
+        return ()
+
+    def bind_params(self, views) -> None:
+        pass
+
+    def bind_consts(self, views) -> None:
+        pass
+
+    def slab_updated(self) -> None:
+        """Hook run after any slab row copy (derived constants such as
+        the standardize reciprocal recompute here)."""
+
+    # -- member management ------------------------------------------------
+    def set_member(self, i: int, layer) -> None:
+        """Rebind member ``i`` to a hot-swapped layer (inference)."""
+
+    def swap_members(self, i: int, j: int) -> None:
+        """Swap per-member *step-owned* state for rows ``i``/``j``
+        (training compaction; slab rows are swapped by the plan)."""
+
+    def snapshot_row(self, i: int):
+        """Step-owned per-member state to capture alongside a best-epoch
+        parameter snapshot (BatchNorm running stats); ``None`` when the
+        step has none."""
+        return None
+
+    def restore_row(self, i: int, snap) -> None:
+        """Restore a :meth:`snapshot_row` capture into row ``i``."""
+
+    def sync_members(self) -> None:
+        """Write step-owned per-member state back into the member
+        layers (end of training)."""
+
+    def eval_forward(self, x, n):
+        """Evaluation-mode forward for training plans: dropout becomes
+        identity, BatchNorm reads running stats; everything else is the
+        training forward (which matches inference numerics)."""
+        return self.forward(x, n)
+
+
+class FleetAffineStep(FleetStep):
+    """Fused batched ``z_k = act(x_k @ W_k.T + b_k)`` over K members.
+
+    The weight view is ``(K, out, in)`` (each member's own C-contiguous
+    ``Linear`` layout stacked); the forward multiplies by its
+    ``(K, in, out)`` transpose view, which BLAS executes as K
+    independent GEMMs — bitwise-identical to each member's
+    ``np.dot(x, W.T)``.
+    """
+
+    __slots__ = ("layers", "w", "wt", "b", "act", "slope", "gw", "gb")
+
+    def __init__(self, layers, act, training):
+        super().__init__(len(layers), training)
+        self.layers = list(layers)
+        self.w = self.wt = self.b = None
+        if act is None:
+            self.act, self.slope = None, 0.0
+        else:
+            self.act, self.slope = act
+        self.gw = self.gb = None
+
+    def param_sources(self):
+        srcs = [tuple((lay.weight, "data") for lay in self.layers)]
+        if self.layers[0].bias is not None:
+            srcs.append(tuple((lay.bias, "data") for lay in self.layers))
+        return tuple(srcs)
+
+    def bind_params(self, views):
+        self.w = views[0]                  # (K, out, in) slab view
+        self.wt = self.w.transpose(0, 2, 1)
+        self.b = views[1][:, None, :] if len(views) > 1 else None
+
+    def bind_grads(self, views):
+        self.gw = views[0]
+        self.gb = views[1] if len(views) > 1 else None
+
+    def set_member(self, i, layer):
+        self.layers[i] = layer
+
+    def swap_members(self, i, j):
+        self.layers[i], self.layers[j] = self.layers[j], self.layers[i]
+
+    def forward(self, x, n):
+        na = self.n_active
+        s = self.scratch(n)
+        wt = self.wt if na == self.k else self.wt[:na]
+        shape = (na, x.shape[-2], wt.shape[-1])
+        z = s.get("z")
+        if z is None or z.shape != shape:
+            z = s["z"] = np.empty(shape)
+        np.matmul(x, wt, out=z)
+        if self.b is not None:
+            np.add(z, self.b[:na], out=z)
+        if self.act is not None:
+            _act_forward(self.act, self.slope, z, s)
+        if self.training:
+            s["x"] = x
+        return z
+
+    def backward(self, g, n, need_gx):
+        s = self._bufs[n]
+        na = g.shape[0]
+        if self.act is not None:
+            _act_backward(self.act, self.slope, g, s["z"], s)
+        x = s["x"]
+        # (na, out, B) @ (na|1, B, in): a shared 2-D x broadcasts.
+        np.matmul(g.transpose(0, 2, 1), x, out=self.gw[:na])
+        if self.gb is not None:
+            np.add.reduce(g, axis=1, out=self.gb[:na])
+        if not need_gx:
+            return None
+        gx = _buf(s, "gx", (na, g.shape[1], self.w.shape[2]))
+        np.matmul(g, self.w[:na], out=gx)
+        return gx
+
+
+class FleetActStep(FleetStep):
+    """Standalone activation over the stacked stream (shared kernel —
+    fingerprint equality guarantees one kind/slope for all members)."""
+
+    __slots__ = ("act", "slope")
+
+    def __init__(self, k, act, training):
+        super().__init__(k, training)
+        self.act, self.slope = act
+
+    def forward(self, x, n):
+        s = self.scratch(n)
+        z = s.get("z")
+        if z is None or z.shape != x.shape:
+            z = s["z"] = np.empty(x.shape)
+        np.copyto(z, x)
+        _act_forward(self.act, self.slope, z, s)
+        return z
+
+    def backward(self, g, n, need_gx):
+        s = self._bufs[n]
+        _act_backward(self.act, self.slope, g, s["z"], s)
+        return g
+
+
+class FleetDropoutStep(FleetStep):
+    """Inverted dropout with a per-member ``(K, 1, 1)`` keep column.
+
+    Each member's mask draws from its own layer RNG into its row slice
+    (same stream consumption as the member's sequential
+    :class:`DropoutStep`), so fixed-seed fleet training is bit-for-bit
+    the sequential trajectory.  Deactivated members stop drawing —
+    exactly like the sequential trainer they mirror stopped training.
+    """
+
+    __slots__ = ("layers", "keep")
+
+    def __init__(self, layers):
+        super().__init__(len(layers), True)
+        self.layers = list(layers)
+        self.keep = np.array([[[1.0 - lay.p]] for lay in layers])
+
+    def set_member(self, i, layer):
+        self.layers[i] = layer
+        self.keep[i, 0, 0] = 1.0 - layer.p
+
+    def swap_members(self, i, j):
+        self.layers[i], self.layers[j] = self.layers[j], self.layers[i]
+        self.keep[[i, j]] = self.keep[[j, i]]
+
+    def forward(self, x, n):
+        na = self.n_active
+        s = self.scratch(n)
+        if x.ndim == 2:
+            x = np.broadcast_to(x, (na,) + x.shape)
+        r = _buf(s, "r", x.shape)
+        for i in range(na):
+            self.layers[i].rng.random(out=r[i])
+        keep = self.keep[:na]
+        mb = _buf(s, "mask_bool", x.shape, dtype=bool)
+        np.less(r, keep, out=mb)
+        m = _buf(s, "mask", x.shape)
+        np.divide(mb, keep, out=m)
+        z = _buf(s, "z", x.shape)
+        np.multiply(x, m, out=z)
+        return z
+
+    def backward(self, g, n, need_gx):
+        np.multiply(g, self._bufs[n]["mask"], out=g)
+        return g
+
+    def eval_forward(self, x, n):
+        return x
+
+
+class FleetBatchNormStep(FleetStep):
+    """BatchNorm1d over the stacked stream.
+
+    Training keeps the running statistics as step-owned ``(K, F)``
+    stacks (updated with the exact sequential update, elementwise per
+    member) and :meth:`sync_members` writes them back to the member
+    layers; inference reads frozen running stats out of the plan slab.
+    Reductions move from axis 0 to axis 1 — per-member summation order
+    is unchanged, so member slices stay bitwise-sequential.
+    """
+
+    __slots__ = ("layers", "w", "b", "run_mu", "run_var", "gw", "gb",
+                 "eps", "momentum")
+
+    def __init__(self, layers, training):
+        super().__init__(len(layers), training)
+        self.layers = list(layers)
+        self.eps = layers[0].eps
+        self.momentum = layers[0].momentum
+        self.w = self.b = None
+        self.gw = self.gb = None
+        if training:
+            self.run_mu = np.stack([lay.running_mean for lay in layers])
+            self.run_var = np.stack([lay.running_var for lay in layers])
+        else:
+            self.run_mu = self.run_var = None
+
+    def param_sources(self):
+        return (tuple((lay.weight, "data") for lay in self.layers),
+                tuple((lay.bias, "data") for lay in self.layers))
+
+    def const_sources(self):
+        if self.training:
+            return ()
+        return (tuple((lay, "running_mean") for lay in self.layers),
+                tuple((lay, "running_var") for lay in self.layers))
+
+    def bind_params(self, views):
+        self.w = views[0][:, None, :]
+        self.b = views[1][:, None, :]
+
+    def bind_consts(self, views):
+        self.run_mu = views[0]
+        self.run_var = views[1]
+
+    def bind_grads(self, views):
+        self.gw, self.gb = views
+
+    def set_member(self, i, layer):
+        self.layers[i] = layer
+
+    def swap_members(self, i, j):
+        self.layers[i], self.layers[j] = self.layers[j], self.layers[i]
+        if self.training:
+            self.run_mu[[i, j]] = self.run_mu[[j, i]]
+            self.run_var[[i, j]] = self.run_var[[j, i]]
+
+    def snapshot_row(self, i):
+        if not self.training:
+            return None
+        return (self.run_mu[i].copy(), self.run_var[i].copy())
+
+    def restore_row(self, i, snap):
+        if snap is None:
+            return
+        self.run_mu[i] = snap[0]
+        self.run_var[i] = snap[1]
+
+    def sync_members(self):
+        """Write the stacked running stats back into the member layers
+        (rebinding, like the sequential step, so watching inference
+        plans go stale)."""
+        if not self.training:
+            return
+        for i, lay in enumerate(self.layers):
+            lay.running_mean = self.run_mu[i].copy()
+            lay.running_var = self.run_var[i].copy()
+
+    def forward(self, x, n):
+        na = self.n_active
+        s = self.scratch(n)
+        if x.ndim == 2:
+            x = np.broadcast_to(x, (na,) + x.shape)
+        if not self.training:
+            mu = self.run_mu[:na, None, :]
+            denom = np.sqrt(self.run_var[:na, None, :] + self.eps)
+            return (x - mu) / denom * self.w[:na] + self.b[:na]
+        inv_n = 1.0 / n
+        mu = x.sum(axis=1, keepdims=True) * inv_n
+        c = _buf(s, "c", x.shape)
+        np.subtract(x, mu, out=c)
+        sq = _buf(s, "sq", x.shape)
+        np.multiply(c, c, out=sq)
+        var = sq.sum(axis=1, keepdims=True) * inv_n
+        m = self.momentum
+        self.run_mu[:na] = ((1 - m) * self.run_mu[:na]
+                            + m * mu[:, 0, :])
+        self.run_var[:na] = ((1 - m) * self.run_var[:na]
+                             + m * var[:, 0, :])
+        std = np.sqrt(var + self.eps)
+        norm = _buf(s, "norm", x.shape)
+        np.divide(c, std, out=norm)
+        z = _buf(s, "z", x.shape)
+        np.multiply(norm, self.w[:na], out=z)
+        np.add(z, self.b[:na], out=z)
+        s["std"] = std
+        s["inv_n"] = inv_n
+        return z
+
+    def eval_forward(self, x, n):
+        na = self.n_active
+        if x.ndim == 2:
+            x = np.broadcast_to(x, (na,) + x.shape)
+        mu = self.run_mu[:na, None, :]
+        denom = np.sqrt(self.run_var[:na, None, :] + self.eps)
+        return (x - mu) / denom * self.w[:na] + self.b[:na]
+
+    def backward(self, g, n, need_gx):
+        s = self._bufs[n]
+        na = g.shape[0]
+        c, sq, norm, std = s["c"], s["sq"], s["norm"], s["std"]
+        inv_n = s["inv_n"]
+        np.multiply(g, norm, out=sq)
+        np.add.reduce(sq, axis=1, out=self.gw[:na])
+        np.add.reduce(g, axis=1, out=self.gb[:na])
+        dn = _buf(s, "dn", g.shape)
+        np.multiply(g, self.w[:na], out=dn)
+        np.multiply(dn, c, out=sq)
+        np.negative(sq, out=sq)
+        np.divide(sq, std * std, out=sq)
+        dstd = sq.sum(axis=1, keepdims=True)
+        dvar = dstd * 0.5 / std
+        np.divide(dn, std, out=dn)
+        gci = dvar * inv_n
+        np.multiply(c, gci, out=sq)
+        np.add(sq, sq, out=sq)
+        np.add(dn, sq, out=dn)
+        if not need_gx:
+            return None
+        dmu = dn.sum(axis=1, keepdims=True)
+        np.negative(dmu, out=dmu)
+        np.multiply(dmu, inv_n, out=dmu)
+        gx = _buf(s, "gx", g.shape)
+        np.add(dn, dmu, out=gx)
+        return gx
+
+
+class FleetLayerNormStep(FleetStep):
+    """LayerNorm over the trailing axis, stacked weight/bias rows."""
+
+    __slots__ = ("layers", "w", "b", "gw", "gb", "eps")
+
+    def __init__(self, layers, training):
+        super().__init__(len(layers), training)
+        self.layers = list(layers)
+        self.eps = layers[0].eps
+        self.w = self.b = None
+        self.gw = self.gb = None
+
+    def param_sources(self):
+        return (tuple((lay.weight, "data") for lay in self.layers),
+                tuple((lay.bias, "data") for lay in self.layers))
+
+    def bind_params(self, views):
+        self.w = views[0][:, None, :]
+        self.b = views[1][:, None, :]
+
+    def bind_grads(self, views):
+        self.gw, self.gb = views
+
+    def set_member(self, i, layer):
+        self.layers[i] = layer
+
+    def swap_members(self, i, j):
+        self.layers[i], self.layers[j] = self.layers[j], self.layers[i]
+
+    def forward(self, x, n):
+        na = self.n_active
+        s = self.scratch(n)
+        if x.ndim == 2:
+            x = np.broadcast_to(x, (na,) + x.shape)
+        d = x.shape[-1]
+        inv_d = 1.0 / d
+        if not self.training:
+            mu = x.sum(axis=-1, keepdims=True) * inv_d
+            centered = x - mu
+            var = (centered * centered).sum(axis=-1, keepdims=True) * inv_d
+            return centered / np.sqrt(var + self.eps) * self.w[:na] \
+                + self.b[:na]
+        mu = x.sum(axis=-1, keepdims=True) * inv_d
+        c = _buf(s, "c", x.shape)
+        np.subtract(x, mu, out=c)
+        sq = _buf(s, "sq", x.shape)
+        np.multiply(c, c, out=sq)
+        var = sq.sum(axis=-1, keepdims=True) * inv_d
+        std = np.sqrt(var + self.eps)
+        norm = _buf(s, "norm", x.shape)
+        np.divide(c, std, out=norm)
+        z = _buf(s, "z", x.shape)
+        np.multiply(norm, self.w[:na], out=z)
+        np.add(z, self.b[:na], out=z)
+        s["std"] = std
+        s["inv_d"] = inv_d
+        return z
+
+    def backward(self, g, n, need_gx):
+        s = self._bufs[n]
+        na = g.shape[0]
+        c, sq, norm, std = s["c"], s["sq"], s["norm"], s["std"]
+        inv_d = s["inv_d"]
+        np.multiply(g, norm, out=sq)
+        np.add.reduce(sq, axis=1, out=self.gw[:na])
+        np.add.reduce(g, axis=1, out=self.gb[:na])
+        dn = _buf(s, "dn", g.shape)
+        np.multiply(g, self.w[:na], out=dn)
+        np.multiply(dn, c, out=sq)
+        np.negative(sq, out=sq)
+        np.divide(sq, std * std, out=sq)
+        dstd = sq.sum(axis=-1, keepdims=True)
+        dvar = dstd * 0.5 / std
+        np.divide(dn, std, out=dn)
+        gci = dvar * inv_d
+        np.multiply(c, gci, out=sq)
+        np.add(sq, sq, out=sq)
+        np.add(dn, sq, out=dn)
+        if not need_gx:
+            return None
+        dmu = dn.sum(axis=-1, keepdims=True)
+        np.negative(dmu, out=dmu)
+        np.multiply(dmu, inv_d, out=dmu)
+        gx = _buf(s, "gx", g.shape)
+        np.add(dn, dmu, out=gx)
+        return gx
+
+
+class FleetStandardizeStep(FleetStep):
+    """Frozen per-member ``(x - mean_k) * (1/std_k)`` input head.
+
+    Usually the first step: a shared 2-D input broadcasts against the
+    ``(K, 1, F)`` stat columns and comes out stacked.
+    """
+
+    __slots__ = ("layers", "mean", "std", "inv_std")
+
+    def __init__(self, layers, training):
+        super().__init__(len(layers), training)
+        self.layers = list(layers)
+        self.mean = self.std = self.inv_std = None
+
+    def const_sources(self):
+        return (tuple((lay, "mean") for lay in self.layers),
+                tuple((lay, "std") for lay in self.layers))
+
+    def bind_consts(self, views):
+        self.mean = views[0][:, None, :]
+        self.std = views[1][:, None, :]
+        self.inv_std = np.empty_like(self.std)
+        self.slab_updated()
+
+    def slab_updated(self):
+        np.divide(1.0, self.std, out=self.inv_std)
+
+    def set_member(self, i, layer):
+        self.layers[i] = layer
+
+    def swap_members(self, i, j):
+        self.layers[i], self.layers[j] = self.layers[j], self.layers[i]
+
+    def forward(self, x, n):
+        na = self.n_active
+        s = self.scratch(n)
+        mean, inv = self.mean[:na], self.inv_std[:na]
+        shape = (na, x.shape[-2], x.shape[-1])
+        z = s.get("z")
+        if z is None or z.shape != shape:
+            z = s["z"] = np.empty(shape)
+        np.subtract(x, mean, out=z)
+        np.multiply(z, inv, out=z)
+        return z
+
+    def backward(self, g, n, need_gx):
+        if not need_gx:
+            return None
+        np.multiply(g, self.inv_std[:g.shape[0]], out=g)
+        return g
+
+
+class FleetDestandardizeStep(FleetStep):
+    """Frozen per-member ``x * std_k + mean_k`` output head."""
+
+    __slots__ = ("layers", "mean", "std")
+
+    def __init__(self, layers, training):
+        super().__init__(len(layers), training)
+        self.layers = list(layers)
+        self.mean = self.std = None
+
+    def const_sources(self):
+        return (tuple((lay, "mean") for lay in self.layers),
+                tuple((lay, "std") for lay in self.layers))
+
+    def bind_consts(self, views):
+        self.mean = views[0][:, None, :]
+        self.std = views[1][:, None, :]
+
+    def set_member(self, i, layer):
+        self.layers[i] = layer
+
+    def swap_members(self, i, j):
+        self.layers[i], self.layers[j] = self.layers[j], self.layers[i]
+
+    def forward(self, x, n):
+        na = self.n_active
+        s = self.scratch(n)
+        shape = (na, x.shape[-2], x.shape[-1])
+        z = s.get("z")
+        if z is None or z.shape != shape:
+            z = s["z"] = np.empty(shape)
+        np.multiply(x, self.std[:na], out=z)
+        np.add(z, self.mean[:na], out=z)
+        return z
+
+    def backward(self, g, n, need_gx):
+        if not need_gx:
+            return None
+        np.multiply(g, self.std[:g.shape[0]], out=g)
+        return g
+
+
+class FleetFlattenStep(FleetStep):
+    """Member ``Flatten(start_dim=s)`` on a stacked stream reshapes
+    from axis ``s + 1``; a still-shared (member-shaped) input keeps the
+    member axis numbering."""
+
+    __slots__ = ("start_dim", "member_ndim")
+
+    def __init__(self, start_dim, member_ndim, k, training):
+        super().__init__(k, training)
+        self.start_dim = start_dim
+        self.member_ndim = member_ndim
+
+    def forward(self, x, n):
+        if self.training:
+            self.scratch(n)["shape"] = x.shape
+        cut = self.start_dim + (1 if x.ndim > self.member_ndim else 0)
+        return x.reshape(x.shape[:cut] + (-1,))
+
+    def backward(self, g, n, need_gx):
+        if not need_gx:
+            return None
+        return g.reshape(self._bufs[n]["shape"])
+
+
+# -- fleet lowering registry + context ---------------------------------
+
+_FLEET_LOWERINGS: dict = {}
+
+
+def register_fleet_lowering(*layer_types):
+    """Register ``lower(layers, ctx)`` for one or more layer types;
+    ``layers`` is the K members' layer at the current position (MRO
+    lookup, like :func:`register_lowering`)."""
+    def deco(fn):
+        for t in layer_types:
+            _FLEET_LOWERINGS[t] = fn
+        return fn
+    return deco
+
+
+def fleet_lowering_for(layer):
+    for klass in type(layer).__mro__:
+        fn = _FLEET_LOWERINGS.get(klass)
+        if fn is not None:
+            return fn
+    return None
+
+
+class FleetLoweringContext:
+    """Lockstep lowering state over K structurally identical models."""
+
+    __slots__ = ("training", "k", "steps", "summary", "n_fused",
+                 "_members", "_pos")
+
+    def __init__(self, members, training: bool):
+        self.training = training
+        self.k = len(members)
+        self.steps: list = []
+        self.summary: list = []
+        self.n_fused = 0
+        self._members = members
+        self._pos = 0
+
+    def layers(self) -> list:
+        """The K member layers at the current position."""
+        return [m[self._pos] for m in self._members]
+
+    def peek(self):
+        """Member 0's next layer (activation fusion probe; equal
+        fingerprints guarantee every member has the same type there)."""
+        nxt = self._pos + 1
+        return self._members[0][nxt] if nxt < len(self._members[0]) \
+            else None
+
+    def fuse_next(self) -> None:
+        self._pos += 1
+        self.n_fused += 1
+
+    def emit(self, step, note: str) -> None:
+        step.pos = self._pos
+        self.steps.append(step)
+        self.summary.append(note)
+
+    def note(self, note: str) -> None:
+        self.summary.append(note)
+
+    def unsupported(self, layer, why: str | None = None):
+        mode = "training" if self.training else "inference"
+        raise UnsupportedLayerError(
+            why or f"no fleet {mode} lowering for {type(layer).__name__}")
+
+
+def lower_fleet(models, training: bool):
+    """Lower K same-fleet-fingerprint models into one batched step
+    list.  Structurally mixed groups refuse with
+    :class:`UnsupportedLayerError` (callers fall back to per-model
+    plans), as do layers without a fleet lowering entry (conv/pool/
+    recurrent members keep their single-model path).
+    """
+    models = list(models)
+    if not models:
+        raise ValueError("lower_fleet requires at least one model")
+    fps = {fleet_fingerprint(m) for m in models}
+    if len(fps) > 1:
+        raise UnsupportedLayerError(
+            f"fleet members are structurally different: {len(fps)} "
+            f"distinct fingerprints across {len(models)} models")
+    struct_watch: list = []
+    members = [_flatten_layers(m, struct_watch) for m in models]
+    ctx = FleetLoweringContext(members, training)
+    n_layers = len(members[0])
+    while ctx._pos < n_layers:
+        layers = ctx.layers()
+        fn = fleet_lowering_for(layers[0])
+        if fn is None:
+            raise UnsupportedLayerError(
+                f"no fleet lowering for {type(layers[0]).__name__}")
+        fn(layers, ctx)
+        ctx._pos += 1
+    return ctx, struct_watch, n_layers
+
+
+@register_fleet_lowering(L.Identity)
+def _fleet_identity(layers, ctx):
+    ctx.note("Identity: skipped")
+
+
+@register_fleet_lowering(L.Dropout)
+def _fleet_dropout(layers, ctx):
+    if ctx.training and any(lay.p > 0.0 for lay in layers):
+        ctx.emit(FleetDropoutStep(layers),
+                 "Dropout xK: per-member keep column")
+    else:
+        ctx.note("Dropout: skipped")
+
+
+@register_fleet_lowering(L.Linear)
+def _fleet_linear(layers, ctx):
+    nxt = ctx.peek()
+    act = act_kind(nxt) if nxt is not None else None
+    step = FleetAffineStep(layers, act, ctx.training)
+    if act is not None:
+        ctx.emit(step, f"Linear+{type(nxt).__name__} xK: fused batched "
+                       f"affine")
+        ctx.fuse_next()
+    else:
+        ctx.emit(step, "Linear xK: batched affine")
+
+
+@register_fleet_lowering(L.ReLU, L.Tanh, L.Sigmoid, L.LeakyReLU)
+def _fleet_activation(layers, ctx):
+    ctx.emit(FleetActStep(ctx.k, act_kind(layers[0]), ctx.training),
+             f"{type(layers[0]).__name__} xK: activation")
+
+
+@register_fleet_lowering(L.BatchNorm1d)
+def _fleet_batchnorm(layers, ctx):
+    ctx.emit(FleetBatchNormStep(layers, ctx.training),
+             "BatchNorm1d xK: batched stats"
+             if ctx.training else "BatchNorm1d xK: running stats")
+
+
+@register_fleet_lowering(L.LayerNorm)
+def _fleet_layernorm(layers, ctx):
+    ctx.emit(FleetLayerNormStep(layers, ctx.training),
+             "LayerNorm xK: trailing-axis stats")
+
+
+@register_fleet_lowering(L.Standardize)
+def _fleet_standardize(layers, ctx):
+    ctx.emit(FleetStandardizeStep(layers, ctx.training),
+             "Standardize xK: stacked constants")
+
+
+@register_fleet_lowering(L.Destandardize)
+def _fleet_destandardize(layers, ctx):
+    ctx.emit(FleetDestandardizeStep(layers, ctx.training),
+             "Destandardize xK: stacked constants")
+
+
+@register_fleet_lowering(L.Flatten)
+def _fleet_flatten(layers, ctx):
+    member_ndim = 2        # fleet zoo is the MLP family: (B, F) members
+    ctx.emit(FleetFlattenStep(layers[0].start_dim, member_ndim, ctx.k,
+                              ctx.training),
+             "Flatten xK: reshape")
+
+
+# -- the stacked inference plan ----------------------------------------
+
+class FleetPlan:
+    """Stacked inference over K same-fingerprint models.
+
+    One flat ``(K, n_slab)`` float64 weight slab holds every member's
+    parameters *and* frozen constants; steps hold ``(K, *shape)`` views
+    into it, so hot-swapping member ``k`` is one row-slice copy
+    (:meth:`replace_member`) and the next stacked forward reads the new
+    weights — no rebuild, no other member disturbed.
+
+    ``__call__`` accepts a shared ``(B, F)`` input (broadcast to every
+    member) or a stacked ``(K, B, F)`` batch and returns ``(K, B,
+    *out)`` stacked outputs; row ``k`` is bitwise-equal to member
+    ``k``'s own compiled forward.
+    """
+
+    __slots__ = ("k", "fingerprint", "summary", "n_layers", "n_fused",
+                 "slab", "n_slab", "_steps", "_segs", "_watch", "_keys")
+
+    def __init__(self, models):
+        models = list(models)
+        ctx, _struct, n_layers = lower_fleet(models, training=False)
+        self.k = ctx.k
+        self.fingerprint = fleet_fingerprint(models[0], extra=("infer",))
+        self.summary = tuple(ctx.summary)
+        self.n_layers = n_layers
+        self.n_fused = ctx.n_fused
+        self._steps = ctx.steps
+        self._keys: set = set()
+        self._build_slab()
+
+    # -- slab construction ------------------------------------------------
+    def _seg_sources(self, step, kind):
+        return step.param_sources() if kind == "p" else \
+            step.const_sources()
+
+    def _build_slab(self):
+        segs = []
+        offset = 0
+        for step in self._steps:
+            for kind in ("p", "c"):
+                for si, src in enumerate(self._seg_sources(step, kind)):
+                    arr0 = getattr(*src[0])
+                    if arr0.dtype != np.float64:
+                        raise UnsupportedLayerError(
+                            "fleet plans require float64 member tensors")
+                    segs.append((step, kind, si, offset,
+                                 offset + arr0.size, arr0.shape))
+                    offset += arr0.size
+        self._segs = segs
+        self.n_slab = offset
+        self.slab = np.empty((self.k, offset))
+        self._watch = [None] * self.k
+        for k in range(self.k):
+            self.refresh_member(k)
+        for step in self._steps:
+            pviews, cviews = [], []
+            for (s2, kind, si, lo, hi, shape) in segs:
+                if s2 is step:
+                    view = self.slab[:, lo:hi].reshape((self.k,) + shape)
+                    (pviews if kind == "p" else cviews).append(view)
+            if pviews:
+                step.bind_params(pviews)
+            if cviews:
+                step.bind_consts(cviews)
+        for step in self._steps:
+            step.slab_updated()
+
+    # -- member staleness / hot-swap --------------------------------------
+    def refresh_member(self, k: int) -> None:
+        """Re-copy member ``k``'s live arrays into slab row ``k`` and
+        re-arm its staleness watch."""
+        watch = []
+        for (step, kind, si, lo, hi, shape) in self._segs:
+            holder, attr = self._seg_sources(step, kind)[si][k]
+            arr = getattr(holder, attr)
+            if arr.shape != shape:
+                raise UnsupportedLayerError(
+                    f"member {k} tensor {attr} changed shape "
+                    f"{shape} -> {arr.shape}")
+            self.slab[k, lo:hi] = arr.reshape(-1)
+            watch.append((holder, attr, arr))
+        self._watch[k] = watch
+        for step in self._steps:
+            step.slab_updated()
+
+    def member_stale(self, k: int) -> bool:
+        """Member ``k``'s slab row no longer matches its live arrays
+        (parameter rebind — e.g. ``load_state_dict``)."""
+        return any(getattr(holder, attr) is not arr
+                   for holder, attr, arr in self._watch[k])
+
+    def stale_members(self) -> list:
+        return [k for k in range(self.k) if self.member_stale(k)]
+
+    def replace_member(self, k: int, model) -> None:
+        """Hot-swap member ``k`` to ``model`` (same fleet fingerprint):
+        rebinds the step layer slots and copies exactly one slab row."""
+        if fleet_fingerprint(model, extra=("infer",)) != self.fingerprint:
+            raise UnsupportedLayerError(
+                f"replacement model for member {k} has a different "
+                "fleet fingerprint")
+        layers = _flatten_layers(model, [])
+        for step in self._steps:
+            if step.pos >= 0:
+                step.set_member(k, layers[step.pos])
+        self.refresh_member(k)
+
+    def member_digest(self, k: int) -> str:
+        """BLAKE2b digest of member ``k``'s slab row (memo identity)."""
+        return hashlib.blake2b(self.slab[k].tobytes(),
+                               digest_size=16).hexdigest()
+
+    # -- execution ---------------------------------------------------------
+    def __call__(self, x) -> np.ndarray:
+        x = np.asarray(x)
+        if x.dtype != np.float64:
+            x = x.astype(np.float64)
+        n = x.shape[-2] if x.ndim >= 2 else len(x)
+        if n not in self._keys:
+            if len(self._keys) > 16:
+                for step in self._steps:
+                    step.clear()
+                self._keys.clear()
+            self._keys.add(n)
+        h = x
+        for step in self._steps:
+            h = step.forward(h, n)
+        return h
+
+    def member_outputs(self, outputs, k: int) -> np.ndarray:
+        return outputs[k]
+
+    def __repr__(self):
+        return (f"FleetPlan(k={self.k}, steps={len(self._steps)}, "
+                f"fingerprint={self.fingerprint[:8]})")

@@ -26,8 +26,9 @@ from .loss import mse_loss, rmse
 from .optim import Adam, Optimizer
 from .tensor import Tensor, no_grad
 
-__all__ = ["train_val_split", "iterate_minibatches", "Trainer", "TrainResult",
-           "normalize_stats", "Normalizer"]
+__all__ = ["train_val_split", "iterate_minibatches", "Trainer",
+           "FleetTrainer", "TrainResult", "normalize_stats",
+           "Normalizer"]
 
 
 def train_val_split(x: np.ndarray, y: np.ndarray, val_fraction: float = 0.2,
@@ -349,3 +350,125 @@ class Trainer:
     def validation_rmse(self, x_val: np.ndarray, y_val: np.ndarray) -> float:
         pred = self.model.forward_compiled(x_val)
         return rmse(pred, y_val)
+
+
+class FleetTrainer:
+    """Train K same-fingerprint models in lockstep through one fleet plan.
+
+    The fleet analogue of ``Trainer(compiled=True)``: one batched
+    forward/backward advances every still-active member per minibatch,
+    with per-member learning rate / weight decay riding as optimizer
+    columns.  Each member's loss history, early-stopping epoch and
+    final parameters are **bitwise** what its own sequential
+    ``Trainer(model, lr=lr_k, ..., seed=seed)`` would produce — the
+    shared shuffle RNG draws the same permutation sequence every
+    same-seed sequential trainer would, per-member dropout masks come
+    from each member's own layer RNG streams, and early-stopped members
+    are compacted out of the batched kernels
+    (:meth:`~repro.nn.compile_train.FleetTrainingPlan.deactivate`), so
+    a finished candidate costs nothing, exactly like the sequential
+    trainer that stopped.
+
+    Raises :class:`UnsupportedLayerError` from the constructor for
+    structures or losses without a fleet lowering — callers fall back
+    to per-model sequential training.
+    """
+
+    def __init__(self, models, lr=1e-3, weight_decay=0.0,
+                 batch_size: int = 64, max_epochs: int = 50,
+                 patience: int = 8, loss_fn=mse_loss,
+                 optimizer: str = "adam", momentum: float = 0.0,
+                 seed: int = 0, grad_clip: float | None = None):
+        from .compile_train import compile_fleet_training
+        from .optim import FleetAdam, FleetSGD
+        self.models = list(models)
+        self.batch_size = int(batch_size)
+        self.max_epochs = max_epochs
+        self.patience = patience
+        self.loss_fn = loss_fn
+        self.grad_clip = grad_clip
+        self.rng = np.random.default_rng(seed)
+        self.plan = compile_fleet_training(self.models, loss_fn)
+        if optimizer == "adam":
+            self.optimizer = FleetAdam(self.plan, lr=lr,
+                                       weight_decay=weight_decay)
+        elif optimizer == "sgd":
+            self.optimizer = FleetSGD(self.plan, lr=lr, momentum=momentum,
+                                      weight_decay=weight_decay)
+        else:
+            raise ValueError(f"unknown fleet optimizer {optimizer!r}")
+        self.plan.bind_optimizer(self.optimizer)
+
+    @property
+    def k(self) -> int:
+        return self.plan.k
+
+    def _evaluate_stacked(self, x_val, y_val) -> np.ndarray:
+        """Per-member validation losses (member order), via the stacked
+        evaluation forward + the graph loss — bitwise the sequential
+        ``Trainer.evaluate``."""
+        pred = self.plan.eval_forward(x_val)
+        out = np.full(self.k, np.nan)
+        yt = Tensor(y_val)
+        for row in range(self.plan.n_active):
+            member = self.plan.member_at[row]
+            with no_grad():
+                out[member] = self.loss_fn(Tensor(pred[row]), yt).item()
+        return out
+
+    def fit(self, x_train, y_train, x_val, y_val) -> list:
+        """Train every member; returns ``TrainResult`` per member, in
+        the order the models were given."""
+        plan, opt = self.plan, self.optimizer
+        k = plan.k
+        best = [float("inf")] * k
+        best_snap = [None] * k
+        stale = [0] * k
+        history = [[] for _ in range(k)]
+        epochs = [0] * k
+        x_train = np.asarray(x_train)
+        y_train = np.asarray(y_train)
+        for m in self.models:
+            m.train()
+        for epoch in range(self.max_epochs):
+            if plan.n_active == 0:
+                break
+            total = np.zeros(k)
+            count = 0
+            for xb, yb in iterate_minibatches(x_train, y_train,
+                                              self.batch_size, self.rng):
+                vals = plan.train_batch(xb, yb)
+                if self.grad_clip is not None:
+                    plan.clip_gradients(self.grad_clip)
+                opt.step()
+                for row in range(plan.n_active):
+                    total[plan.member_at[row]] += vals[row] * len(xb)
+                count += len(xb)
+            val_losses = self._evaluate_stacked(x_val, y_val)
+            retiring = []
+            for row in range(plan.n_active):
+                member = plan.member_at[row]
+                epochs[member] = epoch + 1
+                train_loss = total[member] / max(count, 1)
+                val_loss = float(val_losses[member])
+                history[member].append({"epoch": epoch,
+                                        "train": train_loss,
+                                        "val": val_loss})
+                if val_loss < best[member] - 1e-12:
+                    best[member] = val_loss
+                    best_snap[member] = plan.snapshot_member(member)
+                    stale[member] = 0
+                else:
+                    stale[member] += 1
+                    if stale[member] >= self.patience:
+                        retiring.append(member)
+            for member in retiring:
+                plan.deactivate(member)
+        for member in range(k):
+            if best_snap[member] is not None:
+                plan.restore_member(member, best_snap[member])
+        plan.sync_members()
+        for m in self.models:
+            m.eval()
+        return [TrainResult(best_val_loss=best[m], epochs_run=epochs[m],
+                            history=history[m]) for m in range(k)]

@@ -5,9 +5,11 @@ from .control import ExecutionPath, decide_path, eval_condition
 from .collect import DataCollector, load_training_data
 from .infer import InferenceEngine, ModelCache
 from .batch import BatchedInferenceEngine
+from .fleet import FleetInferenceEngine, FleetMember
 from .region import ApproxRegion, RegionConfig
 
 __all__ = ["Phase", "InvocationRecord", "EventLog", "ExecutionPath",
            "decide_path", "eval_condition", "DataCollector",
            "load_training_data", "InferenceEngine", "ModelCache",
-           "BatchedInferenceEngine", "ApproxRegion", "RegionConfig"]
+           "BatchedInferenceEngine", "FleetInferenceEngine", "FleetMember",
+           "ApproxRegion", "RegionConfig"]

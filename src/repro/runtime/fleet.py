@@ -1,0 +1,287 @@
+"""Fleet inference: one batched forward answering many tenants.
+
+Multi-tenant serving runs one small surrogate per region; when several
+regions deploy the *same architecture* (same plan fingerprint, different
+weights), running them one at a time leaves the device doing many tiny
+GEMMs.  A :class:`FleetInferenceEngine` groups its members by
+:func:`~repro.nn.plan.fleet_fingerprint` and executes each group through
+one :class:`~repro.nn.plan.FleetPlan` — a single ``(K, B, in) @
+(K, in, out)`` stacked forward whose row ``k`` is bitwise-equal to
+member ``k``'s own compiled forward.
+
+Membership is dynamic: hot-swapping one member's model file updates one
+slab row (no other member disturbed, no plan rebuild), and the engine
+exposes the same ``cache``/``warmup`` surface as
+:class:`~repro.runtime.infer.InferenceEngine`, so
+:func:`~repro.serving.retrain.hot_swap_model` can re-warm a fleet the
+way it re-warms a single-model engine.  Per-member identity survives
+batching: each member keeps its own invocation counter and a BLAKE2b
+weight digest (memo identity) derived from its slab row alone.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..device import Device
+from ..nn.plan import FleetPlan, UnsupportedLayerError, fleet_fingerprint
+from .infer import ModelCache
+
+__all__ = ["FleetMember", "FleetInferenceEngine"]
+
+
+class FleetMember:
+    """One tenant of a fleet: a named model path plus its serving state."""
+
+    __slots__ = ("name", "model_path", "model", "group", "row",
+                 "invocations")
+
+    def __init__(self, name: str, model_path):
+        self.name = name
+        self.model_path = str(Path(model_path))
+        self.model = None
+        self.group: _FleetGroup | None = None
+        self.row = -1
+        self.invocations = 0
+
+    def __repr__(self):
+        return (f"FleetMember({self.name!r}, row={self.row}, "
+                f"invocations={self.invocations})")
+
+
+class _FleetGroup:
+    """K same-fingerprint members sharing one :class:`FleetPlan`."""
+
+    __slots__ = ("fingerprint", "plan", "members")
+
+    def __init__(self, fingerprint: str, plan: FleetPlan, members: list):
+        self.fingerprint = fingerprint
+        self.plan = plan
+        self.members = members
+
+
+class FleetInferenceEngine:
+    """Answers per-member ``infer`` calls from stacked fleet forwards."""
+
+    def __init__(self, device: Device | None = None,
+                 cache: ModelCache | None = None):
+        self.device = device if device is not None else Device()
+        self.cache = cache if cache is not None else ModelCache()
+        self._members: dict[str, FleetMember] = {}
+        self._groups: list[_FleetGroup] = []
+        #: Member names whose models have no fleet lowering (or whose
+        #: group fell below ``min_members``) after the last build; the
+        #: server keeps these on the single-model path.
+        self.ungrouped: list = []
+        self._built = False
+        #: Timing of the most recent batched call, mirroring
+        #: :attr:`InferenceEngine.last_timing` plus the member count the
+        #: forward served (callers attribute per-member cost as
+        #: ``forward_device / members_served``).
+        self.last_timing: dict = {}
+
+    # -- membership --------------------------------------------------------
+    def add_member(self, name: str, model_path) -> FleetMember:
+        if name in self._members:
+            raise ValueError(f"fleet member {name!r} already added")
+        member = FleetMember(name, model_path)
+        self._members[name] = member
+        self._built = False
+        return member
+
+    def remove_member(self, name: str) -> None:
+        del self._members[name]
+        self._built = False
+
+    @property
+    def names(self) -> tuple:
+        return tuple(self._members)
+
+    def member(self, name: str) -> FleetMember:
+        return self._members[name]
+
+    def fleet_size(self, name: str) -> int:
+        """Members in ``name``'s fleet (0 when ungrouped)."""
+        member = self._members[name]
+        return len(member.group.members) if member.group is not None else 0
+
+    def member_digest(self, name: str) -> str:
+        """BLAKE2b digest of the member's slab row (its memo identity)."""
+        member = self._members[name]
+        if member.group is None:
+            raise KeyError(f"fleet member {name!r} is ungrouped")
+        return member.group.plan.member_digest(member.row)
+
+    # -- grouping ----------------------------------------------------------
+    def build(self, min_members: int = 1) -> dict:
+        """Group members by fleet fingerprint and compile one
+        :class:`FleetPlan` per group.
+
+        Groups smaller than ``min_members`` — and members whose model
+        has no fleet lowering — are left ungrouped (their names land in
+        :attr:`ungrouped`).  Returns ``{fingerprint: [names]}`` for the
+        fleets formed.  Idempotent: rebuilding regroups from scratch.
+        """
+        by_fp: dict[str, list] = {}
+        self.ungrouped = []
+        for member in self._members.values():
+            member.group = None
+            member.row = -1
+            member.model = self.cache.get(member.model_path)
+            try:
+                fp = fleet_fingerprint(member.model, extra=("infer",))
+            except Exception:
+                self.ungrouped.append(member.name)
+                continue
+            by_fp.setdefault(fp, []).append(member)
+        self._groups = []
+        formed = {}
+        for fp, members in by_fp.items():
+            if len(members) < min_members:
+                self.ungrouped.extend(m.name for m in members)
+                continue
+            try:
+                plan = FleetPlan([m.model for m in members])
+            except UnsupportedLayerError:
+                self.ungrouped.extend(m.name for m in members)
+                continue
+            group = _FleetGroup(fp, plan, members)
+            for row, member in enumerate(members):
+                member.group = group
+                member.row = row
+            self._groups.append(group)
+            formed[fp] = [m.name for m in members]
+        self._built = True
+        return formed
+
+    def groups(self) -> dict:
+        """``{fingerprint: [member names]}`` for the current fleets."""
+        return {g.fingerprint: [m.name for m in g.members]
+                for g in self._groups}
+
+    # -- hot-swap ----------------------------------------------------------
+    def _sync_member(self, member: FleetMember) -> None:
+        """Fold a swapped/retrained model into the member's slab row."""
+        group = member.group
+        model = self.cache.get(member.model_path)
+        if model is not member.model:
+            # Cache invalidation reloaded the file (hot swap): rebind
+            # the member's step slots and copy exactly one slab row.
+            group.plan.replace_member(member.row, model)
+            member.model = model
+        elif group.plan.member_stale(member.row):
+            # In-place rebind (load_state_dict): same model object,
+            # fresh parameter arrays.
+            group.plan.refresh_member(member.row)
+
+    def warmup(self, model_path) -> None:
+        """Re-sync every member deployed from ``model_path``.
+
+        The :func:`~repro.serving.retrain.hot_swap_model` re-warm hook:
+        after the swap invalidates :attr:`cache`, this folds the new
+        weights into the affected slab rows.
+        """
+        key = str(Path(model_path))
+        for member in self._members.values():
+            if member.model_path == key and member.group is not None:
+                self._sync_member(member)
+
+    def sync(self) -> None:
+        """Re-sync every grouped member (swap + staleness sweep)."""
+        for member in self._members.values():
+            if member.group is not None:
+                self._sync_member(member)
+
+    # -- inference ---------------------------------------------------------
+    def _require_built(self) -> None:
+        if not self._built:
+            self.build()
+
+    def infer_many(self, calls: dict) -> dict:
+        """Answer ``{name: inputs}`` with ``{name: outputs}``.
+
+        Calls belonging to one fleet execute as a single stacked
+        forward: member inputs are packed into a ``(K, B_max, F)``
+        batch (shorter batches zero-padded — inference steps are
+        row-independent, so padding rows never touch real ones) and
+        each member's output rows are sliced back out.  Members of
+        different fleets batch independently; ungrouped names raise.
+        """
+        self._require_built()
+        by_group: dict[int, list] = {}
+        for name in calls:
+            member = self._members[name]
+            if member.group is None:
+                raise KeyError(f"fleet member {name!r} is ungrouped — "
+                               "serve it on the single-model path")
+            by_group.setdefault(id(member.group), []).append(member)
+
+        out: dict = {}
+        total_wall = 0.0
+        sim_before = self.device.clock.simulated
+        served = 0
+        for members in by_group.values():
+            group = members[0].group
+            for member in members:
+                self._sync_member(member)
+            xs = [np.asarray(calls[m.name], dtype=np.float64)
+                  for m in members]
+            b_max = max(len(x) for x in xs)
+            stacked = np.zeros((group.plan.k, b_max) + xs[0].shape[1:])
+            for member, x in zip(members, xs):
+                stacked[member.row, :len(x)] = x
+            dev_in = self.device.to_device(stacked)
+            start = time.perf_counter()
+            result = group.plan(dev_in.array)
+            total_wall += time.perf_counter() - start
+            self.device.kernel_launches += 1
+            from ..device.memory import DeviceBuffer, MemorySpace
+            host = self.device.to_host(
+                DeviceBuffer(result, MemorySpace.DEVICE))
+            for member, x in zip(members, xs):
+                out[member.name] = np.array(host[member.row, :len(x)])
+                member.invocations += 1
+            served += len(members)
+        self.last_timing = {
+            "forward_wall": total_wall,
+            "forward_device": self.device.dense_time(total_wall),
+            "transfer_sim": self.device.clock.simulated - sim_before,
+            "compiled": True,
+            "members_served": served,
+        }
+        return out
+
+    def infer(self, name: str, inputs: np.ndarray) -> np.ndarray:
+        """One member's answer (still runs its fleet's stacked forward)."""
+        return self.infer_many({name: inputs})[name]
+
+    @property
+    def last_inference_seconds(self) -> float:
+        """Device-equivalent time of the last batched forward."""
+        return self.last_timing.get("forward_device", 0.0)
+
+    # -- reporting ---------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Per-fleet membership, invocation counters, and weight digests."""
+        self._require_built()
+        groups = []
+        for group in self._groups:
+            groups.append({
+                "fingerprint": group.fingerprint,
+                "members": {
+                    m.name: {
+                        "row": m.row,
+                        "invocations": m.invocations,
+                        "digest": group.plan.member_digest(m.row),
+                    } for m in group.members
+                },
+            })
+        return {"groups": groups, "ungrouped": list(self.ungrouped)}
+
+    def __repr__(self):
+        sizes = [len(g.members) for g in self._groups]
+        return (f"FleetInferenceEngine(members={len(self._members)}, "
+                f"fleets={sizes})")

@@ -625,24 +625,94 @@ class ApproxRegion:
         breaker.record_success()
         return result
 
-    def _invoke_qos(self, qos, env, args, kwargs):
+    # ------------------------------------------------------------------
+    # Decided-path invocation (fleet serving splits decide from run)
+    # ------------------------------------------------------------------
+    def path_decision(self, env: dict):
+        """Resolve this invocation's path without executing anything.
+
+        Returns ``(path, decision)``: the directive-resolved (and, when
+        a QoS controller is attached, policy-adjusted)
+        :class:`ExecutionPath`, plus the controller's decision object
+        (``None`` when unmonitored).  The QoS controller's ``decide``
+        hook runs exactly once here — pass both values to
+        :meth:`invoke_decided` (or the prepare/complete pair) so the
+        policy is not consulted twice per invocation.
+        """
         base = decide_path(self.ml, env)
+        qos = self.config.qos
+        if qos is None:
+            return base, None
         decision = qos.decide(self.name, base)
-        path = decision.path
+        return decision.path, decision
+
+    def fleet_eligible(self, path, decision) -> bool:
+        """Whether this decided invocation may join a batched fleet call.
+
+        Only plain surrogate inference batches: shadow validation runs
+        the accurate kernel anyway, a circuit breaker needs the
+        forward's individual outcome, and accurate/collect paths never
+        touch the engine.
+        """
+        return (path == ExecutionPath.INFER
+                and (decision is None or not decision.shadow)
+                and self.config.breaker is None
+                and self.model_path is not None)
+
+    def prepare_infer(self, env: dict, decision=None):
+        """Gather an infer-path invocation's inputs without running it.
+
+        First half of the fleet-batched protocol: returns
+        ``(inputs, record)`` with the input tensors composed and the
+        invocation record opened.  The caller runs the forward (one
+        stacked call covering many regions) and lands the outputs with
+        :meth:`complete_infer`.
+        """
+        record = self.events.new_record(ExecutionPath.INFER,
+                                        region=self.name)
+        if decision is not None and decision.reason is not None:
+            record.note("policy", decision.reason)
+        in_maps = self._concretize(self._in_maps, env, writable=False)
+        inputs = self._gather_inputs(in_maps, record)
+        self._note_stream_context(record, inputs)
+        return inputs, record
+
+    def complete_infer(self, env: dict, record, outputs,
+                       seconds: float = 0.0) -> None:
+        """Scatter a batched forward's outputs back; finish the record.
+
+        ``seconds`` is this member's share of the batched forward's
+        device time (the fleet analogue of
+        ``engine.last_inference_seconds``).
+        """
+        record.add(Phase.INFERENCE, seconds)
+        out_maps = self._concretize(self._out_maps, env, writable=True)
+        self._scatter_outputs(out_maps, outputs, record)
+        self.events.finish(record)
+
+    def invoke_decided(self, env: dict, path, decision, args, kwargs):
+        """Run one invocation whose path was already decided.
+
+        The single-model completion of :meth:`path_decision` — used
+        directly by ``__call__`` and by fleet serving for members the
+        batched call cannot absorb (accurate/collect routing, shadow
+        validation, breaker-guarded regions).
+        """
         if path == ExecutionPath.INFER:
             breaker = self.config.breaker
             if breaker is not None:
                 return self._guarded_infer(breaker, env, args, kwargs,
-                                           qos=qos, decision=decision)
+                                           qos=self.config.qos,
+                                           decision=decision)
             record = self.events.new_record(path, region=self.name)
-            if decision.reason is not None:
+            if decision is not None and decision.reason is not None:
                 record.note("policy", decision.reason)
-            if decision.shadow:
-                return self._run_shadow(qos, decision, env, record,
-                                        args, kwargs)
+            if decision is not None and decision.shadow:
+                return self._run_shadow(self.config.qos, decision, env,
+                                        record, args, kwargs)
             return self._run_infer(env, record)
         record = self.events.new_record(path, region=self.name)
-        if decision.reason is not None:
+        if decision is not None and decision.reason is not None:
             record.note("policy", decision.reason)
         if path == ExecutionPath.COLLECT:
             return self._run_accurate(env, record, True, args, kwargs)
@@ -651,20 +721,8 @@ class ApproxRegion:
     # ------------------------------------------------------------------
     def __call__(self, *args, **kwargs):
         env = self._bind_env(args, kwargs)
-        qos = self.config.qos
-        if qos is not None:
-            return self._invoke_qos(qos, env, args, kwargs)
-        path = decide_path(self.ml, env)
-        if path == ExecutionPath.INFER:
-            breaker = self.config.breaker
-            if breaker is not None:
-                return self._guarded_infer(breaker, env, args, kwargs)
-            record = self.events.new_record(path, region=self.name)
-            return self._run_infer(env, record)
-        record = self.events.new_record(path, region=self.name)
-        if path == ExecutionPath.COLLECT:
-            return self._run_accurate(env, record, True, args, kwargs)
-        return self._run_accurate(env, record, False, args, kwargs)
+        path, decision = self.path_decision(env)
+        return self.invoke_decided(env, path, decision, args, kwargs)
 
     @property
     def engine(self):

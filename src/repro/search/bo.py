@@ -95,6 +95,63 @@ class BayesianOptimizer:
             return self.space.sample(self.rng)
         return configs[best_idx]
 
+    def propose_batch(self, xs: list, ys: list, k: int,
+                      fixed: dict | None = None) -> list:
+        """Propose ``k`` distinct configs from one GP fit.
+
+        The population-mode inner loop evaluates candidates in fleets
+        of ``k``; fitting once and taking the EI top-``k`` (with the
+        same rounded-coordinate dedup as :meth:`_propose`, extended
+        across the batch) keeps proposal cost amortized.  Short pools
+        are padded with random samples.
+
+        ``fixed`` pins named parameters to given values: the candidate
+        pool is constrained to that slice *before* the acquisition is
+        scored, so proposals are optimal given the pin rather than
+        arbitrary configs with a coordinate overwritten afterwards
+        (batch size is coupled to learning rate, so overwriting it
+        post-hoc yields off-manifold, often divergent configs).
+        """
+        if k <= 0:
+            return []
+
+        def _pin(config: dict) -> dict:
+            return dict(config, **fixed) if fixed else config
+
+        if not xs:
+            return [_pin(self.space.sample(self.rng)) for _ in range(k)]
+        x = np.array(xs)
+        y = np.array(ys)
+        gp = GaussianProcess()
+        try:
+            gp.fit(x, y)
+        except Exception:
+            return [_pin(self.space.sample(self.rng)) for _ in range(k)]
+        cands = self.rng.random((self.n_candidates, self.space.dim))
+        if fixed:
+            for name, value in fixed.items():
+                idx = self.space.names.index(name)
+                cands[:, idx] = self.space.params[idx].to_unit(value)
+        configs = [self.space.from_unit(c) for c in cands]
+        snapped = np.array([self.space.to_unit(c) for c in configs])
+        mean, std = gp.predict(snapped)
+        ei = expected_improvement(mean, std, best=float(y.min()))
+        seen = {tuple(np.round(xi, 6)) for xi in x} if self.dedup else set()
+        chosen = []
+        for i in np.argsort(-ei):
+            if len(chosen) >= k:
+                break
+            if not np.isfinite(ei[i]):
+                continue
+            key = tuple(np.round(snapped[i], 6))
+            if self.dedup and key in seen:
+                continue
+            seen.add(key)
+            chosen.append(configs[int(i)])
+        while len(chosen) < k:
+            chosen.append(_pin(self.space.sample(self.rng)))
+        return chosen
+
     def minimize(self, objective: Callable, n_iterations: int = 30,
                  callback: Callable | None = None) -> BOResult:
         trials: list[Trial] = []

@@ -24,7 +24,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..nn import Tensor, Trainer, no_grad
+from ..nn import FleetTrainer, Tensor, Trainer, no_grad
+from ..nn.compile import UnsupportedLayerError
 from .acquisition import expected_improvement
 from .bo import BayesianOptimizer
 from .gp import GaussianProcess
@@ -62,6 +63,10 @@ class ModelTrial:
     #: fast path (False = graph fallback; ``compile_fallback`` says why).
     compiled: bool = True
     compile_fallback: str | None = None
+    #: How many candidates trained in lockstep with the winning fit —
+    #: 1 for sequential fits, >1 when a population-mode fleet
+    #: (:class:`~repro.nn.FleetTrainer`) produced it.
+    fleet_size: int = 1
 
     @property
     def objectives(self) -> tuple:
@@ -75,7 +80,11 @@ class NASResult:
     def compiled_fraction(self) -> float:
         """Share of trials whose best fit trained on the compiled path —
         the BO throughput story depends on this staying at 1.0 now that
-        the registry lowers the full Table IV zoo (MLP/CNN/RNN)."""
+        the registry lowers the full Table IV zoo (MLP/CNN/RNN).
+        Population-mode fleet fits count as compiled (the fleet plan
+        *is* the compiled path); a fleet whose group fell back to
+        sequential graph training reports ``compiled=False`` like any
+        other fallback."""
         if not self.trials:
             return 1.0
         return sum(1 for t in self.trials if t.compiled) / len(self.trials)
@@ -125,7 +134,8 @@ class NestedSearch:
                  x_train, y_train, x_val, y_val,
                  n_inner: int = 6, max_epochs: int = 20,
                  latency_batch: int = 256, seed: int = 0,
-                 loss_fn=None, compiled: bool = True):
+                 loss_fn=None, compiled: bool = True,
+                 population: int = 1):
         self.arch_space = arch_space
         self.build_model = build_model
         self.x_train, self.y_train = x_train, y_train
@@ -138,6 +148,14 @@ class NestedSearch:
         #: loop trains every BO candidate, so epoch time bounds search
         #: throughput); unsupported architectures fall back per model.
         self.compiled = compiled
+        #: Inner-loop candidates evaluated per proposal round.  1 keeps
+        #: the exact sequential BO trajectory; >1 proposes rounds of
+        #: ``population`` hyperparameter configs and trains
+        #: same-fingerprint groups in lockstep through a fleet plan
+        #: (:class:`~repro.nn.FleetTrainer`), falling back to
+        #: sequential training per group when the structure has no
+        #: fleet lowering.
+        self.population = max(1, int(population))
         self.rng = np.random.default_rng(seed)
         n = min(latency_batch, len(x_val))
         self.latency_sample = np.ascontiguousarray(x_val[:n])
@@ -145,6 +163,8 @@ class NestedSearch:
     # -- inner level -------------------------------------------------------
     def tune_architecture(self, arch: dict) -> ModelTrial:
         """Inner BO: tune Table V hyperparameters for one architecture."""
+        if self.population > 1 and self.compiled:
+            return self._tune_architecture_fleet(arch)
         hp_space = hyperparameter_space()
         best_model = {}
 
@@ -184,6 +204,137 @@ class NestedSearch:
                           n_params=model.num_parameters(), model=model,
                           compiled=best_model["compiled"],
                           compile_fallback=best_model["fallback"])
+
+    def _tune_architecture_fleet(self, arch: dict) -> ModelTrial:
+        """Population-mode inner loop: rounds of ``population``
+        hyperparameter configs, same-fingerprint groups trained in
+        lockstep through one fleet plan.
+
+        Proposal cost is amortized with
+        :meth:`~repro.search.bo.BayesianOptimizer.propose_batch` (one
+        GP fit per round); candidates sharing a fleet training
+        fingerprint and batch size train as one
+        :class:`~repro.nn.FleetTrainer` fleet — each member's fit is
+        bitwise its sequential fit, so the only search-trajectory
+        change is the batched proposal pattern.  Groups without a
+        fleet lowering (or singletons) train sequentially.
+        """
+        from ..nn.compile_train import fleet_training_fingerprint
+        from ..nn.loss import mse_loss
+        hp_space = hyperparameter_space()
+        loss_fn = self.loss_fn if self.loss_fn is not None else mse_loss
+        # Same seed-stream position as the sequential inner loop.
+        bo = BayesianOptimizer(hp_space, n_init=max(2, self.n_inner // 3),
+                               seed=int(self.rng.integers(2 ** 31)))
+        best: dict = {}
+        xs: list = []
+        ys: list = []
+
+        def record(hp, model, result, compiled, fallback, fleet_size):
+            xs.append(hp_space.to_unit(hp))
+            val = float(result.best_val_loss)
+            ys.append(val if np.isfinite(val) else 1e12)
+            if not best or val < best["val"]:
+                best.update(model=model, val=val, hypers=dict(hp),
+                            compiled=compiled, fallback=fallback,
+                            fleet_size=fleet_size)
+
+        # One fleet = one minibatch stream, so each round shares its
+        # batch-size coordinate.  A round can therefore never vary
+        # batch size *within* itself, and a GP fit on such rounds has
+        # no signal in that dimension — so instead of letting the
+        # acquisition pick it blind, the shared value walks a shuffled
+        # geometric grid over the batch-size bounds (coarse round-level
+        # exploration of the one coordinate a fleet must share).
+        # Proposals for the round are *pinned* to the grid value —
+        # batch size couples to learning rate, so overwriting it after
+        # acquisition yields off-manifold configs.  xs/ys record the
+        # pinned configs — the GP sees what actually trained.
+        n_rounds = -(-self.n_inner // self.population)
+        bs_grid = None
+        bs_param = next((param for param in hp_space.params
+                         if param.name == "batch_size"), None)
+        if bs_param is not None and bs_param.lo > 0:
+            ratio = bs_param.hi / bs_param.lo
+            bs_grid = [int(round(bs_param.lo
+                                 * ratio ** ((r + 0.5) / n_rounds)))
+                       for r in range(n_rounds)]
+            bs_grid = [bs_grid[i] for i in bo.rng.permutation(n_rounds)]
+
+        evaluated = 0
+        rounds = 0
+        while evaluated < self.n_inner:
+            p = min(self.population, self.n_inner - evaluated)
+            # Fill the round: random seeding up to n_init, the rest
+            # GP-proposed from everything evaluated so far.
+            n_rand = max(0, min(p, bo.n_init - evaluated))
+            configs = [hp_space.sample(bo.rng) for _ in range(n_rand)]
+            if bs_grid is not None:
+                shared_bs = bs_grid[min(rounds, len(bs_grid) - 1)]
+            else:
+                if not configs:
+                    configs = bo.propose_batch(xs, ys, 1)
+                shared_bs = int(configs[0]["batch_size"])
+            configs = [dict(hp, batch_size=shared_bs) for hp in configs]
+            if p > len(configs):
+                configs.extend(bo.propose_batch(
+                    xs, ys, p - len(configs),
+                    fixed={"batch_size": shared_bs}))
+            rounds += 1
+            models = [self.build_model(arch, dropout=hp["dropout"],
+                                       seed=self.seed) for hp in configs]
+            groups: dict = {}
+            for idx, (hp, model) in enumerate(zip(configs, models)):
+                key = (fleet_training_fingerprint(model, loss_fn),
+                       int(hp["batch_size"]))
+                groups.setdefault(key, []).append(idx)
+            for (_fp, batch_size), idxs in groups.items():
+                if len(idxs) >= 2:
+                    try:
+                        ft = FleetTrainer(
+                            [models[i] for i in idxs],
+                            lr=[configs[i]["learning_rate"]
+                                for i in idxs],
+                            weight_decay=[configs[i]["weight_decay"]
+                                          for i in idxs],
+                            batch_size=batch_size,
+                            max_epochs=self.max_epochs,
+                            patience=max(3, self.max_epochs // 4),
+                            loss_fn=loss_fn, seed=self.seed)
+                        results = ft.fit(self.x_train, self.y_train,
+                                         self.x_val, self.y_val)
+                        for i, r in zip(idxs, results):
+                            record(configs[i], models[i], r, True, None,
+                                   len(idxs))
+                        continue
+                    except UnsupportedLayerError:
+                        pass           # no fleet lowering: train singly
+                for i in idxs:
+                    hp = configs[i]
+                    trainer = Trainer(models[i], lr=hp["learning_rate"],
+                                      weight_decay=hp["weight_decay"],
+                                      batch_size=int(hp["batch_size"]),
+                                      max_epochs=self.max_epochs,
+                                      patience=max(3,
+                                                   self.max_epochs // 4),
+                                      seed=self.seed,
+                                      compiled=self.compiled,
+                                      loss_fn=loss_fn)
+                    r = trainer.fit(self.x_train, self.y_train,
+                                    self.x_val, self.y_val)
+                    record(hp, models[i], r, trainer.compiled_active,
+                           trainer.compile_fallback, 1)
+            evaluated += p
+
+        model = best["model"]
+        latency = measure_latency(model, self.latency_sample)
+        return ModelTrial(index=-1, arch=dict(arch),
+                          hypers=best["hypers"],
+                          val_error=float(best["val"]), latency=latency,
+                          n_params=model.num_parameters(), model=model,
+                          compiled=best["compiled"],
+                          compile_fallback=best["fallback"],
+                          fleet_size=best["fleet_size"])
 
     # -- outer level --------------------------------------------------------
     def run(self, n_outer: int = 20, stale_limit: int = 5,

@@ -53,6 +53,8 @@ class RegionServer:
         self._regions: dict[str, ServedRegion] = {}
         self._qos = None
         self._stream = None
+        self._fleet = None
+        self._fleet_names: set = set()
 
     # -- registration ----------------------------------------------------
     def register(self, region, name: str | None = None) -> str:
@@ -114,6 +116,85 @@ class RegionServer:
         self.flush()
         if self._stream is not None:
             self._stream.flush()
+
+    # -- fleet grouping --------------------------------------------------
+    @property
+    def fleet(self):
+        """The :class:`~repro.runtime.fleet.FleetInferenceEngine`
+        serving fleet-grouped regions (None until :meth:`enable_fleets`)."""
+        return self._fleet
+
+    def enable_fleets(self, names=None, min_members: int = 2,
+                      device=None) -> dict:
+        """Opt ``names`` (default: all regions) into fleet grouping.
+
+        Regions whose deployed models share a fleet fingerprint (same
+        architecture, different weights) are grouped behind one
+        :class:`~repro.runtime.fleet.FleetInferenceEngine`;
+        :meth:`invoke_fleet` then serves each group's surrogate
+        invocations as a single stacked forward.  Regions with no model
+        path, no fleet lowering, or fewer than ``min_members``
+        same-fingerprint peers stay on their single-model path.
+        Returns ``{fingerprint: [names]}`` for the fleets formed.
+        """
+        from ..runtime.fleet import FleetInferenceEngine
+        engine = FleetInferenceEngine(device=device)
+        for name in (names if names is not None else self._regions):
+            region = self._regions[name].region
+            if region.model_path is not None:
+                engine.add_member(name, region.model_path)
+        formed = engine.build(min_members=min_members)
+        self._fleet = engine
+        self._fleet_names = {n for members in formed.values()
+                             for n in members}
+        return formed
+
+    def disable_fleets(self) -> None:
+        """Drop fleet grouping; every region serves single-model again."""
+        self._fleet = None
+        self._fleet_names = set()
+
+    def invoke_fleet(self, calls) -> dict:
+        """Serve a wave of invocations, batching fleet members together.
+
+        ``calls`` is ``{name: args_tuple}`` or an iterable of
+        ``(name, args, kwargs)``.  Each region's QoS path decision is
+        made individually (exactly once); members decided onto the
+        plain surrogate path are gathered into their fleet's stacked
+        forward, while the rest — accurate/collect routing, shadow
+        validation, breaker-guarded regions, ungrouped members — run
+        their normal single-model invocation with the already-made
+        decision.  Returns ``{name: result}`` (``None`` for infer-path
+        invocations, whose outputs land through the from-maps).
+        """
+        if isinstance(calls, dict):
+            calls = [(name, args if isinstance(args, tuple) else (args,),
+                      {}) for name, args in calls.items()]
+        results: dict = {}
+        gathered: dict = {}
+        pending: dict = {}
+        for name, args, kwargs in calls:
+            served = self._regions[name]
+            served.invocations += 1
+            region = served.region
+            env = region._bind_env(args, kwargs)
+            path, decision = region.path_decision(env)
+            if (self._fleet is not None and name in self._fleet_names
+                    and region.fleet_eligible(path, decision)):
+                inputs, record = region.prepare_infer(env, decision)
+                gathered[name] = inputs
+                pending[name] = (region, env, record)
+                results[name] = None
+            else:
+                results[name] = region.invoke_decided(env, path, decision,
+                                                      args, kwargs)
+        if gathered:
+            outputs = self._fleet.infer_many(gathered)
+            share = self._fleet.last_inference_seconds / len(gathered)
+            for name, out in outputs.items():
+                region, env, record = pending[name]
+                region.complete_infer(env, record, out, seconds=share)
+        return results
 
     # -- QoS wiring ------------------------------------------------------
     @property
@@ -222,6 +303,8 @@ class RegionServer:
             # Process backends report worker health/placement; a dead
             # worker is visible here alongside the breaker states.
             out["backend_detail"] = backend_snapshot()
+        if self._fleet is not None:
+            out["fleets"] = self._fleet.snapshot()
         health = {}
         for name, served in self._regions.items():
             breaker = served.region.config.breaker

@@ -1,0 +1,69 @@
+"""Tier-1 smoke run of the fleet GEMM benchmark.
+
+Runs ``benchmarks/bench_fleet.py`` at tiny sizes and validates the
+``BENCH_fleet.json`` schema plus the headline acceptance properties:
+stacked fleet forwards are bitwise-equal to per-member compiled
+forwards in every measured cell, the serving-sized K=8 cell batches
+faster than sequential dispatch, and the population-mode NAS run beats
+the sequential search while selecting the same best architecture.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.fleet
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_fleet.py"
+
+
+def load_bench_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_fleet", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_fleet_bench_smoke_writes_valid_schema(tmp_path):
+    bench = load_bench_module()
+    out = tmp_path / "BENCH_fleet.json"
+    results = bench.main(["--quick", "--out", str(out)])
+    assert out.exists()
+    on_disk = json.loads(out.read_text())
+    assert on_disk["schema"] == "bench_fleet/v1"
+    assert on_disk == json.loads(json.dumps(results))    # JSON-clean
+    assert on_disk["config"]["quick"] is True
+
+    forward = on_disk["forward"]
+    assert forward["fleet_sizes"] == [2, 4, 8, 16]
+    for rows in forward["shapes"].values():
+        for cell in rows.values():
+            assert cell["speedup"] > 0
+            assert cell["rows_per_second_fleet"] > 0
+            # The non-negotiable property: stacked rows are bitwise
+            # each member's own compiled forward, in every cell.
+            assert cell["max_abs_diff"] == 0.0
+    # Serving-sized surrogate, chunked calls, K=8: batching must beat
+    # sequential dispatch with real margin (full mode records >= 3x;
+    # the smoke bound leaves room for CI-runner noise).
+    assert forward["headline_speedup_k8"] >= 2.0
+
+    nas = on_disk["nas"]
+    runs = nas["runs"]
+    assert runs["sequential"]["population"] == 1
+    assert runs["population8"]["population"] == 8
+    assert runs["population8"]["max_fleet_size"] == 8
+    for run in runs.values():
+        assert run["trials"] > 0
+        assert run["compiled_fraction"] == 1.0
+    assert nas["speedup"] > 1.0
+    assert nas["same_best_arch"]
+
+    summary = on_disk["summary"]
+    assert summary["forward_bitwise"] is True
+    assert summary["forward_speedup_k8"] == forward["headline_speedup_k8"]
+    assert summary["nas_same_best_arch"] is True

@@ -282,9 +282,16 @@ def test_gru_now_compiles_for_training():
 
 
 def test_unsupported_layer_raises_and_trainer_falls_back():
-    from repro.nn import LayerNorm
+    # LayerNorm gained a training lowering, so the canonical
+    # unsupported layer is now a custom one with no registry entry.
+    from repro.nn.layers import Module
+
+    class Opaque(Module):
+        def forward(self, x):
+            return x * 1.0
+
     r = np.random.default_rng(0)
-    model = Sequential(Linear(4, 8, rng=r), LayerNorm(8),
+    model = Sequential(Linear(4, 8, rng=r), Opaque(),
                        Linear(8, 1, rng=r))
     with pytest.raises(UnsupportedLayerError):
         compile_training(model, mse_loss)
@@ -295,7 +302,40 @@ def test_unsupported_layer_raises_and_trainer_falls_back():
     trainer = Trainer(model, batch_size=8, max_epochs=2, compiled=True)
     result = trainer.fit(x, y, x[:8], y[:8])
     assert not trainer.compiled_active
-    assert "LayerNorm" in trainer.compile_fallback
+    assert "Opaque" in trainer.compile_fallback
+    assert np.isfinite(result.best_val_loss)
+
+
+def test_layernorm_trains_on_compiled_path():
+    """LayerNorm now lowers for training (registry entry, not a
+    fallback): parity with the graph and an active compiled Trainer."""
+    from repro.nn import LayerNorm
+
+    def build():
+        r = np.random.default_rng(0)
+        return Sequential(Linear(4, 8, rng=r), LayerNorm(8), Tanh(),
+                          Linear(8, 1, rng=r))
+
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(24, 4))
+    y = rng.normal(size=(24, 1))
+
+    graph = build()
+    graph.train()
+    loss = mse_loss(graph(Tensor(x)), Tensor(y))
+    loss.backward()
+    ref_grads = [p.grad.copy() for p in graph.parameters()]
+
+    compiled = build()
+    plan = compile_training(compiled, mse_loss)
+    got_loss = plan.train_batch(x, y)
+    assert got_loss == pytest.approx(loss.item(), abs=PARITY)
+    for ref, got in zip(ref_grads, plan.grad_views):
+        assert np.abs(ref - got).max() <= PARITY
+
+    trainer = Trainer(build(), batch_size=8, max_epochs=2, compiled=True)
+    result = trainer.fit(x, y, x[:8], y[:8])
+    assert trainer.compiled_active
     assert np.isfinite(result.best_val_loss)
 
 

@@ -107,16 +107,32 @@ def test_gru_multi_batch_training_matches_graph():
 
 def test_runtime_fallback_preserves_fixed_seed_equivalence():
     # The aborted compiled attempt consumes shuffle + Dropout RNG draws
-    # before the affine step rejects the 3-D activations; the graph
-    # retry must restore those states, or fixed-seed runs diverge
-    # between compiled=True (with fallback) and compiled=False.
-    from repro.nn import Dropout
+    # before a step rejects at run time; the graph retry must restore
+    # those states, or fixed-seed runs diverge between compiled=True
+    # (with fallback) and compiled=False.  The 3-D affine rejection
+    # that used to exercise this seam is gone (batched affine steps),
+    # so a test-local layer whose step fails at forward time stands in.
+    from repro.nn import Dropout, Module, PlanStep, register_lowering
+
+    class Brittle(Module):
+        def forward(self, x):
+            return x * 1.0
+
+    class BrittleStep(PlanStep):
+        def forward(self, x, n):
+            if self.training:
+                raise UnsupportedLayerError("Brittle: rejects at run time")
+            return x
+
+    @register_lowering(Brittle)
+    def _lower_brittle(layer, ctx):
+        ctx.emit(BrittleStep(ctx.training), "Brittle: runtime-fails")
 
     def build():
         r = np.random.default_rng(2)
         return Sequential(GRU(3, 4, return_sequence=True, rng=r),
                           Dropout(0.3, rng=np.random.default_rng(5)),
-                          Linear(4, 1, rng=r))
+                          Brittle(), Linear(4, 1, rng=r))
     rng = np.random.default_rng(1)
     x = rng.normal(size=(24, 5, 3))
     y = rng.normal(size=(24, 5, 1))
@@ -132,20 +148,22 @@ def test_runtime_fallback_preserves_fixed_seed_equivalence():
         assert hf["val"] == pytest.approx(hg["val"], abs=PARITY)
 
 
-def test_gru_sequence_into_affine_falls_back_at_runtime():
+def test_gru_sequence_into_affine_trains_compiled():
     # GRU(return_sequence) feeding a Linear directly produces 3-D
-    # activations the affine step rejects at run time; the Trainer must
-    # latch and fall back to the (correct) graph path, not crash.
-    r = np.random.default_rng(0)
-    model = Sequential(GRU(3, 4, return_sequence=True, rng=r),
-                       Linear(4, 1, rng=r))
+    # activations; the batched affine step now trains them on the
+    # compiled path — no runtime rejection, no fallback latch.
+    def build():
+        r = np.random.default_rng(0)
+        return Sequential(GRU(3, 4, return_sequence=True, rng=r),
+                          Linear(4, 1, rng=r))
     rng = np.random.default_rng(1)
     x = rng.normal(size=(16, 5, 3))
     y = rng.normal(size=(16, 5, 1))
-    trainer = Trainer(model, batch_size=8, max_epochs=2, compiled=True)
+    assert_parity(build, x, y)
+    trainer = Trainer(build(), batch_size=8, max_epochs=2, compiled=True)
     result = trainer.fit(x, y, x[:4], y[:4])
-    assert not trainer.compiled_active
-    assert "2-D" in trainer.compile_fallback
+    assert trainer.compiled_active
+    assert trainer.compile_fallback is None
     assert np.isfinite(result.best_val_loss)
 
 
@@ -483,16 +501,23 @@ def test_retrain_worker_require_compiled_raises(tmp_path):
         collector.record("strict", (xi,), (xi.sum(keepdims=True),), 0.0)
     collector.close()
 
-    def build(xt, yt):                     # LayerNorm: no training lowering
+    def build(xt, yt):
         r = np.random.default_rng(1)
         return Sequential(Linear(2, 4, rng=r), LayerNorm(4),
                           Linear(4, 1, rng=r))
+
+    # An unrecognized loss fn has no training lowering, so the trainer
+    # falls back to the graph path (the model itself must stay
+    # serializable for the swap, hence the loss is the trigger).
+    def custom_loss(pred, target):
+        return mse_loss(pred, target)
 
     model_path = tmp_path / "strict.rnm"
     save_model(build(None, None), model_path)
     worker = RetrainWorker(seed=0)
     worker.watch("strict", db, model_path, build=build,
-                 trainer_kwargs=dict(max_epochs=1, patience=1),
+                 trainer_kwargs=dict(max_epochs=1, patience=1,
+                                     loss_fn=custom_loss),
                  require_compiled=True)
     with pytest.raises(RuntimeError, match="graph path"):
         worker.retrain_now("strict")
@@ -506,7 +531,13 @@ def test_retrain_worker_require_compiled_raises(tmp_path):
 # ----------------------------------------------------------------------
 
 def test_compile_latch_rekeys_on_model_swap():
-    unsupported = Sequential(Linear(5, 4), LayerNorm(4), Linear(4, 1))
+    from repro.nn import Module
+
+    class Opaque(Module):                  # no lowering registered
+        def forward(self, x):
+            return x * 1.0
+
+    unsupported = Sequential(Linear(5, 4), Opaque(), Linear(4, 1))
     rng = np.random.default_rng(0)
     x, y = rng.normal(size=(32, 5)), rng.normal(size=(32, 1))
     trainer = Trainer(unsupported, batch_size=16, max_epochs=1,
