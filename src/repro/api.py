@@ -45,7 +45,8 @@ def approx_ml(directives: str, *, name: str | None = None,
               event_log: EventLog | None = None,
               qos=None, auto_batch: bool = False,
               max_batch_rows: int = 256,
-              row_subsample: bool | None = None):
+              row_subsample: bool | None = None,
+              precision: str | None = None):
     """Annotate a function as an HPAC-ML approximable code region.
 
     Parameters
@@ -80,6 +81,13 @@ def approx_ml(directives: str, *, name: str | None = None,
         tensor maps; pass ``False`` for kernels whose batch rows are
         not computed independently (auto-regressive or cross-row
         stateful regions).
+    precision:
+        Compiled-plan dtype: ``None``/``"float64"`` keep the historical
+        double-precision path, ``"float32"`` serves narrowed plans
+        unconditionally, ``"auto"`` narrows under a
+        :class:`repro.qos.PrecisionPolicy` governor (divergence
+        shadow-sampled against the fp64 plan, charged to the QoS
+        budget, demoted back on breach).
 
     Serving many regions at once — shared scheduling, one global error
     budget, online retrain/hot-swap — is :mod:`repro.serving`
@@ -92,7 +100,8 @@ def approx_ml(directives: str, *, name: str | None = None,
                               event_log=event_log or default_event_log,
                               qos=qos, auto_batch=auto_batch,
                               max_batch_rows=max_batch_rows,
-                              row_subsample=row_subsample)
+                              row_subsample=row_subsample,
+                              precision=precision)
         return ApproxRegion(func, directives, name=name, config=config)
 
     return decorate

@@ -155,12 +155,21 @@ def _cmd_serve(args) -> int:
         harness.install_model(model)
         harnesses.append(harness)
 
+    precision = getattr(args, "precision", "float64")
+    precision_policy = None
+    if precision == "auto":
+        from .qos import PrecisionPolicy
+        precision_policy = PrecisionPolicy(seed=args.seed)
     arbiter = QoSArbiter(args.budget, shadow_rate=args.shadow_rate,
-                         seed=args.seed, shadow_rows=args.shadow_rows)
+                         seed=args.seed, shadow_rows=args.shadow_rows,
+                         precision_policy=precision_policy)
     server.attach_qos(arbiter)
+    if precision != "float64":
+        for name in server.names:
+            server.region(name).config.precision = precision
     print(f"serving {len(harnesses)} region(s) on "
           f"{type(backend).__name__} under a global error budget "
-          f"of {args.budget}...")
+          f"of {args.budget} (precision {precision})...")
     for harness in harnesses:
         harness.run_surrogate()
     server.drain()
@@ -178,6 +187,13 @@ def _cmd_serve(args) -> int:
           f" (budget {args.budget}); infer fraction "
           f"{rollup['infer_fraction']:.2f}; "
           f"{rollup['shadow_invocations']} shadow validations")
+    prec_snap = snap.get("precision")
+    if prec_snap:
+        for name, st in prec_snap["regions"].items():
+            ewma = st.get("ewma")
+            ewma = "n/a" if ewma is None else f"{ewma:.3g}"
+            print(f"  {name:14s} fp32 divergence ewma {ewma}  "
+                  f"samples {st['samples']}  demotions {st['demotions']}")
     server.detach_qos()
     server.backend.close()
     return 0
@@ -308,6 +324,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--chunk", type=int, default=32)
     p_serve.add_argument("--rows", type=int, default=512,
                          help="test rows per row-batched benchmark")
+    p_serve.add_argument("--precision",
+                         choices=("float64", "float32", "auto"),
+                         default="float64",
+                         help="compiled-plan dtype: float64 (default, "
+                              "bitwise-identical to historical serving), "
+                              "float32 (narrowed plans, ~2x GEMM "
+                              "bandwidth, ungoverned), or auto (float32 "
+                              "governed by a PrecisionPolicy — fp32/fp64 "
+                              "divergence is shadow-sampled, charged to "
+                              "the error budget, and a drifting region "
+                              "is demoted back to float64)")
 
     p_stats = sub.add_parser(
         "stats", help="observability dashboard (in-process demo, or "

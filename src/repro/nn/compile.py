@@ -36,7 +36,7 @@ import numpy as np
 
 from . import layers as L
 from .plan import (FleetPlan, UnsupportedLayerError, fleet_fingerprint,
-                   lower_model, structural_fingerprint)
+                   lower_model, narrow_plan_steps, structural_fingerprint)
 
 __all__ = ["compile_inference", "compile_fleet_inference",
            "CompiledPlan", "FleetPlan", "fleet_fingerprint",
@@ -47,10 +47,11 @@ class CompiledPlan:
     """A flat inference step plan emitted by :func:`compile_inference`."""
 
     __slots__ = ("_steps", "_fns", "_watch", "_struct_watch", "_keys",
-                 "n_layers", "n_fused", "summary", "fingerprint")
+                 "n_layers", "n_fused", "summary", "fingerprint", "dtype",
+                 "_cast")
 
     def __init__(self, steps, watch, struct_watch, n_layers, n_fused,
-                 summary, fingerprint):
+                 summary, fingerprint, dtype=np.float64):
         self._steps = tuple(steps)
         # Hot steps hand out specialized closures (constants bound,
         # scratch dict captured); the rest run their bound method.
@@ -63,9 +64,14 @@ class CompiledPlan:
         self.n_fused = n_fused
         self.summary = tuple(summary)
         #: Structural digest of the lowered model (layer types, shapes,
-        #: hyperparameters).  Equal fingerprints => interchangeable
-        #: step/scratch layout.
+        #: hyperparameters) plus the plan dtype when narrowed.  Equal
+        #: fingerprints => interchangeable step/scratch layout.
         self.fingerprint = fingerprint
+        #: Execution dtype of the plan's constants and scratch.
+        self.dtype = np.dtype(dtype)
+        # Narrowed plans cast the input once at entry; the float64
+        # default keeps the historical float16-only coercion verbatim.
+        self._cast = None if self.dtype == np.float64 else self.dtype
 
     def stale(self) -> bool:
         """True when the plan no longer describes the model.
@@ -98,6 +104,7 @@ class CompiledPlan:
         """
         if old is None or old is self or \
                 old.fingerprint != self.fingerprint or \
+                old.dtype != self.dtype or \
                 len(old._steps) != len(self._steps):
             return False
         for mine, theirs in zip(self._steps, old._steps):
@@ -111,7 +118,10 @@ class CompiledPlan:
 
     def __call__(self, x) -> np.ndarray:
         x = np.asarray(x)
-        if x.dtype == np.float16:      # mirror Tensor's dtype coercion
+        if self._cast is not None:
+            if x.dtype != self._cast:
+                x = x.astype(self._cast)
+        elif x.dtype == np.float16:    # mirror Tensor's dtype coercion
             x = x.astype(np.float64)
         key = x.shape[0] if x.ndim else 1
         if key not in self._keys:
@@ -135,7 +145,10 @@ class CompiledPlan:
         """
         import time
         x = np.asarray(x)
-        if x.dtype == np.float16:
+        if self._cast is not None:
+            if x.dtype != self._cast:
+                x = x.astype(self._cast)
+        elif x.dtype == np.float16:
             x = x.astype(np.float64)
         key = x.shape[0] if x.ndim else 1
         if key not in self._keys:
@@ -157,25 +170,45 @@ class CompiledPlan:
                 f"steps={len(self._steps)}, fused={self.n_fused})")
 
 
-def compile_inference(model: L.Module) -> CompiledPlan:
+def compile_inference(model: L.Module, dtype=np.float64) -> CompiledPlan:
     """Compile ``model`` into a flat NumPy inference plan.
 
+    ``dtype=np.float32`` emits a *narrowed* plan: weights and constants
+    are cast exactly once here and every kernel then runs natively in
+    float32 — roughly half the memory traffic on the GEMM-bound shapes.
+    The float64 default is untouched by the narrowing machinery and
+    stays bitwise-identical to the historical plans (same fingerprint,
+    same step constants, same input coercion).
+
     Raises :class:`UnsupportedLayerError` for layers without a lowering
-    (custom modules outside the serialized zoo) — callers fall back to
-    the graph path.
+    (custom modules outside the serialized zoo) — and, for narrowed
+    plans, for step types outside the dtype-safe MLP set (see
+    :func:`~repro.nn.plan.narrow_plan_steps`) — callers fall back to
+    the graph path / the float64 plan.
     """
+    dtype = np.dtype(dtype)
     ctx, struct_watch, n_layers = lower_model(model, training=False)
+    if dtype == np.float64:
+        extra = ("infer",)
+    elif dtype == np.float32:
+        narrow_plan_steps(ctx.steps, dtype)
+        extra = ("infer", "f32")
+    else:
+        raise ValueError(
+            f"inference plans support float64/float32, not {dtype}")
     return CompiledPlan(ctx.steps, ctx.watch, struct_watch, n_layers,
                         ctx.n_fused, ctx.summary,
-                        structural_fingerprint(model, extra=("infer",)))
+                        structural_fingerprint(model, extra=extra),
+                        dtype=dtype)
 
 
-def compile_fleet_inference(models) -> FleetPlan:
+def compile_fleet_inference(models, dtype=np.float64) -> FleetPlan:
     """Compile K same-fleet-fingerprint models into one stacked plan.
 
-    Stacked outputs are bitwise-equal to each member's own
-    :func:`compile_inference` forward; raises
+    Stacked float64 outputs are bitwise-equal to each member's own
+    :func:`compile_inference` forward; ``dtype=np.float32`` stacks a
+    narrowed slab (member weights cast on the row copies).  Raises
     :class:`UnsupportedLayerError` on structurally mixed groups or
     layers without a fleet lowering (callers keep per-model plans).
     """
-    return FleetPlan(models)
+    return FleetPlan(models, dtype=dtype)

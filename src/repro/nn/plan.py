@@ -50,7 +50,7 @@ from . import layers as L
 __all__ = [
     "UnsupportedLayerError", "PlanStep", "LoweringContext",
     "register_lowering", "lowering_for", "lower_model",
-    "structural_fingerprint", "loss_token",
+    "narrow_plan_steps", "structural_fingerprint", "loss_token",
     "FleetStep", "FleetLoweringContext", "register_fleet_lowering",
     "fleet_lowering_for", "lower_fleet", "fleet_fingerprint", "FleetPlan",
 ]
@@ -200,7 +200,7 @@ class PlanStep:
 
 def _buf(s: dict, key: str, shape: tuple, dtype=np.float64) -> np.ndarray:
     arr = s.get(key)
-    if arr is None or arr.shape != shape:
+    if arr is None or arr.shape != shape or arr.dtype != dtype:
         arr = s[key] = np.empty(shape, dtype=dtype)
     return arr
 
@@ -270,7 +270,7 @@ def _act_forward(kind, slope, z, s):
         _sigmoid_in(z)
     else:  # leaky
         mb = _buf(s, "act_mask", z.shape, dtype=bool)
-        t = _buf(s, "act_t", z.shape)
+        t = _buf(s, "act_t", z.shape, dtype=z.dtype)
         np.greater(z, 0.0, out=mb)
         t.fill(slope)
         np.copyto(t, 1.0, where=mb)
@@ -1078,28 +1078,65 @@ class MaxPool2dStep(PlanStep):
 class MaxPool1dStep(PlanStep):
     __slots__ = ("kernel", "stride")
 
-    def __init__(self, kernel, stride):
-        super().__init__(False)
+    def __init__(self, kernel, stride, training=False):
+        super().__init__(training)
         self.kernel = kernel
         self.stride = stride
 
     def forward(self, x, n):
-        if self.kernel == 1:
+        if self.kernel == 1 and not self.training:
             return x                 # 1-wide windows at stride 1: identity
-        out, _arg = F.max_pool1d_raw(x, self.kernel, self.stride)
+        out, arg = F.max_pool1d_raw(x, self.kernel, self.stride)
+        if self.training:
+            s = self.scratch(n)
+            s["arg"] = arg
+            s["x_shape"] = x.shape
         return out
+
+    def backward(self, g, n, need_gx):
+        if not need_gx:
+            return None
+        s = self._bufs[n]
+        arg = s["arg"]
+        gx = np.zeros(s["x_shape"])
+        # Scatter each window gradient back to the argmax position —
+        # the functional.max_pool1d adjoint, verbatim.
+        n_idx, c_idx, ol_idx = np.indices(arg.shape)
+        cols_ = ol_idx * self.stride + arg
+        np.add.at(gx, (n_idx, c_idx, cols_), g)
+        return gx
 
 
 class AvgPool2dStep(PlanStep):
     __slots__ = ("kernel", "stride")
 
-    def __init__(self, kernel, stride):
-        super().__init__(False)
+    def __init__(self, kernel, stride, training=False):
+        super().__init__(training)
         self.kernel = kernel
         self.stride = stride
 
     def forward(self, x, n):
-        return F.avg_pool2d_raw(x, self.kernel, self.stride)
+        out = F.avg_pool2d_raw(x, self.kernel, self.stride)
+        if self.training:
+            s = self.scratch(n)
+            s["x_shape"] = x.shape
+            s["out_hw"] = out.shape[-2:]
+        return out
+
+    def backward(self, g, n, need_gx):
+        if not need_gx:
+            return None
+        s = self._bufs[n]
+        out_h, out_w = s["out_hw"]
+        gx = np.zeros(s["x_shape"])
+        # Spread each window gradient evenly over its source cells —
+        # the functional.avg_pool2d adjoint, verbatim.
+        gs = g * (1.0 / (self.kernel * self.kernel))
+        for ih in range(self.kernel):
+            for iw in range(self.kernel):
+                gx[:, :, ih:ih + self.stride * out_h:self.stride,
+                   iw:iw + self.stride * out_w:self.stride] += gs
+        return gx
 
 
 class CropPad2dStep(PlanStep):
@@ -1260,17 +1297,13 @@ def _lower_maxpool2d(layer, ctx):
 
 @register_lowering(L.MaxPool1d)
 def _lower_maxpool1d(layer, ctx):
-    if ctx.training:
-        ctx.unsupported(layer)
-    ctx.emit(MaxPool1dStep(layer.kernel_size, layer.stride),
+    ctx.emit(MaxPool1dStep(layer.kernel_size, layer.stride, ctx.training),
              "MaxPool1d: strided view")
 
 
 @register_lowering(L.AvgPool2d)
 def _lower_avgpool2d(layer, ctx):
-    if ctx.training:
-        ctx.unsupported(layer)
-    ctx.emit(AvgPool2dStep(layer.kernel_size, layer.stride),
+    ctx.emit(AvgPool2dStep(layer.kernel_size, layer.stride, ctx.training),
              "AvgPool2d: strided view")
 
 
@@ -1278,6 +1311,56 @@ def _lower_avgpool2d(layer, ctx):
 def _lower_croppad2d(layer, ctx):
     ctx.emit(CropPad2dStep(layer.height, layer.width, ctx.training),
              "CropPad2d: slice/pad")
+
+
+# ----------------------------------------------------------------------
+# Mixed precision: narrowing lowered inference steps
+# ----------------------------------------------------------------------
+
+#: Inference steps a narrowed plan supports without per-step changes:
+#: they hold no float64 constants, so the activation dtype flows
+#: through them unchanged.
+_DTYPE_TRANSPARENT_STEPS = (ActStep, FlattenStep, MaxPool1dStep,
+                            MaxPool2dStep, AvgPool2dStep, CropPad2dStep)
+
+
+def narrow_plan_steps(steps, dtype) -> None:
+    """Cast the frozen constants of lowered *inference* steps to ``dtype``.
+
+    This is the one cast of the mixed-precision design: weights, biases
+    and standardize statistics are copied into ``dtype`` here, at
+    compile time, and every hot-path kernel then runs natively in that
+    dtype (the steps' existing ``result_type`` scratch logic keeps the
+    activations there — no per-call casts).  The cast breaks the
+    float64 plans' write-through aliasing: a narrowed plan snapshots the
+    weights, so in-place parameter edits do not flow into it (rebinding
+    the arrays still trips the staleness watch and recompiles).
+
+    Steps that keep live float64 state (BatchNorm/LayerNorm running
+    stats, conv im2col weights, GRU windows) are refused with
+    :class:`UnsupportedLayerError` — callers fall back to the float64
+    plan rather than silently promoting mid-plan.
+    """
+    dtype = np.dtype(dtype)
+    for step in steps:
+        if isinstance(step, AffineStep):
+            step.w = np.ascontiguousarray(step.w, dtype=dtype)
+            step.wt = step.w.T
+            if step.bias is not None:
+                step.bias = step.bias.astype(dtype)
+                step.b_row = step.bias.reshape(1, -1)
+            step._narrow = step.w.dtype != np.float64
+        elif isinstance(step, StandardizeStep):
+            step.mean = step.mean.astype(dtype)
+            step.inv_std = step.inv_std.astype(dtype)
+        elif isinstance(step, DestandardizeStep):
+            step.mean = step.mean.astype(dtype)
+            step.std = step.std.astype(dtype)
+        elif not isinstance(step, _DTYPE_TRANSPARENT_STEPS):
+            raise UnsupportedLayerError(
+                f"no {dtype.name} lowering for {type(step).__name__}; "
+                "narrowed plans support the MLP step set (affine, "
+                "activation, standardize, flatten, pooling, crop/pad)")
 
 
 # ----------------------------------------------------------------------
@@ -1418,7 +1501,7 @@ class FleetAffineStep(FleetStep):
         shape = (na, x.shape[-2], wt.shape[-1])
         z = s.get("z")
         if z is None or z.shape != shape:
-            z = s["z"] = np.empty(shape)
+            z = s["z"] = np.empty(shape, dtype=wt.dtype)
         np.matmul(x, wt, out=z)
         if self.b is not None:
             np.add(z, self.b[:na], out=z)
@@ -1458,8 +1541,8 @@ class FleetActStep(FleetStep):
     def forward(self, x, n):
         s = self.scratch(n)
         z = s.get("z")
-        if z is None or z.shape != x.shape:
-            z = s["z"] = np.empty(x.shape)
+        if z is None or z.shape != x.shape or z.dtype != x.dtype:
+            z = s["z"] = np.empty(x.shape, dtype=x.dtype)
         np.copyto(z, x)
         _act_forward(self.act, self.slope, z, s)
         return z
@@ -1795,7 +1878,7 @@ class FleetStandardizeStep(FleetStep):
         shape = (na, x.shape[-2], x.shape[-1])
         z = s.get("z")
         if z is None or z.shape != shape:
-            z = s["z"] = np.empty(shape)
+            z = s["z"] = np.empty(shape, dtype=inv.dtype)
         np.subtract(x, mean, out=z)
         np.multiply(z, inv, out=z)
         return z
@@ -1837,7 +1920,7 @@ class FleetDestandardizeStep(FleetStep):
         shape = (na, x.shape[-2], x.shape[-1])
         z = s.get("z")
         if z is None or z.shape != shape:
-            z = s["z"] = np.empty(shape)
+            z = s["z"] = np.empty(shape, dtype=self.std.dtype)
         np.multiply(x, self.std[:na], out=z)
         np.add(z, self.mean[:na], out=z)
         return z
@@ -2042,7 +2125,9 @@ def _fleet_flatten(layers, ctx):
 class FleetPlan:
     """Stacked inference over K same-fingerprint models.
 
-    One flat ``(K, n_slab)`` float64 weight slab holds every member's
+    One flat ``(K, n_slab)`` weight slab (float64 by default; pass
+    ``dtype=np.float32`` for a narrowed slab that halves the memory
+    traffic of the bandwidth-bound K-row GEMMs) holds every member's
     parameters *and* frozen constants; steps hold ``(K, *shape)`` views
     into it, so hot-swapping member ``k`` is one row-slice copy
     (:meth:`replace_member`) and the next stacked forward reads the new
@@ -2054,11 +2139,16 @@ class FleetPlan:
     ``k``'s own compiled forward.
     """
 
-    __slots__ = ("k", "fingerprint", "summary", "n_layers", "n_fused",
-                 "slab", "n_slab", "_steps", "_segs", "_watch", "_keys")
+    __slots__ = ("k", "dtype", "fingerprint", "summary", "n_layers",
+                 "n_fused", "slab", "n_slab", "_steps", "_segs", "_watch",
+                 "_keys")
 
-    def __init__(self, models):
+    def __init__(self, models, dtype=np.float64):
         models = list(models)
+        self.dtype = np.dtype(dtype)
+        if self.dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ValueError(
+                f"fleet plans support float64/float32, not {self.dtype}")
         ctx, _struct, n_layers = lower_fleet(models, training=False)
         self.k = ctx.k
         self.fingerprint = fleet_fingerprint(models[0], extra=("infer",))
@@ -2089,7 +2179,11 @@ class FleetPlan:
                     offset += arr0.size
         self._segs = segs
         self.n_slab = offset
-        self.slab = np.empty((self.k, offset))
+        # The slab carries the plan dtype: member tensors stay float64
+        # at the source, and a narrowed plan casts exactly once per
+        # member — on the row copy in :meth:`refresh_member` (which is
+        # also the hot-swap path, so swapped-in weights cast on swap).
+        self.slab = np.empty((self.k, offset), dtype=self.dtype)
         self._watch = [None] * self.k
         for k in range(self.k):
             self.refresh_member(k)
@@ -2154,8 +2248,8 @@ class FleetPlan:
     # -- execution ---------------------------------------------------------
     def __call__(self, x) -> np.ndarray:
         x = np.asarray(x)
-        if x.dtype != np.float64:
-            x = x.astype(np.float64)
+        if x.dtype != self.dtype:
+            x = x.astype(self.dtype)
         n = x.shape[-2] if x.ndim >= 2 else len(x)
         if n not in self._keys:
             if len(self._keys) > 16:

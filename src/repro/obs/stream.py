@@ -9,10 +9,16 @@ candidate budgets without re-running the application.
 
 Layout: one group per region holding two appendable datasets,
 
-* ``codes``  — int64, inner shape ``(4,)``: inputs digest, path code,
-  reason code, breaker code (codes index the JSON vocab attrs);
+* ``codes``  — int64, inner shape ``(5,)``: inputs digest, path code,
+  reason code, breaker code, precision code (codes index the JSON
+  vocab attrs);
 * ``values`` — float64, inner shape ``(2,)``: shadow error, budget
   spend (NaN encodes "absent" and decodes back to ``None``).
+
+Streams written before the precision column had inner shape ``(4,)``;
+the reader decodes both widths (old records replay with
+``precision=None``), and appending to an old-width file keeps its
+width by dropping the precision code.
 
 No wall-clock timestamps are stored — deliberately — so a fixed-seed
 run produces byte-identical records.  Writes buffer in memory
@@ -63,7 +69,8 @@ class _RegionStream:
         self.codes: list = []
         self.values: list = []
         # One vocabulary per coded column, in column order.
-        self.vocab = {"paths": [], "reasons": [], "breakers": []}
+        self.vocab = {"paths": [], "reasons": [], "breakers": [],
+                      "precisions": []}
 
     def code(self, column: str, token) -> int:
         if token is None:
@@ -98,7 +105,8 @@ class DecisionStream:
                path: str = "accurate", reason: str | None = None,
                breaker: str | None = None,
                shadow_error: float | None = None,
-               spend: float | None = None) -> None:
+               spend: float | None = None,
+               precision: str | None = None) -> None:
         """Buffer one decision record (persisted at flush)."""
         with self._lock:
             if self._closed:
@@ -109,7 +117,8 @@ class DecisionStream:
             rs.codes.append((int(digest),
                              rs.code("paths", path),
                              rs.code("reasons", reason),
-                             rs.code("breakers", breaker)))
+                             rs.code("breakers", breaker),
+                             rs.code("precisions", precision)))
             rs.values.append((math.nan if shadow_error is None
                               else float(shadow_error),
                               math.nan if spend is None else float(spend)))
@@ -130,8 +139,13 @@ class DecisionStream:
             for region, rs in self._regions.items():
                 group = self._file.require_group(region)
                 if rs.codes:
-                    group.require_dataset("codes", (4,), np.int64).append(
-                        np.asarray(rs.codes, dtype=np.int64).reshape(-1, 4))
+                    codes_ds = group.require_dataset("codes", (5,), np.int64)
+                    rows = np.asarray(rs.codes,
+                                      dtype=np.int64).reshape(-1, 5)
+                    # Appending to a pre-precision stream keeps the
+                    # file's original width (old readers stay valid).
+                    width = codes_ds.shape[1]
+                    codes_ds.append(rows[:, :width])
                     group.require_dataset("values", (2,), np.float64).append(
                         np.asarray(rs.values,
                                    dtype=np.float64).reshape(-1, 2))
@@ -177,18 +191,22 @@ def read_stream(path) -> dict:
                 f"(schema={fh.attrs.get('schema')!r})")
         for region, group in fh.groups().items():
             vocab = {column: json.loads(group.attrs.get(column, "[]"))
-                     for column in ("paths", "reasons", "breakers")}
+                     for column in ("paths", "reasons", "breakers",
+                                    "precisions")}
 
             def decode(column, code):
                 return None if code == _NONE_CODE else vocab[column][code]
 
             codes = group["codes"].read() if "codes" in group else \
-                np.empty((0, 4), dtype=np.int64)
+                np.empty((0, 5), dtype=np.int64)
             values = group["values"].read() if "values" in group else \
                 np.empty((0, 2), dtype=np.float64)
+            # Pre-precision streams carry width-4 code rows.
+            wide = codes.shape[1] >= 5
             records = []
             for seq in range(min(len(codes), len(values))):
-                digest, path_c, reason_c, breaker_c = codes[seq]
+                digest, path_c, reason_c, breaker_c = codes[seq][:4]
+                prec_c = int(codes[seq][4]) if wide else _NONE_CODE
                 err, spend = values[seq]
                 records.append({
                     "seq": seq,
@@ -196,6 +214,7 @@ def read_stream(path) -> dict:
                     "path": decode("paths", int(path_c)),
                     "reason": decode("reasons", int(reason_c)),
                     "breaker": decode("breakers", int(breaker_c)),
+                    "precision": decode("precisions", prec_c),
                     "shadow_error": None if math.isnan(err) else float(err),
                     "spend": None if math.isnan(spend) else float(spend),
                 })

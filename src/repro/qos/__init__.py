@@ -21,6 +21,7 @@ from .policy import (BudgetArbitrationPolicy, CompositePolicy,
                      DriftBurstPolicy, ErrorBudgetPolicy,
                      PeriodicRecalibrationPolicy, PolicyAction, QoSPolicy,
                      ThresholdPolicy)
+from .precision import PrecisionPolicy
 from .telemetry import QoSTelemetry, phase_summary
 
 __all__ = [
@@ -28,6 +29,6 @@ __all__ = [
     "ShadowValidator", "PathDecision", "QoSController",
     "QoSPolicy", "PolicyAction", "ThresholdPolicy", "ErrorBudgetPolicy",
     "DriftBurstPolicy", "PeriodicRecalibrationPolicy",
-    "BudgetArbitrationPolicy", "CompositePolicy",
+    "BudgetArbitrationPolicy", "CompositePolicy", "PrecisionPolicy",
     "QoSTelemetry", "phase_summary",
 ]

@@ -355,13 +355,19 @@ class QoSController:
                  commit: str = "surrogate", metric: str = "relative",
                  alpha: float = 0.2, quantile: float = 0.95,
                  telemetry: QoSTelemetry | None = None,
-                 shadow_rows: int | None = None):
+                 shadow_rows: int | None = None,
+                 precision_policy=None):
         if commit not in ("surrogate", "accurate"):
             raise ValueError(f"commit must be 'surrogate' or 'accurate': "
                              f"{commit!r}")
         if shadow_rows is not None and shadow_rows < 1:
             raise ValueError(f"shadow_rows must be >= 1: {shadow_rows}")
         self.policy = policy
+        #: Optional :class:`~repro.qos.PrecisionPolicy` governing
+        #: float32 plan execution for regions with
+        #: ``RegionConfig(precision="auto")``; regions sharing this
+        #: controller share the governor (and its divergence ledgers).
+        self.precision_policy = precision_policy
         self.validator = ShadowValidator(shadow_rate, seed=seed,
                                          metric=metric)
         self.commit = commit
@@ -434,6 +440,23 @@ class QoSController:
         fn = getattr(self.policy, "spend_for", None)
         return fn(region_name) if fn is not None else None
 
+    def charge_budget(self, region_name: str, error: float) -> bool:
+        """Charge an out-of-band error against the policy's budget.
+
+        Duck-typed onto budget-keeping policies (``add_charge``): the
+        precision governor spends observed fp32-vs-fp64 divergence from
+        the same ledger surrogate error spends, so both approximation
+        axes answer to one budget.  Returns whether a ledger accepted
+        the charge (False for ledger-less policies / no policy).
+        """
+        if self.policy is None:
+            return False
+        fn = getattr(self.policy, "add_charge", None)
+        if fn is None:
+            return False
+        fn(region_name, float(error))
+        return True
+
     def observe_shadow(self, region_name: str, predicted,
                        accurate) -> float:
         """Fold one validated invocation's error into the rolling stats."""
@@ -458,6 +481,8 @@ class QoSController:
         }
         if self.policy is not None:
             out["policy"] = self.policy.snapshot()
+        if self.precision_policy is not None:
+            out["precision"] = self.precision_policy.snapshot()
         return out
 
     def reset_region(self, region_name: str) -> None:
@@ -474,6 +499,8 @@ class QoSController:
             reset = getattr(self.policy, "reset_region", None)
             if reset is not None:
                 reset(region_name)
+        if self.precision_policy is not None:
+            self.precision_policy.reset_region(region_name)
 
     def reset(self) -> None:
         self.validator.reset()
@@ -481,3 +508,5 @@ class QoSController:
         self.telemetry.reset()
         if self.policy is not None:
             self.policy.reset()
+        if self.precision_policy is not None:
+            self.precision_policy.reset()

@@ -504,6 +504,22 @@ class BudgetArbitrationPolicy(QoSPolicy):
             # decision instead of serving it a stale allocation.
             self._since_rebalance = self.rebalance_every
 
+    def add_charge(self, region_name: str, error: float) -> None:
+        """Charge an out-of-band error source against the ledgers.
+
+        The mixed-precision hook: a region serving narrowed (float32)
+        plans shadow-samples fp32-vs-fp64 divergence and charges it
+        here, so precision loss spends the same budget mass as
+        surrogate error — one global budget governs both axes of
+        approximation.  Charges land in the region's ledger *and* the
+        global ledger, exactly like an admitted inference's cost (in
+        accounting units via ``_cost``), but add no decision mass.
+        """
+        cost = self._cost(float(error))
+        st = self._region(region_name)
+        st["spent"] += cost
+        self._global_spent += cost
+
     def reset_region(self, region_name: str) -> None:
         """Forget one region's ledger and estimate (its global charges
         stay spent — conservative).  Used after a model hot-swap: the
@@ -609,6 +625,12 @@ class CompositePolicy(QoSPolicy):
     def observe(self, region_name, error, stats):
         for policy in self.policies:
             policy.observe(region_name, error, stats)
+
+    def add_charge(self, region_name: str, error: float) -> None:
+        for policy in self.policies:
+            fn = getattr(policy, "add_charge", None)
+            if fn is not None:
+                fn(region_name, error)
 
     def reset_region(self, region_name: str) -> None:
         for policy in self.policies:

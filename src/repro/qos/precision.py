@@ -1,0 +1,164 @@
+"""Precision governance: float32 plan execution under the error budget.
+
+Numeric precision is the paper's approximation trade on a second axis:
+a narrowed (float32) compiled plan halves memory traffic on the
+GEMM-bound shapes, at the price of ~1e-7-relative divergence from the
+float64 plan — usually negligible, but *assumed* nowhere.  A
+:class:`PrecisionPolicy` makes the narrowing governed the same way the
+surrogate itself is:
+
+* **shadow sampling** — a seeded Bernoulli fraction of float32
+  invocations also runs the float64 plan (the
+  :class:`~repro.qos.ShadowValidator` machinery), turning each sample
+  into a measured fp32-vs-fp64 divergence;
+* **budget charging** — every observed divergence is charged to the
+  region's error-budget ledger (``QoSController.charge_budget``), so
+  precision loss and surrogate error spend the same global allowance;
+* **breaker hysteresis** — when the divergence EWMA breaches ``high``
+  the region is demoted to float64; while demoted, every
+  ``probe_interval``-th invocation re-measures in float32, and the
+  region is promoted back once the EWMA decays under ``low``
+  (``high / 4`` by default), so a transient ill-conditioned batch does
+  not pin a healthy region on the slow path forever.
+
+Regions opt in via ``RegionConfig(precision="auto")``; the policy
+rides the controller (``QoSController(precision_policy=...)``) or is
+created per-region with these defaults.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .monitor import ShadowValidator
+
+__all__ = ["PrecisionPolicy"]
+
+
+class PrecisionPolicy:
+    """Per-region float32/float64 governor with breaker hysteresis."""
+
+    def __init__(self, high: float = 1e-5, low: float | None = None,
+                 sample_rate: float = 0.05, warmup: int = 3,
+                 probe_interval: int = 32, seed: int = 0,
+                 metric: str = "relative", alpha: float = 0.2):
+        if high <= 0:
+            raise ValueError(f"high threshold must be positive: {high}")
+        if low is None:
+            low = high / 4.0
+        if not 0.0 < low <= high:
+            raise ValueError(f"low must be in (0, high]: {low}")
+        if warmup < 0:
+            raise ValueError(f"warmup must be >= 0: {warmup}")
+        if probe_interval < 1:
+            raise ValueError(f"probe_interval must be >= 1: "
+                             f"{probe_interval}")
+        self.high = high
+        self.low = low
+        self.warmup = warmup
+        self.probe_interval = probe_interval
+        self.alpha = alpha
+        self.validator = ShadowValidator(sample_rate, seed=seed,
+                                         metric=metric)
+        self._regions: dict[str, dict] = {}
+
+    def _region(self, name: str) -> dict:
+        st = self._regions.get(name)
+        if st is None:
+            st = self._regions[name] = {
+                "count": 0,          # precision decisions taken
+                "samples": 0,        # divergences observed
+                "ewma": math.nan,    # EW divergence estimate
+                "tripped": False,    # demoted to float64
+                "since": 0,          # invocations since the demotion
+                "demotions": 0,
+                "promotions": 0,
+            }
+        return st
+
+    # -- the per-invocation hooks ---------------------------------------
+    def precision_for(self, region_name: str) -> str:
+        """The dtype this invocation should execute: one decision."""
+        st = self._region(region_name)
+        st["count"] += 1
+        if st["tripped"]:
+            st["since"] += 1
+            return "float64"
+        return "float32"
+
+    def should_sample(self, region_name: str) -> bool:
+        """Whether this invocation must also run the other-dtype plan.
+
+        Warmup invocations always sample (no region runs unmeasured);
+        healthy regions sample at the validator's Bernoulli rate;
+        demoted regions probe every ``probe_interval``-th invocation so
+        the estimate keeps tracking and recovery stays possible.
+        """
+        st = self._region(region_name)
+        if st["tripped"]:
+            return st["since"] % self.probe_interval == 0
+        if st["samples"] < self.warmup:
+            return True
+        return self.validator.should_sample()
+
+    def observe(self, region_name: str, narrowed, accurate,
+                qos=None) -> float:
+        """Fold one fp32-vs-fp64 divergence into the region's state.
+
+        ``narrowed``/``accurate`` are the float32 and float64 outputs
+        of the same invocation.  When a ``qos`` controller is given the
+        divergence is charged to its budget ledger
+        (:meth:`~repro.qos.QoSController.charge_budget`), then the
+        breaker updates: trip on EWMA > ``high``, recover on
+        EWMA <= ``low``.  Returns the observed divergence.
+        """
+        err = self.validator.error(narrowed, accurate)
+        st = self._region(region_name)
+        st["samples"] += 1
+        if math.isnan(st["ewma"]):
+            st["ewma"] = err
+        else:
+            st["ewma"] += self.alpha * (err - st["ewma"])
+        if qos is not None:
+            charge = getattr(qos, "charge_budget", None)
+            if charge is not None:
+                charge(region_name, err)
+        if not st["tripped"]:
+            if st["samples"] >= self.warmup and st["ewma"] > self.high:
+                st["tripped"] = True
+                st["since"] = 0
+                st["demotions"] += 1
+        elif st["ewma"] <= self.low:
+            st["tripped"] = False
+            st["promotions"] += 1
+        return err
+
+    def tripped(self, region_name: str) -> bool:
+        return self._region(region_name)["tripped"]
+
+    # -- reporting -------------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "policy": "precision",
+            "high": self.high,
+            "low": self.low,
+            "sample_rate": self.validator.rate,
+            "metric": self.validator.metric,
+            "probe_interval": self.probe_interval,
+            "regions": {
+                name: {k: (None if isinstance(v, float) and math.isnan(v)
+                           else v)
+                       for k, v in st.items()}
+                for name, st in self._regions.items()
+            },
+        }
+
+    def reset_region(self, region_name: str) -> None:
+        """Forget one region's divergence state (hot-swap hook: new
+        weights change the fp32 error surface, so re-measure through
+        warmup instead of trusting the predecessor's EWMA)."""
+        self._regions.pop(region_name, None)
+
+    def reset(self) -> None:
+        self.validator.reset()
+        self._regions.clear()

@@ -69,6 +69,7 @@ class BatchedInferenceEngine(InferenceEngine):
         self.max_batch_rows = max_batch_rows
         self._queue: list[_Pending] = []
         self._queue_key: str | None = None
+        self._queue_dtype = None              # np.dtype | None (= float64)
         self._queued_rows = 0
         self._key_cache: dict[str, str] = {}   # raw path -> resolved
         # Reentrant: submit flushes (size/region triggers) while holding
@@ -93,26 +94,34 @@ class BatchedInferenceEngine(InferenceEngine):
         return len(self._queue)
 
     # -- submission ------------------------------------------------------
-    def submit(self, model_path, inputs: np.ndarray, on_result=None) -> None:
+    def submit(self, model_path, inputs: np.ndarray, on_result=None,
+               dtype=None) -> None:
         """Queue one invocation's ``(b, *features)`` inputs.
 
         ``on_result(outputs, seconds)`` fires at flush time with this
         submission's slice of the batched output and its proportional
         share of the device-equivalent forward time.  Inputs are copied
         at submission, so callers may reuse their buffers immediately.
+        ``dtype`` selects the plan precision for the fused forward;
+        mixing precisions is a flush trigger like mixing models, so a
+        batch always runs one plan.
         """
         inputs = np.array(inputs)             # snapshot: defer-safe
+        if dtype is not None:
+            dtype = np.dtype(dtype)
         raw = str(model_path)
         key = self._key_cache.get(raw)        # resolve() syscalls are the
         if key is None:                       # per-submit hot-path cost
             key = self._key_cache[raw] = str(Path(raw).resolve())
         with self._queue_lock:
             if self._queue and (key != self._queue_key or
+                                dtype != self._queue_dtype or
                                 inputs.shape[1:] !=
                                 self._queue[0].inputs.shape[1:]):
                 self.flush()                  # region-triggered
             self._queue.append(_Pending(inputs, on_result))
             self._queue_key = key
+            self._queue_dtype = dtype
             self._queued_rows += len(inputs)
             self.submissions += 1
             if self._queued_rows >= self.max_batch_rows:
@@ -141,7 +150,8 @@ class BatchedInferenceEngine(InferenceEngine):
             else:
                 batch = np.concatenate([p.inputs for p in pending], axis=0)
             start = time.perf_counter()
-            outputs = self._flush_forward(self._queue_key, batch)
+            outputs = self._flush_forward(self._queue_key, batch,
+                                          dtype=self._queue_dtype)
             if obs.is_enabled():
                 tracer = self._obs_tracer
                 if tracer is None:
@@ -157,6 +167,7 @@ class BatchedInferenceEngine(InferenceEngine):
             # The forward succeeded: the queue is consumed from here on.
             self._queue = []
             self._queue_key = None
+            self._queue_dtype = None
             self._queued_rows = 0
             self.batches_flushed += 1
             self.rows_flushed += total
@@ -183,7 +194,8 @@ class BatchedInferenceEngine(InferenceEngine):
         return results
 
     # -- the one fused forward --------------------------------------------
-    def _flush_forward(self, model_path, batch: np.ndarray) -> np.ndarray:
+    def _flush_forward(self, model_path, batch: np.ndarray,
+                       dtype=None) -> np.ndarray:
         """Run one fused ``(B, *features)`` forward for the queue.
 
         The single seam between batching policy and execution:
@@ -191,10 +203,11 @@ class BatchedInferenceEngine(InferenceEngine):
         worker process, inheriting the queue/flush/delivery machinery
         unchanged.
         """
-        return super().infer(model_path, batch)
+        return super().infer(model_path, batch, dtype=dtype)
 
     # -- immediate path ---------------------------------------------------
-    def infer(self, model_path, inputs: np.ndarray) -> np.ndarray:
+    def infer(self, model_path, inputs: np.ndarray,
+              dtype=None) -> np.ndarray:
         """Immediate inference; acts as a barrier for queued work."""
         self.flush()
-        return self._flush_forward(model_path, inputs)
+        return self._flush_forward(model_path, inputs, dtype=dtype)

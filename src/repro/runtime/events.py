@@ -208,7 +208,8 @@ class EventLog:
                 reason=notes.get("policy"),
                 breaker=notes.get("breaker"),
                 shadow_error=notes.get("shadow"),
-                spend=notes.get("spend"))
+                spend=notes.get("spend"),
+                precision=notes.get("precision"))
         return record
 
     def _fold_histograms(self) -> None:

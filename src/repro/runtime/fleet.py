@@ -67,9 +67,14 @@ class FleetInferenceEngine:
     """Answers per-member ``infer`` calls from stacked fleet forwards."""
 
     def __init__(self, device: Device | None = None,
-                 cache: ModelCache | None = None):
+                 cache: ModelCache | None = None, dtype=np.float64):
         self.device = device if device is not None else Device()
         self.cache = cache if cache is not None else ModelCache()
+        #: Slab dtype for every fleet this engine compiles.  float32
+        #: halves slab memory traffic on the bandwidth-bound K-row
+        #: GEMMs; member models (and hot-swap sources) stay float64 —
+        #: the cast happens on the slab row copies.
+        self.dtype = np.dtype(dtype)
         self._members: dict[str, FleetMember] = {}
         self._groups: list[_FleetGroup] = []
         #: Member names whose models have no fleet lowering (or whose
@@ -144,7 +149,8 @@ class FleetInferenceEngine:
                 self.ungrouped.extend(m.name for m in members)
                 continue
             try:
-                plan = FleetPlan([m.model for m in members])
+                plan = FleetPlan([m.model for m in members],
+                                 dtype=self.dtype)
             except UnsupportedLayerError:
                 self.ungrouped.extend(m.name for m in members)
                 continue
@@ -227,10 +233,11 @@ class FleetInferenceEngine:
             group = members[0].group
             for member in members:
                 self._sync_member(member)
-            xs = [np.asarray(calls[m.name], dtype=np.float64)
+            xs = [np.asarray(calls[m.name], dtype=group.plan.dtype)
                   for m in members]
             b_max = max(len(x) for x in xs)
-            stacked = np.zeros((group.plan.k, b_max) + xs[0].shape[1:])
+            stacked = np.zeros((group.plan.k, b_max) + xs[0].shape[1:],
+                               dtype=group.plan.dtype)
             for member, x in zip(members, xs):
                 stacked[member.row, :len(x)] = x
             dev_in = self.device.to_device(stacked)
@@ -251,6 +258,7 @@ class FleetInferenceEngine:
             "transfer_sim": self.device.clock.simulated - sim_before,
             "compiled": True,
             "members_served": served,
+            "dtype": self.dtype.name,
         }
         return out
 

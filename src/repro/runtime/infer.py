@@ -82,10 +82,12 @@ class InferenceEngine:
         # which would silently drop a shared-but-cold cache.
         self.cache = cache if cache is not None else ModelCache()
         self.use_compiled = use_compiled
-        #: id(model) -> (weakref to model, CompiledPlan | None).
+        #: (id(model), dtype) -> (weakref to model, CompiledPlan | None).
         #: ``None`` records a model whose layers have no lowering, so
-        #: the graph fallback is not re-attempted every call.
-        self._plans: dict[int, tuple] = {}
+        #: the graph fallback is not re-attempted every call.  Keying on
+        #: dtype keeps a float32 and a float64 plan of the same model
+        #: cached side by side without scratch/constant mixing.
+        self._plans: dict[tuple, tuple] = {}
         #: Timing of the most recent inference: ``forward_wall`` is the
         #: measured host time of the dense forward pass;
         #: ``forward_device`` is its device-equivalent
@@ -95,7 +97,7 @@ class InferenceEngine:
         self.last_timing: dict = {}
 
     # -- compiled-plan cache ---------------------------------------------
-    def plan_for(self, model: Module):
+    def plan_for(self, model: Module, dtype=np.float64):
         """Return the cached :class:`CompiledPlan` for ``model``.
 
         Compiles on first sight, recompiles when the plan went stale
@@ -106,10 +108,17 @@ class InferenceEngine:
         hot-swap / ``load_state_dict`` case — same architecture, new
         weights), the fresh plan adopts the stale plan's scratch
         buffers, so the first post-swap inference allocates nothing.
+
+        ``dtype=np.float32`` compiles a narrowed plan (cached under its
+        own key).  Models the narrower refuses — steps outside the
+        dtype-safe MLP set — fall back to the float64 plan, which is
+        then cached under the float32 key so the refusal is not
+        re-discovered on every call.
         """
         if not self.use_compiled:
             return None
-        key = id(model)
+        dtype = np.dtype(dtype)
+        key = (id(model), dtype)
         entry = self._plans.get(key)
         old_plan = None
         if entry is not None:
@@ -119,8 +128,14 @@ class InferenceEngine:
                     return plan
                 old_plan = plan           # stale, same model: recompile
         try:
-            plan = compile_inference(model)
+            plan = compile_inference(model, dtype=dtype)
         except UnsupportedLayerError:
+            if dtype != np.float64:
+                # Narrowing refused: serve the float64 plan instead and
+                # remember that decision under the narrow key.
+                plan = self.plan_for(model)
+                self._plans[key] = (weakref.ref(model), plan)
+                return plan
             plan = None
         if plan is not None and not plan.adopt_scratch(old_plan):
             # Hot-swap path: the old model object is gone (the cache
@@ -141,28 +156,33 @@ class InferenceEngine:
         self._plans[key] = (weakref.ref(model), plan)
         return plan
 
-    def warmup(self, model_path) -> Module:
+    def warmup(self, model_path, dtype=None) -> Module:
         """Load + precompile a model so the first timed call is hot."""
         model = self.cache.get(model_path)
-        self.plan_for(model)
+        self.plan_for(model, dtype if dtype is not None else np.float64)
         return model
 
     # -- inference -------------------------------------------------------
-    def infer(self, model_path, inputs: np.ndarray) -> np.ndarray:
+    def infer(self, model_path, inputs: np.ndarray,
+              dtype=None) -> np.ndarray:
         """Full inference round trip: H2D transfer, forward, D2H transfer.
 
         ``inputs`` is batch-major ``(B, *features)``; the return value
         keeps the model's output shape ``(B, *out_features)``.
+        ``dtype=np.float32`` runs the narrowed compiled plan when the
+        model supports it (float64 otherwise).
         """
         model = self.cache.get(model_path)
-        return self.infer_with_model(model, inputs)
+        return self.infer_with_model(model, inputs, dtype=dtype)
 
-    def infer_with_model(self, model: Module, inputs: np.ndarray) -> np.ndarray:
+    def infer_with_model(self, model: Module, inputs: np.ndarray,
+                         dtype=None) -> np.ndarray:
         import time
 
         sim_before = self.device.clock.simulated
         dev_in = self.device.to_device(inputs)
-        plan = self.plan_for(model)
+        plan = self.plan_for(model,
+                             dtype if dtype is not None else np.float64)
 
         start = time.perf_counter()
         if plan is not None:
@@ -182,6 +202,7 @@ class InferenceEngine:
             "forward_device": self.device.dense_time(forward_wall),
             "transfer_sim": self.device.clock.simulated - sim_before,
             "compiled": plan is not None,
+            "dtype": plan.dtype.name if plan is not None else "float64",
         }
         # SURROGATE fault seam: with an active FaultInjector this forward
         # may raise or hand back NaN/Inf/garbage outputs, exactly like a

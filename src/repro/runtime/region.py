@@ -60,12 +60,25 @@ class RegionConfig:
     outputs is caught before anything reaches application memory, the
     invocation is served by the accurate kernel, and repeated failures
     demote the region to the accurate path until probes recover it.
+    ``precision`` selects the compiled plan's dtype: ``None`` /
+    ``"float64"`` keep the historical double-precision path untouched;
+    ``"float32"`` serves the narrowed plan unconditionally (models the
+    narrower refuses fall back to float64 inside the engine); and
+    ``"auto"`` puts the narrowing under a
+    :class:`~repro.qos.PrecisionPolicy` governor — fp32 outputs are
+    shadow-sampled against the fp64 plan, the divergence is charged to
+    the QoS budget, and a region whose divergence EWMA breaches its
+    threshold is demoted back to float64 with breaker-style hysteresis.
     """
 
     def __init__(self, model_path=None, db_path=None, engine=None,
                  event_log=None, qos=None, auto_batch: bool = False,
                  max_batch_rows: int = 256,
-                 row_subsample: bool | None = None, breaker=None):
+                 row_subsample: bool | None = None, breaker=None,
+                 precision: str | None = None):
+        if precision not in (None, "float64", "float32", "auto"):
+            raise ValueError(f"precision must be None, 'float64', "
+                             f"'float32' or 'auto': {precision!r}")
         self.model_path = model_path
         self.db_path = db_path
         self.engine = engine
@@ -75,6 +88,7 @@ class RegionConfig:
         self.max_batch_rows = max_batch_rows
         self.row_subsample = row_subsample
         self.breaker = breaker
+        self.precision = precision
 
 
 class _BoundMap:
@@ -121,6 +135,11 @@ class ApproxRegion:
             if self.config.engine is not None else InferenceEngine()
         self._collector: DataCollector | None = None
         self._map_cache: dict = {}
+        #: Lazily-created default governor for ``precision="auto"``
+        #: regions whose controller carries no ``precision_policy``.
+        self._precision_policy = None
+        self._prec_counters: dict = {}        # lazy obs handles
+        self._prec_hist = None
 
         nodes = parse_program(directives)
         analyzer = SemanticAnalyzer().analyze(nodes)
@@ -313,14 +332,21 @@ class ApproxRegion:
             if cached is not None:
                 ref, cm = cached
                 if ref() is array:
+                    # LRU touch: move the hit to the recent end so a
+                    # storm of cold keys evicts other cold keys, not
+                    # the hot working set.
+                    self._map_cache.pop(key)
+                    self._map_cache[key] = cached
                     out.append(cm)
                     continue
             ranges = evaluate_ranges(m.spec, env)
             cm = concretize(m.functor, array, ranges, env=env,
                             writable=writable)
-            if len(self._map_cache) > 64:
-                self._map_cache.clear()
             self._map_cache[key] = (weakref.ref(array), cm)
+            while len(self._map_cache) > 64:
+                # Bounded LRU eviction (dicts iterate in insertion
+                # order, so the first key is the least recently used).
+                self._map_cache.pop(next(iter(self._map_cache)))
             out.append(cm)
         return out
 
@@ -385,14 +411,62 @@ class ApproxRegion:
             self._collector = DataCollector(path)
         return self._collector
 
-    def _surrogate_outputs(self, inputs, record, guard):
+    def _effective_precision(self, allow_sample: bool = True):
+        """Resolve this invocation's plan dtype.
+
+        Returns ``(dtype, policy, sample)``: the dtype to hand the
+        engine (``None`` = historical float64 path, untouched), the
+        governing :class:`~repro.qos.PrecisionPolicy` when
+        ``precision="auto"``, and whether this invocation must also
+        run the float64 plan to measure fp32 divergence.  The governor
+        is taken from the QoS controller (``precision_policy``) so
+        regions sharing a controller share demotion state; a region
+        without one gets a private default-threshold policy.
+        """
+        prec = self.config.precision
+        if prec is None or prec == "float64":
+            return None, None, False
+        if prec == "float32":
+            return np.float32, None, False
+        qos = self.config.qos
+        pol = getattr(qos, "precision_policy", None) \
+            if qos is not None else None
+        if pol is None:
+            pol = self._precision_policy
+            if pol is None:
+                from ..qos.precision import PrecisionPolicy
+                pol = self._precision_policy = PrecisionPolicy()
+        if pol.precision_for(self.name) == "float64":
+            return None, pol, False
+        sample = allow_sample and pol.should_sample(self.name)
+        return np.float32, pol, sample
+
+    def _note_precision(self, record, dtype, divergence=None) -> None:
+        """Record an invocation's precision routing (stream + obs)."""
+        name = "float32" if dtype is not None else "float64"
+        record.note("precision", name)
+        from .. import obs
+        if not obs.is_enabled():
+            return
+        counter = self._prec_counters.get(name)
+        if counter is None:
+            counter = self._prec_counters[name] = obs.metrics().counter(
+                "precision_path", region=self.name, dtype=name)
+        counter.inc()
+        if divergence is not None:
+            if self._prec_hist is None:
+                self._prec_hist = obs.metrics().histogram(
+                    "precision_divergence", region=self.name)
+            self._prec_hist.observe(divergence)
+
+    def _surrogate_outputs(self, inputs, record, guard, dtype=None):
         """One surrogate forward; guarded, non-finite outputs raise.
 
         The finite check runs *before* any scatter so a NaN/Inf-emitting
         model can never poison application memory — the guard converts
         it into a breaker failure served by the accurate kernel.
         """
-        outputs = self._engine.infer(self.model_path, inputs)
+        outputs = self._engine.infer(self.model_path, inputs, dtype=dtype)
         # The INFERENCE phase is the engine's device-equivalent time
         # (dense forward on the simulated accelerator); transfer costs
         # accumulate on the device clock.
@@ -426,7 +500,10 @@ class ApproxRegion:
             raise RuntimeError(f"region {self.name!r}: inference "
                                "requested but no model path configured")
         self._note_stream_context(record, inputs)
-        if self._batched_engine and guard is None:
+        dtype, pol, sample = self._effective_precision()
+        if self.config.precision is not None and not sample:
+            self._note_precision(record, dtype)
+        if self._batched_engine and guard is None and not sample:
             # Defer: the engine coalesces queued invocations into one
             # forward; the scatter-back lands at flush time.  Only
             # sound for invocations independent of each other's
@@ -435,6 +512,9 @@ class ApproxRegion:
             # outcome *now* to decide whether this invocation falls back
             # (``BatchedInferenceEngine.infer`` flushes the queue
             # first), trading batching for synchronous verification.
+            # A precision-sampled invocation also runs immediately: the
+            # fp32-vs-fp64 divergence must be observed (and charged)
+            # before the governor's next decision.
             out_maps = self._concretize(self._out_maps, env, writable=True)
 
             def deliver(outputs, seconds, out_maps=out_maps, record=record):
@@ -444,9 +524,23 @@ class ApproxRegion:
                 # fold must see the flush-time scatter cost.
                 self.events.finish(record)
 
-            self._engine.submit(self.model_path, inputs, deliver)
+            self._engine.submit(self.model_path, inputs, deliver,
+                                dtype=dtype)
             return None
-        outputs = self._surrogate_outputs(inputs, record, guard)
+        outputs = self._surrogate_outputs(inputs, record, guard,
+                                          dtype=dtype)
+        if sample:
+            # Governed fp32: also run the float64 plan and fold the
+            # observed divergence into the policy (trip/recover) and
+            # the QoS budget ledger.  Timed as SHADOW — it is
+            # validation overhead, not serving cost.
+            import time as _time
+            start = _time.perf_counter()
+            reference = self._engine.infer(self.model_path, inputs)
+            record.add(Phase.SHADOW, _time.perf_counter() - start)
+            div = pol.observe(self.name, outputs, reference,
+                              qos=self.config.qos)
+            self._note_precision(record, dtype, divergence=div)
         out_maps = self._concretize(self._out_maps, env, writable=True)
         self._scatter_outputs(out_maps, outputs, record)
         self.events.finish(record)
@@ -545,8 +639,15 @@ class ApproxRegion:
                                "requested but no model path configured")
         # Immediate inference (flushes any batched queue first): the
         # error observation must not be deferred past policy decisions.
+        # The surrogate runs at the region's governed precision — the
+        # QoS shadow error then measures what deployment actually
+        # commits (fp32 divergence folds into the same estimate).
+        dtype, _, _ = self._effective_precision(allow_sample=False)
+        if self.config.precision is not None:
+            self._note_precision(record, dtype)
         try:
-            outputs = self._surrogate_outputs(inputs, record, guard)
+            outputs = self._surrogate_outputs(inputs, record, guard,
+                                              dtype=dtype)
         except Exception as exc:
             if guard is None:
                 raise

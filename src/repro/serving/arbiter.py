@@ -42,7 +42,8 @@ class QoSArbiter(QoSController):
                  policies=(), shadow_rate: float = 0.1, seed: int = 0,
                  commit: str = "surrogate", metric: str = "relative",
                  alpha: float = 0.2, quantile: float = 0.95,
-                 telemetry=None, shadow_rows: int | None = None):
+                 telemetry=None, shadow_rows: int | None = None,
+                 precision_policy=None):
         self.arbitration = BudgetArbitrationPolicy(
             global_budget, headroom=headroom, warmup=warmup,
             rebalance_every=rebalance_every, probe_interval=probe_interval,
@@ -54,7 +55,8 @@ class QoSArbiter(QoSController):
         super().__init__(policy=policy, shadow_rate=shadow_rate, seed=seed,
                          commit=commit, metric=metric, alpha=alpha,
                          quantile=quantile, telemetry=telemetry,
-                         shadow_rows=shadow_rows)
+                         shadow_rows=shadow_rows,
+                         precision_policy=precision_policy)
         self._lock = threading.Lock()
 
     @property
@@ -77,6 +79,11 @@ class QoSArbiter(QoSController):
     def row_subset(self, batch: int):
         with self._lock:
             return super().row_subset(batch)
+
+    def charge_budget(self, region_name: str, error: float) -> bool:
+        # Precision divergence charges mutate the shared ledgers.
+        with self._lock:
+            return super().charge_budget(region_name, error)
 
     def snapshot(self) -> dict:
         with self._lock:

@@ -125,7 +125,7 @@ class RegionServer:
         return self._fleet
 
     def enable_fleets(self, names=None, min_members: int = 2,
-                      device=None) -> dict:
+                      device=None, dtype=None) -> dict:
         """Opt ``names`` (default: all regions) into fleet grouping.
 
         Regions whose deployed models share a fleet fingerprint (same
@@ -135,10 +135,15 @@ class RegionServer:
         invocations as a single stacked forward.  Regions with no model
         path, no fleet lowering, or fewer than ``min_members``
         same-fingerprint peers stay on their single-model path.
-        Returns ``{fingerprint: [names]}`` for the fleets formed.
+        ``dtype=np.float32`` stacks narrowed slabs (the bandwidth-bound
+        K-row GEMMs are where narrowing pays most).  Returns
+        ``{fingerprint: [names]}`` for the fleets formed.
         """
+        import numpy as np
         from ..runtime.fleet import FleetInferenceEngine
-        engine = FleetInferenceEngine(device=device)
+        engine = FleetInferenceEngine(
+            device=device,
+            dtype=np.float64 if dtype is None else dtype)
         for name in (names if names is not None else self._regions):
             region = self._regions[name].region
             if region.model_path is not None:

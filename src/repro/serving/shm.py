@@ -256,20 +256,30 @@ def worker_main(conn, index: int) -> None:
         op = msg[0]
         try:
             if op == "infer":
-                _, model_path, ring_name, offset, cap, shape = msg
+                # Per-message dtype negotiation: a trailing dtype-name
+                # token reinterprets the float64-addressed slab as that
+                # dtype (pre-negotiation clients omit it).  float32
+                # messages thus pack 2x the payload per slot and ship
+                # half the bytes each way.
+                _, model_path, ring_name, offset, cap, shape = msg[:6]
+                dt = np.dtype(msg[6] if len(msg) > 6 else np.float64)
                 flat = attach(ring_name)
+                scale = 8 // dt.itemsize        # dt units per f64 word
+                fview = flat if dt == np.float64 else flat.view(dt)
+                base, cap_units = offset * scale, cap * scale
                 n_in = int(np.prod(shape))
-                x = flat[offset:offset + n_in].reshape(shape)
+                x = fview[base:base + n_in].reshape(shape)
                 cpu0 = time.process_time()
-                out = engine.infer(model_path, x)
+                out = engine.infer(model_path, x,
+                                   dtype=None if dt == np.float64 else dt)
                 busy = time.process_time() - cpu0
-                out = np.asarray(out, dtype=np.float64)
+                out = np.asarray(out, dtype=dt)
                 requests += 1
                 rows += len(x)
                 forward_hist.observe(engine.last_timing.get(
                     "forward_wall", busy))
-                if out.size <= cap:
-                    flat[offset:offset + out.size] = out.reshape(-1)
+                if out.size <= cap_units:
+                    fview[base:base + out.size] = out.reshape(-1)
                     conn.send(("ok", out.shape, engine.last_timing, busy))
                 else:
                     # Output exceeds the slab: fall back to pickling
@@ -277,15 +287,17 @@ def worker_main(conn, index: int) -> None:
                     # benchmark can assert the hot path stayed at 0).
                     conn.send(("big", out, engine.last_timing, busy))
             elif op == "infer_pickle":
-                _, model_path, x = msg
+                _, model_path, x = msg[:3]
+                dt = np.dtype(msg[3] if len(msg) > 3 else np.float64)
                 cpu0 = time.process_time()
-                out = engine.infer(model_path, x)
+                out = engine.infer(model_path, x,
+                                   dtype=None if dt == np.float64 else dt)
                 busy = time.process_time() - cpu0
                 requests += 1
                 rows += len(x)
                 forward_hist.observe(engine.last_timing.get(
                     "forward_wall", busy))
-                conn.send(("ok", np.asarray(out, dtype=np.float64),
+                conn.send(("ok", np.asarray(out, dtype=dt),
                            engine.last_timing, busy))
             elif op == "invalidate":
                 _, model_path = msg
@@ -480,6 +492,7 @@ class RemoteEngineClient:
         self.requests = 0
         self.busy_seconds = 0.0      # worker CPU seconds on our behalf
         self.pickle_fallbacks = 0    # oversized outputs that pickled
+        self.bytes_shipped = 0       # payload bytes in + out (shm path)
 
     def _ensure_ring(self, floats_needed: int) -> SlabRing:
         ring = self._ring
@@ -492,35 +505,50 @@ class RemoteEngineClient:
         ring = self._ring = SlabRing(grown, slots=self.slots)
         return ring
 
-    def infer(self, model_path, inputs) -> tuple:
-        """One remote forward; returns ``(outputs, timing dict)``."""
-        x = np.ascontiguousarray(np.asarray(inputs, dtype=np.float64))
+    def infer(self, model_path, inputs, dtype=None) -> tuple:
+        """One remote forward; returns ``(outputs, timing dict)``.
+
+        ``dtype=np.float32`` negotiates the narrow wire format: inputs
+        ship (and outputs return) as float32 in the same float64-sized
+        slab slots, halving the bytes crossing the process boundary,
+        and the worker serves its narrowed compiled plan.
+        """
+        dt = np.dtype(dtype) if dtype is not None else np.float64
+        x = np.ascontiguousarray(np.asarray(inputs, dtype=dt))
         if self.transport == "pickle":
-            reply = self.handle.request(
-                ("infer_pickle", str(model_path), x), timeout=self.timeout)
+            msg = ("infer_pickle", str(model_path), x) \
+                if dt == np.float64 else \
+                ("infer_pickle", str(model_path), x, dt.name)
+            reply = self.handle.request(msg, timeout=self.timeout)
             out = reply[1]
         else:
-            ring = self._ensure_ring(x.size)
+            # Ring capacity is addressed in float64 words; round the
+            # payload up so narrow dtypes pack without spilling.
+            ring = self._ensure_ring((x.nbytes + 7) // 8)
             slot = ring.lease(self.timeout)
             view = ring.slot(slot)
             try:
-                view[:x.size] = x.reshape(-1)
-                reply = self.handle.request(
-                    ("infer", str(model_path), ring.name,
-                     slot * ring.slot_floats, ring.slot_floats, x.shape),
-                    timeout=self.timeout)
+                tview = view if dt == np.float64 else view.view(dt)
+                tview[:x.size] = x.reshape(-1)
+                msg = ("infer", str(model_path), ring.name,
+                       slot * ring.slot_floats, ring.slot_floats, x.shape)
+                if dt != np.float64:
+                    msg = msg + (dt.name,)
+                reply = self.handle.request(msg, timeout=self.timeout)
                 if reply[0] == "big":
                     out = reply[1]
                     self.pickle_fallbacks += 1
                 else:
                     shape = reply[1]
-                    out = np.array(view[:int(np.prod(shape))]).reshape(shape)
+                    out = np.array(
+                        tview[:int(np.prod(shape))]).reshape(shape)
+                self.bytes_shipped += x.nbytes + out.nbytes
             finally:
                 # Drop the slab view before releasing: a raised
                 # WorkerCrashed keeps this frame alive via its
                 # traceback, and a lingering view would pin the
                 # segment mapping past ring.close().
-                view = None
+                view = tview = None
                 ring.release(slot)
         timing, busy = reply[2], reply[3]
         self.requests += 1
@@ -589,12 +617,12 @@ class ProcessInferenceEngine(InferenceEngine):
         super().__init__(device=device, cache=_WorkerModelCache(client))
         self.client = client
 
-    def infer(self, model_path, inputs):
-        out, timing = self.client.infer(model_path, inputs)
+    def infer(self, model_path, inputs, dtype=None):
+        out, timing = self.client.infer(model_path, inputs, dtype=dtype)
         self.last_timing = timing
         return out
 
-    def warmup(self, model_path):
+    def warmup(self, model_path, dtype=None):
         self.client.warmup(model_path)
         return None
 
@@ -616,11 +644,11 @@ class ProcessBatchedInferenceEngine(BatchedInferenceEngine):
                          max_batch_rows=max_batch_rows)
         self.client = client
 
-    def _flush_forward(self, model_path, batch):
-        out, timing = self.client.infer(model_path, batch)
+    def _flush_forward(self, model_path, batch, dtype=None):
+        out, timing = self.client.infer(model_path, batch, dtype=dtype)
         self.last_timing = timing
         return out
 
-    def warmup(self, model_path):
+    def warmup(self, model_path, dtype=None):
         self.client.warmup(model_path)
         return None

@@ -19,10 +19,10 @@ The acceptance contract of the plan-IR refactor:
 import numpy as np
 import pytest
 
-from repro.nn import (GRU, Adam, Conv1d, Conv2d, CropPad2d, Destandardize,
-                      Flatten, LayerNorm, Linear, MaxPool2d, ReLU, SGD,
-                      Sequential, Standardize, Tensor, Trainer,
-                      UnsupportedLayerError, compile_inference,
+from repro.nn import (GRU, Adam, AvgPool2d, Conv1d, Conv2d, CropPad2d,
+                      Destandardize, Flatten, LayerNorm, Linear, MaxPool1d,
+                      MaxPool2d, ReLU, SGD, Sequential, Standardize, Tensor,
+                      Trainer, UnsupportedLayerError, compile_inference,
                       compile_training, mse_loss, structural_fingerprint,
                       training_fingerprint)
 
@@ -212,6 +212,34 @@ def test_conv2d_particlefilter_style_parity():
                           Linear(8 * 3 * 3, 2, rng=r))
     rng = np.random.default_rng(6)
     assert_parity(build, rng.normal(size=(5, 1, 14, 14)),
+                  rng.normal(size=(5, 2)))
+
+
+@pytest.mark.parametrize("kernel,stride", [(2, None), (3, 2)])
+def test_maxpool1d_training_parity(kernel, stride):
+    """Scatter adjoint: upstream grads land on the argmax positions."""
+    def build():
+        r = np.random.default_rng(11)
+        pooled = (8 - kernel) // (stride or kernel) + 1  # conv out L = 8
+        return Sequential(Conv1d(2, 4, 3, rng=r), ReLU(),
+                          MaxPool1d(kernel, stride), Flatten(),
+                          Linear(4 * pooled, 2, rng=r))
+    rng = np.random.default_rng(8)
+    assert_parity(build, rng.normal(size=(6, 2, 10)),
+                  rng.normal(size=(6, 2)))
+
+
+@pytest.mark.parametrize("kernel,stride", [(2, None), (3, 2)])
+def test_avgpool2d_training_parity(kernel, stride):
+    """Average adjoint: upstream grads spread evenly over each window."""
+    def build():
+        r = np.random.default_rng(12)
+        pooled = (6 - kernel) // (stride or kernel) + 1
+        return Sequential(Conv2d(1, 3, 3, rng=r), ReLU(),
+                          AvgPool2d(kernel, stride), Flatten(),
+                          Linear(3 * pooled * pooled, 2, rng=r))
+    rng = np.random.default_rng(9)
+    assert_parity(build, rng.normal(size=(5, 1, 8, 8)),
                   rng.normal(size=(5, 2)))
 
 

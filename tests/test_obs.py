@@ -320,7 +320,7 @@ def test_stream_round_trip_decodes_none_and_values(tmp_path):
     first, second = replay["a"]
     assert first == {"seq": 0, "digest": 7, "path": "infer",
                      "reason": "within_budget", "breaker": "healthy",
-                     "shadow_error": 0.25, "spend": 0.1}
+                     "precision": None, "shadow_error": 0.25, "spend": 0.1}
     assert second["reason"] is None and second["shadow_error"] is None
     assert replay["b"][0]["reason"] == "forced"
 

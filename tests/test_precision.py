@@ -1,0 +1,513 @@
+"""Mixed-precision inference: float32 plans under QoS governance.
+
+The acceptance contract of the precision axis:
+
+* ``compile_inference(model, dtype=np.float32)`` casts weights once at
+  compile time and serves float32 end to end; the float64 default is
+  untouched (same fingerprint, bitwise-identical outputs);
+* engines key their plan caches on ``(model, dtype)`` and fall back to
+  the float64 plan when narrowing is refused (conv-bearing models);
+* a :class:`~repro.qos.PrecisionPolicy` governs ``precision="auto"``
+  regions: shadow-sampled fp32-vs-fp64 divergence charges the error
+  budget, trips a breaker-style demotion on breach, and probes back;
+* decision streams, the fleet slab, and the shm transport all carry
+  the negotiated dtype (the latter shipping half the bytes).
+"""
+
+import json
+import math
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.api import approx_ml
+from repro.h5 import File
+from repro.nn import (Conv2d, Flatten, Linear, ReLU, Sequential, Tanh,
+                      UnsupportedLayerError, compile_fleet_inference,
+                      compile_inference, save_model)
+from repro.nn.plan import _buf
+from repro.qos import (BudgetArbitrationPolicy, PrecisionPolicy,
+                       QoSController)
+from repro.runtime import BatchedInferenceEngine, InferenceEngine
+from repro.serving.shm import RemoteEngineClient, WorkerHandle
+
+pytestmark = pytest.mark.precision
+
+
+def _mlp(seed=0, n_in=6, n_hidden=32, n_out=2):
+    r = np.random.default_rng(seed)
+    return Sequential(Linear(n_in, n_hidden, rng=r), Tanh(),
+                      Linear(n_hidden, n_out, rng=r))
+
+
+def _conv(seed=0):
+    r = np.random.default_rng(seed)
+    return Sequential(Conv2d(1, 4, 3, rng=r), ReLU(), Flatten(),
+                      Linear(4 * 6 * 6, 2, rng=r))
+
+
+# ----------------------------------------------------------------------
+# Compiled-plan dtype parameterization
+# ----------------------------------------------------------------------
+
+def test_fp64_default_is_unchanged_by_dtype_machinery():
+    """The float64 path must stay bitwise-identical to the historical
+    plans: same fingerprint, no input cast shim, float16 coercion."""
+    model = _mlp()
+    x = np.random.default_rng(1).standard_normal((16, 6))
+    default = compile_inference(model)
+    explicit = compile_inference(model, dtype=np.float64)
+    assert default.dtype == np.float64 and default._cast is None
+    assert default.fingerprint == explicit.fingerprint
+    assert np.array_equal(default(x), explicit(x))
+    assert default(x).dtype == np.float64
+    # The pre-existing float16 coercion survives on the default path.
+    assert default(x.astype(np.float16)).dtype == np.float64
+
+
+def test_f32_plan_serves_float32_and_tracks_f64():
+    model = _mlp()
+    x = np.random.default_rng(2).standard_normal((64, 6))
+    p64 = compile_inference(model)
+    p32 = compile_inference(model, dtype=np.float32)
+    assert p32.dtype == np.float32
+    y64, y32 = p64(x), p32(x)
+    assert y32.dtype == np.float32
+    rel = np.abs(y32 - y64).max() / (np.abs(y64).max() + 1e-12)
+    assert rel < 1e-5
+    # Narrowed plans fingerprint differently: caches must never alias.
+    assert p32.fingerprint != p64.fingerprint
+
+
+def test_f32_plan_casts_float64_inputs_once_at_entry():
+    model = _mlp()
+    p32 = compile_inference(model, dtype=np.float32)
+    out = p32(np.ones((4, 6), dtype=np.float64))
+    assert out.dtype == np.float32
+    out16 = p32(np.ones((4, 6), dtype=np.float16))
+    assert out16.dtype == np.float32
+
+
+def test_f32_refused_for_conv_models():
+    with pytest.raises(UnsupportedLayerError):
+        compile_inference(_conv(), dtype=np.float32)
+
+
+def test_unsupported_dtype_rejected():
+    with pytest.raises(ValueError):
+        compile_inference(_mlp(), dtype=np.int32)
+
+
+def test_scratch_adoption_refused_across_dtypes():
+    """A narrowed plan must never adopt a float64 predecessor's scratch
+    buffers (or vice versa): dtype is part of the adoption contract."""
+    model = _mlp()
+    x = np.ones((8, 6))
+    old64 = compile_inference(model)
+    old64(x)
+    new64 = compile_inference(model)
+    assert new64.adopt_scratch(old64)
+    new32 = compile_inference(model, dtype=np.float32)
+    assert not new32.adopt_scratch(old64)
+
+
+# ----------------------------------------------------------------------
+# Satellite: dtype promotion in plan scratch buffers
+# ----------------------------------------------------------------------
+
+def test_buf_reuses_same_dtype_scratch():
+    s = {}
+    a = _buf(s, "k", (4, 4))
+    assert _buf(s, "k", (4, 4)) is a
+    assert a.dtype == np.float64
+
+
+def test_buf_reallocates_on_dtype_change():
+    s = {}
+    a = _buf(s, "k", (4, 4))
+    b = _buf(s, "k", (4, 4), np.float32)
+    assert b is not a and b.dtype == np.float32
+    # And back: the narrow buffer must not leak into a wide reuse.
+    c = _buf(s, "k", (4, 4))
+    assert c is not b and c.dtype == np.float64
+
+
+def test_f32_plan_keeps_dtype_across_batch_sizes():
+    """Scratch reallocation on batch-size change must stay float32 —
+    no silent promotion through ``result_type`` on mixed operands."""
+    model = _mlp()
+    p32 = compile_inference(model, dtype=np.float32)
+    for n in (4, 32, 4, 128):
+        out = p32(np.ones((n, 6)))
+        assert out.dtype == np.float32
+
+
+# ----------------------------------------------------------------------
+# Engine plan caches keyed on dtype
+# ----------------------------------------------------------------------
+
+def test_engine_cache_keys_plans_on_dtype():
+    engine = InferenceEngine()
+    model = _mlp()
+    p64 = engine.plan_for(model)
+    p32 = engine.plan_for(model, dtype=np.float32)
+    assert p64 is not p32
+    assert engine.plan_for(model) is p64
+    assert engine.plan_for(model, dtype=np.float32) is p32
+
+
+def test_engine_f32_refusal_falls_back_to_cached_f64_plan():
+    engine = InferenceEngine()
+    conv = _conv()
+    p64 = engine.plan_for(conv)
+    fallback = engine.plan_for(conv, dtype=np.float32)
+    assert fallback is p64                  # served the wide plan
+    # The refusal is cached: asking again must not re-lower the model.
+    assert engine.plan_for(conv, dtype=np.float32) is p64
+
+
+def test_engine_infer_dtype_roundtrip(tmp_path):
+    model = _mlp()
+    save_model(model, tmp_path / "m.rnm")
+    engine = InferenceEngine()
+    x = np.random.default_rng(3).standard_normal((32, 6))
+    y64 = engine.infer(tmp_path / "m.rnm", x)
+    assert engine.last_timing["dtype"] == "float64"
+    y32 = engine.infer(tmp_path / "m.rnm", x, dtype=np.float32)
+    assert y32.dtype == np.float32
+    assert engine.last_timing["dtype"] == "float32"
+    assert np.abs(y32 - y64).max() < 1e-4
+
+
+def test_batched_engine_flushes_on_dtype_change(tmp_path):
+    """A dtype switch is a batch boundary: queued float64 work flushes
+    before float32 work enqueues, so one forward never mixes dtypes."""
+    model = _mlp()
+    save_model(model, tmp_path / "m.rnm")
+    engine = BatchedInferenceEngine(max_batch_rows=1024)
+    x = np.ones((8, 6))
+    results = {}
+    engine.submit(tmp_path / "m.rnm", x,
+                  on_result=lambda out, _s: results.setdefault("a", out))
+    assert "a" not in results               # still queued
+    engine.submit(tmp_path / "m.rnm", x,
+                  on_result=lambda out, _s: results.setdefault("b", out),
+                  dtype=np.float32)
+    assert results["a"].dtype == np.float64  # flushed by the switch
+    engine.flush()
+    assert results["b"].dtype == np.float32
+    assert np.abs(results["b"] - results["a"]).max() < 1e-4
+
+
+# ----------------------------------------------------------------------
+# Fleet slab narrowing
+# ----------------------------------------------------------------------
+
+def test_fleet_plan_f32_stacks_and_tracks_members():
+    models = [_mlp(seed=s) for s in range(3)]
+    x = np.random.default_rng(4).standard_normal((16, 6))
+    plan = compile_fleet_inference(models, dtype=np.float32)
+    assert plan.dtype == np.float32 and plan.slab.dtype == np.float32
+    out = plan(x)
+    assert out.dtype == np.float32 and out.shape[0] == 3
+    for k, model in enumerate(models):
+        ref = compile_inference(model)(x)
+        rel = np.abs(out[k] - ref).max() / (np.abs(ref).max() + 1e-12)
+        assert rel < 1e-5
+
+
+def test_fleet_f32_hot_swap_casts_on_row_copy():
+    models = [_mlp(seed=s) for s in range(3)]
+    plan = compile_fleet_inference(models, dtype=np.float32)
+    before = plan.member_digest(1)
+    replacement = _mlp(seed=9)              # float64 weights
+    plan.replace_member(1, replacement)
+    assert plan.member_digest(1) != before
+    assert plan.slab.dtype == np.float32    # cast landed on the copy
+    x = np.random.default_rng(5).standard_normal((8, 6))
+    ref = compile_inference(replacement)(x)
+    got = plan(x)[1]
+    rel = np.abs(got - ref).max() / (np.abs(ref).max() + 1e-12)
+    assert rel < 1e-5
+
+
+# ----------------------------------------------------------------------
+# PrecisionPolicy governance
+# ----------------------------------------------------------------------
+
+def test_policy_warmup_always_samples():
+    pol = PrecisionPolicy(warmup=3, sample_rate=0.0)
+    for _ in range(3):
+        assert pol.precision_for("r") == "float32"
+        assert pol.should_sample("r")
+        pol.observe("r", np.zeros(4), np.zeros(4))
+    # Past warmup, the 0.0 Bernoulli rate never samples again.
+    assert not pol.should_sample("r")
+
+
+def test_policy_trips_probes_and_recovers():
+    pol = PrecisionPolicy(high=1e-3, low=1e-4, warmup=1,
+                          probe_interval=4, alpha=1.0)
+    ones = np.ones(8)
+    assert pol.precision_for("r") == "float32"
+    pol.observe("r", ones * 1.01, ones)     # 1e-2 rel error > high
+    assert pol.tripped("r")
+    # Demoted: float64 until recovery, probing every 4th invocation.
+    probes = [pol.precision_for("r") == "float64" and
+              pol.should_sample("r") for _ in range(8)]
+    assert sum(probes) == 2                 # since 1..8 -> probes at 4, 8
+    pol.observe("r", ones, ones)            # clean probe: err 0 <= low
+    assert not pol.tripped("r")
+    snap = pol.snapshot()["regions"]["r"]
+    assert snap["demotions"] == 1 and snap["promotions"] == 1
+
+
+def test_policy_charges_divergence_to_qos_budget():
+    charges = []
+
+    class FakeQoS:
+        def charge_budget(self, region, err):
+            charges.append((region, err))
+            return True
+
+    pol = PrecisionPolicy(warmup=1)
+    err = pol.observe("r", np.ones(4) * 1.001, np.ones(4), qos=FakeQoS())
+    assert charges == [("r", err)] and err > 0
+
+
+def test_policy_ctor_validation():
+    with pytest.raises(ValueError):
+        PrecisionPolicy(high=0.0)
+    with pytest.raises(ValueError):
+        PrecisionPolicy(high=1e-5, low=1e-4)
+    with pytest.raises(ValueError):
+        PrecisionPolicy(probe_interval=0)
+
+
+def test_controller_charge_budget_spends_arbiter_ledger():
+    arb = BudgetArbitrationPolicy(1.0, charge="linear")
+    qos = QoSController(policy=arb)
+    assert qos.charge_budget("r", 0.25)
+    assert arb._global_spent == pytest.approx(0.25)
+    assert arb._region("r")["spent"] == pytest.approx(0.25)
+    # Controllers without a chargeable policy refuse gracefully.
+    assert not QoSController().charge_budget("r", 0.1)
+
+
+def test_controller_snapshot_and_reset_cover_precision():
+    pol = PrecisionPolicy(warmup=1)
+    qos = QoSController(precision_policy=pol)
+    pol.observe("r", np.ones(4), np.ones(4))
+    assert "r" in qos.snapshot()["precision"]["regions"]
+    qos.reset_region("r")
+    assert "r" not in pol.snapshot()["regions"]
+
+
+# ----------------------------------------------------------------------
+# Region-level routing (the RegionConfig.precision knob)
+# ----------------------------------------------------------------------
+
+DIRECTIVES = """
+#pragma approx tensor functor(fi: [i, 0:2] = ([i, 0:2]))
+#pragma approx tensor functor(fo: [i, 0:1] = ([i]))
+#pragma approx tensor map(to: fi(x[0:N]))
+#pragma approx tensor map(from: fo(y[0:N]))
+#pragma approx ml(predicated:flag) in(x) out(y) db("{db}") model("{model}")
+"""
+
+
+def _identity_model(path):
+    model = Sequential(Linear(2, 1, rng=np.random.default_rng(0)))
+    model[0].weight.data = np.array([[1.0, 1.0]])
+    model[0].bias.data = np.array([0.0])
+    save_model(model, path)
+
+
+def _make_region(tmp_path, name, **kwargs):
+    _identity_model(tmp_path / f"{name}.rnm")
+
+    @approx_ml(DIRECTIVES.format(db=tmp_path / f"{name}.rh5",
+                                 model=tmp_path / f"{name}.rnm"),
+               name=name, **kwargs)
+    def region(x, y, N, flag=False):
+        y[:N] = x[:N].sum(axis=1)
+
+    return region
+
+
+def test_region_config_rejects_unknown_precision(tmp_path):
+    with pytest.raises(ValueError):
+        _make_region(tmp_path, "bad", precision="bfloat16")
+
+
+def test_region_float32_serves_narrowed_plan(tmp_path):
+    region = _make_region(tmp_path, "narrow", precision="float32")
+    x = np.random.default_rng(6).random((32, 2))
+    y = np.zeros(32)
+    region(x, y, 32, flag=True)
+    assert region.engine.last_timing["dtype"] == "float32"
+    # Committed app outputs stay float64 (scatter into the app array).
+    assert y.dtype == np.float64
+    np.testing.assert_allclose(y, x.sum(axis=1), rtol=1e-5)
+    region.close()
+
+
+def test_region_auto_samples_governs_and_records(tmp_path):
+    pol = PrecisionPolicy(sample_rate=1.0, warmup=0, seed=0)
+    qos = QoSController(precision_policy=pol, shadow_rate=0.0)
+    region = _make_region(tmp_path, "gov", precision="auto", qos=qos)
+    x = np.random.default_rng(7).random((16, 2))
+    y = np.zeros(16)
+    for _ in range(5):
+        region(x, y, 16, flag=True)
+    np.testing.assert_allclose(y, x.sum(axis=1), rtol=1e-5)
+    snap = pol.snapshot()["regions"]["gov"]
+    assert snap["count"] == 5
+    assert snap["samples"] == 5             # rate 1.0: every invocation
+    assert snap["ewma"] is not None and snap["ewma"] < 1e-5
+    assert not snap["tripped"]
+    # Observability: the precision path counter and divergence histogram.
+    metrics = obs.snapshot()["metrics"]["metrics"]
+    paths = [s for s in metrics.get("precision_path", ())
+             if s["labels"].get("region") == "gov"]
+    assert sum(s["value"] for s in paths) >= 5
+    divs = [s for s in metrics.get("precision_divergence", ())
+            if s["labels"].get("region") == "gov"]
+    assert divs and divs[0]["count"] >= 5
+    region.close()
+
+
+def test_region_auto_demotes_to_f64_on_breach(tmp_path):
+    # An impossible threshold: the very first sample trips the governor.
+    pol = PrecisionPolicy(high=1e-30, sample_rate=1.0, warmup=1, seed=0)
+    qos = QoSController(precision_policy=pol, shadow_rate=0.0)
+    region = _make_region(tmp_path, "demote", precision="auto", qos=qos)
+    x = np.random.default_rng(8).random((8, 2))
+    y = np.zeros(8)
+    region(x, y, 8, flag=True)              # sampled, tripped
+    assert pol.tripped("demote")
+    region(x, y, 8, flag=True)              # demoted: wide plan serves
+    assert region.engine.last_timing["dtype"] == "float64"
+    region.close()
+
+
+def test_region_default_path_untouched(tmp_path):
+    region = _make_region(tmp_path, "plain")
+    x = np.ones((8, 2))
+    y = np.zeros(8)
+    region(x, y, 8, flag=True)
+    assert region.engine.last_timing["dtype"] == "float64"
+    region.close()
+
+
+# ----------------------------------------------------------------------
+# Satellite: descriptor-cache LRU (cold-key storms keep hot keys)
+# ----------------------------------------------------------------------
+
+def test_map_cache_storm_keeps_hot_keys(tmp_path):
+    """Regression: the cache used to clear() wholesale past 64 entries,
+    so a storm of cold buffers evicted the hot working set too.  Under
+    LRU, keys touched every iteration survive any number of cold keys."""
+    region = _make_region(tmp_path, "lru")
+    hot_x, hot_y = np.random.default_rng(9).random((8, 2)), np.zeros(8)
+    region(hot_x, hot_y, 8, flag=True)
+    hot_keys = set(region._map_cache)
+    assert hot_keys
+    cold = [np.random.default_rng(i).random((8, 2)) for i in range(100)]
+    for x in cold:
+        region(hot_x, hot_y, 8, flag=True)  # touch hot
+        region(x, np.zeros(8), 8, flag=True)  # one cold insert
+    assert len(region._map_cache) <= 64     # bounded
+    assert hot_keys <= set(region._map_cache)  # hot keys survived
+    region.close()
+
+
+# ----------------------------------------------------------------------
+# Decision streams carry the precision column
+# ----------------------------------------------------------------------
+
+def test_stream_precision_round_trip(tmp_path):
+    path = tmp_path / "s.rh5"
+    with obs.DecisionStream(path) as stream:
+        stream.record("r", digest=1, path="infer", precision="float32")
+        stream.record("r", digest=2, path="infer")
+    replay = obs.read_stream(path)
+    assert replay["r"][0]["precision"] == "float32"
+    assert replay["r"][1]["precision"] is None
+
+
+def _write_width4_stream(path):
+    """A pre-precision stream file, as the old writer laid it out."""
+    with File(path, "w", atomic=True) as fh:
+        fh.attrs["schema"] = "repro-decision-stream-v1"
+        group = fh.require_group("r")
+        group.require_dataset("codes", (4,), np.int64).append(
+            np.array([[7, 0, -1, -1]], dtype=np.int64))
+        group.require_dataset("values", (2,), np.float64).append(
+            np.array([[math.nan, math.nan]]))
+        group.attrs["paths"] = json.dumps(["infer"])
+        group.attrs["reasons"] = json.dumps([])
+        group.attrs["breakers"] = json.dumps([])
+
+
+def test_stream_reads_pre_precision_width4_files(tmp_path):
+    path = tmp_path / "old.rh5"
+    _write_width4_stream(path)
+    replay = obs.read_stream(path)
+    assert replay["r"][0]["path"] == "infer"
+    assert replay["r"][0]["precision"] is None
+
+
+def test_stream_append_keeps_old_file_width(tmp_path):
+    path = tmp_path / "old.rh5"
+    _write_width4_stream(path)
+    stream = obs.DecisionStream(path)
+    stream.record("r", digest=8, path="infer", precision="float32")
+    stream.close()
+    replay = obs.read_stream(path)
+    assert len(replay["r"]) == 2
+    # The appended row dropped its precision code (width preserved).
+    assert replay["r"][1]["precision"] is None
+
+
+# ----------------------------------------------------------------------
+# shm transport dtype negotiation
+# ----------------------------------------------------------------------
+
+def test_shm_f32_halves_shipped_bytes(tmp_path):
+    model = _mlp()
+    save_model(model, tmp_path / "m.rnm")
+    handle = WorkerHandle(0, mp.get_context("fork"))
+    try:
+        client = RemoteEngineClient(handle)
+        x = np.random.default_rng(10).standard_normal((64, 6))
+        y64, t64 = client.infer(tmp_path / "m.rnm", x)
+        b64 = client.bytes_shipped
+        y32, t32 = client.infer(tmp_path / "m.rnm", x, dtype=np.float32)
+        b32 = client.bytes_shipped - b64
+        assert y64.dtype == np.float64 and y32.dtype == np.float32
+        assert t64["dtype"] == "float64" and t32["dtype"] == "float32"
+        assert b64 == 2 * b32               # exactly half the bytes
+        assert np.abs(y32 - y64).max() < 1e-4
+        assert client.pickle_fallbacks == 0
+        client.close()
+    finally:
+        handle.close()
+
+
+def test_shm_pickle_transport_negotiates_dtype(tmp_path):
+    model = _mlp()
+    save_model(model, tmp_path / "m.rnm")
+    handle = WorkerHandle(0, mp.get_context("fork"))
+    try:
+        client = RemoteEngineClient(handle, transport="pickle")
+        x = np.ones((8, 6))
+        out, timing = client.infer(tmp_path / "m.rnm", x,
+                                   dtype=np.float32)
+        assert out.dtype == np.float32
+        assert timing["dtype"] == "float32"
+        client.close()
+    finally:
+        handle.close()
